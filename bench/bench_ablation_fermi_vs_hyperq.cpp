@@ -1,0 +1,42 @@
+// Ablation (ours) — Hyper-Q's 32 hardware work queues vs the pre-Kepler
+// (Fermi) single work queue, on the same workloads. This isolates the
+// paper's claim that Hyper-Q "mostly solves false serialization among
+// independent kernels with the creation of independent work queues".
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "common/stats.hpp"
+
+int main() {
+  using namespace hq;
+  using namespace hq::bench;
+
+  print_header("Ablation",
+               "Hyper-Q (32 work queues) vs Fermi mode (single work queue), "
+               "NA = NS = 16, depth-first issue");
+
+  const gpu::DeviceSpec fermi = gpu::DeviceSpec::fermi_single_queue();
+  RunningStats gain;
+  TextTable table;
+  table.set_header({"pair", "Fermi (1 queue)", "Hyper-Q (32 queues)",
+                    "Hyper-Q advantage"});
+  for (const Pair& pair : hetero_pairs()) {
+    const auto fermi_run =
+        run_pair(pair, 16, 16, fw::Order::NaiveFifo, false, 0, 42, &fermi);
+    const auto hyperq_run = run_pair(pair, 16, 16);
+    const double adv =
+        fw::improvement(static_cast<double>(fermi_run.makespan),
+                        static_cast<double>(hyperq_run.makespan));
+    gain.add(adv);
+    table.add_row({pair.label(), format_duration(fermi_run.makespan),
+                   format_duration(hyperq_run.makespan), format_percent(adv)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Hyper-Q advantage: avg %s, max %s\n",
+              format_percent(gain.mean()).c_str(),
+              format_percent(gain.max()).c_str());
+  std::printf("(no paper counterpart — motivation ablation: Kepler's 32 "
+              "queues remove the head-of-line blocking that falsely "
+              "serializes independent streams on Fermi)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 2 — the same workload as Figure 1 with the host-side memory
+// transfer synchronization (mutex around each application's HtoD stage):
+// each stream's transfers now occur consecutively, kernels start sooner, and
+// HtoD transfers overlap kernel execution from other streams.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "trace/ascii_timeline.hpp"
+
+int main() {
+  using namespace hq;
+  using namespace hq::bench;
+
+  print_header("Figure 2",
+               "memory-synchronization timeline ({gaussian, needle}, "
+               "8 apps on 8 streams, HtoD mutex enabled)");
+
+  const Pair pair{"gaussian", "needle"};
+  const auto base = run_pair(pair, 8, 8, fw::Order::RoundRobin, false);
+  const auto sync = run_pair(pair, 8, 8, fw::Order::RoundRobin, true);
+
+  trace::AsciiTimelineOptions opt;
+  opt.width = 110;
+  opt.lane_label_base = 34;
+  opt.begin = sync.phase_begin;
+  opt.end = sync.phase_begin + 8 * kMillisecond;
+  std::printf("%s\n", render_ascii_timeline(*sync.trace, opt).c_str());
+
+  TextTable table;
+  table.set_header({"metric", "default (Fig. 1)", "synchronized (Fig. 2)"});
+  table.add_row({"mean effective HtoD latency",
+                 format_duration(static_cast<DurationNs>(
+                     fw::mean_htod_effective_latency(base.apps))),
+                 format_duration(static_cast<DurationNs>(
+                     fw::mean_htod_effective_latency(sync.apps)))});
+  table.add_row({"makespan", format_duration(base.makespan),
+                 format_duration(sync.makespan)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "note: each stream's H cells are now contiguous (pseudo-burst /\n"
+      "batched transfers), so kernel execution begins sooner and overlaps\n"
+      "later streams' transfers.\n");
+  return 0;
+}

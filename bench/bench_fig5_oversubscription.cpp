@@ -1,0 +1,100 @@
+// Figure 5 — overlap of five kernels on five independent streams despite
+// total thread-block requests exceeding the GPU's resource limit.
+//
+// The paper's snapshot: Stream 17 launches 89 blocks of
+// needle_cuda_shared_1, Stream 20 launches 88 blocks of
+// needle_cuda_shared_2, Streams 21/22 one block of Fan1 each, and Stream 27
+// launches 1024 blocks of Fan2 — 1203 thread blocks total against the
+// theoretical maximum of 208. Resource-sharing schedulers would serialize
+// these; the LEFTOVER policy simply packs what fits and the five kernels
+// execute concurrently.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "gpusim/device.hpp"
+#include "sim/simulator.hpp"
+#include "trace/ascii_timeline.hpp"
+
+int main() {
+  using namespace hq;
+  using namespace hq::bench;
+
+  print_header("Figure 5",
+               "five concurrent kernels totalling 1203 thread blocks "
+               "(> 208 resident maximum)");
+
+  sim::Simulator sim;
+  trace::Recorder recorder;
+  gpu::Device device(sim, gpu::DeviceSpec::tesla_k20(), &recorder);
+
+  struct LaunchSpec {
+    gpu::StreamId stream;
+    const char* name;
+    std::uint32_t blocks;
+    std::uint32_t tpb;
+    Bytes smem;
+  };
+  // The paper's five kernels (stream ids match its profiler screenshot).
+  const LaunchSpec launches[] = {
+      {17, "needle_cuda_shared_1", 89, 32, 8712},
+      {20, "needle_cuda_shared_2", 88, 32, 8712},
+      {21, "Fan1", 1, 512, 0},
+      {22, "Fan1", 1, 512, 0},
+      {27, "Fan2", 1024, 256, 0},
+  };
+  std::uint32_t total_blocks = 0;
+  for (const auto& l : launches) {
+    device.register_stream(l.stream);
+    total_blocks += l.blocks;
+  }
+  for (const auto& l : launches) {
+    gpu::KernelLaunch launch{l.name,
+                             gpu::Dim3{l.blocks, 1, 1},
+                             gpu::Dim3{l.tpb, 1, 1},
+                             24,
+                             l.smem,
+                             40 * kMicrosecond,
+                             0.0,
+                             nullptr};
+    device.submit_kernel(l.stream, std::move(launch), gpu::OpTag{l.stream, ""});
+  }
+
+  // Probe device residency every 5 us for the peak.
+  int peak_resident = 0;
+  std::size_t peak_in_flight = 0;
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule(static_cast<DurationNs>(i) * 5 * kMicrosecond, [&] {
+      peak_resident = std::max(peak_resident, device.resident_blocks());
+      peak_in_flight = std::max(peak_in_flight,
+                                device.block_scheduler().kernels_in_flight());
+    });
+  }
+  sim.run();
+
+  // Maximum number of kernel spans overlapping at one instant.
+  const auto spans = recorder.by_kind(trace::SpanKind::Kernel);
+  std::size_t max_overlap = 0;
+  for (const auto& probe : spans) {
+    std::size_t overlap = 0;
+    for (const auto& other : spans) {
+      if (other.begin <= probe.begin && probe.begin < other.end) ++overlap;
+    }
+    max_overlap = std::max(max_overlap, overlap);
+  }
+
+  std::printf("total thread blocks requested: %u (limit %d)\n", total_blocks,
+              device.spec().max_resident_blocks());
+  std::printf("peak co-resident thread blocks: %d\n", peak_resident);
+  std::printf("peak kernels in flight: %zu of 5\n", peak_in_flight);
+  std::printf("max kernels executing simultaneously: %zu\n\n", max_overlap);
+
+  trace::AsciiTimelineOptions opt;
+  opt.width = 100;
+  std::printf("%s\n", trace::render_ascii_timeline(recorder, opt).c_str());
+
+  const bool overlap_all = peak_in_flight == 5;
+  std::printf("all five kernels co-resident: %s (paper: yes — LEFTOVER "
+              "policy packs to ~100%% effective utilization)\n",
+              overlap_all ? "yes" : "NO");
+  return overlap_all ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Figure 9 — active power consumption for the {gaussian, needle} workload of
+// 32 applications, compared for the serialized (1 stream), half-concurrent
+// (16 streams) and full-concurrent (32 streams) scenarios, sampled at
+// 66.7 Hz like the paper's PowerMonitor.
+//
+// Paper result: peak power rises slightly with the level of concurrency, but
+// the much shorter execution reduces total energy — 8.5% average (up to
+// 22.9%) energy improvement for full concurrency.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+hq::fw::HarnessResult run_scenario(const hq::bench::Pair& pair, int ns) {
+  using namespace hq;
+  using namespace hq::bench;
+  fw::HarnessConfig config = timing_config(ns);
+  config.power_period = 15 * kMillisecond;  // 66.7 Hz
+  // Keep the sensor's deterministic noise: the paper oversamples to average
+  // it out, and so do we when integrating.
+  config.sensor = nvml::SensorOptions{};
+  Rng rng(42);
+  const int counts[] = {16, 16};
+  const auto schedule = fw::make_schedule(fw::Order::NaiveFifo, counts, &rng);
+  const auto workload =
+      rodinia::build_workload(schedule, {pair.x, pair.y}, {{}, {}});
+  return fw::Harness(config).run(workload);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hq;
+  using namespace hq::bench;
+
+  print_header("Figure 9",
+               "active power, {gaussian, needle}, 32 apps: serial vs "
+               "half-concurrent vs full-concurrent");
+
+  const Pair pair{"gaussian", "needle"};
+  const auto serial = run_scenario(pair, 1);
+  const auto half = run_scenario(pair, 16);
+  const auto full = run_scenario(pair, 32);
+
+  // Power traces, one row per sample instant (serial is the longest).
+  std::printf("power trace (W) sampled at 66.7 Hz:\n");
+  TextTable trace_table;
+  trace_table.set_header({"t (ms)", "serial (1 stream)", "half (16 streams)",
+                          "full (32 streams)"});
+  const auto& s = serial.power_trace;
+  auto sample_at = [](const std::vector<fw::PowerSample>& samples,
+                      std::size_t i) -> std::string {
+    if (i >= samples.size()) return "-";
+    return hq::format_fixed(samples[i].watts, 1);
+  };
+  for (std::size_t i = 0; i < s.size(); i += 2) {  // print every other sample
+    trace_table.add_row({format_fixed(to_milliseconds(s[i].time), 0),
+                         sample_at(serial.power_trace, i),
+                         sample_at(half.power_trace, i),
+                         sample_at(full.power_trace, i)});
+  }
+  std::printf("%s\n", trace_table.render().c_str());
+
+  TextTable summary;
+  summary.set_header({"scenario", "makespan", "avg power", "peak power",
+                      "energy (exact)", "energy vs serial"});
+  auto add = [&summary, &serial](const char* name,
+                                 const fw::HarnessResult& r) {
+    summary.add_row({name, format_duration(r.makespan),
+                     format_fixed(r.average_power, 1) + " W",
+                     format_fixed(r.peak_power, 1) + " W",
+                     format_fixed(r.energy_exact, 2) + " J",
+                     format_percent(fw::improvement(serial.energy_exact,
+                                                    r.energy_exact))});
+  };
+  add("serial (1)", serial);
+  add("half (16)", half);
+  add("full (32)", full);
+  std::printf("%s\n", summary.render().c_str());
+  std::printf("paper: power roughly flat in concurrency; full-concurrent "
+              "energy -8.5%% avg across pairs (up to -22.9%%)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Substrate microbenchmarks (google-benchmark): event-queue throughput,
+// coroutine task switching, block-scheduler placement, copy-engine service,
+// and a full harness run. These bound the cost of the simulation itself,
+// not the modelled hardware.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "gpusim/device.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace hq;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule(static_cast<DurationNs>((i * 7919) % 1000), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+sim::Task ping_pong(sim::Simulator* sim, int hops) {
+  for (int i = 0; i < hops; ++i) {
+    co_await sim->delay(1);
+  }
+}
+
+void BM_CoroutineSwitching(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.spawn(ping_pong(&sim, hops));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_CoroutineSwitching)->Arg(10000);
+
+void BM_BlockSchedulerWaves(benchmark::State& state) {
+  // A 1024-block kernel executing in ~10 waves, like gaussian Fan2.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    gpu::Device device(sim, gpu::DeviceSpec::tesla_k20());
+    device.register_stream(0);
+    device.submit_kernel(0,
+                         gpu::KernelLaunch{"fan2",
+                                           gpu::Dim3{1024, 1, 1},
+                                           gpu::Dim3{256, 1, 1},
+                                           20,
+                                           0,
+                                           3 * kMicrosecond,
+                                           0.0,
+                                           nullptr},
+                         {});
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_BlockSchedulerWaves);
+
+void BM_CopyEngineTransactions(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    gpu::Device device(sim, gpu::DeviceSpec::tesla_k20());
+    device.register_stream(0);
+    for (int i = 0; i < n; ++i) {
+      device.submit_copy(
+          0, gpu::CopyRequest{gpu::CopyDirection::HtoD, 64 * kKiB, nullptr},
+          {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CopyEngineTransactions)->Arg(1000);
+
+void BM_HarnessPairRun(benchmark::State& state) {
+  // One full {nn, needle} 8-application timing run (the smallest pairing).
+  for (auto _ : state) {
+    const auto result =
+        hq::bench::run_pair(hq::bench::Pair{"nn", "needle"}, 8, 8);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+}
+BENCHMARK(BM_HarnessPairRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table I — the Rodinia 3.0 applications ported into the Hyper-Q management
+// framework, plus the Table II Kernel virtual-method interface they
+// implement.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace hq;
+  using namespace hq::bench;
+
+  print_header("Table I", "ported Rodinia 3.0 applications");
+  TextTable t1;
+  t1.set_header({"Benchmark Name", "CUDA Kernel Name(s)", "HtoD", "DtoH"});
+  struct Row {
+    const char* app;
+    const char* kernels;
+  };
+  const Row rows[] = {
+      {"Gaussian Elimination", "Fan1, Fan2"},
+      {"k-Nearest Neighbors", "euclid"},
+      {"Needleman-Wunsch", "needle_cuda_shared_1/2"},
+      {"Speckle reducing anisotropic diffusion", "srad_cuda_1/2"},
+  };
+  const char* names[] = {"gaussian", "nn", "needle", "srad"};
+  for (int i = 0; i < 4; ++i) {
+    auto app = rodinia::make_app(names[i]).factory();
+    t1.add_row({rows[i].app, rows[i].kernels, format_bytes(app->htod_bytes()),
+                format_bytes(app->dtoh_bytes())});
+  }
+  std::printf("%s\n", t1.render().c_str());
+
+  print_header("Table II", "Kernel class virtual method interface");
+  TextTable t2;
+  t2.set_header({"Kernel method", "Functionality"});
+  t2.add_row({"allocateHostMemory", "Encapsulate cudaMallocHost calls"});
+  t2.add_row({"allocateDeviceMemory", "Encapsulate cudaMalloc calls"});
+  t2.add_row({"initializeHostMemory",
+              "Encapsulate subroutine(s) for loading/initializing host data"});
+  t2.add_row({"transferMemory", "Encapsulate cudaMemcpyAsync calls"});
+  t2.add_row({"executeKernel",
+              "Grid/block dimension setup, kernel function execution"});
+  t2.add_row({"freeHostMemory", "Encapsulate cudaFreeHost calls"});
+  t2.add_row({"freeDeviceMemory", "Encapsulate cudaFree calls"});
+  std::printf("%s", t2.render().c_str());
+  return 0;
+}

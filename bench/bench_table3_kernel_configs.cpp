@@ -1,0 +1,29 @@
+// Table III — application kernel grid and block dimensions, thread-block and
+// threads-per-block requirements, at the paper's input sizes.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace hq;
+  using namespace hq::bench;
+
+  print_header("Table III",
+               "application kernel grid/block dimensions and residency "
+               "requirements");
+
+  TextTable table;
+  table.set_header({"Application", "Kernel", "Data dim", "Calls", "Grid dim",
+                    "Block dim", "# TB", "# TPB"});
+  for (const auto& row : rodinia::kernel_config_rows()) {
+    table.add_row({row.application, row.kernel, row.data_dim,
+                   std::to_string(row.calls), row.grid_dim, row.block_dim,
+                   std::to_string(row.thread_blocks),
+                   std::to_string(row.threads_per_block)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nK20 residency ceiling: 13 SMX x 16 blocks = 208 thread blocks; "
+      "2048 threads/SMX.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+//
+// Every binary in bench/ regenerates one table or figure from the paper's
+// evaluation section: it runs the relevant simulated experiment(s) and
+// prints the same rows/series the paper reports. Absolute times differ from
+// the authors' testbed (this is a simulator); the shapes are the claim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "hyperq/harness.hpp"
+#include "hyperq/schedule.hpp"
+#include "rodinia/registry.hpp"
+
+namespace hq::bench {
+
+/// The six heterogeneous pairings of the four ported applications
+/// (paper Figure 4 (a)-(f)).
+struct Pair {
+  std::string x;
+  std::string y;
+  std::string label() const { return "{" + x + ", " + y + "}"; }
+};
+
+inline std::vector<Pair> hetero_pairs() {
+  return {{"gaussian", "nn"},   {"gaussian", "needle"}, {"gaussian", "srad"},
+          {"nn", "needle"},     {"nn", "srad"},         {"needle", "srad"}};
+}
+
+/// Baseline harness configuration for timing studies: paper-size inputs,
+/// timing-only (non-functional) mode, quiet sensor.
+inline fw::HarnessConfig timing_config(int num_streams) {
+  fw::HarnessConfig config;
+  config.num_streams = num_streams;
+  config.functional = false;
+  config.sensor.noise_stddev = 0.0;
+  config.sensor.quantization = 0.0;
+  return config;
+}
+
+/// Runs a heterogeneous pair workload: `na` applications split evenly
+/// between the two types, launched in the given order over `ns` streams.
+inline fw::HarnessResult run_pair(const Pair& pair, int na, int ns,
+                                  fw::Order order = fw::Order::NaiveFifo,
+                                  bool memory_sync = false,
+                                  Bytes chunk_bytes = 0,
+                                  std::uint64_t shuffle_seed = 42,
+                                  const gpu::DeviceSpec* device = nullptr) {
+  fw::HarnessConfig config = timing_config(ns);
+  config.memory_sync = memory_sync;
+  config.transfer_chunk_bytes = chunk_bytes;
+  if (device != nullptr) config.device = *device;
+
+  Rng rng(shuffle_seed);
+  const int counts[] = {na / 2, na - na / 2};
+  const auto schedule = fw::make_schedule(order, counts, &rng);
+  const auto workload = rodinia::build_workload(
+      schedule, {pair.x, pair.y}, {rodinia::AppParams{}, rodinia::AppParams{}});
+  fw::Harness harness(config);
+  return harness.run(workload);
+}
+
+/// Runs a homogeneous workload of `na` copies of one application.
+inline fw::HarnessResult run_homogeneous(const std::string& app, int na,
+                                         int ns, bool memory_sync = false) {
+  fw::HarnessConfig config = timing_config(ns);
+  config.memory_sync = memory_sync;
+  std::vector<fw::WorkloadItem> workload;
+  for (int i = 0; i < na; ++i) {
+    workload.push_back(rodinia::make_app(app));
+  }
+  fw::Harness harness(config);
+  return harness.run(workload);
+}
+
+/// Prints the standard figure header.
+inline void print_header(const std::string& figure, const std::string& what) {
+  std::string bar(78, '=');
+  std::printf("%s\n%s — %s\n%s\n", bar.c_str(), figure.c_str(), what.c_str(),
+              bar.c_str());
+}
+
+}  // namespace hq::bench

@@ -1,0 +1,81 @@
+// Scenario: schedule applications whose combined resource demands
+// oversubscribe the GPU — the case where symbiosis-style schedulers fall
+// back to serialization — and show that the lazy (LEFTOVER) policy still
+// extracts concurrency (paper Sections III-A and V-A, Figure 5).
+//
+// Mixes srad (1024-block kernels, needs ~10 execution waves alone) with
+// needle (tiny wavefront kernels) and prints per-type completion times and
+// device utilization for serialized vs concurrent execution.
+#include <cstdio>
+
+#include "common/table.hpp"
+
+#include "hyperq/harness.hpp"
+#include "hyperq/schedule.hpp"
+#include "rodinia/registry.hpp"
+
+namespace {
+
+hq::fw::HarnessResult run(int num_streams) {
+  using namespace hq;
+  fw::HarnessConfig config;
+  config.num_streams = num_streams;
+  Rng rng(1);
+  const int counts[] = {6, 6};
+  const auto schedule =
+      fw::make_schedule(fw::Order::RoundRobin, counts, &rng);
+  const auto workload =
+      rodinia::build_workload(schedule, {"srad", "needle"}, {{}, {}});
+  return fw::Harness(config).run(workload);
+}
+
+void summarize(const char* label, const hq::fw::HarnessResult& result) {
+  using namespace hq;
+  DurationNs srad_total = 0, needle_total = 0;
+  int srad_count = 0, needle_count = 0;
+  for (const auto& app : result.apps) {
+    const DurationNs turnaround = app.end_time - app.launch_time;
+    if (app.type == "srad") {
+      srad_total += turnaround;
+      ++srad_count;
+    } else {
+      needle_total += turnaround;
+      ++needle_count;
+    }
+  }
+  std::printf("%-22s makespan %-10s  avg srad turnaround %-10s  avg needle "
+              "turnaround %-10s  occupancy %.3f\n",
+              label, format_duration(result.makespan).c_str(),
+              format_duration(srad_total / srad_count).c_str(),
+              format_duration(needle_total / needle_count).c_str(),
+              result.average_occupancy);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hq;
+
+  // Each srad kernel alone requests 1024 thread blocks against the device's
+  // 208-block ceiling; running six srad apps concurrently with six needle
+  // apps oversubscribes massively — and still wins.
+  const auto serial = run(1);
+  const auto concurrent = run(12);
+
+  summarize("serialized (1 stream)", serial);
+  summarize("concurrent (12 streams)", concurrent);
+
+  std::printf("\nimprovement: %s performance, %s energy\n",
+              format_percent(fw::improvement(
+                                 static_cast<double>(serial.makespan),
+                                 static_cast<double>(concurrent.makespan)))
+                  .c_str(),
+              format_percent(fw::improvement(serial.energy_exact,
+                                             concurrent.energy_exact))
+                  .c_str());
+  std::printf("\nresource-sharing schedulers would refuse this overlap (sum "
+              "of requests > device resources); the LEFTOVER policy packs\n"
+              "whatever fits each wave, so needle's tiny kernels ride along "
+              "in srad's leftover capacity.\n");
+  return 0;
+}

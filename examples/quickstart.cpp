@@ -1,0 +1,65 @@
+// Quickstart: run a small heterogeneous workload through the Hyper-Q
+// management framework and print what happened.
+//
+//   $ ./quickstart
+//
+// Walkthrough:
+//   1. pick two ported Rodinia applications (gaussian + needle),
+//   2. build a Round-Robin launch order for 4 copies of each,
+//   3. run them fully concurrent (8 streams) and fully serialized (1
+//      stream) on the simulated Tesla K20,
+//   4. compare makespan and energy, and show the concurrent timeline.
+#include <cstdio>
+
+#include "common/table.hpp"
+
+#include "hyperq/harness.hpp"
+#include "hyperq/metrics.hpp"
+#include "hyperq/schedule.hpp"
+#include "rodinia/registry.hpp"
+#include "trace/ascii_timeline.hpp"
+
+int main() {
+  using namespace hq;
+
+  // 1-2. Workload: X = gaussian, Y = needle, m = n = 4, Round-Robin order
+  // (X1 Y1 X2 Y2 ... — the paper's Figure 3b).
+  Rng rng(1);
+  const int counts[] = {4, 4};
+  const auto schedule = fw::make_schedule(fw::Order::RoundRobin, counts, &rng);
+  const auto workload = rodinia::build_workload(
+      schedule, {"gaussian", "needle"}, {{}, {}});
+
+  // 3. Fully concurrent: one stream per application.
+  fw::HarnessConfig concurrent_cfg;
+  concurrent_cfg.num_streams = 8;
+  fw::Harness concurrent(concurrent_cfg);
+  const auto conc = concurrent.run(workload);
+
+  // ... and fully serialized: everything through one stream.
+  fw::HarnessConfig serial_cfg;
+  serial_cfg.num_streams = 1;
+  fw::Harness serial(serial_cfg);
+  const auto ser = serial.run(workload);
+
+  // 4. Results.
+  std::printf("workload: 4x gaussian + 4x needle (Round-Robin launch order)\n\n");
+  std::printf("serialized (1 stream) : %s, %.2f J\n",
+              format_duration(ser.makespan).c_str(), ser.energy_exact);
+  std::printf("concurrent (8 streams): %s, %.2f J\n",
+              format_duration(conc.makespan).c_str(), conc.energy_exact);
+  std::printf("performance improvement: %s    energy improvement: %s\n\n",
+              format_percent(fw::improvement(
+                                 static_cast<double>(ser.makespan),
+                                 static_cast<double>(conc.makespan)))
+                  .c_str(),
+              format_percent(fw::improvement(ser.energy_exact,
+                                             conc.energy_exact))
+                  .c_str());
+
+  std::printf("concurrent execution timeline:\n");
+  trace::AsciiTimelineOptions opt;
+  opt.width = 100;
+  std::printf("%s", render_ascii_timeline(*conc.trace, opt).c_str());
+  return 0;
+}

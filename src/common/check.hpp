@@ -1,0 +1,51 @@
+// Error type and invariant-checking macros.
+//
+// HQ_CHECK is used for conditions that indicate a programming error in this
+// library or in client code (contract violations); it throws hq::Error so
+// tests can assert on misuse. Simulation-model errors (e.g. device
+// out-of-memory) are reported through module-specific status enums instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hq {
+
+/// Exception thrown on contract violations detected by HQ_CHECK.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HQ_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace hq
+
+/// Always-on contract check; throws hq::Error with location info on failure.
+#define HQ_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::hq::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");     \
+    }                                                                       \
+  } while (false)
+
+/// Contract check with a streamed explanatory message.
+#define HQ_CHECK_MSG(cond, msg_expr)                                        \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream hq_check_os;                                       \
+      hq_check_os << msg_expr;                                              \
+      ::hq::detail::throw_check_failure(#cond, __FILE__, __LINE__,          \
+                                        hq_check_os.str());                 \
+    }                                                                       \
+  } while (false)

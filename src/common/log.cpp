@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace hq {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace hq

@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded, so the logger is
+// intentionally simple: a process-wide level and a stderr sink. Benches and
+// examples raise the level for narrative output; tests keep it at Warn.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hq {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the process-wide minimum level that is emitted.
+void set_log_level(LogLevel level);
+
+/// Current process-wide log level.
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace hq
+
+#define HQ_LOG(level, msg_expr)                                   \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::hq::log_level())) {                    \
+      std::ostringstream hq_log_os;                               \
+      hq_log_os << msg_expr;                                      \
+      ::hq::detail::log_emit(level, hq_log_os.str());             \
+    }                                                             \
+  } while (false)
+
+#define HQ_LOG_DEBUG(msg_expr) HQ_LOG(::hq::LogLevel::Debug, msg_expr)
+#define HQ_LOG_INFO(msg_expr) HQ_LOG(::hq::LogLevel::Info, msg_expr)
+#define HQ_LOG_WARN(msg_expr) HQ_LOG(::hq::LogLevel::Warn, msg_expr)
+#define HQ_LOG_ERROR(msg_expr) HQ_LOG(::hq::LogLevel::Error, msg_expr)

@@ -1,0 +1,63 @@
+// Deterministic random number generation.
+//
+// Standard-library distributions are implementation defined, so every random
+// choice in the project (data generation, schedule shuffling, sensor noise)
+// goes through this generator to guarantee bit-identical results across
+// toolchains. The engine is xoshiro256** seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hq {
+
+/// Deterministic 64-bit PRNG (xoshiro256**, splitmix64 seeding).
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical sequences on all
+  /// platforms.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound), bias-free. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi);
+
+  /// Standard normal deviate (Marsaglia polar method, deterministic).
+  double next_gaussian();
+
+  /// Deterministic Fisher–Yates shuffle (std::shuffle is implementation
+  /// defined, so we provide our own).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each application
+  /// instance its own stream without coupling to sampling order.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace hq

@@ -1,0 +1,57 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hq {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  HQ_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double trapezoid_integral(const std::vector<std::pair<double, double>>& xy) {
+  if (xy.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < xy.size(); ++i) {
+    const double dx = xy[i].first - xy[i - 1].first;
+    acc += dx * 0.5 * (xy[i].second + xy[i - 1].second);
+  }
+  return acc;
+}
+
+}  // namespace hq

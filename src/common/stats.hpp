@@ -1,0 +1,41 @@
+// Small statistics helpers used by metrics and reporting code.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hq {
+
+/// Streaming accumulator for count/mean/min/max/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Linear-interpolated percentile of a sample set; p in [0, 100].
+/// Returns 0 for an empty sample.
+double percentile(std::vector<double> samples, double p);
+
+/// Trapezoidal integral of a sampled series of (x, y) points, in x order.
+/// Returns 0 for fewer than two points.
+double trapezoid_integral(const std::vector<std::pair<double, double>>& xy);
+
+}  // namespace hq

@@ -1,0 +1,33 @@
+#include "common/units.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace hq {
+namespace {
+
+std::string format_scaled(double value, const char* unit) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << value << ' ' << unit;
+  return os.str();
+}
+
+}  // namespace
+
+std::string format_duration(DurationNs ns) {
+  const auto v = static_cast<double>(ns);
+  if (ns >= kSecond) return format_scaled(v / 1e9, "s");
+  if (ns >= kMillisecond) return format_scaled(v / 1e6, "ms");
+  if (ns >= kMicrosecond) return format_scaled(v / 1e3, "us");
+  return format_scaled(v, "ns");
+}
+
+std::string format_bytes(Bytes bytes) {
+  const auto v = static_cast<double>(bytes);
+  if (bytes >= kGiB) return format_scaled(v / static_cast<double>(kGiB), "GiB");
+  if (bytes >= kMiB) return format_scaled(v / static_cast<double>(kMiB), "MiB");
+  if (bytes >= kKiB) return format_scaled(v / static_cast<double>(kKiB), "KiB");
+  return format_scaled(v, "B");
+}
+
+}  // namespace hq

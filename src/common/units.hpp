@@ -1,0 +1,58 @@
+// Units and quantity helpers shared across the simulator and framework.
+//
+// All simulated time is kept in integral nanoseconds (TimeNs / DurationNs) so
+// that event ordering is exact and platform independent; floating point is
+// only used for derived, presentation-level quantities (watts, joules,
+// percentages).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hq {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using TimeNs = std::uint64_t;
+
+/// A span of simulated time in nanoseconds.
+using DurationNs = std::uint64_t;
+
+/// Size of a memory region in bytes.
+using Bytes = std::uint64_t;
+
+/// Instantaneous electrical power in watts.
+using Watts = double;
+
+/// Integrated energy in joules.
+using Joules = double;
+
+inline constexpr DurationNs kMicrosecond = 1'000;
+inline constexpr DurationNs kMillisecond = 1'000'000;
+inline constexpr DurationNs kSecond = 1'000'000'000;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * 1024;
+inline constexpr Bytes kGiB = 1024ull * 1024 * 1024;
+
+/// Converts nanoseconds to seconds for reporting.
+constexpr double to_seconds(DurationNs ns) {
+  return static_cast<double>(ns) / 1e9;
+}
+
+/// Converts nanoseconds to milliseconds for reporting.
+constexpr double to_milliseconds(DurationNs ns) {
+  return static_cast<double>(ns) / 1e6;
+}
+
+/// Converts nanoseconds to microseconds for reporting.
+constexpr double to_microseconds(DurationNs ns) {
+  return static_cast<double>(ns) / 1e3;
+}
+
+/// Renders a duration with an adaptive unit, e.g. "12.34 ms".
+std::string format_duration(DurationNs ns);
+
+/// Renders a byte count with an adaptive unit, e.g. "1.00 MiB".
+std::string format_bytes(Bytes bytes);
+
+}  // namespace hq

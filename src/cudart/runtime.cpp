@@ -1,0 +1,287 @@
+#include "cudart/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hq::rt {
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::Ok: return "Ok";
+    case Status::OutOfMemory: return "OutOfMemory";
+    case Status::InvalidValue: return "InvalidValue";
+    case Status::InvalidHandle: return "InvalidHandle";
+    case Status::InvalidConfiguration: return "InvalidConfiguration";
+    case Status::NotReady: return "NotReady";
+  }
+  return "?";
+}
+
+Runtime::Runtime(sim::Simulator& sim, gpu::Device& device,
+                 RuntimeOptions options)
+    : sim_(sim), device_(device), options_(options) {}
+
+// ----------------------------------------------------------------- memory
+
+Result<DevicePtr> Runtime::malloc_device(Bytes bytes) {
+  if (bytes == 0) return Status::InvalidValue;
+  if (device_bytes_in_use_ + bytes > device_.spec().global_memory) {
+    return Status::OutOfMemory;
+  }
+  const std::uint64_t id = next_device_id_++;
+  Allocation alloc;
+  alloc.data = std::make_unique<std::byte[]>(bytes);  // zero-initialized
+  alloc.size = bytes;
+  device_allocs_.emplace(id, std::move(alloc));
+  device_bytes_in_use_ += bytes;
+  return DevicePtr{id};
+}
+
+Status Runtime::free_device(DevicePtr ptr) {
+  auto it = device_allocs_.find(ptr.id);
+  if (it == device_allocs_.end()) return Status::InvalidHandle;
+  device_bytes_in_use_ -= it->second.size;
+  device_allocs_.erase(it);
+  return Status::Ok;
+}
+
+Result<HostPtr> Runtime::malloc_host(Bytes bytes) {
+  if (bytes == 0) return Status::InvalidValue;
+  const std::uint64_t id = next_host_id_++;
+  Allocation alloc;
+  alloc.data = std::make_unique<std::byte[]>(bytes);
+  alloc.size = bytes;
+  host_allocs_.emplace(id, std::move(alloc));
+  return HostPtr{id};
+}
+
+Status Runtime::free_host(HostPtr ptr) {
+  auto it = host_allocs_.find(ptr.id);
+  if (it == host_allocs_.end()) return Status::InvalidHandle;
+  host_allocs_.erase(it);
+  return Status::Ok;
+}
+
+Runtime::Allocation& Runtime::device_alloc(DevicePtr ptr) {
+  auto it = device_allocs_.find(ptr.id);
+  HQ_CHECK_MSG(it != device_allocs_.end(),
+               "invalid device pointer id=" << ptr.id);
+  return it->second;
+}
+
+Runtime::Allocation& Runtime::host_alloc(HostPtr ptr) {
+  auto it = host_allocs_.find(ptr.id);
+  HQ_CHECK_MSG(it != host_allocs_.end(), "invalid host pointer id=" << ptr.id);
+  return it->second;
+}
+
+std::span<std::byte> Runtime::host_bytes(HostPtr ptr) {
+  Allocation& a = host_alloc(ptr);
+  return {a.data.get(), a.size};
+}
+
+std::span<std::byte> Runtime::device_bytes(DevicePtr ptr) {
+  Allocation& a = device_alloc(ptr);
+  return {a.data.get(), a.size};
+}
+
+// ----------------------------------------------------------------- streams
+
+Stream Runtime::stream_create() { return stream_create_with_priority(0); }
+
+Stream Runtime::stream_create_with_priority(int priority) {
+  const std::int32_t id = next_stream_id_++;
+  streams_.emplace(id, StreamRec{});
+  device_.register_stream(id, priority);
+  return Stream{id};
+}
+
+Status Runtime::stream_destroy(Stream stream) {
+  auto it = streams_.find(stream.id);
+  if (it == streams_.end()) return Status::InvalidHandle;
+  if (it->second.pending > 0) return Status::NotReady;
+  streams_.erase(it);
+  return Status::Ok;
+}
+
+Runtime::StreamRec& Runtime::stream_rec(Stream stream) {
+  auto it = streams_.find(stream.id);
+  HQ_CHECK_MSG(it != streams_.end(), "invalid stream id=" << stream.id);
+  return it->second;
+}
+
+const Runtime::StreamRec& Runtime::stream_rec(Stream stream) const {
+  auto it = streams_.find(stream.id);
+  HQ_CHECK_MSG(it != streams_.end(), "invalid stream id=" << stream.id);
+  return it->second;
+}
+
+bool Runtime::stream_query(Stream stream) const {
+  return stream_rec(stream).pending == 0;
+}
+
+void Runtime::op_submitted(Stream stream) {
+  ++stream_rec(stream).pending;
+  ++total_pending_;
+}
+
+void Runtime::op_completed(Stream stream) {
+  StreamRec& rec = stream_rec(stream);
+  HQ_CHECK(rec.pending > 0);
+  HQ_CHECK(total_pending_ > 0);
+  --rec.pending;
+  --total_pending_;
+  if (rec.pending == 0) {
+    auto waiters = std::move(rec.idle_waiters);
+    rec.idle_waiters.clear();
+    for (auto h : waiters) sim_.schedule(0, [h] { h.resume(); });
+  }
+  if (total_pending_ == 0) {
+    auto waiters = std::move(device_idle_waiters_);
+    device_idle_waiters_.clear();
+    for (auto h : waiters) sim_.schedule(0, [h] { h.resume(); });
+  }
+}
+
+// ----------------------------------------------------------------- ops
+
+Runtime::AsyncSubmit Runtime::memcpy_impl(Stream stream, gpu::CopyDirection dir,
+                                          std::span<std::byte> host_view,
+                                          std::span<std::byte> device_view,
+                                          Bytes bytes, Bytes offset,
+                                          gpu::OpTag tag) {
+  HQ_CHECK_MSG(bytes > 0, "zero-byte memcpy");
+  HQ_CHECK_MSG(offset + bytes <= host_view.size() &&
+                   offset + bytes <= device_view.size(),
+               "memcpy of " << bytes << " bytes at offset " << offset
+                            << " overflows an allocation");
+  host_view = host_view.subspan(offset, bytes);
+  device_view = device_view.subspan(offset, bytes);
+  stream_rec(stream);  // validate the handle eagerly
+
+  std::function<void()> payload;
+  if (options_.functional) {
+    payload = [dir, host_view, device_view, bytes] {
+      if (dir == gpu::CopyDirection::HtoD) {
+        std::memcpy(device_view.data(), host_view.data(), bytes);
+      } else {
+        std::memcpy(host_view.data(), device_view.data(), bytes);
+      }
+    };
+  }
+  // The driver submission overhead modelled by AsyncSubmit is what
+  // interleaves concurrent host threads' entries in the copy queue.
+  return AsyncSubmit{
+      sim_, options_.memcpy_submit_overhead,
+      [this, stream, dir, bytes, payload = std::move(payload),
+       tag = std::move(tag)]() mutable {
+        op_submitted(stream);
+        device_.submit_copy(stream.id,
+                            gpu::CopyRequest{dir, bytes, std::move(payload)},
+                            std::move(tag),
+                            [this, stream] { op_completed(stream); });
+      }};
+}
+
+Runtime::AsyncSubmit Runtime::memcpy_htod_async(Stream stream, DevicePtr dst,
+                                                HostPtr src, Bytes bytes,
+                                                gpu::OpTag tag, Bytes offset) {
+  return memcpy_impl(stream, gpu::CopyDirection::HtoD, host_bytes(src),
+                     device_bytes(dst), bytes, offset, std::move(tag));
+}
+
+Runtime::AsyncSubmit Runtime::memcpy_dtoh_async(Stream stream, HostPtr dst,
+                                                DevicePtr src, Bytes bytes,
+                                                gpu::OpTag tag, Bytes offset) {
+  return memcpy_impl(stream, gpu::CopyDirection::DtoH, host_bytes(dst),
+                     device_bytes(src), bytes, offset, std::move(tag));
+}
+
+Status Runtime::validate_launch(const LaunchConfig& config) const {
+  const gpu::DeviceSpec& spec = device_.spec();
+  const std::uint64_t tpb = config.block.count();
+  if (config.grid.count() == 0 || tpb == 0) return Status::InvalidConfiguration;
+  if (tpb > static_cast<std::uint64_t>(spec.max_threads_per_block)) {
+    return Status::InvalidConfiguration;
+  }
+  if (config.regs_per_thread * tpb > spec.registers_per_smx) {
+    return Status::InvalidConfiguration;
+  }
+  if (config.smem_per_block > spec.shared_mem_per_smx) {
+    return Status::InvalidConfiguration;
+  }
+  return Status::Ok;
+}
+
+Runtime::AsyncSubmit Runtime::launch_kernel(Stream stream, LaunchConfig config,
+                                            gpu::OpTag tag) {
+  const Status status = validate_launch(config);
+  HQ_CHECK_MSG(status == Status::Ok, "invalid launch of '"
+                                         << config.name
+                                         << "': " << status_name(status));
+  stream_rec(stream);  // validate the handle eagerly
+
+  if (tag.label.empty()) tag.label = config.name;
+  gpu::KernelLaunch launch{
+      std::move(config.name),       config.grid,
+      config.block,                 config.regs_per_thread,
+      config.smem_per_block,        config.block_duration,
+      config.contention_sensitivity,
+      options_.functional ? std::move(config.body) : nullptr};
+  return AsyncSubmit{
+      sim_, options_.kernel_submit_overhead,
+      [this, stream, launch = std::move(launch),
+       tag = std::move(tag)]() mutable {
+        op_submitted(stream);
+        device_.submit_kernel(stream.id, std::move(launch), std::move(tag),
+                              [this, stream] { op_completed(stream); });
+      }};
+}
+
+// ----------------------------------------------------------------- events
+
+EventHandle Runtime::event_create() {
+  const std::uint64_t id = next_event_id_++;
+  events_.emplace(id, EventRec{});
+  return EventHandle{id};
+}
+
+void Runtime::event_record(EventHandle event, Stream stream) {
+  auto it = events_.find(event.id);
+  HQ_CHECK_MSG(it != events_.end(), "invalid event id=" << event.id);
+  it->second.recorded = true;
+  it->second.complete = false;
+
+  op_submitted(stream);
+  device_.submit_marker(stream.id, {},
+                        [this, id = event.id, stream] {
+                          auto rec = events_.find(id);
+                          if (rec != events_.end()) {
+                            rec->second.complete = true;
+                            rec->second.time = sim_.now();
+                          }
+                          op_completed(stream);
+                        });
+}
+
+bool Runtime::event_complete(EventHandle event) const {
+  auto it = events_.find(event.id);
+  HQ_CHECK_MSG(it != events_.end(), "invalid event id=" << event.id);
+  return it->second.complete;
+}
+
+TimeNs Runtime::event_time(EventHandle event) const {
+  auto it = events_.find(event.id);
+  HQ_CHECK_MSG(it != events_.end(), "invalid event id=" << event.id);
+  HQ_CHECK_MSG(it->second.complete, "event not complete");
+  return it->second.time;
+}
+
+Status Runtime::event_destroy(EventHandle event) {
+  auto it = events_.find(event.id);
+  if (it == events_.end()) return Status::InvalidHandle;
+  events_.erase(it);
+  return Status::Ok;
+}
+
+}  // namespace hq::rt

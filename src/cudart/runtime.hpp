@@ -1,0 +1,296 @@
+// CUDA-runtime-like host API over the simulated device.
+//
+// This is the API surface the paper's Hyper-Q Management Framework wraps
+// (its Kernel class methods encapsulate cudaMallocHost / cudaMalloc /
+// cudaMemcpyAsync / kernel launches / cudaFree*, Table II). Operations are
+// issued from simulated host threads (hq::sim::Task coroutines); every
+// asynchronous submission costs driver-call time in virtual time, which is
+// what makes concurrent host threads interleave their copy-queue submissions
+// exactly as on real hardware.
+//
+// Memory objects carry a real backing store, so in functional mode transfers
+// move actual bytes and kernels can compute on "device" data; tests verify
+// the ported Rodinia algorithms end to end.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cudart/status.hpp"
+#include "gpusim/device.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace hq::rt {
+
+/// Opaque handle to a device-memory allocation.
+struct DevicePtr {
+  std::uint64_t id = 0;
+  bool null() const { return id == 0; }
+  friend bool operator==(const DevicePtr&, const DevicePtr&) = default;
+};
+
+/// Opaque handle to a pinned host allocation.
+struct HostPtr {
+  std::uint64_t id = 0;
+  bool null() const { return id == 0; }
+  friend bool operator==(const HostPtr&, const HostPtr&) = default;
+};
+
+/// Opaque handle to a stream.
+struct Stream {
+  std::int32_t id = -1;
+  bool valid() const { return id >= 0; }
+  friend bool operator==(const Stream&, const Stream&) = default;
+};
+
+/// Opaque handle to a timing event (cudaEvent analogue).
+struct EventHandle {
+  std::uint64_t id = 0;
+  friend bool operator==(const EventHandle&, const EventHandle&) = default;
+};
+
+/// Kernel launch description at the API level.
+struct LaunchConfig {
+  std::string name;
+  gpu::Dim3 grid;
+  gpu::Dim3 block;
+  std::uint32_t regs_per_thread = 32;
+  Bytes smem_per_block = 0;
+  DurationNs block_duration = kMicrosecond;
+  double contention_sensitivity = 0.0;
+  /// Functional payload executed at kernel completion.
+  std::function<void()> body;
+};
+
+struct RuntimeOptions {
+  /// Host driver overhead charged for an async memcpy submission.
+  DurationNs memcpy_submit_overhead = 5 * kMicrosecond;
+  /// Host driver overhead charged for a kernel launch submission.
+  DurationNs kernel_submit_overhead = 5 * kMicrosecond;
+  /// When false, transfers skip the actual byte movement (timing-only runs).
+  bool functional = true;
+};
+
+/// The runtime. One instance owns all allocations, streams, and events for
+/// one device.
+class Runtime {
+ public:
+  Runtime(sim::Simulator& sim, gpu::Device& device, RuntimeOptions options = {});
+
+  // --- memory management ---------------------------------------------------
+  /// Allocates device global memory; fails with OutOfMemory past capacity
+  /// and InvalidValue for zero bytes.
+  Result<DevicePtr> malloc_device(Bytes bytes);
+  Status free_device(DevicePtr ptr);
+  /// Allocates pinned host memory (cudaMallocHost analogue).
+  Result<HostPtr> malloc_host(Bytes bytes);
+  Status free_host(HostPtr ptr);
+
+  Bytes device_bytes_in_use() const { return device_bytes_in_use_; }
+  std::size_t device_allocation_count() const { return device_allocs_.size(); }
+  std::size_t host_allocation_count() const { return host_allocs_.size(); }
+
+  /// Raw access to backing stores (functional mode).
+  std::span<std::byte> host_bytes(HostPtr ptr);
+  std::span<std::byte> device_bytes(DevicePtr ptr);
+
+  /// Typed views; size must divide evenly.
+  template <typename T>
+  std::span<T> host_as(HostPtr ptr) {
+    return typed_span<T>(host_bytes(ptr));
+  }
+  template <typename T>
+  std::span<T> device_as(DevicePtr ptr) {
+    return typed_span<T>(device_bytes(ptr));
+  }
+
+  // --- streams -------------------------------------------------------------
+  Stream stream_create();
+  /// cudaStreamCreateWithPriority analogue (CC 3.5 feature): lower value =
+  /// higher priority. The device clamps nothing; any int is accepted.
+  Stream stream_create_with_priority(int priority);
+  /// Destroys an idle stream; returns NotReady if work is still pending.
+  Status stream_destroy(Stream stream);
+  std::size_t stream_count() const { return streams_.size(); }
+
+  // --- asynchronous operations (awaitable submissions) ----------------------
+  //
+  // These return lightweight awaitables rather than sim::Task coroutines:
+  // the awaiter object carries the submission closure and lives in the
+  // calling coroutine's frame for the duration of the co_await expression.
+  // (This also sidesteps GCC 12.2's double-destruction of non-trivially-
+  // destructible coroutine parameters; see sim/task.hpp.)
+
+  /// Awaitable submission: suspends the calling task for the driver
+  /// overhead, then performs the enqueue. Must be co_awaited exactly once,
+  /// and only as a *named local*:
+  ///
+  ///   auto op = rt.launch_kernel(stream, cfg);
+  ///   co_await op;
+  ///
+  /// Awaiting the temporary directly (`co_await rt.launch_kernel(...)`) is
+  /// disabled on purpose: GCC 12.2 miscompiles non-trivially-destructible
+  /// temporaries inside co_await full-expressions (frame-slot reuse causing
+  /// double destruction; see sim/task.hpp). The two-statement form keeps all
+  /// non-trivial temporaries out of the co_await expression.
+  class [[nodiscard]] AsyncSubmit {
+   public:
+    AsyncSubmit(sim::Simulator& sim, DurationNs overhead,
+                std::function<void()> enqueue)
+        : sim_(sim), overhead_(overhead), enqueue_(std::move(enqueue)) {}
+
+    auto operator co_await() & noexcept {
+      struct Awaiter {
+        AsyncSubmit& op;
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h) const {
+          // `op` is a named local in the caller's frame; it stays valid
+          // across the suspension.
+          op.sim_.schedule(op.overhead_, [&op = op, h] {
+            op.enqueue_();
+            h.resume();
+          });
+        }
+        void await_resume() const noexcept {}
+      };
+      return Awaiter{*this};
+    }
+    /// Deleted: bind the submission to a named local first (see above).
+    auto operator co_await() && noexcept = delete;
+
+   private:
+    sim::Simulator& sim_;
+    DurationNs overhead_;
+    std::function<void()> enqueue_;
+  };
+
+  /// Awaitable that suspends until a stream drains.
+  class [[nodiscard]] StreamIdle {
+   public:
+    StreamIdle(Runtime& rt, Stream stream) : rt_(rt), stream_(stream) {}
+    bool await_ready() const { return rt_.stream_rec(stream_).pending == 0; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      rt_.stream_rec(stream_).idle_waiters.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Runtime& rt_;
+    Stream stream_;
+  };
+
+  /// Awaitable that suspends until the whole device drains.
+  class [[nodiscard]] DeviceIdle {
+   public:
+    explicit DeviceIdle(Runtime& rt) : rt_(rt) {}
+    bool await_ready() const { return rt_.total_pending_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      rt_.device_idle_waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Runtime& rt_;
+  };
+
+  /// Validates a launch configuration against device limits.
+  Status validate_launch(const LaunchConfig& config) const;
+
+  /// Submits an async host-to-device copy of `bytes` from `src` to `dst`,
+  /// starting `offset` bytes into both allocations. The awaitable completes
+  /// when the *submission* is done (driver overhead elapsed); the copy
+  /// itself completes in stream order. Handles and sizes are validated
+  /// eagerly (throws hq::Error on misuse).
+  AsyncSubmit memcpy_htod_async(Stream stream, DevicePtr dst, HostPtr src,
+                                Bytes bytes, gpu::OpTag tag = {},
+                                Bytes offset = 0);
+  /// Submits an async device-to-host copy.
+  AsyncSubmit memcpy_dtoh_async(Stream stream, HostPtr dst, DevicePtr src,
+                                Bytes bytes, gpu::OpTag tag = {},
+                                Bytes offset = 0);
+  /// Submits a kernel launch; throws hq::Error on an invalid configuration
+  /// (use validate_launch for a non-throwing check).
+  AsyncSubmit launch_kernel(Stream stream, LaunchConfig config,
+                            gpu::OpTag tag = {});
+
+  // --- synchronization -------------------------------------------------------
+  /// Suspends until every operation submitted to the stream has completed.
+  StreamIdle stream_synchronize(Stream stream) { return {*this, stream}; }
+  /// Suspends until all streams are idle.
+  DeviceIdle device_synchronize() { return DeviceIdle{*this}; }
+
+  /// True when the stream has no pending operations.
+  bool stream_query(Stream stream) const;
+
+  // --- events ----------------------------------------------------------------
+  EventHandle event_create();
+  /// Records the event on a stream: it captures the virtual time at which
+  /// all prior work on the stream has finished. Submission is immediate.
+  void event_record(EventHandle event, Stream stream);
+  /// True once a recorded event has triggered.
+  bool event_complete(EventHandle event) const;
+  /// Completion time of a triggered event; throws if not yet complete.
+  TimeNs event_time(EventHandle event) const;
+  Status event_destroy(EventHandle event);
+
+  gpu::Device& device() { return device_; }
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  struct Allocation {
+    std::unique_ptr<std::byte[]> data;
+    Bytes size = 0;
+  };
+  struct StreamRec {
+    std::uint64_t pending = 0;
+    std::vector<std::coroutine_handle<>> idle_waiters;
+    bool alive = true;
+  };
+  struct EventRec {
+    bool recorded = false;
+    bool complete = false;
+    TimeNs time = 0;
+  };
+
+  template <typename T>
+  static std::span<T> typed_span(std::span<std::byte> raw) {
+    HQ_CHECK_MSG(raw.size() % sizeof(T) == 0,
+                 "allocation size not a multiple of element size");
+    return std::span<T>(reinterpret_cast<T*>(raw.data()),
+                        raw.size() / sizeof(T));
+  }
+
+  StreamRec& stream_rec(Stream stream);
+  const StreamRec& stream_rec(Stream stream) const;
+  Allocation& device_alloc(DevicePtr ptr);
+  Allocation& host_alloc(HostPtr ptr);
+  void op_submitted(Stream stream);
+  void op_completed(Stream stream);
+  AsyncSubmit memcpy_impl(Stream stream, gpu::CopyDirection dir,
+                          std::span<std::byte> host_view,
+                          std::span<std::byte> device_view, Bytes bytes,
+                          Bytes offset, gpu::OpTag tag);
+
+  sim::Simulator& sim_;
+  gpu::Device& device_;
+  RuntimeOptions options_;
+
+  std::unordered_map<std::uint64_t, Allocation> device_allocs_;
+  std::unordered_map<std::uint64_t, Allocation> host_allocs_;
+  std::unordered_map<std::int32_t, StreamRec> streams_;
+  std::unordered_map<std::uint64_t, EventRec> events_;
+  std::uint64_t next_device_id_ = 1;
+  std::uint64_t next_host_id_ = 1;
+  std::int32_t next_stream_id_ = 0;
+  std::uint64_t next_event_id_ = 1;
+  Bytes device_bytes_in_use_ = 0;
+
+  std::uint64_t total_pending_ = 0;
+  std::vector<std::coroutine_handle<>> device_idle_waiters_;
+};
+
+}  // namespace hq::rt

@@ -1,0 +1,55 @@
+// Status codes and a small expected-like result type for the runtime API.
+//
+// Mirrors the split in real CUDA: environment/model outcomes (out of memory,
+// invalid launch configuration) are reported as status codes, while API
+// contract violations (use of a destroyed handle) throw hq::Error.
+#pragma once
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace hq::rt {
+
+enum class Status {
+  Ok,
+  OutOfMemory,
+  InvalidValue,
+  InvalidHandle,
+  InvalidConfiguration,
+  NotReady,
+};
+
+const char* status_name(Status status);
+
+/// Value-or-status. Accessing value() on a failed result throws.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::Ok), value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(status) {  // NOLINT(google-explicit-constructor)
+    HQ_CHECK_MSG(status != Status::Ok, "Ok result requires a value");
+  }
+
+  bool ok() const { return status_ == Status::Ok; }
+  Status status() const { return status_; }
+
+  const T& value() const& {
+    HQ_CHECK_MSG(ok(), "value() on failed result: " << status_name(status_));
+    return value_;
+  }
+  T& value() & {
+    HQ_CHECK_MSG(ok(), "value() on failed result: " << status_name(status_));
+    return value_;
+  }
+  T&& value() && {
+    HQ_CHECK_MSG(ok(), "value() on failed result: " << status_name(status_));
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace hq::rt

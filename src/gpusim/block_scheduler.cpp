@@ -1,0 +1,161 @@
+#include "gpusim/block_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hq::gpu {
+
+BlockScheduler::BlockScheduler(
+    sim::Simulator& sim, const DeviceSpec& spec,
+    std::function<void()> pre_state_change,
+    std::function<void(const KernelExec&)> on_kernel_complete)
+    : sim_(sim),
+      spec_(spec),
+      pre_state_change_(std::move(pre_state_change)),
+      on_kernel_complete_(std::move(on_kernel_complete)) {
+  HQ_CHECK(pre_state_change_ != nullptr);
+  HQ_CHECK(on_kernel_complete_ != nullptr);
+  smxs_.reserve(static_cast<std::size_t>(spec_.num_smx));
+  for (int i = 0; i < spec_.num_smx; ++i) {
+    smxs_.emplace_back(spec_, i);
+  }
+}
+
+double BlockScheduler::thread_occupancy() const {
+  return static_cast<double>(resident_threads_) /
+         static_cast<double>(spec_.max_resident_threads());
+}
+
+void BlockScheduler::dispatch(std::unique_ptr<KernelExec> exec) {
+  HQ_CHECK(exec != nullptr);
+  const KernelLaunch& l = exec->launch;
+  exec->demand = BlockDemand{
+      static_cast<int>(l.block.count()),
+      l.regs_per_thread * static_cast<std::uint32_t>(l.block.count()),
+      l.smem_per_block};
+  // The runtime validates launch configurations; these are hard invariants
+  // by the time a kernel reaches the hardware model.
+  HQ_CHECK_MSG(l.grid.count() >= 1, "kernel '" << l.name << "' has empty grid");
+  HQ_CHECK_MSG(exec->demand.threads <= spec_.max_threads_per_block,
+               "kernel '" << l.name << "' exceeds threads-per-block limit");
+  HQ_CHECK(exec->demand.threads <= spec_.max_threads_per_smx);
+  HQ_CHECK(exec->demand.registers <= spec_.registers_per_smx);
+  HQ_CHECK(exec->demand.shared_mem <= spec_.shared_mem_per_smx);
+
+  exec->blocks_total = l.grid.count();
+  exec->blocks_to_place = exec->blocks_total;
+  exec->blocks_outstanding = 0;
+  exec->dispatch_time = sim_.now();
+
+  KernelExec* raw = exec.get();
+  owned_.push_back(std::move(exec));
+  ++in_flight_;
+  // Insert in (priority, dispatch order): a higher-priority (numerically
+  // lower) kernel places its remaining blocks ahead of waiting
+  // lower-priority kernels, but never preempts blocks already resident.
+  auto pos = pending_.end();
+  while (pos != pending_.begin() && (*(pos - 1))->priority > raw->priority) {
+    --pos;
+  }
+  pending_.insert(pos, raw);
+  pump();
+}
+
+void BlockScheduler::pump() {
+  if (pumping_) {
+    repump_ = true;
+    return;
+  }
+  pumping_ = true;
+  do {
+    repump_ = false;
+    while (!pending_.empty()) {
+      KernelExec* head = pending_.front();
+      place_blocks(*head);
+      if (head->fully_placed()) {
+        // LEFTOVER: only once the oldest kernel has all blocks assigned may
+        // the next kernel's blocks fill the remaining capacity.
+        pending_.pop_front();
+        continue;
+      }
+      break;  // strict dispatch order: never skip past a waiting kernel
+    }
+  } while (repump_);
+  pumping_ = false;
+}
+
+std::uint64_t BlockScheduler::place_blocks(KernelExec& exec) {
+  std::uint64_t placed_total = 0;
+  while (exec.blocks_to_place > 0) {
+    // Pick the SMX with the most free capacity for this demand (spreads
+    // blocks across SMXs the way the hardware distributor does).
+    int best = -1;
+    int best_fit = 0;
+    for (const Smx& smx : smxs_) {
+      const int fit = smx.fit_count(exec.demand);
+      if (fit > best_fit) {
+        best_fit = fit;
+        best = smx.index();
+      }
+    }
+    if (best < 0) break;
+
+    const int n = static_cast<int>(std::min<std::uint64_t>(
+        exec.blocks_to_place, static_cast<std::uint64_t>(best_fit)));
+    // Memory-contention model: blocks placed into a busier device run
+    // slower; evaluated before this batch occupies its resources.
+    const double occupancy_before = thread_occupancy();
+    const auto duration = static_cast<DurationNs>(
+        static_cast<double>(exec.launch.block_duration) *
+        (1.0 + exec.launch.contention_sensitivity * occupancy_before));
+
+    pre_state_change_();
+    smxs_[static_cast<std::size_t>(best)].occupy(exec.demand, n);
+    resident_blocks_ += n;
+    resident_threads_ += exec.demand.threads * n;
+
+    // A "wave" is a distinct placement instant; batches placed onto several
+    // SMXs at the same virtual time belong to one wave.
+    if (exec.waves == 0) {
+      exec.first_block_time = sim_.now();
+      exec.waves = 1;
+    } else if (sim_.now() != exec.last_place_time) {
+      ++exec.waves;
+    }
+    exec.last_place_time = sim_.now();
+    exec.blocks_to_place -= static_cast<std::uint64_t>(n);
+    exec.blocks_outstanding += static_cast<std::uint64_t>(n);
+    placed_total += static_cast<std::uint64_t>(n);
+
+    KernelExec* raw = &exec;
+    sim_.schedule(duration,
+                  [this, raw, best, n] { on_blocks_complete(raw, best, n); });
+  }
+  return placed_total;
+}
+
+void BlockScheduler::on_blocks_complete(KernelExec* exec, int smx_index,
+                                        int count) {
+  pre_state_change_();
+  smxs_[static_cast<std::size_t>(smx_index)].release(exec->demand, count);
+  resident_blocks_ -= count;
+  resident_threads_ -= exec->demand.threads * count;
+  HQ_CHECK(exec->blocks_outstanding >= static_cast<std::uint64_t>(count));
+  exec->blocks_outstanding -= static_cast<std::uint64_t>(count);
+
+  if (exec->complete()) {
+    exec->complete_time = sim_.now();
+    if (exec->launch.payload) exec->launch.payload();
+    --in_flight_;
+    on_kernel_complete_(*exec);
+    auto it = std::find_if(
+        owned_.begin(), owned_.end(),
+        [exec](const std::unique_ptr<KernelExec>& p) { return p.get() == exec; });
+    HQ_CHECK(it != owned_.end());
+    owned_.erase(it);
+  }
+  pump();
+}
+
+}  // namespace hq::gpu

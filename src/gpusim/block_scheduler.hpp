@@ -1,0 +1,102 @@
+// Device-side thread-block scheduler implementing the LEFTOVER (lazy) policy.
+//
+// Dispatched kernels wait in dispatch order. Whenever resources free up, the
+// scheduler places thread blocks of the *oldest* incompletely-placed kernel
+// onto SMXs until a resource is exhausted; it never reorders kernels or skips
+// ahead. This is the hardware behaviour the paper relies on (Section III-A):
+// a kernel needing more blocks than fit simply executes in multiple waves,
+// and leftover capacity in any wave is filled with blocks from the next
+// kernels in dispatch order — which is how five kernels totalling more than
+// 208 blocks end up co-resident in Figure 5.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpusim/smx.hpp"
+#include "gpusim/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace hq::gpu {
+
+/// Execution state of one dispatched kernel.
+struct KernelExec {
+  OpId op_id = 0;
+  StreamId stream = 0;
+  /// Stream priority (CUDA convention: lower value = higher priority, 0 =
+  /// default). Affects the order pending kernels place blocks, without
+  /// preempting resident blocks — the Kepler CC 3.5 semantics.
+  int priority = 0;
+  OpTag tag;
+  KernelLaunch launch;
+  BlockDemand demand;
+
+  std::uint64_t blocks_total = 0;
+  std::uint64_t blocks_to_place = 0;   ///< not yet assigned to an SMX
+  std::uint64_t blocks_outstanding = 0;  ///< assigned, not yet completed
+
+  TimeNs dispatch_time = 0;
+  TimeNs first_block_time = 0;
+  TimeNs complete_time = 0;
+  TimeNs last_place_time = 0;
+  /// Number of distinct placement instants (execution rounds / waves).
+  int waves = 0;
+
+  bool fully_placed() const { return blocks_to_place == 0; }
+  bool complete() const { return fully_placed() && blocks_outstanding == 0; }
+};
+
+/// Packs thread blocks onto SMXs in dispatch order (LEFTOVER policy) and
+/// schedules their completion in virtual time. Block completions are grouped
+/// per (kernel, SMX, placement instant), so cost scales with waves rather
+/// than with individual blocks.
+class BlockScheduler {
+ public:
+  /// `pre_state_change` runs immediately before any occupancy mutation (used
+  /// by the device's power/energy integrator); `on_kernel_complete` fires
+  /// when a kernel's last block finishes.
+  BlockScheduler(sim::Simulator& sim, const DeviceSpec& spec,
+                 std::function<void()> pre_state_change,
+                 std::function<void(const KernelExec&)> on_kernel_complete);
+
+  /// Accepts a kernel for execution; takes ownership. Placement is attempted
+  /// immediately (same virtual instant).
+  void dispatch(std::unique_ptr<KernelExec> exec);
+
+  // --- occupancy introspection -------------------------------------------
+  int resident_blocks() const { return resident_blocks_; }
+  int resident_threads() const { return resident_threads_; }
+  /// Fraction of the device's thread capacity currently occupied, in [0,1].
+  double thread_occupancy() const;
+  /// Kernels dispatched but not yet complete.
+  std::size_t kernels_in_flight() const { return in_flight_; }
+  const std::vector<Smx>& smxs() const { return smxs_; }
+
+ private:
+  void pump();
+  /// Places as many blocks of `exec` as currently fit; returns blocks placed.
+  std::uint64_t place_blocks(KernelExec& exec);
+  void on_blocks_complete(KernelExec* exec, int smx_index, int count);
+
+  sim::Simulator& sim_;
+  const DeviceSpec& spec_;
+  std::function<void()> pre_state_change_;
+  std::function<void(const KernelExec&)> on_kernel_complete_;
+
+  std::vector<Smx> smxs_;
+  /// Kernels with unplaced blocks, in dispatch order (front = oldest).
+  std::deque<KernelExec*> pending_;
+  /// Owning store for all in-flight kernels.
+  std::vector<std::unique_ptr<KernelExec>> owned_;
+  std::size_t in_flight_ = 0;
+
+  int resident_blocks_ = 0;
+  int resident_threads_ = 0;
+  bool pumping_ = false;
+  bool repump_ = false;
+};
+
+}  // namespace hq::gpu

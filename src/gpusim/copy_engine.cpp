@@ -1,0 +1,60 @@
+#include "gpusim/copy_engine.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hq::gpu {
+
+CopyEngine::CopyEngine(sim::Simulator& sim, CopyDirection direction,
+                       double bytes_per_sec, DurationNs overhead,
+                       std::function<void()> pre_state_change)
+    : sim_(sim),
+      direction_(direction),
+      bytes_per_sec_(bytes_per_sec),
+      overhead_(overhead),
+      pre_state_change_(std::move(pre_state_change)) {
+  HQ_CHECK(bytes_per_sec_ > 0);
+  HQ_CHECK(pre_state_change_ != nullptr);
+}
+
+DurationNs CopyEngine::service_time(Bytes bytes) const {
+  const double transfer_ns =
+      static_cast<double>(bytes) / bytes_per_sec_ * 1e9;
+  return overhead_ + static_cast<DurationNs>(std::ceil(transfer_ns));
+}
+
+void CopyEngine::enqueue(Transaction txn) {
+  HQ_CHECK(txn.ready != nullptr);
+  HQ_CHECK(txn.on_served != nullptr);
+  queue_.push_back(std::move(txn));
+  pump();
+}
+
+void CopyEngine::pump() {
+  if (busy_ || queue_.empty()) return;
+  // Head-of-line blocking: only the queue head is ever examined, exactly
+  // like the hardware copy queue.
+  if (!queue_.front().ready()) return;
+  begin_service();
+}
+
+void CopyEngine::begin_service() {
+  Transaction txn = std::move(queue_.front());
+  queue_.pop_front();
+
+  pre_state_change_();
+  busy_ = true;
+  const TimeNs begin = sim_.now();
+  const DurationNs dur = service_time(txn.bytes);
+  sim_.schedule(dur, [this, txn = std::move(txn), begin] {
+    pre_state_change_();
+    busy_ = false;
+    bytes_transferred_ += txn.bytes;
+    ++transactions_served_;
+    txn.on_served(begin, sim_.now());
+    pump();
+  });
+}
+
+}  // namespace hq::gpu

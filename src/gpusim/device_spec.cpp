@@ -1,0 +1,31 @@
+#include "gpusim/device_spec.hpp"
+
+#include <sstream>
+
+#include "gpusim/types.hpp"
+
+namespace hq::gpu {
+
+std::string to_string(const Dim3& d) {
+  std::ostringstream os;
+  os << "(" << d.x << ", " << d.y << ", " << d.z << ")";
+  return os.str();
+}
+
+DeviceSpec DeviceSpec::tesla_k20() { return DeviceSpec{}; }
+
+DeviceSpec DeviceSpec::fermi_single_queue() {
+  DeviceSpec spec;
+  spec.name = "Simulated Fermi-mode (single work queue)";
+  spec.num_work_queues = 1;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::single_copy_engine() {
+  DeviceSpec spec;
+  spec.name = "Simulated single-copy-engine mode";
+  spec.num_copy_engines = 1;
+  return spec;
+}
+
+}  // namespace hq::gpu

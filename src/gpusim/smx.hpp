@@ -1,0 +1,93 @@
+// Per-SMX resource accounting.
+//
+// An SMX (Kepler streaming multiprocessor) holds a limited number of
+// co-resident thread blocks, bounded by four independent resources: block
+// slots, threads, registers and shared memory. The block scheduler packs
+// blocks onto SMXs until one of these is exhausted (the LEFTOVER policy).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace hq::gpu {
+
+/// Resource demand of a single thread block.
+struct BlockDemand {
+  int threads = 0;
+  std::uint32_t registers = 0;
+  Bytes shared_mem = 0;
+};
+
+/// One streaming multiprocessor's occupancy state.
+class Smx {
+ public:
+  Smx(const DeviceSpec& spec, int index)
+      : index_(index),
+        max_blocks_(spec.max_blocks_per_smx),
+        max_threads_(spec.max_threads_per_smx),
+        max_registers_(spec.registers_per_smx),
+        max_shared_mem_(spec.shared_mem_per_smx) {}
+
+  int index() const { return index_; }
+  int used_blocks() const { return used_blocks_; }
+  int used_threads() const { return used_threads_; }
+  int free_blocks() const { return max_blocks_ - used_blocks_; }
+  int free_threads() const { return max_threads_ - used_threads_; }
+  std::uint32_t free_registers() const { return max_registers_ - used_registers_; }
+  Bytes free_shared_mem() const { return max_shared_mem_ - used_shared_mem_; }
+
+  /// How many blocks of the given demand fit right now (0 if none).
+  int fit_count(const BlockDemand& d) const {
+    int n = free_blocks();
+    if (d.threads > 0) n = std::min(n, free_threads() / d.threads);
+    if (d.registers > 0) {
+      n = std::min(n, static_cast<int>(free_registers() / d.registers));
+    }
+    if (d.shared_mem > 0) {
+      n = std::min(n, static_cast<int>(free_shared_mem() / d.shared_mem));
+    }
+    return std::max(n, 0);
+  }
+
+  /// Claims resources for n blocks; caller must have verified fit_count.
+  void occupy(const BlockDemand& d, int n) {
+    HQ_CHECK_MSG(n >= 0 && n <= fit_count(d),
+                 "SMX " << index_ << " cannot hold " << n << " more blocks");
+    used_blocks_ += n;
+    used_threads_ += d.threads * n;
+    used_registers_ += d.registers * static_cast<std::uint32_t>(n);
+    used_shared_mem_ += d.shared_mem * static_cast<Bytes>(n);
+  }
+
+  /// Returns resources of n completed blocks.
+  void release(const BlockDemand& d, int n) {
+    HQ_CHECK(n >= 0 && n <= used_blocks_);
+    used_blocks_ -= n;
+    used_threads_ -= d.threads * n;
+    HQ_CHECK(used_threads_ >= 0);
+    const auto regs = d.registers * static_cast<std::uint32_t>(n);
+    HQ_CHECK(regs <= used_registers_);
+    used_registers_ -= regs;
+    const auto smem = d.shared_mem * static_cast<Bytes>(n);
+    HQ_CHECK(smem <= used_shared_mem_);
+    used_shared_mem_ -= smem;
+  }
+
+ private:
+  int index_;
+  int max_blocks_;
+  int max_threads_;
+  std::uint32_t max_registers_;
+  Bytes max_shared_mem_;
+
+  int used_blocks_ = 0;
+  int used_threads_ = 0;
+  std::uint32_t used_registers_ = 0;
+  Bytes used_shared_mem_ = 0;
+};
+
+}  // namespace hq::gpu

@@ -1,0 +1,76 @@
+// Fundamental types shared across the GPU device model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace hq::gpu {
+
+/// CUDA-style 3-component extent for grids and blocks.
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  constexpr std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+  friend bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// Renders "(x, y, z)" like the paper's Table III.
+std::string to_string(const Dim3& d);
+
+/// Host-visible stream identifier. Streams are created by the runtime and
+/// registered with the device, which maps them onto hardware work queues.
+using StreamId = std::int32_t;
+
+/// Monotonic identifier for submitted operations.
+using OpId = std::uint64_t;
+
+enum class CopyDirection : std::uint8_t { HtoD, DtoH };
+
+inline const char* copy_direction_name(CopyDirection dir) {
+  return dir == CopyDirection::HtoD ? "HtoD" : "DtoH";
+}
+
+/// Attribution carried by every submitted operation, used for traces and the
+/// effective-memory-transfer-latency metric.
+struct OpTag {
+  std::int32_t app_id = -1;
+  std::string label;
+};
+
+/// Description of one kernel launch as seen by the hardware model.
+struct KernelLaunch {
+  std::string name;
+  Dim3 grid;
+  Dim3 block;
+  /// Register demand per thread; one SMX holds 65536 registers on CC 3.5.
+  std::uint32_t regs_per_thread = 32;
+  /// Static + dynamic shared memory per thread block.
+  Bytes smem_per_block = 0;
+  /// Calibrated execution cost of one thread block at low occupancy.
+  DurationNs block_duration = kMicrosecond;
+  /// Slowdown per unit of device thread occupancy, modelling memory-bandwidth
+  /// contention between co-resident blocks: effective duration is
+  /// block_duration * (1 + contention_sensitivity * occupancy).
+  double contention_sensitivity = 0.0;
+  /// Optional functional payload executed once, when the kernel completes
+  /// (used to run the real algorithm in functional mode).
+  std::function<void()> payload;
+};
+
+/// Description of one DMA transaction.
+struct CopyRequest {
+  CopyDirection direction = CopyDirection::HtoD;
+  Bytes bytes = 0;
+  /// Optional functional payload that performs the actual byte movement;
+  /// executed when the transfer completes.
+  std::function<void()> payload;
+};
+
+}  // namespace hq::gpu

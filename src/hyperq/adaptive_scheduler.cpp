@@ -1,0 +1,57 @@
+#include "hyperq/adaptive_scheduler.hpp"
+
+#include "common/check.hpp"
+
+namespace hq::fw {
+
+AdaptiveScheduler::Outcome AdaptiveScheduler::optimize(
+    std::span<const int> counts, const Evaluator& evaluate) {
+  HQ_CHECK(evaluate != nullptr);
+  HQ_CHECK_MSG(options_.evaluation_budget >= 5,
+               "budget must cover the five canonical orders");
+
+  Rng rng(options_.seed);
+  Outcome outcome;
+
+  // Phase 1: the paper's five canonical orders.
+  bool first = true;
+  for (Order order : kAllOrders) {
+    auto schedule = make_schedule(order, counts, &rng);
+    const double score = evaluate(schedule);
+    ++outcome.evaluations;
+    if (first || score < outcome.best_score) {
+      outcome.best_score = score;
+      outcome.best_schedule = schedule;
+    }
+    if (first || score < outcome.best_canonical_score) {
+      outcome.best_canonical_score = score;
+      outcome.best_canonical = order;
+    }
+    first = false;
+    outcome.history.push_back(outcome.best_score);
+  }
+
+  // Phase 2: pairwise-swap hill climbing from the incumbent.
+  std::vector<Slot> candidate = outcome.best_schedule;
+  while (outcome.evaluations < options_.evaluation_budget &&
+         candidate.size() >= 2) {
+    const std::size_t i = static_cast<std::size_t>(
+        rng.next_below(candidate.size()));
+    std::size_t j = static_cast<std::size_t>(rng.next_below(candidate.size()));
+    if (i == j) j = (j + 1) % candidate.size();
+    std::swap(candidate[i], candidate[j]);
+
+    const double score = evaluate(candidate);
+    ++outcome.evaluations;
+    if (score < outcome.best_score) {
+      outcome.best_score = score;
+      outcome.best_schedule = candidate;
+    } else {
+      std::swap(candidate[i], candidate[j]);  // revert
+    }
+    outcome.history.push_back(outcome.best_score);
+  }
+  return outcome;
+}
+
+}  // namespace hq::fw

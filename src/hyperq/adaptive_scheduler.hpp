@@ -1,0 +1,57 @@
+// Adaptive schedule search (the paper's envisioned future-work Scheduler
+// class, Section III-E / VI: "a separate Scheduler class ... which can
+// dynamically modify the schedule and adjust queue orders to optimize on
+// different objectives", "learning algorithms capable of proposing dynamic
+// reordering of the task queue").
+//
+// The search is a deterministic stochastic local search over launch orders:
+// it scores the five canonical orderings first, then spends the remaining
+// evaluation budget on random pairwise swaps of the incumbent (accepting
+// improvements). The objective is a caller-provided evaluator — typically a
+// full simulated harness run returning makespan or energy — so the same
+// optimizer serves both of the paper's optimization targets.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hyperq/schedule.hpp"
+
+namespace hq::fw {
+
+class AdaptiveScheduler {
+ public:
+  struct Options {
+    /// Total number of schedule evaluations (>= 5; the canonical orders are
+    /// always scored first).
+    int evaluation_budget = 25;
+    std::uint64_t seed = 1;
+  };
+
+  /// Scores a schedule; lower is better (e.g. makespan in ns, energy in J).
+  using Evaluator = std::function<double(const std::vector<Slot>&)>;
+
+  struct Outcome {
+    std::vector<Slot> best_schedule;
+    double best_score = 0.0;
+    /// Best canonical order (the paper's five), for comparison.
+    Order best_canonical = Order::NaiveFifo;
+    double best_canonical_score = 0.0;
+    int evaluations = 0;
+    /// Best-so-far score after each evaluation (monotone non-increasing).
+    std::vector<double> history;
+  };
+
+  AdaptiveScheduler() = default;
+  explicit AdaptiveScheduler(Options options) : options_(options) {}
+
+  /// Searches launch orders for `counts[t]` instances of each type.
+  Outcome optimize(std::span<const int> counts, const Evaluator& evaluate);
+
+ private:
+  Options options_{};
+};
+
+}  // namespace hq::fw

@@ -1,0 +1,220 @@
+#include "hyperq/harness.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hq::fw {
+
+/// Everything a run's coroutines need, gathered behind one trivially-
+/// destructible pointer (see the coroutine parameter rule in sim/task.hpp).
+struct Harness::RunState {
+  const HarnessConfig* config = nullptr;
+  sim::Simulator* sim = nullptr;
+  gpu::Device* device = nullptr;
+  rt::Runtime* runtime = nullptr;
+  trace::Recorder* recorder = nullptr;
+  StreamManager* manager = nullptr;
+  sim::Mutex* htod_lock = nullptr;
+  PowerMonitor* monitor = nullptr;
+  sim::CountdownLatch* latch = nullptr;
+  std::vector<std::unique_ptr<Kernel>>* apps = nullptr;
+  std::vector<Context>* contexts = nullptr;
+  std::vector<AppMetrics>* metrics = nullptr;
+
+  TimeNs phase_begin = 0;
+  TimeNs phase_end = 0;
+  Joules energy_begin = 0;
+  Joules energy_end = 0;
+  double occupancy_begin = 0;
+  double occupancy_end = 0;
+  /// Conjunction of verify() results, evaluated before buffers are freed.
+  bool all_verified = true;
+};
+
+sim::Task Harness::child_task(RunState* st, int index) {
+  Kernel* app = (*st->apps)[static_cast<std::size_t>(index)].get();
+  Context& ctx = (*st->contexts)[static_cast<std::size_t>(index)];
+  AppMetrics& metrics = (*st->metrics)[static_cast<std::size_t>(index)];
+
+  // Streams are assigned dynamically, in launch order (Section III-C: "we
+  // create an independent thread for each application, and dynamically
+  // assign GPU streams to these threads as they are needed").
+  ctx.stream = st->manager->acquire();
+
+  if (st->config->memory_sync) {
+    // Section III-B: a mutex around the entire HtoD transfer stage gives a
+    // pseudo-burst transfer — all of this application's transfers complete
+    // before another application takes control of the copy queue.
+    const TimeNs requested = st->sim->now();
+    auto guard = co_await st->htod_lock->scoped_lock();
+    const TimeNs acquired = st->sim->now();
+    if (st->recorder != nullptr && acquired > requested) {
+      st->recorder->add(trace::Span{ctx.stream.id, ctx.app_id,
+                                    trace::SpanKind::LockWait, "htod-lock",
+                                    requested, acquired});
+    }
+    co_await app->transferMemory(ctx, Direction::HostToDevice);
+    guard.reset();
+  } else {
+    co_await app->transferMemory(ctx, Direction::HostToDevice);
+  }
+
+  co_await app->executeKernel(ctx);
+  co_await app->transferMemory(ctx, Direction::DeviceToHost);
+
+  metrics.end_time = st->sim->now();
+  st->latch->count_down();
+}
+
+sim::Task Harness::parent_task(RunState* st) {
+  // Phase 1 (untimed, as in the paper): instantiate, allocate, initialize.
+  for (std::size_t i = 0; i < st->apps->size(); ++i) {
+    Kernel& app = *(*st->apps)[i];
+    Context& ctx = (*st->contexts)[i];
+    app.allocateHostMemory(ctx);
+    app.allocateDeviceMemory(ctx);
+    app.initializeHostMemory(ctx);
+  }
+
+  if (st->config->monitor_power) st->monitor->start();
+  st->phase_begin = st->sim->now();
+  st->energy_begin = st->device->energy();
+  st->occupancy_begin = st->device->occupancy_integral_seconds();
+
+  // Phase 2 (timed): launch each application on its own child thread, in
+  // schedule order, with a small stagger that prejudices execution order to
+  // follow launch order.
+  for (std::size_t i = 0; i < st->apps->size(); ++i) {
+    (*st->metrics)[i].launch_time = st->sim->now();
+    st->sim->spawn(child_task(st, static_cast<int>(i)));
+    if (i + 1 < st->apps->size() && st->config->launch_stagger > 0) {
+      co_await st->sim->delay(st->config->launch_stagger);
+    }
+  }
+  co_await st->latch->wait();
+
+  st->phase_end = st->sim->now();
+  st->energy_end = st->device->energy();
+  st->occupancy_end = st->device->occupancy_integral_seconds();
+  if (st->config->monitor_power) st->monitor->stop();
+
+  // Verification must see the DtoH results, so it runs before the frees.
+  if (st->config->functional) {
+    for (std::size_t i = 0; i < st->apps->size(); ++i) {
+      st->all_verified = st->all_verified &&
+                         (*st->apps)[i]->verify((*st->contexts)[i]);
+    }
+  }
+
+  // Phase 3 (untimed): free everything.
+  for (std::size_t i = 0; i < st->apps->size(); ++i) {
+    Kernel& app = *(*st->apps)[i];
+    Context& ctx = (*st->contexts)[i];
+    app.freeHostMemory(ctx);
+    app.freeDeviceMemory(ctx);
+  }
+}
+
+HarnessResult Harness::run(const std::vector<WorkloadItem>& workload) {
+  HQ_CHECK_MSG(!workload.empty(), "empty workload");
+
+  sim::Simulator sim;
+  auto recorder = std::make_shared<trace::Recorder>();
+  gpu::Device device(sim, config_.device, recorder.get());
+  rt::RuntimeOptions rt_options;
+  rt_options.functional = config_.functional;
+  rt::Runtime runtime(sim, device, rt_options);
+  nvml::ManagementLibrary nvml(sim, device, config_.sensor);
+  StreamManager manager(runtime, config_.num_streams);
+  sim::Mutex htod_lock(sim);
+  sim::CountdownLatch latch(sim, workload.size());
+  PowerMonitor monitor(sim, nvml, config_.power_period);
+
+  std::vector<std::unique_ptr<Kernel>> apps;
+  std::vector<Context> contexts;
+  std::vector<AppMetrics> metrics;
+  apps.reserve(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    apps.push_back(workload[i].factory());
+    HQ_CHECK_MSG(apps.back() != nullptr,
+                 "factory for '" << workload[i].type_name << "' returned null");
+    Context ctx;
+    ctx.sim = &sim;
+    ctx.runtime = &runtime;
+    ctx.htod_lock = &htod_lock;
+    ctx.recorder = recorder.get();
+    ctx.app_id = static_cast<int>(i);
+    ctx.functional = config_.functional;
+    ctx.transfer_chunk_bytes = config_.transfer_chunk_bytes;
+    ctx.blocking_transfers = config_.blocking_transfers;
+    contexts.push_back(ctx);
+    AppMetrics m;
+    m.app_id = static_cast<int>(i);
+    m.type = workload[i].type_name;
+    metrics.push_back(std::move(m));
+  }
+
+  RunState state;
+  state.config = &config_;
+  state.sim = &sim;
+  state.device = &device;
+  state.runtime = &runtime;
+  state.recorder = recorder.get();
+  state.manager = &manager;
+  state.htod_lock = &htod_lock;
+  state.monitor = &monitor;
+  state.latch = &latch;
+  state.apps = &apps;
+  state.contexts = &contexts;
+  state.metrics = &metrics;
+
+  sim.spawn(parent_task(&state));
+  sim.run();
+  HQ_CHECK_MSG(sim.live_tasks() == 0, "run finished with live tasks");
+
+  HarnessResult result;
+  result.phase_begin = state.phase_begin;
+  result.phase_end = state.phase_end;
+  result.makespan = state.phase_end - state.phase_begin;
+  result.energy_exact = state.energy_end - state.energy_begin;
+  result.energy_sensor =
+      monitor.energy_between(state.phase_begin, state.phase_end);
+  result.average_power =
+      monitor.average_power(state.phase_begin, state.phase_end);
+  result.peak_power = monitor.peak_power(state.phase_begin, state.phase_end);
+  if (result.makespan > 0) {
+    result.average_occupancy = (state.occupancy_end - state.occupancy_begin) /
+                               to_seconds(result.makespan);
+  }
+  result.power_trace = monitor.samples();
+  result.device_stats = device.stats();
+
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    AppMetrics& m = metrics[i];
+    m.htod_effective_latency =
+        effective_transfer_latency(*recorder, m.app_id,
+                                   trace::SpanKind::MemcpyHtoD)
+            .value_or(0);
+    m.dtoh_effective_latency =
+        effective_transfer_latency(*recorder, m.app_id,
+                                   trace::SpanKind::MemcpyDtoH)
+            .value_or(0);
+    m.htod_own_time =
+        own_transfer_time(*recorder, m.app_id, trace::SpanKind::MemcpyHtoD);
+    m.htod_bytes = apps[i]->htod_bytes();
+    m.dtoh_bytes = apps[i]->dtoh_bytes();
+    const auto spans = recorder->by_app(m.app_id);
+    if (!spans.empty()) {
+      TimeNs first = spans.front().begin;
+      for (const auto& s : spans) first = std::min(first, s.begin);
+      m.first_activity = first;
+    }
+  }
+  result.all_verified = state.all_verified;
+  result.apps = std::move(metrics);
+  result.trace = std::move(recorder);
+  return result;
+}
+
+}  // namespace hq::fw

@@ -1,0 +1,107 @@
+// Test harness (paper Section IV).
+//
+// "The execution flow of our test harness begins with loading an application
+// scheduling order to execute, instantiating a new class object for each
+// separate application, allocating all host and device memory, and
+// initializing host memory. Once this has been completed, the host parent
+// thread launches a separate thread to monitor the device power consumption
+// ... Then the parent thread launches each application class instance on its
+// own independent child thread. Within the child thread, each instance runs
+// its particular execution pattern (in general, HtoD memory transfer --
+// kernel execution -- DtoH memory transfer). After all child threads have
+// completed, the host parent thread frees all host and device memory,
+// destroys all stream objects, and terminates the power sampling thread."
+//
+// One Harness::run builds a fresh simulator + device + runtime, executes the
+// workload in the given order over NS streams, and returns timing, power,
+// energy, per-application and trace results. Runs are fully deterministic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+#include "hyperq/kernel.hpp"
+#include "hyperq/metrics.hpp"
+#include "hyperq/power_monitor.hpp"
+#include "hyperq/stream_manager.hpp"
+
+namespace hq::fw {
+
+/// One application instance in launch order: a display name and a factory
+/// creating a fresh Kernel object.
+struct WorkloadItem {
+  std::string type_name;
+  std::function<std::unique_ptr<Kernel>()> factory;
+};
+
+struct HarnessConfig {
+  gpu::DeviceSpec device = gpu::DeviceSpec::tesla_k20();
+  /// Number of streams NS; NA apps on 1 stream = fully serialized, NA apps
+  /// on NA streams = fully concurrent.
+  int num_streams = 32;
+  /// Enables the Section III-B host-side HtoD memory synchronization (the
+  /// pseudo-burst / batched transfer mutex).
+  bool memory_sync = false;
+  /// Pai et al. style transfer chunking ablation; 0 = off.
+  Bytes transfer_chunk_bytes = 0;
+  /// Blocking (cudaMemcpy-style) transfers, as in the Rodinia reference
+  /// implementations. See Context::blocking_transfers.
+  bool blocking_transfers = true;
+  /// Delay between child-thread launches; prejudices execution order to
+  /// follow launch order (Section III-C). The default models the host cost
+  /// of pthread creation plus per-thread CUDA setup on the paper's testbed;
+  /// it calibrates the copy-queue interleaving depth (Figure 6's ~8x
+  /// effective-latency inflation).
+  DurationNs launch_stagger = 100 * kMicrosecond;
+  /// Run the real algorithms (slower; tests use it, figure benches do not).
+  bool functional = false;
+  /// Sample power during the run.
+  bool monitor_power = true;
+  DurationNs power_period = 15 * kMillisecond;
+  nvml::SensorOptions sensor;
+};
+
+struct HarnessResult {
+  /// Timed phase-2 duration: first child launch to last child completion.
+  DurationNs makespan = 0;
+  TimeNs phase_begin = 0;
+  TimeNs phase_end = 0;
+  /// Device-integrated (exact) energy over the timed phase.
+  Joules energy_exact = 0;
+  /// Energy integrated from the sampled power trace (paper methodology).
+  Joules energy_sensor = 0;
+  Watts average_power = 0;
+  Watts peak_power = 0;
+  /// Mean thread occupancy over the timed phase.
+  double average_occupancy = 0;
+  std::vector<AppMetrics> apps;
+  std::vector<PowerSample> power_trace;
+  /// Full span trace of the run (kernel/copy/lock-wait spans).
+  std::shared_ptr<trace::Recorder> trace;
+  gpu::Device::Stats device_stats;
+  /// Conjunction of per-app verify() results (meaningful in functional runs).
+  bool all_verified = true;
+};
+
+class Harness {
+ public:
+  explicit Harness(HarnessConfig config = {}) : config_(std::move(config)) {}
+
+  /// Executes the workload in the given launch order. Each call is an
+  /// independent, deterministic simulation.
+  HarnessResult run(const std::vector<WorkloadItem>& workload);
+
+  const HarnessConfig& config() const { return config_; }
+
+ private:
+  struct RunState;
+  static sim::Task parent_task(RunState* st);
+  static sim::Task child_task(RunState* st, int index);
+
+  HarnessConfig config_;
+};
+
+}  // namespace hq::fw

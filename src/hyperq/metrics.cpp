@@ -1,0 +1,47 @@
+#include "hyperq/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hq::fw {
+
+std::optional<DurationNs> effective_transfer_latency(
+    const trace::Recorder& recorder, int app_id, trace::SpanKind direction) {
+  HQ_CHECK(direction == trace::SpanKind::MemcpyHtoD ||
+           direction == trace::SpanKind::MemcpyDtoH);
+  std::optional<TimeNs> first_start;
+  std::optional<TimeNs> last_end;
+  for (const trace::Span& s : recorder.spans()) {
+    if (s.app_id != app_id || s.kind != direction) continue;
+    first_start = first_start ? std::min(*first_start, s.begin) : s.begin;
+    last_end = last_end ? std::max(*last_end, s.end) : s.end;
+  }
+  if (!first_start) return std::nullopt;
+  return *last_end - *first_start;
+}
+
+DurationNs own_transfer_time(const trace::Recorder& recorder, int app_id,
+                             trace::SpanKind direction) {
+  DurationNs total = 0;
+  for (const trace::Span& s : recorder.spans()) {
+    if (s.app_id == app_id && s.kind == direction) total += s.duration();
+  }
+  return total;
+}
+
+double improvement(double t_base, double t) {
+  HQ_CHECK(t_base > 0);
+  return (t_base - t) / t_base;
+}
+
+double mean_htod_effective_latency(const std::vector<AppMetrics>& apps) {
+  if (apps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const AppMetrics& a : apps) {
+    sum += static_cast<double>(a.htod_effective_latency);
+  }
+  return sum / static_cast<double>(apps.size());
+}
+
+}  // namespace hq::fw

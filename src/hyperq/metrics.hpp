@@ -1,0 +1,56 @@
+// Performance and effective-memory-transfer-latency metrics.
+//
+// Paper Eq. 1–2: an application Ai consists of operations {mHD..., k..., mDH...};
+// its effective memory transfer latency Le (per direction) is the span from
+// the start (Tstart) of its first memory transfer to the completion (Tend)
+// of its last. When transfers from other applications interleave in the copy
+// queue, Le stretches far beyond the application's own service time — up to
+// 8x in the paper's baseline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "trace/trace.hpp"
+
+namespace hq::fw {
+
+/// Eq. 2: Tend(last transfer) - Tstart(first transfer) for one application
+/// and direction, from recorded spans. nullopt when the app has no transfers
+/// of that direction.
+std::optional<DurationNs> effective_transfer_latency(
+    const trace::Recorder& recorder, int app_id, trace::SpanKind direction);
+
+/// Sum of the application's own transfer service times for a direction (the
+/// latency it would see with exclusive use of the copy engine).
+DurationNs own_transfer_time(const trace::Recorder& recorder, int app_id,
+                             trace::SpanKind direction);
+
+/// The paper's improvement measure, "relative to serialized execution":
+/// (t_base - t) / t_base. Positive = faster than the baseline.
+double improvement(double t_base, double t);
+
+/// Per-application timing extracted after a harness run.
+struct AppMetrics {
+  int app_id = -1;
+  std::string type;
+  /// When the child thread was launched (spawned).
+  TimeNs launch_time = 0;
+  /// First device activity attributed to this app.
+  TimeNs first_activity = 0;
+  /// Completion of the app's last operation.
+  TimeNs end_time = 0;
+  DurationNs htod_effective_latency = 0;
+  DurationNs dtoh_effective_latency = 0;
+  DurationNs htod_own_time = 0;
+  Bytes htod_bytes = 0;
+  Bytes dtoh_bytes = 0;
+};
+
+/// Average Le (HtoD) across applications, in nanoseconds — the quantity the
+/// paper's Figure 6 plots.
+double mean_htod_effective_latency(const std::vector<AppMetrics>& apps);
+
+}  // namespace hq::fw

@@ -1,0 +1,61 @@
+#include "hyperq/power_monitor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace hq::fw {
+
+PowerMonitor::PowerMonitor(sim::Simulator& sim, nvml::ManagementLibrary& nvml,
+                           DurationNs period)
+    : sim_(sim), nvml_(nvml), period_(period) {
+  HQ_CHECK(period_ > 0);
+}
+
+void PowerMonitor::start() {
+  HQ_CHECK_MSG(!running_, "PowerMonitor started twice");
+  running_ = true;
+  stop_requested_ = false;
+  samples_.push_back(PowerSample{sim_.now(), nvml_.power_usage_watts()});
+  sim_.spawn(sample_loop(this));
+}
+
+void PowerMonitor::stop() { stop_requested_ = true; }
+
+sim::Task PowerMonitor::sample_loop(PowerMonitor* self) {
+  while (!self->stop_requested_) {
+    co_await self->sim_.delay(self->period_);
+    self->samples_.push_back(
+        PowerSample{self->sim_.now(), self->nvml_.power_usage_watts()});
+  }
+  self->running_ = false;
+}
+
+Joules PowerMonitor::energy_between(TimeNs begin, TimeNs end) const {
+  std::vector<std::pair<double, double>> window;
+  for (const PowerSample& s : samples_) {
+    if (s.time >= begin && s.time <= end) {
+      window.emplace_back(to_seconds(s.time), s.watts);
+    }
+  }
+  return trapezoid_integral(window);
+}
+
+Watts PowerMonitor::average_power(TimeNs begin, TimeNs end) const {
+  RunningStats stats;
+  for (const PowerSample& s : samples_) {
+    if (s.time >= begin && s.time <= end) stats.add(s.watts);
+  }
+  return stats.mean();
+}
+
+Watts PowerMonitor::peak_power(TimeNs begin, TimeNs end) const {
+  RunningStats stats;
+  for (const PowerSample& s : samples_) {
+    if (s.time >= begin && s.time <= end) stats.add(s.watts);
+  }
+  return stats.max();
+}
+
+}  // namespace hq::fw

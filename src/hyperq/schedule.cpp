@@ -1,0 +1,96 @@
+#include "hyperq/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hq::fw {
+namespace {
+
+/// FIFO with the given type visitation order.
+std::vector<Slot> fifo(std::span<const int> counts,
+                       std::span<const int> type_order) {
+  std::vector<Slot> out;
+  for (int t : type_order) {
+    for (int i = 1; i <= counts[t]; ++i) out.push_back(Slot{t, i});
+  }
+  return out;
+}
+
+/// Round-robin over types in the given order, appending leftovers as types
+/// run out of instances.
+std::vector<Slot> round_robin(std::span<const int> counts,
+                              std::span<const int> type_order) {
+  std::vector<Slot> out;
+  std::vector<int> next(counts.size(), 1);
+  bool produced = true;
+  while (produced) {
+    produced = false;
+    for (int t : type_order) {
+      if (next[t] <= counts[t]) {
+        out.push_back(Slot{t, next[t]++});
+        produced = true;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> forward_types(std::size_t n) {
+  std::vector<int> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  return order;
+}
+
+std::vector<int> reversed_types(std::size_t n) {
+  auto order = forward_types(n);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+const char* order_name(Order order) {
+  switch (order) {
+    case Order::NaiveFifo: return "Naive FIFO";
+    case Order::RoundRobin: return "Round-Robin";
+    case Order::RandomShuffle: return "Random Shuffle";
+    case Order::ReverseFifo: return "Reverse FIFO";
+    case Order::ReverseRoundRobin: return "Reverse Round-Robin";
+  }
+  return "?";
+}
+
+std::string slot_to_string(const Slot& slot,
+                           std::span<const std::string> names) {
+  HQ_CHECK(slot.type >= 0 &&
+           static_cast<std::size_t>(slot.type) < names.size());
+  return names[slot.type] + "(" + std::to_string(slot.instance) + ")";
+}
+
+std::vector<Slot> make_schedule(Order order, std::span<const int> counts,
+                                Rng* rng) {
+  HQ_CHECK_MSG(!counts.empty(), "schedule needs at least one type");
+  for (int c : counts) HQ_CHECK_MSG(c >= 0, "negative instance count");
+
+  switch (order) {
+    case Order::NaiveFifo:
+      return fifo(counts, forward_types(counts.size()));
+    case Order::RoundRobin:
+      return round_robin(counts, forward_types(counts.size()));
+    case Order::RandomShuffle: {
+      HQ_CHECK_MSG(rng != nullptr, "RandomShuffle requires an Rng");
+      auto slots = fifo(counts, forward_types(counts.size()));
+      rng->shuffle(slots);
+      return slots;
+    }
+    case Order::ReverseFifo:
+      return fifo(counts, reversed_types(counts.size()));
+    case Order::ReverseRoundRobin:
+      return round_robin(counts, reversed_types(counts.size()));
+  }
+  HQ_CHECK_MSG(false, "unknown order");
+  return {};
+}
+
+}  // namespace hq::fw

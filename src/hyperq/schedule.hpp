@@ -1,0 +1,55 @@
+// Application scheduling orders (paper Section III-C, Figure 3).
+//
+// Given a workload Ω of m copies of application AX and n copies of AY, the
+// five techniques produce the launch orders of Figure 3:
+//   Naive FIFO          X1 X2 .. Xm Y1 Y2 .. Yn
+//   Round-Robin         X1 Y1 X2 Y2 ..            (leftovers appended)
+//   Random Shuffle      random permutation of the Naive FIFO order
+//   Reverse FIFO        Y1 Y2 .. Yn X1 X2 .. Xm   (type precedence swapped)
+//   Reverse Round-Robin Y1 X1 Y2 X2 ..
+//
+// The generators work for any number of application types; with two types
+// and m = n = 4 they reproduce Figure 3 exactly (asserted in tests).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hq::fw {
+
+enum class Order {
+  NaiveFifo,
+  RoundRobin,
+  RandomShuffle,
+  ReverseFifo,
+  ReverseRoundRobin,
+};
+
+/// All five orders, in the paper's presentation sequence.
+inline constexpr Order kAllOrders[] = {
+    Order::NaiveFifo, Order::RoundRobin, Order::RandomShuffle,
+    Order::ReverseFifo, Order::ReverseRoundRobin};
+
+const char* order_name(Order order);
+
+/// One schedule entry: application type index (into the caller's type list)
+/// and 1-based instance number within that type, matching Figure 3's AX(i)
+/// notation.
+struct Slot {
+  int type = 0;
+  int instance = 1;
+  friend bool operator==(const Slot&, const Slot&) = default;
+};
+
+/// Renders e.g. "X(3)" / "Y(1)" with the caller's type letters.
+std::string slot_to_string(const Slot& slot, std::span<const std::string> names);
+
+/// Builds the launch order for `counts[t]` instances of each type t.
+/// `rng` is required for Order::RandomShuffle and ignored otherwise.
+std::vector<Slot> make_schedule(Order order, std::span<const int> counts,
+                                Rng* rng = nullptr);
+
+}  // namespace hq::fw

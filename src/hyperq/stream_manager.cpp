@@ -1,0 +1,39 @@
+#include "hyperq/stream_manager.hpp"
+
+#include "common/check.hpp"
+
+namespace hq::fw {
+
+StreamManager::StreamManager(rt::Runtime& runtime, int num_streams)
+    : runtime_(runtime) {
+  HQ_CHECK_MSG(num_streams >= 1, "need at least one stream");
+  streams_.reserve(static_cast<std::size_t>(num_streams));
+  for (int i = 0; i < num_streams; ++i) {
+    streams_.emplace_back(runtime_, runtime_.stream_create());
+  }
+}
+
+StreamManager::~StreamManager() {
+  if (!destroyed_) destroy_all();
+}
+
+rt::Stream StreamManager::acquire() {
+  HQ_CHECK(!destroyed_);
+  const auto index = acquisitions_ % streams_.size();
+  ++acquisitions_;
+  return streams_[index].handle();
+}
+
+rt::Status StreamManager::destroy_all() {
+  rt::Status first_error = rt::Status::Ok;
+  for (const Stream& s : streams_) {
+    const rt::Status status = runtime_.stream_destroy(s.handle());
+    if (status != rt::Status::Ok && first_error == rt::Status::Ok) {
+      first_error = status;
+    }
+  }
+  destroyed_ = true;
+  return first_error;
+}
+
+}  // namespace hq::fw

@@ -1,0 +1,65 @@
+// Stream and StreamManager (paper Section III-E).
+//
+// "The features of our framework include a Stream class which abstracts the
+// CUDA streams interface, and a StreamManager class which provides
+// functionality for dynamically creating, destroying, and managing the
+// independent streams."
+//
+// Applications do not own streams; each application child thread *acquires*
+// a stream from the manager when it starts. With more applications than
+// streams (NA > NS), acquisition order — and therefore the schedule order —
+// controls which applications serialize behind one another in a stream,
+// which is the serialization-dependency lever Section III-C exploits.
+#pragma once
+
+#include <vector>
+
+#include "cudart/runtime.hpp"
+
+namespace hq::fw {
+
+/// Thin abstraction over the runtime stream interface.
+class Stream {
+ public:
+  Stream(rt::Runtime& runtime, rt::Stream handle)
+      : runtime_(&runtime), handle_(handle) {}
+
+  rt::Stream handle() const { return handle_; }
+  int index() const { return handle_.id; }
+  bool idle() const { return runtime_->stream_query(handle_); }
+
+ private:
+  rt::Runtime* runtime_;
+  rt::Stream handle_;
+};
+
+/// Creates, hands out (round-robin), and destroys the pool of NS streams.
+class StreamManager {
+ public:
+  /// Creates `num_streams` streams on the runtime.
+  StreamManager(rt::Runtime& runtime, int num_streams);
+  ~StreamManager();
+  StreamManager(const StreamManager&) = delete;
+  StreamManager& operator=(const StreamManager&) = delete;
+
+  /// Hands out streams in round-robin order; the k-th acquisition returns
+  /// stream k mod NS. This makes stream allocation order follow application
+  /// launch order, as the paper's scheduling section requires.
+  rt::Stream acquire();
+
+  int size() const { return static_cast<int>(streams_.size()); }
+  std::uint64_t acquisitions() const { return acquisitions_; }
+  const Stream& stream(int i) const { return streams_[static_cast<std::size_t>(i)]; }
+
+  /// Destroys all streams; every stream must be idle. Returns the first
+  /// non-Ok status encountered (streams already destroyed are skipped).
+  rt::Status destroy_all();
+
+ private:
+  rt::Runtime& runtime_;
+  std::vector<Stream> streams_;
+  std::uint64_t acquisitions_ = 0;
+  bool destroyed_ = false;
+};
+
+}  // namespace hq::fw

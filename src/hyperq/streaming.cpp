@@ -1,0 +1,156 @@
+#include "hyperq/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace hq::fw {
+
+struct StreamingHarness::RunState {
+  const Config* config = nullptr;
+  sim::Simulator* sim = nullptr;
+  gpu::Device* device = nullptr;
+  rt::Runtime* runtime = nullptr;
+  StreamManager* manager = nullptr;
+  sim::Mutex* htod_lock = nullptr;
+  sim::Event* drained = nullptr;
+  Rng* rng = nullptr;
+
+  struct Task {
+    std::unique_ptr<Kernel> app;
+    Context context;
+    TimeNs admitted_at = 0;
+    TimeNs completed_at = 0;
+  };
+  /// Deque: element addresses stay stable as new tasks are admitted.
+  std::deque<Task>* tasks = nullptr;
+
+  bool admission_closed = false;
+  int outstanding = 0;
+
+  void maybe_finish() {
+    if (admission_closed && outstanding == 0 && !drained->fired()) {
+      drained->fire();
+    }
+  }
+};
+
+sim::Task StreamingHarness::task_lifecycle(RunState* st, int index) {
+  RunState::Task& task = (*st->tasks)[static_cast<std::size_t>(index)];
+  Kernel& app = *task.app;
+  Context& ctx = task.context;
+
+  // Setup is part of the task's turnaround in a streaming service, but is
+  // host-side and instantaneous in virtual time (as in the finite harness).
+  app.allocateHostMemory(ctx);
+  app.allocateDeviceMemory(ctx);
+  app.initializeHostMemory(ctx);
+
+  ctx.stream = st->manager->acquire();
+  if (st->config->memory_sync) {
+    auto guard = co_await st->htod_lock->scoped_lock();
+    co_await app.transferMemory(ctx, Direction::HostToDevice);
+    guard.reset();
+  } else {
+    co_await app.transferMemory(ctx, Direction::HostToDevice);
+  }
+  co_await app.executeKernel(ctx);
+  co_await app.transferMemory(ctx, Direction::DeviceToHost);
+
+  app.freeHostMemory(ctx);
+  app.freeDeviceMemory(ctx);
+  task.completed_at = st->sim->now();
+  --st->outstanding;
+  st->maybe_finish();
+}
+
+sim::Task StreamingHarness::generator_task(RunState* st) {
+  const TimeNs window_end = st->sim->now() + st->config->window;
+  while (st->sim->now() < window_end) {
+    // Poisson arrivals: exponential inter-arrival times.
+    const double u = std::max(st->rng->next_double(), 1e-12);
+    const auto gap = static_cast<DurationNs>(
+        -std::log(u) * static_cast<double>(st->config->mean_interarrival));
+    co_await st->sim->delay(std::max<DurationNs>(gap, 1));
+    if (st->sim->now() >= window_end) break;
+
+    const auto pick = st->rng->next_below(st->config->mix.size());
+    RunState::Task task;
+    task.app = st->config->mix[pick].factory();
+    task.admitted_at = st->sim->now();
+    task.context.sim = st->sim;
+    task.context.runtime = st->runtime;
+    task.context.htod_lock = st->htod_lock;
+    task.context.app_id = static_cast<int>(st->tasks->size());
+    task.context.functional = st->config->functional;
+    st->tasks->push_back(std::move(task));
+
+    ++st->outstanding;
+    st->sim->spawn(
+        task_lifecycle(st, static_cast<int>(st->tasks->size()) - 1));
+  }
+  st->admission_closed = true;
+  st->maybe_finish();
+}
+
+StreamingHarness::Result StreamingHarness::run() {
+  HQ_CHECK_MSG(!config_.mix.empty(), "streaming mix must not be empty");
+
+  sim::Simulator sim;
+  gpu::Device device(sim, config_.device);
+  rt::RuntimeOptions rt_options;
+  rt_options.functional = config_.functional;
+  rt::Runtime runtime(sim, device, rt_options);
+  StreamManager manager(runtime, config_.num_streams);
+  sim::Mutex htod_lock(sim);
+  sim::Event drained(sim);
+  Rng rng(config_.seed);
+  std::deque<RunState::Task> tasks;
+
+  RunState state;
+  state.config = &config_;
+  state.sim = &sim;
+  state.device = &device;
+  state.runtime = &runtime;
+  state.manager = &manager;
+  state.htod_lock = &htod_lock;
+  state.drained = &drained;
+  state.rng = &rng;
+  state.tasks = &tasks;
+
+  sim.spawn(generator_task(&state));
+  sim.run();
+  HQ_CHECK_MSG(drained.fired() || tasks.empty(),
+               "streaming run ended with tasks outstanding");
+
+  Result result;
+  result.admitted = static_cast<int>(tasks.size());
+  result.total_time = sim.now();
+  result.energy = device.energy();
+  result.average_occupancy = device.average_occupancy();
+
+  RunningStats turnaround;
+  std::vector<double> samples;
+  for (const auto& task : tasks) {
+    if (task.completed_at == 0) continue;
+    ++result.completed;
+    const auto t = static_cast<double>(task.completed_at - task.admitted_at);
+    turnaround.add(t);
+    samples.push_back(t);
+  }
+  if (result.completed > 0) {
+    result.mean_turnaround = static_cast<DurationNs>(turnaround.mean());
+    result.max_turnaround = static_cast<DurationNs>(turnaround.max());
+    result.p95_turnaround =
+        static_cast<DurationNs>(percentile(std::move(samples), 95));
+    result.throughput_per_sec =
+        static_cast<double>(result.completed) / to_seconds(result.total_time);
+    result.energy_per_task =
+        result.energy / static_cast<double>(result.completed);
+  }
+  return result;
+}
+
+}  // namespace hq::fw

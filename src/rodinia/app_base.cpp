@@ -1,0 +1,144 @@
+#include "rodinia/app_base.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hq::rodinia {
+
+Bytes RodiniaApp::htod_bytes() const {
+  Bytes total = 0;
+  for (const Buffer& b : buffers_) {
+    if (b.to_device) total += b.bytes;
+  }
+  return total;
+}
+
+Bytes RodiniaApp::dtoh_bytes() const {
+  Bytes total = 0;
+  for (const Buffer& b : buffers_) {
+    if (b.to_host) total += b.bytes;
+  }
+  return total;
+}
+
+RodiniaApp::Buffer& RodiniaApp::add_buffer(std::string label, Bytes bytes,
+                                           bool to_device, bool to_host,
+                                           bool host_side, bool device_side) {
+  HQ_CHECK(bytes > 0);
+  HQ_CHECK_MSG(!(to_device || to_host) || (host_side && device_side),
+               "transferred buffers need both sides");
+  Buffer b;
+  b.label = std::move(label);
+  b.bytes = bytes;
+  b.to_device = to_device;
+  b.to_host = to_host;
+  b.host_side = host_side;
+  b.device_side = device_side;
+  buffers_.push_back(std::move(b));
+  return buffers_.back();
+}
+
+RodiniaApp::Buffer& RodiniaApp::buffer(const std::string& label) {
+  auto it = std::find_if(buffers_.begin(), buffers_.end(),
+                         [&label](const Buffer& b) { return b.label == label; });
+  HQ_CHECK_MSG(it != buffers_.end(), name() << ": no buffer '" << label << "'");
+  return *it;
+}
+
+const RodiniaApp::Buffer& RodiniaApp::buffer(const std::string& label) const {
+  auto it = std::find_if(buffers_.begin(), buffers_.end(),
+                         [&label](const Buffer& b) { return b.label == label; });
+  HQ_CHECK_MSG(it != buffers_.end(), name() << ": no buffer '" << label << "'");
+  return *it;
+}
+
+void RodiniaApp::allocateHostMemory(fw::Context& ctx) {
+  for (Buffer& b : buffers_) {
+    if (!b.host_side) continue;
+    auto result = ctx.runtime->malloc_host(b.bytes);
+    HQ_CHECK_MSG(result.ok(), name() << ": host allocation of " << b.bytes
+                                     << " bytes failed");
+    b.host = result.value();
+  }
+}
+
+void RodiniaApp::allocateDeviceMemory(fw::Context& ctx) {
+  for (Buffer& b : buffers_) {
+    if (!b.device_side) continue;
+    auto result = ctx.runtime->malloc_device(b.bytes);
+    HQ_CHECK_MSG(result.ok(), name() << ": device allocation of " << b.bytes
+                                     << " bytes failed ("
+                                     << rt::status_name(result.status()) << ")");
+    b.dev = result.value();
+  }
+}
+
+void RodiniaApp::freeHostMemory(fw::Context& ctx) {
+  for (Buffer& b : buffers_) {
+    if (!b.host_side || b.host.null()) continue;
+    HQ_CHECK(ctx.runtime->free_host(b.host) == rt::Status::Ok);
+    b.host = {};
+  }
+}
+
+void RodiniaApp::freeDeviceMemory(fw::Context& ctx) {
+  for (Buffer& b : buffers_) {
+    if (!b.device_side || b.dev.null()) continue;
+    HQ_CHECK(ctx.runtime->free_device(b.dev) == rt::Status::Ok);
+    b.dev = {};
+  }
+}
+
+sim::Task RodiniaApp::transferMemory(fw::Context& ctx,
+                                     fw::Direction direction) {
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
+    // Index-based loop: the buffer vector is stable during a run, and the
+    // coroutine frame only holds trivially-destructible state.
+    Buffer& b = buffers_[i];
+    const bool wanted = direction == fw::Direction::HostToDevice
+                            ? b.to_device
+                            : b.to_host;
+    if (!wanted) continue;
+
+    const Bytes chunk = ctx.transfer_chunk_bytes == 0
+                            ? b.bytes
+                            : std::min(ctx.transfer_chunk_bytes, b.bytes);
+    for (Bytes offset = 0; offset < b.bytes; offset += chunk) {
+      const Bytes len = std::min(chunk, b.bytes - offset);
+      gpu::OpTag tag{ctx.app_id, b.label};
+      auto op = direction == fw::Direction::HostToDevice
+                    ? ctx.runtime->memcpy_htod_async(ctx.stream, b.dev, b.host,
+                                                     len, std::move(tag), offset)
+                    : ctx.runtime->memcpy_dtoh_async(ctx.stream, b.host, b.dev,
+                                                     len, std::move(tag), offset);
+      co_await op;
+      if (ctx.blocking_transfers) {
+        // cudaMemcpy semantics: wait for this transfer before the next one,
+        // letting other applications' transfers slot in between (Figure 1).
+        co_await ctx.runtime->stream_synchronize(ctx.stream);
+      }
+    }
+  }
+  // Rodinia applications use blocking transfers at stage boundaries; the
+  // stage ends only when the data has actually arrived.
+  co_await ctx.runtime->stream_synchronize(ctx.stream);
+}
+
+rt::LaunchConfig RodiniaApp::make_launch(const std::string& kernel_name,
+                                         gpu::Dim3 grid, gpu::Dim3 block,
+                                         const KernelCost& cost,
+                                         std::function<void()> body) {
+  rt::LaunchConfig config;
+  config.name = kernel_name;
+  config.grid = grid;
+  config.block = block;
+  config.regs_per_thread = cost.regs_per_thread;
+  config.smem_per_block = cost.smem_per_block;
+  config.block_duration = cost.block_duration;
+  config.contention_sensitivity = cost.contention_sensitivity;
+  config.body = std::move(body);
+  return config;
+}
+
+}  // namespace hq::rodinia

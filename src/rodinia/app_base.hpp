@@ -1,0 +1,80 @@
+// Shared scaffolding for the ported Rodinia applications.
+//
+// Each application declares its buffers once; the base class implements the
+// Table II allocation/free/transfer methods over that declaration, so the
+// derived classes contain only what is benchmark-specific: data
+// initialization, the kernel launch sequence, the functional kernel math,
+// and verification. This mirrors the paper's observation that porting a
+// Rodinia benchmark into the framework means logically grouping existing
+// sections of the benchmark into class methods, without modifying the
+// algorithm.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/types.hpp"
+#include "hyperq/kernel.hpp"
+#include "rodinia/calibration.hpp"
+
+namespace hq::rodinia {
+
+/// Base class implementing buffer management and generic transfers.
+class RodiniaApp : public fw::Kernel {
+ public:
+  const std::string& name() const override { return name_; }
+  Bytes htod_bytes() const override;
+  Bytes dtoh_bytes() const override;
+
+  void allocateHostMemory(fw::Context& ctx) override;
+  void allocateDeviceMemory(fw::Context& ctx) override;
+  sim::Task transferMemory(fw::Context& ctx, fw::Direction direction) override;
+  void freeHostMemory(fw::Context& ctx) override;
+  void freeDeviceMemory(fw::Context& ctx) override;
+
+ protected:
+  explicit RodiniaApp(std::string app_name) : name_(std::move(app_name)) {}
+
+  struct Buffer {
+    std::string label;
+    Bytes bytes = 0;
+    bool to_device = false;  ///< part of the HtoD stage
+    bool to_host = false;    ///< part of the DtoH stage
+    bool host_side = true;   ///< has a pinned host allocation
+    bool device_side = true; ///< has a device allocation
+    rt::HostPtr host;
+    rt::DevicePtr dev;
+  };
+
+  /// Declares a buffer; call from the constructor.
+  Buffer& add_buffer(std::string label, Bytes bytes, bool to_device,
+                     bool to_host, bool host_side = true,
+                     bool device_side = true);
+
+  Buffer& buffer(const std::string& label);
+  const Buffer& buffer(const std::string& label) const;
+
+  /// Typed view of a buffer's host allocation.
+  template <typename T>
+  std::span<T> host_view(fw::Context& ctx, const std::string& label) {
+    return ctx.runtime->host_as<T>(buffer(label).host);
+  }
+  /// Typed view of a buffer's device backing store (functional mode).
+  template <typename T>
+  std::span<T> device_view(fw::Context& ctx, const std::string& label) {
+    return ctx.runtime->device_as<T>(buffer(label).dev);
+  }
+
+  /// Builds a launch configuration from a calibration entry.
+  static rt::LaunchConfig make_launch(const std::string& kernel_name,
+                                      gpu::Dim3 grid, gpu::Dim3 block,
+                                      const KernelCost& cost,
+                                      std::function<void()> body);
+
+ private:
+  std::string name_;
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace hq::rodinia

@@ -1,0 +1,136 @@
+#include "rodinia/gaussian.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hq::rodinia {
+namespace {
+
+constexpr int kFan1Block = 512;
+constexpr int kFan2Block = 16;
+
+std::uint32_t ceil_div(int a, int b) {
+  return static_cast<std::uint32_t>((a + b - 1) / b);
+}
+
+}  // namespace
+
+GaussianApp::GaussianApp(GaussianParams params)
+    : RodiniaApp("gaussian"), params_(params) {
+  HQ_CHECK(params_.n >= 2);
+  const auto n = static_cast<Bytes>(params_.n);
+  add_buffer("a", n * n * sizeof(float), /*to_device=*/true, /*to_host=*/true);
+  add_buffer("b", n * sizeof(float), /*to_device=*/true, /*to_host=*/true);
+  add_buffer("m", n * n * sizeof(float), /*to_device=*/true, /*to_host=*/true);
+}
+
+void GaussianApp::initializeHostMemory(fw::Context& ctx) {
+  const int n = params_.n;
+  auto a = host_view<float>(ctx, "a");
+  auto b = host_view<float>(ctx, "b");
+  auto m = host_view<float>(ctx, "m");
+
+  // Diagonally dominant random matrix: elimination without pivoting is
+  // numerically safe, mirroring Rodinia's generated inputs.
+  Rng rng(params_.seed);
+  for (int i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const auto v = static_cast<float>(rng.next_double_in(-1.0, 1.0));
+      a[i * n + j] = v;
+      row_sum += std::abs(v);
+    }
+    a[i * n + i] = static_cast<float>(row_sum + 1.0);
+    b[i] = static_cast<float>(rng.next_double_in(-10.0, 10.0));
+  }
+  std::fill(m.begin(), m.end(), 0.0f);
+
+  a0_.assign(a.begin(), a.end());
+  b0_.assign(b.begin(), b.end());
+}
+
+void GaussianApp::fan1_body(fw::Context* ctx, int t) {
+  const int n = params_.n;
+  auto a = device_view<float>(*ctx, "a");
+  auto m = device_view<float>(*ctx, "m");
+  for (int i = t + 1; i < n; ++i) {
+    m[i * n + t] = a[i * n + t] / a[t * n + t];
+  }
+}
+
+void GaussianApp::fan2_body(fw::Context* ctx, int t) {
+  const int n = params_.n;
+  auto a = device_view<float>(*ctx, "a");
+  auto b = device_view<float>(*ctx, "b");
+  auto m = device_view<float>(*ctx, "m");
+  for (int i = t + 1; i < n; ++i) {
+    const float mult = m[i * n + t];
+    for (int j = t; j < n; ++j) {
+      a[i * n + j] -= mult * a[t * n + j];
+    }
+    b[i] -= mult * b[t];
+  }
+}
+
+sim::Task GaussianApp::executeKernel(fw::Context& ctx) {
+  const int n = params_.n;
+  // 511 iterations at n=512, launching Fan1 then Fan2 (Rodinia ForwardSub).
+  for (int t = 0; t < n - 1; ++t) {
+    {
+      std::function<void()> body;
+      if (ctx.functional) body = [this, ctx_ptr = &ctx, t] { fan1_body(ctx_ptr, t); };
+      rt::LaunchConfig cfg = make_launch(
+          "Fan1", gpu::Dim3{ceil_div(n, kFan1Block), 1, 1},
+          gpu::Dim3{kFan1Block, 1, 1}, kFan1, std::move(body));
+      gpu::OpTag tag{ctx.app_id, "Fan1"};
+      auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                           std::move(tag));
+      co_await op;
+    }
+    {
+      std::function<void()> body;
+      if (ctx.functional) body = [this, ctx_ptr = &ctx, t] { fan2_body(ctx_ptr, t); };
+      rt::LaunchConfig cfg = make_launch(
+          "Fan2",
+          gpu::Dim3{ceil_div(n, kFan2Block), ceil_div(n, kFan2Block), 1},
+          gpu::Dim3{kFan2Block, kFan2Block, 1}, kFan2, std::move(body));
+      gpu::OpTag tag{ctx.app_id, "Fan2"};
+      auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                           std::move(tag));
+      co_await op;
+    }
+  }
+  co_await ctx.runtime->stream_synchronize(ctx.stream);
+}
+
+bool GaussianApp::verify(fw::Context& ctx) const {
+  const int n = params_.n;
+  auto* self = const_cast<GaussianApp*>(this);
+  auto a = self->host_view<float>(ctx, "a");
+  auto b = self->host_view<float>(ctx, "b");
+
+  // Back-substitution on the upper-triangular system the device produced.
+  solution_.assign(static_cast<std::size_t>(n), 0.0f);
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = b[i];
+    for (int j = i + 1; j < n; ++j) {
+      acc -= static_cast<double>(a[i * n + j]) * solution_[j];
+    }
+    solution_[i] = static_cast<float>(acc / a[i * n + i]);
+  }
+
+  // Residual against the pristine system: ||A0 x - b0||_inf relative.
+  double worst = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) {
+      acc += static_cast<double>(a0_[i * n + j]) * solution_[j];
+    }
+    worst = std::max(worst, std::abs(acc - b0_[i]));
+  }
+  return worst < 1e-2;
+}
+
+}  // namespace hq::rodinia

@@ -1,0 +1,50 @@
+// Rodinia "gaussian": Gaussian elimination without pivoting (Table I/III).
+//
+// Structure (matching Rodinia 3.0 gaussian.cu): for each elimination step
+// t = 0 .. n-2, launch
+//   Fan1  — computes the multiplier column m[i][t] = a[i][t] / a[t][t];
+//           block (512,1,1), grid (ceil(n/512),1,1) -> 1 block at n = 512.
+//   Fan2  — updates the trailing submatrix a[i][j] -= m[i][t]*a[t][j] and
+//           the right-hand side b; block (16,16,1), grid (n/16, n/16) ->
+//           1024 blocks of 256 threads at n = 512.
+// Transfers: a, b, m host-to-device before the loop; m, a, b device-to-host
+// after it. Back-substitution happens on the host.
+//
+// This launch shape — 511 iterations alternating a 1-block kernel with a
+// 1024-block kernel — is the paper's canonical underutilization pattern.
+#pragma once
+
+#include "rodinia/app_base.hpp"
+
+namespace hq::rodinia {
+
+struct GaussianParams {
+  /// Matrix dimension; the paper's Table III uses 512.
+  int n = 512;
+  std::uint64_t seed = 1001;
+};
+
+class GaussianApp final : public RodiniaApp {
+ public:
+  explicit GaussianApp(GaussianParams params = {});
+
+  void initializeHostMemory(fw::Context& ctx) override;
+  sim::Task executeKernel(fw::Context& ctx) override;
+  bool verify(fw::Context& ctx) const override;
+
+  const GaussianParams& params() const { return params_; }
+  /// Host-side back-substitution result (filled by verify()).
+  const std::vector<float>& solution() const { return solution_; }
+
+ private:
+  void fan1_body(fw::Context* ctx, int t);
+  void fan2_body(fw::Context* ctx, int t);
+
+  GaussianParams params_;
+  /// Pristine copies of A and b for the residual check.
+  std::vector<float> a0_;
+  std::vector<float> b0_;
+  mutable std::vector<float> solution_;
+};
+
+}  // namespace hq::rodinia

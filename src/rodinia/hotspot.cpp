@@ -1,0 +1,144 @@
+#include "rodinia/hotspot.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hq::rodinia {
+namespace {
+
+// Physical constants from Rodinia's hotspot (chip 16mm x 16mm, t_chip
+// 0.5mm), reduced to the per-cell update coefficients.
+struct Coefficients {
+  float rx_inv, ry_inv, rz_inv, cap_inv;
+};
+
+Coefficients coefficients(int n) {
+  constexpr float kTChip = 0.0005f;
+  constexpr float kChipWidth = 0.016f;
+  constexpr float kChipHeight = 0.016f;
+  constexpr float kFactorChip = 0.5f;
+  constexpr float kSpecHeatSi = 1.75e6f;
+  constexpr float kKSi = 100.0f;
+  constexpr float kMaxPd = 3.0e6f;
+  constexpr float kPrecision = 0.001f;
+
+  const float grid_width = kChipWidth / static_cast<float>(n);
+  const float grid_height = kChipHeight / static_cast<float>(n);
+  const float cap =
+      kFactorChip * kSpecHeatSi * kTChip * grid_width * grid_height;
+  const float rx = grid_width / (2.0f * kKSi * kTChip * grid_height);
+  const float ry = grid_height / (2.0f * kKSi * kTChip * grid_width);
+  const float rz = kTChip / (kKSi * grid_height * grid_width);
+  const float max_slope = kMaxPd / (kFactorChip * kTChip * kSpecHeatSi);
+  const float step = kPrecision / max_slope;
+  return Coefficients{1.0f / rx, 1.0f / ry, 1.0f / rz, step / cap};
+}
+
+constexpr float kAmbient = 80.0f;
+
+/// One explicit-Euler step of the thermal grid (shared by the functional
+/// kernel body and the host reference).
+void hotspot_step(const std::vector<float>& temp_in,
+                  const std::vector<float>& power, std::vector<float>& temp_out,
+                  int n) {
+  const Coefficients c = coefficients(n);
+  for (int r = 0; r < n; ++r) {
+    const int rn = std::max(r - 1, 0);
+    const int rs = std::min(r + 1, n - 1);
+    for (int col = 0; col < n; ++col) {
+      const int cw = std::max(col - 1, 0);
+      const int ce = std::min(col + 1, n - 1);
+      const float t = temp_in[r * n + col];
+      const float delta =
+          c.cap_inv *
+          (power[r * n + col] +
+           (temp_in[rs * n + col] + temp_in[rn * n + col] - 2.0f * t) *
+               c.ry_inv +
+           (temp_in[r * n + ce] + temp_in[r * n + cw] - 2.0f * t) * c.rx_inv +
+           (kAmbient - t) * c.rz_inv);
+      temp_out[r * n + col] = t + delta;
+    }
+  }
+}
+
+}  // namespace
+
+HotspotApp::HotspotApp(HotspotParams params)
+    : RodiniaApp("hotspot"), params_(params) {
+  HQ_CHECK(params_.size >= kBlock && params_.size % kBlock == 0);
+  HQ_CHECK(params_.iterations >= 1);
+  const auto n = static_cast<Bytes>(params_.size);
+  const Bytes plane = n * n * sizeof(float);
+  add_buffer("temp", plane, /*to_device=*/true, /*to_host=*/true);
+  add_buffer("power", plane, /*to_device=*/true, /*to_host=*/false);
+  add_buffer("temp_out", plane, false, false, /*host_side=*/false,
+             /*device_side=*/true);
+}
+
+void HotspotApp::initializeHostMemory(fw::Context& ctx) {
+  auto temp = host_view<float>(ctx, "temp");
+  auto power = host_view<float>(ctx, "power");
+  Rng rng(params_.seed);
+  for (std::size_t i = 0; i < temp.size(); ++i) {
+    temp[i] = static_cast<float>(rng.next_double_in(320.0, 345.0));
+    power[i] = static_cast<float>(rng.next_double_in(0.0, 0.01));
+  }
+  temp0_.assign(temp.begin(), temp.end());
+  power0_.assign(power.begin(), power.end());
+}
+
+void HotspotApp::step_body(fw::Context* ctx, int iteration) {
+  const int n = params_.size;
+  auto temp = device_view<float>(*ctx, "temp");
+  auto power = device_view<float>(*ctx, "power");
+  auto temp_out = device_view<float>(*ctx, "temp_out");
+  // Device-side double buffering: even iterations read temp/write temp_out,
+  // odd iterations the reverse; emulated here with an explicit copy-back so
+  // `temp` always holds the latest plane at kernel completion.
+  std::vector<float> in(temp.begin(), temp.end());
+  std::vector<float> out(in.size());
+  std::vector<float> pw(power.begin(), power.end());
+  hotspot_step(in, pw, out, n);
+  std::copy(out.begin(), out.end(), temp.begin());
+  std::copy(in.begin(), in.end(), temp_out.begin());
+  (void)iteration;
+}
+
+sim::Task HotspotApp::executeKernel(fw::Context& ctx) {
+  const auto grid_dim = static_cast<std::uint32_t>(params_.size / kBlock);
+  for (int iter = 0; iter < params_.iterations; ++iter) {
+    std::function<void()> body;
+    if (ctx.functional) {
+      body = [this, ctx_ptr = &ctx, iter] { step_body(ctx_ptr, iter); };
+    }
+    rt::LaunchConfig cfg = make_launch(
+        "calculate_temp", gpu::Dim3{grid_dim, grid_dim, 1},
+        gpu::Dim3{kBlock, kBlock, 1}, kHotspot, std::move(body));
+    gpu::OpTag tag{ctx.app_id, "calculate_temp"};
+    auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                         std::move(tag));
+    co_await op;
+  }
+  co_await ctx.runtime->stream_synchronize(ctx.stream);
+}
+
+bool HotspotApp::verify(fw::Context& ctx) const {
+  const int n = params_.size;
+  auto* self = const_cast<HotspotApp*>(this);
+  auto result = self->host_view<float>(ctx, "temp");
+
+  std::vector<float> a = temp0_;
+  std::vector<float> b(a.size());
+  for (int iter = 0; iter < params_.iterations; ++iter) {
+    hotspot_step(a, power0_, b, n);
+    std::swap(a, b);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - result[i]) > 1e-3f) return false;
+  }
+  return true;
+}
+
+}  // namespace hq::rodinia

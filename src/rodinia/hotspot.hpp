@@ -1,0 +1,47 @@
+// Rodinia "hotspot": thermal simulation on a 2D processor floorplan.
+//
+// This application is NOT part of the paper's Table I; it is ported here as
+// the extensibility demonstration the paper's conclusion promises ("the
+// framework ... is readily extensible for additional applications ... there
+// is less effort required to enable concurrency with new applications").
+//
+// Per simulation step, one `calculate_temp` stencil kernel updates the
+// temperature grid from the power-density grid; the temperature planes
+// double-buffer on the device. At n = 512: grid (32,32,1), block (16,16,1),
+// 1024 blocks of 256 threads per call — a compute shape similar to srad.
+#pragma once
+
+#include <vector>
+
+#include "rodinia/app_base.hpp"
+
+namespace hq::rodinia {
+
+struct HotspotParams {
+  /// Grid side (square floorplan).
+  int size = 512;
+  /// Simulation steps (Rodinia's sim_time).
+  int iterations = 60;
+  std::uint64_t seed = 5005;
+};
+
+class HotspotApp final : public RodiniaApp {
+ public:
+  explicit HotspotApp(HotspotParams params = {});
+
+  void initializeHostMemory(fw::Context& ctx) override;
+  sim::Task executeKernel(fw::Context& ctx) override;
+  bool verify(fw::Context& ctx) const override;
+
+  const HotspotParams& params() const { return params_; }
+  static constexpr int kBlock = 16;
+
+ private:
+  void step_body(fw::Context* ctx, int iteration);
+
+  HotspotParams params_;
+  std::vector<float> temp0_;
+  std::vector<float> power0_;
+};
+
+}  // namespace hq::rodinia

@@ -1,0 +1,183 @@
+#include "rodinia/lud.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hq::rodinia {
+namespace {
+
+constexpr int kB = LudApp::kBlock;
+
+}  // namespace
+
+LudApp::LudApp(LudParams params) : RodiniaApp("lud"), params_(params) {
+  HQ_CHECK_MSG(params_.n >= kB && params_.n % kB == 0,
+               "lud size must be a positive multiple of 16");
+  const auto n = static_cast<Bytes>(params_.n);
+  add_buffer("a", n * n * sizeof(float), /*to_device=*/true, /*to_host=*/true);
+}
+
+void LudApp::initializeHostMemory(fw::Context& ctx) {
+  const int n = params_.n;
+  auto a = host_view<float>(ctx, "a");
+  Rng rng(params_.seed);
+  // Diagonally dominant: LU without pivoting stays stable.
+  for (int i = 0; i < n; ++i) {
+    double row = 0;
+    for (int j = 0; j < n; ++j) {
+      a[i * n + j] = static_cast<float>(rng.next_double_in(-1.0, 1.0));
+      row += std::abs(a[i * n + j]);
+    }
+    a[i * n + i] = static_cast<float>(row + 1.0);
+  }
+  a0_.assign(a.begin(), a.end());
+}
+
+void LudApp::diagonal_body(fw::Context* ctx, int step) {
+  // In-place Doolittle factorization of the diagonal tile.
+  const int n = params_.n;
+  const int base = step * kB;
+  auto a = device_view<float>(*ctx, "a");
+  auto at = [&](int r, int c) -> float& { return a[(base + r) * n + base + c]; };
+  for (int k = 0; k < kB; ++k) {
+    for (int i = k + 1; i < kB; ++i) {
+      at(i, k) /= at(k, k);
+      for (int j = k + 1; j < kB; ++j) {
+        at(i, j) -= at(i, k) * at(k, j);
+      }
+    }
+  }
+}
+
+void LudApp::perimeter_body(fw::Context* ctx, int step) {
+  const int n = params_.n;
+  const int tiles = n / kB;
+  const int base = step * kB;
+  auto a = device_view<float>(*ctx, "a");
+  auto diag = [&](int r, int c) -> float { return a[(base + r) * n + base + c]; };
+
+  for (int t = step + 1; t < tiles; ++t) {
+    const int off = t * kB;
+    // Row tiles right of the diagonal: solve L_diag * U = A (forward subst).
+    for (int c = 0; c < kB; ++c) {
+      for (int r = 1; r < kB; ++r) {
+        float acc = a[(base + r) * n + off + c];
+        for (int k = 0; k < r; ++k) {
+          acc -= diag(r, k) * a[(base + k) * n + off + c];
+        }
+        a[(base + r) * n + off + c] = acc;
+      }
+    }
+    // Column tiles below: solve L * U_diag = A (backward over columns).
+    for (int r = 0; r < kB; ++r) {
+      for (int c = 0; c < kB; ++c) {
+        float acc = a[(off + r) * n + base + c];
+        for (int k = 0; k < c; ++k) {
+          acc -= a[(off + r) * n + base + k] * diag(k, c);
+        }
+        a[(off + r) * n + base + c] = acc / diag(c, c);
+      }
+    }
+  }
+}
+
+void LudApp::internal_body(fw::Context* ctx, int step) {
+  const int n = params_.n;
+  const int tiles = n / kB;
+  const int base = step * kB;
+  auto a = device_view<float>(*ctx, "a");
+  for (int tr = step + 1; tr < tiles; ++tr) {
+    for (int tc = step + 1; tc < tiles; ++tc) {
+      for (int r = 0; r < kB; ++r) {
+        for (int c = 0; c < kB; ++c) {
+          float acc = a[(tr * kB + r) * n + tc * kB + c];
+          for (int k = 0; k < kB; ++k) {
+            acc -= a[(tr * kB + r) * n + base + k] *
+                   a[(base + k) * n + tc * kB + c];
+          }
+          a[(tr * kB + r) * n + tc * kB + c] = acc;
+        }
+      }
+    }
+  }
+}
+
+sim::Task LudApp::executeKernel(fw::Context& ctx) {
+  const int tiles = params_.n / kB;
+  for (int step = 0; step < tiles; ++step) {
+    {
+      std::function<void()> body;
+      if (ctx.functional) body = [this, c = &ctx, step] { diagonal_body(c, step); };
+      rt::LaunchConfig cfg =
+          make_launch("lud_diagonal", gpu::Dim3{1, 1, 1},
+                      gpu::Dim3{kB, 1, 1}, kLudDiagonal, std::move(body));
+      gpu::OpTag tag{ctx.app_id, "lud_diagonal"};
+      auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                           std::move(tag));
+      co_await op;
+    }
+    if (step + 1 < tiles) {
+      const auto remaining = static_cast<std::uint32_t>(tiles - step - 1);
+      {
+        std::function<void()> body;
+        if (ctx.functional) {
+          body = [this, c = &ctx, step] { perimeter_body(c, step); };
+        }
+        rt::LaunchConfig cfg = make_launch(
+            "lud_perimeter", gpu::Dim3{remaining, 1, 1},
+            gpu::Dim3{2 * kB, 1, 1}, kLudPerimeter, std::move(body));
+        gpu::OpTag tag{ctx.app_id, "lud_perimeter"};
+        auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                             std::move(tag));
+        co_await op;
+      }
+      {
+        std::function<void()> body;
+        if (ctx.functional) {
+          body = [this, c = &ctx, step] { internal_body(c, step); };
+        }
+        rt::LaunchConfig cfg = make_launch(
+            "lud_internal", gpu::Dim3{remaining, remaining, 1},
+            gpu::Dim3{kB, kB, 1}, kLudInternal, std::move(body));
+        gpu::OpTag tag{ctx.app_id, "lud_internal"};
+        auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                             std::move(tag));
+        co_await op;
+      }
+    }
+  }
+  co_await ctx.runtime->stream_synchronize(ctx.stream);
+}
+
+bool LudApp::verify(fw::Context& ctx) const {
+  const int n = params_.n;
+  auto* self = const_cast<LudApp*>(this);
+  auto lu = self->host_view<float>(ctx, "a");
+
+  // Reconstruct A = L * U (L unit lower triangular, U upper) and compare
+  // with the pristine input.
+  double worst = 0.0;
+  double scale = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      const int kmax = std::min(i, j);
+      for (int k = 0; k < kmax; ++k) {
+        acc += static_cast<double>(lu[i * n + k]) * lu[k * n + j];
+      }
+      // Diagonal of L is implicit 1.
+      if (i <= j) {
+        acc += lu[i * n + j];
+      } else {
+        acc += static_cast<double>(lu[i * n + kmax]) * lu[kmax * n + j];
+      }
+      worst = std::max(worst, std::abs(acc - a0_[i * n + j]));
+      scale = std::max(scale, std::abs(static_cast<double>(a0_[i * n + j])));
+    }
+  }
+  return worst <= 1e-3 * std::max(scale, 1.0);
+}
+
+}  // namespace hq::rodinia

@@ -1,0 +1,46 @@
+// Rodinia "lud": blocked LU decomposition (extension port).
+//
+// For each 16-wide step i along the diagonal, three kernels launch:
+//   lud_diagonal  — factors the diagonal tile (1 block),
+//   lud_perimeter — updates the row/column tiles bordering it
+//                   (grid (tiles-i-1, 1, 1)),
+//   lud_internal  — rank-16 update of the trailing submatrix
+//                   (grid (tiles-i-1)^2 blocks).
+// The launch pattern sweeps from device-saturating (first internal call,
+// (tiles-1)^2 blocks) down to single-block kernels — the *reverse* of
+// gaussian's constant shape, which makes it a useful scheduling workload.
+#pragma once
+
+#include <vector>
+
+#include "rodinia/app_base.hpp"
+
+namespace hq::rodinia {
+
+struct LudParams {
+  /// Matrix dimension; must be a positive multiple of 16.
+  int n = 512;
+  std::uint64_t seed = 6006;
+};
+
+class LudApp final : public RodiniaApp {
+ public:
+  explicit LudApp(LudParams params = {});
+
+  void initializeHostMemory(fw::Context& ctx) override;
+  sim::Task executeKernel(fw::Context& ctx) override;
+  bool verify(fw::Context& ctx) const override;
+
+  const LudParams& params() const { return params_; }
+  static constexpr int kBlock = 16;
+
+ private:
+  void diagonal_body(fw::Context* ctx, int step);
+  void perimeter_body(fw::Context* ctx, int step);
+  void internal_body(fw::Context* ctx, int step);
+
+  LudParams params_;
+  std::vector<float> a0_;
+};
+
+}  // namespace hq::rodinia

@@ -1,0 +1,125 @@
+#include "rodinia/needle.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hq::rodinia {
+
+NeedleApp::NeedleApp(NeedleParams params)
+    : RodiniaApp("needle"), params_(params) {
+  HQ_CHECK_MSG(params_.n >= kBlock && params_.n % kBlock == 0,
+               "needle size must be a positive multiple of 32");
+  const auto dim = static_cast<Bytes>(params_.n + 1);
+  add_buffer("input_itemsets", dim * dim * sizeof(int), /*to_device=*/true,
+             /*to_host=*/true);
+  add_buffer("reference", dim * dim * sizeof(int), /*to_device=*/true,
+             /*to_host=*/false);
+}
+
+void NeedleApp::initializeHostMemory(fw::Context& ctx) {
+  const int dim = params_.n + 1;
+  auto items = host_view<int>(ctx, "input_itemsets");
+  auto reference = host_view<int>(ctx, "reference");
+
+  Rng rng(params_.seed);
+  std::fill(items.begin(), items.end(), 0);
+  for (int r = 0; r < dim; ++r) {
+    for (int c = 0; c < dim; ++c) {
+      reference[r * dim + c] = static_cast<int>(rng.next_in(-5, 5));
+    }
+  }
+  // NW boundary conditions.
+  for (int r = 1; r < dim; ++r) items[r * dim] = -r * params_.penalty;
+  for (int c = 1; c < dim; ++c) items[c] = -c * params_.penalty;
+}
+
+void NeedleApp::process_tile(fw::Context* ctx, int tile_x, int tile_y) {
+  const int dim = params_.n + 1;
+  auto f = device_view<int>(*ctx, "input_itemsets");
+  auto reference = device_view<int>(*ctx, "reference");
+  const int row0 = tile_y * kBlock + 1;
+  const int col0 = tile_x * kBlock + 1;
+  for (int r = row0; r < row0 + kBlock; ++r) {
+    for (int c = col0; c < col0 + kBlock; ++c) {
+      const int diag = f[(r - 1) * dim + (c - 1)] + reference[r * dim + c];
+      const int up = f[(r - 1) * dim + c] - params_.penalty;
+      const int left = f[r * dim + (c - 1)] - params_.penalty;
+      f[r * dim + c] = std::max({diag, up, left});
+    }
+  }
+}
+
+void NeedleApp::diagonal_body(fw::Context* ctx, int diag) {
+  const int tiles = params_.n / kBlock;
+  // Tiles (tile_x, tile_y) with tile_x + tile_y == diag; independent of one
+  // another, dependent on diagonals < diag (already complete, since kernels
+  // in one stream execute in submission order).
+  const int x_lo = std::max(0, diag - (tiles - 1));
+  const int x_hi = std::min(diag, tiles - 1);
+  for (int x = x_lo; x <= x_hi; ++x) {
+    process_tile(ctx, x, diag - x);
+  }
+}
+
+sim::Task NeedleApp::executeKernel(fw::Context& ctx) {
+  const int tiles = params_.n / kBlock;
+  // Upper-left triangle: grids (1,1,1) .. (tiles,1,1).
+  for (int i = 1; i <= tiles; ++i) {
+    std::function<void()> body;
+    if (ctx.functional) {
+      body = [this, ctx_ptr = &ctx, diag = i - 1] { diagonal_body(ctx_ptr, diag); };
+    }
+    rt::LaunchConfig cfg = make_launch(
+        "needle_cuda_shared_1", gpu::Dim3{static_cast<std::uint32_t>(i), 1, 1},
+        gpu::Dim3{kBlock, 1, 1}, kNeedle1, std::move(body));
+    gpu::OpTag tag{ctx.app_id, "needle_cuda_shared_1"};
+    auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                         std::move(tag));
+    co_await op;
+  }
+  // Lower-right triangle: grids (tiles-1,1,1) .. (1,1,1).
+  for (int i = tiles - 1; i >= 1; --i) {
+    std::function<void()> body;
+    if (ctx.functional) {
+      body = [this, ctx_ptr = &ctx, diag = 2 * tiles - 1 - i] {
+        diagonal_body(ctx_ptr, diag);
+      };
+    }
+    rt::LaunchConfig cfg = make_launch(
+        "needle_cuda_shared_2", gpu::Dim3{static_cast<std::uint32_t>(i), 1, 1},
+        gpu::Dim3{kBlock, 1, 1}, kNeedle2, std::move(body));
+    gpu::OpTag tag{ctx.app_id, "needle_cuda_shared_2"};
+    auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                         std::move(tag));
+    co_await op;
+  }
+  co_await ctx.runtime->stream_synchronize(ctx.stream);
+}
+
+bool NeedleApp::verify(fw::Context& ctx) const {
+  const int dim = params_.n + 1;
+  auto* self = const_cast<NeedleApp*>(this);
+  auto result = self->host_view<int>(ctx, "input_itemsets");
+  auto reference = self->host_view<int>(ctx, "reference");
+
+  // Independent row-major full DP (no tiling).
+  std::vector<int> f(static_cast<std::size_t>(dim) * dim, 0);
+  for (int r = 1; r < dim; ++r) f[r * dim] = -r * params_.penalty;
+  for (int c = 1; c < dim; ++c) f[c] = -c * params_.penalty;
+  for (int r = 1; r < dim; ++r) {
+    for (int c = 1; c < dim; ++c) {
+      const int diag = f[(r - 1) * dim + (c - 1)] + reference[r * dim + c];
+      const int up = f[(r - 1) * dim + c] - params_.penalty;
+      const int left = f[r * dim + (c - 1)] - params_.penalty;
+      f[r * dim + c] = std::max({diag, up, left});
+    }
+  }
+  for (int i = 0; i < dim * dim; ++i) {
+    if (f[i] != result[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace hq::rodinia

@@ -1,0 +1,46 @@
+// Rodinia "needle": Needleman-Wunsch sequence alignment (Table I/III).
+//
+// The DP matrix is processed in 32x32 tiles along anti-diagonals:
+//   needle_cuda_shared_1 — upper-left triangle; call i = 1..n/32 launches a
+//                          grid of (i,1,1) blocks of (32,1,1) threads.
+//   needle_cuda_shared_2 — lower-right triangle; call i = n/32-1..1 launches
+//                          grids (i,1,1) in decreasing order.
+// At n = 512 this gives the paper's 16 + 15 calls with grids (1..16) and
+// (15..1). Each block stages two (32+1)^2 int tiles in shared memory.
+// Transfers: reference and input_itemsets host-to-device; input_itemsets
+// (the DP matrix) device-to-host.
+#pragma once
+
+#include "rodinia/app_base.hpp"
+
+namespace hq::rodinia {
+
+struct NeedleParams {
+  /// Sequence length; must be a multiple of 32. The paper uses 512.
+  int n = 512;
+  int penalty = 10;
+  std::uint64_t seed = 3003;
+};
+
+class NeedleApp final : public RodiniaApp {
+ public:
+  explicit NeedleApp(NeedleParams params = {});
+
+  void initializeHostMemory(fw::Context& ctx) override;
+  sim::Task executeKernel(fw::Context& ctx) override;
+  bool verify(fw::Context& ctx) const override;
+
+  const NeedleParams& params() const { return params_; }
+  /// Tile size (32, per the paper's Table III block dimensions).
+  static constexpr int kBlock = 32;
+
+ private:
+  /// Processes the b-th tile of anti-diagonal `diag` (0-based over the
+  /// (n/32)^2 tile grid) with the NW recurrence.
+  void process_tile(fw::Context* ctx, int tile_x, int tile_y);
+  void diagonal_body(fw::Context* ctx, int diag);
+
+  NeedleParams params_;
+};
+
+}  // namespace hq::rodinia

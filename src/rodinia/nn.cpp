@@ -1,0 +1,99 @@
+#include "rodinia/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hq::rodinia {
+namespace {
+
+constexpr int kEuclidBlock = 256;
+
+}  // namespace
+
+NnApp::NnApp(NnParams params) : RodiniaApp("nn"), params_(params) {
+  HQ_CHECK(params_.records >= 1);
+  HQ_CHECK(params_.k >= 1 && params_.k <= params_.records);
+  const auto records = static_cast<Bytes>(params_.records);
+  // Interleaved (lat, lng) pairs, like Rodinia's LatLong struct.
+  add_buffer("locations", records * 2 * sizeof(float), /*to_device=*/true,
+             /*to_host=*/false);
+  add_buffer("distances", records * sizeof(float), /*to_device=*/false,
+             /*to_host=*/true);
+}
+
+void NnApp::initializeHostMemory(fw::Context& ctx) {
+  auto locations = host_view<float>(ctx, "locations");
+  Rng rng(params_.seed);
+  for (int i = 0; i < params_.records; ++i) {
+    locations[2 * i] = static_cast<float>(rng.next_double_in(0.0, 64.0));
+    locations[2 * i + 1] = static_cast<float>(rng.next_double_in(0.0, 128.0));
+  }
+}
+
+void NnApp::euclid_body(fw::Context* ctx) {
+  auto locations = device_view<float>(*ctx, "locations");
+  auto distances = device_view<float>(*ctx, "distances");
+  for (int i = 0; i < params_.records; ++i) {
+    const float dlat = locations[2 * i] - params_.lat;
+    const float dlng = locations[2 * i + 1] - params_.lng;
+    distances[i] = std::sqrt(dlat * dlat + dlng * dlng);
+  }
+}
+
+sim::Task NnApp::executeKernel(fw::Context& ctx) {
+  std::function<void()> body;
+  if (ctx.functional) body = [this, ctx_ptr = &ctx] { euclid_body(ctx_ptr); };
+  const auto grid_x = static_cast<std::uint32_t>(
+      (params_.records + kEuclidBlock - 1) / kEuclidBlock);
+  rt::LaunchConfig cfg =
+      make_launch("euclid", gpu::Dim3{grid_x, 1, 1},
+                  gpu::Dim3{kEuclidBlock, 1, 1}, kEuclid, std::move(body));
+  gpu::OpTag tag{ctx.app_id, "euclid"};
+  auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                       std::move(tag));
+  co_await op;
+  co_await ctx.runtime->stream_synchronize(ctx.stream);
+}
+
+bool NnApp::verify(fw::Context& ctx) const {
+  auto* self = const_cast<NnApp*>(this);
+  auto distances = self->host_view<float>(ctx, "distances");
+  auto locations = self->host_view<float>(ctx, "locations");
+
+  // Select k nearest from the device-computed distances (the host-side step
+  // of Rodinia nn).
+  std::vector<int> order(static_cast<std::size_t>(params_.records));
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + params_.k, order.end(),
+                    [&distances](int x, int y) {
+                      if (distances[x] != distances[y]) {
+                        return distances[x] < distances[y];
+                      }
+                      return x < y;
+                    });
+  nearest_.assign(order.begin(), order.begin() + params_.k);
+
+  // Independent brute-force check against the raw coordinates.
+  std::vector<std::pair<double, int>> brute;
+  brute.reserve(static_cast<std::size_t>(params_.records));
+  for (int i = 0; i < params_.records; ++i) {
+    const double dlat = locations[2 * i] - params_.lat;
+    const double dlng = locations[2 * i + 1] - params_.lng;
+    brute.emplace_back(std::sqrt(dlat * dlat + dlng * dlng), i);
+  }
+  std::sort(brute.begin(), brute.end());
+  for (int i = 0; i < params_.k; ++i) {
+    // Compare by distance value (float/double rounding may swap the order
+    // of near-ties, which is fine for a k-NN result).
+    const double expected = brute[i].first;
+    const double actual = distances[nearest_[i]];
+    if (std::abs(expected - actual) > 1e-3) return false;
+  }
+  return true;
+}
+
+}  // namespace hq::rodinia

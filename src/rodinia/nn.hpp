@@ -1,0 +1,44 @@
+// Rodinia "nn": k-nearest neighbours (Table I/III).
+//
+// One `euclid` kernel computes the Euclidean distance from a query point to
+// every record; the host then selects the k smallest distances. At the
+// paper's 42764 records: grid (168,1,1), block (256,1,1).
+// Transfers: the (lat, lng) records host-to-device; the distance array
+// device-to-host.
+#pragma once
+
+#include "rodinia/app_base.hpp"
+
+namespace hq::rodinia {
+
+struct NnParams {
+  /// Number of records; the paper's Table III uses 42764.
+  int records = 42764;
+  /// Neighbours to report (Rodinia default).
+  int k = 5;
+  /// Query point.
+  float lat = 30.0f;
+  float lng = 90.0f;
+  std::uint64_t seed = 2002;
+};
+
+class NnApp final : public RodiniaApp {
+ public:
+  explicit NnApp(NnParams params = {});
+
+  void initializeHostMemory(fw::Context& ctx) override;
+  sim::Task executeKernel(fw::Context& ctx) override;
+  bool verify(fw::Context& ctx) const override;
+
+  const NnParams& params() const { return params_; }
+  /// Indices of the k nearest records (filled by verify()).
+  const std::vector<int>& nearest() const { return nearest_; }
+
+ private:
+  void euclid_body(fw::Context* ctx);
+
+  NnParams params_;
+  mutable std::vector<int> nearest_;
+};
+
+}  // namespace hq::rodinia

@@ -1,0 +1,109 @@
+#include "rodinia/pathfinder.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hq::rodinia {
+namespace {
+
+/// Advances the DP result by one row of weights.
+void advance_row(const std::vector<int>& src, const int* weights,
+                 std::vector<int>& dst, int cols) {
+  for (int x = 0; x < cols; ++x) {
+    int best = src[x];
+    if (x > 0) best = std::min(best, src[x - 1]);
+    if (x + 1 < cols) best = std::min(best, src[x + 1]);
+    dst[x] = weights[x] + best;
+  }
+}
+
+}  // namespace
+
+PathfinderApp::PathfinderApp(PathfinderParams params)
+    : RodiniaApp("pathfinder"), params_(params) {
+  HQ_CHECK(params_.cols >= 2);
+  HQ_CHECK(params_.rows >= 2);
+  HQ_CHECK(params_.pyramid_height >= 1);
+  const auto cols = static_cast<Bytes>(params_.cols);
+  const auto rows = static_cast<Bytes>(params_.rows);
+  add_buffer("wall", rows * cols * sizeof(int), /*to_device=*/true,
+             /*to_host=*/false);
+  add_buffer("result", cols * sizeof(int), /*to_device=*/false,
+             /*to_host=*/true);
+  // Device-side double buffer for the DP front.
+  add_buffer("front", cols * sizeof(int), false, false, /*host_side=*/false,
+             /*device_side=*/true);
+}
+
+void PathfinderApp::initializeHostMemory(fw::Context& ctx) {
+  auto wall = host_view<int>(ctx, "wall");
+  Rng rng(params_.seed);
+  for (int& w : wall) w = static_cast<int>(rng.next_below(10));
+  wall0_.assign(wall.begin(), wall.end());
+}
+
+void PathfinderApp::step_body(fw::Context* ctx, int first_row, int row_count) {
+  const int cols = params_.cols;
+  auto wall = device_view<int>(*ctx, "wall");
+  auto result = device_view<int>(*ctx, "result");
+  auto front = device_view<int>(*ctx, "front");
+
+  // The DP front lives in `front`; row 0 seeds it.
+  std::vector<int> src;
+  if (first_row == 1) {
+    src.assign(wall.begin(), wall.begin() + cols);
+  } else {
+    src.assign(front.begin(), front.end());
+  }
+  std::vector<int> dst(static_cast<std::size_t>(cols));
+  for (int r = first_row; r < first_row + row_count; ++r) {
+    advance_row(src, wall.data() + static_cast<std::size_t>(r) * cols, dst,
+                cols);
+    std::swap(src, dst);
+  }
+  std::copy(src.begin(), src.end(), front.begin());
+  std::copy(src.begin(), src.end(), result.begin());
+}
+
+sim::Task PathfinderApp::executeKernel(fw::Context& ctx) {
+  const auto grid_x = static_cast<std::uint32_t>(
+      (params_.cols + kBlock - 1) / kBlock);
+  for (int row = 1; row < params_.rows; row += params_.pyramid_height) {
+    const int count = std::min(params_.pyramid_height, params_.rows - row);
+    std::function<void()> body;
+    if (ctx.functional) {
+      body = [this, c = &ctx, row, count] { step_body(c, row, count); };
+    }
+    rt::LaunchConfig cfg =
+        make_launch("dynproc_kernel", gpu::Dim3{grid_x, 1, 1},
+                    gpu::Dim3{kBlock, 1, 1}, kPathfinder, std::move(body));
+    gpu::OpTag tag{ctx.app_id, "dynproc_kernel"};
+    auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                         std::move(tag));
+    co_await op;
+  }
+  co_await ctx.runtime->stream_synchronize(ctx.stream);
+}
+
+bool PathfinderApp::verify(fw::Context& ctx) const {
+  const int cols = params_.cols;
+  auto* self = const_cast<PathfinderApp*>(this);
+  auto result = self->host_view<int>(ctx, "result");
+
+  // Independent reference: plain row-by-row DP over the pristine weights.
+  std::vector<int> src(wall0_.begin(), wall0_.begin() + cols);
+  std::vector<int> dst(static_cast<std::size_t>(cols));
+  for (int r = 1; r < params_.rows; ++r) {
+    advance_row(src, wall0_.data() + static_cast<std::size_t>(r) * cols, dst,
+                cols);
+    std::swap(src, dst);
+  }
+  for (int x = 0; x < cols; ++x) {
+    if (src[x] != result[x]) return false;
+  }
+  return true;
+}
+
+}  // namespace hq::rodinia

@@ -1,0 +1,44 @@
+// Rodinia "pathfinder": shortest-path dynamic programming over a 2D grid
+// (extension port).
+//
+// Each kernel call advances the DP front by `pyramid_height` rows:
+//   dst[x] = weight[r][x] + min(src[x-1], src[x], src[x+1])
+// with grid ceil(cols / 256) blocks of 256 threads. A long chain of
+// identical medium-sized kernels with a single small result read-back —
+// a latency-bound, launch-overhead-dominated pattern distinct from every
+// Table I application.
+#pragma once
+
+#include <vector>
+
+#include "rodinia/app_base.hpp"
+
+namespace hq::rodinia {
+
+struct PathfinderParams {
+  int cols = 100000;
+  int rows = 100;
+  /// Rows advanced per kernel call.
+  int pyramid_height = 20;
+  std::uint64_t seed = 7007;
+};
+
+class PathfinderApp final : public RodiniaApp {
+ public:
+  explicit PathfinderApp(PathfinderParams params = {});
+
+  void initializeHostMemory(fw::Context& ctx) override;
+  sim::Task executeKernel(fw::Context& ctx) override;
+  bool verify(fw::Context& ctx) const override;
+
+  const PathfinderParams& params() const { return params_; }
+  static constexpr int kBlock = 256;
+
+ private:
+  void step_body(fw::Context* ctx, int first_row, int row_count);
+
+  PathfinderParams params_;
+  std::vector<int> wall0_;
+};
+
+}  // namespace hq::rodinia

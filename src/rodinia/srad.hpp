@@ -1,0 +1,47 @@
+// Rodinia "srad_v2": speckle reducing anisotropic diffusion (Table I/III).
+//
+// Each of the 10 iterations launches two stencil kernels over the 512x512
+// image, both with grid (32,32,1) and block (16,16,1) = 1024 blocks of 256
+// threads:
+//   srad_cuda_1 — directional derivatives dN/dS/dW/dE and the diffusion
+//                 coefficient C per cell;
+//   srad_cuda_2 — divergence update J += lambda/4 * D.
+// Transfers: J host-to-device before the loop, J device-to-host after; the
+// derivative and coefficient planes live only on the device.
+#pragma once
+
+#include <vector>
+
+#include "rodinia/app_base.hpp"
+
+namespace hq::rodinia {
+
+struct SradParams {
+  /// Image side (square image); the paper uses 512.
+  int size = 512;
+  int iterations = 10;
+  float lambda = 0.5f;
+  std::uint64_t seed = 4004;
+};
+
+class SradApp final : public RodiniaApp {
+ public:
+  explicit SradApp(SradParams params = {});
+
+  void initializeHostMemory(fw::Context& ctx) override;
+  sim::Task executeKernel(fw::Context& ctx) override;
+  bool verify(fw::Context& ctx) const override;
+
+  const SradParams& params() const { return params_; }
+  static constexpr int kBlock = 16;
+
+ private:
+  void srad1_body(fw::Context* ctx);
+  void srad2_body(fw::Context* ctx);
+
+  SradParams params_;
+  /// Pristine J for the independent host reference in verify().
+  std::vector<float> j0_;
+};
+
+}  // namespace hq::rodinia

@@ -1,0 +1,100 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hq::sim {
+
+std::coroutine_handle<> Task::promise_type::FinalAwaiter::await_suspend(
+    Task::Handle h) const noexcept {
+  promise_type& p = h.promise();
+  if (p.continuation) {
+    // A parent is awaiting us; hand control straight back (same instant).
+    return p.continuation;
+  }
+  if (p.owner != nullptr) {
+    p.owner->on_root_task_finished(h);
+  }
+  return std::noop_coroutine();
+}
+
+Simulator::~Simulator() {
+  reap_finished_tasks();
+  for (Task::Handle h : live_tasks_) {
+    h.destroy();
+  }
+}
+
+void Simulator::schedule(DurationNs delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(TimeNs t, std::function<void()> fn) {
+  HQ_CHECK_MSG(t >= now_, "cannot schedule into the past: t=" << t
+                                                              << " now=" << now_);
+  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void Simulator::spawn(Task task) {
+  HQ_CHECK_MSG(task.valid(), "spawn of an empty (moved-from or spawned) Task");
+  Task::Handle h = task.release();
+  h.promise().owner = this;
+  live_tasks_.push_back(h);
+  schedule(0, [h] { h.resume(); });
+}
+
+void Simulator::on_root_task_finished(Task::Handle h) {
+  if (h.promise().exception && !pending_exception_) {
+    pending_exception_ = h.promise().exception;
+  }
+  auto it = std::find(live_tasks_.begin(), live_tasks_.end(), h);
+  HQ_CHECK(it != live_tasks_.end());
+  live_tasks_.erase(it);
+  // The coroutine is suspended at its final suspend point; it cannot destroy
+  // itself, so defer destruction to the run loop.
+  finished_tasks_.push_back(h);
+}
+
+void Simulator::dispatch_one() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  HQ_CHECK(ev.time >= now_);
+  now_ = ev.time;
+  ++events_processed_;
+  ev.fn();
+  reap_finished_tasks();
+  if (pending_exception_) {
+    std::exception_ptr e = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Simulator::reap_finished_tasks() {
+  for (Task::Handle h : finished_tasks_) {
+    h.destroy();
+  }
+  finished_tasks_.clear();
+}
+
+std::size_t Simulator::run() {
+  const std::uint64_t before = events_processed_;
+  while (!heap_.empty()) {
+    dispatch_one();
+  }
+  return static_cast<std::size_t>(events_processed_ - before);
+}
+
+std::size_t Simulator::run_until(TimeNs t) {
+  HQ_CHECK_MSG(t >= now_, "run_until into the past");
+  const std::uint64_t before = events_processed_;
+  while (!heap_.empty() && heap_.front().time <= t) {
+    dispatch_one();
+  }
+  now_ = std::max(now_, t);
+  return static_cast<std::size_t>(events_processed_ - before);
+}
+
+}  // namespace hq::sim

@@ -1,0 +1,106 @@
+// Deterministic discrete-event simulator.
+//
+// Single-threaded virtual-time engine: a binary heap of (time, sequence,
+// callback) events with FIFO tie-breaking, so identical inputs always
+// produce identical schedules — the property every experiment in this
+// repository relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/task.hpp"
+
+namespace hq::sim {
+
+/// Discrete-event simulation engine with a virtual nanosecond clock.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Destroys any still-suspended spawned tasks. Their local destructors run,
+  /// so objects they reference (mutexes, events) must still be alive; in
+  /// normal use every task has finished before the simulator is destroyed.
+  ~Simulator();
+
+  /// Current virtual time.
+  TimeNs now() const { return now_; }
+
+  /// Schedules a callback `delay` nanoseconds from now. Events scheduled for
+  /// the same instant run in scheduling order.
+  void schedule(DurationNs delay, std::function<void()> fn);
+
+  /// Schedules a callback at absolute virtual time `t` (must be >= now()).
+  void schedule_at(TimeNs t, std::function<void()> fn);
+
+  /// Awaitable that suspends the current task for `d` nanoseconds. A zero
+  /// delay still suspends and requeues, providing a deterministic yield
+  /// point.
+  auto delay(DurationNs d) {
+    struct Awaiter {
+      Simulator& sim;
+      DurationNs dur;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        sim.schedule(dur, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Starts a root task: the simulator takes ownership of the coroutine and
+  /// resumes it at the current virtual time (in spawn order relative to other
+  /// events at the same instant).
+  void spawn(Task task);
+
+  /// Runs until the event queue is empty. Returns events processed by this
+  /// call. Rethrows the first exception escaping a root task.
+  std::size_t run();
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  std::size_t run_until(TimeNs t);
+
+  /// Convenience: run_until(now() + d).
+  std::size_t run_for(DurationNs d) { return run_until(now_ + d); }
+
+  bool idle() const { return heap_.empty(); }
+  std::size_t pending_events() const { return heap_.size(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of spawned root tasks that have not yet completed.
+  std::size_t live_tasks() const { return live_tasks_.size(); }
+
+ private:
+  friend struct Task::promise_type;
+
+  struct Event {
+    TimeNs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  /// Called from a root task's final suspend point.
+  void on_root_task_finished(Task::Handle h);
+
+  void dispatch_one();
+  void reap_finished_tasks();
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::vector<Event> heap_;  // min-heap via std::push_heap/pop_heap
+  std::vector<Task::Handle> live_tasks_;
+  std::vector<Task::Handle> finished_tasks_;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace hq::sim

@@ -1,0 +1,38 @@
+#include "sim/sync.hpp"
+
+namespace hq::sim {
+
+void Event::fire() {
+  HQ_CHECK_MSG(!fired_, "Event fired twice");
+  fired_ = true;
+  while (!waiters_.empty()) {
+    std::coroutine_handle<> h = waiters_.front();
+    waiters_.pop_front();
+    sim_.schedule(0, [h] { h.resume(); });
+  }
+}
+
+void Mutex::unlock() {
+  HQ_CHECK_MSG(locked_, "unlock of an unlocked Mutex");
+  if (waiters_.empty()) {
+    locked_ = false;
+    return;
+  }
+  // Ownership transfers directly to the oldest waiter; the mutex stays
+  // locked so tasks arriving in between cannot barge ahead.
+  std::coroutine_handle<> h = waiters_.front();
+  waiters_.pop_front();
+  sim_.schedule(0, [h] { h.resume(); });
+}
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    std::coroutine_handle<> h = waiters_.front();
+    waiters_.pop_front();
+    sim_.schedule(0, [h] { h.resume(); });
+    return;
+  }
+  ++count_;
+}
+
+}  // namespace hq::sim

@@ -1,0 +1,195 @@
+// Virtual-time synchronization primitives for simulated host threads.
+//
+// These mirror the host-side constructs the paper's framework uses on real
+// hardware: the memory-transfer mutex (Section III-B), completion latches for
+// joining child threads, and one-shot events for start/stop signalling. All
+// wakeups are scheduled through the simulator's event queue in FIFO order, so
+// contention outcomes are deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+
+#include "common/check.hpp"
+#include "sim/simulator.hpp"
+
+namespace hq::sim {
+
+/// One-shot broadcast event: co_await wait() suspends until fire(). Waiters
+/// arriving after fire() do not suspend.
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool fired() const { return fired_; }
+
+  /// Fires the event; wakes all current waiters in arrival order at the
+  /// current virtual instant. Firing twice is a contract violation.
+  void fire();
+
+  auto wait() {
+    struct Awaiter {
+      Event& ev;
+      bool await_ready() const noexcept { return ev.fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool fired_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// FIFO-fair mutex in virtual time. This is the primitive behind the paper's
+/// pseudo-burst memory transfer mechanism: a task holds the lock across its
+/// entire host-to-device transfer stage.
+class Mutex {
+ public:
+  explicit Mutex(Simulator& sim) : sim_(sim) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  bool locked() const { return locked_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  /// Awaitable acquire. Returns immediately (without suspending) when the
+  /// mutex is free; otherwise queues FIFO.
+  auto lock() {
+    struct Awaiter {
+      Mutex& m;
+      bool await_ready() const noexcept {
+        if (!m.locked_) {
+          m.locked_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { m.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Releases the mutex. If tasks are queued, ownership transfers to the
+  /// oldest waiter, which resumes at the current virtual instant.
+  void unlock();
+
+  /// Move-only RAII guard; unlocks on destruction.
+  class Guard {
+   public:
+    explicit Guard(Mutex* m) : mutex_(m) {}
+    Guard(Guard&& other) noexcept : mutex_(std::exchange(other.mutex_, nullptr)) {}
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        reset();
+        mutex_ = std::exchange(other.mutex_, nullptr);
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { reset(); }
+
+    /// Releases the lock early.
+    void reset() {
+      if (mutex_ != nullptr) {
+        std::exchange(mutex_, nullptr)->unlock();
+      }
+    }
+    bool owns_lock() const { return mutex_ != nullptr; }
+
+   private:
+    Mutex* mutex_;
+  };
+
+  /// Awaitable acquire returning an RAII guard:
+  ///   auto guard = co_await mutex.scoped_lock();
+  auto scoped_lock() {
+    struct Awaiter {
+      Mutex& m;
+      bool await_ready() const noexcept {
+        if (!m.locked_) {
+          m.locked_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { m.waiters_.push_back(h); }
+      Guard await_resume() const noexcept { return Guard(&m); }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore in virtual time, FIFO-fair.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::size_t initial) : sim_(sim), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::size_t available() const { return count_; }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& s;
+      bool await_ready() const noexcept {
+        if (s.count_ > 0) {
+          --s.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release();
+
+ private:
+  Simulator& sim_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Countdown latch: wait() completes once count_down() has been called the
+/// configured number of times. Used by the harness parent to join its
+/// application child tasks (the paper's "after all child threads have
+/// completed").
+class CountdownLatch {
+ public:
+  CountdownLatch(Simulator& sim, std::size_t count)
+      : event_(sim), remaining_(count) {
+    if (remaining_ == 0) event_.fire();
+  }
+
+  std::size_t remaining() const { return remaining_; }
+
+  void count_down() {
+    HQ_CHECK_MSG(remaining_ > 0, "count_down below zero");
+    if (--remaining_ == 0) event_.fire();
+  }
+
+  auto wait() { return event_.wait(); }
+
+ private:
+  Event event_;
+  std::size_t remaining_;
+};
+
+}  // namespace hq::sim

@@ -1,0 +1,111 @@
+// Coroutine task type for simulated host threads.
+//
+// A Task is a lazily-started coroutine running in virtual time. Application
+// code (the framework's "host threads") is written as ordinary sequential
+// code that co_awaits simulated operations:
+//
+//   hq::sim::Task app(hq::sim::Simulator& sim, hq::sim::Mutex& m) {
+//     co_await sim.delay(5 * hq::kMicrosecond);   // driver overhead
+//     auto guard = co_await m.scoped_lock();       // virtual-time mutex
+//     co_await sim.delay(100 * hq::kMicrosecond);  // critical section
+//   }
+//
+// Tasks compose: `co_await child_task()` starts the child immediately and
+// resumes the parent when the child finishes (same virtual instant,
+// symmetric transfer). Root tasks are handed to Simulator::spawn, which owns
+// their lifetime. Exceptions propagate to the awaiting parent, or — for root
+// tasks — out of Simulator::run().
+//
+// COMPILER NOTE: GCC 12.2 (this project's reference toolchain) destroys
+// by-value coroutine parameters twice when a completed coroutine frame is
+// destroyed (GCC bug 104031, fixed in 12.3). Project rule: every parameter
+// of a coroutine returning Task must be TRIVIALLY DESTRUCTIBLE (references,
+// pointers, handles, arithmetic types, spans). Non-trivial state belongs in
+// locals, in the object a member coroutine runs on, or in a custom awaitable.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace hq::sim {
+
+class Simulator;
+
+/// A lazily-started coroutine executing in simulated time. Move-only; owns
+/// the coroutine frame until awaited or spawned.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    /// Coroutine to resume when this task completes (the awaiting parent).
+    std::coroutine_handle<> continuation;
+    /// Owning simulator, set only for tasks started via Simulator::spawn.
+    Simulator* owner = nullptr;
+    std::exception_ptr exception;
+
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      // Defined in simulator.cpp: hands control back to the parent, or tells
+      // the owning simulator that a root task finished.
+      std::coroutine_handle<> await_suspend(Handle h) const noexcept;
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  /// True if this object still owns a (not yet spawned) coroutine.
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+  /// Awaiting a task starts it immediately and resumes the awaiter when the
+  /// task completes; a task exception is rethrown at the await site.
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) const noexcept {
+        h.promise().continuation = parent;
+        return h;  // symmetric transfer: run the child now
+      }
+      void await_resume() const {
+        if (h.promise().exception) {
+          std::rethrow_exception(h.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Simulator;
+  explicit Task(Handle handle) : handle_(handle) {}
+
+  /// Transfers frame ownership to the caller (used by Simulator::spawn).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+  Handle handle_;
+};
+
+}  // namespace hq::sim

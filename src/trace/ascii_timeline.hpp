@@ -1,0 +1,37 @@
+// Text rendering of a recorded timeline, one row per lane (stream), in the
+// style of the paper's NVIDIA Visual Profiler figures:
+//
+//   Stream 34 |HHH..KKKKKK......|
+//   Stream 35 |...HHH....KKKKKK.|
+//
+// 'H' = HtoD copy, 'D' = DtoH copy, 'K' = kernel execution, 'h' = host
+// compute, 'w' = lock wait, '.' = idle.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace hq::trace {
+
+struct AsciiTimelineOptions {
+  /// Character cells used for the time axis.
+  int width = 100;
+  /// Row-label prefix, e.g. "Stream ".
+  std::string lane_prefix = "Stream ";
+  /// Offset added to lane numbers in labels (the paper's profiler shots
+  /// start at stream 34).
+  int lane_label_base = 0;
+  /// Restrict rendering to [begin, end); by default the recorder's extent.
+  std::optional<TimeNs> begin;
+  std::optional<TimeNs> end;
+};
+
+/// Renders the recorder's spans as a multi-row ASCII chart. Lanes appear in
+/// ascending order; spans shorter than a cell still occupy one cell, so very
+/// small transfers remain visible (as in the paper's figures). Returns "" for
+/// an empty recorder.
+std::string render_ascii_timeline(const Recorder& recorder,
+                                  const AsciiTimelineOptions& options = {});
+
+}  // namespace hq::trace

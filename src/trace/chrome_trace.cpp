@@ -1,0 +1,53 @@
+#include "trace/chrome_trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace hq::trace {
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Control characters are not expected in span names; drop them.
+          break;
+        }
+        os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(const Recorder& recorder, std::ostream& os) {
+  os << "[";
+  bool first = true;
+  for (const Span& s : recorder.spans()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"";
+    write_escaped(os, s.name);
+    os << "\", \"cat\": \"" << span_kind_name(s.kind) << "\""
+       << ", \"ph\": \"X\""
+       << ", \"ts\": " << static_cast<double>(s.begin) / 1e3
+       << ", \"dur\": " << static_cast<double>(s.duration()) / 1e3
+       << ", \"pid\": 0"
+       << ", \"tid\": " << s.lane << ", \"args\": {\"app\": " << s.app_id
+       << "}}";
+  }
+  os << "\n]\n";
+}
+
+std::string chrome_trace_json(const Recorder& recorder) {
+  std::ostringstream os;
+  write_chrome_trace(recorder, os);
+  return os.str();
+}
+
+}  // namespace hq::trace

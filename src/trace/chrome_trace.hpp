@@ -1,0 +1,19 @@
+// Chrome-trace (chrome://tracing / Perfetto) JSON export of a recorded
+// timeline. Each lane becomes a tid; spans become complete ("ph":"X") events
+// with microsecond timestamps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace hq::trace {
+
+/// Writes the recorder contents as a Chrome-trace JSON array.
+void write_chrome_trace(const Recorder& recorder, std::ostream& os);
+
+/// Convenience: render to a string.
+std::string chrome_trace_json(const Recorder& recorder);
+
+}  // namespace hq::trace

@@ -1,0 +1,61 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hq::trace {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::MemcpyHtoD: return "HtoD";
+    case SpanKind::MemcpyDtoH: return "DtoH";
+    case SpanKind::Kernel: return "kernel";
+    case SpanKind::HostCompute: return "host";
+    case SpanKind::LockWait: return "lock-wait";
+  }
+  return "?";
+}
+
+void Recorder::add(Span span) {
+  HQ_CHECK_MSG(span.end >= span.begin,
+               "span '" << span.name << "' ends before it begins");
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Recorder::by_app(std::int32_t app_id) const {
+  std::vector<Span> out;
+  std::copy_if(spans_.begin(), spans_.end(), std::back_inserter(out),
+               [app_id](const Span& s) { return s.app_id == app_id; });
+  return out;
+}
+
+std::vector<Span> Recorder::by_kind(SpanKind kind) const {
+  std::vector<Span> out;
+  std::copy_if(spans_.begin(), spans_.end(), std::back_inserter(out),
+               [kind](const Span& s) { return s.kind == kind; });
+  return out;
+}
+
+std::vector<Span> Recorder::by_lane(std::int32_t lane) const {
+  std::vector<Span> out;
+  std::copy_if(spans_.begin(), spans_.end(), std::back_inserter(out),
+               [lane](const Span& s) { return s.lane == lane; });
+  return out;
+}
+
+std::optional<TimeNs> Recorder::min_time() const {
+  if (spans_.empty()) return std::nullopt;
+  TimeNs t = spans_.front().begin;
+  for (const Span& s : spans_) t = std::min(t, s.begin);
+  return t;
+}
+
+std::optional<TimeNs> Recorder::max_time() const {
+  if (spans_.empty()) return std::nullopt;
+  TimeNs t = spans_.front().end;
+  for (const Span& s : spans_) t = std::max(t, s.end);
+  return t;
+}
+
+}  // namespace hq::trace

@@ -1,0 +1,67 @@
+// Execution-span recording.
+//
+// The simulated device and runtime emit spans (kernel executions, memory
+// transfers, lock waits) tagged with a lane (stream index or engine) and the
+// owning application instance. The recorder is the data source for:
+//   * the ASCII timeline renderer (reproducing the paper's Visual Profiler
+//     screenshots, Figs. 1/2/5, as text),
+//   * Chrome-trace JSON export (chrome://tracing / Perfetto),
+//   * the effective-memory-transfer-latency metric (paper Eq. 1-2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hq::trace {
+
+enum class SpanKind : std::uint8_t {
+  MemcpyHtoD,
+  MemcpyDtoH,
+  Kernel,
+  HostCompute,
+  LockWait,
+};
+
+/// Short label for a span kind ("HtoD", "DtoH", "kernel", ...).
+const char* span_kind_name(SpanKind kind);
+
+/// One closed interval of activity attributed to a lane and an application.
+struct Span {
+  std::int32_t lane = 0;    ///< row identifier; stream index by convention
+  std::int32_t app_id = -1; ///< owning application instance, -1 if none
+  SpanKind kind = SpanKind::Kernel;
+  std::string name;
+  TimeNs begin = 0;
+  TimeNs end = 0;
+
+  DurationNs duration() const { return end - begin; }
+};
+
+/// Append-only collection of spans with simple query helpers.
+class Recorder {
+ public:
+  void add(Span span);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+  std::size_t size() const { return spans_.size(); }
+  void clear() { spans_.clear(); }
+
+  std::vector<Span> by_app(std::int32_t app_id) const;
+  std::vector<Span> by_kind(SpanKind kind) const;
+  std::vector<Span> by_lane(std::int32_t lane) const;
+
+  /// Earliest span begin; nullopt when empty.
+  std::optional<TimeNs> min_time() const;
+  /// Latest span end; nullopt when empty.
+  std::optional<TimeNs> max_time() const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace hq::trace

@@ -1,0 +1,157 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace hq {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentSequences) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(RngTest, NextInInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextInReversedBoundsThrows) {
+  Rng rng(11);
+  EXPECT_THROW(rng.next_in(3, -3), Error);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRoughlyUniformMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMeanAndVariance) {
+  Rng rng(9);
+  double sum = 0, sum2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // overwhelmingly likely for 100 elements
+}
+
+TEST(RngTest, ShuffleDeterministicPerSeed) {
+  std::vector<int> a(50), b(50);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng r1(99), r2(99);
+  r1.shuffle(a);
+  r2.shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ShuffleHandlesTinyVectors) {
+  Rng rng(1);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.split();
+  // Child should not replay the parent's stream.
+  Rng parent2(21);
+  (void)parent2.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u64() == parent2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BitsAreWellMixed) {
+  // Every bit position should flip roughly half the time.
+  Rng rng(1234);
+  std::vector<int> ones(64, 0);
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.next_u64();
+    for (int b = 0; b < 64; ++b) {
+      ones[b] += static_cast<int>((v >> b) & 1u);
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(ones[b], n / 2, n / 8) << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace hq

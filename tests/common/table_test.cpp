@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hq {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RowArityMismatchThrows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTableTest, SeparatorRows) {
+  TextTable t;
+  t.set_header({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Two separators: one under the header, one explicit.
+  std::size_t count = 0;
+  for (std::size_t pos = out.find("--"); pos != std::string::npos;
+       pos = out.find("--", pos + 1)) {
+    ++count;
+  }
+  EXPECT_GE(count, 2u);
+}
+
+TEST(TextTableTest, NoHeaderWorks) {
+  TextTable t;
+  t.add_row({"a", "b", "c"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.render().find("a"), std::string::npos);
+}
+
+TEST(FormatTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 1), "-1.0");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.318), "+31.8%");
+  EXPECT_EQ(format_percent(-0.104), "-10.4%");
+  EXPECT_EQ(format_percent(0.0), "+0.0%");
+  EXPECT_EQ(format_percent(0.25, 0), "+25%");
+}
+
+}  // namespace
+}  // namespace hq

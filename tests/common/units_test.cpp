@@ -1,0 +1,37 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hq {
+namespace {
+
+TEST(UnitsTest, ConversionConstants) {
+  EXPECT_EQ(kMicrosecond, 1000u);
+  EXPECT_EQ(kMillisecond, 1000u * 1000u);
+  EXPECT_EQ(kSecond, 1000u * 1000u * 1000u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+}
+
+TEST(UnitsTest, ToSeconds) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(500 * kMillisecond), 0.5);
+  EXPECT_DOUBLE_EQ(to_milliseconds(kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(kMicrosecond), 1.0);
+}
+
+TEST(UnitsTest, FormatDurationPicksAdaptiveUnit) {
+  EXPECT_EQ(format_duration(500), "500.00 ns");
+  EXPECT_EQ(format_duration(1500), "1.50 us");
+  EXPECT_EQ(format_duration(2 * kMillisecond + kMillisecond / 2), "2.50 ms");
+  EXPECT_EQ(format_duration(3 * kSecond), "3.00 s");
+}
+
+TEST(UnitsTest, FormatBytesPicksAdaptiveUnit) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(format_bytes(5 * kGiB), "5.00 GiB");
+}
+
+}  // namespace
+}  // namespace hq

@@ -1,0 +1,374 @@
+#include "cudart/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/sync.hpp"
+#include "trace/trace.hpp"
+
+namespace hq::rt {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest()
+      : device_(sim_, gpu::DeviceSpec::tesla_k20(), &recorder_),
+        rt_(sim_, device_) {}
+
+  /// Runs a coroutine to completion on the simulator.
+  void run(sim::Task task) {
+    sim_.spawn(std::move(task));
+    sim_.run();
+  }
+
+  sim::Simulator sim_;
+  trace::Recorder recorder_;
+  gpu::Device device_;
+  Runtime rt_;
+};
+
+// ----------------------------------------------------------------- memory
+
+TEST_F(RuntimeTest, DeviceAllocationLifecycle) {
+  auto r = rt_.malloc_device(kMiB);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(rt_.device_bytes_in_use(), kMiB);
+  EXPECT_EQ(rt_.device_allocation_count(), 1u);
+  EXPECT_EQ(rt_.free_device(r.value()), Status::Ok);
+  EXPECT_EQ(rt_.device_bytes_in_use(), 0u);
+  EXPECT_EQ(rt_.device_allocation_count(), 0u);
+}
+
+TEST_F(RuntimeTest, ZeroByteAllocationRejected) {
+  EXPECT_EQ(rt_.malloc_device(0).status(), Status::InvalidValue);
+  EXPECT_EQ(rt_.malloc_host(0).status(), Status::InvalidValue);
+}
+
+TEST_F(RuntimeTest, DeviceOutOfMemory) {
+  // K20 capacity is 5 GiB.
+  auto a = rt_.malloc_device(3 * kGiB);
+  ASSERT_TRUE(a.ok());
+  auto b = rt_.malloc_device(3 * kGiB);
+  EXPECT_EQ(b.status(), Status::OutOfMemory);
+  // Freeing makes room again.
+  EXPECT_EQ(rt_.free_device(a.value()), Status::Ok);
+  EXPECT_TRUE(rt_.malloc_device(3 * kGiB).ok());
+}
+
+TEST_F(RuntimeTest, DoubleFreeReturnsInvalidHandle) {
+  auto r = rt_.malloc_device(64);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(rt_.free_device(r.value()), Status::Ok);
+  EXPECT_EQ(rt_.free_device(r.value()), Status::InvalidHandle);
+  EXPECT_EQ(rt_.free_host(HostPtr{999}), Status::InvalidHandle);
+}
+
+TEST_F(RuntimeTest, AllocationsAreZeroInitialized) {
+  auto d = rt_.malloc_device(256);
+  ASSERT_TRUE(d.ok());
+  for (std::byte b : rt_.device_bytes(d.value())) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+TEST_F(RuntimeTest, TypedSpansView) {
+  auto h = rt_.malloc_host(16 * sizeof(float));
+  ASSERT_TRUE(h.ok());
+  auto view = rt_.host_as<float>(h.value());
+  EXPECT_EQ(view.size(), 16u);
+  view[3] = 2.5f;
+  EXPECT_EQ(rt_.host_as<float>(h.value())[3], 2.5f);
+}
+
+TEST_F(RuntimeTest, InvalidHandleAccessThrows) {
+  EXPECT_THROW(rt_.device_bytes(DevicePtr{42}), hq::Error);
+  EXPECT_THROW(rt_.host_bytes(HostPtr{42}), hq::Error);
+}
+
+// ----------------------------------------------------------------- streams
+
+TEST_F(RuntimeTest, StreamLifecycle) {
+  Stream s = rt_.stream_create();
+  EXPECT_TRUE(s.valid());
+  EXPECT_TRUE(rt_.stream_query(s));
+  EXPECT_EQ(rt_.stream_destroy(s), Status::Ok);
+  EXPECT_EQ(rt_.stream_destroy(s), Status::InvalidHandle);
+}
+
+TEST_F(RuntimeTest, StreamIdsAreUnique) {
+  Stream a = rt_.stream_create();
+  Stream b = rt_.stream_create();
+  EXPECT_NE(a.id, b.id);
+}
+
+TEST_F(RuntimeTest, BusyStreamCannotBeDestroyed) {
+  Stream s = rt_.stream_create();
+  auto body = [this, s]() -> sim::Task {
+    LaunchConfig cfg{"k", {1, 1, 1}, {32, 1, 1}, 32, 0, kMillisecond, 0.0,
+                     nullptr};
+    auto op = rt_.launch_kernel(s, std::move(cfg));
+    co_await op;
+    EXPECT_EQ(rt_.stream_destroy(s), Status::NotReady);
+    co_await rt_.stream_synchronize(s);
+    EXPECT_EQ(rt_.stream_destroy(s), Status::Ok);
+  };
+  run(body());
+}
+
+// ----------------------------------------------------------------- transfers
+
+TEST_F(RuntimeTest, MemcpyMovesBytesBothDirections) {
+  auto h = rt_.malloc_host(1024);
+  auto d = rt_.malloc_device(1024);
+  auto h2 = rt_.malloc_host(1024);
+  ASSERT_TRUE(h.ok() && d.ok() && h2.ok());
+  auto src = rt_.host_as<std::uint8_t>(h.value());
+  std::iota(src.begin(), src.end(), 0);
+
+  Stream s = rt_.stream_create();
+  auto body = [this, s, &h, &d, &h2]() -> sim::Task {
+    auto up = rt_.memcpy_htod_async(s, d.value(), h.value(), 1024);
+    co_await up;
+    auto down = rt_.memcpy_dtoh_async(s, h2.value(), d.value(), 1024);
+    co_await down;
+    co_await rt_.stream_synchronize(s);
+  };
+  run(body());
+
+  auto out = rt_.host_as<std::uint8_t>(h2.value());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST_F(RuntimeTest, NonFunctionalModeSkipsByteMovement) {
+  Runtime rt2(sim_, device_, RuntimeOptions{.functional = false});
+  auto h = rt2.malloc_host(64);
+  auto d = rt2.malloc_device(64);
+  rt2.host_as<std::uint8_t>(h.value())[0] = 0xAB;
+  Stream s = rt2.stream_create();
+  auto body = [&rt2, s, &h, &d]() -> sim::Task {
+    auto up = rt2.memcpy_htod_async(s, d.value(), h.value(), 64);
+    co_await up;
+    co_await rt2.stream_synchronize(s);
+  };
+  run(body());
+  EXPECT_EQ(rt2.device_bytes(d.value())[0], std::byte{0});
+}
+
+TEST_F(RuntimeTest, OversizedMemcpyThrows) {
+  auto h = rt_.malloc_host(64);
+  auto d = rt_.malloc_device(32);
+  Stream s = rt_.stream_create();
+  bool threw = false;
+  auto body = [this, s, &h, &d, &threw]() -> sim::Task {
+    try {
+      auto up = rt_.memcpy_htod_async(s, d.value(), h.value(), 64);
+      co_await up;
+    } catch (const hq::Error&) {
+      threw = true;
+    }
+  };
+  run(body());
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(RuntimeTest, SubmissionOverheadChargedToHostThread) {
+  auto h = rt_.malloc_host(64);
+  auto d = rt_.malloc_device(64);
+  Stream s = rt_.stream_create();
+  TimeNs after_submit = 0;
+  auto body = [this, s, &h, &d, &after_submit]() -> sim::Task {
+    auto up = rt_.memcpy_htod_async(s, d.value(), h.value(), 64);
+    co_await up;
+    after_submit = sim_.now();
+    co_await rt_.stream_synchronize(s);
+  };
+  run(body());
+  EXPECT_EQ(after_submit, rt_.options().memcpy_submit_overhead);
+  // The copy itself takes engine overhead on top.
+  EXPECT_GT(sim_.now(), after_submit);
+}
+
+// ----------------------------------------------------------------- kernels
+
+TEST_F(RuntimeTest, KernelBodyRunsAtCompletion) {
+  Stream s = rt_.stream_create();
+  bool ran = false;
+  auto body = [this, s, &ran]() -> sim::Task {
+    LaunchConfig cfg{"k", {4, 1, 1}, {64, 1, 1}, 32, 0, 10 * kMicrosecond,
+                     0.0, [&ran] { ran = true; }};
+    auto op = rt_.launch_kernel(s, std::move(cfg));
+    co_await op;
+    EXPECT_FALSE(ran);  // asynchronous
+    co_await rt_.stream_synchronize(s);
+    EXPECT_TRUE(ran);
+  };
+  run(body());
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(RuntimeTest, ValidateLaunchCatchesBadConfigs) {
+  LaunchConfig ok{"k", {1, 1, 1}, {256, 1, 1}, 32, 0, kMicrosecond, 0.0, nullptr};
+  EXPECT_EQ(rt_.validate_launch(ok), Status::Ok);
+
+  LaunchConfig empty_grid = ok;
+  empty_grid.grid = {0, 1, 1};
+  EXPECT_EQ(rt_.validate_launch(empty_grid), Status::InvalidConfiguration);
+
+  LaunchConfig fat_block = ok;
+  fat_block.block = {2048, 1, 1};
+  EXPECT_EQ(rt_.validate_launch(fat_block), Status::InvalidConfiguration);
+
+  LaunchConfig reg_hog = ok;
+  reg_hog.block = {1024, 1, 1};
+  reg_hog.regs_per_thread = 255;
+  EXPECT_EQ(rt_.validate_launch(reg_hog), Status::InvalidConfiguration);
+
+  LaunchConfig smem_hog = ok;
+  smem_hog.smem_per_block = 256 * kKiB;
+  EXPECT_EQ(rt_.validate_launch(smem_hog), Status::InvalidConfiguration);
+}
+
+TEST_F(RuntimeTest, CopyKernelCopyPipelineOrdered) {
+  auto h = rt_.malloc_host(4 * sizeof(int));
+  auto d = rt_.malloc_device(4 * sizeof(int));
+  auto out = rt_.malloc_host(4 * sizeof(int));
+  auto in_view = rt_.host_as<int>(h.value());
+  for (int i = 0; i < 4; ++i) in_view[i] = i;
+
+  Stream s = rt_.stream_create();
+  auto body = [this, s, &h, &d, &out]() -> sim::Task {
+    auto up = rt_.memcpy_htod_async(s, d.value(), h.value(), 4 * sizeof(int));
+    co_await up;
+    LaunchConfig cfg{"double", {1, 1, 1}, {4, 1, 1}, 32, 0, kMicrosecond, 0.0,
+                     [this, &d] {
+                       for (int& v : rt_.device_as<int>(d.value())) v *= 2;
+                     }};
+    auto op = rt_.launch_kernel(s, std::move(cfg));
+    co_await op;
+    auto down =
+        rt_.memcpy_dtoh_async(s, out.value(), d.value(), 4 * sizeof(int));
+    co_await down;
+    co_await rt_.stream_synchronize(s);
+  };
+  run(body());
+  auto result = rt_.host_as<int>(out.value());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(result[i], 2 * i);
+}
+
+// ----------------------------------------------------------------- sync
+
+TEST_F(RuntimeTest, DeviceSynchronizeWaitsForAllStreams) {
+  Stream s1 = rt_.stream_create();
+  Stream s2 = rt_.stream_create();
+  TimeNs done = 0;
+  auto body = [this, s1, s2, &done]() -> sim::Task {
+    LaunchConfig cfg_a{"a", {1, 1, 1}, {32, 1, 1}, 32, 0,
+                       100 * kMicrosecond, 0.0, nullptr};
+    auto op_a = rt_.launch_kernel(s1, std::move(cfg_a));
+    co_await op_a;
+    LaunchConfig cfg_b{"b", {1, 1, 1}, {32, 1, 1}, 32, 0,
+                       200 * kMicrosecond, 0.0, nullptr};
+    auto op_b = rt_.launch_kernel(s2, std::move(cfg_b));
+    co_await op_b;
+    co_await rt_.device_synchronize();
+    done = sim_.now();
+  };
+  run(body());
+  // b: 5us launch submit (after a's 5us) + 3us dispatch + 200us exec.
+  EXPECT_GE(done, 210 * kMicrosecond);
+  EXPECT_TRUE(rt_.stream_query(s1));
+  EXPECT_TRUE(rt_.stream_query(s2));
+}
+
+TEST_F(RuntimeTest, SynchronizeOnIdleStreamReturnsImmediately) {
+  Stream s = rt_.stream_create();
+  TimeNs t = 42;
+  auto body = [this, s, &t]() -> sim::Task {
+    co_await rt_.stream_synchronize(s);
+    t = sim_.now();
+  };
+  run(body());
+  EXPECT_EQ(t, 0u);
+}
+
+TEST_F(RuntimeTest, MultipleWaitersAllResume) {
+  Stream s = rt_.stream_create();
+  int resumed = 0;
+  auto waiter = [this, s, &resumed]() -> sim::Task {
+    co_await rt_.stream_synchronize(s);
+    ++resumed;
+  };
+  auto worker = [this, s]() -> sim::Task {
+    LaunchConfig cfg{"k", {1, 1, 1}, {32, 1, 1}, 32, 0, 50 * kMicrosecond,
+                     0.0, nullptr};
+    auto op = rt_.launch_kernel(s, std::move(cfg));
+    co_await op;
+  };
+  sim_.spawn(worker());
+  sim_.run_until(kMicrosecond);  // ensure work is pending before waiting
+  sim_.spawn(waiter());
+  sim_.spawn(waiter());
+  sim_.spawn(waiter());
+  sim_.run();
+  EXPECT_EQ(resumed, 3);
+}
+
+// ----------------------------------------------------------------- events
+
+TEST_F(RuntimeTest, EventCapturesStreamCompletionTime) {
+  Stream s = rt_.stream_create();
+  EventHandle before = rt_.event_create();
+  EventHandle after = rt_.event_create();
+  auto body = [this, s, before, after]() -> sim::Task {
+    rt_.event_record(before, s);
+    LaunchConfig cfg{"k", {1, 1, 1}, {32, 1, 1}, 32, 0, 100 * kMicrosecond,
+                     0.0, nullptr};
+    auto op = rt_.launch_kernel(s, std::move(cfg));
+    co_await op;
+    rt_.event_record(after, s);
+    co_await rt_.stream_synchronize(s);
+  };
+  run(body());
+  ASSERT_TRUE(rt_.event_complete(before));
+  ASSERT_TRUE(rt_.event_complete(after));
+  const DurationNs elapsed = rt_.event_time(after) - rt_.event_time(before);
+  // launch submit (5us) + dispatch (3us) + exec (100us).
+  EXPECT_EQ(elapsed, 108 * kMicrosecond);
+}
+
+TEST_F(RuntimeTest, EventBeforeRecordIsIncomplete) {
+  EventHandle e = rt_.event_create();
+  EXPECT_FALSE(rt_.event_complete(e));
+  EXPECT_THROW(rt_.event_time(e), hq::Error);
+  EXPECT_EQ(rt_.event_destroy(e), Status::Ok);
+  EXPECT_EQ(rt_.event_destroy(e), Status::InvalidHandle);
+}
+
+// ----------------------------------------------------------------- traces
+
+TEST_F(RuntimeTest, OperationsEmitTraceSpans) {
+  auto h = rt_.malloc_host(kMiB);
+  auto d = rt_.malloc_device(kMiB);
+  Stream s = rt_.stream_create();
+  auto body = [this, s, &h, &d]() -> sim::Task {
+    auto up = rt_.memcpy_htod_async(s, d.value(), h.value(), kMiB,
+                                    gpu::OpTag{3, "input"});
+    co_await up;
+    LaunchConfig cfg{"work", {8, 1, 1}, {128, 1, 1}, 32, 0, kMicrosecond, 0.0,
+                     nullptr};
+    auto op = rt_.launch_kernel(s, std::move(cfg), gpu::OpTag{3, ""});
+    co_await op;
+    co_await rt_.stream_synchronize(s);
+  };
+  run(body());
+  EXPECT_EQ(recorder_.by_app(3).size(), 2u);
+  EXPECT_EQ(recorder_.by_kind(trace::SpanKind::MemcpyHtoD).size(), 1u);
+  EXPECT_EQ(recorder_.by_kind(trace::SpanKind::Kernel).size(), 1u);
+}
+
+}  // namespace
+}  // namespace hq::rt

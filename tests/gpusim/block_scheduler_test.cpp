@@ -1,0 +1,228 @@
+#include "gpusim/block_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hq::gpu {
+namespace {
+
+struct Completion {
+  std::string name;
+  TimeNs dispatch_time;
+  TimeNs first_block_time;
+  TimeNs complete_time;
+  int waves;
+};
+
+class BlockSchedulerTest : public ::testing::Test {
+ protected:
+  BlockSchedulerTest() : spec_(DeviceSpec::tesla_k20()) { make_scheduler(); }
+
+  void make_scheduler() {
+    scheduler_ = std::make_unique<BlockScheduler>(
+        sim_, spec_, [] {},
+        [this](const KernelExec& e) {
+          completions_.push_back(Completion{e.launch.name, e.dispatch_time,
+                                            e.first_block_time,
+                                            e.complete_time, e.waves});
+        });
+  }
+
+  void dispatch(const std::string& name, std::uint32_t grid_blocks,
+                std::uint32_t threads_per_block, DurationNs block_duration,
+                std::uint32_t regs = 32, Bytes smem = 0) {
+    auto exec = std::make_unique<KernelExec>();
+    exec->launch = KernelLaunch{name,
+                                Dim3{grid_blocks, 1, 1},
+                                Dim3{threads_per_block, 1, 1},
+                                regs,
+                                smem,
+                                block_duration,
+                                0.0,
+                                nullptr};
+    scheduler_->dispatch(std::move(exec));
+  }
+
+  sim::Simulator sim_;
+  DeviceSpec spec_;
+  std::unique_ptr<BlockScheduler> scheduler_;
+  std::vector<Completion> completions_;
+};
+
+TEST_F(BlockSchedulerTest, SingleBlockKernelRunsForBlockDuration) {
+  dispatch("k", 1, 512, 5 * kMicrosecond);
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_EQ(completions_[0].complete_time, 5 * kMicrosecond);
+  EXPECT_EQ(completions_[0].waves, 1);
+}
+
+TEST_F(BlockSchedulerTest, KernelFittingInOneWaveTakesOneBlockDuration) {
+  // 104 resident blocks possible for 256-thread blocks (8 per SMX x 13);
+  // 100 blocks fit in a single wave.
+  dispatch("k", 100, 256, 10 * kMicrosecond);
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_EQ(completions_[0].complete_time, 10 * kMicrosecond);
+  EXPECT_EQ(completions_[0].waves, 1);
+}
+
+TEST_F(BlockSchedulerTest, OversizedKernelExecutesInWaves) {
+  // 256-thread blocks: 2048/256 = 8 per SMX -> 104 device-wide.
+  // 1024 blocks need ceil(1024/104) = 10 waves.
+  dispatch("fan2", 1024, 256, 3 * kMicrosecond);
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_EQ(completions_[0].waves, 10);
+  EXPECT_EQ(completions_[0].complete_time, 30 * kMicrosecond);
+}
+
+TEST_F(BlockSchedulerTest, ResidentBlockCeilingIs208) {
+  // 16 blocks of 128 threads per SMX (block-slot limited).
+  dispatch("small", 500, 64, 100 * kMicrosecond, 16);
+  sim_.run_until(1);
+  EXPECT_EQ(scheduler_->resident_blocks(), spec_.max_resident_blocks());
+  EXPECT_EQ(scheduler_->resident_blocks(), 208);
+  sim_.run();
+}
+
+TEST_F(BlockSchedulerTest, LeftoverPolicyPacksSecondKernelIntoFreeSpace) {
+  // First kernel uses one 512-thread block: a sliver of one SMX, which then
+  // has only 1536 free threads (one 1024-thread slot).
+  dispatch("tiny", 1, 512, 50 * kMicrosecond);
+  // Second kernel fits entirely into the leftover space (12 SMX x 2 blocks
+  // + 1 block on the shared SMX = 25) and completes before the first.
+  dispatch("wide", 25, 1024, 10 * kMicrosecond);
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 2u);
+  EXPECT_EQ(completions_[0].name, "wide");
+  EXPECT_EQ(completions_[0].complete_time, 10 * kMicrosecond);
+  EXPECT_EQ(completions_[1].name, "tiny");
+}
+
+TEST_F(BlockSchedulerTest, OversubscribedKernelsOverlapViaLeftover) {
+  // Paper Figure 5: five kernels totalling more than 208 thread blocks are
+  // co-resident because the scheduler packs whatever fits.
+  dispatch("needle_1", 89, 32, 40 * kMicrosecond);
+  dispatch("needle_2", 88, 32, 40 * kMicrosecond);
+  dispatch("fan1_a", 1, 512, 40 * kMicrosecond);
+  dispatch("fan1_b", 1, 512, 40 * kMicrosecond);
+  dispatch("fan2", 1024, 256, 40 * kMicrosecond);
+  sim_.run_until(1);
+  // 89+88+1+1 = 179 small/medium blocks placed, plus fan2 filling leftover.
+  EXPECT_GT(scheduler_->resident_blocks(), 179);
+  EXPECT_EQ(scheduler_->kernels_in_flight(), 5u);
+  sim_.run();
+  EXPECT_EQ(completions_.size(), 5u);
+}
+
+TEST_F(BlockSchedulerTest, StrictDispatchOrderNoSkipAhead) {
+  // A kernel that saturates the device's threads (1024-thread blocks: 2 per
+  // SMX, 26 resident; 52 blocks = 2 full waves), then a tiny one. The tiny
+  // kernel must not start until the big one's final wave completes, because
+  // every wave leaves zero free threads.
+  dispatch("big", 52, 1024, 10 * kMicrosecond, 16);
+  dispatch("tiny", 1, 32, kMicrosecond);
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 2u);
+  const auto& tiny = completions_[0].name == "tiny" ? completions_[0]
+                                                    : completions_[1];
+  EXPECT_EQ(tiny.first_block_time, 20 * kMicrosecond);
+}
+
+TEST_F(BlockSchedulerTest, ManySmallKernelsRunFullyConcurrently) {
+  for (int i = 0; i < 13; ++i) {
+    dispatch("k" + std::to_string(i), 1, 1024, 20 * kMicrosecond);
+  }
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 13u);
+  for (const auto& c : completions_) {
+    EXPECT_EQ(c.complete_time, 20 * kMicrosecond) << c.name;
+  }
+}
+
+TEST_F(BlockSchedulerTest, ContentionSensitivitySlowsBusyDevice) {
+  // Fill half the device (52 blocks x 256 threads = 13312 of 26624
+  // threads), then dispatch a contention-sensitive kernel.
+  dispatch("filler", 52, 256, 100 * kMicrosecond);
+  auto exec = std::make_unique<KernelExec>();
+  exec->launch = KernelLaunch{"sensitive", Dim3{1, 1, 1}, Dim3{256, 1, 1},
+                              32,          0,             10 * kMicrosecond,
+                              1.0,         nullptr};
+  scheduler_->dispatch(std::move(exec));
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 2u);
+  const auto& s = completions_[0].name == "sensitive" ? completions_[0]
+                                                      : completions_[1];
+  // Placed at occupancy 0.5 with sensitivity 1.0: 10us * 1.5 = 15us.
+  EXPECT_EQ(s.complete_time - s.first_block_time, 15 * kMicrosecond);
+}
+
+TEST_F(BlockSchedulerTest, OccupancyDropsToZeroAfterCompletion) {
+  dispatch("k", 64, 256, 5 * kMicrosecond);
+  sim_.run();
+  EXPECT_EQ(scheduler_->resident_blocks(), 0);
+  EXPECT_EQ(scheduler_->resident_threads(), 0);
+  EXPECT_DOUBLE_EQ(scheduler_->thread_occupancy(), 0.0);
+  EXPECT_EQ(scheduler_->kernels_in_flight(), 0u);
+}
+
+TEST_F(BlockSchedulerTest, SharedMemoryLimitsResidency) {
+  // 48 KiB per SMX, 24 KiB per block -> 2 blocks per SMX, 26 device-wide.
+  dispatch("smem_heavy", 200, 64, 10 * kMicrosecond, 16, 24 * kKiB);
+  sim_.run_until(1);
+  EXPECT_EQ(scheduler_->resident_blocks(), 26);
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 1u);
+  // ceil(200/26) = 8 waves.
+  EXPECT_EQ(completions_[0].waves, 8);
+}
+
+TEST_F(BlockSchedulerTest, WavesMatchCeilOfBlocksOverResidency) {
+  struct Case {
+    std::uint32_t grid;
+    std::uint32_t tpb;
+    int expected_waves;
+  };
+  // 256-thread blocks -> 104 resident; 1024-thread blocks -> 26 resident.
+  const std::vector<Case> cases = {
+      {1, 256, 1}, {104, 256, 1}, {105, 256, 2}, {208, 256, 2},
+      {209, 256, 3}, {26, 1024, 1}, {27, 1024, 2},
+  };
+  for (const auto& c : cases) {
+    completions_.clear();
+    sim::Simulator fresh;
+    BlockScheduler sched(
+        fresh, spec_, [] {},
+        [this](const KernelExec& e) {
+          completions_.push_back(Completion{e.launch.name, e.dispatch_time,
+                                            e.first_block_time,
+                                            e.complete_time, e.waves});
+        });
+    auto exec = std::make_unique<KernelExec>();
+    exec->launch = KernelLaunch{"k", Dim3{c.grid, 1, 1}, Dim3{c.tpb, 1, 1},
+                                16,  0, kMicrosecond, 0.0, nullptr};
+    sched.dispatch(std::move(exec));
+    fresh.run();
+    ASSERT_EQ(completions_.size(), 1u);
+    EXPECT_EQ(completions_[0].waves, c.expected_waves)
+        << "grid=" << c.grid << " tpb=" << c.tpb;
+  }
+}
+
+TEST_F(BlockSchedulerTest, InvalidLaunchConfigurationsThrow) {
+  EXPECT_THROW(dispatch("too_many_threads", 1, 2048, kMicrosecond),
+               hq::Error);
+  // Register demand exceeding an SMX.
+  EXPECT_THROW(dispatch("reg_hog", 1, 1024, kMicrosecond, 128), hq::Error);
+  // Shared memory demand exceeding an SMX.
+  EXPECT_THROW(dispatch("smem_hog", 1, 64, kMicrosecond, 16, 64 * kKiB),
+               hq::Error);
+}
+
+}  // namespace
+}  // namespace hq::gpu

@@ -1,0 +1,294 @@
+#include "gpusim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace hq::gpu {
+namespace {
+
+KernelLaunch make_kernel(const std::string& name, std::uint32_t blocks,
+                         std::uint32_t tpb, DurationNs block_duration) {
+  return KernelLaunch{name, Dim3{blocks, 1, 1}, Dim3{tpb, 1, 1},
+                      32,   0,                  block_duration,
+                      0.0,  nullptr};
+}
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest() : device_(sim_, DeviceSpec::tesla_k20(), &recorder_) {}
+
+  sim::Simulator sim_;
+  trace::Recorder recorder_;
+  Device device_;
+};
+
+TEST_F(DeviceTest, StreamsMapToQueuesRoundRobin) {
+  for (StreamId s = 0; s < 40; ++s) device_.register_stream(s);
+  EXPECT_EQ(device_.queue_of(0), 0);
+  EXPECT_EQ(device_.queue_of(31), 31);
+  EXPECT_EQ(device_.queue_of(32), 0);  // wraps at 32 Hyper-Q queues
+  EXPECT_EQ(device_.queue_of(39), 7);
+}
+
+TEST_F(DeviceTest, DuplicateStreamRegistrationThrows) {
+  device_.register_stream(1);
+  EXPECT_THROW(device_.register_stream(1), hq::Error);
+}
+
+TEST_F(DeviceTest, SubmitOnUnknownStreamThrows) {
+  EXPECT_THROW(
+      device_.submit_kernel(7, make_kernel("k", 1, 32, kMicrosecond), {}),
+      hq::Error);
+}
+
+TEST_F(DeviceTest, KernelCompletionCallbackFires) {
+  device_.register_stream(0);
+  TimeNs done = 0;
+  device_.submit_kernel(0, make_kernel("k", 1, 32, 10 * kMicrosecond), {},
+                        [&] { done = sim_.now(); });
+  sim_.run();
+  // dispatch latency (3us) + execution (10us).
+  EXPECT_EQ(done, 13 * kMicrosecond);
+  EXPECT_EQ(device_.stats().kernels_completed, 1u);
+  EXPECT_TRUE(device_.stream_idle(0));
+}
+
+TEST_F(DeviceTest, StreamOrderingSerializesOps) {
+  device_.register_stream(0);
+  std::vector<int> order;
+  device_.submit_kernel(0, make_kernel("k1", 1, 32, 10 * kMicrosecond), {},
+                        [&] { order.push_back(1); });
+  device_.submit_kernel(0, make_kernel("k2", 1, 32, 10 * kMicrosecond), {},
+                        [&] { order.push_back(2); });
+  device_.submit_copy(0, CopyRequest{CopyDirection::DtoH, 1000, nullptr}, {},
+                      [&] { order.push_back(3); });
+  sim_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  // k2 cannot begin until k1 completes: 2 x (3us dispatch + 10us exec).
+  const auto kernel_spans = recorder_.by_kind(trace::SpanKind::Kernel);
+  ASSERT_EQ(kernel_spans.size(), 2u);
+  EXPECT_GE(kernel_spans[1].begin, kernel_spans[0].end);
+}
+
+TEST_F(DeviceTest, IndependentStreamsOverlapInHyperQMode) {
+  device_.register_stream(0);
+  device_.register_stream(1);
+  device_.submit_kernel(0, make_kernel("a", 1, 512, 50 * kMicrosecond), {});
+  device_.submit_kernel(1, make_kernel("b", 1, 512, 50 * kMicrosecond), {});
+  sim_.run();
+  const auto spans = recorder_.by_kind(trace::SpanKind::Kernel);
+  ASSERT_EQ(spans.size(), 2u);
+  // Both started at the same instant (after dispatch latency).
+  EXPECT_EQ(spans[0].begin, spans[1].begin);
+  EXPECT_EQ(sim_.now(), 53 * kMicrosecond);
+}
+
+TEST_F(DeviceTest, CopyEnginesForBothDirectionsRunConcurrently) {
+  device_.register_stream(0);
+  device_.register_stream(1);
+  device_.submit_copy(0, CopyRequest{CopyDirection::HtoD, kMiB, nullptr}, {});
+  device_.submit_copy(1, CopyRequest{CopyDirection::DtoH, kMiB, nullptr}, {});
+  sim_.run();
+  const auto h = recorder_.by_kind(trace::SpanKind::MemcpyHtoD);
+  const auto d = recorder_.by_kind(trace::SpanKind::MemcpyDtoH);
+  ASSERT_EQ(h.size(), 1u);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(h[0].begin, d[0].begin);  // truly parallel engines
+}
+
+TEST_F(DeviceTest, SameDirectionCopiesSerializeAcrossStreams) {
+  device_.register_stream(0);
+  device_.register_stream(1);
+  device_.submit_copy(0, CopyRequest{CopyDirection::HtoD, kMiB, nullptr}, {});
+  device_.submit_copy(1, CopyRequest{CopyDirection::HtoD, kMiB, nullptr}, {});
+  sim_.run();
+  const auto spans = recorder_.by_kind(trace::SpanKind::MemcpyHtoD);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].begin, spans[0].end);  // single DMA engine
+}
+
+TEST_F(DeviceTest, CopyThenKernelDependencyWithinStream) {
+  device_.register_stream(0);
+  device_.submit_copy(0, CopyRequest{CopyDirection::HtoD, kMiB, nullptr}, {});
+  device_.submit_kernel(0, make_kernel("k", 1, 32, kMicrosecond), {});
+  sim_.run();
+  const auto copies = recorder_.by_kind(trace::SpanKind::MemcpyHtoD);
+  const auto kernels = recorder_.by_kind(trace::SpanKind::Kernel);
+  ASSERT_EQ(copies.size(), 1u);
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_GE(kernels[0].begin, copies[0].end);
+}
+
+TEST_F(DeviceTest, KernelOnOneStreamOverlapsCopyOnAnother) {
+  device_.register_stream(0);
+  device_.register_stream(1);
+  device_.submit_kernel(0, make_kernel("k", 1, 512, kMillisecond), {});
+  device_.submit_copy(1, CopyRequest{CopyDirection::HtoD, kMiB, nullptr}, {});
+  sim_.run();
+  const auto copies = recorder_.by_kind(trace::SpanKind::MemcpyHtoD);
+  const auto kernels = recorder_.by_kind(trace::SpanKind::Kernel);
+  ASSERT_EQ(copies.size(), 1u);
+  ASSERT_EQ(kernels.size(), 1u);
+  // Copy completes while the kernel is still executing.
+  EXPECT_LT(copies[0].end, kernels[0].end);
+}
+
+TEST_F(DeviceTest, CopyPayloadRunsAtCompletion) {
+  device_.register_stream(0);
+  bool moved = false;
+  device_.submit_copy(
+      0, CopyRequest{CopyDirection::HtoD, 512, [&] { moved = true; }}, {});
+  EXPECT_FALSE(moved);
+  sim_.run();
+  EXPECT_TRUE(moved);
+}
+
+TEST_F(DeviceTest, StatsAccumulate) {
+  device_.register_stream(0);
+  device_.submit_copy(0, CopyRequest{CopyDirection::HtoD, 1000, nullptr}, {});
+  device_.submit_kernel(0, make_kernel("k", 4, 64, kMicrosecond), {});
+  device_.submit_copy(0, CopyRequest{CopyDirection::DtoH, 500, nullptr}, {});
+  sim_.run();
+  EXPECT_EQ(device_.stats().kernels_completed, 1u);
+  EXPECT_EQ(device_.stats().copies_htod, 1u);
+  EXPECT_EQ(device_.stats().copies_dtoh, 1u);
+  EXPECT_EQ(device_.stats().bytes_htod, 1000u);
+  EXPECT_EQ(device_.stats().bytes_dtoh, 500u);
+}
+
+TEST_F(DeviceTest, TraceSpansCarryAppAttribution) {
+  device_.register_stream(0);
+  device_.submit_kernel(0, make_kernel("k", 1, 32, kMicrosecond),
+                        OpTag{7, "my-kernel"});
+  sim_.run();
+  const auto spans = recorder_.by_app(7);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "k");
+  EXPECT_EQ(spans[0].lane, 0);
+}
+
+// ----------------------------------------------------------------- Fermi mode
+
+class FermiDeviceTest : public ::testing::Test {
+ protected:
+  FermiDeviceTest() : device_(sim_, DeviceSpec::fermi_single_queue(), &recorder_) {}
+
+  sim::Simulator sim_;
+  trace::Recorder recorder_;
+  Device device_;
+};
+
+TEST_F(FermiDeviceTest, AllStreamsShareOneQueue) {
+  device_.register_stream(0);
+  device_.register_stream(1);
+  device_.register_stream(2);
+  EXPECT_EQ(device_.queue_of(0), 0);
+  EXPECT_EQ(device_.queue_of(1), 0);
+  EXPECT_EQ(device_.queue_of(2), 0);
+}
+
+TEST_F(FermiDeviceTest, DepthFirstIssueFalselySerializes) {
+  // Queue order [A1 A2 B1]: A2 waits for A1 (same stream), and B1 sits
+  // behind A2 in the single queue even though it is independent.
+  device_.register_stream(0);
+  device_.register_stream(1);
+  device_.submit_kernel(0, make_kernel("A1", 1, 512, 50 * kMicrosecond), {});
+  device_.submit_kernel(0, make_kernel("A2", 1, 512, 50 * kMicrosecond), {});
+  device_.submit_kernel(1, make_kernel("B1", 1, 512, 50 * kMicrosecond), {});
+  sim_.run();
+  const auto spans = recorder_.by_kind(trace::SpanKind::Kernel);
+  ASSERT_EQ(spans.size(), 3u);
+  // B1 is last and starts only after A2 dispatches (post A1 completion).
+  EXPECT_EQ(spans[2].name, "B1");
+  EXPECT_GE(spans[2].begin, spans[0].end);
+}
+
+TEST_F(FermiDeviceTest, BreadthFirstIssueOverlapsIndependentKernels) {
+  // Queue order [A1 B1 A2]: A1 and B1 dispatch back-to-back and overlap.
+  device_.register_stream(0);
+  device_.register_stream(1);
+  device_.submit_kernel(0, make_kernel("A1", 1, 512, 50 * kMicrosecond), {});
+  device_.submit_kernel(1, make_kernel("B1", 1, 512, 50 * kMicrosecond), {});
+  device_.submit_kernel(0, make_kernel("A2", 1, 512, 50 * kMicrosecond), {});
+  sim_.run();
+  const auto spans = recorder_.by_kind(trace::SpanKind::Kernel);
+  ASSERT_EQ(spans.size(), 3u);
+  // A1 and B1 overlap in time.
+  EXPECT_LT(spans[1].begin, spans[0].end);
+}
+
+TEST_F(FermiDeviceTest, HyperQBeatsFermiOnDepthFirstWorkload) {
+  // The same depth-first workload on a Hyper-Q device overlaps fully.
+  sim::Simulator sim2;
+  Device hyperq(sim2, DeviceSpec::tesla_k20());
+  for (StreamId s : {0, 1}) {
+    device_.register_stream(s);
+    hyperq.register_stream(s);
+  }
+  for (Device* d : {&device_, &hyperq}) {
+    d->submit_kernel(0, make_kernel("A1", 1, 512, 50 * kMicrosecond), {});
+    d->submit_kernel(0, make_kernel("A2", 1, 512, 50 * kMicrosecond), {});
+    d->submit_kernel(1, make_kernel("B1", 1, 512, 50 * kMicrosecond), {});
+  }
+  sim_.run();
+  sim2.run();
+  EXPECT_LT(sim2.now(), sim_.now());
+}
+
+// ----------------------------------------------------------------- Power
+
+TEST_F(DeviceTest, IdlePowerWhenNothingRuns) {
+  EXPECT_DOUBLE_EQ(device_.instantaneous_power(),
+                   device_.spec().idle_power);
+}
+
+TEST_F(DeviceTest, PowerRisesWithWork) {
+  device_.register_stream(0);
+  device_.submit_kernel(0, make_kernel("k", 104, 256, kMillisecond), {});
+  sim_.run_until(100 * kMicrosecond);
+  const Watts busy = device_.instantaneous_power();
+  EXPECT_GT(busy, device_.spec().idle_power + device_.spec().active_base_power);
+  sim_.run();
+  EXPECT_DOUBLE_EQ(device_.instantaneous_power(), device_.spec().idle_power);
+}
+
+TEST_F(DeviceTest, PowerIsConcaveInOccupancy) {
+  // Doubling occupancy must far less than double the dynamic power
+  // (the paper's observation #4: power is mostly constant as the level of
+  // concurrency grows).
+  DeviceSpec spec = DeviceSpec::tesla_k20();
+  const double p_half = spec.max_dynamic_power * std::pow(0.5, spec.power_exponent);
+  const double p_full = spec.max_dynamic_power;
+  EXPECT_LT(p_full / p_half, 1.5);
+  EXPECT_GT(p_full / p_half, 1.0);
+}
+
+TEST_F(DeviceTest, EnergyIntegralMatchesHandComputation) {
+  device_.register_stream(0);
+  device_.submit_kernel(0, make_kernel("k", 26, 1024, kMillisecond), {});
+  sim_.run();
+  // Phase 1: 3us dispatch latency at idle power. Phase 2: 1ms at full
+  // occupancy. Total time 1.003 ms.
+  const DeviceSpec& s = device_.spec();
+  const double expected =
+      s.idle_power * 3e-6 +
+      (s.idle_power + s.active_base_power + s.max_dynamic_power) * 1e-3;
+  EXPECT_NEAR(device_.energy(), expected, expected * 1e-9);
+}
+
+TEST_F(DeviceTest, AverageOccupancyTimeWeighted) {
+  device_.register_stream(0);
+  // Full occupancy for 1ms (26 blocks x 1024 threads = 26624 threads).
+  device_.submit_kernel(0, make_kernel("k", 26, 1024, kMillisecond), {});
+  sim_.run();
+  // 1ms full of 1.003ms total.
+  EXPECT_NEAR(device_.average_occupancy(), 1.0 / 1.003, 1e-6);
+}
+
+}  // namespace
+}  // namespace hq::gpu

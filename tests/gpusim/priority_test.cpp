@@ -1,0 +1,127 @@
+// Stream-priority semantics (Kepler CC 3.5 cudaStreamCreateWithPriority):
+// pending blocks of a higher-priority stream place ahead of waiting
+// lower-priority kernels, without preempting resident blocks.
+#include <gtest/gtest.h>
+
+#include "cudart/runtime.hpp"
+#include "gpusim/device.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace hq::gpu {
+namespace {
+
+KernelLaunch make_kernel(const std::string& name, std::uint32_t blocks,
+                         std::uint32_t tpb, DurationNs block_duration) {
+  return KernelLaunch{name, Dim3{blocks, 1, 1}, Dim3{tpb, 1, 1},
+                      16,   0,                  block_duration,
+                      0.0,  nullptr};
+}
+
+class PriorityTest : public ::testing::Test {
+ protected:
+  PriorityTest() : device_(sim_, DeviceSpec::tesla_k20(), &recorder_) {}
+
+  sim::Simulator sim_;
+  trace::Recorder recorder_;
+  Device device_;
+};
+
+TEST_F(PriorityTest, PriorityStoredPerStream) {
+  device_.register_stream(0, -1);
+  device_.register_stream(1);
+  EXPECT_EQ(device_.priority_of(0), -1);
+  EXPECT_EQ(device_.priority_of(1), 0);
+}
+
+TEST_F(PriorityTest, HighPriorityJumpsPendingQueue) {
+  device_.register_stream(0, 0);
+  device_.register_stream(1, 0);
+  device_.register_stream(2, -1);
+  // Saturate the device: 52 blocks of 1024 threads = 2 waves of 26.
+  device_.submit_kernel(0, make_kernel("big", 52, 1024, 10 * kMicrosecond), {});
+  // A default-priority waiter, then a high-priority kernel submitted later.
+  device_.submit_kernel(1, make_kernel("low", 26, 1024, 10 * kMicrosecond), {});
+  device_.submit_kernel(2, make_kernel("high", 26, 1024, 10 * kMicrosecond), {});
+  sim_.run();
+
+  const auto spans = recorder_.by_kind(trace::SpanKind::Kernel);
+  ASSERT_EQ(spans.size(), 3u);
+  TimeNs high_start = 0, low_start = 0;
+  for (const auto& s : spans) {
+    if (s.name == "high") high_start = s.begin;
+    if (s.name == "low") low_start = s.begin;
+  }
+  // Both waited behind "big", but the high-priority stream placed first.
+  EXPECT_LT(high_start, low_start);
+}
+
+TEST_F(PriorityTest, NoPreemptionOfResidentBlocks) {
+  device_.register_stream(0, 0);
+  device_.register_stream(1, -5);
+  device_.submit_kernel(0, make_kernel("resident", 26, 1024, 50 * kMicrosecond),
+                        {});
+  sim_.run_until(10 * kMicrosecond);  // resident saturates the device
+  device_.submit_kernel(1, make_kernel("urgent", 1, 1024, kMicrosecond), {});
+  sim_.run();
+
+  const auto spans = recorder_.by_kind(trace::SpanKind::Kernel);
+  ASSERT_EQ(spans.size(), 2u);
+  const auto& resident = spans[0].name == "resident" ? spans[0] : spans[1];
+  const auto& urgent = spans[0].name == "urgent" ? spans[0] : spans[1];
+  // Urgent cannot start until resident's blocks complete: no preemption.
+  EXPECT_GE(urgent.begin, resident.end);
+}
+
+TEST_F(PriorityTest, EqualPrioritiesKeepDispatchOrder) {
+  device_.register_stream(0, 3);
+  device_.register_stream(1, 3);
+  device_.submit_kernel(0, make_kernel("first", 26, 1024, 10 * kMicrosecond),
+                        {});
+  device_.submit_kernel(1, make_kernel("second", 26, 1024, 10 * kMicrosecond),
+                        {});
+  sim_.run();
+  const auto spans = recorder_.by_kind(trace::SpanKind::Kernel);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "first");
+  EXPECT_EQ(spans[1].name, "second");
+}
+
+TEST_F(PriorityTest, RuntimeExposesPrioritizedStreams) {
+  rt::Runtime runtime(sim_, device_);
+  const rt::Stream normal = runtime.stream_create();
+  const rt::Stream fast = runtime.stream_create_with_priority(-1);
+  EXPECT_EQ(device_.priority_of(normal.id), 0);
+  EXPECT_EQ(device_.priority_of(fast.id), -1);
+}
+
+TEST_F(PriorityTest, LeftoverStillFillsAroundPriorities) {
+  // A high-priority kernel that cannot fully place does not starve a
+  // lower-priority kernel whose blocks fit in the leftover space — wait, it
+  // does under strict ordering: priority order is strict, like dispatch
+  // order. Verify the strictness.
+  device_.register_stream(0, 0);
+  device_.register_stream(1, -1);
+  // Low priority first: 1024-thread blocks, fills device (26 resident).
+  device_.submit_kernel(0, make_kernel("low_big", 52, 1024, 10 * kMicrosecond),
+                        {});
+  // High priority, arrives later, needs more than the leftover: it goes to
+  // the FRONT of the pending order and places at the next wave boundary.
+  device_.submit_kernel(1, make_kernel("high_big", 26, 1024, 10 * kMicrosecond),
+                        {});
+  sim_.run();
+  const auto spans = recorder_.by_kind(trace::SpanKind::Kernel);
+  ASSERT_EQ(spans.size(), 2u);
+  TimeNs low_end = 0, high_end = 0;
+  for (const auto& s : spans) {
+    if (s.name == "low_big") low_end = s.end;
+    if (s.name == "high_big") high_end = s.end;
+  }
+  // The high-priority kernel finishes before the low one's second wave
+  // completes is impossible (no preemption), but it must finish no later
+  // than the low kernel plus one wave.
+  EXPECT_LE(high_end, low_end + 10 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace hq::gpu

@@ -1,0 +1,105 @@
+#include "gpusim/smx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hq::gpu {
+namespace {
+
+DeviceSpec k20() { return DeviceSpec::tesla_k20(); }
+
+TEST(SmxTest, FreshSmxIsEmpty) {
+  Smx smx(k20(), 0);
+  EXPECT_EQ(smx.used_blocks(), 0);
+  EXPECT_EQ(smx.used_threads(), 0);
+  EXPECT_EQ(smx.free_blocks(), 16);
+  EXPECT_EQ(smx.free_threads(), 2048);
+  EXPECT_EQ(smx.free_registers(), 65536u);
+  EXPECT_EQ(smx.free_shared_mem(), 48 * kKiB);
+}
+
+TEST(SmxTest, FitCountLimitedByBlockSlots) {
+  Smx smx(k20(), 0);
+  // Tiny blocks: the 16-slot limit binds first.
+  const BlockDemand d{32, 32 * 32, 0};
+  EXPECT_EQ(smx.fit_count(d), 16);
+}
+
+TEST(SmxTest, FitCountLimitedByThreads) {
+  Smx smx(k20(), 0);
+  // 256-thread blocks with modest registers: 2048/256 = 8 blocks.
+  const BlockDemand d{256, 256 * 20, 0};
+  EXPECT_EQ(smx.fit_count(d), 8);
+}
+
+TEST(SmxTest, FitCountLimitedByRegisters) {
+  Smx smx(k20(), 0);
+  // 128 threads x 160 regs = 20480 regs per block -> 3 blocks by registers.
+  const BlockDemand d{128, 128 * 160, 0};
+  EXPECT_EQ(smx.fit_count(d), 3);
+}
+
+TEST(SmxTest, FitCountLimitedBySharedMemory) {
+  Smx smx(k20(), 0);
+  const BlockDemand d{64, 64 * 16, 20 * kKiB};  // 48/20 -> 2 blocks
+  EXPECT_EQ(smx.fit_count(d), 2);
+}
+
+TEST(SmxTest, OccupyReducesCapacity) {
+  Smx smx(k20(), 0);
+  const BlockDemand d{256, 256 * 32, 4 * kKiB};
+  const int fit = smx.fit_count(d);
+  ASSERT_GT(fit, 1);
+  smx.occupy(d, 2);
+  EXPECT_EQ(smx.used_blocks(), 2);
+  EXPECT_EQ(smx.used_threads(), 512);
+  EXPECT_EQ(smx.fit_count(d), fit - 2);
+}
+
+TEST(SmxTest, ReleaseRestoresCapacity) {
+  Smx smx(k20(), 0);
+  const BlockDemand d{512, 512 * 32, 8 * kKiB};
+  const int fit = smx.fit_count(d);
+  smx.occupy(d, fit);
+  EXPECT_EQ(smx.fit_count(d), 0);
+  smx.release(d, fit);
+  EXPECT_EQ(smx.fit_count(d), fit);
+  EXPECT_EQ(smx.used_blocks(), 0);
+  EXPECT_EQ(smx.used_threads(), 0);
+}
+
+TEST(SmxTest, MixedDemandsShareResources) {
+  Smx smx(k20(), 0);
+  const BlockDemand big{1024, 1024 * 32, 0};  // 2 fit by threads
+  const BlockDemand small{256, 256 * 16, 0};
+  smx.occupy(big, 1);
+  // 1024 threads remain: 4 small blocks fit by threads.
+  EXPECT_EQ(smx.fit_count(small), 4);
+  smx.occupy(small, 4);
+  EXPECT_EQ(smx.free_threads(), 0);
+  EXPECT_EQ(smx.fit_count(small), 0);
+}
+
+TEST(SmxTest, OverOccupyThrows) {
+  Smx smx(k20(), 0);
+  const BlockDemand d{2048, 2048 * 8, 0};
+  EXPECT_EQ(smx.fit_count(d), 1);
+  EXPECT_THROW(smx.occupy(d, 2), hq::Error);
+}
+
+TEST(SmxTest, OverReleaseThrows) {
+  Smx smx(k20(), 0);
+  const BlockDemand d{128, 128 * 8, 0};
+  smx.occupy(d, 1);
+  EXPECT_THROW(smx.release(d, 2), hq::Error);
+}
+
+TEST(SmxTest, ZeroResourceDemandLimitedBySlotsOnly) {
+  Smx smx(k20(), 0);
+  const BlockDemand d{0, 0, 0};
+  EXPECT_EQ(smx.fit_count(d), 16);
+}
+
+}  // namespace
+}  // namespace hq::gpu

@@ -1,0 +1,146 @@
+#include "hyperq/adaptive_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.hpp"
+
+namespace hq::fw {
+namespace {
+
+/// Synthetic objective: penalize adjacent slots of the same type; the global
+/// optimum is a perfectly alternating order (which Round-Robin achieves for
+/// equal counts).
+double adjacency_penalty(const std::vector<Slot>& schedule) {
+  double score = 0;
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    if (schedule[i].type == schedule[i - 1].type) score += 1.0;
+  }
+  return score;
+}
+
+TEST(AdaptiveSchedulerTest, FindsRoundRobinForAdjacencyObjective) {
+  AdaptiveScheduler::Options options;
+  options.evaluation_budget = 10;
+  AdaptiveScheduler scheduler(options);
+  const int counts[] = {4, 4};
+  const auto outcome = scheduler.optimize(counts, adjacency_penalty);
+  // Round-Robin has zero adjacent repeats; the canonical phase finds it.
+  EXPECT_EQ(outcome.best_score, 0.0);
+  EXPECT_EQ(outcome.best_canonical_score, 0.0);
+}
+
+TEST(AdaptiveSchedulerTest, HillClimbingImprovesOnCanonicalOrders) {
+  // Objective that none of the canonical orders optimize: slot (type 1,
+  // instance 1) must sit exactly in the middle.
+  auto objective = [](const std::vector<Slot>& schedule) -> double {
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      if (schedule[i] == Slot{1, 1}) {
+        const double mid = static_cast<double>(schedule.size()) / 2.0;
+        return std::abs(static_cast<double>(i) - mid) + adjacency_penalty(schedule);
+      }
+    }
+    return 1e9;
+  };
+  AdaptiveScheduler::Options options;
+  options.evaluation_budget = 200;
+  options.seed = 3;
+  AdaptiveScheduler scheduler(options);
+  const int counts[] = {6, 6};
+  const auto outcome = scheduler.optimize(counts, objective);
+  EXPECT_LT(outcome.best_score, outcome.best_canonical_score);
+}
+
+TEST(AdaptiveSchedulerTest, RespectsEvaluationBudget) {
+  int calls = 0;
+  auto counting = [&calls](const std::vector<Slot>&) -> double {
+    ++calls;
+    return 1.0;
+  };
+  AdaptiveScheduler::Options options;
+  options.evaluation_budget = 17;
+  AdaptiveScheduler scheduler(options);
+  const int counts[] = {3, 3};
+  const auto outcome = scheduler.optimize(counts, counting);
+  EXPECT_EQ(calls, 17);
+  EXPECT_EQ(outcome.evaluations, 17);
+  EXPECT_EQ(outcome.history.size(), 17u);
+}
+
+TEST(AdaptiveSchedulerTest, HistoryIsMonotoneNonIncreasing) {
+  Rng noise(5);
+  auto objective = [&noise](const std::vector<Slot>&) -> double {
+    return noise.next_double();
+  };
+  AdaptiveScheduler::Options options;
+  options.evaluation_budget = 50;
+  AdaptiveScheduler scheduler(options);
+  const int counts[] = {4, 4};
+  const auto outcome = scheduler.optimize(counts, objective);
+  for (std::size_t i = 1; i < outcome.history.size(); ++i) {
+    EXPECT_LE(outcome.history[i], outcome.history[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(outcome.history.back(), outcome.best_score);
+}
+
+TEST(AdaptiveSchedulerTest, DeterministicPerSeed) {
+  auto objective = [](const std::vector<Slot>& schedule) -> double {
+    // Arbitrary deterministic score.
+    double score = 0;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      score += static_cast<double>(schedule[i].type * 31 + schedule[i].instance) *
+               static_cast<double>(i);
+    }
+    return score;
+  };
+  AdaptiveScheduler::Options options;
+  options.evaluation_budget = 40;
+  options.seed = 11;
+  const int counts[] = {5, 5};
+  const auto a = AdaptiveScheduler(options).optimize(counts, objective);
+  const auto b = AdaptiveScheduler(options).optimize(counts, objective);
+  EXPECT_EQ(a.best_schedule, b.best_schedule);
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+}
+
+TEST(AdaptiveSchedulerTest, BestScheduleIsValidPermutation) {
+  AdaptiveScheduler::Options options;
+  options.evaluation_budget = 60;
+  AdaptiveScheduler scheduler(options);
+  const int counts[] = {3, 7};
+  const auto outcome =
+      scheduler.optimize(counts, [](const std::vector<Slot>& s) {
+        return adjacency_penalty(s);
+      });
+  ASSERT_EQ(outcome.best_schedule.size(), 10u);
+  std::map<int, std::vector<int>> instances;
+  for (const Slot& slot : outcome.best_schedule) {
+    instances[slot.type].push_back(slot.instance);
+  }
+  EXPECT_EQ(instances[0].size(), 3u);
+  EXPECT_EQ(instances[1].size(), 7u);
+}
+
+TEST(AdaptiveSchedulerTest, TooSmallBudgetThrows) {
+  AdaptiveScheduler::Options options;
+  options.evaluation_budget = 3;
+  AdaptiveScheduler scheduler(options);
+  const int counts[] = {2, 2};
+  EXPECT_THROW(scheduler.optimize(counts, adjacency_penalty), hq::Error);
+}
+
+TEST(AdaptiveSchedulerTest, SingleSlotWorkloadDegenerates) {
+  AdaptiveScheduler::Options options;
+  options.evaluation_budget = 10;
+  AdaptiveScheduler scheduler(options);
+  const int counts[] = {1};
+  const auto outcome =
+      scheduler.optimize(counts, [](const std::vector<Slot>&) { return 1.0; });
+  ASSERT_EQ(outcome.best_schedule.size(), 1u);
+  // Canonical phase runs; no swaps possible on one slot.
+  EXPECT_EQ(outcome.evaluations, 5);
+}
+
+}  // namespace
+}  // namespace hq::fw

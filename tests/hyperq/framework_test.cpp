@@ -1,0 +1,166 @@
+// Tests for StreamManager, PowerMonitor, and the metrics helpers.
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "hyperq/metrics.hpp"
+#include "hyperq/power_monitor.hpp"
+#include "hyperq/stream_manager.hpp"
+#include "sim/simulator.hpp"
+
+namespace hq::fw {
+namespace {
+
+class FrameworkTest : public ::testing::Test {
+ protected:
+  FrameworkTest()
+      : device_(sim_, gpu::DeviceSpec::tesla_k20()), rt_(sim_, device_) {}
+
+  sim::Simulator sim_;
+  gpu::Device device_;
+  rt::Runtime rt_;
+};
+
+// ------------------------------------------------------------ StreamManager
+
+TEST_F(FrameworkTest, ManagerCreatesRequestedStreams) {
+  StreamManager manager(rt_, 8);
+  EXPECT_EQ(manager.size(), 8);
+  EXPECT_EQ(rt_.stream_count(), 8u);
+}
+
+TEST_F(FrameworkTest, AcquireIsRoundRobin) {
+  StreamManager manager(rt_, 3);
+  const rt::Stream a = manager.acquire();
+  const rt::Stream b = manager.acquire();
+  const rt::Stream c = manager.acquire();
+  const rt::Stream d = manager.acquire();
+  EXPECT_NE(a.id, b.id);
+  EXPECT_NE(b.id, c.id);
+  EXPECT_EQ(a.id, d.id);  // wraps after NS acquisitions
+  EXPECT_EQ(manager.acquisitions(), 4u);
+}
+
+TEST_F(FrameworkTest, SingleStreamManagerSerializesEveryone) {
+  StreamManager manager(rt_, 1);
+  EXPECT_EQ(manager.acquire().id, manager.acquire().id);
+}
+
+TEST_F(FrameworkTest, DestroyAllReleasesStreams) {
+  StreamManager manager(rt_, 4);
+  EXPECT_EQ(manager.destroy_all(), rt::Status::Ok);
+  EXPECT_EQ(rt_.stream_count(), 0u);
+}
+
+TEST_F(FrameworkTest, ZeroStreamsRejected) {
+  EXPECT_THROW(StreamManager(rt_, 0), hq::Error);
+}
+
+TEST_F(FrameworkTest, StreamWrapperReportsIdle) {
+  StreamManager manager(rt_, 1);
+  EXPECT_TRUE(manager.stream(0).idle());
+}
+
+// ------------------------------------------------------------- PowerMonitor
+
+TEST_F(FrameworkTest, MonitorSamplesAtConfiguredPeriod) {
+  nvml::SensorOptions sensor;
+  sensor.noise_stddev = 0.0;
+  sensor.quantization = 0.0;
+  nvml::ManagementLibrary nvml(sim_, device_, sensor);
+  PowerMonitor monitor(sim_, nvml, 15 * kMillisecond);
+  monitor.start();
+  sim_.schedule(100 * kMillisecond, [&monitor] { monitor.stop(); });
+  sim_.run();
+  // t=0 sample + samples at 15,30,...,105 (the stop lands mid-period, so
+  // the loop wakes once more).
+  ASSERT_GE(monitor.samples().size(), 7u);
+  EXPECT_EQ(monitor.samples()[0].time, 0u);
+  EXPECT_EQ(monitor.samples()[1].time, 15 * kMillisecond);
+  EXPECT_EQ(monitor.samples()[2].time, 30 * kMillisecond);
+  EXPECT_FALSE(monitor.running());
+}
+
+TEST_F(FrameworkTest, MonitorEnergyWindowIntegration) {
+  nvml::SensorOptions sensor;
+  sensor.noise_stddev = 0.0;
+  sensor.quantization = 0.0;
+  nvml::ManagementLibrary nvml(sim_, device_, sensor);
+  PowerMonitor monitor(sim_, nvml, 10 * kMillisecond);
+  monitor.start();
+  sim_.schedule(100 * kMillisecond, [&monitor] { monitor.stop(); });
+  sim_.run();
+  // Idle device at ~25 W for 0.1 s => ~2.5 J.
+  const Joules e = monitor.energy_between(0, 100 * kMillisecond);
+  EXPECT_NEAR(e, 2.5, 0.1);
+  EXPECT_NEAR(monitor.average_power(0, 100 * kMillisecond), 25.0, 0.5);
+  EXPECT_NEAR(monitor.peak_power(0, 100 * kMillisecond), 25.0, 0.5);
+}
+
+TEST_F(FrameworkTest, MonitorDoubleStartThrows) {
+  nvml::ManagementLibrary nvml(sim_, device_, {});
+  PowerMonitor monitor(sim_, nvml);
+  monitor.start();
+  EXPECT_THROW(monitor.start(), hq::Error);
+  monitor.stop();
+  sim_.run();
+}
+
+// ------------------------------------------------------------------ metrics
+
+trace::Span copy_span(int app, TimeNs begin, TimeNs end,
+                      trace::SpanKind kind = trace::SpanKind::MemcpyHtoD) {
+  return trace::Span{0, app, kind, "copy", begin, end};
+}
+
+TEST(MetricsTest, EffectiveLatencySpansFirstToLast) {
+  trace::Recorder r;
+  r.add(copy_span(1, 100, 200));
+  r.add(copy_span(1, 500, 600));   // interleaved gap in between
+  r.add(copy_span(2, 200, 500));   // other app's transfer
+  const auto le =
+      effective_transfer_latency(r, 1, trace::SpanKind::MemcpyHtoD);
+  ASSERT_TRUE(le.has_value());
+  EXPECT_EQ(*le, 500u);  // 600 - 100
+}
+
+TEST(MetricsTest, EffectiveLatencyNulloptWithoutTransfers) {
+  trace::Recorder r;
+  r.add(copy_span(2, 0, 10));
+  EXPECT_FALSE(
+      effective_transfer_latency(r, 1, trace::SpanKind::MemcpyHtoD).has_value());
+}
+
+TEST(MetricsTest, EffectiveLatencyFiltersDirection) {
+  trace::Recorder r;
+  r.add(copy_span(1, 0, 10, trace::SpanKind::MemcpyHtoD));
+  r.add(copy_span(1, 50, 80, trace::SpanKind::MemcpyDtoH));
+  EXPECT_EQ(*effective_transfer_latency(r, 1, trace::SpanKind::MemcpyHtoD),
+            10u);
+  EXPECT_EQ(*effective_transfer_latency(r, 1, trace::SpanKind::MemcpyDtoH),
+            30u);
+}
+
+TEST(MetricsTest, OwnTransferTimeSumsServiceOnly) {
+  trace::Recorder r;
+  r.add(copy_span(1, 100, 200));
+  r.add(copy_span(1, 500, 600));
+  EXPECT_EQ(own_transfer_time(r, 1, trace::SpanKind::MemcpyHtoD), 200u);
+}
+
+TEST(MetricsTest, ImprovementMatchesPaperConvention) {
+  // 59% improvement over serial means concurrent takes 41% of the time.
+  EXPECT_NEAR(improvement(100.0, 41.0), 0.59, 1e-12);
+  EXPECT_NEAR(improvement(100.0, 100.0), 0.0, 1e-12);
+  EXPECT_LT(improvement(100.0, 120.0), 0.0);  // regression is negative
+}
+
+TEST(MetricsTest, MeanHtodEffectiveLatency) {
+  std::vector<AppMetrics> apps(2);
+  apps[0].htod_effective_latency = 100;
+  apps[1].htod_effective_latency = 300;
+  EXPECT_DOUBLE_EQ(mean_htod_effective_latency(apps), 200.0);
+  EXPECT_DOUBLE_EQ(mean_htod_effective_latency({}), 0.0);
+}
+
+}  // namespace
+}  // namespace hq::fw

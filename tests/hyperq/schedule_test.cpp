@@ -1,0 +1,135 @@
+#include "hyperq/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hq::fw {
+namespace {
+
+std::vector<Slot> schedule_for(Order order, int m, int n, Rng* rng = nullptr) {
+  const int counts[] = {m, n};
+  return make_schedule(order, counts, rng);
+}
+
+std::string render(const std::vector<Slot>& slots) {
+  static const std::vector<std::string> names = {"X", "Y"};
+  std::string out;
+  for (const Slot& s : slots) {
+    if (!out.empty()) out += " ";
+    out += slot_to_string(s, names);
+  }
+  return out;
+}
+
+// --- the exact Figure 3 sequences for m = n = 4 ---------------------------
+
+TEST(ScheduleTest, Figure3aNaiveFifo) {
+  EXPECT_EQ(render(schedule_for(Order::NaiveFifo, 4, 4)),
+            "X(1) X(2) X(3) X(4) Y(1) Y(2) Y(3) Y(4)");
+}
+
+TEST(ScheduleTest, Figure3bRoundRobin) {
+  EXPECT_EQ(render(schedule_for(Order::RoundRobin, 4, 4)),
+            "X(1) Y(1) X(2) Y(2) X(3) Y(3) X(4) Y(4)");
+}
+
+TEST(ScheduleTest, Figure3dReverseFifo) {
+  EXPECT_EQ(render(schedule_for(Order::ReverseFifo, 4, 4)),
+            "Y(1) Y(2) Y(3) Y(4) X(1) X(2) X(3) X(4)");
+}
+
+TEST(ScheduleTest, Figure3eReverseRoundRobin) {
+  EXPECT_EQ(render(schedule_for(Order::ReverseRoundRobin, 4, 4)),
+            "Y(1) X(1) Y(2) X(2) Y(3) X(3) Y(4) X(4)");
+}
+
+TEST(ScheduleTest, Figure3cRandomShuffleIsPermutationOfFifo) {
+  Rng rng(7);
+  auto shuffled = schedule_for(Order::RandomShuffle, 4, 4, &rng);
+  auto fifo = schedule_for(Order::NaiveFifo, 4, 4);
+  EXPECT_TRUE(std::is_permutation(fifo.begin(), fifo.end(), shuffled.begin()));
+  // Counts per type preserved.
+  const auto x_count = std::count_if(shuffled.begin(), shuffled.end(),
+                                     [](const Slot& s) { return s.type == 0; });
+  EXPECT_EQ(x_count, 4);
+}
+
+TEST(ScheduleTest, RandomShuffleDeterministicPerSeed) {
+  Rng a(99), b(99), c(100);
+  EXPECT_EQ(schedule_for(Order::RandomShuffle, 8, 8, &a),
+            schedule_for(Order::RandomShuffle, 8, 8, &b));
+  Rng a2(99);
+  const auto base = schedule_for(Order::RandomShuffle, 8, 8, &a2);
+  // Different seed almost surely differs for 16 items.
+  EXPECT_NE(base, schedule_for(Order::RandomShuffle, 8, 8, &c));
+}
+
+TEST(ScheduleTest, RandomShuffleWithoutRngThrows) {
+  const int counts[] = {2, 2};
+  EXPECT_THROW(make_schedule(Order::RandomShuffle, counts, nullptr), hq::Error);
+}
+
+// --- generalization ---------------------------------------------------------
+
+TEST(ScheduleTest, UnevenCountsRoundRobinAppendsLeftovers) {
+  EXPECT_EQ(render(schedule_for(Order::RoundRobin, 4, 2)),
+            "X(1) Y(1) X(2) Y(2) X(3) X(4)");
+}
+
+TEST(ScheduleTest, SingleTypeAllOrdersDegenerate) {
+  const int counts[] = {3};
+  for (Order order :
+       {Order::NaiveFifo, Order::RoundRobin, Order::ReverseFifo,
+        Order::ReverseRoundRobin}) {
+    const auto slots = make_schedule(order, counts);
+    ASSERT_EQ(slots.size(), 3u) << order_name(order);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(slots[i], (Slot{0, i + 1})) << order_name(order);
+    }
+  }
+}
+
+TEST(ScheduleTest, ThreeTypesRoundRobin) {
+  const int counts[] = {2, 1, 2};
+  const auto slots = make_schedule(Order::RoundRobin, counts);
+  const std::vector<Slot> expected = {
+      {0, 1}, {1, 1}, {2, 1}, {0, 2}, {2, 2}};
+  EXPECT_EQ(slots, expected);
+}
+
+TEST(ScheduleTest, ZeroCountTypeSkipped) {
+  const int counts[] = {0, 2};
+  EXPECT_EQ(render(make_schedule(Order::NaiveFifo, counts)), "Y(1) Y(2)");
+  EXPECT_EQ(render(make_schedule(Order::RoundRobin, counts)), "Y(1) Y(2)");
+}
+
+TEST(ScheduleTest, EmptyTypeListThrows) {
+  EXPECT_THROW(make_schedule(Order::NaiveFifo, std::span<const int>{}),
+               hq::Error);
+}
+
+TEST(ScheduleTest, NegativeCountThrows) {
+  const int counts[] = {-1};
+  EXPECT_THROW(make_schedule(Order::NaiveFifo, counts), hq::Error);
+}
+
+TEST(ScheduleTest, OrderNames) {
+  EXPECT_STREQ(order_name(Order::NaiveFifo), "Naive FIFO");
+  EXPECT_STREQ(order_name(Order::RandomShuffle), "Random Shuffle");
+  EXPECT_STREQ(order_name(Order::ReverseRoundRobin), "Reverse Round-Robin");
+}
+
+TEST(ScheduleTest, AllOrdersPreserveTotalCount) {
+  Rng rng(5);
+  const int counts[] = {7, 3};
+  for (Order order : kAllOrders) {
+    const auto slots = make_schedule(order, counts, &rng);
+    EXPECT_EQ(slots.size(), 10u) << order_name(order);
+  }
+}
+
+}  // namespace
+}  // namespace hq::fw

@@ -1,0 +1,107 @@
+#include "hyperq/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/hyperq/synthetic_app.hpp"
+
+namespace hq::fw {
+namespace {
+
+using testing::SyntheticApp;
+
+StreamingHarness::Config base_config() {
+  StreamingHarness::Config config;
+  config.window = 20 * kMillisecond;
+  config.mean_interarrival = kMillisecond;
+  config.num_streams = 8;
+  SyntheticApp::Spec spec;
+  spec.num_kernels = 3;
+  spec.block_duration = 30 * kMicrosecond;
+  config.mix.push_back(WorkloadItem{
+      "synthetic", [spec] { return std::make_unique<SyntheticApp>(spec); }});
+  return config;
+}
+
+TEST(StreamingTest, AdmitsAndCompletesEverything) {
+  StreamingHarness harness(base_config());
+  const auto result = harness.run();
+  EXPECT_GT(result.admitted, 5);
+  EXPECT_EQ(result.completed, result.admitted);
+  EXPECT_GT(result.throughput_per_sec, 0.0);
+  EXPECT_GT(result.mean_turnaround, 0u);
+  EXPECT_GE(result.p95_turnaround, result.mean_turnaround);
+  EXPECT_GE(result.max_turnaround, result.p95_turnaround);
+  EXPECT_GT(result.energy, 0.0);
+  EXPECT_GT(result.energy_per_task, 0.0);
+}
+
+TEST(StreamingTest, DeterministicPerSeed) {
+  const auto a = StreamingHarness(base_config()).run();
+  const auto b = StreamingHarness(base_config()).run();
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.mean_turnaround, b.mean_turnaround);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+
+  auto seeded = base_config();
+  seeded.seed = 99;
+  const auto c = StreamingHarness(seeded).run();
+  EXPECT_NE(a.admitted, c.admitted);  // different arrival sequence
+}
+
+TEST(StreamingTest, MoreStreamsReduceTurnaround) {
+  auto narrow = base_config();
+  narrow.num_streams = 1;
+  auto wide = base_config();
+  wide.num_streams = 16;
+  const auto serial = StreamingHarness(narrow).run();
+  const auto concurrent = StreamingHarness(wide).run();
+  // Same arrival sequence (same seed); queueing delay shrinks with streams.
+  EXPECT_EQ(serial.admitted, concurrent.admitted);
+  EXPECT_LT(concurrent.mean_turnaround, serial.mean_turnaround);
+  EXPECT_LE(concurrent.total_time, serial.total_time);
+}
+
+TEST(StreamingTest, OverloadDrainsAfterWindowCloses) {
+  // Arrivals far faster than service: the system must still drain and
+  // complete every admitted task after the window closes.
+  auto config = base_config();
+  config.mean_interarrival = 50 * kMicrosecond;
+  config.window = 5 * kMillisecond;
+  config.num_streams = 2;
+  const auto result = StreamingHarness(config).run();
+  EXPECT_GT(result.admitted, 50);
+  EXPECT_EQ(result.completed, result.admitted);
+  EXPECT_GT(result.total_time, config.window);  // drain extends the run
+}
+
+TEST(StreamingTest, MixedApplicationsRun) {
+  auto config = base_config();
+  SyntheticApp::Spec heavy;
+  heavy.name = "heavy";
+  heavy.num_kernels = 10;
+  heavy.blocks = 208;
+  config.mix.push_back(WorkloadItem{
+      "heavy", [heavy] { return std::make_unique<SyntheticApp>(heavy); }});
+  const auto result = StreamingHarness(config).run();
+  EXPECT_EQ(result.completed, result.admitted);
+}
+
+TEST(StreamingTest, EmptyMixThrows) {
+  StreamingHarness::Config config;
+  StreamingHarness harness(config);
+  EXPECT_THROW(harness.run(), hq::Error);
+}
+
+TEST(StreamingTest, HigherLoadRaisesOccupancy) {
+  auto light = base_config();
+  light.mean_interarrival = 4 * kMillisecond;
+  auto heavy = base_config();
+  heavy.mean_interarrival = 250 * kMicrosecond;
+  const auto low = StreamingHarness(light).run();
+  const auto high = StreamingHarness(heavy).run();
+  EXPECT_GT(high.average_occupancy, low.average_occupancy);
+  EXPECT_GT(high.throughput_per_sec, low.throughput_per_sec);
+}
+
+}  // namespace
+}  // namespace hq::fw

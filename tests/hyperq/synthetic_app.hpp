@@ -1,0 +1,115 @@
+// A minimal configurable Kernel implementation for framework tests: a few
+// transfers in, a few identical kernels, one transfer out. Keeps harness
+// tests independent of the Rodinia ports.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hyperq/harness.hpp"
+#include "hyperq/kernel.hpp"
+
+namespace hq::fw::testing {
+
+class SyntheticApp final : public Kernel {
+ public:
+  struct Spec {
+    std::string name = "synthetic";
+    Bytes htod_bytes = 256 * kKiB;
+    Bytes dtoh_bytes = 128 * kKiB;
+    int htod_pieces = 2;  ///< HtoD split into this many transfers
+    int num_kernels = 4;
+    std::uint32_t blocks = 16;
+    std::uint32_t threads_per_block = 256;
+    DurationNs block_duration = 20 * kMicrosecond;
+  };
+
+  explicit SyntheticApp(Spec spec) : spec_(std::move(spec)) {}
+
+  void allocateHostMemory(Context& ctx) override {
+    host_in_ = ctx.runtime->malloc_host(spec_.htod_bytes).value();
+    host_out_ = ctx.runtime->malloc_host(spec_.dtoh_bytes).value();
+  }
+  void allocateDeviceMemory(Context& ctx) override {
+    dev_in_ = ctx.runtime->malloc_device(spec_.htod_bytes).value();
+    dev_out_ = ctx.runtime->malloc_device(spec_.dtoh_bytes).value();
+  }
+  void initializeHostMemory(Context& ctx) override {
+    auto view = ctx.runtime->host_bytes(host_in_);
+    std::fill(view.begin(), view.end(), std::byte{0x5a});
+  }
+
+  sim::Task transferMemory(Context& ctx, Direction direction) override {
+    if (direction == Direction::HostToDevice) {
+      const Bytes piece = spec_.htod_bytes / spec_.htod_pieces;
+      for (int i = 0; i < spec_.htod_pieces; ++i) {
+        const Bytes offset = piece * i;
+        const Bytes len =
+            i + 1 == spec_.htod_pieces ? spec_.htod_bytes - offset : piece;
+        gpu::OpTag tag{ctx.app_id, "in"};
+        auto op = ctx.runtime->memcpy_htod_async(ctx.stream, dev_in_, host_in_,
+                                                 len, std::move(tag), offset);
+        co_await op;
+      }
+    } else {
+      gpu::OpTag tag{ctx.app_id, "out"};
+      auto op = ctx.runtime->memcpy_dtoh_async(ctx.stream, host_out_, dev_out_,
+                                               spec_.dtoh_bytes, std::move(tag));
+      co_await op;
+    }
+    co_await ctx.runtime->stream_synchronize(ctx.stream);
+  }
+
+  sim::Task executeKernel(Context& ctx) override {
+    for (int i = 0; i < spec_.num_kernels; ++i) {
+      rt::LaunchConfig cfg;
+      cfg.name = spec_.name + "_k";
+      cfg.grid = {spec_.blocks, 1, 1};
+      cfg.block = {spec_.threads_per_block, 1, 1};
+      cfg.block_duration = spec_.block_duration;
+      cfg.body = [this] { ++kernels_run_; };
+      gpu::OpTag tag{ctx.app_id, cfg.name};
+      auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg),
+                                           std::move(tag));
+      co_await op;
+    }
+    co_await ctx.runtime->stream_synchronize(ctx.stream);
+  }
+
+  void freeHostMemory(Context& ctx) override {
+    ctx.runtime->free_host(host_in_);
+    ctx.runtime->free_host(host_out_);
+  }
+  void freeDeviceMemory(Context& ctx) override {
+    ctx.runtime->free_device(dev_in_);
+    ctx.runtime->free_device(dev_out_);
+  }
+
+  const std::string& name() const override { return spec_.name; }
+  Bytes htod_bytes() const override { return spec_.htod_bytes; }
+  Bytes dtoh_bytes() const override { return spec_.dtoh_bytes; }
+  bool verify(Context&) const override { return kernels_run_ == spec_.num_kernels; }
+
+  int kernels_run() const { return kernels_run_; }
+
+ private:
+  Spec spec_;
+  rt::HostPtr host_in_;
+  rt::HostPtr host_out_;
+  rt::DevicePtr dev_in_;
+  rt::DevicePtr dev_out_;
+  int kernels_run_ = 0;
+};
+
+/// Workload of `count` identical synthetic apps.
+inline std::vector<WorkloadItem> synthetic_workload(int count,
+                                                    SyntheticApp::Spec spec) {
+  std::vector<WorkloadItem> items;
+  for (int i = 0; i < count; ++i) {
+    items.push_back(WorkloadItem{
+        spec.name, [spec] { return std::make_unique<SyntheticApp>(spec); }});
+  }
+  return items;
+}
+
+}  // namespace hq::fw::testing

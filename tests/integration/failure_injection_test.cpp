@@ -1,0 +1,103 @@
+// Failure-injection tests: misconfigurations and resource exhaustion must
+// surface as crisp errors, never as silent corruption or hangs.
+#include <gtest/gtest.h>
+
+#include "hyperq/harness.hpp"
+#include "rodinia/registry.hpp"
+#include "tests/hyperq/synthetic_app.hpp"
+
+namespace hq::fw {
+namespace {
+
+using testing::SyntheticApp;
+using testing::synthetic_workload;
+
+TEST(FailureInjectionTest, DeviceOutOfMemorySurfacesFromSetup) {
+  // One app demanding more than the K20's 5 GiB: phase-1 allocation fails
+  // loudly inside Harness::run.
+  SyntheticApp::Spec spec;
+  spec.htod_bytes = 6 * kGiB;
+  HarnessConfig config;
+  config.monitor_power = false;
+  Harness harness(config);
+  EXPECT_THROW(harness.run(synthetic_workload(1, spec)), hq::Error);
+}
+
+TEST(FailureInjectionTest, AggregateOomAcrossApps) {
+  // Each app fits alone; two of them exceed the 5 GiB device together.
+  SyntheticApp::Spec spec;
+  spec.htod_bytes = 2600 * kMiB;
+  HarnessConfig config;
+  config.monitor_power = false;
+  Harness harness(config);
+  EXPECT_THROW(harness.run(synthetic_workload(2, spec)), hq::Error);
+}
+
+class BadLaunchApp final : public Kernel {
+ public:
+  void allocateHostMemory(Context&) override {}
+  void allocateDeviceMemory(Context&) override {}
+  void initializeHostMemory(Context&) override {}
+  sim::Task transferMemory(Context& ctx, Direction) override {
+    co_await ctx.runtime->stream_synchronize(ctx.stream);
+  }
+  sim::Task executeKernel(Context& ctx) override {
+    rt::LaunchConfig cfg;
+    cfg.name = "too_wide";
+    cfg.grid = {1, 1, 1};
+    cfg.block = {2048, 1, 1};  // exceeds the 1024-thread block limit
+    auto op = ctx.runtime->launch_kernel(ctx.stream, std::move(cfg));
+    co_await op;
+  }
+  void freeHostMemory(Context&) override {}
+  void freeDeviceMemory(Context&) override {}
+  const std::string& name() const override { return name_; }
+  Bytes htod_bytes() const override { return 0; }
+  Bytes dtoh_bytes() const override { return 0; }
+  bool verify(Context&) const override { return true; }
+
+ private:
+  std::string name_ = "bad_launch";
+};
+
+TEST(FailureInjectionTest, InvalidLaunchConfigurationPropagates) {
+  HarnessConfig config;
+  config.monitor_power = false;
+  Harness harness(config);
+  std::vector<WorkloadItem> workload;
+  workload.push_back(
+      WorkloadItem{"bad", [] { return std::make_unique<BadLaunchApp>(); }});
+  EXPECT_THROW(harness.run(workload), hq::Error);
+}
+
+TEST(FailureInjectionTest, NullFactoryRejected) {
+  Harness harness{HarnessConfig{}};
+  std::vector<WorkloadItem> workload;
+  workload.push_back(WorkloadItem{"null", [] {
+    return std::unique_ptr<Kernel>();
+  }});
+  EXPECT_THROW(harness.run(workload), hq::Error);
+}
+
+TEST(FailureInjectionTest, UnknownRegistryNameRejected) {
+  EXPECT_THROW(rodinia::make_app("does-not-exist"), hq::Error);
+}
+
+TEST(FailureInjectionTest, RecoveryAfterFailedRun) {
+  // A failed run must not poison subsequent runs (each run owns a fresh
+  // simulator/device/runtime).
+  SyntheticApp::Spec huge;
+  huge.htod_bytes = 6 * kGiB;
+  HarnessConfig config;
+  config.monitor_power = false;
+  {
+    Harness harness(config);
+    EXPECT_THROW(harness.run(synthetic_workload(1, huge)), hq::Error);
+  }
+  Harness harness(config);
+  const auto result = harness.run(synthetic_workload(2, {}));
+  EXPECT_GT(result.makespan, 0u);
+}
+
+}  // namespace
+}  // namespace hq::fw

@@ -1,0 +1,85 @@
+// Golden-output tests: exact, byte-for-byte renderings of deterministic
+// scenarios. These catch any unintended change to the simulation schedule,
+// the trace pipeline, or the renderers.
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "sim/simulator.hpp"
+#include "trace/ascii_timeline.hpp"
+#include "trace/chrome_trace.hpp"
+
+namespace hq {
+namespace {
+
+TEST(GoldenOutputTest, TwoStreamTimelineRendersExactly) {
+  sim::Simulator sim;
+  trace::Recorder recorder;
+  gpu::Device device(sim, gpu::DeviceSpec::tesla_k20(), &recorder);
+  device.register_stream(0);
+  device.register_stream(1);
+
+  device.submit_copy(0, gpu::CopyRequest{gpu::CopyDirection::HtoD,
+                                         61000, nullptr},
+                     gpu::OpTag{0, "in"});
+  device.submit_kernel(0,
+                       gpu::KernelLaunch{"k", gpu::Dim3{1, 1, 1},
+                                         gpu::Dim3{32, 1, 1}, 16, 0,
+                                         18 * kMicrosecond, 0.0, nullptr},
+                       gpu::OpTag{0, "k"});
+  device.submit_kernel(1,
+                       gpu::KernelLaunch{"k2", gpu::Dim3{1, 1, 1},
+                                         gpu::Dim3{32, 1, 1}, 16, 0,
+                                         36 * kMicrosecond, 0.0, nullptr},
+                       gpu::OpTag{1, "k2"});
+  sim.run();
+
+  // Copy: 8us overhead + 10us transfer = 18us; then dispatch 3us + 18us
+  // kernel => stream 0 spans [0, 39us]. Stream 1: dispatch 3us + 36us.
+  trace::AsciiTimelineOptions opt;
+  opt.width = 39;
+  const std::string expected =
+      "         |t=0.00 ns .. 39.00 us\n"
+      "Stream 0 |HHHHHHHHHHHHHHHHHH...KKKKKKKKKKKKKKKKKK|\n"
+      "Stream 1 |...KKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKK|\n"
+      "          H=HtoD copy  D=DtoH copy  K=kernel  h=host  w=lock wait  "
+      ".=idle\n";
+  EXPECT_EQ(render_ascii_timeline(recorder, opt), expected);
+}
+
+TEST(GoldenOutputTest, ChromeTraceJsonExact) {
+  trace::Recorder recorder;
+  recorder.add(trace::Span{2, 5, trace::SpanKind::MemcpyHtoD, "in", 1000,
+                           3500});
+  const std::string expected =
+      "[\n"
+      "  {\"name\": \"in\", \"cat\": \"HtoD\", \"ph\": \"X\", \"ts\": 1, "
+      "\"dur\": 2.5, \"pid\": 0, \"tid\": 2, \"args\": {\"app\": 5}}\n"
+      "]\n";
+  EXPECT_EQ(chrome_trace_json(recorder), expected);
+}
+
+TEST(GoldenOutputTest, DeterministicEventCountForFixedScenario) {
+  // The total number of simulator events for a fixed scenario is part of
+  // the deterministic contract: scheduling changes show up here first.
+  auto run_once = [] {
+    sim::Simulator sim;
+    gpu::Device device(sim, gpu::DeviceSpec::tesla_k20());
+    device.register_stream(0);
+    device.register_stream(1);
+    for (int i = 0; i < 10; ++i) {
+      device.submit_kernel(i % 2,
+                           gpu::KernelLaunch{"k", gpu::Dim3{64, 1, 1},
+                                             gpu::Dim3{256, 1, 1}, 16, 0,
+                                             5 * kMicrosecond, 0.0, nullptr},
+                           {});
+    }
+    sim.run();
+    return sim.events_processed();
+  };
+  const auto first = run_once();
+  EXPECT_EQ(first, run_once());
+  EXPECT_GT(first, 20u);
+}
+
+}  // namespace
+}  // namespace hq

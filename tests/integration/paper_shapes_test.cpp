@@ -1,0 +1,186 @@
+// Integration tests asserting the *shape* of every headline result in the
+// paper's evaluation, at reduced scale so the suite stays fast. These are
+// the guardrails that keep the simulator calibrated: if a change to the
+// device model breaks a ranking the paper reports, a test here fails.
+#include <gtest/gtest.h>
+
+#include "bench/common.hpp"
+#include "hyperq/metrics.hpp"
+
+namespace hq::bench {
+namespace {
+
+// Smaller inputs so each simulated run finishes quickly.
+fw::HarnessResult run_small_pair(const Pair& pair, int na, int ns,
+                                 fw::Order order = fw::Order::NaiveFifo,
+                                 bool memory_sync = false,
+                                 const gpu::DeviceSpec* device = nullptr) {
+  fw::HarnessConfig config = timing_config(ns);
+  config.memory_sync = memory_sync;
+  // Tight stagger: the miniature inputs transfer quickly, so contention only
+  // appears when launches are nearly simultaneous.
+  config.launch_stagger = 5 * kMicrosecond;
+  if (device != nullptr) config.device = *device;
+  rodinia::AppParams params;
+  params.size = 128;  // gaussian/needle/srad at 128; nn unaffected below
+  rodinia::AppParams nn_params;
+  nn_params.size = 10000;
+  auto params_for = [&](const std::string& name) {
+    return name == "nn" ? nn_params : params;
+  };
+  Rng rng(42);
+  const int counts[] = {na / 2, na - na / 2};
+  const auto schedule = fw::make_schedule(order, counts, &rng);
+  const auto workload = rodinia::build_workload(
+      schedule, {pair.x, pair.y}, {params_for(pair.x), params_for(pair.y)});
+  fw::Harness harness(config);
+  return harness.run(workload);
+}
+
+// --- Section V-A: the lazy policy beats serialization -----------------------
+
+TEST(PaperShapesTest, FullConcurrencyBeatsSerialForAllPairs) {
+  for (const Pair& pair : hetero_pairs()) {
+    const auto serial = run_small_pair(pair, 8, 1);
+    const auto full = run_small_pair(pair, 8, 8);
+    EXPECT_LT(full.makespan, serial.makespan) << pair.label();
+  }
+}
+
+TEST(PaperShapesTest, HalfConcurrencyCapturesMostOfTheGain) {
+  const Pair pair{"nn", "needle"};
+  const auto serial = run_small_pair(pair, 16, 1);
+  const auto half = run_small_pair(pair, 16, 8);
+  const auto full = run_small_pair(pair, 16, 16);
+  const double half_impr = fw::improvement(
+      static_cast<double>(serial.makespan), static_cast<double>(half.makespan));
+  const double full_impr = fw::improvement(
+      static_cast<double>(serial.makespan), static_cast<double>(full.makespan));
+  EXPECT_GT(half_impr, 0.0);
+  EXPECT_GE(full_impr, half_impr - 0.02);  // full >= half (within noise)
+  // Half-concurrency already captures the majority of the benefit (the
+  // paper's 23.6% vs 24.8% averages).
+  EXPECT_GT(half_impr, 0.6 * full_impr);
+}
+
+TEST(PaperShapesTest, TinyKernelPairsGainMost) {
+  // The paper's biggest wins come from pairs whose kernels underutilize the
+  // device ({nn, needle}); gaussian/srad-heavy pairs gain least. This claim
+  // is about the paper-size inputs (Fan2/srad saturate the device there), so
+  // it runs at Table III scale with a small NA.
+  const auto serial_small = run_pair({"nn", "needle"}, 4, 1);
+  const auto full_small = run_pair({"nn", "needle"}, 4, 4);
+  const auto serial_big = run_pair({"gaussian", "srad"}, 4, 1);
+  const auto full_big = run_pair({"gaussian", "srad"}, 4, 4);
+  const double small_gain =
+      fw::improvement(static_cast<double>(serial_small.makespan),
+                      static_cast<double>(full_small.makespan));
+  const double big_gain =
+      fw::improvement(static_cast<double>(serial_big.makespan),
+                      static_cast<double>(full_big.makespan));
+  EXPECT_GT(small_gain, big_gain);
+}
+
+// --- Section V-B: effective memory transfer latency -------------------------
+
+TEST(PaperShapesTest, InterleavingInflatesEffectiveLatency) {
+  const Pair pair{"gaussian", "needle"};
+  const auto concurrent = run_small_pair(pair, 8, 8);
+  const auto solo = run_small_pair(pair, 2, 1);  // one of each, no contention
+
+  const double inflated = fw::mean_htod_effective_latency(concurrent.apps);
+  const double expected = fw::mean_htod_effective_latency(solo.apps);
+  EXPECT_GT(inflated, 1.5 * expected);
+}
+
+TEST(PaperShapesTest, MemorySyncRestoresExpectedLatency) {
+  const Pair pair{"gaussian", "needle"};
+  const auto base = run_small_pair(pair, 8, 8, fw::Order::NaiveFifo, false);
+  const auto sync = run_small_pair(pair, 8, 8, fw::Order::NaiveFifo, true);
+  EXPECT_LT(fw::mean_htod_effective_latency(sync.apps),
+            fw::mean_htod_effective_latency(base.apps));
+  // Each app's Le collapses to its own service time plus its own
+  // host-side submission gaps (one driver call between transfers).
+  for (const auto& app : sync.apps) {
+    EXPECT_LE(app.htod_effective_latency,
+              app.htod_own_time + 4 * 5 * kMicrosecond)
+        << app.app_id;
+  }
+}
+
+TEST(PaperShapesTest, MemorySyncDoesNotHurtAtPaperScale) {
+  // At the paper's input sizes, batching transfers leaves the makespan
+  // essentially unchanged for the transfer-heavy pairs (its benefit is the
+  // latency/overlap-potential restoration). Note the paper's own Figure 8
+  // shows orderings where sync is slightly below the default (cells < 1.0),
+  // so this is a no-significant-regression bound, not a strict win.
+  for (const Pair& pair : {Pair{"gaussian", "needle"}, Pair{"gaussian", "nn"}}) {
+    const auto base = run_pair(pair, 8, 8, fw::Order::NaiveFifo, false);
+    const auto sync = run_pair(pair, 8, 8, fw::Order::NaiveFifo, true);
+    EXPECT_LE(sync.makespan, base.makespan * 103 / 100) << pair.label();
+  }
+}
+
+// --- Section V-C: application reordering -------------------------------------
+
+TEST(PaperShapesTest, OrderingChangesMakespan) {
+  const Pair pair{"needle", "srad"};
+  double best = 1e300, worst = 0;
+  Rng rng(42);
+  for (fw::Order order : fw::kAllOrders) {
+    const auto result = run_small_pair(pair, 8, 8, order);
+    best = std::min(best, static_cast<double>(result.makespan));
+    worst = std::max(worst, static_cast<double>(result.makespan));
+  }
+  EXPECT_GT((worst - best) / worst, 0.01);  // order matters measurably
+}
+
+// --- Section V-D: energy ------------------------------------------------------
+
+TEST(PaperShapesTest, ConcurrencySavesEnergyDespiteHigherPower) {
+  const Pair pair{"needle", "srad"};
+  const auto serial = run_small_pair(pair, 8, 1);
+  const auto full = run_small_pair(pair, 8, 8);
+  const double p_serial = serial.energy_exact / to_seconds(serial.makespan);
+  const double p_full = full.energy_exact / to_seconds(full.makespan);
+  EXPECT_GT(p_full, p_serial);                       // power rises...
+  EXPECT_LT(full.energy_exact, serial.energy_exact); // ...energy falls
+}
+
+TEST(PaperShapesTest, PowerSublinearInConcurrency) {
+  // Observation #4: doubling the stream count must not double power.
+  const Pair pair{"needle", "srad"};
+  const auto half = run_small_pair(pair, 8, 4);
+  const auto full = run_small_pair(pair, 8, 8);
+  const double p_half = half.energy_exact / to_seconds(half.makespan);
+  const double p_full = full.energy_exact / to_seconds(full.makespan);
+  EXPECT_LT(p_full / p_half, 1.3);
+}
+
+// --- Motivation: Hyper-Q vs Fermi --------------------------------------------
+
+TEST(PaperShapesTest, HyperQNoWorseThanFermiEverywhere) {
+  const gpu::DeviceSpec fermi = gpu::DeviceSpec::fermi_single_queue();
+  for (const Pair& pair : hetero_pairs()) {
+    const auto fermi_run =
+        run_small_pair(pair, 8, 8, fw::Order::NaiveFifo, false, &fermi);
+    const auto hyperq_run = run_small_pair(pair, 8, 8);
+    EXPECT_LE(hyperq_run.makespan, fermi_run.makespan * 101 / 100)
+        << pair.label();
+  }
+}
+
+// --- Determinism ---------------------------------------------------------------
+
+TEST(PaperShapesTest, EveryConfigurationIsDeterministic) {
+  const Pair pair{"gaussian", "needle"};
+  for (bool sync : {false, true}) {
+    const auto a = run_small_pair(pair, 4, 4, fw::Order::RoundRobin, sync);
+    const auto b = run_small_pair(pair, 4, 4, fw::Order::RoundRobin, sync);
+    EXPECT_EQ(a.makespan, b.makespan) << sync;
+    EXPECT_DOUBLE_EQ(a.energy_exact, b.energy_exact);
+  }
+}
+
+}  // namespace
+}  // namespace hq::bench

@@ -1,0 +1,171 @@
+#include "nvml/nvml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace hq::nvml {
+namespace {
+
+gpu::KernelLaunch busy_kernel(DurationNs duration) {
+  return gpu::KernelLaunch{"busy", gpu::Dim3{26, 1, 1}, gpu::Dim3{1024, 1, 1},
+                           32,     0,                   duration,
+                           0.0,    nullptr};
+}
+
+class NvmlTest : public ::testing::Test {
+ protected:
+  NvmlTest() : device_(sim_, gpu::DeviceSpec::tesla_k20()) {
+    device_.register_stream(0);
+  }
+
+  sim::Simulator sim_;
+  gpu::Device device_;
+};
+
+TEST_F(NvmlTest, FirstReadReflectsIdlePower) {
+  SensorOptions opts;
+  opts.noise_stddev = 0.0;
+  opts.quantization = 0.0;
+  PowerSensor sensor(sim_, device_, opts);
+  EXPECT_NEAR(sensor.read(), device_.spec().idle_power, 1e-9);
+}
+
+TEST_F(NvmlTest, ReadingConvergesToBusyPower) {
+  SensorOptions opts;
+  opts.noise_stddev = 0.0;
+  opts.quantization = 0.0;
+  PowerSensor sensor(sim_, device_, opts);
+  sensor.read();  // prime at idle
+
+  device_.submit_kernel(0, busy_kernel(100 * kMillisecond), {});
+  // Sample every 15 ms like the paper's PowerMonitor.
+  Watts last = 0;
+  for (int i = 0; i < 6; ++i) {
+    sim_.run_until(sim_.now() + 15 * kMillisecond);
+    last = sensor.read();
+  }
+  const Watts truth = device_.instantaneous_power();
+  EXPECT_GT(last, truth * 0.8);
+  EXPECT_GT(truth, device_.spec().idle_power + device_.spec().max_dynamic_power);
+  sim_.run();
+}
+
+TEST_F(NvmlTest, FilteringSmoothsStepChanges) {
+  SensorOptions opts;
+  opts.noise_stddev = 0.0;
+  opts.quantization = 0.0;
+  opts.filter_alpha = 0.3;
+  PowerSensor sensor(sim_, device_, opts);
+  sensor.read();
+
+  device_.submit_kernel(0, busy_kernel(30 * kMillisecond), {});
+  sim_.run_until(15 * kMillisecond);
+  const Watts first = sensor.read();
+  sim_.run_until(30 * kMillisecond);
+  const Watts second = sensor.read();
+  // EMA: the reading climbs toward busy power, but the first post-step
+  // sample must undershoot the true busy power.
+  EXPECT_GT(second, first);
+  EXPECT_LT(first, device_.spec().idle_power + device_.spec().active_base_power +
+                       device_.spec().max_dynamic_power);
+  sim_.run();
+}
+
+TEST_F(NvmlTest, NoiseIsDeterministicPerSeed) {
+  SensorOptions opts;
+  opts.seed = 42;
+  PowerSensor a(sim_, device_, opts);
+  PowerSensor b(sim_, device_, opts);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.read(), b.read());
+  }
+}
+
+TEST_F(NvmlTest, QuantizationAppliesGranularity) {
+  SensorOptions opts;
+  opts.noise_stddev = 0.0;
+  opts.quantization = 0.5;
+  PowerSensor sensor(sim_, device_, opts);
+  const Watts v = sensor.read();
+  EXPECT_DOUBLE_EQ(v, std::round(v / 0.5) * 0.5);
+}
+
+TEST_F(NvmlTest, ReadingNeverNegative) {
+  SensorOptions opts;
+  opts.noise_stddev = 500.0;  // absurd noise
+  PowerSensor sensor(sim_, device_, opts);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(sensor.read(), 0.0);
+  }
+}
+
+TEST_F(NvmlTest, PowerUsageMilliwatts) {
+  SensorOptions opts;
+  opts.noise_stddev = 0.0;
+  opts.quantization = 0.0;
+  ManagementLibrary nvml(sim_, device_, opts);
+  const unsigned int mw = nvml.power_usage_mw();
+  EXPECT_NEAR(mw, device_.spec().idle_power * 1000.0, 1.0);
+}
+
+TEST_F(NvmlTest, UtilizationTracksBusyWindow) {
+  ManagementLibrary nvml(sim_, device_, {});
+  EXPECT_DOUBLE_EQ(nvml.utilization_gpu(), 0.0);
+
+  // 40 ms busy (plus 3 us dispatch) inside a 100 ms window.
+  device_.submit_kernel(0, busy_kernel(40 * kMillisecond), {});
+  sim_.run_until(100 * kMillisecond);
+  const double util = nvml.utilization_gpu();
+  EXPECT_NEAR(util, 40.0, 1.0);
+
+  // Next window is fully idle.
+  sim_.run_until(200 * kMillisecond);
+  EXPECT_NEAR(nvml.utilization_gpu(), 0.0, 1e-9);
+}
+
+TEST_F(NvmlTest, TotalEnergyMatchesDevice) {
+  ManagementLibrary nvml(sim_, device_, {});
+  device_.submit_kernel(0, busy_kernel(10 * kMillisecond), {});
+  sim_.run();
+  EXPECT_DOUBLE_EQ(nvml.total_energy(), device_.energy());
+  EXPECT_GT(nvml.total_energy(), 0.0);
+}
+
+TEST_F(NvmlTest, DeviceNameExposed) {
+  ManagementLibrary nvml(sim_, device_, {});
+  EXPECT_EQ(nvml.device_name(), "Simulated Tesla K20");
+}
+
+TEST_F(NvmlTest, SensorEnergyIntegralApproximatesTruth) {
+  // Sampling the sensor at 66.7 Hz and integrating should land near the
+  // exact device energy — the premise of the paper's measurement method.
+  SensorOptions opts;
+  opts.noise_stddev = 0.4;
+  opts.quantization = 0.25;
+  opts.filter_alpha = 1.0;  // windowed averages integrate exactly
+  PowerSensor sensor(sim_, device_, opts);
+  sensor.read();
+
+  device_.submit_kernel(0, busy_kernel(200 * kMillisecond), {});
+  std::vector<std::pair<double, double>> samples;
+  samples.emplace_back(0.0, static_cast<double>(sensor.read()));
+  while (sim_.now() < 300 * kMillisecond) {
+    sim_.run_until(sim_.now() + 15 * kMillisecond);
+    samples.emplace_back(to_seconds(sim_.now()),
+                         static_cast<double>(sensor.read()));
+  }
+  double integral = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    // Left-Riemann with window averages assigned to the right edge:
+    integral += samples[i].second * (samples[i].first - samples[i - 1].first);
+  }
+  const double truth = device_.energy();
+  EXPECT_NEAR(integral, truth, truth * 0.05);
+}
+
+}  // namespace
+}  // namespace hq::nvml

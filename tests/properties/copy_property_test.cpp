@@ -1,0 +1,86 @@
+// Property-based sweep of the copy-engine timing model: service time is
+// exactly overhead + ceil(bytes / bandwidth); small transfers are
+// overhead-dominated (the "linear above 8 KB" knee the paper cites); and a
+// batch of n transfers serializes to exactly n service times.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/copy_engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace hq::gpu {
+namespace {
+
+class CopyServiceProperty : public ::testing::TestWithParam<Bytes> {};
+
+TEST_P(CopyServiceProperty, ServiceTimeFormula) {
+  const Bytes bytes = GetParam();
+  sim::Simulator sim;
+  const double bw = 6.1e9;
+  const DurationNs overhead = 8 * kMicrosecond;
+  CopyEngine engine(sim, CopyDirection::HtoD, bw, overhead, [] {});
+
+  const DurationNs expected =
+      overhead + static_cast<DurationNs>(
+                     std::ceil(static_cast<double>(bytes) / bw * 1e9));
+  EXPECT_EQ(engine.service_time(bytes), expected);
+}
+
+TEST_P(CopyServiceProperty, EndToEndMatchesServiceTime) {
+  const Bytes bytes = GetParam();
+  sim::Simulator sim;
+  CopyEngine engine(sim, CopyDirection::HtoD, 6.1e9, 8 * kMicrosecond, [] {});
+  TimeNs end = 0;
+  engine.enqueue(CopyEngine::Transaction{
+      1, 0, bytes, [] { return true; },
+      [&end](TimeNs, TimeNs e) { end = e; }});
+  sim.run();
+  EXPECT_EQ(end, engine.service_time(bytes));
+}
+
+TEST_P(CopyServiceProperty, BatchOfFourSerializesExactly) {
+  const Bytes bytes = GetParam();
+  sim::Simulator sim;
+  CopyEngine engine(sim, CopyDirection::DtoH, 6.5e9, 8 * kMicrosecond, [] {});
+  TimeNs last_end = 0;
+  for (int i = 0; i < 4; ++i) {
+    engine.enqueue(CopyEngine::Transaction{
+        static_cast<OpId>(i), 0, bytes, [] { return true; },
+        [&last_end](TimeNs, TimeNs e) { last_end = e; }});
+  }
+  sim.run();
+  EXPECT_EQ(last_end, 4 * engine.service_time(bytes));
+  EXPECT_EQ(engine.transactions_served(), 4u);
+  EXPECT_EQ(engine.bytes_transferred(), 4 * bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeSweep, CopyServiceProperty,
+                         ::testing::Values<Bytes>(1, 512, 2048, 8 * 1024,
+                                                  64 * 1024, 342 * 1024,
+                                                  1024 * 1024, 16 * 1024 * 1024));
+
+TEST(CopyKneeTest, SmallTransfersAreOverheadDominated) {
+  sim::Simulator sim;
+  CopyEngine engine(sim, CopyDirection::HtoD, 6.1e9, 8 * kMicrosecond, [] {});
+  // Below ~8 KiB the time is essentially flat (within 20% of pure overhead);
+  // by 1 MiB the bandwidth term dominates.
+  EXPECT_LT(static_cast<double>(engine.service_time(8 * kKiB)),
+            1.2 * 8.0 * kMicrosecond);
+  EXPECT_GT(static_cast<double>(engine.service_time(kMiB)),
+            10.0 * 8.0 * kMicrosecond);
+}
+
+TEST(CopyKneeTest, ServiceTimeIsMonotoneInSize) {
+  sim::Simulator sim;
+  CopyEngine engine(sim, CopyDirection::HtoD, 6.1e9, 8 * kMicrosecond, [] {});
+  DurationNs prev = 0;
+  for (Bytes b = 1; b <= 8 * kMiB; b *= 2) {
+    const DurationNs t = engine.service_time(b);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace hq::gpu

@@ -1,0 +1,95 @@
+// Property-based sweep of the schedule generators across all five orders and
+// a matrix of type-count configurations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "hyperq/schedule.hpp"
+
+namespace hq::fw {
+namespace {
+
+using CountsCase = std::vector<int>;
+
+class ScheduleProperty
+    : public ::testing::TestWithParam<std::tuple<Order, CountsCase>> {
+ protected:
+  std::vector<Slot> build() {
+    const auto& [order, counts] = GetParam();
+    rng_ = std::make_unique<Rng>(99);
+    return make_schedule(order, counts, rng_.get());
+  }
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(ScheduleProperty, SizeEqualsTotalCount) {
+  const auto& counts = std::get<1>(GetParam());
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(build().size(), static_cast<std::size_t>(total));
+}
+
+TEST_P(ScheduleProperty, EveryInstanceAppearsExactlyOnce) {
+  const auto& counts = std::get<1>(GetParam());
+  const auto slots = build();
+  std::map<std::pair<int, int>, int> seen;
+  for (const Slot& slot : slots) seen[{slot.type, slot.instance}]++;
+  for (std::size_t t = 0; t < counts.size(); ++t) {
+    for (int i = 1; i <= counts[t]; ++i) {
+      EXPECT_EQ((seen[{static_cast<int>(t), i}]), 1)
+          << "type " << t << " instance " << i;
+    }
+  }
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(static_cast<int>(seen.size()), total);
+}
+
+TEST_P(ScheduleProperty, InstancesWithinTypeAreOrderedForDeterministicOrders) {
+  const auto& [order, counts] = GetParam();
+  if (order == Order::RandomShuffle) GTEST_SKIP() << "shuffle reorders";
+  const auto slots = build();
+  std::vector<int> last(counts.size(), 0);
+  for (const Slot& slot : slots) {
+    EXPECT_EQ(slot.instance, last[slot.type] + 1)
+        << order_name(order) << " violates per-type instance order";
+    last[slot.type] = slot.instance;
+  }
+}
+
+TEST_P(ScheduleProperty, GenerationIsRepeatable) {
+  const auto& [order, counts] = GetParam();
+  Rng r1(7), r2(7);
+  EXPECT_EQ(make_schedule(order, counts, &r1),
+            make_schedule(order, counts, &r2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderAndCounts, ScheduleProperty,
+    ::testing::Combine(
+        ::testing::Values(Order::NaiveFifo, Order::RoundRobin,
+                          Order::RandomShuffle, Order::ReverseFifo,
+                          Order::ReverseRoundRobin),
+        ::testing::Values(CountsCase{4, 4}, CountsCase{16, 16},
+                          CountsCase{1, 7}, CountsCase{5, 0},
+                          CountsCase{3, 3, 3}, CountsCase{1, 2, 3, 4},
+                          CountsCase{10})),
+    [](const auto& param_info) {
+      const Order order = std::get<0>(param_info.param);
+      const CountsCase& counts = std::get<1>(param_info.param);
+      std::string name;
+      switch (order) {
+        case Order::NaiveFifo: name = "Fifo"; break;
+        case Order::RoundRobin: name = "RR"; break;
+        case Order::RandomShuffle: name = "Shuffle"; break;
+        case Order::ReverseFifo: name = "RevFifo"; break;
+        case Order::ReverseRoundRobin: name = "RevRR"; break;
+      }
+      for (int c : counts) name += "_" + std::to_string(c);
+      return name;
+    });
+
+}  // namespace
+}  // namespace hq::fw

@@ -1,0 +1,156 @@
+// Functional tests for the extension ports (lud, pathfinder): algorithms
+// verified against independent references, launch structure checked, and
+// interoperability with the paper's workload machinery demonstrated.
+#include <gtest/gtest.h>
+
+#include "hyperq/harness.hpp"
+#include "rodinia/lud.hpp"
+#include "rodinia/pathfinder.hpp"
+#include "rodinia/registry.hpp"
+
+namespace hq::rodinia {
+namespace {
+
+fw::HarnessConfig functional_config() {
+  fw::HarnessConfig config;
+  config.functional = true;
+  config.num_streams = 1;
+  config.monitor_power = false;
+  return config;
+}
+
+template <typename App, typename Params>
+fw::HarnessResult run_single(Params params) {
+  fw::Harness harness(functional_config());
+  std::vector<fw::WorkloadItem> workload;
+  workload.push_back(fw::WorkloadItem{
+      "app", [params] { return std::make_unique<App>(params); }});
+  return harness.run(workload);
+}
+
+// ----------------------------------------------------------------------- lud
+
+TEST(LudTest, FactorizationReconstructsInput) {
+  LudParams params;
+  params.n = 64;
+  const auto result = run_single<LudApp>(params);
+  EXPECT_TRUE(result.all_verified);
+  // tiles = 4: 4 diagonal + 3 perimeter + 3 internal kernels.
+  EXPECT_EQ(result.device_stats.kernels_completed, 10u);
+}
+
+TEST(LudTest, PropertySweep) {
+  for (int n : {16, 48, 96}) {
+    for (std::uint64_t seed : {1ull, 42ull}) {
+      LudParams params;
+      params.n = n;
+      params.seed = seed;
+      const auto result = run_single<LudApp>(params);
+      EXPECT_TRUE(result.all_verified) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(LudTest, LaunchShapeShrinksAlongDiagonal) {
+  fw::HarnessConfig config;
+  config.functional = false;
+  config.num_streams = 1;
+  config.monitor_power = false;
+  fw::Harness harness(config);
+  AppParams params;
+  params.size = 128;  // 8 tiles
+  const auto result = harness.run({make_app("lud", params)});
+
+  std::size_t diagonal = 0, perimeter = 0, internal = 0;
+  for (const auto& span : result.trace->by_kind(trace::SpanKind::Kernel)) {
+    if (span.name == "lud_diagonal") ++diagonal;
+    if (span.name == "lud_perimeter") ++perimeter;
+    if (span.name == "lud_internal") ++internal;
+  }
+  EXPECT_EQ(diagonal, 8u);
+  EXPECT_EQ(perimeter, 7u);
+  EXPECT_EQ(internal, 7u);
+}
+
+TEST(LudTest, SizeMustBeTileAligned) {
+  LudParams params;
+  params.n = 100;
+  EXPECT_THROW(LudApp{params}, hq::Error);
+}
+
+// ---------------------------------------------------------------- pathfinder
+
+TEST(PathfinderTest, MatchesReferenceDp) {
+  PathfinderParams params;
+  params.cols = 1000;
+  params.rows = 50;
+  params.pyramid_height = 10;
+  const auto result = run_single<PathfinderApp>(params);
+  EXPECT_TRUE(result.all_verified);
+  // ceil((rows-1) / pyramid_height) = 5 kernel calls.
+  EXPECT_EQ(result.device_stats.kernels_completed, 5u);
+}
+
+TEST(PathfinderTest, PropertySweep) {
+  for (int cols : {64, 513, 2000}) {
+    for (int pyramid : {1, 7, 100}) {
+      PathfinderParams params;
+      params.cols = cols;
+      params.rows = 40;
+      params.pyramid_height = pyramid;
+      params.seed = static_cast<std::uint64_t>(cols + pyramid);
+      const auto result = run_single<PathfinderApp>(params);
+      EXPECT_TRUE(result.all_verified) << cols << "/" << pyramid;
+    }
+  }
+}
+
+TEST(PathfinderTest, PyramidHeightDoesNotChangeResult) {
+  // The kernel chunking is a performance knob; the DP answer is identical.
+  auto run_with = [](int pyramid) {
+    PathfinderParams params;
+    params.cols = 500;
+    params.rows = 30;
+    params.pyramid_height = pyramid;
+    return run_single<PathfinderApp>(params).all_verified;
+  };
+  EXPECT_TRUE(run_with(1));
+  EXPECT_TRUE(run_with(3));
+  EXPECT_TRUE(run_with(29));
+}
+
+TEST(PathfinderTest, DegenerateConfigsRejected) {
+  PathfinderParams params;
+  params.rows = 1;
+  EXPECT_THROW(PathfinderApp{params}, hq::Error);
+  PathfinderParams zero_pyramid;
+  zero_pyramid.pyramid_height = 0;
+  EXPECT_THROW(PathfinderApp{zero_pyramid}, hq::Error);
+}
+
+// ----------------------------------------------------- cross-app integration
+
+TEST(ExtensionAppsTest, AllSevenAppsRunConcurrently) {
+  fw::HarnessConfig config;
+  config.functional = true;
+  config.num_streams = 7;
+  config.monitor_power = false;
+  AppParams square = {32, 2, 3};
+  AppParams nn_params = {400, std::nullopt, 4};
+  AppParams path_params = {300, 20, 5};
+  fw::Harness harness(config);
+  const auto result = harness.run({
+      make_app("gaussian", square),
+      make_app("nn", nn_params),
+      make_app("needle", square),
+      make_app("srad", square),
+      make_app("hotspot", square),
+      make_app("lud", square),
+      make_app("pathfinder", path_params),
+  });
+  EXPECT_TRUE(result.all_verified);
+  EXPECT_EQ(result.apps.size(), 7u);
+}
+
+}  // namespace
+}  // namespace hq::rodinia

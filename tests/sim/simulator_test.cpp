@@ -1,0 +1,136 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hq::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, ScheduleAdvancesClock) {
+  Simulator sim;
+  TimeNs seen = 0;
+  sim.schedule(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(300, [&] { order.push_back(3); });
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, SimultaneousEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 10; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SimulatorTest, NestedSchedulingAtSameInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(10, [&] {
+    order.push_back(1);
+    sim.schedule(0, [&] { order.push_back(3); });
+  });
+  sim.schedule(10, [&] { order.push_back(2); });
+  sim.run();
+  // The nested zero-delay event runs after already-queued same-time events.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  TimeNs seen = 0;
+  sim.schedule_at(777, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 777u);
+}
+
+TEST(SimulatorTest, ScheduleIntoPastThrows) {
+  Simulator sim;
+  sim.schedule(100, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_THROW(sim.schedule_at(50, [] {}), hq::Error);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<TimeNs> seen;
+  sim.schedule(100, [&] { seen.push_back(sim.now()); });
+  sim.schedule(200, [&] { seen.push_back(sim.now()); });
+  sim.schedule(300, [&] { seen.push_back(sim.now()); });
+
+  sim.run_until(200);
+  EXPECT_EQ(seen, (std::vector<TimeNs>{100, 200}));
+  EXPECT_EQ(sim.now(), 200u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<TimeNs>{100, 200, 300}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWhenIdle) {
+  Simulator sim;
+  sim.run_until(5000);
+  EXPECT_EQ(sim.now(), 5000u);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.schedule(100, [] {});
+  sim.run();
+  sim.run_for(50);
+  EXPECT_EQ(sim.now(), 150u);
+}
+
+TEST(SimulatorTest, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(i, [] {});
+  EXPECT_EQ(sim.run(), 5u);
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  // Schedule events with colliding timestamps; verify global monotonic
+  // dispatch order.
+  TimeNs last = 0;
+  int dispatched = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const TimeNs t = static_cast<TimeNs>((i * 7919) % 1000);
+    sim.schedule_at(t, [&, t] {
+      EXPECT_GE(t, last);
+      last = t;
+      ++dispatched;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(dispatched, 10000);
+}
+
+}  // namespace
+}  // namespace hq::sim

@@ -1,0 +1,284 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/simulator.hpp"
+
+namespace hq::sim {
+namespace {
+
+// ---------------------------------------------------------------- Event
+
+Task waiter(Simulator& sim, Event& ev, std::vector<TimeNs>* log) {
+  co_await ev.wait();
+  log->push_back(sim.now());
+}
+
+Task firer(Simulator& sim, Event& ev, DurationNs at) {
+  co_await sim.delay(at);
+  ev.fire();
+}
+
+TEST(EventTest, WaitersResumeOnFire) {
+  Simulator sim;
+  Event ev(sim);
+  std::vector<TimeNs> log;
+  sim.spawn(waiter(sim, ev, &log));
+  sim.spawn(waiter(sim, ev, &log));
+  sim.spawn(firer(sim, ev, 500));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<TimeNs>{500, 500}));
+  EXPECT_TRUE(ev.fired());
+}
+
+TEST(EventTest, WaitAfterFireDoesNotSuspend) {
+  Simulator sim;
+  Event ev(sim);
+  ev.fire();
+  std::vector<TimeNs> log;
+  sim.spawn(waiter(sim, ev, &log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<TimeNs>{0}));
+}
+
+TEST(EventTest, DoubleFireThrows) {
+  Simulator sim;
+  Event ev(sim);
+  ev.fire();
+  EXPECT_THROW(ev.fire(), hq::Error);
+}
+
+// ---------------------------------------------------------------- Mutex
+
+Task locker(Simulator& sim, Mutex& m, DurationNs hold, std::vector<int>* log,
+            int id) {
+  co_await m.lock();
+  log->push_back(id);
+  co_await sim.delay(hold);
+  m.unlock();
+}
+
+TEST(MutexTest, UncontendedAcquireDoesNotSuspend) {
+  Simulator sim;
+  Mutex m(sim);
+  bool acquired = false;
+  auto t = [](Mutex& mu, bool* flag) -> Task {
+    co_await mu.lock();
+    *flag = true;
+    mu.unlock();
+  };
+  sim.spawn(t(m, &acquired));
+  sim.run();
+  EXPECT_TRUE(acquired);
+  EXPECT_FALSE(m.locked());
+}
+
+TEST(MutexTest, FifoFairnessUnderContention) {
+  Simulator sim;
+  Mutex m(sim);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn(locker(sim, m, 10, &order, i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_FALSE(m.locked());
+  EXPECT_EQ(sim.now(), 80u);  // fully serialized critical sections
+}
+
+TEST(MutexTest, MutualExclusionInvariant) {
+  Simulator sim;
+  Mutex m(sim);
+  int inside = 0;
+  int max_inside = 0;
+  auto t = [](Simulator& s, Mutex& mu, int* in, int* max_in) -> Task {
+    co_await mu.lock();
+    ++*in;
+    *max_in = std::max(*max_in, *in);
+    co_await s.delay(7);
+    --*in;
+    mu.unlock();
+  };
+  for (int i = 0; i < 20; ++i) sim.spawn(t(sim, m, &inside, &max_inside));
+  sim.run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(inside, 0);
+}
+
+TEST(MutexTest, UnlockWithoutLockThrows) {
+  Simulator sim;
+  Mutex m(sim);
+  EXPECT_THROW(m.unlock(), hq::Error);
+}
+
+TEST(MutexTest, ScopedLockReleasesOnScopeExit) {
+  Simulator sim;
+  Mutex m(sim);
+  std::vector<int> order;
+  auto t = [](Simulator& s, Mutex& mu, std::vector<int>* log, int id) -> Task {
+    {
+      auto guard = co_await mu.scoped_lock();
+      log->push_back(id);
+      co_await s.delay(5);
+    }
+    co_await s.delay(100);  // outside the lock
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(t(sim, m, &order, i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_FALSE(m.locked());
+  // Lock only serializes the 5ns sections: the last task acquires at t=15,
+  // holds for 5, then spends 100 outside the lock.
+  EXPECT_EQ(sim.now(), 120u);
+}
+
+TEST(MutexTest, GuardMoveTransfersOwnership) {
+  Simulator sim;
+  Mutex m(sim);
+  bool done = false;
+  auto t = [](Simulator& s, Mutex& mu, bool* flag) -> Task {
+    auto g1 = co_await mu.scoped_lock();
+    Mutex::Guard g2 = std::move(g1);
+    EXPECT_FALSE(g1.owns_lock());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(g2.owns_lock());
+    EXPECT_TRUE(mu.locked());
+    co_await s.delay(1);
+    g2.reset();
+    EXPECT_FALSE(mu.locked());
+    *flag = true;
+  };
+  sim.spawn(t(sim, m, &done));
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MutexTest, NoBargingAtHandoff) {
+  // A task that tries to lock at the exact instant of an unlock-with-waiters
+  // must queue behind the waiter that was handed the lock.
+  Simulator sim;
+  Mutex m(sim);
+  std::vector<int> order;
+  auto holder = [](Simulator& s, Mutex& mu, std::vector<int>* log) -> Task {
+    co_await mu.lock();
+    log->push_back(0);
+    co_await s.delay(10);
+    mu.unlock();  // at t=10, waiter 1 is queued
+  };
+  auto waiter1 = [](Simulator& s, Mutex& mu, std::vector<int>* log) -> Task {
+    co_await s.delay(1);
+    co_await mu.lock();
+    log->push_back(1);
+    co_await s.delay(5);
+    mu.unlock();
+  };
+  auto barger = [](Simulator& s, Mutex& mu, std::vector<int>* log) -> Task {
+    co_await s.delay(10);  // arrives exactly at handoff time
+    co_await mu.lock();
+    log->push_back(2);
+    mu.unlock();
+  };
+  sim.spawn(holder(sim, m, &order));
+  sim.spawn(waiter1(sim, m, &order));
+  sim.spawn(barger(sim, m, &order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------- Semaphore
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 3);
+  int inside = 0, max_inside = 0;
+  auto t = [](Simulator& s, Semaphore& se, int* in, int* max_in) -> Task {
+    co_await se.acquire();
+    ++*in;
+    *max_in = std::max(*max_in, *in);
+    co_await s.delay(10);
+    --*in;
+    se.release();
+  };
+  for (int i = 0; i < 10; ++i) sim.spawn(t(sim, sem, &inside, &max_inside));
+  sim.run();
+  EXPECT_EQ(max_inside, 3);
+  EXPECT_EQ(inside, 0);
+  EXPECT_EQ(sem.available(), 3u);
+  // ceil(10/3)=4 rounds of 10ns each.
+  EXPECT_EQ(sim.now(), 40u);
+}
+
+TEST(SemaphoreTest, ReleaseWithoutWaitersIncrementsCount) {
+  Simulator sim;
+  Semaphore sem(sim, 0);
+  sem.release();
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(SemaphoreTest, ZeroInitialBlocksUntilRelease) {
+  Simulator sim;
+  Semaphore sem(sim, 0);
+  std::vector<TimeNs> log;
+  auto t = [](Simulator& s, Semaphore& se, std::vector<TimeNs>* out) -> Task {
+    co_await se.acquire();
+    out->push_back(s.now());
+  };
+  auto releaser = [](Simulator& s, Semaphore& se) -> Task {
+    co_await s.delay(42);
+    se.release();
+  };
+  sim.spawn(t(sim, sem, &log));
+  sim.spawn(releaser(sim, sem));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<TimeNs>{42}));
+}
+
+// ---------------------------------------------------------------- Latch
+
+TEST(LatchTest, WaitCompletesAtLastCountdown) {
+  Simulator sim;
+  CountdownLatch latch(sim, 3);
+  std::vector<TimeNs> log;
+  auto joiner = [](Simulator& s, CountdownLatch& l,
+                   std::vector<TimeNs>* out) -> Task {
+    co_await l.wait();
+    out->push_back(s.now());
+  };
+  auto worker = [](Simulator& s, CountdownLatch& l, DurationNs d) -> Task {
+    co_await s.delay(d);
+    l.count_down();
+  };
+  sim.spawn(joiner(sim, latch, &log));
+  sim.spawn(worker(sim, latch, 10));
+  sim.spawn(worker(sim, latch, 30));
+  sim.spawn(worker(sim, latch, 20));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<TimeNs>{30}));
+  EXPECT_EQ(latch.remaining(), 0u);
+}
+
+TEST(LatchTest, ZeroCountIsImmediatelyOpen) {
+  Simulator sim;
+  CountdownLatch latch(sim, 0);
+  std::vector<TimeNs> log;
+  auto joiner = [](Simulator& s, CountdownLatch& l,
+                   std::vector<TimeNs>* out) -> Task {
+    co_await l.wait();
+    out->push_back(s.now());
+  };
+  sim.spawn(joiner(sim, latch, &log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<TimeNs>{0}));
+}
+
+TEST(LatchTest, ExtraCountdownThrows) {
+  Simulator sim;
+  CountdownLatch latch(sim, 1);
+  latch.count_down();
+  EXPECT_THROW(latch.count_down(), hq::Error);
+}
+
+}  // namespace
+}  // namespace hq::sim

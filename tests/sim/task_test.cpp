@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace hq::sim {
+namespace {
+
+Task delay_task(Simulator& sim, DurationNs d, std::vector<TimeNs>* log) {
+  co_await sim.delay(d);
+  log->push_back(sim.now());
+}
+
+TEST(TaskTest, SpawnedTaskRuns) {
+  Simulator sim;
+  std::vector<TimeNs> log;
+  sim.spawn(delay_task(sim, 100, &log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<TimeNs>{100}));
+  EXPECT_EQ(sim.live_tasks(), 0u);
+}
+
+TEST(TaskTest, UnspawnedTaskNeverRuns) {
+  Simulator sim;
+  std::vector<TimeNs> log;
+  {
+    Task t = delay_task(sim, 100, &log);  // destroyed without starting
+    EXPECT_TRUE(t.valid());
+  }
+  sim.run();
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(TaskTest, SpawnOrderIsStartOrderAtSameInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  auto make = [&](int id) -> Task {
+    order.push_back(id);
+    co_return;
+  };
+  // NOTE: coroutine bodies run lazily, so push happens at first resume.
+  sim.spawn(make(1));
+  sim.spawn(make(2));
+  sim.spawn(make(3));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+Task child(Simulator& sim, std::vector<int>* log) {
+  log->push_back(1);
+  co_await sim.delay(10);
+  log->push_back(2);
+}
+
+Task parent(Simulator& sim, std::vector<int>* log) {
+  log->push_back(0);
+  co_await child(sim, log);
+  log->push_back(3);
+  co_await sim.delay(5);
+  log->push_back(4);
+}
+
+TEST(TaskTest, AwaitedChildRunsInline) {
+  Simulator sim;
+  std::vector<int> log;
+  sim.spawn(parent(sim, &log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), 15u);
+}
+
+Task grandchild(Simulator& sim) {
+  co_await sim.delay(7);
+}
+
+Task mid(Simulator& sim) {
+  co_await grandchild(sim);
+  co_await grandchild(sim);
+}
+
+Task top(Simulator& sim, TimeNs* end) {
+  co_await mid(sim);
+  co_await mid(sim);
+  *end = sim.now();
+}
+
+TEST(TaskTest, DeepNestingAccumulatesDelays) {
+  Simulator sim;
+  TimeNs end = 0;
+  sim.spawn(top(sim, &end));
+  sim.run();
+  EXPECT_EQ(end, 28u);  // 4 grandchildren x 7ns
+}
+
+Task thrower(Simulator& sim) {
+  co_await sim.delay(1);
+  throw std::runtime_error("task boom");
+}
+
+TEST(TaskTest, RootTaskExceptionPropagatesFromRun) {
+  Simulator sim;
+  sim.spawn(thrower(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Task catching_parent(Simulator& sim, bool* caught) {
+  try {
+    co_await thrower(sim);
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(TaskTest, ChildExceptionRethrownAtAwaitSite) {
+  Simulator sim;
+  bool caught = false;
+  sim.spawn(catching_parent(sim, &caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(TaskTest, ManyConcurrentTasksInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<int> completions;
+  auto worker = [](Simulator& s, int id, DurationNs d,
+                   std::vector<int>* out) -> Task {
+    co_await s.delay(d);
+    out->push_back(id);
+  };
+  // Stagger delays so completion order is the reverse of spawn order.
+  for (int i = 0; i < 50; ++i) {
+    sim.spawn(worker(sim, i, static_cast<DurationNs>(1000 - 10 * i),
+                     &completions));
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(completions[static_cast<std::size_t>(i)], 49 - i);
+  }
+}
+
+TEST(TaskTest, TaskMoveSemantics) {
+  Simulator sim;
+  std::vector<TimeNs> log;
+  Task a = delay_task(sim, 3, &log);
+  Task b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing state
+  EXPECT_TRUE(b.valid());
+  sim.spawn(std::move(b));
+  EXPECT_FALSE(b.valid());  // NOLINT(bugprone-use-after-move)
+  sim.run();
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(TaskTest, SpawnFromWithinTask) {
+  Simulator sim;
+  std::vector<int> log;
+  auto inner = [](Simulator& s, std::vector<int>* out) -> Task {
+    co_await s.delay(5);
+    out->push_back(2);
+  };
+  auto outer = [&inner](Simulator& s, std::vector<int>* out) -> Task {
+    out->push_back(1);
+    s.spawn(inner(s, out));
+    co_await s.delay(20);
+    out->push_back(3);
+  };
+  sim.spawn(outer(sim, &log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TaskTest, LiveTaskCountTracksCompletion) {
+  Simulator sim;
+  std::vector<TimeNs> log;
+  sim.spawn(delay_task(sim, 100, &log));
+  sim.spawn(delay_task(sim, 200, &log));
+  EXPECT_EQ(sim.live_tasks(), 2u);
+  sim.run_until(150);
+  EXPECT_EQ(sim.live_tasks(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.live_tasks(), 0u);
+}
+
+}  // namespace
+}  // namespace hq::sim

@@ -1,0 +1,102 @@
+#include "tools/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace hq::tools {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args);
+  return v;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  CliTest() {
+    parser_.add_option("na", "apps", "8");
+    parser_.add_option("order", "order", "fifo");
+    parser_.add_flag("memsync", "sync");
+  }
+  bool parse(std::initializer_list<const char*> args) {
+    auto v = argv_of(args);
+    return parser_.parse(static_cast<int>(v.size()), v.data());
+  }
+  ArgParser parser_;
+};
+
+TEST_F(CliTest, DefaultsApplyWithoutArguments) {
+  EXPECT_TRUE(parse({}));
+  EXPECT_EQ(parser_.get("na"), "8");
+  EXPECT_EQ(*parser_.get_int("na"), 8);
+  EXPECT_FALSE(parser_.get_flag("memsync"));
+  EXPECT_FALSE(parser_.provided("na"));
+}
+
+TEST_F(CliTest, SpaceSeparatedValues) {
+  EXPECT_TRUE(parse({"--na", "32", "--order", "rr"}));
+  EXPECT_EQ(*parser_.get_int("na"), 32);
+  EXPECT_EQ(parser_.get("order"), "rr");
+  EXPECT_TRUE(parser_.provided("na"));
+}
+
+TEST_F(CliTest, EqualsSeparatedValues) {
+  EXPECT_TRUE(parse({"--na=16", "--order=rev-rr"}));
+  EXPECT_EQ(*parser_.get_int("na"), 16);
+  EXPECT_EQ(parser_.get("order"), "rev-rr");
+}
+
+TEST_F(CliTest, FlagsToggle) {
+  EXPECT_TRUE(parse({"--memsync"}));
+  EXPECT_TRUE(parser_.get_flag("memsync"));
+}
+
+TEST_F(CliTest, UnknownOptionFails) {
+  EXPECT_FALSE(parse({"--bogus", "1"}));
+  EXPECT_NE(parser_.error().find("bogus"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingValueFails) {
+  EXPECT_FALSE(parse({"--na"}));
+  EXPECT_NE(parser_.error().find("needs a value"), std::string::npos);
+}
+
+TEST_F(CliTest, FlagWithValueFails) {
+  EXPECT_FALSE(parse({"--memsync=yes"}));
+}
+
+TEST_F(CliTest, PositionalArgumentFails) {
+  EXPECT_FALSE(parse({"stray"}));
+}
+
+TEST_F(CliTest, NonIntegerValueYieldsNullopt) {
+  EXPECT_TRUE(parse({"--order", "rr"}));
+  EXPECT_FALSE(parser_.get_int("order").has_value());
+}
+
+TEST_F(CliTest, NegativeIntegersParse) {
+  EXPECT_TRUE(parse({"--na", "-3"}));
+  EXPECT_EQ(*parser_.get_int("na"), -3);
+}
+
+TEST_F(CliTest, UsageListsOptionsAndDefaults) {
+  const std::string usage = parser_.usage("hqrun");
+  EXPECT_NE(usage.find("--na"), std::string::npos);
+  EXPECT_NE(usage.find("default: 8"), std::string::npos);
+  EXPECT_NE(usage.find("--memsync"), std::string::npos);
+}
+
+TEST_F(CliTest, UnregisteredAccessThrows) {
+  EXPECT_THROW(parser_.get("nope"), hq::Error);
+  EXPECT_THROW(parser_.provided("nope"), hq::Error);
+}
+
+TEST_F(CliTest, DuplicateRegistrationThrows) {
+  EXPECT_THROW(parser_.add_option("na", "again"), hq::Error);
+  EXPECT_THROW(parser_.add_flag("memsync", "again"), hq::Error);
+}
+
+}  // namespace
+}  // namespace hq::tools

@@ -1,0 +1,146 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "trace/ascii_timeline.hpp"
+#include "trace/chrome_trace.hpp"
+
+namespace hq::trace {
+namespace {
+
+Span make_span(std::int32_t lane, std::int32_t app, SpanKind kind,
+               TimeNs begin, TimeNs end, const std::string& name = "s") {
+  return Span{lane, app, kind, name, begin, end};
+}
+
+TEST(RecorderTest, AddAndQuery) {
+  Recorder r;
+  r.add(make_span(0, 1, SpanKind::Kernel, 10, 20));
+  r.add(make_span(1, 1, SpanKind::MemcpyHtoD, 0, 5));
+  r.add(make_span(0, 2, SpanKind::MemcpyDtoH, 30, 40));
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.by_app(1).size(), 2u);
+  EXPECT_EQ(r.by_kind(SpanKind::Kernel).size(), 1u);
+  EXPECT_EQ(r.by_lane(0).size(), 2u);
+  EXPECT_EQ(*r.min_time(), 0u);
+  EXPECT_EQ(*r.max_time(), 40u);
+}
+
+TEST(RecorderTest, EmptyExtentsAreNullopt) {
+  Recorder r;
+  EXPECT_FALSE(r.min_time().has_value());
+  EXPECT_FALSE(r.max_time().has_value());
+}
+
+TEST(RecorderTest, InvertedSpanThrows) {
+  Recorder r;
+  EXPECT_THROW(r.add(make_span(0, 0, SpanKind::Kernel, 20, 10)), hq::Error);
+}
+
+TEST(RecorderTest, ZeroLengthSpanAllowed) {
+  Recorder r;
+  r.add(make_span(0, 0, SpanKind::Kernel, 10, 10));
+  EXPECT_EQ(r.spans()[0].duration(), 0u);
+}
+
+TEST(SpanKindTest, Names) {
+  EXPECT_STREQ(span_kind_name(SpanKind::MemcpyHtoD), "HtoD");
+  EXPECT_STREQ(span_kind_name(SpanKind::MemcpyDtoH), "DtoH");
+  EXPECT_STREQ(span_kind_name(SpanKind::Kernel), "kernel");
+}
+
+TEST(AsciiTimelineTest, EmptyRecorderRendersEmpty) {
+  Recorder r;
+  EXPECT_EQ(render_ascii_timeline(r), "");
+}
+
+TEST(AsciiTimelineTest, LanesRenderWithGlyphs) {
+  Recorder r;
+  r.add(make_span(0, 0, SpanKind::MemcpyHtoD, 0, 50));
+  r.add(make_span(0, 0, SpanKind::Kernel, 50, 100));
+  r.add(make_span(1, 1, SpanKind::MemcpyDtoH, 25, 75));
+  AsciiTimelineOptions opt;
+  opt.width = 20;
+  const std::string out = render_ascii_timeline(r, opt);
+  EXPECT_NE(out.find("Stream 0"), std::string::npos);
+  EXPECT_NE(out.find("Stream 1"), std::string::npos);
+  EXPECT_NE(out.find('H'), std::string::npos);
+  EXPECT_NE(out.find('K'), std::string::npos);
+  EXPECT_NE(out.find('D'), std::string::npos);
+}
+
+TEST(AsciiTimelineTest, TinySpanStillVisible) {
+  Recorder r;
+  r.add(make_span(0, 0, SpanKind::Kernel, 0, 1));
+  r.add(make_span(0, 0, SpanKind::MemcpyHtoD, 1000000, 2000000));
+  AsciiTimelineOptions opt;
+  opt.width = 50;
+  const std::string out = render_ascii_timeline(r, opt);
+  EXPECT_NE(out.find('K'), std::string::npos);
+}
+
+TEST(AsciiTimelineTest, KernelGlyphWinsOverlappedCell) {
+  Recorder r;
+  r.add(make_span(0, 0, SpanKind::LockWait, 0, 100));
+  r.add(make_span(0, 0, SpanKind::Kernel, 0, 100));
+  AsciiTimelineOptions opt;
+  opt.width = 10;
+  const std::string out = render_ascii_timeline(r, opt);
+  // Examine only the data row for stream 0 (the legend also contains 'w').
+  const std::size_t row_start = out.find("Stream 0");
+  ASSERT_NE(row_start, std::string::npos);
+  const std::string row = out.substr(row_start, out.find('\n', row_start) - row_start);
+  EXPECT_NE(row.find('K'), std::string::npos);
+  EXPECT_EQ(row.find('w'), std::string::npos);
+}
+
+TEST(AsciiTimelineTest, LaneLabelBaseOffsetsLabels) {
+  Recorder r;
+  r.add(make_span(0, 0, SpanKind::Kernel, 0, 10));
+  AsciiTimelineOptions opt;
+  opt.lane_label_base = 34;  // match the paper's figures
+  const std::string out = render_ascii_timeline(r, opt);
+  EXPECT_NE(out.find("Stream 34"), std::string::npos);
+}
+
+TEST(AsciiTimelineTest, WindowRestrictsRendering) {
+  Recorder r;
+  r.add(make_span(0, 0, SpanKind::Kernel, 0, 100));
+  r.add(make_span(1, 0, SpanKind::Kernel, 500, 600));
+  AsciiTimelineOptions opt;
+  opt.begin = 400;
+  opt.end = 700;
+  const std::string out = render_ascii_timeline(r, opt);
+  EXPECT_EQ(out.find("Stream 0"), std::string::npos);
+  EXPECT_NE(out.find("Stream 1"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ProducesWellFormedJson) {
+  Recorder r;
+  r.add(make_span(3, 9, SpanKind::Kernel, 1000, 3000, "Fan1"));
+  const std::string json = chrome_trace_json(r);
+  EXPECT_NE(json.find("\"name\": \"Fan1\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"app\": 9"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(ChromeTraceTest, EscapesSpecialCharacters) {
+  Recorder r;
+  r.add(make_span(0, 0, SpanKind::Kernel, 0, 1, "a\"b\\c"));
+  const std::string json = chrome_trace_json(r);
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyRecorderIsEmptyArray) {
+  Recorder r;
+  EXPECT_EQ(chrome_trace_json(r), "[\n]\n");
+}
+
+}  // namespace
+}  // namespace hq::trace

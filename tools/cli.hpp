@@ -1,0 +1,50 @@
+// Minimal command-line flag parser for the hqrun tool.
+//
+// Supports `--flag` (bool), `--key value` and `--key=value` forms, collects
+// unknown-flag errors instead of aborting, and renders a usage block from
+// the registered options.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hq::tools {
+
+class ArgParser {
+ public:
+  /// Registers a value option (`--name <value>`).
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value = "");
+  /// Registers a boolean flag (`--name`).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; returns false (and fills error()) on unknown or malformed
+  /// arguments.
+  bool parse(int argc, const char* const* argv);
+
+  /// Value of an option (default when not given on the command line).
+  std::string get(const std::string& name) const;
+  /// Integer value of an option; nullopt if not an integer.
+  std::optional<long long> get_int(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  /// True when the user supplied the option explicitly.
+  bool provided(const std::string& name) const;
+
+  const std::string& error() const { return error_; }
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool seen = false;
+  };
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::string error_;
+};
+
+}  // namespace hq::tools

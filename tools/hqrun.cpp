@@ -1,0 +1,167 @@
+// hqrun — command-line driver for simulated Hyper-Q experiments.
+//
+// Examples:
+//   hqrun --apps gaussian,needle --na 32 --ns 32
+//   hqrun --apps nn,srad --na 16 --ns 8 --order rev-rr --memsync
+//   hqrun --apps gaussian,needle --na 8 --ns 8 --trace out.json --power-csv p.csv
+//   hqrun --apps needle,srad --na 8 --ns 4 --device fermi
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "hyperq/harness.hpp"
+#include "hyperq/schedule.hpp"
+#include "rodinia/registry.hpp"
+#include "tools/cli.hpp"
+#include "trace/ascii_timeline.hpp"
+#include "trace/chrome_trace.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::optional<hq::fw::Order> parse_order(const std::string& name) {
+  using hq::fw::Order;
+  if (name == "fifo") return Order::NaiveFifo;
+  if (name == "rr") return Order::RoundRobin;
+  if (name == "shuffle") return Order::RandomShuffle;
+  if (name == "rev-fifo") return Order::ReverseFifo;
+  if (name == "rev-rr") return Order::ReverseRoundRobin;
+  return std::nullopt;
+}
+
+std::optional<hq::gpu::DeviceSpec> parse_device(const std::string& name) {
+  using hq::gpu::DeviceSpec;
+  if (name == "k20") return DeviceSpec::tesla_k20();
+  if (name == "fermi") return DeviceSpec::fermi_single_queue();
+  if (name == "single-copy") return DeviceSpec::single_copy_engine();
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hq;
+  tools::ArgParser args;
+  args.add_option("apps", "comma-separated application types (one or two)",
+                  "gaussian,needle");
+  args.add_option("na", "number of applications", "8");
+  args.add_option("ns", "number of streams", "8");
+  args.add_option("order", "launch order: fifo|rr|shuffle|rev-fifo|rev-rr",
+                  "fifo");
+  args.add_flag("memsync", "enable the HtoD memory-synchronization mutex");
+  args.add_option("chunk", "split transfers into chunks of this many bytes",
+                  "0");
+  args.add_option("device", "device model: k20|fermi|single-copy", "k20");
+  args.add_option("size", "application problem size override", "0");
+  args.add_option("seed", "shuffle seed", "42");
+  args.add_option("stagger-us", "child-thread launch stagger (us)", "100");
+  args.add_option("trace", "write a Chrome-trace JSON to this path", "");
+  args.add_option("power-csv", "write the power trace CSV to this path", "");
+  args.add_flag("timeline", "print the ASCII execution timeline");
+  args.add_flag("functional", "run real algorithm payloads and verify");
+  args.add_flag("help", "show this help");
+
+  if (!args.parse(argc, argv) || args.get_flag("help")) {
+    if (!args.error().empty()) std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    std::fprintf(stderr, "%s", args.usage("hqrun").c_str());
+    return args.get_flag("help") ? 0 : 2;
+  }
+
+  const auto apps = split_csv(args.get("apps"));
+  if (apps.empty() || apps.size() > 2) {
+    std::fprintf(stderr, "error: --apps needs one or two types\n");
+    return 2;
+  }
+  for (const auto& app : apps) {
+    if (!rodinia::is_app_name(app)) {
+      std::fprintf(stderr, "error: unknown application '%s'\n", app.c_str());
+      return 2;
+    }
+  }
+  const auto order = parse_order(args.get("order"));
+  const auto device = parse_device(args.get("device"));
+  const auto na = args.get_int("na");
+  const auto ns = args.get_int("ns");
+  if (!order || !device || !na || !ns || *na < 1 || *ns < 1) {
+    std::fprintf(stderr, "error: bad --order/--device/--na/--ns\n");
+    return 2;
+  }
+
+  fw::HarnessConfig config;
+  config.device = *device;
+  config.num_streams = static_cast<int>(*ns);
+  config.memory_sync = args.get_flag("memsync");
+  config.functional = args.get_flag("functional");
+  config.transfer_chunk_bytes =
+      static_cast<Bytes>(args.get_int("chunk").value_or(0));
+  config.launch_stagger = static_cast<DurationNs>(
+      args.get_int("stagger-us").value_or(100) * 1000);
+
+  rodinia::AppParams params;
+  if (const auto size = args.get_int("size"); size && *size > 0) {
+    params.size = static_cast<int>(*size);
+  }
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed").value_or(42)));
+  std::vector<int> counts;
+  if (apps.size() == 2) {
+    counts = {static_cast<int>(*na) / 2,
+              static_cast<int>(*na) - static_cast<int>(*na) / 2};
+  } else {
+    counts = {static_cast<int>(*na)};
+  }
+  const auto schedule = fw::make_schedule(*order, counts, &rng);
+  const auto workload = rodinia::build_workload(
+      schedule, apps, std::vector<rodinia::AppParams>(apps.size(), params));
+
+  fw::Harness harness(config);
+  const auto result = harness.run(workload);
+
+  TextTable summary;
+  summary.set_header({"metric", "value"});
+  summary.add_row({"workload", args.get("apps") + " x " + std::to_string(*na)});
+  summary.add_row({"streams", std::to_string(*ns)});
+  summary.add_row({"order", fw::order_name(*order)});
+  summary.add_row({"makespan", format_duration(result.makespan)});
+  summary.add_row({"energy", format_fixed(result.energy_exact, 3) + " J"});
+  summary.add_row({"avg power", format_fixed(result.average_power, 1) + " W"});
+  summary.add_row({"peak power", format_fixed(result.peak_power, 1) + " W"});
+  summary.add_row({"avg occupancy", format_fixed(result.average_occupancy, 3)});
+  summary.add_row(
+      {"mean Le (HtoD)",
+       format_duration(static_cast<DurationNs>(
+           fw::mean_htod_effective_latency(result.apps)))});
+  if (config.functional) {
+    summary.add_row({"verified", result.all_verified ? "yes" : "NO"});
+  }
+  std::printf("%s", summary.render().c_str());
+
+  if (args.get_flag("timeline")) {
+    trace::AsciiTimelineOptions opt;
+    opt.width = 110;
+    std::printf("\n%s", render_ascii_timeline(*result.trace, opt).c_str());
+  }
+  if (const std::string path = args.get("trace"); !path.empty()) {
+    std::ofstream out(path);
+    trace::write_chrome_trace(*result.trace, out);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (const std::string path = args.get("power-csv"); !path.empty()) {
+    std::ofstream out(path);
+    out << "t_ms,watts\n";
+    for (const auto& sample : result.power_trace) {
+      out << to_milliseconds(sample.time) << "," << sample.watts << "\n";
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return (config.functional && !result.all_verified) ? 1 : 0;
+}
