@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_copy_engines.cpp" "bench/CMakeFiles/bench_ablation_copy_engines.dir/bench_ablation_copy_engines.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_copy_engines.dir/bench_ablation_copy_engines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rodinia/CMakeFiles/hq_rodinia.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyperq/CMakeFiles/hq_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudart/CMakeFiles/hq_cudart.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/hq_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hq_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fermi_vs_hyperq.dir/bench_ablation_fermi_vs_hyperq.cpp.o"
+  "CMakeFiles/bench_ablation_fermi_vs_hyperq.dir/bench_ablation_fermi_vs_hyperq.cpp.o.d"
+  "bench_ablation_fermi_vs_hyperq"
+  "bench_ablation_fermi_vs_hyperq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fermi_vs_hyperq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_power_memsync.dir/bench_fig10_power_memsync.cpp.o"
+  "CMakeFiles/bench_fig10_power_memsync.dir/bench_fig10_power_memsync.cpp.o.d"
+  "bench_fig10_power_memsync"
+  "bench_fig10_power_memsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_power_memsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_false_serialization.dir/bench_fig1_false_serialization.cpp.o"
+  "CMakeFiles/bench_fig1_false_serialization.dir/bench_fig1_false_serialization.cpp.o.d"
+  "bench_fig1_false_serialization"
+  "bench_fig1_false_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_false_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_oversubscription.dir/bench_fig5_oversubscription.cpp.o"
+  "CMakeFiles/bench_fig5_oversubscription.dir/bench_fig5_oversubscription.cpp.o.d"
+  "bench_fig5_oversubscription"
+  "bench_fig5_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ordering.dir/bench_fig7_ordering.cpp.o"
+  "CMakeFiles/bench_fig7_ordering.dir/bench_fig7_ordering.cpp.o.d"
+  "bench_fig7_ordering"
+  "bench_fig7_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ordering_memsync.dir/bench_fig8_ordering_memsync.cpp.o"
+  "CMakeFiles/bench_fig8_ordering_memsync.dir/bench_fig8_ordering_memsync.cpp.o.d"
+  "bench_fig8_ordering_memsync"
+  "bench_fig8_ordering_memsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ordering_memsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_contention.dir/memory_contention.cpp.o"
+  "CMakeFiles/memory_contention.dir/memory_contention.cpp.o.d"
+  "memory_contention"
+  "memory_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

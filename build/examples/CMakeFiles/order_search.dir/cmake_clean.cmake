@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_search.dir/order_search.cpp.o"
+  "CMakeFiles/order_search.dir/order_search.cpp.o.d"
+  "order_search"
+  "order_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversubscribed_mix.dir/oversubscribed_mix.cpp.o"
+  "CMakeFiles/oversubscribed_mix.dir/oversubscribed_mix.cpp.o.d"
+  "oversubscribed_mix"
+  "oversubscribed_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversubscribed_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

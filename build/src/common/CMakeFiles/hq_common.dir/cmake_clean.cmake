@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_common.dir/log.cpp.o"
+  "CMakeFiles/hq_common.dir/log.cpp.o.d"
+  "CMakeFiles/hq_common.dir/rng.cpp.o"
+  "CMakeFiles/hq_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hq_common.dir/stats.cpp.o"
+  "CMakeFiles/hq_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hq_common.dir/table.cpp.o"
+  "CMakeFiles/hq_common.dir/table.cpp.o.d"
+  "CMakeFiles/hq_common.dir/units.cpp.o"
+  "CMakeFiles/hq_common.dir/units.cpp.o.d"
+  "libhq_common.a"
+  "libhq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_cudart.dir/runtime.cpp.o"
+  "CMakeFiles/hq_cudart.dir/runtime.cpp.o.d"
+  "libhq_cudart.a"
+  "libhq_cudart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_cudart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

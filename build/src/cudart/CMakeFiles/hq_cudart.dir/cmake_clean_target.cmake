@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhq_cudart.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/block_scheduler.cpp" "src/gpusim/CMakeFiles/hq_gpusim.dir/block_scheduler.cpp.o" "gcc" "src/gpusim/CMakeFiles/hq_gpusim.dir/block_scheduler.cpp.o.d"
+  "/root/repo/src/gpusim/copy_engine.cpp" "src/gpusim/CMakeFiles/hq_gpusim.dir/copy_engine.cpp.o" "gcc" "src/gpusim/CMakeFiles/hq_gpusim.dir/copy_engine.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/hq_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/hq_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_spec.cpp" "src/gpusim/CMakeFiles/hq_gpusim.dir/device_spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/hq_gpusim.dir/device_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hq_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_gpusim.dir/block_scheduler.cpp.o"
+  "CMakeFiles/hq_gpusim.dir/block_scheduler.cpp.o.d"
+  "CMakeFiles/hq_gpusim.dir/copy_engine.cpp.o"
+  "CMakeFiles/hq_gpusim.dir/copy_engine.cpp.o.d"
+  "CMakeFiles/hq_gpusim.dir/device.cpp.o"
+  "CMakeFiles/hq_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/hq_gpusim.dir/device_spec.cpp.o"
+  "CMakeFiles/hq_gpusim.dir/device_spec.cpp.o.d"
+  "libhq_gpusim.a"
+  "libhq_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hyperq/adaptive_scheduler.cpp" "src/hyperq/CMakeFiles/hq_framework.dir/adaptive_scheduler.cpp.o" "gcc" "src/hyperq/CMakeFiles/hq_framework.dir/adaptive_scheduler.cpp.o.d"
+  "/root/repo/src/hyperq/harness.cpp" "src/hyperq/CMakeFiles/hq_framework.dir/harness.cpp.o" "gcc" "src/hyperq/CMakeFiles/hq_framework.dir/harness.cpp.o.d"
+  "/root/repo/src/hyperq/metrics.cpp" "src/hyperq/CMakeFiles/hq_framework.dir/metrics.cpp.o" "gcc" "src/hyperq/CMakeFiles/hq_framework.dir/metrics.cpp.o.d"
+  "/root/repo/src/hyperq/power_monitor.cpp" "src/hyperq/CMakeFiles/hq_framework.dir/power_monitor.cpp.o" "gcc" "src/hyperq/CMakeFiles/hq_framework.dir/power_monitor.cpp.o.d"
+  "/root/repo/src/hyperq/schedule.cpp" "src/hyperq/CMakeFiles/hq_framework.dir/schedule.cpp.o" "gcc" "src/hyperq/CMakeFiles/hq_framework.dir/schedule.cpp.o.d"
+  "/root/repo/src/hyperq/stream_manager.cpp" "src/hyperq/CMakeFiles/hq_framework.dir/stream_manager.cpp.o" "gcc" "src/hyperq/CMakeFiles/hq_framework.dir/stream_manager.cpp.o.d"
+  "/root/repo/src/hyperq/streaming.cpp" "src/hyperq/CMakeFiles/hq_framework.dir/streaming.cpp.o" "gcc" "src/hyperq/CMakeFiles/hq_framework.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hq_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudart/CMakeFiles/hq_cudart.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/hq_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hq_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

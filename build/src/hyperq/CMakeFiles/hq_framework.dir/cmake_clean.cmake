@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_framework.dir/adaptive_scheduler.cpp.o"
+  "CMakeFiles/hq_framework.dir/adaptive_scheduler.cpp.o.d"
+  "CMakeFiles/hq_framework.dir/harness.cpp.o"
+  "CMakeFiles/hq_framework.dir/harness.cpp.o.d"
+  "CMakeFiles/hq_framework.dir/metrics.cpp.o"
+  "CMakeFiles/hq_framework.dir/metrics.cpp.o.d"
+  "CMakeFiles/hq_framework.dir/power_monitor.cpp.o"
+  "CMakeFiles/hq_framework.dir/power_monitor.cpp.o.d"
+  "CMakeFiles/hq_framework.dir/schedule.cpp.o"
+  "CMakeFiles/hq_framework.dir/schedule.cpp.o.d"
+  "CMakeFiles/hq_framework.dir/stream_manager.cpp.o"
+  "CMakeFiles/hq_framework.dir/stream_manager.cpp.o.d"
+  "CMakeFiles/hq_framework.dir/streaming.cpp.o"
+  "CMakeFiles/hq_framework.dir/streaming.cpp.o.d"
+  "libhq_framework.a"
+  "libhq_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

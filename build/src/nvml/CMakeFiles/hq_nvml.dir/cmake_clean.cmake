@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_nvml.dir/nvml.cpp.o"
+  "CMakeFiles/hq_nvml.dir/nvml.cpp.o.d"
+  "libhq_nvml.a"
+  "libhq_nvml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_nvml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

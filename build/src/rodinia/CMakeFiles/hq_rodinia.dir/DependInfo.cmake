@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rodinia/app_base.cpp" "src/rodinia/CMakeFiles/hq_rodinia.dir/app_base.cpp.o" "gcc" "src/rodinia/CMakeFiles/hq_rodinia.dir/app_base.cpp.o.d"
+  "/root/repo/src/rodinia/gaussian.cpp" "src/rodinia/CMakeFiles/hq_rodinia.dir/gaussian.cpp.o" "gcc" "src/rodinia/CMakeFiles/hq_rodinia.dir/gaussian.cpp.o.d"
+  "/root/repo/src/rodinia/hotspot.cpp" "src/rodinia/CMakeFiles/hq_rodinia.dir/hotspot.cpp.o" "gcc" "src/rodinia/CMakeFiles/hq_rodinia.dir/hotspot.cpp.o.d"
+  "/root/repo/src/rodinia/lud.cpp" "src/rodinia/CMakeFiles/hq_rodinia.dir/lud.cpp.o" "gcc" "src/rodinia/CMakeFiles/hq_rodinia.dir/lud.cpp.o.d"
+  "/root/repo/src/rodinia/needle.cpp" "src/rodinia/CMakeFiles/hq_rodinia.dir/needle.cpp.o" "gcc" "src/rodinia/CMakeFiles/hq_rodinia.dir/needle.cpp.o.d"
+  "/root/repo/src/rodinia/nn.cpp" "src/rodinia/CMakeFiles/hq_rodinia.dir/nn.cpp.o" "gcc" "src/rodinia/CMakeFiles/hq_rodinia.dir/nn.cpp.o.d"
+  "/root/repo/src/rodinia/pathfinder.cpp" "src/rodinia/CMakeFiles/hq_rodinia.dir/pathfinder.cpp.o" "gcc" "src/rodinia/CMakeFiles/hq_rodinia.dir/pathfinder.cpp.o.d"
+  "/root/repo/src/rodinia/registry.cpp" "src/rodinia/CMakeFiles/hq_rodinia.dir/registry.cpp.o" "gcc" "src/rodinia/CMakeFiles/hq_rodinia.dir/registry.cpp.o.d"
+  "/root/repo/src/rodinia/srad.cpp" "src/rodinia/CMakeFiles/hq_rodinia.dir/srad.cpp.o" "gcc" "src/rodinia/CMakeFiles/hq_rodinia.dir/srad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hyperq/CMakeFiles/hq_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudart/CMakeFiles/hq_cudart.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/hq_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hq_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_rodinia.dir/app_base.cpp.o"
+  "CMakeFiles/hq_rodinia.dir/app_base.cpp.o.d"
+  "CMakeFiles/hq_rodinia.dir/gaussian.cpp.o"
+  "CMakeFiles/hq_rodinia.dir/gaussian.cpp.o.d"
+  "CMakeFiles/hq_rodinia.dir/hotspot.cpp.o"
+  "CMakeFiles/hq_rodinia.dir/hotspot.cpp.o.d"
+  "CMakeFiles/hq_rodinia.dir/lud.cpp.o"
+  "CMakeFiles/hq_rodinia.dir/lud.cpp.o.d"
+  "CMakeFiles/hq_rodinia.dir/needle.cpp.o"
+  "CMakeFiles/hq_rodinia.dir/needle.cpp.o.d"
+  "CMakeFiles/hq_rodinia.dir/nn.cpp.o"
+  "CMakeFiles/hq_rodinia.dir/nn.cpp.o.d"
+  "CMakeFiles/hq_rodinia.dir/pathfinder.cpp.o"
+  "CMakeFiles/hq_rodinia.dir/pathfinder.cpp.o.d"
+  "CMakeFiles/hq_rodinia.dir/registry.cpp.o"
+  "CMakeFiles/hq_rodinia.dir/registry.cpp.o.d"
+  "CMakeFiles/hq_rodinia.dir/srad.cpp.o"
+  "CMakeFiles/hq_rodinia.dir/srad.cpp.o.d"
+  "libhq_rodinia.a"
+  "libhq_rodinia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_rodinia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hq_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hq_sim.dir/sync.cpp.o"
+  "CMakeFiles/hq_sim.dir/sync.cpp.o.d"
+  "libhq_sim.a"
+  "libhq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_trace.dir/ascii_timeline.cpp.o"
+  "CMakeFiles/hq_trace.dir/ascii_timeline.cpp.o.d"
+  "CMakeFiles/hq_trace.dir/chrome_trace.cpp.o"
+  "CMakeFiles/hq_trace.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/hq_trace.dir/trace.cpp.o"
+  "CMakeFiles/hq_trace.dir/trace.cpp.o.d"
+  "libhq_trace.a"
+  "libhq_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

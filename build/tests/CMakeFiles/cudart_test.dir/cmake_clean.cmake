@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cudart_test.dir/cudart/runtime_test.cpp.o"
+  "CMakeFiles/cudart_test.dir/cudart/runtime_test.cpp.o.d"
+  "cudart_test"
+  "cudart_test.pdb"
+  "cudart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cudart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_test.dir/gpusim/block_scheduler_test.cpp.o"
+  "CMakeFiles/gpusim_test.dir/gpusim/block_scheduler_test.cpp.o.d"
+  "CMakeFiles/gpusim_test.dir/gpusim/copy_engine_modes_test.cpp.o"
+  "CMakeFiles/gpusim_test.dir/gpusim/copy_engine_modes_test.cpp.o.d"
+  "CMakeFiles/gpusim_test.dir/gpusim/copy_engine_test.cpp.o"
+  "CMakeFiles/gpusim_test.dir/gpusim/copy_engine_test.cpp.o.d"
+  "CMakeFiles/gpusim_test.dir/gpusim/device_test.cpp.o"
+  "CMakeFiles/gpusim_test.dir/gpusim/device_test.cpp.o.d"
+  "CMakeFiles/gpusim_test.dir/gpusim/priority_test.cpp.o"
+  "CMakeFiles/gpusim_test.dir/gpusim/priority_test.cpp.o.d"
+  "CMakeFiles/gpusim_test.dir/gpusim/smx_test.cpp.o"
+  "CMakeFiles/gpusim_test.dir/gpusim/smx_test.cpp.o.d"
+  "gpusim_test"
+  "gpusim_test.pdb"
+  "gpusim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

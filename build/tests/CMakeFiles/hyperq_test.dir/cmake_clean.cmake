@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperq_test.dir/hyperq/adaptive_scheduler_test.cpp.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/adaptive_scheduler_test.cpp.o.d"
+  "CMakeFiles/hyperq_test.dir/hyperq/framework_test.cpp.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/framework_test.cpp.o.d"
+  "CMakeFiles/hyperq_test.dir/hyperq/harness_test.cpp.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/harness_test.cpp.o.d"
+  "CMakeFiles/hyperq_test.dir/hyperq/schedule_test.cpp.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/schedule_test.cpp.o.d"
+  "CMakeFiles/hyperq_test.dir/hyperq/streaming_test.cpp.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/streaming_test.cpp.o.d"
+  "hyperq_test"
+  "hyperq_test.pdb"
+  "hyperq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

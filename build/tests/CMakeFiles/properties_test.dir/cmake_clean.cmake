@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/properties_test.dir/properties/copy_property_test.cpp.o"
+  "CMakeFiles/properties_test.dir/properties/copy_property_test.cpp.o.d"
+  "CMakeFiles/properties_test.dir/properties/harness_property_test.cpp.o"
+  "CMakeFiles/properties_test.dir/properties/harness_property_test.cpp.o.d"
+  "CMakeFiles/properties_test.dir/properties/rodinia_property_test.cpp.o"
+  "CMakeFiles/properties_test.dir/properties/rodinia_property_test.cpp.o.d"
+  "CMakeFiles/properties_test.dir/properties/schedule_property_test.cpp.o"
+  "CMakeFiles/properties_test.dir/properties/schedule_property_test.cpp.o.d"
+  "CMakeFiles/properties_test.dir/properties/wave_property_test.cpp.o"
+  "CMakeFiles/properties_test.dir/properties/wave_property_test.cpp.o.d"
+  "properties_test"
+  "properties_test.pdb"
+  "properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

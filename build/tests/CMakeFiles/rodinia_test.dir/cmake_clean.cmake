@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodinia_test.dir/rodinia/extension_apps_test.cpp.o"
+  "CMakeFiles/rodinia_test.dir/rodinia/extension_apps_test.cpp.o.d"
+  "CMakeFiles/rodinia_test.dir/rodinia/rodinia_test.cpp.o"
+  "CMakeFiles/rodinia_test.dir/rodinia/rodinia_test.cpp.o.d"
+  "rodinia_test"
+  "rodinia_test.pdb"
+  "rodinia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodinia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_cli.dir/cli.cpp.o"
+  "CMakeFiles/hq_cli.dir/cli.cpp.o.d"
+  "libhq_cli.a"
+  "libhq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

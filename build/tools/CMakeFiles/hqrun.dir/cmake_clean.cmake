@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqrun.dir/hqrun.cpp.o"
+  "CMakeFiles/hqrun.dir/hqrun.cpp.o.d"
+  "hqrun"
+  "hqrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

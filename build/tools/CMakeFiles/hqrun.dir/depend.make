@@ -1,0 +1,2 @@
+# Empty dependencies file for hqrun.
+# This may be replaced when dependencies are built.
