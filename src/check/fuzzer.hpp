@@ -1,0 +1,98 @@
+// Differential / metamorphic fuzzing of the simulator (library hq_fuzz).
+//
+// Each fuzz case is a seeded random workload (application mix, instance
+// counts, launch order, stream count, transfer chunking, memory-sync and
+// blocking-transfer modes, launch stagger, functional vs timing run). The
+// case runs under several scheduling configurations and the results are
+// compared against metamorphic oracles that must hold for ANY workload:
+//
+//   - Determinism: the same seed run twice yields an identical trace
+//     digest, makespan, energy, and functional outputs.
+//   - Serialization: the fully serialized run (NS = 1) is never faster
+//     than the concurrent run.
+//   - Hyper-Q: the Fermi single-work-queue ablation is never faster than
+//     the 32-queue Hyper-Q run.
+//   - Work conservation: every scheduling mode performs the same device
+//     work (kernel count, copy counts, bytes per direction).
+//   - Eq. 1–2 bounds: an application's effective transfer latency is at
+//     least its own service time and at most the run's makespan.
+//   - Energy: phase energy lies within [idle, plausible-peak] power x time.
+//   - Functional equivalence: outputs verify and their digests are
+//     byte-identical across every scheduling mode.
+//
+// Every run also carries the hq_check InvariantChecker (via the harness),
+// so scheduler/copy-engine/accounting invariant violations surface here as
+// case failures too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hyperq/harness.hpp"
+#include "hyperq/schedule.hpp"
+#include "rodinia/registry.hpp"
+
+namespace hq::check {
+
+/// One generated workload + configuration, fully determined by its seed.
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  std::vector<std::string> type_names;
+  std::vector<rodinia::AppParams> params;
+  std::vector<int> counts;  ///< instances per type
+  fw::Order order = fw::Order::NaiveFifo;
+  std::vector<fw::Slot> slots;  ///< concrete launch order
+  /// The Hyper-Q (concurrent) configuration; oracle runs derive the
+  /// serialized and Fermi variants from it.
+  fw::HarnessConfig config;
+
+  /// One-line human-readable description, e.g. for failure reports.
+  std::string summary() const;
+};
+
+/// Deterministically expands a case seed into a workload + configuration.
+FuzzCase generate_case(std::uint64_t case_seed);
+
+struct FuzzOptions {
+  /// Master seed; per-iteration case seeds derive from it.
+  std::uint64_t seed = 1;
+  int iterations = 100;
+};
+
+struct FuzzFailure {
+  int iteration = 0;
+  std::uint64_t case_seed = 0;
+  std::string case_summary;
+  std::vector<std::string> problems;
+};
+
+struct FuzzReport {
+  int iterations_run = 0;
+  std::vector<FuzzFailure> failures;
+  bool ok() const { return failures.empty(); }
+  std::string to_string() const;
+};
+
+class Fuzzer {
+ public:
+  /// Called after each case with (iteration, case seed, summary, clean).
+  using Progress =
+      std::function<void(int, std::uint64_t, const std::string&, bool)>;
+
+  explicit Fuzzer(FuzzOptions options = {}) : options_(options) {}
+
+  /// Runs options.iterations generated cases.
+  FuzzReport run(const Progress& progress = nullptr);
+
+  /// Runs every oracle for one case seed; returns the violated oracles
+  /// (empty = clean). Used for replaying a failure and by tests.
+  static std::vector<std::string> run_case(std::uint64_t case_seed,
+                                           std::string* summary_out = nullptr);
+
+ private:
+  FuzzOptions options_;
+};
+
+}  // namespace hq::check

@@ -1,0 +1,415 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "cudart/runtime.hpp"
+
+namespace hq::check {
+
+namespace {
+constexpr std::size_t kMaxRecordedViolations = 200;
+constexpr double kEnergyRelTolerance = 1e-6;
+}  // namespace
+
+InvariantChecker::InvariantChecker(gpu::DeviceSpec spec)
+    : spec_(std::move(spec)) {
+  smx_usage_.resize(static_cast<std::size_t>(spec_.num_smx));
+  // Upper bound on plausible board power: everything busy at once plus a
+  // little slack for rounding.
+  max_plausible_power_ = spec_.idle_power + spec_.active_base_power +
+                         spec_.max_dynamic_power +
+                         2 * spec_.copy_engine_power + 1.0;
+}
+
+void InvariantChecker::fail(std::string message) {
+  if (violations_.size() < kMaxRecordedViolations) {
+    violations_.push_back(std::move(message));
+  }
+}
+
+void InvariantChecker::observe_time(TimeNs now, const char* where) {
+  ++events_observed_;
+  if (now < last_event_time_) {
+    std::ostringstream os;
+    os << "clock went backwards at " << where << ": " << now << " < "
+       << last_event_time_;
+    fail(os.str());
+  }
+  last_event_time_ = std::max(last_event_time_, now);
+}
+
+InvariantChecker::EngineState& InvariantChecker::engine(gpu::CopyDirection dir) {
+  return engines_[static_cast<std::size_t>(dir)];
+}
+
+InvariantChecker::PendingKernel* InvariantChecker::find_kernel(gpu::OpId op) {
+  auto it = kernels_.find(op);
+  return it == kernels_.end() ? nullptr : &it->second;
+}
+
+// ----------------------------------------------------------- stream order
+
+void InvariantChecker::on_op_submitted(TimeNs now, gpu::OpId op,
+                                       gpu::StreamId stream,
+                                       gpu::ObservedOp /*kind*/) {
+  observe_time(now, "op submit");
+  stream_order_[stream].push_back(op);
+}
+
+void InvariantChecker::on_op_completed(TimeNs now, gpu::OpId op,
+                                       gpu::StreamId stream) {
+  observe_time(now, "op complete");
+  auto& order = stream_order_[stream];
+  if (order.empty() || order.front() != op) {
+    std::ostringstream os;
+    os << "stream " << stream << ": op " << op
+       << " completed out of submission order (expected "
+       << (order.empty() ? 0 : order.front()) << ")";
+    fail(os.str());
+    // Drop the op wherever it is so one violation does not cascade.
+    auto it = std::find(order.begin(), order.end(), op);
+    if (it != order.end()) order.erase(it);
+    return;
+  }
+  order.pop_front();
+}
+
+// ----------------------------------------------------------- copy engines
+
+void InvariantChecker::on_copy_enqueued(TimeNs now, gpu::CopyDirection dir,
+                                        gpu::OpId op, gpu::StreamId /*stream*/,
+                                        Bytes /*bytes*/) {
+  observe_time(now, "copy enqueue");
+  engine(dir).fifo.push_back(op);
+}
+
+void InvariantChecker::on_copy_served(TimeNs now, gpu::CopyDirection dir,
+                                      gpu::OpId op, TimeNs begin, TimeNs end,
+                                      Bytes /*bytes*/) {
+  observe_time(now, "copy serve");
+  EngineState& eng = engine(dir);
+  if (eng.fifo.empty() || eng.fifo.front() != op) {
+    std::ostringstream os;
+    os << gpu::copy_direction_name(dir) << " engine served op " << op
+       << " out of FIFO order (expected "
+       << (eng.fifo.empty() ? 0 : eng.fifo.front()) << ")";
+    fail(os.str());
+    auto it = std::find(eng.fifo.begin(), eng.fifo.end(), op);
+    if (it != eng.fifo.end()) eng.fifo.erase(it);
+  } else {
+    eng.fifo.pop_front();
+  }
+  if (end < begin || end != now) {
+    std::ostringstream os;
+    os << gpu::copy_direction_name(dir) << " engine op " << op
+       << ": bad service interval [" << begin << ", " << end << "] at " << now;
+    fail(os.str());
+  }
+  if (begin < eng.last_service_end) {
+    std::ostringstream os;
+    os << gpu::copy_direction_name(dir) << " engine op " << op
+       << ": service began at " << begin
+       << " overlapping the previous transaction (ended "
+       << eng.last_service_end << ")";
+    fail(os.str());
+  }
+  eng.last_service_end = std::max(eng.last_service_end, end);
+  ++eng.served;
+}
+
+// ----------------------------------------------------- LEFTOVER + SMX model
+
+void InvariantChecker::on_kernel_dispatched(TimeNs now, gpu::OpId op,
+                                            int priority, std::uint64_t blocks,
+                                            const gpu::BlockDemand& demand) {
+  observe_time(now, "kernel dispatch");
+  if (kernels_.count(op) != 0) {
+    std::ostringstream os;
+    os << "kernel op " << op << " dispatched twice";
+    fail(os.str());
+    return;
+  }
+  PendingKernel k;
+  k.op = op;
+  k.priority = priority;
+  k.blocks_total = blocks;
+  kernels_.emplace(op, k);
+  if (demand.threads <= 0 ||
+      demand.threads > spec_.max_threads_per_block) {
+    std::ostringstream os;
+    os << "kernel op " << op << " dispatched with invalid block demand ("
+       << demand.threads << " threads)";
+    fail(os.str());
+  }
+  // Same insertion rule as the block scheduler: a numerically lower priority
+  // goes ahead of waiting higher-value priorities, never ahead of equals.
+  auto pos = leftover_order_.end();
+  while (pos != leftover_order_.begin()) {
+    PendingKernel* prev = find_kernel(*(pos - 1));
+    if (prev == nullptr || prev->priority <= priority) break;
+    --pos;
+  }
+  leftover_order_.insert(pos, op);
+}
+
+void InvariantChecker::on_blocks_placed(TimeNs now, gpu::OpId op, int smx,
+                                        int count,
+                                        const gpu::BlockDemand& demand) {
+  observe_time(now, "block placement");
+  PendingKernel* k = find_kernel(op);
+  if (k == nullptr) {
+    std::ostringstream os;
+    os << "blocks placed for unknown kernel op " << op;
+    fail(os.str());
+    return;
+  }
+  if (leftover_order_.empty() || leftover_order_.front() != op) {
+    std::ostringstream os;
+    os << "LEFTOVER violation: blocks of kernel op " << op
+       << " placed while op "
+       << (leftover_order_.empty() ? 0 : leftover_order_.front())
+       << " (older or higher priority) still has unplaced blocks";
+    fail(os.str());
+  }
+  if (count <= 0) {
+    std::ostringstream os;
+    os << "kernel op " << op << ": non-positive placement count " << count;
+    fail(os.str());
+    return;
+  }
+  k->placed += static_cast<std::uint64_t>(count);
+  k->outstanding += static_cast<std::uint64_t>(count);
+  if (k->placed > k->blocks_total) {
+    std::ostringstream os;
+    os << "kernel op " << op << ": placed " << k->placed << " of "
+       << k->blocks_total << " blocks";
+    fail(os.str());
+  }
+  if (k->placed >= k->blocks_total) {
+    auto it = std::find(leftover_order_.begin(), leftover_order_.end(), op);
+    if (it != leftover_order_.end()) leftover_order_.erase(it);
+  }
+
+  if (smx < 0 || smx >= spec_.num_smx) {
+    std::ostringstream os;
+    os << "kernel op " << op << ": placement on invalid SMX " << smx;
+    fail(os.str());
+    return;
+  }
+  SmxUsage& u = smx_usage_[static_cast<std::size_t>(smx)];
+  u.blocks += count;
+  u.threads += demand.threads * count;
+  u.registers += static_cast<std::int64_t>(demand.registers) * count;
+  u.shared_mem += static_cast<std::int64_t>(demand.shared_mem) * count;
+  resident_blocks_ += count;
+  resident_threads_ += demand.threads * count;
+  if (u.blocks > spec_.max_blocks_per_smx ||
+      u.threads > spec_.max_threads_per_smx ||
+      u.registers > static_cast<std::int64_t>(spec_.registers_per_smx) ||
+      u.shared_mem > static_cast<std::int64_t>(spec_.shared_mem_per_smx)) {
+    std::ostringstream os;
+    os << "SMX " << smx << " over capacity after placing " << count
+       << " blocks of op " << op << " (blocks " << u.blocks << ", threads "
+       << u.threads << ", regs " << u.registers << ", smem " << u.shared_mem
+       << ")";
+    fail(os.str());
+  }
+  if (resident_blocks_ > spec_.max_resident_blocks() ||
+      resident_threads_ > spec_.max_resident_threads()) {
+    std::ostringstream os;
+    os << "device over capacity: " << resident_blocks_ << " blocks / "
+       << resident_threads_ << " threads resident";
+    fail(os.str());
+  }
+}
+
+void InvariantChecker::on_blocks_released(TimeNs now, gpu::OpId op, int smx,
+                                          int count,
+                                          const gpu::BlockDemand& demand) {
+  observe_time(now, "block release");
+  PendingKernel* k = find_kernel(op);
+  if (k == nullptr) {
+    std::ostringstream os;
+    os << "blocks released for unknown kernel op " << op;
+    fail(os.str());
+    return;
+  }
+  if (static_cast<std::uint64_t>(count) > k->outstanding) {
+    std::ostringstream os;
+    os << "kernel op " << op << ": released " << count << " blocks with only "
+       << k->outstanding << " outstanding";
+    fail(os.str());
+    k->outstanding = 0;
+  } else {
+    k->outstanding -= static_cast<std::uint64_t>(count);
+  }
+  if (smx < 0 || smx >= spec_.num_smx) return;
+  SmxUsage& u = smx_usage_[static_cast<std::size_t>(smx)];
+  u.blocks -= count;
+  u.threads -= demand.threads * count;
+  u.registers -= static_cast<std::int64_t>(demand.registers) * count;
+  u.shared_mem -= static_cast<std::int64_t>(demand.shared_mem) * count;
+  resident_blocks_ -= count;
+  resident_threads_ -= demand.threads * count;
+  if (u.blocks < 0 || u.threads < 0 || u.registers < 0 || u.shared_mem < 0 ||
+      resident_blocks_ < 0 || resident_threads_ < 0) {
+    std::ostringstream os;
+    os << "SMX " << smx << " resource accounting went negative releasing "
+       << count << " blocks of op " << op;
+    fail(os.str());
+  }
+}
+
+void InvariantChecker::on_kernel_completed(TimeNs now,
+                                           const gpu::KernelExec& exec) {
+  observe_time(now, "kernel complete");
+  PendingKernel* k = find_kernel(exec.op_id);
+  if (k == nullptr) {
+    std::ostringstream os;
+    os << "unknown kernel op " << exec.op_id << " completed";
+    fail(os.str());
+    return;
+  }
+  if (k->placed != k->blocks_total || k->outstanding != 0) {
+    std::ostringstream os;
+    os << "kernel op " << exec.op_id << " completed with " << k->placed
+       << "/" << k->blocks_total << " blocks placed and " << k->outstanding
+       << " outstanding";
+    fail(os.str());
+  }
+  auto it = std::find(leftover_order_.begin(), leftover_order_.end(),
+                      exec.op_id);
+  if (it != leftover_order_.end()) leftover_order_.erase(it);
+  kernels_.erase(exec.op_id);
+}
+
+// --------------------------------------------------------------- power
+
+void InvariantChecker::on_power_integrated(TimeNs now, Watts power,
+                                           double occupancy) {
+  observe_time(now, "power integration");
+  if (power < 0.0 || power > max_plausible_power_) {
+    std::ostringstream os;
+    os << "implausible power " << power << " W at t=" << now;
+    fail(os.str());
+  }
+  if (occupancy < 0.0 || occupancy > 1.0 + 1e-12) {
+    std::ostringstream os;
+    os << "occupancy " << occupancy << " outside [0,1] at t=" << now;
+    fail(os.str());
+  }
+  if (now >= last_integration_) {
+    energy_j_ +=
+        power * static_cast<double>(now - last_integration_) / 1e9;
+    last_integration_ = now;
+  }
+}
+
+// --------------------------------------------------------------- finalize
+
+void InvariantChecker::finalize(const gpu::Device& device) {
+  if (resident_blocks_ != 0 || resident_threads_ != 0) {
+    std::ostringstream os;
+    os << "run ended with " << resident_blocks_ << " blocks / "
+       << resident_threads_ << " threads still resident";
+    fail(os.str());
+  }
+  for (std::size_t i = 0; i < smx_usage_.size(); ++i) {
+    const SmxUsage& u = smx_usage_[i];
+    if (u.blocks != 0 || u.threads != 0 || u.registers != 0 ||
+        u.shared_mem != 0) {
+      std::ostringstream os;
+      os << "SMX " << i << " resources not fully released at end of run";
+      fail(os.str());
+    }
+  }
+  if (!kernels_.empty() || !leftover_order_.empty()) {
+    std::ostringstream os;
+    os << kernels_.size() << " kernels never completed";
+    fail(os.str());
+  }
+  for (const auto& [stream, order] : stream_order_) {
+    if (!order.empty()) {
+      std::ostringstream os;
+      os << "stream " << stream << " ended with " << order.size()
+         << " unfinished ops";
+      fail(os.str());
+    }
+  }
+  for (const EngineState& eng : engines_) {
+    if (!eng.fifo.empty()) {
+      std::ostringstream os;
+      os << "copy engine ended with " << eng.fifo.size()
+         << " unserved transactions";
+      fail(os.str());
+    }
+  }
+  const std::uint64_t served_device =
+      device.htod_engine().transactions_served() +
+      (&device.dtoh_engine() != &device.htod_engine()
+           ? device.dtoh_engine().transactions_served()
+           : 0);
+  const std::uint64_t served_checker = engines_[0].served + engines_[1].served;
+  if (served_device != served_checker) {
+    std::ostringstream os;
+    os << "copy-engine service count mismatch: device " << served_device
+       << ", checker " << served_checker;
+    fail(os.str());
+  }
+
+  // Energy ≡ ∫power. The device and the checker integrate the same
+  // piecewise-constant power at the same instants; the only open interval is
+  // the tail after the last state change, where power is still constant.
+  const TimeNs now = device.now();
+  const double tail =
+      device.instantaneous_power() *
+      static_cast<double>(now >= last_integration_ ? now - last_integration_
+                                                   : 0) /
+      1e9;
+  const double expected = energy_j_ + tail;
+  const double actual = device.energy();
+  const double tolerance =
+      kEnergyRelTolerance * std::max(1.0, std::max(expected, actual));
+  if (std::abs(expected - actual) > tolerance) {
+    std::ostringstream os;
+    os << "energy mismatch: device reports " << actual
+       << " J, integral of power is " << expected << " J";
+    fail(os.str());
+  }
+}
+
+void InvariantChecker::finalize_runtime(const rt::Runtime& runtime) {
+  const rt::MemStats& m = runtime.mem_stats();
+  if (m.failed_frees != 0) {
+    std::ostringstream os;
+    os << m.failed_frees << " failed (double?) frees";
+    fail(os.str());
+  }
+  if (m.device_allocs != m.device_frees ||
+      runtime.device_allocation_count() != 0 ||
+      runtime.device_bytes_in_use() != 0) {
+    std::ostringstream os;
+    os << "device memory leak: " << m.device_allocs << " allocs, "
+       << m.device_frees << " frees, " << runtime.device_bytes_in_use()
+       << " bytes in use";
+    fail(os.str());
+  }
+  if (m.host_allocs != m.host_frees || runtime.host_allocation_count() != 0) {
+    std::ostringstream os;
+    os << "host memory leak: " << m.host_allocs << " allocs, " << m.host_frees
+       << " frees";
+    fail(os.str());
+  }
+}
+
+std::string InvariantChecker::report() const {
+  std::ostringstream os;
+  os << violations_.size() << " invariant violation(s) over "
+     << events_observed_ << " events";
+  for (const std::string& v : violations_) os << "\n  - " << v;
+  return os.str();
+}
+
+}  // namespace hq::check

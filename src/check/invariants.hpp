@@ -1,0 +1,130 @@
+// Online invariant checking for the simulated device (library hq_check).
+//
+// The InvariantChecker attaches to a Device as a DeviceObserver and replays
+// the event stream against an independent model of the hardware contract the
+// paper's results depend on:
+//
+//   1. Virtual-clock monotonicity — event timestamps never go backwards.
+//   2. Copy-engine FIFO — each engine serves transactions strictly in
+//      submission order, with non-overlapping service intervals.
+//   3. Stream order — operations of a stream complete strictly in
+//      submission order (CUDA stream semantics).
+//   4. LEFTOVER dispatch — thread blocks are only ever placed for the
+//      oldest incompletely-placed kernel of its priority class; the
+//      scheduler never skips ahead.
+//   5. SMX resource conservation — per-SMX blocks / threads / registers /
+//      shared memory never go negative, never exceed the spec limits, and
+//      are fully released by the time a kernel completes.
+//   6. Energy ≡ ∫ power — the device's reported energy equals the integral
+//      of its piecewise-constant instantaneous power, within tolerance.
+//   7. Quiescence — at finalize time nothing is resident, no queue holds
+//      work, and (via finalize_runtime) no device/host memory is leaked or
+//      double-freed.
+//
+// The checker never mutates device state and collects violations instead of
+// throwing, so a fuzzer can report every broken invariant of a run; callers
+// that want hard failures assert on ok() (Harness does this when
+// HarnessConfig::check_invariants is set).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/observer.hpp"
+
+namespace hq::rt {
+class Runtime;
+}
+
+namespace hq::check {
+
+class InvariantChecker : public gpu::DeviceObserver {
+ public:
+  explicit InvariantChecker(gpu::DeviceSpec spec);
+
+  // --- DeviceObserver ------------------------------------------------------
+  void on_op_submitted(TimeNs now, gpu::OpId op, gpu::StreamId stream,
+                       gpu::ObservedOp kind) override;
+  void on_op_completed(TimeNs now, gpu::OpId op, gpu::StreamId stream) override;
+  void on_copy_enqueued(TimeNs now, gpu::CopyDirection dir, gpu::OpId op,
+                        gpu::StreamId stream, Bytes bytes) override;
+  void on_copy_served(TimeNs now, gpu::CopyDirection dir, gpu::OpId op,
+                      TimeNs begin, TimeNs end, Bytes bytes) override;
+  void on_kernel_dispatched(TimeNs now, gpu::OpId op, int priority,
+                            std::uint64_t blocks,
+                            const gpu::BlockDemand& demand) override;
+  void on_blocks_placed(TimeNs now, gpu::OpId op, int smx, int count,
+                        const gpu::BlockDemand& demand) override;
+  void on_blocks_released(TimeNs now, gpu::OpId op, int smx, int count,
+                          const gpu::BlockDemand& demand) override;
+  void on_kernel_completed(TimeNs now, const gpu::KernelExec& exec) override;
+  void on_power_integrated(TimeNs now, Watts power, double occupancy) override;
+
+  // --- end-of-run checks ---------------------------------------------------
+  /// Run after the simulation drains: checks quiescence (nothing resident,
+  /// no queued work left unserved) and energy ≡ ∫power against the device.
+  void finalize(const gpu::Device& device);
+  /// Checks the runtime's memory accounting: every allocation freed exactly
+  /// once and no failed (double) frees.
+  void finalize_runtime(const rt::Runtime& runtime);
+
+  // --- results -------------------------------------------------------------
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// All violations joined into one human-readable block.
+  std::string report() const;
+  std::uint64_t events_observed() const { return events_observed_; }
+
+ private:
+  struct SmxUsage {
+    int blocks = 0;
+    int threads = 0;
+    std::int64_t registers = 0;
+    std::int64_t shared_mem = 0;
+  };
+  struct EngineState {
+    std::deque<gpu::OpId> fifo;  ///< submission order, front = next to serve
+    TimeNs last_service_end = 0;
+    std::uint64_t served = 0;
+  };
+  struct PendingKernel {
+    gpu::OpId op = 0;
+    int priority = 0;
+    std::uint64_t blocks_total = 0;
+    std::uint64_t placed = 0;
+    std::uint64_t outstanding = 0;
+  };
+
+  void fail(std::string message);
+  /// Monotonicity check shared by every callback.
+  void observe_time(TimeNs now, const char* where);
+  EngineState& engine(gpu::CopyDirection dir);
+  PendingKernel* find_kernel(gpu::OpId op);
+
+  gpu::DeviceSpec spec_;
+  std::vector<std::string> violations_;
+  std::uint64_t events_observed_ = 0;
+  TimeNs last_event_time_ = 0;
+
+  EngineState engines_[2];  ///< indexed by CopyDirection
+  std::map<gpu::StreamId, std::deque<gpu::OpId>> stream_order_;
+  /// Mirror of the block scheduler's pending deque, maintained with the
+  /// same (priority, dispatch-order) insertion rule; front is the only
+  /// kernel whose blocks may legally be placed.
+  std::deque<gpu::OpId> leftover_order_;
+  std::map<gpu::OpId, PendingKernel> kernels_;
+  std::vector<SmxUsage> smx_usage_;
+  int resident_blocks_ = 0;
+  int resident_threads_ = 0;
+
+  // Independent energy integration (invariant 6).
+  Joules energy_j_ = 0.0;
+  TimeNs last_integration_ = 0;
+  Watts max_plausible_power_ = 0.0;
+};
+
+}  // namespace hq::check

@@ -34,14 +34,19 @@ Result<DevicePtr> Runtime::malloc_device(Bytes bytes) {
   alloc.size = bytes;
   device_allocs_.emplace(id, std::move(alloc));
   device_bytes_in_use_ += bytes;
+  ++mem_stats_.device_allocs;
   return DevicePtr{id};
 }
 
 Status Runtime::free_device(DevicePtr ptr) {
   auto it = device_allocs_.find(ptr.id);
-  if (it == device_allocs_.end()) return Status::InvalidHandle;
+  if (it == device_allocs_.end()) {
+    ++mem_stats_.failed_frees;
+    return Status::InvalidHandle;
+  }
   device_bytes_in_use_ -= it->second.size;
   device_allocs_.erase(it);
+  ++mem_stats_.device_frees;
   return Status::Ok;
 }
 
@@ -52,13 +57,18 @@ Result<HostPtr> Runtime::malloc_host(Bytes bytes) {
   alloc.data = std::make_unique<std::byte[]>(bytes);
   alloc.size = bytes;
   host_allocs_.emplace(id, std::move(alloc));
+  ++mem_stats_.host_allocs;
   return HostPtr{id};
 }
 
 Status Runtime::free_host(HostPtr ptr) {
   auto it = host_allocs_.find(ptr.id);
-  if (it == host_allocs_.end()) return Status::InvalidHandle;
+  if (it == host_allocs_.end()) {
+    ++mem_stats_.failed_frees;
+    return Status::InvalidHandle;
+  }
   host_allocs_.erase(it);
+  ++mem_stats_.host_frees;
   return Status::Ok;
 }
 
@@ -150,14 +160,26 @@ Runtime::AsyncSubmit Runtime::memcpy_impl(Stream stream, gpu::CopyDirection dir,
                                           std::span<std::byte> device_view,
                                           Bytes bytes, Bytes offset,
                                           gpu::OpTag tag) {
-  HQ_CHECK_MSG(bytes > 0, "zero-byte memcpy");
   HQ_CHECK_MSG(offset + bytes <= host_view.size() &&
                    offset + bytes <= device_view.size(),
                "memcpy of " << bytes << " bytes at offset " << offset
                             << " overflows an allocation");
+  stream_rec(stream);  // validate the handle eagerly
+
+  if (bytes == 0) {
+    // CUDA semantics: a zero-byte memcpy is a valid no-op. It still costs
+    // the driver submission overhead and completes in stream order (as a
+    // marker), but never occupies a copy engine.
+    return AsyncSubmit{sim_, options_.memcpy_submit_overhead,
+                       [this, stream, tag = std::move(tag)]() mutable {
+                         op_submitted(stream);
+                         device_.submit_marker(
+                             stream.id, std::move(tag),
+                             [this, stream] { op_completed(stream); });
+                       }};
+  }
   host_view = host_view.subspan(offset, bytes);
   device_view = device_view.subspan(offset, bytes);
-  stream_rec(stream);  // validate the handle eagerly
 
   std::function<void()> payload;
   if (options_.functional) {

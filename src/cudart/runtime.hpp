@@ -75,6 +75,19 @@ struct RuntimeOptions {
   bool functional = true;
 };
 
+/// Lifetime counters over all allocations; the basis for the hq_check
+/// leak/double-free invariant (allocs == frees and no failed frees once a
+/// run has torn down).
+struct MemStats {
+  std::uint64_t device_allocs = 0;
+  std::uint64_t device_frees = 0;
+  std::uint64_t host_allocs = 0;
+  std::uint64_t host_frees = 0;
+  /// free_device/free_host calls that failed with InvalidHandle — a
+  /// double-free or a free of a never-allocated handle.
+  std::uint64_t failed_frees = 0;
+};
+
 /// The runtime. One instance owns all allocations, streams, and events for
 /// one device.
 class Runtime {
@@ -93,6 +106,7 @@ class Runtime {
   Bytes device_bytes_in_use() const { return device_bytes_in_use_; }
   std::size_t device_allocation_count() const { return device_allocs_.size(); }
   std::size_t host_allocation_count() const { return host_allocs_.size(); }
+  const MemStats& mem_stats() const { return mem_stats_; }
 
   /// Raw access to backing stores (functional mode).
   std::span<std::byte> host_bytes(HostPtr ptr);
@@ -204,7 +218,9 @@ class Runtime {
   /// starting `offset` bytes into both allocations. The awaitable completes
   /// when the *submission* is done (driver overhead elapsed); the copy
   /// itself completes in stream order. Handles and sizes are validated
-  /// eagerly (throws hq::Error on misuse).
+  /// eagerly (throws hq::Error on misuse). A zero-byte copy is valid (as in
+  /// CUDA): it costs the driver overhead and completes in stream order, but
+  /// never reaches a copy engine.
   AsyncSubmit memcpy_htod_async(Stream stream, DevicePtr dst, HostPtr src,
                                 Bytes bytes, gpu::OpTag tag = {},
                                 Bytes offset = 0);
@@ -288,6 +304,7 @@ class Runtime {
   std::int32_t next_stream_id_ = 0;
   std::uint64_t next_event_id_ = 1;
   Bytes device_bytes_in_use_ = 0;
+  MemStats mem_stats_;
 
   std::uint64_t total_pending_ = 0;
   std::vector<std::coroutine_handle<>> device_idle_waiters_;

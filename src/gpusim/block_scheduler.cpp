@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "gpusim/observer.hpp"
 
 namespace hq::gpu {
 
@@ -51,6 +52,10 @@ void BlockScheduler::dispatch(std::unique_ptr<KernelExec> exec) {
   KernelExec* raw = exec.get();
   owned_.push_back(std::move(exec));
   ++in_flight_;
+  if (observer_ != nullptr) {
+    observer_->on_kernel_dispatched(sim_.now(), raw->op_id, raw->priority,
+                                    raw->blocks_total, raw->demand);
+  }
   // Insert in (priority, dispatch order): a higher-priority (numerically
   // lower) kernel places its remaining blocks ahead of waiting
   // lower-priority kernels, but never preempts blocks already resident.
@@ -71,6 +76,9 @@ void BlockScheduler::pump() {
   do {
     repump_ = false;
     while (!pending_.empty()) {
+      if (fault_skip_head_ && pending_.size() >= 2) {
+        std::swap(pending_[0], pending_[1]);  // deliberate LEFTOVER violation
+      }
       KernelExec* head = pending_.front();
       place_blocks(*head);
       if (head->fully_placed()) {
@@ -114,6 +122,9 @@ std::uint64_t BlockScheduler::place_blocks(KernelExec& exec) {
     smxs_[static_cast<std::size_t>(best)].occupy(exec.demand, n);
     resident_blocks_ += n;
     resident_threads_ += exec.demand.threads * n;
+    if (observer_ != nullptr) {
+      observer_->on_blocks_placed(sim_.now(), exec.op_id, best, n, exec.demand);
+    }
 
     // A "wave" is a distinct placement instant; batches placed onto several
     // SMXs at the same virtual time belong to one wave.
@@ -143,6 +154,10 @@ void BlockScheduler::on_blocks_complete(KernelExec* exec, int smx_index,
   resident_threads_ -= exec->demand.threads * count;
   HQ_CHECK(exec->blocks_outstanding >= static_cast<std::uint64_t>(count));
   exec->blocks_outstanding -= static_cast<std::uint64_t>(count);
+  if (observer_ != nullptr) {
+    observer_->on_blocks_released(sim_.now(), exec->op_id, smx_index, count,
+                                  exec->demand);
+  }
 
   if (exec->complete()) {
     exec->complete_time = sim_.now();

@@ -22,6 +22,8 @@
 
 namespace hq::gpu {
 
+class DeviceObserver;
+
 /// Execution state of one dispatched kernel.
 struct KernelExec {
   OpId op_id = 0;
@@ -62,6 +64,16 @@ class BlockScheduler {
                  std::function<void()> pre_state_change,
                  std::function<void(const KernelExec&)> on_kernel_complete);
 
+  /// Attaches (or detaches, with nullptr) an event observer. Normally set
+  /// through Device::set_observer.
+  void set_observer(DeviceObserver* observer) { observer_ = observer; }
+
+  /// Fault injection for negative tests only: when enabled, the scheduler
+  /// deliberately violates the LEFTOVER contract by servicing the second
+  /// pending kernel ahead of the head. The hq_check invariant layer must
+  /// catch this; never enable outside tests.
+  void set_fault_skip_head(bool enabled) { fault_skip_head_ = enabled; }
+
   /// Accepts a kernel for execution; takes ownership. Placement is attempted
   /// immediately (same virtual instant).
   void dispatch(std::unique_ptr<KernelExec> exec);
@@ -85,6 +97,8 @@ class BlockScheduler {
   const DeviceSpec& spec_;
   std::function<void()> pre_state_change_;
   std::function<void(const KernelExec&)> on_kernel_complete_;
+  DeviceObserver* observer_ = nullptr;
+  bool fault_skip_head_ = false;
 
   std::vector<Smx> smxs_;
   /// Kernels with unplaced blocks, in dispatch order (front = oldest).

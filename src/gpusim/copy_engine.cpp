@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "gpusim/observer.hpp"
 
 namespace hq::gpu {
 
@@ -27,6 +28,10 @@ DurationNs CopyEngine::service_time(Bytes bytes) const {
 void CopyEngine::enqueue(Transaction txn) {
   HQ_CHECK(txn.ready != nullptr);
   HQ_CHECK(txn.on_served != nullptr);
+  if (observer_ != nullptr) {
+    observer_->on_copy_enqueued(sim_.now(), direction_, txn.op_id, txn.stream,
+                                txn.bytes);
+  }
   queue_.push_back(std::move(txn));
   pump();
 }
@@ -52,6 +57,10 @@ void CopyEngine::begin_service() {
     busy_ = false;
     bytes_transferred_ += txn.bytes;
     ++transactions_served_;
+    if (observer_ != nullptr) {
+      observer_->on_copy_served(sim_.now(), direction_, txn.op_id, begin,
+                                sim_.now(), txn.bytes);
+    }
     txn.on_served(begin, sim_.now());
     pump();
   });

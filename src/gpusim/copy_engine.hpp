@@ -19,6 +19,8 @@
 
 namespace hq::gpu {
 
+class DeviceObserver;
+
 /// One directional DMA engine with a FIFO transaction queue.
 class CopyEngine {
  public:
@@ -36,6 +38,10 @@ class CopyEngine {
   CopyEngine(sim::Simulator& sim, CopyDirection direction,
              double bytes_per_sec, DurationNs overhead,
              std::function<void()> pre_state_change);
+
+  /// Attaches (or detaches, with nullptr) an event observer. Normally set
+  /// through Device::set_observer.
+  void set_observer(DeviceObserver* observer) { observer_ = observer; }
 
   /// Appends a transaction to the engine queue and attempts to start it.
   void enqueue(Transaction txn);
@@ -61,6 +67,7 @@ class CopyEngine {
   double bytes_per_sec_;
   DurationNs overhead_;
   std::function<void()> pre_state_change_;
+  DeviceObserver* observer_ = nullptr;
 
   std::deque<Transaction> queue_;
   bool busy_ = false;

@@ -28,6 +28,13 @@ Device::Device(sim::Simulator& sim, DeviceSpec spec, trace::Recorder* recorder)
   last_integration_ = sim_.now();
 }
 
+void Device::set_observer(DeviceObserver* observer) {
+  observer_ = observer;
+  scheduler_->set_observer(observer);
+  htod_->set_observer(observer);
+  if (dtoh_) dtoh_->set_observer(observer);
+}
+
 void Device::register_stream(StreamId stream, int priority) {
   HQ_CHECK_MSG(streams_.find(stream) == streams_.end(),
                "stream " << stream << " registered twice");
@@ -88,6 +95,9 @@ OpId Device::submit_kernel(StreamId stream, KernelLaunch launch, OpTag tag,
   StreamState& state = stream_state(stream);
   op->on_complete = std::move(on_complete);
   state.order.push_back(std::move(op));
+  if (observer_ != nullptr) {
+    observer_->on_op_submitted(sim_.now(), raw->id, stream, ObservedOp::Kernel);
+  }
   queues_[static_cast<std::size_t>(state.queue_id)].fifo.push_back(raw);
   pump_queue(state.queue_id);
   return raw->id;
@@ -108,6 +118,9 @@ OpId Device::submit_copy(StreamId stream, CopyRequest request, OpTag tag,
 
   Op* raw = op.get();
   stream_state(stream).order.push_back(std::move(op));
+  if (observer_ != nullptr) {
+    observer_->on_op_submitted(sim_.now(), raw->id, stream, ObservedOp::Copy);
+  }
 
   CopyEngine& engine = engine_for(raw->copy.direction);
   engine.enqueue(CopyEngine::Transaction{
@@ -151,6 +164,9 @@ OpId Device::submit_marker(StreamId stream, OpTag tag,
 
   Op* raw = op.get();
   stream_state(stream).order.push_back(std::move(op));
+  if (observer_ != nullptr) {
+    observer_->on_op_submitted(sim_.now(), raw->id, stream, ObservedOp::Marker);
+  }
   if (is_stream_front(raw)) {
     sim_.schedule(0, [this, raw] { complete_op(raw); });
   }
@@ -195,6 +211,7 @@ void Device::on_kernel_complete(const KernelExec& exec) {
                                exec.first_block_time, exec.complete_time});
   }
   ++stats_.kernels_completed;
+  if (observer_ != nullptr) observer_->on_kernel_completed(sim_.now(), exec);
   complete_op(op);
 }
 
@@ -202,6 +219,9 @@ void Device::complete_op(Op* op) {
   StreamState& state = stream_state(op->stream);
   HQ_CHECK_MSG(!state.order.empty() && state.order.front().get() == op,
                "op completing out of stream order");
+  if (observer_ != nullptr) {
+    observer_->on_op_completed(sim_.now(), op->id, op->stream);
+  }
   // Keep the op alive until its callback has run.
   std::unique_ptr<Op> owned = std::move(state.order.front());
   state.order.pop_front();
@@ -235,6 +255,13 @@ void Device::pre_state_change() {
   const TimeNs now = sim_.now();
   if (now > last_integration_) {
     const double dt_ns = static_cast<double>(now - last_integration_);
+    // The power reported to the observer is the piecewise-constant value in
+    // effect over [last_integration_, now]; the checker integrates the same
+    // quantity independently.
+    if (observer_ != nullptr) {
+      observer_->on_power_integrated(now, instantaneous_power(),
+                                     scheduler_->thread_occupancy());
+    }
     energy_j_ += instantaneous_power() * dt_ns / 1e9;
     occupancy_weighted_ns_ += scheduler_->thread_occupancy() * dt_ns;
     if (is_active()) busy_ns_ += dt_ns;

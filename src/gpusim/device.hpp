@@ -16,6 +16,7 @@
 #include "gpusim/block_scheduler.hpp"
 #include "gpusim/copy_engine.hpp"
 #include "gpusim/device_spec.hpp"
+#include "gpusim/observer.hpp"
 #include "gpusim/types.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
@@ -37,6 +38,11 @@ class Device {
 
   /// Attaches (or detaches, with nullptr) a span recorder.
   void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
+  /// Attaches (or detaches, with nullptr) an event observer covering the
+  /// front end, both copy engines, the block scheduler, and the power
+  /// integrator. Used by the hq_check invariant layer.
+  void set_observer(DeviceObserver* observer);
 
   /// Registers a host stream and assigns it to a hardware work queue
   /// (round-robin). Must be called before submitting work on the stream.
@@ -70,6 +76,9 @@ class Device {
   /// True when the stream has no submitted-but-unfinished operations.
   bool stream_idle(StreamId stream) const;
 
+  /// Current virtual time of the owning simulator.
+  TimeNs now() const { return sim_.now(); }
+
   // --- power & utilization -------------------------------------------------
   /// Board power implied by the current device state.
   Watts instantaneous_power() const;
@@ -93,6 +102,8 @@ class Device {
   /// shared engine.
   const CopyEngine& dtoh_engine() const { return dtoh_ ? *dtoh_ : *htod_; }
   const BlockScheduler& block_scheduler() const { return *scheduler_; }
+  /// Mutable access for test-only fault injection (see set_fault_skip_head).
+  BlockScheduler& block_scheduler_for_test() { return *scheduler_; }
 
  private:
   enum class OpKind : std::uint8_t { Kernel, Copy, Marker };
@@ -139,6 +150,7 @@ class Device {
   sim::Simulator& sim_;
   DeviceSpec spec_;
   trace::Recorder* recorder_;
+  DeviceObserver* observer_ = nullptr;
 
   std::unique_ptr<BlockScheduler> scheduler_;
   std::unique_ptr<CopyEngine> htod_;

@@ -1,0 +1,77 @@
+// Device event observation interface.
+//
+// The simulated device (front end, copy engines, block scheduler, power
+// integrator) reports every externally meaningful state transition through
+// this interface. The primary client is the hq_check invariant layer, which
+// replays the event stream against an independent model of the hardware
+// contract (FIFO copy engines, LEFTOVER dispatch, SMX resource conservation,
+// energy ≡ ∫power) and flags any divergence; see src/check/invariants.hpp.
+//
+// All callbacks default to no-ops so observers implement only what they
+// need. Callbacks fire synchronously at the instant of the transition and
+// must not mutate device state.
+#pragma once
+
+#include "common/units.hpp"
+#include "gpusim/smx.hpp"
+#include "gpusim/types.hpp"
+
+namespace hq::gpu {
+
+struct KernelExec;
+
+/// Operation categories visible to observers (mirrors the device's internal
+/// op kinds without exposing them).
+enum class ObservedOp : std::uint8_t { Kernel, Copy, Marker };
+
+inline const char* observed_op_name(ObservedOp kind) {
+  switch (kind) {
+    case ObservedOp::Kernel: return "kernel";
+    case ObservedOp::Copy: return "copy";
+    case ObservedOp::Marker: return "marker";
+  }
+  return "?";
+}
+
+class DeviceObserver {
+ public:
+  virtual ~DeviceObserver() = default;
+
+  // --- stream front end ----------------------------------------------------
+  /// An operation entered a stream's submission FIFO.
+  virtual void on_op_submitted(TimeNs /*now*/, OpId /*op*/, StreamId /*stream*/,
+                               ObservedOp /*kind*/) {}
+  /// An operation finished and left its stream's FIFO.
+  virtual void on_op_completed(TimeNs /*now*/, OpId /*op*/, StreamId /*stream*/) {}
+
+  // --- copy engines --------------------------------------------------------
+  /// A transaction entered a copy engine's queue.
+  virtual void on_copy_enqueued(TimeNs /*now*/, CopyDirection /*dir*/,
+                                OpId /*op*/, StreamId /*stream*/, Bytes /*bytes*/) {}
+  /// A transaction finished service; [begin, end] is the service interval.
+  virtual void on_copy_served(TimeNs /*now*/, CopyDirection /*dir*/, OpId /*op*/,
+                              TimeNs /*begin*/, TimeNs /*end*/, Bytes /*bytes*/) {}
+
+  // --- block scheduler -----------------------------------------------------
+  /// A kernel left its work queue and entered the block scheduler.
+  virtual void on_kernel_dispatched(TimeNs /*now*/, OpId /*op*/,
+                                    int /*priority*/, std::uint64_t /*blocks*/,
+                                    const BlockDemand& /*demand*/) {}
+  /// `count` blocks of a dispatched kernel became resident on an SMX.
+  virtual void on_blocks_placed(TimeNs /*now*/, OpId /*op*/, int /*smx*/,
+                                int /*count*/, const BlockDemand& /*demand*/) {}
+  /// `count` blocks finished and released their SMX resources.
+  virtual void on_blocks_released(TimeNs /*now*/, OpId /*op*/, int /*smx*/,
+                                  int /*count*/, const BlockDemand& /*demand*/) {}
+  /// A kernel's last block finished.
+  virtual void on_kernel_completed(TimeNs /*now*/, const KernelExec& /*exec*/) {}
+
+  // --- power/energy integration -------------------------------------------
+  /// The device is about to change state at `now`; `power` and `occupancy`
+  /// are the values that were in effect since the previous integration step
+  /// (power is piecewise constant between state changes).
+  virtual void on_power_integrated(TimeNs /*now*/, Watts /*power*/,
+                                   double /*occupancy*/) {}
+};
+
+}  // namespace hq::gpu

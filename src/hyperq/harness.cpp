@@ -1,7 +1,9 @@
 #include "hyperq/harness.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "check/invariants.hpp"
 #include "common/check.hpp"
 
 namespace hq::fw {
@@ -104,6 +106,8 @@ sim::Task Harness::parent_task(RunState* st) {
     for (std::size_t i = 0; i < st->apps->size(); ++i) {
       st->all_verified = st->all_verified &&
                          (*st->apps)[i]->verify((*st->contexts)[i]);
+      (*st->metrics)[i].output_digest =
+          (*st->apps)[i]->output_digest((*st->contexts)[i]);
     }
   }
 
@@ -130,6 +134,12 @@ HarnessResult Harness::run(const std::vector<WorkloadItem>& workload) {
   sim::Mutex htod_lock(sim);
   sim::CountdownLatch latch(sim, workload.size());
   PowerMonitor monitor(sim, nvml, config_.power_period);
+
+  std::unique_ptr<check::InvariantChecker> checker;
+  if (config_.check_invariants) {
+    checker = std::make_unique<check::InvariantChecker>(config_.device);
+    device.set_observer(checker.get());
+  }
 
   std::vector<std::unique_ptr<Kernel>> apps;
   std::vector<Context> contexts;
@@ -172,6 +182,13 @@ HarnessResult Harness::run(const std::vector<WorkloadItem>& workload) {
   sim.spawn(parent_task(&state));
   sim.run();
   HQ_CHECK_MSG(sim.live_tasks() == 0, "run finished with live tasks");
+
+  if (checker != nullptr) {
+    checker->finalize(device);
+    checker->finalize_runtime(runtime);
+    HQ_CHECK_MSG(checker->ok(),
+                 "invariant violations:\n" << checker->report());
+  }
 
   HarnessResult result;
   result.phase_begin = state.phase_begin;

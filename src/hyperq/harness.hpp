@@ -58,6 +58,11 @@ struct HarnessConfig {
   DurationNs launch_stagger = 100 * kMicrosecond;
   /// Run the real algorithms (slower; tests use it, figure benches do not).
   bool functional = false;
+  /// Attach the hq_check invariant observer to the device and validate the
+  /// run online (clock monotonicity, copy FIFO order, SMX conservation,
+  /// LEFTOVER order, stream ordering, memory accounting, energy ≡ ∫power).
+  /// A violation aborts the run with a report. Cheap; on by default.
+  bool check_invariants = true;
   /// Sample power during the run.
   bool monitor_power = true;
   DurationNs power_period = 15 * kMillisecond;

@@ -85,6 +85,11 @@ class Kernel {
   virtual Bytes dtoh_bytes() const = 0;
   /// Functional self-check; meaningful only after a functional run.
   virtual bool verify(Context& ctx) const = 0;
+  /// Stable 64-bit digest of the application's host-visible outputs,
+  /// evaluated after DtoH and before the frees. Used by the hqfuzz
+  /// metamorphic oracle "outputs are byte-identical across scheduling
+  /// modes". Returns 0 when the application does not implement it.
+  virtual std::uint64_t output_digest(Context& /*ctx*/) const { return 0; }
 };
 
 }  // namespace hq::fw

@@ -47,6 +47,10 @@ struct AppMetrics {
   DurationNs htod_own_time = 0;
   Bytes htod_bytes = 0;
   Bytes dtoh_bytes = 0;
+  /// Digest of the app's host-visible outputs (functional runs only; 0
+  /// otherwise). Identical workloads must produce identical digests under
+  /// every scheduling mode — an hqfuzz oracle.
+  std::uint64_t output_digest = 0;
 };
 
 /// Average Le (HtoD) across applications, in nanoseconds — the quantity the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 
 namespace hq::rodinia {
 
@@ -20,6 +21,16 @@ Bytes RodiniaApp::dtoh_bytes() const {
     if (b.to_host) total += b.bytes;
   }
   return total;
+}
+
+std::uint64_t RodiniaApp::output_digest(fw::Context& ctx) const {
+  Fnv1a64 h;
+  for (const Buffer& b : buffers_) {
+    if (!b.to_host || b.host.null()) continue;
+    h.mix_string(b.label);
+    h.mix_bytes(ctx.runtime->host_bytes(b.host));
+  }
+  return h.value();
 }
 
 RodiniaApp::Buffer& RodiniaApp::add_buffer(std::string label, Bytes bytes,

@@ -26,6 +26,9 @@ class RodiniaApp : public fw::Kernel {
   const std::string& name() const override { return name_; }
   Bytes htod_bytes() const override;
   Bytes dtoh_bytes() const override;
+  /// Digest of every DtoH buffer's host bytes — the application's result as
+  /// the host sees it after the run.
+  std::uint64_t output_digest(fw::Context& ctx) const override;
 
   void allocateHostMemory(fw::Context& ctx) override;
   void allocateDeviceMemory(fw::Context& ctx) override;

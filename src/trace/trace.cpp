@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 
 namespace hq::trace {
 
@@ -15,6 +16,20 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::LockWait: return "lock-wait";
   }
   return "?";
+}
+
+std::uint64_t digest(const Recorder& recorder) {
+  Fnv1a64 h;
+  h.mix_u64(recorder.size());
+  for (const Span& s : recorder.spans()) {
+    h.mix_i64(s.lane);
+    h.mix_i64(s.app_id);
+    h.mix_u64(static_cast<std::uint64_t>(s.kind));
+    h.mix_string(s.name);
+    h.mix_u64(s.begin);
+    h.mix_u64(s.end);
+  }
+  return h.value();
 }
 
 void Recorder::add(Span span) {

@@ -41,6 +41,16 @@ struct Span {
   DurationNs duration() const { return end - begin; }
 };
 
+class Recorder;
+
+/// Stable 64-bit digest of a recorder's spans (FNV-1a over every field of
+/// every span, in recording order). Bit-identical across platforms and
+/// toolchains, so it serves as the determinism fingerprint of a whole run:
+/// two runs of the same scenario must produce equal digests, and any change
+/// to the simulated schedule shows up as a digest change. Used by the golden
+/// tests, the seed-sweep determinism tests, and the hqfuzz oracles.
+std::uint64_t digest(const Recorder& recorder);
+
 /// Append-only collection of spans with simple query helpers.
 class Recorder {
  public:

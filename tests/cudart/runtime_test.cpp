@@ -65,6 +65,26 @@ TEST_F(RuntimeTest, DoubleFreeReturnsInvalidHandle) {
   EXPECT_EQ(rt_.free_host(HostPtr{999}), Status::InvalidHandle);
 }
 
+TEST_F(RuntimeTest, MemStatsCountAllocationsFreesAndFailures) {
+  auto d1 = rt_.malloc_device(64);
+  auto d2 = rt_.malloc_device(128);
+  auto h1 = rt_.malloc_host(32);
+  ASSERT_TRUE(d1.ok() && d2.ok() && h1.ok());
+  EXPECT_EQ(rt_.mem_stats().device_allocs, 2u);
+  EXPECT_EQ(rt_.mem_stats().host_allocs, 1u);
+
+  EXPECT_EQ(rt_.free_device(d1.value()), Status::Ok);
+  EXPECT_EQ(rt_.free_device(d1.value()), Status::InvalidHandle);  // double
+  EXPECT_EQ(rt_.free_host(h1.value()), Status::Ok);
+  const MemStats& st = rt_.mem_stats();
+  EXPECT_EQ(st.device_frees, 1u);
+  EXPECT_EQ(st.host_frees, 1u);
+  EXPECT_EQ(st.failed_frees, 1u);
+  // d2 still live: balanced counters would show a leak here.
+  EXPECT_EQ(st.device_allocs - st.device_frees, 1u);
+  EXPECT_EQ(rt_.device_allocation_count(), 1u);
+}
+
 TEST_F(RuntimeTest, AllocationsAreZeroInitialized) {
   auto d = rt_.malloc_device(256);
   ASSERT_TRUE(d.ok());

@@ -1,0 +1,205 @@
+// Copy-path edge cases surfaced while building the fuzzer: zero-byte
+// transfers (CUDA-valid no-ops), back-to-back same-timestamp submissions,
+// and HtoD/DtoH engine independence under the memory-sync mutex.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "cudart/runtime.hpp"
+#include "gpusim/copy_engine.hpp"
+#include "gpusim/device.hpp"
+#include "hyperq/harness.hpp"
+#include "sim/simulator.hpp"
+#include "tests/hyperq/synthetic_app.hpp"
+#include "trace/trace.hpp"
+
+namespace hq {
+namespace {
+
+class ZeroByteMemcpyTest : public ::testing::Test {
+ protected:
+  ZeroByteMemcpyTest()
+      : device_(sim_, gpu::DeviceSpec::tesla_k20()), rt_(sim_, device_) {}
+
+  void run(sim::Task task) {
+    sim_.spawn(std::move(task));
+    sim_.run();
+  }
+
+  sim::Simulator sim_;
+  gpu::Device device_;
+  rt::Runtime rt_;
+};
+
+TEST_F(ZeroByteMemcpyTest, ZeroByteCopiesNeverReachTheEngines) {
+  auto h = rt_.malloc_host(kKiB);
+  auto d = rt_.malloc_device(kKiB);
+  ASSERT_TRUE(h.ok() && d.ok());
+  auto s = rt_.stream_create();
+  run([this, s, h = h.value(), d = d.value()]() -> sim::Task {
+    auto up = rt_.memcpy_htod_async(s, d, h, 0);
+    co_await up;
+    auto down = rt_.memcpy_dtoh_async(s, h, d, 0);
+    co_await down;
+    co_await rt_.stream_synchronize(s);
+  }());
+  EXPECT_EQ(device_.stats().copies_htod, 0u);
+  EXPECT_EQ(device_.stats().copies_dtoh, 0u);
+  EXPECT_EQ(device_.stats().bytes_htod, 0u);
+  EXPECT_EQ(device_.stats().bytes_dtoh, 0u);
+  EXPECT_EQ(device_.htod_engine().transactions_served(), 0u);
+  EXPECT_EQ(device_.dtoh_engine().transactions_served(), 0u);
+}
+
+TEST_F(ZeroByteMemcpyTest, ZeroByteCopyIsStreamOrdered) {
+  auto h = rt_.malloc_host(kMiB);
+  auto d = rt_.malloc_device(kMiB);
+  ASSERT_TRUE(h.ok() && d.ok());
+  auto s = rt_.stream_create();
+  auto after_zero = rt_.event_create();
+  run([this, s, after_zero, h = h.value(), d = d.value()]() -> sim::Task {
+    auto big = rt_.memcpy_htod_async(s, d, h, kMiB);
+    co_await big;
+    auto zero = rt_.memcpy_htod_async(s, d, h, 0);
+    co_await zero;
+    rt_.event_record(after_zero, s);
+    co_await rt_.stream_synchronize(s);
+  }());
+  // The no-op completes as a marker behind the 1 MiB transfer, never before.
+  ASSERT_TRUE(rt_.event_complete(after_zero));
+  EXPECT_GE(rt_.event_time(after_zero),
+            device_.htod_engine().service_time(kMiB));
+  EXPECT_EQ(device_.stats().copies_htod, 1u);
+  EXPECT_EQ(device_.stats().bytes_htod, kMiB);
+}
+
+TEST_F(ZeroByteMemcpyTest, ZeroByteRespectsAllocationBounds) {
+  auto h = rt_.malloc_host(kKiB);
+  auto d = rt_.malloc_device(kKiB);
+  ASSERT_TRUE(h.ok() && d.ok());
+  auto s = rt_.stream_create();
+  // Zero bytes at an offset inside the allocation is fine; one past the end
+  // is still an overflow.
+  run([this, s, h = h.value(), d = d.value()]() -> sim::Task {
+    auto op = rt_.memcpy_htod_async(s, d, h, 0, {}, kKiB);
+    co_await op;
+    co_await rt_.stream_synchronize(s);
+  }());
+  EXPECT_THROW(
+      (void)rt_.memcpy_htod_async(s, d.value(), h.value(), 0, {}, kKiB + 1),
+      Error);
+}
+
+// ----------------------------------------------------- engine-level edges
+
+struct Served {
+  gpu::OpId id;
+  TimeNs begin;
+  TimeNs end;
+};
+
+class CopyEngineEdgeTest : public ::testing::Test {
+ protected:
+  CopyEngineEdgeTest()
+      : engine_(sim_, gpu::CopyDirection::HtoD, /*bytes_per_sec=*/1e9,
+                /*overhead=*/10 * kMicrosecond, [] {}) {}
+
+  void enqueue(gpu::OpId id, Bytes bytes) {
+    engine_.enqueue(gpu::CopyEngine::Transaction{
+        id, 0, bytes, [] { return true; },
+        [this, id](TimeNs b, TimeNs e) { served_.push_back({id, b, e}); }});
+  }
+
+  sim::Simulator sim_;
+  gpu::CopyEngine engine_;
+  std::vector<Served> served_;
+};
+
+TEST_F(CopyEngineEdgeTest, ZeroByteTransactionCostsOverheadOnly) {
+  EXPECT_EQ(engine_.service_time(0), 10 * kMicrosecond);
+  enqueue(1, 0);
+  sim_.run();
+  ASSERT_EQ(served_.size(), 1u);
+  EXPECT_EQ(served_[0].end - served_[0].begin, 10 * kMicrosecond);
+  EXPECT_EQ(engine_.bytes_transferred(), 0u);
+  EXPECT_EQ(engine_.transactions_served(), 1u);
+}
+
+TEST_F(CopyEngineEdgeTest, SameTimestampSubmissionsStayFifoAndSerialized) {
+  // Two independent host contexts submitting at the identical virtual
+  // instant: service must follow enqueue order with no overlap.
+  const TimeNs t = 5 * kMicrosecond;
+  sim_.schedule(t, [this] { enqueue(1, 1000); });
+  sim_.schedule(t, [this] { enqueue(2, 1000); });
+  sim_.schedule(t, [this] { enqueue(3, 0); });
+  sim_.run();
+  ASSERT_EQ(served_.size(), 3u);
+  EXPECT_EQ(served_[0].id, 1u);
+  EXPECT_EQ(served_[1].id, 2u);
+  EXPECT_EQ(served_[2].id, 3u);
+  EXPECT_EQ(served_[0].begin, t);
+  EXPECT_EQ(served_[1].begin, served_[0].end);
+  EXPECT_EQ(served_[2].begin, served_[1].end);
+}
+
+// --------------------------------------- HtoD/DtoH engine independence
+
+TEST(MemorySyncIndependenceTest, DtoHOverlapsHtoDUnderMemorySyncMutex) {
+  // The Section III-B mutex serializes only the HtoD stage. A downstream
+  // DtoH transfer must still overlap another application's HtoD, because the
+  // two directions have dedicated engines.
+  fw::testing::SyntheticApp::Spec producer;
+  producer.name = "producer";
+  producer.htod_bytes = kKiB;
+  producer.htod_pieces = 1;
+  producer.num_kernels = 0;
+  producer.dtoh_bytes = 8 * kMiB;
+
+  fw::testing::SyntheticApp::Spec consumer;
+  consumer.name = "consumer";
+  consumer.htod_bytes = 8 * kMiB;
+  consumer.htod_pieces = 1;
+  consumer.num_kernels = 0;
+  consumer.dtoh_bytes = kKiB;
+
+  fw::HarnessConfig config;
+  config.num_streams = 2;
+  config.memory_sync = true;
+  config.launch_stagger = 0;
+  config.monitor_power = false;
+
+  std::vector<fw::WorkloadItem> workload;
+  workload.push_back(fw::WorkloadItem{
+      producer.name,
+      [producer] { return std::make_unique<fw::testing::SyntheticApp>(producer); }});
+  workload.push_back(fw::WorkloadItem{
+      consumer.name,
+      [consumer] { return std::make_unique<fw::testing::SyntheticApp>(consumer); }});
+
+  const auto result = fw::Harness(config).run(workload);
+  ASSERT_NE(result.trace, nullptr);
+
+  const auto longest = [](std::vector<trace::Span> spans, int app_id) {
+    std::erase_if(spans, [app_id](const trace::Span& s) {
+      return s.app_id != app_id;
+    });
+    return *std::max_element(spans.begin(), spans.end(),
+                             [](const trace::Span& a, const trace::Span& b) {
+                               return a.duration() < b.duration();
+                             });
+  };
+  const trace::Span big_dtoh =
+      longest(result.trace->by_kind(trace::SpanKind::MemcpyDtoH), 0);
+  const trace::Span big_htod =
+      longest(result.trace->by_kind(trace::SpanKind::MemcpyHtoD), 1);
+  EXPECT_LT(std::max(big_dtoh.begin, big_htod.begin),
+            std::min(big_dtoh.end, big_htod.end))
+      << "producer DtoH [" << big_dtoh.begin << ", " << big_dtoh.end
+      << ") does not overlap consumer HtoD [" << big_htod.begin << ", "
+      << big_htod.end << ")";
+}
+
+}  // namespace
+}  // namespace hq

@@ -1,0 +1,91 @@
+// Smoke tests for the hq_fuzz case generator and fuzzer driver. The heavy
+// lifting (hundreds of iterations) lives in the hqfuzz tool / CI; here we
+// pin generator determinism, case diversity, and a short clean run.
+#include "check/fuzzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hq::check {
+namespace {
+
+TEST(FuzzCaseTest, GenerationIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    const FuzzCase a = generate_case(seed);
+    const FuzzCase b = generate_case(seed);
+    EXPECT_EQ(a.summary(), b.summary());
+    EXPECT_EQ(a.type_names, b.type_names);
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.config.num_streams, b.config.num_streams);
+    EXPECT_EQ(a.config.memory_sync, b.config.memory_sync);
+  }
+}
+
+TEST(FuzzCaseTest, CasesAreWellFormed) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const FuzzCase c = generate_case(seed);
+    ASSERT_FALSE(c.type_names.empty());
+    ASSERT_EQ(c.type_names.size(), c.params.size());
+    ASSERT_EQ(c.type_names.size(), c.counts.size());
+    int total = 0;
+    for (const auto& name : c.type_names) {
+      EXPECT_TRUE(rodinia::is_app_name(name)) << name;
+    }
+    for (int n : c.counts) {
+      EXPECT_GE(n, 1);
+      total += n;
+    }
+    EXPECT_EQ(c.slots.size(), static_cast<std::size_t>(total));
+    EXPECT_GE(c.config.num_streams, 1);
+    EXPECT_TRUE(c.config.check_invariants);
+    EXPECT_FALSE(c.summary().empty());
+  }
+}
+
+TEST(FuzzCaseTest, GeneratorCoversTheConfigSpace) {
+  std::set<std::string> apps;
+  std::set<int> stream_counts;
+  std::set<fw::Order> orders;
+  bool saw_functional = false, saw_timing = false;
+  bool saw_memsync = false, saw_no_memsync = false;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const FuzzCase c = generate_case(seed);
+    apps.insert(c.type_names.begin(), c.type_names.end());
+    stream_counts.insert(c.config.num_streams);
+    orders.insert(c.order);
+    (c.config.functional ? saw_functional : saw_timing) = true;
+    (c.config.memory_sync ? saw_memsync : saw_no_memsync) = true;
+  }
+  EXPECT_GE(apps.size(), 4u);
+  EXPECT_GE(stream_counts.size(), 3u);
+  EXPECT_GE(orders.size(), 2u);
+  EXPECT_TRUE(saw_functional);
+  EXPECT_TRUE(saw_timing);
+  EXPECT_TRUE(saw_memsync);
+  EXPECT_TRUE(saw_no_memsync);
+}
+
+TEST(FuzzerTest, ShortRunIsClean) {
+  FuzzOptions options;
+  options.seed = 7;
+  options.iterations = 10;
+  int calls = 0;
+  Fuzzer fuzzer(options);
+  const FuzzReport report = fuzzer.run(
+      [&calls](int, std::uint64_t, const std::string&, bool) { ++calls; });
+  EXPECT_EQ(report.iterations_run, 10);
+  EXPECT_EQ(calls, 10);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(FuzzerTest, RunCaseFillsSummaryAndIsClean) {
+  std::string summary;
+  const auto problems = Fuzzer::run_case(12345, &summary);
+  EXPECT_FALSE(summary.empty());
+  EXPECT_TRUE(problems.empty())
+      << summary << ": " << (problems.empty() ? "" : problems.front());
+}
+
+}  // namespace
+}  // namespace hq::check

@@ -1,0 +1,243 @@
+// Tests for the hq_check invariant layer: a clean device run passes, every
+// invariant class is triggerable through synthetic observer streams, and —
+// the critical negative test — a deliberately injected scheduler bug
+// (skipping the LEFTOVER head kernel) is caught.
+#include "check/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cudart/runtime.hpp"
+#include "gpusim/device.hpp"
+#include "hyperq/harness.hpp"
+#include "rodinia/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace hq::check {
+namespace {
+
+gpu::KernelLaunch small_kernel(const char* name) {
+  return gpu::KernelLaunch{name,           gpu::Dim3{4, 1, 1},
+                           gpu::Dim3{64, 1, 1}, 16,
+                           0,              10 * kMicrosecond,
+                           0.0,            nullptr};
+}
+
+TEST(InvariantCheckerTest, CleanDeviceRunPasses) {
+  sim::Simulator sim;
+  gpu::Device device(sim, gpu::DeviceSpec::tesla_k20());
+  InvariantChecker checker(device.spec());
+  device.set_observer(&checker);
+
+  device.register_stream(0);
+  device.register_stream(1);
+  device.submit_copy(0, gpu::CopyRequest{gpu::CopyDirection::HtoD, kMiB,
+                                         nullptr},
+                     gpu::OpTag{0, "in"});
+  device.submit_kernel(0, small_kernel("k0"), gpu::OpTag{0, "k0"});
+  device.submit_kernel(1, small_kernel("k1"), gpu::OpTag{1, "k1"});
+  device.submit_copy(1, gpu::CopyRequest{gpu::CopyDirection::DtoH, kKiB,
+                                         nullptr},
+                     gpu::OpTag{1, "out"});
+  device.submit_marker(0, gpu::OpTag{0, "event"});
+  sim.run();
+
+  checker.finalize(device);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.events_observed(), 10u);
+}
+
+// The acceptance-criteria negative test: injecting a LEFTOVER-order fault
+// into the block scheduler (service the second pending kernel before the
+// head) must be flagged by the checker.
+TEST(InvariantCheckerTest, InjectedSkipHeadFaultIsCaught) {
+  const auto run_scenario = [](bool inject) {
+    sim::Simulator sim;
+    gpu::Device device(sim, gpu::DeviceSpec::tesla_k20());
+    InvariantChecker checker(device.spec());
+    device.set_observer(&checker);
+    device.block_scheduler_for_test().set_fault_skip_head(inject);
+
+    device.register_stream(0);
+    device.register_stream(1);
+    // Kernel 1 cannot fully place (250 blocks of 1000 threads: 2 blocks per
+    // SMX, 26 resident), so it stays at the head of the pending queue while
+    // kernel 2 arrives behind it; 48 threads per SMX stay free, enough for
+    // kernel 2's 32-thread blocks to place if the scheduler illegally skips
+    // the head.
+    device.submit_kernel(0,
+                         gpu::KernelLaunch{"big", gpu::Dim3{250, 1, 1},
+                                           gpu::Dim3{1000, 1, 1}, 16, 0,
+                                           20 * kMicrosecond, 0.0, nullptr},
+                         gpu::OpTag{0, "big"});
+    device.submit_kernel(1,
+                         gpu::KernelLaunch{"small", gpu::Dim3{1, 1, 1},
+                                           gpu::Dim3{32, 1, 1}, 16, 0,
+                                           5 * kMicrosecond, 0.0, nullptr},
+                         gpu::OpTag{1, "small"});
+    sim.run();
+    checker.finalize(device);
+    return checker;
+  };
+
+  const InvariantChecker clean = run_scenario(false);
+  EXPECT_TRUE(clean.ok()) << clean.report();
+
+  const InvariantChecker faulty = run_scenario(true);
+  ASSERT_FALSE(faulty.ok());
+  EXPECT_NE(faulty.report().find("LEFTOVER"), std::string::npos)
+      << faulty.report();
+}
+
+TEST(InvariantCheckerTest, HarnessRunWithCheckerEnabledCompletes) {
+  fw::HarnessConfig config;
+  config.functional = true;
+  config.num_streams = 2;
+  config.monitor_power = false;
+  ASSERT_TRUE(config.check_invariants);  // on by default
+  rodinia::AppParams small;
+  small.size = 32;
+  fw::Harness harness(config);
+  const auto result = harness.run(
+      {rodinia::make_app("needle", small), rodinia::make_app("needle", small)});
+  EXPECT_TRUE(result.all_verified);
+}
+
+// --------------------------------------------------- synthetic event streams
+
+TEST(InvariantCheckerTest, DetectsClockGoingBackwards) {
+  InvariantChecker c(gpu::DeviceSpec::tesla_k20());
+  c.on_op_submitted(100, 1, 0, gpu::ObservedOp::Kernel);
+  c.on_op_submitted(50, 2, 0, gpu::ObservedOp::Kernel);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("clock went backwards"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, DetectsCopyFifoViolation) {
+  InvariantChecker c(gpu::DeviceSpec::tesla_k20());
+  c.on_copy_enqueued(0, gpu::CopyDirection::HtoD, 1, 0, 100);
+  c.on_copy_enqueued(0, gpu::CopyDirection::HtoD, 2, 0, 100);
+  c.on_copy_served(10, gpu::CopyDirection::HtoD, 2, 0, 10, 100);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("out of FIFO order"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, DetectsOverlappingCopyService) {
+  InvariantChecker c(gpu::DeviceSpec::tesla_k20());
+  c.on_copy_enqueued(0, gpu::CopyDirection::DtoH, 1, 0, 100);
+  c.on_copy_enqueued(0, gpu::CopyDirection::DtoH, 2, 0, 100);
+  c.on_copy_served(10, gpu::CopyDirection::DtoH, 1, 0, 10, 100);
+  // Second service starts before the first ended.
+  c.on_copy_served(15, gpu::CopyDirection::DtoH, 2, 5, 15, 100);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("overlapping"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, DetectsStreamOrderViolation) {
+  InvariantChecker c(gpu::DeviceSpec::tesla_k20());
+  c.on_op_submitted(0, 1, 7, gpu::ObservedOp::Copy);
+  c.on_op_submitted(0, 2, 7, gpu::ObservedOp::Kernel);
+  c.on_op_completed(10, 2, 7);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("out of submission order"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, DetectsSmxOverCapacity) {
+  gpu::DeviceSpec spec = gpu::DeviceSpec::tesla_k20();
+  InvariantChecker c(spec);
+  const gpu::BlockDemand demand{1, 0, 0};
+  const auto blocks =
+      static_cast<std::uint64_t>(spec.max_blocks_per_smx) + 1;
+  c.on_kernel_dispatched(0, 1, 0, blocks, demand);
+  c.on_blocks_placed(0, 1, 0, static_cast<int>(blocks), demand);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("over capacity"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, DetectsReleaseWithoutPlacement) {
+  InvariantChecker c(gpu::DeviceSpec::tesla_k20());
+  c.on_blocks_released(0, 99, 0, 1, gpu::BlockDemand{32, 16, 0});
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("unknown kernel"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, DetectsIncompleteKernelCompletion) {
+  InvariantChecker c(gpu::DeviceSpec::tesla_k20());
+  const gpu::BlockDemand demand{32, 16, 0};
+  c.on_kernel_dispatched(0, 1, 0, 2, demand);
+  c.on_blocks_placed(0, 1, 0, 1, demand);
+  gpu::KernelExec exec;
+  exec.op_id = 1;
+  c.on_kernel_completed(10, exec);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("completed with"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, DetectsImplausiblePower) {
+  InvariantChecker c(gpu::DeviceSpec::tesla_k20());
+  c.on_power_integrated(10, -5.0, 0.5);
+  c.on_power_integrated(20, 1e6, 0.5);
+  c.on_power_integrated(30, 50.0, 1.5);
+  const auto& v = c.violations();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NE(v[0].find("implausible power"), std::string::npos);
+  EXPECT_NE(v[2].find("outside [0,1]"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, FinalizeFlagsUnfinishedWork) {
+  InvariantChecker c(gpu::DeviceSpec::tesla_k20());
+  sim::Simulator sim;
+  gpu::Device device(sim, gpu::DeviceSpec::tesla_k20());
+  c.on_op_submitted(0, 1, 0, gpu::ObservedOp::Kernel);
+  c.on_kernel_dispatched(0, 1, 0, 4, gpu::BlockDemand{32, 16, 0});
+  c.finalize(device);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("never completed"), std::string::npos);
+  EXPECT_NE(c.report().find("unfinished ops"), std::string::npos);
+}
+
+// ------------------------------------------------------- memory accounting
+
+TEST(InvariantCheckerTest, DetectsDeviceMemoryLeak) {
+  sim::Simulator sim;
+  gpu::Device device(sim, gpu::DeviceSpec::tesla_k20());
+  rt::Runtime runtime(sim, device);
+  ASSERT_TRUE(runtime.malloc_device(kMiB).ok());
+
+  InvariantChecker c(device.spec());
+  c.finalize_runtime(runtime);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("device memory leak"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, DetectsDoubleFree) {
+  sim::Simulator sim;
+  gpu::Device device(sim, gpu::DeviceSpec::tesla_k20());
+  rt::Runtime runtime(sim, device);
+  auto r = runtime.malloc_device(64);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(runtime.free_device(r.value()), rt::Status::Ok);
+  EXPECT_EQ(runtime.free_device(r.value()), rt::Status::InvalidHandle);
+
+  InvariantChecker c(device.spec());
+  c.finalize_runtime(runtime);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("failed (double?) frees"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, CleanTeardownPassesMemoryAccounting) {
+  sim::Simulator sim;
+  gpu::Device device(sim, gpu::DeviceSpec::tesla_k20());
+  rt::Runtime runtime(sim, device);
+  auto d = runtime.malloc_device(kMiB);
+  auto h = runtime.malloc_host(kKiB);
+  ASSERT_TRUE(d.ok() && h.ok());
+  EXPECT_EQ(runtime.free_device(d.value()), rt::Status::Ok);
+  EXPECT_EQ(runtime.free_host(h.value()), rt::Status::Ok);
+
+  InvariantChecker c(device.spec());
+  c.finalize_runtime(runtime);
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+}  // namespace
+}  // namespace hq::check

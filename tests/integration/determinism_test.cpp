@@ -1,0 +1,100 @@
+// Seed-sweep determinism: running the identical workload + configuration
+// twice in one process must reproduce the run bit-for-bit — equal trace
+// digests, makespans, energies, and per-application metrics. This is the
+// repo's determinism contract, and the foundation the hqfuzz replay mode
+// (--case-seed) rests on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hyperq/harness.hpp"
+#include "hyperq/schedule.hpp"
+#include "rodinia/registry.hpp"
+#include "trace/trace.hpp"
+
+namespace hq {
+namespace {
+
+fw::HarnessConfig config_for_seed(std::uint64_t seed) {
+  fw::HarnessConfig config;
+  config.num_streams = 1 + static_cast<int>(seed % 4);
+  config.memory_sync = (seed % 2) == 0;
+  config.blocking_transfers = (seed % 3) != 0;
+  config.transfer_chunk_bytes = (seed % 2) == 1 ? 64 * kKiB : 0;
+  config.launch_stagger = (seed % 3) * 10 * kMicrosecond;
+  config.functional = (seed % 3) == 0;
+  config.monitor_power = (seed % 2) == 0;
+  return config;
+}
+
+std::vector<fw::WorkloadItem> workload_for_seed(std::uint64_t seed) {
+  rodinia::AppParams ga;
+  ga.size = 16;
+  ga.seed = seed;
+  rodinia::AppParams ne;
+  ne.size = 32;
+  ne.seed = seed + 1;
+  Rng rng(99 + seed);
+  const std::vector<int> counts{2, 2};
+  const std::vector<fw::Slot> slots =
+      fw::make_schedule(fw::Order::RandomShuffle, counts, &rng);
+  return rodinia::build_workload(slots, {"gaussian", "needle"}, {ga, ne});
+}
+
+TEST(DeterminismTest, SeedSweepReproducesRunsExactly) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const fw::HarnessConfig config = config_for_seed(seed);
+    const auto workload = workload_for_seed(seed);
+
+    fw::Harness harness(config);
+    const auto a = harness.run(workload);
+    const auto b = harness.run(workload);
+
+    ASSERT_NE(a.trace, nullptr);
+    ASSERT_NE(b.trace, nullptr);
+    EXPECT_EQ(trace::digest(*a.trace), trace::digest(*b.trace))
+        << "seed " << seed;
+    EXPECT_EQ(a.makespan, b.makespan) << "seed " << seed;
+    EXPECT_EQ(a.phase_begin, b.phase_begin) << "seed " << seed;
+    EXPECT_EQ(a.energy_exact, b.energy_exact) << "seed " << seed;
+    EXPECT_EQ(a.energy_sensor, b.energy_sensor) << "seed " << seed;
+    EXPECT_EQ(a.average_occupancy, b.average_occupancy) << "seed " << seed;
+    EXPECT_EQ(a.power_trace.size(), b.power_trace.size()) << "seed " << seed;
+
+    ASSERT_EQ(a.apps.size(), b.apps.size());
+    for (std::size_t i = 0; i < a.apps.size(); ++i) {
+      EXPECT_EQ(a.apps[i].htod_effective_latency,
+                b.apps[i].htod_effective_latency);
+      EXPECT_EQ(a.apps[i].dtoh_effective_latency,
+                b.apps[i].dtoh_effective_latency);
+      EXPECT_EQ(a.apps[i].htod_own_time, b.apps[i].htod_own_time);
+      EXPECT_EQ(a.apps[i].first_activity, b.apps[i].first_activity);
+      EXPECT_EQ(a.apps[i].output_digest, b.apps[i].output_digest);
+    }
+    if (config.functional) {
+      EXPECT_TRUE(a.all_verified && b.all_verified) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DeterminismTest, DifferentSchedulesProduceDifferentDigests) {
+  // A digest that never changes would vacuously pass the test above.
+  rodinia::AppParams p;
+  p.size = 16;
+  fw::HarnessConfig one;
+  one.num_streams = 1;
+  one.monitor_power = false;
+  fw::HarnessConfig many = one;
+  many.num_streams = 2;
+
+  const std::vector<fw::WorkloadItem> workload = {
+      rodinia::make_app("gaussian", p), rodinia::make_app("gaussian", p)};
+  const auto serial = fw::Harness(one).run(workload);
+  const auto concurrent = fw::Harness(many).run(workload);
+  EXPECT_NE(trace::digest(*serial.trace), trace::digest(*concurrent.trace));
+}
+
+}  // namespace
+}  // namespace hq

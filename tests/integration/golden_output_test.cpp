@@ -7,6 +7,7 @@
 #include "sim/simulator.hpp"
 #include "trace/ascii_timeline.hpp"
 #include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
 
 namespace hq {
 namespace {
@@ -79,6 +80,37 @@ TEST(GoldenOutputTest, DeterministicEventCountForFixedScenario) {
   const auto first = run_once();
   EXPECT_EQ(first, run_once());
   EXPECT_GT(first, 20u);
+}
+
+TEST(GoldenOutputTest, TraceDigestPinnedForFixedScenario) {
+  // Golden trace digest for the two-stream scenario above. Any change to
+  // device timing, span emission order, or the digest algorithm itself
+  // moves this constant; update it only for intentional schedule changes.
+  auto run_once = [] {
+    sim::Simulator sim;
+    trace::Recorder recorder;
+    gpu::Device device(sim, gpu::DeviceSpec::tesla_k20(), &recorder);
+    device.register_stream(0);
+    device.register_stream(1);
+    device.submit_copy(0, gpu::CopyRequest{gpu::CopyDirection::HtoD,
+                                           61000, nullptr},
+                       gpu::OpTag{0, "in"});
+    device.submit_kernel(0,
+                         gpu::KernelLaunch{"k", gpu::Dim3{1, 1, 1},
+                                           gpu::Dim3{32, 1, 1}, 16, 0,
+                                           18 * kMicrosecond, 0.0, nullptr},
+                         gpu::OpTag{0, "k"});
+    device.submit_kernel(1,
+                         gpu::KernelLaunch{"k2", gpu::Dim3{1, 1, 1},
+                                           gpu::Dim3{32, 1, 1}, 16, 0,
+                                           36 * kMicrosecond, 0.0, nullptr},
+                         gpu::OpTag{1, "k2"});
+    sim.run();
+    return trace::digest(recorder);
+  };
+  const std::uint64_t first = run_once();
+  EXPECT_EQ(first, run_once());
+  EXPECT_EQ(first, 0xd519b5899d9df899ULL);
 }
 
 }  // namespace

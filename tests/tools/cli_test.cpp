@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <sstream>
+
 #include "common/check.hpp"
+#include "hyperq/harness.hpp"
+#include "rodinia/registry.hpp"
+#include "trace/chrome_trace.hpp"
 
 namespace hq::tools {
 namespace {
@@ -96,6 +102,133 @@ TEST_F(CliTest, UnregisteredAccessThrows) {
 TEST_F(CliTest, DuplicateRegistrationThrows) {
   EXPECT_THROW(parser_.add_option("na", "again"), hq::Error);
   EXPECT_THROW(parser_.add_flag("memsync", "again"), hq::Error);
+}
+
+// ------------------------------------------------- hqrun-level validation
+//
+// Mirrors the option set hqrun registers, so the rejection paths the tool
+// relies on (bad values, flag/option confusion, unknown applications) are
+// pinned here without spawning the binary.
+
+class HqrunCliTest : public ::testing::Test {
+ protected:
+  HqrunCliTest() {
+    parser_.add_option("apps", "types", "gaussian,needle");
+    parser_.add_option("na", "apps", "8");
+    parser_.add_option("ns", "streams", "8");
+    parser_.add_option("order", "order", "fifo");
+    parser_.add_flag("memsync", "sync");
+    parser_.add_option("device", "model", "k20");
+    parser_.add_flag("functional", "verify");
+  }
+  bool parse(std::initializer_list<const char*> args) {
+    auto v = argv_of(args);
+    return parser_.parse(static_cast<int>(v.size()), v.data());
+  }
+  ArgParser parser_;
+};
+
+TEST_F(HqrunCliTest, InvalidFlagCombinationsAreRejected) {
+  EXPECT_FALSE(parse({"--functional=yes"}));   // flag given a value
+  EXPECT_FALSE(parse({"--ns"}));               // option missing its value
+  EXPECT_FALSE(parse({"--streams", "8"}));     // unregistered spelling
+  EXPECT_FALSE(parse({"--na", "8", "extra"})); // stray positional
+}
+
+TEST_F(HqrunCliTest, NonNumericCountsSurfaceAsNullopt) {
+  // hqrun turns these nullopts into its "bad --order/--device/--na/--ns"
+  // usage error (exit code 2).
+  ASSERT_TRUE(parse({"--na", "lots", "--ns", "many"}));
+  EXPECT_FALSE(parser_.get_int("na").has_value());
+  EXPECT_FALSE(parser_.get_int("ns").has_value());
+}
+
+TEST_F(HqrunCliTest, UnknownApplicationNamesAreDetectable) {
+  ASSERT_TRUE(parse({"--apps", "gaussian,blur"}));
+  EXPECT_TRUE(rodinia::is_app_name("gaussian"));
+  EXPECT_FALSE(rodinia::is_app_name("blur"));
+  EXPECT_FALSE(rodinia::is_app_name(""));
+  EXPECT_FALSE(rodinia::is_app_name("GAUSSIAN"));  // names are exact
+  for (const auto& name : rodinia::app_names()) {
+    EXPECT_TRUE(rodinia::is_app_name(name)) << name;
+  }
+}
+
+// Minimal structural JSON validation: balanced containers, well-terminated
+// strings, no trailing comma before a closer. Enough to catch the classic
+// emitter bugs (unescaped quotes, dangling commas) in --trace output.
+bool json_well_formed(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  char last_token = '\0';
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+        last_token = '"';
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '[': case '{': stack.push_back(c); last_token = c; break;
+      case ']':
+        if (stack.empty() || stack.back() != '[' || last_token == ',') {
+          return false;
+        }
+        stack.pop_back();
+        last_token = c;
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{' || last_token == ',') {
+          return false;
+        }
+        stack.pop_back();
+        last_token = c;
+        break;
+      case ',': case ':': last_token = c; break;
+      default:
+        if (!std::isspace(static_cast<unsigned char>(c))) last_token = c;
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(HqrunTraceJsonTest, JsonCheckerRejectsMalformedInput) {
+  EXPECT_TRUE(json_well_formed("[\n]\n"));
+  EXPECT_TRUE(json_well_formed("[{\"a\": \"b\"}, {\"c\": 1}]"));
+  EXPECT_FALSE(json_well_formed("[{\"a\": \"b\"}"));    // unbalanced
+  EXPECT_FALSE(json_well_formed("[{\"a\": \"b\"},]"));  // trailing comma
+  EXPECT_FALSE(json_well_formed("[\"unterminated]"));   // open string
+  EXPECT_FALSE(json_well_formed("[}"));                 // mismatched
+}
+
+TEST(HqrunTraceJsonTest, HarnessTraceExportIsWellFormedJson) {
+  // End-to-end: the same trace hqrun writes for --trace must scan clean.
+  fw::HarnessConfig config;
+  config.num_streams = 2;
+  config.monitor_power = false;
+  rodinia::AppParams params;
+  params.size = 32;
+  const auto result = fw::Harness(config).run(
+      {rodinia::make_app("needle", params),
+       rodinia::make_app("gaussian", rodinia::AppParams{16, {}, {}})});
+  ASSERT_NE(result.trace, nullptr);
+  ASSERT_FALSE(result.trace->empty());
+
+  const std::string json = trace::chrome_trace_json(*result.trace);
+  EXPECT_TRUE(json_well_formed(json));
+
+  std::ostringstream out;
+  trace::write_chrome_trace(*result.trace, out);
+  EXPECT_TRUE(json_well_formed(out.str()));
+  EXPECT_EQ(out.str(), json);
 }
 
 }  // namespace

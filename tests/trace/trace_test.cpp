@@ -142,5 +142,60 @@ TEST(ChromeTraceTest, EmptyRecorderIsEmptyArray) {
   EXPECT_EQ(chrome_trace_json(r), "[\n]\n");
 }
 
+// --------------------------------------------------------------- digest
+
+TEST(DigestTest, IdenticalRecordersAgree) {
+  Recorder a, b;
+  for (Recorder* r : {&a, &b}) {
+    r->add(make_span(0, 1, SpanKind::MemcpyHtoD, 0, 100, "in"));
+    r->add(make_span(1, 1, SpanKind::Kernel, 100, 300, "k"));
+  }
+  EXPECT_EQ(digest(a), digest(b));
+  EXPECT_NE(digest(a), digest(Recorder{}));
+}
+
+TEST(DigestTest, RecordingOrderMatters) {
+  Recorder a, b;
+  const Span s1 = make_span(0, 0, SpanKind::Kernel, 0, 10, "x");
+  const Span s2 = make_span(1, 0, SpanKind::Kernel, 0, 10, "y");
+  a.add(s1);
+  a.add(s2);
+  b.add(s2);
+  b.add(s1);
+  EXPECT_NE(digest(a), digest(b));
+}
+
+TEST(DigestTest, EveryFieldIsSignificant) {
+  const Span base = make_span(2, 3, SpanKind::MemcpyDtoH, 50, 90, "out");
+  Recorder ref;
+  ref.add(base);
+  const std::uint64_t ref_digest = digest(ref);
+
+  const auto digest_with = [&base](auto mutate) {
+    Span s = base;
+    mutate(s);
+    Recorder r;
+    r.add(s);
+    return digest(r);
+  };
+  EXPECT_NE(digest_with([](Span& s) { s.lane = 9; }), ref_digest);
+  EXPECT_NE(digest_with([](Span& s) { s.app_id = 9; }), ref_digest);
+  EXPECT_NE(digest_with([](Span& s) { s.kind = SpanKind::Kernel; }),
+            ref_digest);
+  EXPECT_NE(digest_with([](Span& s) { s.name = "oops"; }), ref_digest);
+  EXPECT_NE(digest_with([](Span& s) { s.begin = 51; }), ref_digest);
+  EXPECT_NE(digest_with([](Span& s) { s.end = 91; }), ref_digest);
+}
+
+TEST(DigestTest, StableAcrossProcessRuns) {
+  // Pinned constant: the digest is part of the determinism contract, so a
+  // change to the hash or the span encoding must be deliberate and visible.
+  Recorder r;
+  r.add(make_span(0, 0, SpanKind::MemcpyHtoD, 0, 64, "in"));
+  r.add(make_span(0, 0, SpanKind::Kernel, 64, 128, "k"));
+  r.add(make_span(0, 0, SpanKind::MemcpyDtoH, 128, 160, "out"));
+  EXPECT_EQ(digest(r), 0x7dae9fc389d8afbdULL);
+}
+
 }  // namespace
 }  // namespace hq::trace
