@@ -6,9 +6,14 @@
 #include "bench/common.hpp"
 #include "hyperq/adaptive_scheduler.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hq;
   using namespace hq::bench;
+
+  // --jobs N evaluates each proposal round concurrently; the search
+  // trajectory (and this table) is identical at any job count.
+  const int jobs = parse_jobs(argc, argv);
+  exec::ThreadPool pool(jobs);
 
   print_header("Ablation",
                "adaptive schedule search vs the five canonical orders "
@@ -32,6 +37,9 @@ int main() {
       fw::AdaptiveScheduler::Options options;
       options.evaluation_budget = 25;
       options.seed = 7;
+      // batch stays 1: the greedy trajectory (and this table) is unchanged;
+      // the pool still evaluates the canonical-order phase concurrently.
+      options.pool = &pool;
       fw::AdaptiveScheduler scheduler(options);
       const int counts[] = {8, 8};
       const auto outcome = scheduler.optimize(counts, evaluate);

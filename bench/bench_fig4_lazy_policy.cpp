@@ -12,43 +12,59 @@
 #include "bench/common.hpp"
 #include "common/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hq;
   using namespace hq::bench;
 
+  const int jobs = parse_jobs(argc, argv);
   print_header("Figure 4",
                "heterogeneous workload speedup vs serialized execution "
                "(lazy resource utilization policy)");
+
+  // Flatten pairings x NA x {serial, half, full} into one run list.
+  struct Cell {
+    Pair pair;
+    int na;
+  };
+  std::vector<Cell> cells;
+  for (const Pair& pair : hetero_pairs()) {
+    for (int na : {4, 8, 16, 32}) cells.push_back({pair, na});
+  }
+  const auto results = run_indexed(jobs, cells.size() * 3, [&](std::size_t i) {
+    const Cell& c = cells[i / 3];
+    const int ns = i % 3 == 0 ? 1 : (i % 3 == 1 ? c.na / 2 : c.na);
+    return run_pair(c.pair, c.na, ns);
+  });
 
   RunningStats half_stats, full_stats;
   TextTable table;
   table.set_header({"pair", "NA", "serial(ms)", "half NS", "half(ms)",
                     "half impr", "full(ms)", "full impr"});
 
-  for (const Pair& pair : hetero_pairs()) {
-    for (int na : {4, 8, 16, 32}) {
-      const auto serial = run_pair(pair, na, 1);
-      const auto half = run_pair(pair, na, na / 2);
-      const auto full = run_pair(pair, na, na);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const Pair& pair = cells[c].pair;
+    const int na = cells[c].na;
+    const auto& serial = results[c * 3 + 0];
+    const auto& half = results[c * 3 + 1];
+    const auto& full = results[c * 3 + 2];
 
-      const double serial_ms = to_milliseconds(serial.makespan);
-      const double half_impr =
-          fw::improvement(static_cast<double>(serial.makespan),
-                          static_cast<double>(half.makespan));
-      const double full_impr =
-          fw::improvement(static_cast<double>(serial.makespan),
-                          static_cast<double>(full.makespan));
-      half_stats.add(half_impr);
-      full_stats.add(full_impr);
+    const double serial_ms = to_milliseconds(serial.makespan);
+    const double half_impr =
+        fw::improvement(static_cast<double>(serial.makespan),
+                        static_cast<double>(half.makespan));
+    const double full_impr =
+        fw::improvement(static_cast<double>(serial.makespan),
+                        static_cast<double>(full.makespan));
+    half_stats.add(half_impr);
+    full_stats.add(full_impr);
 
-      table.add_row({pair.label(), std::to_string(na),
-                     format_fixed(serial_ms, 2), std::to_string(na / 2),
-                     format_fixed(to_milliseconds(half.makespan), 2),
-                     format_percent(half_impr),
-                     format_fixed(to_milliseconds(full.makespan), 2),
-                     format_percent(full_impr)});
-    }
-    table.add_separator();
+    table.add_row({pair.label(), std::to_string(na),
+                   format_fixed(serial_ms, 2), std::to_string(na / 2),
+                   format_fixed(to_milliseconds(half.makespan), 2),
+                   format_percent(half_impr),
+                   format_fixed(to_milliseconds(full.makespan), 2),
+                   format_percent(full_impr)});
+    if (c % 4 == 3) table.add_separator();  // one group per pairing
   }
   std::printf("%s\n", table.render().c_str());
 

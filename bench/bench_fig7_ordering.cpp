@@ -11,13 +11,24 @@
 #include "bench/common.hpp"
 #include "common/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hq;
   using namespace hq::bench;
 
+  const int jobs = parse_jobs(argc, argv);
   print_header("Figure 7",
                "scheduling-order impact, default transfers, NS = NA = 32 "
                "(normalized to the worst order per pairing)");
+
+  // All 6 pairings x 5 orders are independent runs; fan them out and read
+  // the results back in enumeration order.
+  const std::vector<Pair> pairs = hetero_pairs();
+  constexpr std::size_t kOrders = std::size(fw::kAllOrders);
+  const auto results =
+      run_indexed(jobs, pairs.size() * kOrders, [&](std::size_t i) {
+        return run_pair(pairs[i / kOrders], 32, 32, fw::kAllOrders[i % kOrders],
+                        /*memory_sync=*/false);
+      });
 
   RunningStats order_effect;
   TextTable table;
@@ -26,11 +37,12 @@ int main() {
   header.push_back("best vs worst");
   table.set_header(header);
 
-  for (const Pair& pair : hetero_pairs()) {
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const Pair& pair = pairs[p];
     std::vector<double> makespans;
-    for (fw::Order order : fw::kAllOrders) {
-      const auto result = run_pair(pair, 32, 32, order, /*memory_sync=*/false);
-      makespans.push_back(static_cast<double>(result.makespan));
+    for (std::size_t k = 0; k < kOrders; ++k) {
+      makespans.push_back(
+          static_cast<double>(results[p * kOrders + k].makespan));
     }
     const double worst = *std::max_element(makespans.begin(), makespans.end());
     const double best = *std::min_element(makespans.begin(), makespans.end());

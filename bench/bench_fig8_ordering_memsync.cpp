@@ -10,13 +10,26 @@
 #include "bench/common.hpp"
 #include "common/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hq;
   using namespace hq::bench;
 
+  const int jobs = parse_jobs(argc, argv);
   print_header("Figure 8",
                "scheduling-order impact with memory synchronization, "
                "NS = NA = 32 (normalized to Figure 7's worst order)");
+
+  // Per pairing: 5 default-transfer baseline runs + 5 memory-sync runs.
+  const std::vector<Pair> pairs = hetero_pairs();
+  constexpr std::size_t kOrders = std::size(fw::kAllOrders);
+  const std::size_t per_pair = 2 * kOrders;
+  const auto results =
+      run_indexed(jobs, pairs.size() * per_pair, [&](std::size_t i) {
+        const std::size_t r = i % per_pair;
+        return run_pair(pairs[i / per_pair], 32, 32,
+                        fw::kAllOrders[r % kOrders],
+                        /*memory_sync=*/r >= kOrders);
+      });
 
   RunningStats effect_stats;
   double max_effect = 0.0;
@@ -26,18 +39,20 @@ int main() {
   header.push_back("best vs fig7 worst");
   table.set_header(header);
 
-  for (const Pair& pair : hetero_pairs()) {
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const Pair& pair = pairs[p];
     // Figure 7 baseline: worst default-transfer ordering.
     double fig7_worst = 0.0;
-    for (fw::Order order : fw::kAllOrders) {
-      const auto result = run_pair(pair, 32, 32, order, /*memory_sync=*/false);
-      fig7_worst = std::max(fig7_worst, static_cast<double>(result.makespan));
+    for (std::size_t k = 0; k < kOrders; ++k) {
+      fig7_worst = std::max(
+          fig7_worst,
+          static_cast<double>(results[p * per_pair + k].makespan));
     }
 
     std::vector<double> makespans;
-    for (fw::Order order : fw::kAllOrders) {
-      const auto result = run_pair(pair, 32, 32, order, /*memory_sync=*/true);
-      makespans.push_back(static_cast<double>(result.makespan));
+    for (std::size_t k = 0; k < kOrders; ++k) {
+      makespans.push_back(static_cast<double>(
+          results[p * per_pair + kOrders + k].makespan));
     }
     const double best = *std::min_element(makespans.begin(), makespans.end());
 

@@ -11,13 +11,25 @@
 #include "bench/common.hpp"
 #include "common/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hq;
   using namespace hq::bench;
 
+  const int jobs = parse_jobs(argc, argv);
   print_header("Headline summary",
                "abstract/Section V claims regenerated over all six pairings "
                "(NA = 32)");
+
+  // Per pairing: serialized, full-concurrent, and memory-sync runs.
+  const std::vector<Pair> pairs = hetero_pairs();
+  const auto results = run_indexed(jobs, pairs.size() * 3, [&](std::size_t i) {
+    const Pair& pair = pairs[i / 3];
+    switch (i % 3) {
+      case 0: return run_pair(pair, 32, 1);
+      case 1: return run_pair(pair, 32, 32);
+      default: return run_pair(pair, 32, 32, fw::Order::NaiveFifo, true);
+    }
+  });
 
   RunningStats perf_full, energy_full, energy_sync;
   double best_perf = 0, best_energy = 0, best_energy_sync = 0;
@@ -27,10 +39,11 @@ int main() {
   table.set_header({"pair", "serial", "full-concurrent", "perf impr",
                     "energy impr", "+memsync energy impr"});
 
-  for (const Pair& pair : hetero_pairs()) {
-    const auto serial = run_pair(pair, 32, 1);
-    const auto full = run_pair(pair, 32, 32);
-    const auto sync = run_pair(pair, 32, 32, fw::Order::NaiveFifo, true);
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const Pair& pair = pairs[p];
+    const auto& serial = results[p * 3 + 0];
+    const auto& full = results[p * 3 + 1];
+    const auto& sync = results[p * 3 + 2];
 
     const double perf = fw::improvement(static_cast<double>(serial.makespan),
                                         static_cast<double>(full.makespan));

@@ -1,0 +1,134 @@
+// bench_sweep — parallel experiment-engine benchmark and determinism proof.
+//
+// Runs a fixed 60-point grid (all six heterogeneous pairings x five launch
+// orders x default/memsync transfers at NA = NS = 16) twice: serially
+// (--jobs 1 baseline) and with the requested job count. Verifies that the
+// two aggregate reports are byte-identical and every trace digest matches,
+// then emits BENCH_sweep.json — the repo's machine-readable perf
+// trajectory record (wall time, runs/sec, speedup vs --jobs 1).
+//
+// Examples:
+//   bench_sweep                 # --jobs 0 = all hardware threads
+//   bench_sweep --jobs 8 --out BENCH_sweep.json
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
+#include "tools/cli.hpp"
+
+namespace {
+
+hq::exec::SweepGrid make_grid() {
+  using namespace hq;
+  exec::SweepGrid grid;
+  for (const auto& [x, y] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"gaussian", "nn"},   {"gaussian", "needle"}, {"gaussian", "srad"},
+           {"nn", "needle"},     {"nn", "srad"},         {"needle", "srad"}}) {
+    grid.app_sets.push_back({x, y});
+  }
+  grid.na = {16};
+  grid.ns = {16};
+  grid.orders.assign(std::begin(fw::kAllOrders), std::end(fw::kAllOrders));
+  grid.memory_sync = {false, true};
+  grid.seeds = {42};
+  grid.base.functional = false;
+  grid.base.sensor.noise_stddev = 0.0;
+  grid.base.sensor.quantization = 0.0;
+  return grid;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hq;
+  tools::ArgParser args;
+  args.add_option("jobs", "worker threads (0 = all hardware threads)", "0");
+  args.add_option("out", "JSON output path", "BENCH_sweep.json");
+  args.add_flag("help", "show this help");
+  if (!args.parse(argc, argv) || args.get_flag("help")) {
+    if (!args.error().empty()) {
+      std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    }
+    std::fprintf(stderr, "%s", args.usage("bench_sweep").c_str());
+    return args.get_flag("help") ? 0 : 2;
+  }
+  const auto jobs_arg = args.get_int("jobs");
+  if (!jobs_arg || *jobs_arg < 0) {
+    std::fprintf(stderr, "error: bad --jobs\n");
+    return 2;
+  }
+  const int jobs = *jobs_arg == 0 ? exec::ThreadPool::hardware_jobs()
+                                  : static_cast<int>(*jobs_arg);
+
+  const exec::SweepGrid grid = make_grid();
+  exec::SweepRunner runner;
+  const std::size_t runs = exec::SweepRunner::expand(grid).size();
+  std::printf("sweep: %zu runs, baseline --jobs 1 then --jobs %d\n", runs,
+              jobs);
+
+  const auto t_serial = std::chrono::steady_clock::now();
+  const auto serial = runner.run(grid, {.jobs = 1, .progress = {}});
+  const double wall_serial = seconds_since(t_serial);
+
+  const auto t_parallel = std::chrono::steady_clock::now();
+  const auto parallel = runner.run(grid, {.jobs = jobs, .progress = {}});
+  const double wall_parallel = seconds_since(t_parallel);
+
+  // Determinism proof: identical digests per point and identical aggregate
+  // report bytes, independent of the job count.
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].trace_digest == parallel[i].trace_digest &&
+                serial[i].makespan == parallel[i].makespan;
+  }
+  const std::string report_serial = exec::render_report(serial);
+  const std::string report_parallel = exec::render_report(parallel);
+  identical = identical && report_serial == report_parallel;
+
+  std::printf("%s", report_parallel.c_str());
+  const double speedup = wall_parallel > 0 ? wall_serial / wall_parallel : 0;
+  std::printf("\n--jobs 1: %.3f s (%.1f runs/s)   --jobs %d: %.3f s "
+              "(%.1f runs/s)   speedup %.2fx\n",
+              wall_serial, static_cast<double>(runs) / wall_serial, jobs,
+              wall_parallel, static_cast<double>(runs) / wall_parallel,
+              speedup);
+  std::printf("determinism across job counts: %s\n",
+              identical ? "byte-identical" : "MISMATCH");
+
+  const std::string out_path = args.get("out");
+  {
+    std::ostringstream digest;
+    digest << std::hex << exec::combined_digest(parallel);
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"bench\": \"sweep\",\n"
+        << "  \"grid\": {\"pairs\": " << grid.app_sets.size()
+        << ", \"orders\": " << grid.orders.size()
+        << ", \"memsync_modes\": " << grid.memory_sync.size()
+        << ", \"na\": " << grid.na[0] << ", \"ns\": " << grid.ns[0] << "},\n"
+        << "  \"runs\": " << runs << ",\n"
+        << "  \"jobs\": " << jobs << ",\n"
+        << "  \"wall_s_jobs1\": " << wall_serial << ",\n"
+        << "  \"wall_s_jobsN\": " << wall_parallel << ",\n"
+        << "  \"runs_per_s_jobs1\": "
+        << static_cast<double>(runs) / wall_serial << ",\n"
+        << "  \"runs_per_s_jobsN\": "
+        << static_cast<double>(runs) / wall_parallel << ",\n"
+        << "  \"speedup_vs_jobs1\": " << speedup << ",\n"
+        << "  \"deterministic\": " << (identical ? "true" : "false") << ",\n"
+        << "  \"combined_digest\": \"0x" << digest.str() << "\"\n"
+        << "}\n";
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return identical ? 0 : 1;
+}

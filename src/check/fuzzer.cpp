@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "exec/parallel.hpp"
 #include "trace/trace.hpp"
 
 namespace hq::check {
@@ -282,23 +283,56 @@ std::vector<std::string> Fuzzer::run_case(std::uint64_t case_seed,
 }
 
 FuzzReport Fuzzer::run(const Progress& progress) {
-  FuzzReport report;
+  // Case seeds derive from the master seed exactly as the serial loop drew
+  // them, so --jobs N fuzzes the same cases as --jobs 1.
   Rng master(options_.seed);
+  std::vector<std::uint64_t> case_seeds;
+  case_seeds.reserve(static_cast<std::size_t>(options_.iterations));
   for (int i = 0; i < options_.iterations; ++i) {
-    const std::uint64_t case_seed = master.next_u64();
+    case_seeds.push_back(master.next_u64());
+  }
+
+  struct CaseResult {
     std::string summary;
-    std::vector<std::string> problems = run_case(case_seed, &summary);
+    std::vector<std::string> problems;
+  };
+  const auto run_one = [&](std::size_t i) {
+    CaseResult r;
+    r.problems = run_case(case_seeds[i], &r.summary);
+    return r;
+  };
+
+  // Reduce and report in iteration order as results retire: the report and
+  // the progress sequence are byte-identical at any job count.
+  FuzzReport report;
+  const auto reduce = [&](std::size_t i, CaseResult r) {
     ++report.iterations_run;
-    const bool clean = problems.empty();
+    const bool clean = r.problems.empty();
     if (!clean) {
       FuzzFailure f;
-      f.iteration = i;
-      f.case_seed = case_seed;
-      f.case_summary = summary;
-      f.problems = std::move(problems);
+      f.iteration = static_cast<int>(i);
+      f.case_seed = case_seeds[i];
+      f.case_summary = r.summary;
+      f.problems = std::move(r.problems);
       report.failures.push_back(std::move(f));
     }
-    if (progress) progress(i, case_seed, summary, clean);
+    if (progress) progress(static_cast<int>(i), case_seeds[i], r.summary, clean);
+  };
+
+  const int jobs =
+      options_.jobs == 0 ? exec::ThreadPool::hardware_jobs() : options_.jobs;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < case_seeds.size(); ++i) reduce(i, run_one(i));
+  } else {
+    exec::ThreadPool pool(jobs);
+    std::vector<exec::Future<CaseResult>> futures;
+    futures.reserve(case_seeds.size());
+    for (std::size_t i = 0; i < case_seeds.size(); ++i) {
+      futures.push_back(pool.submit([&run_one, i] { return run_one(i); }));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      reduce(i, futures[i].get());
+    }
   }
   return report;
 }

@@ -59,6 +59,11 @@ struct FuzzOptions {
   /// Master seed; per-iteration case seeds derive from it.
   std::uint64_t seed = 1;
   int iterations = 100;
+  /// Worker threads for the iteration loop; 1 = serial, 0 = all hardware
+  /// threads. Case seeds, the report, and the progress-callback sequence
+  /// are identical at any job count (cases are generated from the master
+  /// seed up front and reported in iteration order).
+  int jobs = 1;
 };
 
 struct FuzzFailure {

@@ -1,11 +1,15 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <iostream>
 
 namespace hq {
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+// Atomic: worker threads of a parallel sweep may log while the main thread
+// adjusts verbosity. Relaxed is enough — the level is advisory, not a
+// synchronization point.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,13 +25,24 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
-  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+  // Assemble the line first and write it with a single stream insertion so
+  // concurrent log calls from pool workers cannot interleave mid-line.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::cerr << line;
 }
 
 }  // namespace detail

@@ -1,8 +1,10 @@
 // Minimal leveled logger.
 //
-// The simulator is deterministic and single-threaded, so the logger is
-// intentionally simple: a process-wide level and a stderr sink. Benches and
-// examples raise the level for narrative output; tests keep it at Warn.
+// Each simulation run is deterministic and single-threaded, so the logger
+// is intentionally simple: a process-wide level and a stderr sink. Benches
+// and examples raise the level for narrative output; tests keep it at Warn.
+// The level is atomic and each emit is a single stream write, so logging
+// from hq_exec pool workers is race-free (lines never interleave).
 #pragma once
 
 #include <sstream>

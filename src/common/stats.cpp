@@ -21,20 +21,45 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. pairwise combination of Welford accumulators; merging
+  // per-shard stats in a fixed order reproduces the serial fold exactly
+  // enough for reporting (and bit-exactly for count/sum/min/max).
+  const double n_a = static_cast<double>(count_);
+  const double n_b = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n_a + n_b;
+  m2_ += other.m2_ + delta * delta * n_a * n_b / n;
+  mean_ += delta * n_b / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
 double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
 double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
 
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_ - 1);
+  // m2_ can drift a hair below zero from floating-point cancellation on
+  // near-constant series; clamp so stddev() never returns NaN.
+  return std::max(0.0, m2_ / static_cast<double>(count_ - 1));
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
+  // Validate p before the size short-circuits so misuse (p out of range or
+  // NaN) is caught on every input, including empty and single-sample ones.
   HQ_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) return samples.front();
   const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);

@@ -12,6 +12,12 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds another accumulator into this one (Chan et al. parallel
+  /// combination), as if every sample of `other` had been add()ed here.
+  /// Lets per-shard statistics from a parallel sweep be reduced in
+  /// deterministic submission order.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return count_; }
   double mean() const;
   double min() const;
@@ -30,8 +36,8 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
-/// Linear-interpolated percentile of a sample set; p in [0, 100].
-/// Returns 0 for an empty sample.
+/// Linear-interpolated percentile of a sample set; p in [0, 100] (checked
+/// on every call, including empty inputs). Returns 0 for an empty sample.
 double percentile(std::vector<double> samples, double p);
 
 /// Trapezoidal integral of a sampled series of (x, y) points, in x order.

@@ -1,0 +1,116 @@
+// Typed job results for the hq_exec engine.
+//
+// A Future<T> is the read side of one submitted job. The shared state is
+// settled exactly once, with a value, an exception, or a cancellation mark
+// (jobs discarded from the queue before they ever ran). get() blocks until
+// the state settles and then either returns the value, rethrows the job's
+// exception, or throws CancelledError.
+//
+// Unlike std::future, the state is freely copyable (shared), get() may be
+// called repeatedly, and cancellation is a first-class outcome — the three
+// properties the deterministic sweep machinery needs.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace hq::exec {
+
+/// Thrown by Future::get() when the job was discarded before execution
+/// (ThreadPool::cancel_pending or pool destruction with work still queued).
+class CancelledError : public Error {
+ public:
+  CancelledError() : Error("hq::exec job cancelled before execution") {}
+};
+
+namespace detail {
+
+template <typename T>
+struct SharedState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<T> value;
+  std::exception_ptr error;
+  bool cancelled = false;
+
+  bool settled_locked() const {
+    return value.has_value() || error != nullptr || cancelled;
+  }
+
+  void set_value(T v) {
+    {
+      std::lock_guard lock(mutex);
+      HQ_CHECK(!settled_locked());
+      value.emplace(std::move(v));
+    }
+    cv.notify_all();
+  }
+
+  void set_error(std::exception_ptr e) {
+    {
+      std::lock_guard lock(mutex);
+      HQ_CHECK(!settled_locked());
+      error = std::move(e);
+    }
+    cv.notify_all();
+  }
+
+  void set_cancelled() {
+    {
+      std::lock_guard lock(mutex);
+      HQ_CHECK(!settled_locked());
+      cancelled = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+/// Handle to one job's eventual result. Default-constructed futures are
+/// invalid; futures returned by ThreadPool::submit are always valid.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::SharedState<T>> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the job finished, failed, or was cancelled. Non-blocking.
+  bool ready() const {
+    HQ_CHECK(valid());
+    std::lock_guard lock(state_->mutex);
+    return state_->settled_locked();
+  }
+
+  /// Blocks until the state settles. Never throws the job's exception.
+  void wait() const {
+    HQ_CHECK(valid());
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->settled_locked(); });
+  }
+
+  /// Blocks, then returns a copy of the value, rethrows the job's exception,
+  /// or throws CancelledError. May be called more than once.
+  T get() const {
+    HQ_CHECK(valid());
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->settled_locked(); });
+    if (state_->cancelled) throw CancelledError();
+    if (state_->error) std::rethrow_exception(state_->error);
+    return *state_->value;
+  }
+
+ private:
+  std::shared_ptr<detail::SharedState<T>> state_;
+};
+
+}  // namespace hq::exec

@@ -1,0 +1,51 @@
+// Deterministic fan-out helpers on top of ThreadPool.
+//
+// parallel_map is the workhorse used by the sweep runner, the fuzzer, and
+// the figure benches: it evaluates fn(0..count-1) with bounded concurrency
+// and returns the results **in index order**, so anything folded over the
+// result vector is byte-identical no matter how many threads ran.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace hq::exec {
+
+/// Evaluates fn(i) for i in [0, count) and returns the results indexed by i.
+/// A null pool runs serially inline. If any invocation throws, the exception
+/// for the **lowest** index is rethrown (after every job has settled), so
+/// failure behaviour is deterministic too.
+template <typename Fn>
+auto parallel_map(ThreadPool* pool, std::size_t count, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<R> out;
+  out.reserve(count);
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) out.push_back(fn(i));
+    return out;
+  }
+  std::vector<Future<R>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool->submit([&fn, i] { return fn(i); }));
+  }
+  // Settle everything first so an early rethrow can't unwind past jobs that
+  // still reference fn.
+  for (const Future<R>& f : futures) f.wait();
+  for (const Future<R>& f : futures) out.push_back(f.get());
+  return out;
+}
+
+/// parallel_map with an ad-hoc pool of `jobs` workers (1 = serial inline).
+template <typename Fn>
+auto parallel_map_jobs(int jobs, std::size_t count, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  if (jobs <= 1) return parallel_map(nullptr, count, std::forward<Fn>(fn));
+  ThreadPool pool(jobs);
+  return parallel_map(&pool, count, std::forward<Fn>(fn));
+}
+
+}  // namespace hq::exec

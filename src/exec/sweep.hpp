@@ -1,0 +1,120 @@
+// Declarative experiment sweeps (library hq_sweep).
+//
+// A SweepGrid names the axes of an experiment — application sets x NA x NS
+// x launch order x memory-sync x shuffle seed — and SweepRunner fans the
+// cross product out over a thread pool, each point an independent
+// Harness::run. The determinism contract:
+//
+//   * expand() enumerates points in fixed row-major axis order, assigning
+//     each a submission index;
+//   * results are returned (and the progress callback fired) in submission
+//     index order, never completion order;
+//   * each point's simulation is seeded only by its own grid coordinates;
+//
+// so the outcome vector, every digest in it, and any report rendered from
+// it are byte-identical at any `jobs` count. Proven by tests/exec and
+// re-checked on every bench_sweep run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hyperq/harness.hpp"
+#include "hyperq/schedule.hpp"
+#include "rodinia/registry.hpp"
+
+namespace hq::exec {
+
+/// Axes of a sweep. The cross product of all vectors is run; every vector
+/// must be non-empty.
+struct SweepGrid {
+  /// Each entry is one workload mix: 1+ registered application type names.
+  /// NA instances are split evenly across the entry's types (remainder to
+  /// the later types, matching the figure benches).
+  std::vector<std::vector<std::string>> app_sets;
+  std::vector<int> na = {8};
+  std::vector<int> ns = {8};
+  std::vector<fw::Order> orders = {fw::Order::NaiveFifo};
+  std::vector<bool> memory_sync = {false};
+  /// Shuffle seeds (only Order::RandomShuffle consumes them, but every
+  /// point is keyed by one for uniform labelling).
+  std::vector<std::uint64_t> seeds = {42};
+
+  /// Template for per-point harness configs; num_streams and memory_sync
+  /// are overwritten from the point's coordinates.
+  fw::HarnessConfig base;
+  /// Application parameters, shared by every type in every set.
+  rodinia::AppParams params;
+};
+
+/// One point of the cross product, with its deterministic submission index.
+struct SweepPoint {
+  std::size_t index = 0;
+  std::vector<std::string> apps;
+  int na = 0;
+  int ns = 0;
+  fw::Order order = fw::Order::NaiveFifo;
+  bool memory_sync = false;
+  std::uint64_t seed = 0;
+
+  /// Instance counts per app type (even split, remainder to later types).
+  std::vector<int> counts() const;
+  /// Compact human-readable coordinates, e.g. "gaussian+nn na=8 ns=4 ...".
+  std::string label() const;
+};
+
+/// Scalar results of one point — everything the aggregate reports need,
+/// with the heavyweight trace reduced to its digest inside the worker.
+struct SweepOutcome {
+  SweepPoint point;
+  DurationNs makespan = 0;
+  Joules energy_exact = 0;
+  Watts average_power = 0;
+  Watts peak_power = 0;
+  double average_occupancy = 0;
+  std::uint64_t trace_digest = 0;
+  bool all_verified = true;
+};
+
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads; 1 = serial (no pool), 0 = ThreadPool::hardware_jobs().
+    int jobs = 1;
+    /// Fired once per point **in submission order** with (outcome, done,
+    /// total); `done` counts points reported so far, including this one.
+    std::function<void(const SweepOutcome&, std::size_t, std::size_t)>
+        progress;
+  };
+
+  /// Enumerates the grid's cross product in row-major order (app_sets
+  /// outermost, seeds innermost).
+  static std::vector<SweepPoint> expand(const SweepGrid& grid);
+
+  /// Runs one point: builds the schedule and workload from the point's
+  /// coordinates and executes a fresh harness. Thread-safe.
+  static SweepOutcome run_point(const SweepGrid& grid, const SweepPoint& point);
+
+  /// Runs the whole grid with bounded concurrency; outcomes are indexed by
+  /// submission order.
+  std::vector<SweepOutcome> run(const SweepGrid& grid,
+                                const Options& options) const;
+  /// Serial convenience overload (jobs = 1, no progress callback).
+  std::vector<SweepOutcome> run(const SweepGrid& grid) const {
+    return run(grid, Options{});
+  }
+};
+
+/// Order-insensitive-input, order-fixed-output 64-bit digest over the
+/// outcome vector (digests + makespans + energies, in index order). Equal
+/// digests across job counts are the cheap byte-identity witness.
+std::uint64_t combined_digest(std::span<const SweepOutcome> outcomes);
+
+/// Renders the deterministic aggregate table + summary footer. Two sweeps
+/// of the same grid must produce byte-identical reports at any job count.
+std::string render_report(std::span<const SweepOutcome> outcomes);
+
+}  // namespace hq::exec

@@ -1,0 +1,76 @@
+#include "exec/thread_pool.hpp"
+
+namespace hq::exec {
+
+int ThreadPool::hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  HQ_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  cancel_pending();
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(QueuedJob job) {
+  {
+    std::lock_guard lock(mutex_);
+    HQ_CHECK_MSG(!shutting_down_, "submit() on a shutting-down pool");
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::cancel_pending() {
+  std::deque<QueuedJob> abandoned;
+  {
+    std::lock_guard lock(mutex_);
+    abandoned.swap(queue_);
+  }
+  // Settle the futures outside the lock; get() waiters wake immediately.
+  for (QueuedJob& job : abandoned) job.abandon();
+  idle_cv_.notify_all();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    QueuedJob job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    // Count the pickup before running: observers that synchronize on the
+    // job's future must not see a stale count after get() returns.
+    executed_.fetch_add(1);
+    job.run();  // never throws: submit() wraps the callable in a try/catch
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace hq::exec

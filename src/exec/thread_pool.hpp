@@ -1,0 +1,96 @@
+// Bounded-concurrency job engine (library hq_exec).
+//
+// Every figure sweep, fuzz iteration, and adaptive-scheduler probe in this
+// repo is an independent, fully deterministic Harness::run; the pool fans
+// those runs out over OS threads. Determinism is preserved by a single rule
+// enforced by the callers (parallel_map, SweepRunner, Fuzzer): results are
+// keyed by submission index, never by completion order, so any aggregate
+// built from them is byte-identical at any thread count.
+//
+// The pool itself is a fixed set of workers pulling from one FIFO queue —
+// jobs here are whole simulations (milliseconds to seconds), so queue
+// contention is irrelevant and a work-stealing deque would buy nothing.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "exec/future.hpp"
+
+namespace hq::exec {
+
+class ThreadPool {
+ public:
+  /// Usable hardware parallelism; at least 1 even when the runtime cannot
+  /// tell (std::thread::hardware_concurrency() may return 0).
+  static int hardware_jobs();
+
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(int threads);
+
+  /// Cancels all queued-but-unstarted jobs, then joins the workers. Jobs
+  /// already executing run to completion.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues fn for execution and returns the Future observing it. fn must
+  /// be invocable with no arguments and return non-void.
+  template <typename F>
+  auto submit(F&& fn) -> Future<std::invoke_result_t<std::decay_t<F>&>> {
+    using R = std::invoke_result_t<std::decay_t<F>&>;
+    static_assert(!std::is_void_v<R>,
+                  "submit() needs a value-returning job; return a small "
+                  "struct or a bool for effect-only work");
+    auto state = std::make_shared<detail::SharedState<R>>();
+    enqueue(QueuedJob{
+        [state, fn = std::forward<F>(fn)]() mutable {
+          try {
+            state->set_value(fn());
+          } catch (...) {
+            state->set_error(std::current_exception());
+          }
+        },
+        [state] { state->set_cancelled(); }});
+    return Future<R>(state);
+  }
+
+  /// Discards every queued job that no worker has started; their futures
+  /// throw CancelledError from get(). In-flight jobs are unaffected.
+  void cancel_pending();
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Jobs a worker has picked up for execution since startup (cancelled
+  /// jobs never count). Incremented before the job runs, so once a job's
+  /// future is ready its pickup is already visible here.
+  std::size_t jobs_executed() const { return executed_.load(); }
+
+ private:
+  struct QueuedJob {
+    std::function<void()> run;
+    std::function<void()> abandon;  ///< settles the future as cancelled
+  };
+
+  void enqueue(QueuedJob job);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;        ///< wakes workers
+  std::condition_variable idle_cv_;   ///< wakes wait_idle
+  std::deque<QueuedJob> queue_;
+  int active_ = 0;                    ///< jobs currently executing
+  bool shutting_down_ = false;
+  std::atomic<std::size_t> executed_{0};
+  std::vector<std::thread> workers_;  ///< last member: started after state
+};
+
+}  // namespace hq::exec

@@ -1,55 +1,100 @@
 #include "hyperq/adaptive_scheduler.hpp"
 
 #include "common/check.hpp"
+#include "exec/parallel.hpp"
 
 namespace hq::fw {
+
+namespace {
+
+/// Scores each candidate, concurrently when a pool is given. The returned
+/// vector is indexed by candidate, so downstream reduction order — and with
+/// it the whole search trajectory — is independent of the thread count.
+std::vector<double> evaluate_all(
+    const std::vector<std::vector<Slot>>& candidates,
+    const AdaptiveScheduler::Evaluator& evaluate, exec::ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || candidates.size() <= 1) {
+    std::vector<double> scores;
+    scores.reserve(candidates.size());
+    for (const auto& c : candidates) scores.push_back(evaluate(c));
+    return scores;
+  }
+  return exec::parallel_map(pool, candidates.size(), [&](std::size_t i) {
+    return evaluate(candidates[i]);
+  });
+}
+
+}  // namespace
 
 AdaptiveScheduler::Outcome AdaptiveScheduler::optimize(
     std::span<const int> counts, const Evaluator& evaluate) {
   HQ_CHECK(evaluate != nullptr);
   HQ_CHECK_MSG(options_.evaluation_budget >= 5,
                "budget must cover the five canonical orders");
+  HQ_CHECK_MSG(options_.proposal_batch >= 1, "proposal batch must be >= 1");
 
   Rng rng(options_.seed);
   Outcome outcome;
 
-  // Phase 1: the paper's five canonical orders.
-  bool first = true;
+  // Phase 1: the paper's five canonical orders. Schedules are generated
+  // serially (fixed RNG consumption), scored possibly in parallel, and
+  // reduced in the canonical presentation order.
+  std::vector<std::vector<Slot>> canonical;
+  canonical.reserve(std::size(kAllOrders));
   for (Order order : kAllOrders) {
-    auto schedule = make_schedule(order, counts, &rng);
-    const double score = evaluate(schedule);
+    canonical.push_back(make_schedule(order, counts, &rng));
+  }
+  const std::vector<double> canonical_scores =
+      evaluate_all(canonical, evaluate, options_.pool);
+  for (std::size_t k = 0; k < canonical.size(); ++k) {
+    const double score = canonical_scores[k];
     ++outcome.evaluations;
-    if (first || score < outcome.best_score) {
+    if (k == 0 || score < outcome.best_score) {
       outcome.best_score = score;
-      outcome.best_schedule = schedule;
+      outcome.best_schedule = canonical[k];
     }
-    if (first || score < outcome.best_canonical_score) {
+    if (k == 0 || score < outcome.best_canonical_score) {
       outcome.best_canonical_score = score;
-      outcome.best_canonical = order;
+      outcome.best_canonical = kAllOrders[k];
     }
-    first = false;
     outcome.history.push_back(outcome.best_score);
   }
 
-  // Phase 2: pairwise-swap hill climbing from the incumbent.
-  std::vector<Slot> candidate = outcome.best_schedule;
+  // Phase 2: pairwise-swap hill climbing from the incumbent, in rounds of
+  // `proposal_batch` speculative swaps. All proposals of a round derive
+  // from the same incumbent (two RNG draws each, consumed up front), the
+  // round is scored, and acceptance scans it in submission order — so the
+  // trajectory never depends on evaluation concurrency.
+  std::vector<Slot> incumbent = outcome.best_schedule;
   while (outcome.evaluations < options_.evaluation_budget &&
-         candidate.size() >= 2) {
-    const std::size_t i = static_cast<std::size_t>(
-        rng.next_below(candidate.size()));
-    std::size_t j = static_cast<std::size_t>(rng.next_below(candidate.size()));
-    if (i == j) j = (j + 1) % candidate.size();
-    std::swap(candidate[i], candidate[j]);
+         incumbent.size() >= 2) {
+    const int remaining = options_.evaluation_budget - outcome.evaluations;
+    const int round = std::min(options_.proposal_batch, remaining);
 
-    const double score = evaluate(candidate);
-    ++outcome.evaluations;
-    if (score < outcome.best_score) {
-      outcome.best_score = score;
-      outcome.best_schedule = candidate;
-    } else {
-      std::swap(candidate[i], candidate[j]);  // revert
+    std::vector<std::vector<Slot>> proposals;
+    proposals.reserve(static_cast<std::size_t>(round));
+    for (int p = 0; p < round; ++p) {
+      const std::size_t i =
+          static_cast<std::size_t>(rng.next_below(incumbent.size()));
+      std::size_t j =
+          static_cast<std::size_t>(rng.next_below(incumbent.size()));
+      if (i == j) j = (j + 1) % incumbent.size();
+      std::vector<Slot> candidate = incumbent;
+      std::swap(candidate[i], candidate[j]);
+      proposals.push_back(std::move(candidate));
     }
-    outcome.history.push_back(outcome.best_score);
+
+    const std::vector<double> scores =
+        evaluate_all(proposals, evaluate, options_.pool);
+    for (std::size_t p = 0; p < proposals.size(); ++p) {
+      ++outcome.evaluations;
+      if (scores[p] < outcome.best_score) {
+        outcome.best_score = scores[p];
+        outcome.best_schedule = proposals[p];
+      }
+      outcome.history.push_back(outcome.best_score);
+    }
+    incumbent = outcome.best_schedule;
   }
   return outcome;
 }

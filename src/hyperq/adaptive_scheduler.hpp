@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "exec/thread_pool.hpp"
 #include "hyperq/schedule.hpp"
 
 namespace hq::fw {
@@ -28,6 +29,17 @@ class AdaptiveScheduler {
     /// always scored first).
     int evaluation_budget = 25;
     std::uint64_t seed = 1;
+    /// Number of swap proposals generated per hill-climbing round. Every
+    /// proposal in a round derives from the same incumbent, so rounds can be
+    /// evaluated concurrently; acceptance scans the round in submission
+    /// order. The search trajectory depends on (seed, budget, batch) only —
+    /// never on the thread count. batch == 1 is the paper's serial greedy
+    /// climb, bit for bit.
+    int proposal_batch = 1;
+    /// Evaluates canonical orders and proposal rounds concurrently when set
+    /// (the evaluator must then be thread-safe — a fresh Harness::run is).
+    /// Null = serial evaluation. Results are identical either way.
+    exec::ThreadPool* pool = nullptr;
   };
 
   /// Scores a schedule; lower is better (e.g. makespan in ns, energy in J).

@@ -50,8 +50,77 @@ TEST(RunningStatsTest, NegativeValues) {
   EXPECT_DOUBLE_EQ(s.max(), 5.0);
 }
 
+TEST(RunningStatsTest, StddevNeverNaNOnNearConstantSeries) {
+  // Welford's m2 can drift below zero by cancellation on near-constant
+  // input; variance() clamps so stddev() stays a number.
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(0.1 + 1e-17 * (i % 2));
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev()));
+}
+
+TEST(RunningStatsTest, MergeMatchesSequentialFold) {
+  RunningStats all, a, b;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (int i = 0; i < 8; ++i) {
+    all.add(xs[i]);
+    (i < 3 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEdgeCasesEmptyAndSingle) {
+  // Empty <- empty, empty <- single, single <- empty, single <- single:
+  // exactly the shard shapes a parallel sweep reduction produces.
+  RunningStats empty1, empty2;
+  empty1.merge(empty2);
+  EXPECT_EQ(empty1.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty1.mean(), 0.0);
+
+  RunningStats single;
+  single.add(3.0);
+  RunningStats target;
+  target.merge(single);  // empty <- single
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(target.variance(), 0.0);
+
+  target.merge(empty2);  // unchanged by empty
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.mean(), 3.0);
+
+  RunningStats other;
+  other.add(5.0);
+  target.merge(other);  // single <- single
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(target.min(), 3.0);
+  EXPECT_DOUBLE_EQ(target.max(), 5.0);
+  EXPECT_NEAR(target.variance(), 2.0, 1e-12);
+}
+
 TEST(PercentileTest, EmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
+}
+
+TEST(PercentileTest, OutOfRangePIsCheckedEvenForEmptyAndSingleInputs) {
+  // Regression: the range check used to sit after the empty short-circuit,
+  // so percentile({}, -5) silently returned 0 instead of flagging misuse.
+  EXPECT_THROW(percentile({}, -5), Error);
+  EXPECT_THROW(percentile({}, 200), Error);
+  EXPECT_THROW(percentile({7.0}, -0.001), Error);
+  EXPECT_THROW(percentile({7.0}, 100.001), Error);
+  const double nan = std::nan("");
+  EXPECT_THROW(percentile({}, nan), Error);
+  EXPECT_THROW(percentile({1.0, 2.0}, nan), Error);
 }
 
 TEST(PercentileTest, SingleSample) {

@@ -1,0 +1,211 @@
+// hq_exec engine tests: typed futures, bounded concurrency, cancellation,
+// deterministic index-ordered fan-out.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/check.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace hq::exec {
+namespace {
+
+TEST(FutureTest, DefaultConstructedIsInvalid) {
+  Future<int> f;
+  EXPECT_FALSE(f.valid());
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(ThreadPoolTest, GetMayBeCalledRepeatedly) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { return std::string("twice"); });
+  EXPECT_EQ(f.get(), "twice");
+  EXPECT_EQ(f.get(), "twice");
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughGet) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(
+      {
+        try {
+          f.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, RunsManyMoreJobsThanWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<Future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i, &sum] {
+      sum.fetch_add(1);
+      return i;
+    }));
+  }
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(futures[i].get(), i);
+  EXPECT_EQ(sum.load(), 200);
+  EXPECT_EQ(pool.jobs_executed(), 200u);
+}
+
+TEST(ThreadPoolTest, HardwareJobsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_jobs(), 1);
+}
+
+TEST(ThreadPoolTest, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), Error);
+}
+
+TEST(ThreadPoolTest, CancelPendingDiscardsQueuedJobs) {
+  // One worker pinned on a gate; everything queued behind it must be
+  // discarded by cancel_pending and its futures must throw CancelledError.
+  ThreadPool pool(1);
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  bool started = false;
+
+  auto gate = pool.submit([&] {
+    std::unique_lock lock(m);
+    started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+    return 1;
+  });
+  {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return started; });
+  }
+
+  std::vector<Future<int>> doomed;
+  for (int i = 0; i < 5; ++i) {
+    doomed.push_back(pool.submit([] { return 2; }));
+  }
+  pool.cancel_pending();
+  {
+    std::lock_guard lock(m);
+    release = true;
+  }
+  cv.notify_all();
+
+  EXPECT_EQ(gate.get(), 1);  // in-flight job unaffected
+  for (auto& f : doomed) EXPECT_THROW(f.get(), CancelledError);
+  EXPECT_EQ(pool.jobs_executed(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorCancelsQueuedJobsButFinishesRunningOne) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  bool started = false;
+  Future<int> running;
+  Future<int> queued;
+  {
+    ThreadPool pool(1);
+    running = pool.submit([&] {
+      std::unique_lock lock(m);
+      started = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+      return 7;
+    });
+    {
+      std::unique_lock lock(m);
+      cv.wait(lock, [&] { return started; });
+    }
+    queued = pool.submit([] { return 8; });
+    {
+      std::lock_guard lock(m);
+      release = true;
+    }
+    cv.notify_all();
+  }  // ~ThreadPool: cancels `queued` (if unstarted), joins `running`
+  EXPECT_EQ(running.get(), 7);
+  try {
+    // Depending on timing the worker may have dequeued it before shutdown;
+    // both a value and a cancellation are legal, a hang or crash is not.
+    EXPECT_EQ(queued.get(), 8);
+  } catch (const CancelledError&) {
+  }
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilQueueDrains) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    (void)pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return ++done;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ParallelMapTest, PreservesIndexOrder) {
+  ThreadPool pool(4);
+  // Stagger completions so later indices often finish first.
+  const auto out = parallel_map(&pool, 50, [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds((50 - i) * 20));
+    return i * i;
+  });
+  ASSERT_EQ(out.size(), 50u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMapTest, NullPoolRunsSerially) {
+  std::vector<std::size_t> visit_order;
+  const auto out = parallel_map(nullptr, 5, [&](std::size_t i) {
+    visit_order.push_back(i);
+    return i + 1;
+  });
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(visit_order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelMapTest, RethrowsLowestIndexFailure) {
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      (void)parallel_map(&pool, 20, [](std::size_t i) -> int {
+        if (i == 3 || i == 17) {
+          throw std::runtime_error("fail@" + std::to_string(i));
+        }
+        return 0;
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail@3");
+    }
+  }
+}
+
+TEST(ParallelMapJobsTest, SameResultAtAnyJobCount) {
+  auto fn = [](std::size_t i) { return 1000 + i * 7; };
+  const auto serial = parallel_map_jobs(1, 40, fn);
+  const auto two = parallel_map_jobs(2, 40, fn);
+  const auto oversubscribed =
+      parallel_map_jobs(4 * ThreadPool::hardware_jobs(), 40, fn);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, oversubscribed);
+}
+
+}  // namespace
+}  // namespace hq::exec

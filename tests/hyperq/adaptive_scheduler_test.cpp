@@ -122,6 +122,61 @@ TEST(AdaptiveSchedulerTest, BestScheduleIsValidPermutation) {
   EXPECT_EQ(instances[1].size(), 7u);
 }
 
+TEST(AdaptiveSchedulerTest, PooledSearchMatchesSerialSearch) {
+  // The trajectory depends on (seed, budget, proposal_batch) only — never
+  // on whether a pool evaluates the rounds, nor on its thread count.
+  auto objective = [](const std::vector<Slot>& schedule) -> double {
+    double score = 0;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      score += static_cast<double>(schedule[i].type * 17 + schedule[i].instance) *
+               static_cast<double>(i % 5);
+    }
+    return score + adjacency_penalty(schedule);
+  };
+  const int counts[] = {6, 6};
+  for (const int batch : {1, 4}) {
+    AdaptiveScheduler::Options options;
+    options.evaluation_budget = 45;
+    options.seed = 11;
+    options.proposal_batch = batch;
+    const auto serial = AdaptiveScheduler(options).optimize(counts, objective);
+
+    for (const int threads : {2, 8}) {
+      exec::ThreadPool pool(threads);
+      options.pool = &pool;
+      const auto pooled =
+          AdaptiveScheduler(options).optimize(counts, objective);
+      EXPECT_EQ(pooled.best_schedule, serial.best_schedule)
+          << "batch=" << batch << " threads=" << threads;
+      EXPECT_DOUBLE_EQ(pooled.best_score, serial.best_score);
+      EXPECT_EQ(pooled.evaluations, serial.evaluations);
+      EXPECT_EQ(pooled.history, serial.history);
+      EXPECT_EQ(pooled.best_canonical, serial.best_canonical);
+    }
+  }
+}
+
+TEST(AdaptiveSchedulerTest, BatchOneIsTheSerialGreedyClimb) {
+  // proposal_batch = 1 must reproduce the original serial algorithm bit for
+  // bit: same RNG consumption, same acceptances, same history.
+  auto objective = [](const std::vector<Slot>& schedule) -> double {
+    return adjacency_penalty(schedule) +
+           static_cast<double>(schedule.front().type);
+  };
+  const int counts[] = {5, 5};
+  AdaptiveScheduler::Options defaults;
+  defaults.evaluation_budget = 30;
+  defaults.seed = 4;
+  const auto reference = AdaptiveScheduler(defaults).optimize(counts, objective);
+
+  AdaptiveScheduler::Options explicit_batch = defaults;
+  explicit_batch.proposal_batch = 1;
+  const auto batched =
+      AdaptiveScheduler(explicit_batch).optimize(counts, objective);
+  EXPECT_EQ(batched.best_schedule, reference.best_schedule);
+  EXPECT_EQ(batched.history, reference.history);
+}
+
 TEST(AdaptiveSchedulerTest, TooSmallBudgetThrows) {
   AdaptiveScheduler::Options options;
   options.evaluation_budget = 3;

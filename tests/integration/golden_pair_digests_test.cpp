@@ -1,0 +1,71 @@
+// Pinned trace digests for every heterogeneous application pair at the
+// paper's full concurrency point (NA = NS = 32), with and without the
+// memory-sync transfer mode. One constant per (pair, mode); any change to
+// application op streams, device timing, or schedule expansion moves at
+// least one of them. Update the table only for intentional model changes
+// (and say so in the commit message).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "trace/trace.hpp"
+
+namespace hq {
+namespace {
+
+struct GoldenPair {
+  const char* x;
+  const char* y;
+  std::uint64_t default_digest;
+  std::uint64_t memsync_digest;
+};
+
+// NA=NS=32, NaiveFifo, seed 42, timing config — the bench::run_pair recipe.
+constexpr GoldenPair kGolden[] = {
+    {"gaussian", "nn", 0x33946b992e936468ULL, 0x01698b9bea03da5eULL},
+    {"gaussian", "needle", 0xab8e3d89e059dab0ULL, 0x33c2201895dca60cULL},
+    {"gaussian", "srad", 0xb9002409b18c5af6ULL, 0x67e0c6c5040fb398ULL},
+    {"nn", "needle", 0xd8ee0dbb27553fc0ULL, 0xc9e8663a16f64c23ULL},
+    {"nn", "srad", 0x1758d88002996a1fULL, 0x43a48f5f67982ab8ULL},
+    {"needle", "srad", 0x34b0f4e33d596379ULL, 0x3f080a982f6eb060ULL},
+};
+
+std::uint64_t digest_for(const bench::Pair& pair, bool memory_sync) {
+  const auto result = bench::run_pair(pair, 32, 32, fw::Order::NaiveFifo,
+                                      memory_sync);
+  return trace::digest(*result.trace);
+}
+
+TEST(GoldenPairDigestsTest, AllSixPairsDefaultMode) {
+  for (const GoldenPair& g : kGolden) {
+    EXPECT_EQ(digest_for({g.x, g.y}, false), g.default_digest)
+        << "{" << g.x << ", " << g.y << "} default";
+  }
+}
+
+TEST(GoldenPairDigestsTest, AllSixPairsMemorySyncMode) {
+  for (const GoldenPair& g : kGolden) {
+    EXPECT_EQ(digest_for({g.x, g.y}, true), g.memsync_digest)
+        << "{" << g.x << ", " << g.y << "} memsync";
+  }
+}
+
+TEST(GoldenPairDigestsTest, ModesAndPairsAreDistinguishable) {
+  // The 12 golden digests must be pairwise distinct: if two scenarios ever
+  // hash alike, the digest has stopped discriminating and the table above
+  // is no longer a meaningful fingerprint.
+  std::vector<std::uint64_t> all;
+  for (const GoldenPair& g : kGolden) {
+    all.push_back(g.default_digest);
+    all.push_back(g.memsync_digest);
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end())
+      << "duplicate golden digest";
+}
+
+}  // namespace
+}  // namespace hq

@@ -66,6 +66,79 @@ TEST_P(ScheduleProperty, GenerationIsRepeatable) {
             make_schedule(order, counts, &r2));
 }
 
+TEST_P(ScheduleProperty, EmitsPermutationOfTheWorkload) {
+  // Sorted slot multiset must equal Naive FIFO's for every policy —
+  // schedules permute the workload, never drop or duplicate work.
+  const auto& counts = std::get<1>(GetParam());
+  auto slots = build();
+  Rng rng(1);
+  auto reference = make_schedule(Order::NaiveFifo, counts, &rng);
+  auto key = [](const Slot& a, const Slot& b) {
+    return std::tie(a.type, a.instance) < std::tie(b.type, b.instance);
+  };
+  std::sort(slots.begin(), slots.end(), key);
+  std::sort(reference.begin(), reference.end(), key);
+  EXPECT_EQ(slots, reference);
+}
+
+TEST(ScheduleOrderTest, ReverseFifoIsTypeReversalOfNaiveFifo) {
+  // Reverse FIFO swaps type precedence, so its type sequence must equal
+  // the reversed Naive FIFO type sequence for any count vector.
+  const std::vector<CountsCase> cases = {
+      {4, 4}, {1, 7}, {5, 0}, {3, 3, 3}, {1, 2, 3, 4}, {10}};
+  for (const CountsCase& counts : cases) {
+    const auto naive = make_schedule(Order::NaiveFifo, counts);
+    const auto reversed = make_schedule(Order::ReverseFifo, counts);
+    ASSERT_EQ(naive.size(), reversed.size());
+    std::vector<int> naive_types, reversed_types;
+    for (const Slot& s : naive) naive_types.push_back(s.type);
+    for (const Slot& s : reversed) reversed_types.push_back(s.type);
+    std::reverse(naive_types.begin(), naive_types.end());
+    EXPECT_EQ(reversed_types, naive_types);
+  }
+}
+
+TEST(ScheduleOrderTest, RoundRobinNeverRepeatsTypeWhileAnotherIsAvailable) {
+  const std::vector<CountsCase> cases = {
+      {4, 4}, {1, 7}, {7, 1}, {2, 2, 9}, {1, 2, 3, 4}, {16, 16}};
+  for (const CountsCase& counts : cases) {
+    for (Order order : {Order::RoundRobin, Order::ReverseRoundRobin}) {
+      const auto slots = make_schedule(order, counts);
+      std::vector<int> remaining = counts;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (i > 0) {
+          // If the previous type and at least one other type both still had
+          // work, scheduling the previous type again breaks round-robin.
+          const int prev = slots[i - 1].type;
+          bool other_available = false;
+          for (std::size_t t = 0; t < remaining.size(); ++t) {
+            if (static_cast<int>(t) != prev && remaining[t] > 0) {
+              other_available = true;
+            }
+          }
+          if (other_available && remaining[prev] > 0) {
+            EXPECT_NE(slots[i].type, prev)
+                << order_name(order) << " repeated type " << prev
+                << " at position " << i;
+          }
+        }
+        --remaining[slots[i].type];
+      }
+    }
+  }
+}
+
+TEST(ScheduleOrderTest, RandomShuffleIsSeedStable) {
+  const CountsCase counts = {16, 16};
+  Rng a(123), b(123), c(456);
+  const auto first = make_schedule(Order::RandomShuffle, counts, &a);
+  const auto second = make_schedule(Order::RandomShuffle, counts, &b);
+  const auto different = make_schedule(Order::RandomShuffle, counts, &c);
+  EXPECT_EQ(first, second) << "same seed must reproduce the shuffle";
+  EXPECT_NE(first, different)
+      << "32-slot shuffles from distinct seeds colliding is ~impossible";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     OrderAndCounts, ScheduleProperty,
     ::testing::Combine(

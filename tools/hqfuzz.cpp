@@ -7,6 +7,8 @@
 //
 // Examples:
 //   hqfuzz --seed 1 --iters 100
+//   hqfuzz --seed 1 --iters 300 --jobs 0      (all hardware threads,
+//                                              identical output to --jobs 1)
 //   hqfuzz --case-seed 1234567890 --verbose   (replay one failing case)
 #include <cerrno>
 #include <cstdio>
@@ -37,6 +39,10 @@ int main(int argc, char** argv) {
   tools::ArgParser args;
   args.add_option("seed", "master seed; case seeds derive from it", "1");
   args.add_option("iters", "number of fuzz iterations", "100");
+  args.add_option("jobs",
+                  "worker threads for the iteration loop (0 = all hardware "
+                  "threads); output is identical at any job count",
+                  "1");
   args.add_option("case-seed",
                   "run exactly one case with this seed (replay mode)", "");
   args.add_flag("verbose", "print every case as it runs");
@@ -66,14 +72,16 @@ int main(int argc, char** argv) {
 
   const auto seed = parse_u64(args.get("seed"));
   const auto iters = args.get_int("iters");
-  if (!seed || !iters || *iters < 1) {
-    std::fprintf(stderr, "error: bad --seed/--iters\n");
+  const auto jobs = args.get_int("jobs");
+  if (!seed || !iters || *iters < 1 || !jobs || *jobs < 0) {
+    std::fprintf(stderr, "error: bad --seed/--iters/--jobs\n");
     return 2;
   }
 
   check::FuzzOptions options;
   options.seed = *seed;
   options.iterations = static_cast<int>(*iters);
+  options.jobs = static_cast<int>(*jobs);
   const bool verbose = args.get_flag("verbose");
 
   check::Fuzzer fuzzer(options);

@@ -5,11 +5,13 @@
 //   hqrun --apps nn,srad --na 16 --ns 8 --order rev-rr --memsync
 //   hqrun --apps gaussian,needle --na 8 --ns 8 --trace out.json --power-csv p.csv
 //   hqrun --apps needle,srad --na 8 --ns 4 --device fermi
+//   hqrun --apps gaussian,srad --na 32 --ns 32 --all-orders --jobs 0
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "common/table.hpp"
+#include "exec/sweep.hpp"
 #include "hyperq/harness.hpp"
 #include "hyperq/schedule.hpp"
 #include "rodinia/registry.hpp"
@@ -69,6 +71,13 @@ int main(int argc, char** argv) {
   args.add_option("power-csv", "write the power trace CSV to this path", "");
   args.add_flag("timeline", "print the ASCII execution timeline");
   args.add_flag("functional", "run real algorithm payloads and verify");
+  args.add_flag("all-orders",
+                "run the workload under all five launch orders and print a "
+                "comparison table (one independent run per order)");
+  args.add_option("jobs",
+                  "worker threads for --all-orders (0 = all hardware "
+                  "threads); output is identical at any job count",
+                  "1");
   args.add_flag("help", "show this help");
 
   if (!args.parse(argc, argv) || args.get_flag("help")) {
@@ -111,7 +120,34 @@ int main(int argc, char** argv) {
   if (const auto size = args.get_int("size"); size && *size > 0) {
     params.size = static_cast<int>(*size);
   }
-  Rng rng(static_cast<std::uint64_t>(args.get_int("seed").value_or(42)));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+
+  if (args.get_flag("all-orders")) {
+    const auto jobs = args.get_int("jobs");
+    if (!jobs || *jobs < 0) {
+      std::fprintf(stderr, "error: bad --jobs\n");
+      return 2;
+    }
+    exec::SweepGrid grid;
+    grid.app_sets = {apps};
+    grid.na = {static_cast<int>(*na)};
+    grid.ns = {static_cast<int>(*ns)};
+    grid.orders.assign(std::begin(fw::kAllOrders), std::end(fw::kAllOrders));
+    grid.memory_sync = {config.memory_sync};
+    grid.seeds = {seed};
+    grid.base = config;
+    grid.params = params;
+    exec::SweepRunner::Options options;
+    options.jobs = static_cast<int>(*jobs);
+    const auto outcomes = exec::SweepRunner().run(grid, options);
+    std::printf("%s", exec::render_report(outcomes).c_str());
+    bool verified = true;
+    for (const auto& o : outcomes) verified = verified && o.all_verified;
+    return (config.functional && !verified) ? 1 : 0;
+  }
+
+  Rng rng(seed);
   std::vector<int> counts;
   if (apps.size() == 2) {
     counts = {static_cast<int>(*na) / 2,
