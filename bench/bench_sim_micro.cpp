@@ -6,8 +6,10 @@
 
 #include "bench/common.hpp"
 #include "gpusim/device.hpp"
+#include "hyperq/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -81,6 +83,56 @@ void BM_CopyEngineTransactions(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_CopyEngineTransactions)->Arg(1000);
+
+trace::Recorder synthetic_transfer_trace(int apps, int spans_per_app) {
+  trace::Recorder rec;
+  TimeNs t = 0;
+  for (int s = 0; s < spans_per_app; ++s) {
+    for (int a = 0; a < apps; ++a) {
+      rec.add(trace::Span{a, a, trace::SpanKind::MemcpyHtoD, "h2d", t,
+                          t + 1000});
+      t += 1500;
+    }
+  }
+  return rec;
+}
+
+// Per-app Le extraction, the quadratic way: one full recorder scan (plus a
+// span copy inside by_app-style filtering) per application.
+void BM_PerAppLatencyScan(benchmark::State& state) {
+  const int apps = static_cast<int>(state.range(0));
+  const trace::Recorder rec = synthetic_transfer_trace(apps, 64);
+  for (auto _ : state) {
+    DurationNs total = 0;
+    for (int a = 0; a < apps; ++a) {
+      total += fw::effective_transfer_latency(rec, a,
+                                              trace::SpanKind::MemcpyHtoD)
+                   .value_or(0);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * apps);
+}
+BENCHMARK(BM_PerAppLatencyScan)->Arg(8)->Arg(64);
+
+// Same extraction through a trace::AppIndex built once: one pass over the
+// spans total, then O(own spans) per app — the path the harness uses.
+void BM_PerAppLatencyIndexed(benchmark::State& state) {
+  const int apps = static_cast<int>(state.range(0));
+  const trace::Recorder rec = synthetic_transfer_trace(apps, 64);
+  for (auto _ : state) {
+    const trace::AppIndex index(rec);
+    DurationNs total = 0;
+    for (int a = 0; a < apps; ++a) {
+      total += fw::effective_transfer_latency(index, a,
+                                              trace::SpanKind::MemcpyHtoD)
+                   .value_or(0);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * apps);
+}
+BENCHMARK(BM_PerAppLatencyIndexed)->Arg(8)->Arg(64);
 
 void BM_HarnessPairRun(benchmark::State& state) {
   // One full {nn, needle} 8-application timing run (the smallest pairing).

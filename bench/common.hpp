@@ -49,10 +49,12 @@ inline fw::HarnessResult run_pair(const Pair& pair, int na, int ns,
                                   bool memory_sync = false,
                                   Bytes chunk_bytes = 0,
                                   std::uint64_t shuffle_seed = 42,
-                                  const gpu::DeviceSpec* device = nullptr) {
+                                  const gpu::DeviceSpec* device = nullptr,
+                                  bool collect_telemetry = false) {
   fw::HarnessConfig config = timing_config(ns);
   config.memory_sync = memory_sync;
   config.transfer_chunk_bytes = chunk_bytes;
+  config.collect_telemetry = collect_telemetry;
   if (device != nullptr) config.device = *device;
 
   Rng rng(shuffle_seed);

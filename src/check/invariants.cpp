@@ -80,13 +80,14 @@ void InvariantChecker::on_op_completed(TimeNs now, gpu::OpId op,
 
 void InvariantChecker::on_copy_enqueued(TimeNs now, gpu::CopyDirection dir,
                                         gpu::OpId op, gpu::StreamId /*stream*/,
-                                        Bytes /*bytes*/) {
+                                        std::int32_t /*app*/, Bytes /*bytes*/) {
   observe_time(now, "copy enqueue");
   engine(dir).fifo.push_back(op);
 }
 
 void InvariantChecker::on_copy_served(TimeNs now, gpu::CopyDirection dir,
-                                      gpu::OpId op, TimeNs begin, TimeNs end,
+                                      gpu::OpId op, std::int32_t /*app*/,
+                                      TimeNs begin, TimeNs end,
                                       Bytes /*bytes*/) {
   observe_time(now, "copy serve");
   EngineState& eng = engine(dir);

@@ -51,9 +51,11 @@ class InvariantChecker : public gpu::DeviceObserver {
                        gpu::ObservedOp kind) override;
   void on_op_completed(TimeNs now, gpu::OpId op, gpu::StreamId stream) override;
   void on_copy_enqueued(TimeNs now, gpu::CopyDirection dir, gpu::OpId op,
-                        gpu::StreamId stream, Bytes bytes) override;
+                        gpu::StreamId stream, std::int32_t app,
+                        Bytes bytes) override;
   void on_copy_served(TimeNs now, gpu::CopyDirection dir, gpu::OpId op,
-                      TimeNs begin, TimeNs end, Bytes bytes) override;
+                      std::int32_t app, TimeNs begin, TimeNs end,
+                      Bytes bytes) override;
   void on_kernel_dispatched(TimeNs now, gpu::OpId op, int priority,
                             std::uint64_t blocks,
                             const gpu::BlockDemand& demand) override;

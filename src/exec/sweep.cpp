@@ -1,5 +1,6 @@
 #include "exec/sweep.hpp"
 
+#include <ostream>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -8,6 +9,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "exec/parallel.hpp"
+#include "obs/report.hpp"
 #include "trace/trace.hpp"
 
 namespace hq::exec {
@@ -99,6 +101,17 @@ SweepOutcome SweepRunner::run_point(const SweepGrid& grid,
   o.average_occupancy = result.average_occupancy;
   o.trace_digest = trace::digest(*result.trace);
   o.all_verified = result.all_verified;
+  o.mean_htod_latency_ns = fw::mean_htod_effective_latency(result.apps);
+  for (const fw::AppMetrics& m : result.apps) {
+    o.htod_interleave_count += m.htod_interleave_count;
+    o.htod_interleave_bytes += m.htod_interleave_bytes;
+  }
+  if (result.telemetry != nullptr) {
+    if (const auto* e =
+            result.telemetry->registry().find("copy_queue_depth_htod")) {
+      o.peak_copy_queue_depth_htod = std::get<obs::Series>(e->metric).peak();
+    }
+  }
   return o;
 }
 
@@ -168,6 +181,43 @@ std::string render_report(std::span<const SweepOutcome> outcomes) {
   std::ostringstream digest;
   digest << std::hex << combined_digest(outcomes);
   os << "\ncombined digest: 0x" << digest.str() << "\n";
+  return os.str();
+}
+
+void write_sweep_metrics_json(std::ostream& os,
+                              std::span<const SweepOutcome> outcomes) {
+  os << "{\n  \"schema_version\": " << obs::kMetricsSchemaVersion << ",\n";
+  os << "  \"points\": [";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const SweepOutcome& o = outcomes[i];
+    std::ostringstream digest;
+    digest << std::hex << o.trace_digest;
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"index\": " << o.point.index << ", \"label\": \""
+       << o.point.label() << "\", \"makespan_ns\": " << o.makespan
+       << ", \"energy_j\": " << obs::format_double(o.energy_exact)
+       << ", \"average_power_w\": " << obs::format_double(o.average_power)
+       << ", \"peak_power_w\": " << obs::format_double(o.peak_power)
+       << ", \"average_occupancy\": "
+       << obs::format_double(o.average_occupancy)
+       << ", \"mean_htod_latency_ns\": "
+       << obs::format_double(o.mean_htod_latency_ns)
+       << ", \"htod_interleave_count\": " << o.htod_interleave_count
+       << ", \"htod_interleave_bytes\": " << o.htod_interleave_bytes
+       << ", \"peak_copy_queue_depth_htod\": "
+       << obs::format_double(o.peak_copy_queue_depth_htod)
+       << ", \"all_verified\": " << (o.all_verified ? "true" : "false")
+       << ", \"trace_digest\": \"0x" << digest.str() << "\"}";
+  }
+  os << (outcomes.empty() ? "],\n" : "\n  ],\n");
+  std::ostringstream digest;
+  digest << std::hex << combined_digest(outcomes);
+  os << "  \"combined_digest\": \"0x" << digest.str() << "\"\n}\n";
+}
+
+std::string sweep_metrics_json(std::span<const SweepOutcome> outcomes) {
+  std::ostringstream os;
+  write_sweep_metrics_json(os, outcomes);
   return os.str();
 }
 

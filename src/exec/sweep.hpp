@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
@@ -77,6 +78,14 @@ struct SweepOutcome {
   double average_occupancy = 0;
   std::uint64_t trace_digest = 0;
   bool all_verified = true;
+  /// Telemetry aggregates (filled when grid.base.collect_telemetry; zero
+  /// otherwise). Mean Le is the Figure-6 quantity; the interleave totals
+  /// sum the foreign-transfer attribution over all apps of the point; the
+  /// peak depth is the deepest the HtoD copy queue ever got.
+  double mean_htod_latency_ns = 0;
+  std::uint64_t htod_interleave_count = 0;
+  Bytes htod_interleave_bytes = 0;
+  double peak_copy_queue_depth_htod = 0;
 };
 
 class SweepRunner {
@@ -116,5 +125,13 @@ std::uint64_t combined_digest(std::span<const SweepOutcome> outcomes);
 /// Renders the deterministic aggregate table + summary footer. Two sweeps
 /// of the same grid must produce byte-identical reports at any job count.
 std::string render_report(std::span<const SweepOutcome> outcomes);
+
+/// Versioned per-point aggregate metrics JSON ({"schema_version", "points",
+/// "combined_digest"}). Outcomes are emitted in submission-index order and
+/// doubles in shortest round-trip form, so the bytes are identical at any
+/// job count — the property the CI determinism check diffs.
+void write_sweep_metrics_json(std::ostream& os,
+                              std::span<const SweepOutcome> outcomes);
+std::string sweep_metrics_json(std::span<const SweepOutcome> outcomes);
 
 }  // namespace hq::exec

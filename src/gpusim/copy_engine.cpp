@@ -30,7 +30,7 @@ void CopyEngine::enqueue(Transaction txn) {
   HQ_CHECK(txn.on_served != nullptr);
   if (observer_ != nullptr) {
     observer_->on_copy_enqueued(sim_.now(), direction_, txn.op_id, txn.stream,
-                                txn.bytes);
+                                txn.app_id, txn.bytes);
   }
   queue_.push_back(std::move(txn));
   pump();
@@ -58,8 +58,8 @@ void CopyEngine::begin_service() {
     bytes_transferred_ += txn.bytes;
     ++transactions_served_;
     if (observer_ != nullptr) {
-      observer_->on_copy_served(sim_.now(), direction_, txn.op_id, begin,
-                                sim_.now(), txn.bytes);
+      observer_->on_copy_served(sim_.now(), direction_, txn.op_id, txn.app_id,
+                                begin, sim_.now(), txn.bytes);
     }
     txn.on_served(begin, sim_.now());
     pump();

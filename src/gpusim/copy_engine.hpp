@@ -33,6 +33,9 @@ class CopyEngine {
     Bytes bytes = 0;
     std::function<bool()> ready;
     std::function<void(TimeNs service_begin, TimeNs service_end)> on_served;
+    /// Owning application instance, forwarded to observers for per-app
+    /// interleave attribution; -1 when the transfer has no app.
+    std::int32_t app_id = -1;
   };
 
   CopyEngine(sim::Simulator& sim, CopyDirection direction,

@@ -148,7 +148,8 @@ OpId Device::submit_copy(StreamId stream, CopyRequest request, OpTag tag,
           stats_.bytes_dtoh += raw->copy.bytes;
         }
         complete_op(raw);
-      }});
+      },
+      /*app_id=*/raw->tag.app_id});
   return raw->id;
 }
 

@@ -2,15 +2,22 @@
 //
 // The simulated device (front end, copy engines, block scheduler, power
 // integrator) reports every externally meaningful state transition through
-// this interface. The primary client is the hq_check invariant layer, which
-// replays the event stream against an independent model of the hardware
-// contract (FIFO copy engines, LEFTOVER dispatch, SMX resource conservation,
-// energy ≡ ∫power) and flags any divergence; see src/check/invariants.hpp.
+// this interface. Clients are the hq_check invariant layer, which replays
+// the event stream against an independent model of the hardware contract
+// (FIFO copy engines, LEFTOVER dispatch, SMX resource conservation,
+// energy ≡ ∫power) and flags any divergence (see src/check/invariants.hpp),
+// and the hq_obs telemetry layer, which derives counters and time-series
+// from the same stream (see src/obs/telemetry.hpp). ObserverFanout below
+// lets both attach to one device at once.
 //
 // All callbacks default to no-ops so observers implement only what they
 // need. Callbacks fire synchronously at the instant of the transition and
-// must not mutate device state.
+// must not mutate device state — which is what makes attaching any number
+// of observers zero-perturbation: the simulated schedule (and therefore
+// trace::digest) is bit-identical with or without them.
 #pragma once
+
+#include <vector>
 
 #include "common/units.hpp"
 #include "gpusim/smx.hpp"
@@ -45,12 +52,15 @@ class DeviceObserver {
   virtual void on_op_completed(TimeNs /*now*/, OpId /*op*/, StreamId /*stream*/) {}
 
   // --- copy engines --------------------------------------------------------
-  /// A transaction entered a copy engine's queue.
+  /// A transaction entered a copy engine's queue. `app` is the owning
+  /// application instance (-1 when the transfer has no app attribution).
   virtual void on_copy_enqueued(TimeNs /*now*/, CopyDirection /*dir*/,
-                                OpId /*op*/, StreamId /*stream*/, Bytes /*bytes*/) {}
+                                OpId /*op*/, StreamId /*stream*/,
+                                std::int32_t /*app*/, Bytes /*bytes*/) {}
   /// A transaction finished service; [begin, end] is the service interval.
   virtual void on_copy_served(TimeNs /*now*/, CopyDirection /*dir*/, OpId /*op*/,
-                              TimeNs /*begin*/, TimeNs /*end*/, Bytes /*bytes*/) {}
+                              std::int32_t /*app*/, TimeNs /*begin*/,
+                              TimeNs /*end*/, Bytes /*bytes*/) {}
 
   // --- block scheduler -----------------------------------------------------
   /// A kernel left its work queue and entered the block scheduler.
@@ -72,6 +82,68 @@ class DeviceObserver {
   /// (power is piecewise constant between state changes).
   virtual void on_power_integrated(TimeNs /*now*/, Watts /*power*/,
                                    double /*occupancy*/) {}
+};
+
+/// Forwards every callback to a list of observers, in attach order. Lets the
+/// invariant checker and the telemetry observer (or any future client) watch
+/// one device simultaneously through Device::set_observer, which accepts a
+/// single pointer. Does not own its children; nullptr adds are ignored.
+class ObserverFanout final : public DeviceObserver {
+ public:
+  void add(DeviceObserver* observer) {
+    if (observer != nullptr) children_.push_back(observer);
+  }
+  std::size_t size() const { return children_.size(); }
+
+  void on_op_submitted(TimeNs now, OpId op, StreamId stream,
+                       ObservedOp kind) override {
+    for (DeviceObserver* o : children_) o->on_op_submitted(now, op, stream, kind);
+  }
+  void on_op_completed(TimeNs now, OpId op, StreamId stream) override {
+    for (DeviceObserver* o : children_) o->on_op_completed(now, op, stream);
+  }
+  void on_copy_enqueued(TimeNs now, CopyDirection dir, OpId op,
+                        StreamId stream, std::int32_t app, Bytes bytes) override {
+    for (DeviceObserver* o : children_) {
+      o->on_copy_enqueued(now, dir, op, stream, app, bytes);
+    }
+  }
+  void on_copy_served(TimeNs now, CopyDirection dir, OpId op, std::int32_t app,
+                      TimeNs begin, TimeNs end, Bytes bytes) override {
+    for (DeviceObserver* o : children_) {
+      o->on_copy_served(now, dir, op, app, begin, end, bytes);
+    }
+  }
+  void on_kernel_dispatched(TimeNs now, OpId op, int priority,
+                            std::uint64_t blocks,
+                            const BlockDemand& demand) override {
+    for (DeviceObserver* o : children_) {
+      o->on_kernel_dispatched(now, op, priority, blocks, demand);
+    }
+  }
+  void on_blocks_placed(TimeNs now, OpId op, int smx, int count,
+                        const BlockDemand& demand) override {
+    for (DeviceObserver* o : children_) {
+      o->on_blocks_placed(now, op, smx, count, demand);
+    }
+  }
+  void on_blocks_released(TimeNs now, OpId op, int smx, int count,
+                          const BlockDemand& demand) override {
+    for (DeviceObserver* o : children_) {
+      o->on_blocks_released(now, op, smx, count, demand);
+    }
+  }
+  void on_kernel_completed(TimeNs now, const KernelExec& exec) override {
+    for (DeviceObserver* o : children_) o->on_kernel_completed(now, exec);
+  }
+  void on_power_integrated(TimeNs now, Watts power, double occupancy) override {
+    for (DeviceObserver* o : children_) {
+      o->on_power_integrated(now, power, occupancy);
+    }
+  }
+
+ private:
+  std::vector<DeviceObserver*> children_;
 };
 
 }  // namespace hq::gpu

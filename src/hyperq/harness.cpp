@@ -140,6 +140,16 @@ HarnessResult Harness::run(const std::vector<WorkloadItem>& workload) {
     checker = std::make_unique<check::InvariantChecker>(config_.device);
     device.set_observer(checker.get());
   }
+  std::shared_ptr<obs::TelemetryObserver> telemetry;
+  gpu::ObserverFanout fanout;
+  if (config_.collect_telemetry) {
+    telemetry = std::make_shared<obs::TelemetryObserver>(config_.device);
+    // Both observers are passive, so fanning out changes nothing about the
+    // simulated schedule (the zero-perturbation golden tests pin this).
+    fanout.add(checker.get());
+    fanout.add(telemetry.get());
+    device.set_observer(&fanout);
+  }
 
   std::vector<std::unique_ptr<Kernel>> apps;
   std::vector<Context> contexts;
@@ -207,31 +217,85 @@ HarnessResult Harness::run(const std::vector<WorkloadItem>& workload) {
   result.power_trace = monitor.samples();
   result.device_stats = device.stats();
 
+  if (telemetry != nullptr) telemetry->finalize();
+
+  // One shared index: per-app extraction over NA apps costs O(spans) total
+  // instead of the O(NA * spans) the per-app by_app scans would.
+  const trace::AppIndex index(*recorder);
   for (std::size_t i = 0; i < apps.size(); ++i) {
     AppMetrics& m = metrics[i];
     m.htod_effective_latency =
-        effective_transfer_latency(*recorder, m.app_id,
+        effective_transfer_latency(index, m.app_id,
                                    trace::SpanKind::MemcpyHtoD)
             .value_or(0);
     m.dtoh_effective_latency =
-        effective_transfer_latency(*recorder, m.app_id,
+        effective_transfer_latency(index, m.app_id,
                                    trace::SpanKind::MemcpyDtoH)
             .value_or(0);
     m.htod_own_time =
-        own_transfer_time(*recorder, m.app_id, trace::SpanKind::MemcpyHtoD);
+        own_transfer_time(index, m.app_id, trace::SpanKind::MemcpyHtoD);
     m.htod_bytes = apps[i]->htod_bytes();
     m.dtoh_bytes = apps[i]->dtoh_bytes();
-    const auto spans = recorder->by_app(m.app_id);
+    const auto& spans = index.spans_for(m.app_id);
     if (!spans.empty()) {
-      TimeNs first = spans.front().begin;
-      for (const auto& s : spans) first = std::min(first, s.begin);
+      TimeNs first = spans.front()->begin;
+      for (const trace::Span* s : spans) first = std::min(first, s->begin);
       m.first_activity = first;
+    }
+  }
+  if (telemetry != nullptr) {
+    // attribution() is sorted by app_id == workload index.
+    for (const obs::AppAttribution& a : telemetry->attribution()) {
+      if (a.app_id < 0 || a.app_id >= static_cast<int>(metrics.size())) {
+        continue;
+      }
+      AppMetrics& m = metrics[static_cast<std::size_t>(a.app_id)];
+      m.htod_interleave_count = a.foreign_htod_count;
+      m.htod_interleave_bytes = a.foreign_htod_bytes;
     }
   }
   result.all_verified = state.all_verified;
   result.apps = std::move(metrics);
   result.trace = std::move(recorder);
+  result.telemetry = std::move(telemetry);
   return result;
+}
+
+obs::RunInfo telemetry_run_info(const HarnessConfig& config,
+                                const HarnessResult& result,
+                                std::string workload, std::string order) {
+  obs::RunInfo info;
+  info.workload = std::move(workload);
+  info.num_apps = static_cast<int>(result.apps.size());
+  info.num_streams = config.num_streams;
+  info.order = std::move(order);
+  info.memory_sync = config.memory_sync;
+  info.makespan = result.makespan;
+  info.energy_j = result.energy_exact;
+  info.average_power_w = result.average_power;
+  info.peak_power_w = result.peak_power;
+  info.average_occupancy = result.average_occupancy;
+  info.trace_digest = result.trace ? trace::digest(*result.trace) : 0;
+  return info;
+}
+
+std::vector<obs::AppReport> telemetry_app_reports(const HarnessResult& result) {
+  std::vector<obs::AppReport> out;
+  out.reserve(result.apps.size());
+  for (const AppMetrics& m : result.apps) {
+    obs::AppReport r;
+    r.app_id = m.app_id;
+    r.type = m.type;
+    r.htod_effective_latency = m.htod_effective_latency;
+    r.dtoh_effective_latency = m.dtoh_effective_latency;
+    r.htod_own_time = m.htod_own_time;
+    r.htod_bytes = m.htod_bytes;
+    r.dtoh_bytes = m.dtoh_bytes;
+    r.htod_interleave_count = m.htod_interleave_count;
+    r.htod_interleave_bytes = m.htod_interleave_bytes;
+    out.push_back(std::move(r));
+  }
+  return out;
 }
 
 }  // namespace hq::fw

@@ -27,6 +27,8 @@
 #include "hyperq/metrics.hpp"
 #include "hyperq/power_monitor.hpp"
 #include "hyperq/stream_manager.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 
 namespace hq::fw {
 
@@ -67,6 +69,12 @@ struct HarnessConfig {
   bool monitor_power = true;
   DurationNs power_period = 15 * kMillisecond;
   nvml::SensorOptions sensor;
+  /// Attach the hq_obs telemetry observer (counters, time-series, per-app
+  /// interleave attribution; see src/obs/telemetry.hpp). Passive: the
+  /// simulated schedule and trace digest are bit-identical either way
+  /// (proven against the pinned golden digests). Off by default because the
+  /// series buffers cost memory on large sweeps.
+  bool collect_telemetry = false;
 };
 
 struct HarnessResult {
@@ -89,6 +97,8 @@ struct HarnessResult {
   gpu::Device::Stats device_stats;
   /// Conjunction of per-app verify() results (meaningful in functional runs).
   bool all_verified = true;
+  /// Finalized telemetry (nullptr unless config.collect_telemetry).
+  std::shared_ptr<obs::TelemetryObserver> telemetry;
 };
 
 class Harness {
@@ -108,5 +118,15 @@ class Harness {
 
   HarnessConfig config_;
 };
+
+/// Builds the run-level header of a telemetry report from a finished run.
+/// `workload` and `order` are display strings the harness does not know
+/// (e.g. "gaussian+needle", "naive-fifo").
+obs::RunInfo telemetry_run_info(const HarnessConfig& config,
+                                const HarnessResult& result,
+                                std::string workload, std::string order);
+
+/// Per-app report rows (Le, bytes, interleave attribution) in app order.
+std::vector<obs::AppReport> telemetry_app_reports(const HarnessResult& result);
 
 }  // namespace hq::fw

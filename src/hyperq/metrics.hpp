@@ -19,13 +19,22 @@ namespace hq::fw {
 
 /// Eq. 2: Tend(last transfer) - Tstart(first transfer) for one application
 /// and direction, from recorded spans. nullopt when the app has no transfers
-/// of that direction.
+/// of that direction; a single transfer yields its own service time.
+/// Order-independent: first/last are the min begin / max end over the app's
+/// transfers, so spans may be recorded in any order.
 std::optional<DurationNs> effective_transfer_latency(
     const trace::Recorder& recorder, int app_id, trace::SpanKind direction);
+/// Same, over a prebuilt per-app index — O(app's spans) instead of
+/// O(all spans), the non-quadratic path for per-app sweeps.
+std::optional<DurationNs> effective_transfer_latency(
+    const trace::AppIndex& index, int app_id, trace::SpanKind direction);
 
 /// Sum of the application's own transfer service times for a direction (the
-/// latency it would see with exclusive use of the copy engine).
+/// latency it would see with exclusive use of the copy engine). Zero when
+/// the app has no transfers of that direction; order-independent.
 DurationNs own_transfer_time(const trace::Recorder& recorder, int app_id,
+                             trace::SpanKind direction);
+DurationNs own_transfer_time(const trace::AppIndex& index, int app_id,
                              trace::SpanKind direction);
 
 /// The paper's improvement measure, "relative to serialized execution":
@@ -47,6 +56,11 @@ struct AppMetrics {
   DurationNs htod_own_time = 0;
   Bytes htod_bytes = 0;
   Bytes dtoh_bytes = 0;
+  /// Foreign HtoD transfers served inside this app's Eq.-2 window — the
+  /// interleaving that stretches Le. Filled from telemetry; 0 when the run
+  /// did not collect it (HarnessConfig::collect_telemetry off).
+  std::uint64_t htod_interleave_count = 0;
+  Bytes htod_interleave_bytes = 0;
   /// Digest of the app's host-visible outputs (functional runs only; 0
   /// otherwise). Identical workloads must produce identical digests under
   /// every scheduling mode — an hqfuzz oracle.

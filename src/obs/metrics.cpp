@@ -1,0 +1,100 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hq::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  HQ_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  HQ_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                   std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                       bounds_.end(),
+               "histogram bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+void Series::sample(TimeNs t, double value) {
+  if (!points_.empty()) {
+    HQ_CHECK_MSG(t >= points_.back().time,
+                 "series sampled backwards in time");
+    if (points_.back().time == t) {
+      // Several transitions at one instant: keep the final value.
+      points_.back().value = value;
+      peak_ = std::max(peak_, value);
+      return;
+    }
+    if (points_.back().value == value) return;  // unchanged: no event
+  }
+  points_.push_back(Point{t, value});
+  peak_ = std::max(peak_, value);
+}
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    case MetricKind::Series: return "series";
+  }
+  return "?";
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(
+    std::string_view name, std::string_view help, MetricKind kind,
+    std::variant<Counter, Gauge, Histogram, Series> fresh) {
+  HQ_CHECK_MSG(!name.empty(), "metric name must not be empty");
+  if (const auto it = index_.find(name); it != index_.end()) {
+    Entry& existing = entries_[it->second];
+    HQ_CHECK_MSG(existing.kind == kind,
+                 "metric '" << existing.name << "' registered as "
+                            << metric_kind_name(existing.kind)
+                            << ", requested as " << metric_kind_name(kind));
+    return existing;
+  }
+  entries_.push_back(Entry{std::string(name), std::string(help), kind,
+                           std::move(fresh)});
+  index_.emplace(std::string(name), entries_.size() - 1);
+  return entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  return std::get<Counter>(
+      entry(name, help, MetricKind::Counter, Counter{}).metric);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  return std::get<Gauge>(entry(name, help, MetricKind::Gauge, Gauge{}).metric);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds,
+                                      std::string_view help) {
+  return std::get<Histogram>(
+      entry(name, help, MetricKind::Histogram,
+            Histogram(std::move(upper_bounds)))
+          .metric);
+}
+
+Series& MetricsRegistry::series(std::string_view name, std::string_view help) {
+  return std::get<Series>(
+      entry(name, help, MetricKind::Series, Series{}).metric);
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(
+    std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+}  // namespace hq::obs

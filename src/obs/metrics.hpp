@@ -1,0 +1,148 @@
+// Run-wide metric primitives (library hq_obs).
+//
+// A MetricsRegistry holds four metric shapes, all fully deterministic:
+//
+//   * Counter   — monotonically increasing 64-bit event count;
+//   * Gauge     — last-written double with peak tracking;
+//   * Histogram — fixed upper-bound buckets over doubles (used for
+//                 copy-queue wait times in nanoseconds);
+//   * Series    — an event-driven time series: a point is recorded only
+//                 when the value changes, so the series is exactly the
+//                 piecewise-constant trajectory of the underlying quantity
+//                 with no sampling-rate artefacts.
+//
+// Registration order is the canonical iteration/export order, and every
+// stored value derives from the deterministic simulation, so a report
+// rendered from a registry is byte-identical across runs and job counts
+// (the PR-2 determinism contract extended to telemetry).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hq::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value with an all-time peak.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (!written_ || v > peak_) peak_ = v;
+    written_ = true;
+  }
+  void add(double delta) { set(value_ + delta); }
+  double value() const { return value_; }
+  double peak() const { return peak_; }
+
+ private:
+  double value_ = 0.0;
+  double peak_ = 0.0;
+  bool written_ = false;
+};
+
+/// Fixed-bucket histogram: counts()[i] is the number of samples v with
+/// v <= bounds()[i] (and > bounds()[i-1]); counts().back() is the overflow
+/// bucket (> bounds().back()).
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Size bounds().size() + 1; last entry is the overflow bucket.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Event-driven time series of a piecewise-constant quantity.
+class Series {
+ public:
+  struct Point {
+    TimeNs time = 0;
+    double value = 0.0;
+  };
+
+  /// Records the value at `t`. Consecutive samples with an unchanged value
+  /// are dropped; several samples at the same instant coalesce to the last
+  /// one (the value in effect after the instant's transitions). `t` must not
+  /// decrease between calls.
+  void sample(TimeNs t, double value);
+
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  double last() const { return points_.empty() ? 0.0 : points_.back().value; }
+  double peak() const { return peak_; }
+
+ private:
+  std::vector<Point> points_;
+  double peak_ = 0.0;
+};
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram, Series };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// Named metric store with deterministic (registration-order) iteration.
+/// Accessors create on first use and return the existing instrument on
+/// later calls; re-registering a name as a different kind throws.
+class MetricsRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::Counter;
+    std::variant<Counter, Gauge, Histogram, Series> metric;
+  };
+
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  /// `upper_bounds` is consulted only on first registration.
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds,
+                       std::string_view help = {});
+  Series& series(std::string_view name, std::string_view help = {});
+
+  /// nullptr when the name was never registered.
+  const Entry* find(std::string_view name) const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Visits entries in registration order (the canonical export order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e);
+  }
+
+ private:
+  Entry& entry(std::string_view name, std::string_view help, MetricKind kind,
+               std::variant<Counter, Gauge, Histogram, Series> fresh);
+
+  std::deque<Entry> entries_;  ///< deque: stable references across growth
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+}  // namespace hq::obs

@@ -1,0 +1,200 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hq::obs {
+
+namespace {
+
+/// Queue-wait buckets: 1us .. 1s in decades, in nanoseconds. Copy waits in
+/// the paper's regime (Fig. 6) span microseconds (uncontended) to hundreds
+/// of milliseconds (32-app interleaving), so decades resolve the spread.
+std::vector<double> wait_bounds() {
+  return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+}
+
+}  // namespace
+
+TelemetryObserver::TelemetryObserver(const gpu::DeviceSpec& spec)
+    : spec_(spec) {
+  // Register every metric up front so the export order (registration order)
+  // is fixed by construction, independent of which events a run produces.
+  registry_.counter("ops_submitted_kernel", "kernel launches submitted");
+  registry_.counter("ops_submitted_copy", "memory copies submitted");
+  registry_.counter("ops_submitted_marker", "markers/events submitted");
+  registry_.counter("ops_completed", "operations retired from streams");
+  registry_.counter("copies_htod", "host-to-device transfers enqueued");
+  registry_.counter("copies_dtoh", "device-to-host transfers enqueued");
+  registry_.counter("bytes_htod", "host-to-device bytes enqueued");
+  registry_.counter("bytes_dtoh", "device-to-host bytes enqueued");
+  registry_.counter("kernels_completed", "kernels fully retired");
+  registry_.counter("blocks_placed", "thread blocks placed on SMXs");
+  registry_.histogram("copy_queue_wait_htod_ns", wait_bounds(),
+                      "HtoD enqueue-to-service-begin wait (ns)");
+  registry_.histogram("copy_queue_wait_dtoh_ns", wait_bounds(),
+                      "DtoH enqueue-to-service-begin wait (ns)");
+  registry_.series("copy_queue_depth_htod",
+                   "HtoD engine queue depth incl. in-service transaction");
+  registry_.series("copy_queue_depth_dtoh",
+                   "DtoH engine queue depth incl. in-service transaction");
+  registry_.series("resident_blocks",
+                   "device-wide resident thread blocks (cap 208 on K20)");
+  registry_.series("thread_occupancy",
+                   "resident threads / device maximum, in [0,1]");
+  registry_.series("power_watts",
+                   "instantaneous board power, piecewise constant");
+  registry_.gauge("energy_joules", "energy integral over the whole run");
+}
+
+void TelemetryObserver::on_op_submitted(TimeNs /*now*/, gpu::OpId /*op*/,
+                                        gpu::StreamId /*stream*/,
+                                        gpu::ObservedOp kind) {
+  ++events_observed_;
+  switch (kind) {
+    case gpu::ObservedOp::Kernel:
+      registry_.counter("ops_submitted_kernel").add();
+      break;
+    case gpu::ObservedOp::Copy:
+      registry_.counter("ops_submitted_copy").add();
+      break;
+    case gpu::ObservedOp::Marker:
+      registry_.counter("ops_submitted_marker").add();
+      break;
+  }
+}
+
+void TelemetryObserver::on_op_completed(TimeNs /*now*/, gpu::OpId /*op*/,
+                                        gpu::StreamId /*stream*/) {
+  ++events_observed_;
+  registry_.counter("ops_completed").add();
+}
+
+void TelemetryObserver::on_copy_enqueued(TimeNs now, gpu::CopyDirection dir,
+                                         gpu::OpId op,
+                                         gpu::StreamId /*stream*/,
+                                         std::int32_t /*app*/, Bytes bytes) {
+  ++events_observed_;
+  const bool htod = dir == gpu::CopyDirection::HtoD;
+  registry_.counter(htod ? "copies_htod" : "copies_dtoh").add();
+  registry_.counter(htod ? "bytes_htod" : "bytes_dtoh").add(bytes);
+  enqueue_time_.emplace(op, now);
+  auto& depth = queue_depth_[static_cast<int>(dir)];
+  ++depth;
+  registry_.series(htod ? "copy_queue_depth_htod" : "copy_queue_depth_dtoh")
+      .sample(now, static_cast<double>(depth));
+}
+
+void TelemetryObserver::on_copy_served(TimeNs now, gpu::CopyDirection dir,
+                                       gpu::OpId op, std::int32_t app,
+                                       TimeNs begin, TimeNs end, Bytes bytes) {
+  ++events_observed_;
+  const bool htod = dir == gpu::CopyDirection::HtoD;
+  if (const auto it = enqueue_time_.find(op); it != enqueue_time_.end()) {
+    registry_
+        .histogram(htod ? "copy_queue_wait_htod_ns" : "copy_queue_wait_dtoh_ns",
+                   wait_bounds())
+        .record(static_cast<double>(begin - it->second));
+    enqueue_time_.erase(it);
+  }
+  auto& depth = queue_depth_[static_cast<int>(dir)];
+  --depth;
+  registry_.series(htod ? "copy_queue_depth_htod" : "copy_queue_depth_dtoh")
+      .sample(now, static_cast<double>(depth));
+  if (htod) htod_served_.push_back(CopyRec{app, begin, end, bytes});
+}
+
+void TelemetryObserver::on_blocks_placed(TimeNs now, gpu::OpId /*op*/,
+                                         int /*smx*/, int count,
+                                         const gpu::BlockDemand& demand) {
+  ++events_observed_;
+  registry_.counter("blocks_placed").add(static_cast<std::uint64_t>(count));
+  resident_blocks_ += count;
+  resident_threads_ += static_cast<std::int64_t>(count) * demand.threads;
+  registry_.series("resident_blocks")
+      .sample(now, static_cast<double>(resident_blocks_));
+  registry_.series("thread_occupancy")
+      .sample(now, static_cast<double>(resident_threads_) /
+                       spec_.max_resident_threads());
+}
+
+void TelemetryObserver::on_blocks_released(TimeNs now, gpu::OpId /*op*/,
+                                           int /*smx*/, int count,
+                                           const gpu::BlockDemand& demand) {
+  ++events_observed_;
+  resident_blocks_ -= count;
+  resident_threads_ -= static_cast<std::int64_t>(count) * demand.threads;
+  registry_.series("resident_blocks")
+      .sample(now, static_cast<double>(resident_blocks_));
+  registry_.series("thread_occupancy")
+      .sample(now, static_cast<double>(resident_threads_) /
+                       spec_.max_resident_threads());
+}
+
+void TelemetryObserver::on_kernel_completed(TimeNs /*now*/,
+                                            const gpu::KernelExec& /*exec*/) {
+  ++events_observed_;
+  registry_.counter("kernels_completed").add();
+}
+
+void TelemetryObserver::on_power_integrated(TimeNs now, Watts power,
+                                            double /*occupancy*/) {
+  ++events_observed_;
+  // `power` was in effect over [power_segment_begin_, now]: sample it at the
+  // segment *begin* so the series is the true piecewise-constant trajectory.
+  registry_.series("power_watts")
+      .sample(power_segment_begin_, static_cast<double>(power));
+  energy_j_ += power * static_cast<double>(now - power_segment_begin_) * 1e-9;
+  power_segment_begin_ = now;
+}
+
+void TelemetryObserver::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  registry_.gauge("energy_joules").set(energy_j_);
+
+  // Service completions arrive in begin order (FIFO engine), but re-sorting
+  // keeps the attribution correct even for synthetic event streams.
+  std::stable_sort(htod_served_.begin(), htod_served_.end(),
+                   [](const CopyRec& a, const CopyRec& b) {
+                     return a.begin < b.begin;
+                   });
+
+  std::map<std::int32_t, AppAttribution> by_app;
+  for (const CopyRec& r : htod_served_) {
+    if (r.app < 0) continue;
+    auto [it, fresh] = by_app.try_emplace(r.app);
+    AppAttribution& a = it->second;
+    if (fresh) {
+      a.app_id = r.app;
+      a.htod_window_begin = r.begin;
+      a.htod_window_end = r.end;
+    } else {
+      a.htod_window_begin = std::min(a.htod_window_begin, r.begin);
+      a.htod_window_end = std::max(a.htod_window_end, r.end);
+    }
+    ++a.own_htod_count;
+    a.own_htod_bytes += r.bytes;
+  }
+
+  attribution_.clear();
+  attribution_.reserve(by_app.size());
+  for (auto& [id, a] : by_app) {
+    // FIFO service intervals never overlap each other, so sorting by begin
+    // also sorts by end: binary-search the first record that can reach into
+    // the window, then scan only while records still start inside it. Total
+    // cost O(A log M + overlap), not O(A * M).
+    const auto first = std::partition_point(
+        htod_served_.begin(), htod_served_.end(),
+        [&](const CopyRec& r) { return r.end <= a.htod_window_begin; });
+    for (auto it = first;
+         it != htod_served_.end() && it->begin < a.htod_window_end; ++it) {
+      if (it->app == id || it->end <= a.htod_window_begin) continue;
+      ++a.foreign_htod_count;
+      a.foreign_htod_bytes += it->bytes;
+    }
+    attribution_.push_back(a);
+  }
+}
+
+}  // namespace hq::obs

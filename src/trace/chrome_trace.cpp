@@ -1,10 +1,21 @@
 #include "trace/chrome_trace.hpp"
 
+#include <charconv>
 #include <ostream>
 #include <sstream>
 
 namespace hq::trace {
 namespace {
+
+/// Shortest round-trip decimal form (std::to_chars), so rendered output is
+/// byte-identical across runs and toolchain locales — stream operator<<
+/// would round to 6 significant digits and honour global precision state.
+void write_double(std::ostream& os, double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  os.write(buf, ptr - buf);
+  (void)ec;
+}
 
 void write_escaped(std::ostream& os, const std::string& s) {
   for (char c : s) {
@@ -26,6 +37,12 @@ void write_escaped(std::ostream& os, const std::string& s) {
 }  // namespace
 
 void write_chrome_trace(const Recorder& recorder, std::ostream& os) {
+  write_chrome_trace(recorder, {}, os);
+}
+
+void write_chrome_trace(const Recorder& recorder,
+                        const std::vector<CounterTrack>& counters,
+                        std::ostream& os) {
   os << "[";
   bool first = true;
   for (const Span& s : recorder.spans()) {
@@ -41,12 +58,30 @@ void write_chrome_trace(const Recorder& recorder, std::ostream& os) {
        << ", \"tid\": " << s.lane << ", \"args\": {\"app\": " << s.app_id
        << "}}";
   }
+  for (const CounterTrack& track : counters) {
+    for (const CounterPoint& p : track.points) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n  {\"name\": \"";
+      write_escaped(os, track.name);
+      os << "\", \"ph\": \"C\", \"ts\": ";
+      write_double(os, static_cast<double>(p.time) / 1e3);
+      os << ", \"pid\": 0, \"args\": {\"value\": ";
+      write_double(os, p.value);
+      os << "}}";
+    }
+  }
   os << "\n]\n";
 }
 
 std::string chrome_trace_json(const Recorder& recorder) {
+  return chrome_trace_json(recorder, {});
+}
+
+std::string chrome_trace_json(const Recorder& recorder,
+                              const std::vector<CounterTrack>& counters) {
   std::ostringstream os;
-  write_chrome_trace(recorder, os);
+  write_chrome_trace(recorder, counters, os);
   return os.str();
 }
 

@@ -1,19 +1,43 @@
 // Chrome-trace (chrome://tracing / Perfetto) JSON export of a recorded
 // timeline. Each lane becomes a tid; spans become complete ("ph":"X") events
-// with microsecond timestamps.
+// with microsecond timestamps. Counter tracks (queue depth, occupancy,
+// power) become counter ("ph":"C") events rendered by the viewer as stacked
+// area charts under the span lanes.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "common/units.hpp"
 #include "trace/trace.hpp"
 
 namespace hq::trace {
 
+/// One sample of a piecewise-constant counter track.
+struct CounterPoint {
+  TimeNs time = 0;
+  double value = 0.0;
+};
+
+/// A named counter rendered as a "ph":"C" event sequence. Points must be in
+/// non-decreasing time order (the order an event-driven sampler produces).
+struct CounterTrack {
+  std::string name;
+  std::vector<CounterPoint> points;
+};
+
 /// Writes the recorder contents as a Chrome-trace JSON array.
 void write_chrome_trace(const Recorder& recorder, std::ostream& os);
 
+/// Same, with counter tracks appended to the event array after the spans.
+void write_chrome_trace(const Recorder& recorder,
+                        const std::vector<CounterTrack>& counters,
+                        std::ostream& os);
+
 /// Convenience: render to a string.
 std::string chrome_trace_json(const Recorder& recorder);
+std::string chrome_trace_json(const Recorder& recorder,
+                              const std::vector<CounterTrack>& counters);
 
 }  // namespace hq::trace

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,6 +66,25 @@ class Recorder {
   std::vector<Span> by_kind(SpanKind kind) const;
   std::vector<Span> by_lane(std::int32_t lane) const;
 
+  /// Zero-copy filtering visitors: unlike the by_* helpers above these do
+  /// not materialize a span vector per query, so a caller that visits every
+  /// app still touches each span only once per visit instead of paying an
+  /// allocation + full copy per app.
+  template <typename Pred, typename Fn>
+  void for_each_if(Pred&& pred, Fn&& fn) const {
+    for (const Span& s : spans_) {
+      if (pred(s)) fn(s);
+    }
+  }
+  template <typename Fn>
+  void for_each_app(std::int32_t app_id, Fn&& fn) const {
+    for_each_if([app_id](const Span& s) { return s.app_id == app_id; }, fn);
+  }
+  template <typename Fn>
+  void for_each_kind(SpanKind kind, Fn&& fn) const {
+    for_each_if([kind](const Span& s) { return s.kind == kind; }, fn);
+  }
+
   /// Earliest span begin; nullopt when empty.
   std::optional<TimeNs> min_time() const;
   /// Latest span end; nullopt when empty.
@@ -72,6 +92,41 @@ class Recorder {
 
  private:
   std::vector<Span> spans_;
+};
+
+/// One-pass per-app span index. Extracting per-app metrics with
+/// Recorder::by_app costs O(apps * spans) plus a copy of every matching
+/// span per query; building this index once costs O(spans log apps) and
+/// each subsequent per-app lookup is O(log apps). The pointers alias the
+/// source recorder, which must outlive the index and not grow while the
+/// index is in use.
+class AppIndex {
+ public:
+  explicit AppIndex(const Recorder& recorder) {
+    for (const Span& s : recorder.spans()) {
+      by_app_[s.app_id].push_back(&s);
+    }
+  }
+
+  /// Spans of one app, in recording order; empty for an unknown app.
+  const std::vector<const Span*>& spans_for(std::int32_t app_id) const {
+    static const std::vector<const Span*> kEmpty;
+    const auto it = by_app_.find(app_id);
+    return it == by_app_.end() ? kEmpty : it->second;
+  }
+
+  /// Distinct app ids seen, ascending (includes -1 for unattributed spans).
+  std::vector<std::int32_t> app_ids() const {
+    std::vector<std::int32_t> out;
+    out.reserve(by_app_.size());
+    for (const auto& [id, spans] : by_app_) out.push_back(id);
+    return out;
+  }
+
+  std::size_t app_count() const { return by_app_.size(); }
+
+ private:
+  std::map<std::int32_t, std::vector<const Span*>> by_app_;
 };
 
 }  // namespace hq::trace

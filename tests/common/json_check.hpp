@@ -1,0 +1,57 @@
+// Minimal structural JSON validation shared by the export tests (hqrun
+// --trace, --metrics, Chrome-trace counters): balanced containers,
+// well-terminated strings, no trailing comma before a closer. Enough to
+// catch the classic emitter bugs (unescaped quotes, dangling commas)
+// without pulling a JSON parser into the test deps.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace hq::testing {
+
+inline bool json_well_formed(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  char last_token = '\0';
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+        last_token = '"';
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '[': case '{': stack.push_back(c); last_token = c; break;
+      case ']':
+        if (stack.empty() || stack.back() != '[' || last_token == ',') {
+          return false;
+        }
+        stack.pop_back();
+        last_token = c;
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{' || last_token == ',') {
+          return false;
+        }
+        stack.pop_back();
+        last_token = c;
+        break;
+      case ',': case ':': last_token = c; break;
+      default:
+        if (!std::isspace(static_cast<unsigned char>(c))) last_token = c;
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+}  // namespace hq::testing

@@ -114,6 +114,26 @@ TEST(SweepRunnerTest, IdenticalResultsAtJobs128AndOversubscribed) {
   }
 }
 
+TEST(SweepRunnerTest, MetricsJsonByteIdenticalAcrossJobCounts) {
+  // Telemetry extends the PR-2 contract: with collect_telemetry on, the
+  // rendered sweep metrics report must also be byte-identical at any --jobs.
+  SweepGrid grid = test_grid();
+  grid.app_sets = {{"gaussian", "nn"}};
+  grid.base.collect_telemetry = true;
+  SweepRunner runner;
+  const auto serial = runner.run(grid, {.jobs = 1, .progress = {}});
+  ASSERT_EQ(serial.size(), 8u);
+  for (const SweepOutcome& o : serial) {
+    EXPECT_GT(o.mean_htod_latency_ns, 0.0) << o.point.label();
+    EXPECT_GT(o.peak_copy_queue_depth_htod, 0.0) << o.point.label();
+  }
+  const std::string serial_json = sweep_metrics_json(serial);
+  for (const int jobs : {2, 4}) {
+    const auto parallel = runner.run(grid, {.jobs = jobs, .progress = {}});
+    EXPECT_EQ(sweep_metrics_json(parallel), serial_json) << "jobs=" << jobs;
+  }
+}
+
 TEST(SweepRunnerTest, ProgressFiresInSubmissionOrder) {
   const SweepGrid grid = test_grid();
   std::vector<std::size_t> indices;

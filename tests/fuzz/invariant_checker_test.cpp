@@ -114,20 +114,20 @@ TEST(InvariantCheckerTest, DetectsClockGoingBackwards) {
 
 TEST(InvariantCheckerTest, DetectsCopyFifoViolation) {
   InvariantChecker c(gpu::DeviceSpec::tesla_k20());
-  c.on_copy_enqueued(0, gpu::CopyDirection::HtoD, 1, 0, 100);
-  c.on_copy_enqueued(0, gpu::CopyDirection::HtoD, 2, 0, 100);
-  c.on_copy_served(10, gpu::CopyDirection::HtoD, 2, 0, 10, 100);
+  c.on_copy_enqueued(0, gpu::CopyDirection::HtoD, 1, 0, -1, 100);
+  c.on_copy_enqueued(0, gpu::CopyDirection::HtoD, 2, 0, -1, 100);
+  c.on_copy_served(10, gpu::CopyDirection::HtoD, 2, -1, 0, 10, 100);
   ASSERT_FALSE(c.ok());
   EXPECT_NE(c.report().find("out of FIFO order"), std::string::npos);
 }
 
 TEST(InvariantCheckerTest, DetectsOverlappingCopyService) {
   InvariantChecker c(gpu::DeviceSpec::tesla_k20());
-  c.on_copy_enqueued(0, gpu::CopyDirection::DtoH, 1, 0, 100);
-  c.on_copy_enqueued(0, gpu::CopyDirection::DtoH, 2, 0, 100);
-  c.on_copy_served(10, gpu::CopyDirection::DtoH, 1, 0, 10, 100);
+  c.on_copy_enqueued(0, gpu::CopyDirection::DtoH, 1, 0, -1, 100);
+  c.on_copy_enqueued(0, gpu::CopyDirection::DtoH, 2, 0, -1, 100);
+  c.on_copy_served(10, gpu::CopyDirection::DtoH, 1, -1, 0, 10, 100);
   // Second service starts before the first ended.
-  c.on_copy_served(15, gpu::CopyDirection::DtoH, 2, 5, 15, 100);
+  c.on_copy_served(15, gpu::CopyDirection::DtoH, 2, -1, 5, 15, 100);
   ASSERT_FALSE(c.ok());
   EXPECT_NE(c.report().find("overlapping"), std::string::npos);
 }

@@ -33,9 +33,12 @@ constexpr GoldenPair kGolden[] = {
     {"needle", "srad", 0x34b0f4e33d596379ULL, 0x3f080a982f6eb060ULL},
 };
 
-std::uint64_t digest_for(const bench::Pair& pair, bool memory_sync) {
-  const auto result = bench::run_pair(pair, 32, 32, fw::Order::NaiveFifo,
-                                      memory_sync);
+std::uint64_t digest_for(const bench::Pair& pair, bool memory_sync,
+                         bool collect_telemetry = false) {
+  const auto result =
+      bench::run_pair(pair, 32, 32, fw::Order::NaiveFifo, memory_sync,
+                      /*chunk_bytes=*/0, /*shuffle_seed=*/42,
+                      /*device=*/nullptr, collect_telemetry);
   return trace::digest(*result.trace);
 }
 
@@ -50,6 +53,21 @@ TEST(GoldenPairDigestsTest, AllSixPairsMemorySyncMode) {
   for (const GoldenPair& g : kGolden) {
     EXPECT_EQ(digest_for({g.x, g.y}, true), g.memsync_digest)
         << "{" << g.x << ", " << g.y << "} memsync";
+  }
+}
+
+TEST(GoldenPairDigestsTest, TelemetryObserverIsZeroPerturbation) {
+  // The hq_obs telemetry observer is passive: attaching it must leave every
+  // pinned digest bit-identical, in both transfer modes. This is the
+  // zero-perturbation contract of src/obs/telemetry.hpp, proven against the
+  // same constants the perturbation-free runs are pinned to.
+  for (const GoldenPair& g : kGolden) {
+    EXPECT_EQ(digest_for({g.x, g.y}, false, /*collect_telemetry=*/true),
+              g.default_digest)
+        << "{" << g.x << ", " << g.y << "} default + telemetry";
+    EXPECT_EQ(digest_for({g.x, g.y}, true, /*collect_telemetry=*/true),
+              g.memsync_digest)
+        << "{" << g.x << ", " << g.y << "} memsync + telemetry";
   }
 }
 

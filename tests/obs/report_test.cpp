@@ -1,0 +1,131 @@
+// Telemetry exporters: deterministic double formatting, JSON/Prometheus
+// shape and escaping, and Series -> Chrome-trace counter-track conversion.
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/common/json_check.hpp"
+#include "trace/chrome_trace.hpp"
+
+namespace hq::obs {
+namespace {
+
+using hq::testing::json_well_formed;
+
+MetricsRegistry sample_registry() {
+  MetricsRegistry reg;
+  reg.counter("copies", "transfers enqueued").add(3);
+  reg.gauge("energy", "joules").set(1.5);
+  auto& h = reg.histogram("wait_ns", {10.0, 100.0}, "queue wait");
+  h.record(5.0);
+  h.record(50.0);
+  h.record(500.0);
+  auto& s = reg.series("depth", "queue depth");
+  s.sample(0, 1.0);
+  s.sample(1000, 2.0);
+  s.sample(2500, 0.0);
+  return reg;
+}
+
+TEST(ReportTest, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(-2.25), "-2.25");
+  EXPECT_EQ(format_double(0.0), "0");
+  // Shortest form that round-trips, not a fixed precision.
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(std::stod(format_double(1e9)), 1e9);
+  EXPECT_EQ(std::stod(format_double(123.456789012345)), 123.456789012345);
+}
+
+TEST(ReportTest, MetricsJsonIsWellFormedAndVersioned) {
+  const MetricsRegistry reg = sample_registry();
+  RunInfo info;
+  info.workload = "gaussian+needle";
+  info.num_apps = 2;
+  info.num_streams = 4;
+  info.order = "naive-fifo";
+  info.makespan = 12345;
+  info.trace_digest = 0xdeadbeef12345678ULL;
+  AppReport app;
+  app.app_id = 0;
+  app.type = "gaussian";
+  app.htod_effective_latency = 100;
+  app.htod_interleave_count = 2;
+  app.htod_interleave_bytes = 64;
+  const std::string json = metrics_json(info, reg, {app});
+
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"gaussian+needle\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_digest\": \"0xdeadbeef12345678\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"htod_interleave_count\": 2"), std::string::npos);
+  // Series points render as [t, v] pairs.
+  EXPECT_NE(json.find("[1000, 2]"), std::string::npos);
+}
+
+TEST(ReportTest, MetricsJsonIsByteIdenticalAcrossIdenticalRuns) {
+  RunInfo info;
+  info.workload = "w";
+  const std::string a = metrics_json(info, sample_registry(), {});
+  const std::string b = metrics_json(info, sample_registry(), {});
+  EXPECT_EQ(a, b);
+}
+
+TEST(ReportTest, EmptyRegistryAndAppsStillWellFormed) {
+  const std::string json = metrics_json(RunInfo{}, MetricsRegistry{}, {});
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"apps\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": []"), std::string::npos);
+}
+
+TEST(ReportTest, JsonEscapesQuotesAndBackslashes) {
+  MetricsRegistry reg;
+  reg.counter("odd\"name\\", "help with \"quotes\"").add(1);
+  RunInfo info;
+  info.workload = "w\"x\\y";
+  const std::string json = metrics_json(info, reg, {});
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("odd\\\"name\\\\"), std::string::npos);
+  EXPECT_NE(json.find("w\\\"x\\\\y"), std::string::npos);
+}
+
+TEST(ReportTest, PrometheusShapesEachKind) {
+  const std::string text = prometheus_text(sample_registry());
+  EXPECT_NE(text.find("# TYPE hq_copies counter\nhq_copies 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hq_energy 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("hq_energy_peak 1.5\n"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf, _sum and _count.
+  EXPECT_NE(text.find("hq_wait_ns_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("hq_wait_ns_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("hq_wait_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("hq_wait_ns_sum 555\n"), std::string::npos);
+  EXPECT_NE(text.find("hq_wait_ns_count 3\n"), std::string::npos);
+  // Series snapshot: last value + peak.
+  EXPECT_NE(text.find("hq_depth 0\n"), std::string::npos);
+  EXPECT_NE(text.find("hq_depth_peak 2\n"), std::string::npos);
+}
+
+TEST(ReportTest, CounterTracksPickOnlySeriesInRegistrationOrder) {
+  const MetricsRegistry reg = sample_registry();
+  const auto tracks = counter_tracks(reg);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].name, "depth");
+  ASSERT_EQ(tracks[0].points.size(), 3u);
+  EXPECT_EQ(tracks[0].points[1].time, 1000);
+  EXPECT_EQ(tracks[0].points[1].value, 2.0);
+}
+
+TEST(ReportTest, CounterTracksRenderAsChromeCounterEvents) {
+  const auto tracks = counter_tracks(sample_registry());
+  trace::Recorder recorder;
+  const std::string json = trace::chrome_trace_json(recorder, tracks);
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"depth\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hq::obs

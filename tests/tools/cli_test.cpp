@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "hyperq/harness.hpp"
 #include "rodinia/registry.hpp"
+#include "tests/common/json_check.hpp"
 #include "trace/chrome_trace.hpp"
 
 namespace hq::tools {
@@ -154,51 +155,8 @@ TEST_F(HqrunCliTest, UnknownApplicationNamesAreDetectable) {
   }
 }
 
-// Minimal structural JSON validation: balanced containers, well-terminated
-// strings, no trailing comma before a closer. Enough to catch the classic
-// emitter bugs (unescaped quotes, dangling commas) in --trace output.
-bool json_well_formed(const std::string& text) {
-  std::vector<char> stack;
-  bool in_string = false;
-  bool escaped = false;
-  char last_token = '\0';
-  for (char c : text) {
-    if (in_string) {
-      if (escaped) {
-        escaped = false;
-      } else if (c == '\\') {
-        escaped = true;
-      } else if (c == '"') {
-        in_string = false;
-        last_token = '"';
-      }
-      continue;
-    }
-    switch (c) {
-      case '"': in_string = true; break;
-      case '[': case '{': stack.push_back(c); last_token = c; break;
-      case ']':
-        if (stack.empty() || stack.back() != '[' || last_token == ',') {
-          return false;
-        }
-        stack.pop_back();
-        last_token = c;
-        break;
-      case '}':
-        if (stack.empty() || stack.back() != '{' || last_token == ',') {
-          return false;
-        }
-        stack.pop_back();
-        last_token = c;
-        break;
-      case ',': case ':': last_token = c; break;
-      default:
-        if (!std::isspace(static_cast<unsigned char>(c))) last_token = c;
-        break;
-    }
-  }
-  return !in_string && stack.empty();
-}
+// Shared with the obs/trace export tests: tests/common/json_check.hpp.
+using hq::testing::json_well_formed;
 
 TEST(HqrunTraceJsonTest, JsonCheckerRejectsMalformedInput) {
   EXPECT_TRUE(json_well_formed("[\n]\n"));

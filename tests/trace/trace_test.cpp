@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/check.hpp"
+#include "tests/common/json_check.hpp"
 #include "trace/ascii_timeline.hpp"
 #include "trace/chrome_trace.hpp"
 
@@ -140,6 +143,67 @@ TEST(ChromeTraceTest, EscapesSpecialCharacters) {
 TEST(ChromeTraceTest, EmptyRecorderIsEmptyArray) {
   Recorder r;
   EXPECT_EQ(chrome_trace_json(r), "[\n]\n");
+}
+
+// ------------------------------------------------------- counter events
+
+TEST(ChromeTraceCounterTest, EmitsCounterEventsAfterSpans) {
+  Recorder r;
+  r.add(make_span(0, 0, SpanKind::Kernel, 1000, 3000, "k"));
+  std::vector<CounterTrack> counters(1);
+  counters[0].name = "copy_queue_depth_htod";
+  counters[0].points = {{0, 0.0}, {2000, 3.0}, {5000, 1.0}};
+  const std::string json = chrome_trace_json(r, counters);
+  EXPECT_TRUE(hq::testing::json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"copy_queue_depth_htod\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"value\": 3}"), std::string::npos);
+  // Span events still precede the counter events.
+  EXPECT_LT(json.find("\"ph\": \"X\""), json.find("\"ph\": \"C\""));
+}
+
+TEST(ChromeTraceCounterTest, CountersAloneAreWellFormed) {
+  // No spans: the first emitted event is a counter, which must not be
+  // preceded by a comma.
+  Recorder r;
+  std::vector<CounterTrack> counters(2);
+  counters[0].name = "power_watts";
+  counters[0].points = {{0, 25.0}, {100, 137.5}};
+  counters[1].name = "occupancy";
+  counters[1].points = {{0, 0.25}};
+  const std::string json = chrome_trace_json(r, counters);
+  EXPECT_TRUE(hq::testing::json_well_formed(json)) << json;
+  EXPECT_NE(json.find("137.5"), std::string::npos);
+}
+
+TEST(ChromeTraceCounterTest, TimestampsStayMonotonicPerTrack) {
+  Recorder r;
+  std::vector<CounterTrack> counters(1);
+  counters[0].name = "depth";
+  counters[0].points = {{1000, 1.0}, {2000, 2.0}, {2000, 3.0}, {250000, 0.0}};
+  const std::string json = chrome_trace_json(r, counters);
+  EXPECT_TRUE(hq::testing::json_well_formed(json)) << json;
+  // Extract the "ts" values in emission order and check they never decrease
+  // (Perfetto sorts stably, but out-of-order counters render misleadingly).
+  std::vector<double> ts;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ts\": ", pos)) != std::string::npos) {
+    pos += 6;
+    ts.push_back(std::stod(json.substr(pos)));
+  }
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end())) << json;
+}
+
+TEST(ChromeTraceCounterTest, EscapesQuotesAndBackslashesInTrackNames) {
+  Recorder r;
+  std::vector<CounterTrack> counters(1);
+  counters[0].name = "weird\"name\\track";
+  counters[0].points = {{0, 1.0}};
+  const std::string json = chrome_trace_json(r, counters);
+  EXPECT_TRUE(hq::testing::json_well_formed(json)) << json;
+  EXPECT_NE(json.find("weird\\\"name\\\\track"), std::string::npos);
 }
 
 // --------------------------------------------------------------- digest

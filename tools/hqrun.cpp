@@ -4,14 +4,16 @@
 //   hqrun --apps gaussian,needle --na 32 --ns 32
 //   hqrun --apps nn,srad --na 16 --ns 8 --order rev-rr --memsync
 //   hqrun --apps gaussian,needle --na 8 --ns 8 --trace out.json --power-csv p.csv
+//   hqrun --apps gaussian,needle --na 8 --ns 8 --metrics m.json --metrics-prom m.prom
 //   hqrun --apps needle,srad --na 8 --ns 4 --device fermi
-//   hqrun --apps gaussian,srad --na 32 --ns 32 --all-orders --jobs 0
+//   hqrun --apps gaussian,srad --na 32 --ns 32 --all-orders --jobs 0 --metrics sweep.json
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "common/table.hpp"
 #include "exec/sweep.hpp"
+#include "obs/report.hpp"
 #include "hyperq/harness.hpp"
 #include "hyperq/schedule.hpp"
 #include "rodinia/registry.hpp"
@@ -67,7 +69,16 @@ int main(int argc, char** argv) {
   args.add_option("size", "application problem size override", "0");
   args.add_option("seed", "shuffle seed", "42");
   args.add_option("stagger-us", "child-thread launch stagger (us)", "100");
-  args.add_option("trace", "write a Chrome-trace JSON to this path", "");
+  args.add_option("trace",
+                  "write a Chrome-trace JSON (spans + counter tracks) to "
+                  "this path",
+                  "");
+  args.add_option("metrics",
+                  "write the telemetry metrics JSON report to this path "
+                  "(with --all-orders: the per-point sweep aggregate)",
+                  "");
+  args.add_option("metrics-prom",
+                  "write the Prometheus text exposition to this path", "");
   args.add_option("power-csv", "write the power trace CSV to this path", "");
   args.add_flag("timeline", "print the ASCII execution timeline");
   args.add_flag("functional", "run real algorithm payloads and verify");
@@ -123,7 +134,21 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
 
+  const std::string metrics_path = args.get("metrics");
+  const std::string prom_path = args.get("metrics-prom");
+  const std::string trace_path = args.get("trace");
+  // Telemetry is passive (the schedule is bit-identical either way), so it
+  // is enabled exactly when an export needs it.
+  config.collect_telemetry =
+      !metrics_path.empty() || !prom_path.empty() || !trace_path.empty();
+
   if (args.get_flag("all-orders")) {
+    if (!prom_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --metrics-prom is a single-run export; it cannot "
+                   "be combined with --all-orders\n");
+      return 2;
+    }
     const auto jobs = args.get_int("jobs");
     if (!jobs || *jobs < 0) {
       std::fprintf(stderr, "error: bad --jobs\n");
@@ -142,6 +167,11 @@ int main(int argc, char** argv) {
     options.jobs = static_cast<int>(*jobs);
     const auto outcomes = exec::SweepRunner().run(grid, options);
     std::printf("%s", exec::render_report(outcomes).c_str());
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      exec::write_sweep_metrics_json(out, outcomes);
+      std::printf("wrote %s\n", metrics_path.c_str());
+    }
     bool verified = true;
     for (const auto& o : outcomes) verified = verified && o.all_verified;
     return (config.functional && !verified) ? 1 : 0;
@@ -186,10 +216,27 @@ int main(int argc, char** argv) {
     opt.width = 110;
     std::printf("\n%s", render_ascii_timeline(*result.trace, opt).c_str());
   }
-  if (const std::string path = args.get("trace"); !path.empty()) {
-    std::ofstream out(path);
-    trace::write_chrome_trace(*result.trace, out);
-    std::printf("wrote %s\n", path.c_str());
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    trace::write_chrome_trace(
+        *result.trace,
+        result.telemetry ? obs::counter_tracks(result.telemetry->registry())
+                         : std::vector<trace::CounterTrack>{},
+        out);
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    const auto info = fw::telemetry_run_info(config, result, args.get("apps"),
+                                             fw::order_name(*order));
+    std::ofstream out(metrics_path);
+    obs::write_metrics_json(out, info, result.telemetry->registry(),
+                            fw::telemetry_app_reports(result));
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    std::ofstream out(prom_path);
+    obs::write_prometheus(out, result.telemetry->registry());
+    std::printf("wrote %s\n", prom_path.c_str());
   }
   if (const std::string path = args.get("power-csv"); !path.empty()) {
     std::ofstream out(path);
