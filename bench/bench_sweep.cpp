@@ -77,11 +77,11 @@ int main(int argc, char** argv) {
               jobs);
 
   const auto t_serial = std::chrono::steady_clock::now();
-  const auto serial = runner.run(grid, {.jobs = 1, .progress = {}});
+  const auto serial = runner.run(grid, {.jobs = 1, .progress = {}, .journal_path = {}, .resume = false});
   const double wall_serial = seconds_since(t_serial);
 
   const auto t_parallel = std::chrono::steady_clock::now();
-  const auto parallel = runner.run(grid, {.jobs = jobs, .progress = {}});
+  const auto parallel = runner.run(grid, {.jobs = jobs, .progress = {}, .journal_path = {}, .resume = false});
   const double wall_parallel = seconds_since(t_parallel);
 
   // Determinism proof: identical digests per point and identical aggregate

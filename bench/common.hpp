@@ -50,12 +50,14 @@ inline fw::HarnessResult run_pair(const Pair& pair, int na, int ns,
                                   Bytes chunk_bytes = 0,
                                   std::uint64_t shuffle_seed = 42,
                                   const gpu::DeviceSpec* device = nullptr,
-                                  bool collect_telemetry = false) {
+                                  bool collect_telemetry = false,
+                                  const fault::FaultPlan* fault_plan = nullptr) {
   fw::HarnessConfig config = timing_config(ns);
   config.memory_sync = memory_sync;
   config.transfer_chunk_bytes = chunk_bytes;
   config.collect_telemetry = collect_telemetry;
   if (device != nullptr) config.device = *device;
+  if (fault_plan != nullptr) config.fault_plan = *fault_plan;
 
   Rng rng(shuffle_seed);
   const int counts[] = {na / 2, na - na / 2};

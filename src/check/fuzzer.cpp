@@ -111,7 +111,33 @@ std::string FuzzCase::summary() const {
   return os.str();
 }
 
+fault::FaultPlan Fuzzer::case_fault_plan(std::uint64_t case_seed,
+                                         double fault_rate) {
+  HQ_CHECK_MSG(fault_rate >= 0.0 && fault_rate <= 1.0,
+               "fault rate must lie in [0, 1]");
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  // Decorrelate the fault stream from the workload generator without losing
+  // reproducibility: the plan is still a pure function of the case seed.
+  plan.seed = case_seed ^ 0x9e3779b97f4a7c15ULL;
+  plan.copy_stall_rate = 0.25 * fault_rate;
+  plan.copy_stall_ns = 50 * kMicrosecond;
+  plan.copy_slowdown_rate = 0.25 * fault_rate;
+  plan.copy_slowdown_factor = 1.5;
+  plan.launch_failure_rate = 0.5 * fault_rate;
+  plan.throttle_period = 2 * kMillisecond;
+  plan.throttle_duration = 200 * kMicrosecond;
+  plan.throttle_factor = 1.25;
+  return plan;
+}
+
 std::vector<std::string> Fuzzer::run_case(std::uint64_t case_seed,
+                                          std::string* summary_out) {
+  return run_case(case_seed, 0.0, summary_out);
+}
+
+std::vector<std::string> Fuzzer::run_case(std::uint64_t case_seed,
+                                          double fault_rate,
                                           std::string* summary_out) {
   const FuzzCase c = generate_case(case_seed);
   if (summary_out != nullptr) *summary_out = c.summary();
@@ -279,6 +305,98 @@ std::vector<std::string> Fuzzer::run_case(std::uint64_t case_seed,
     }
   }
 
+  // --- fault-mode oracles ------------------------------------------------------
+  if (fault_rate > 0.0) {
+    // Attaching an all-zero-rate plan must perturb nothing.
+    fw::HarnessConfig zero_cfg = c.config;
+    zero_cfg.fault_plan = fault::FaultPlan::zero();
+    const auto zeroed = run_with(zero_cfg, "fault-zero");
+    if (zeroed) {
+      if (trace::digest(*zeroed->trace) != digest1) {
+        std::ostringstream os;
+        os << "fault: zero-rate plan perturbed the trace digest ("
+           << trace::digest(*zeroed->trace) << " vs " << digest1 << ")";
+        fail(os);
+      }
+      if (zeroed->degraded.stats.total() != 0 ||
+          !zeroed->degraded.quarantined.empty()) {
+        std::ostringstream os;
+        os << "fault: zero-rate plan reported "
+           << zeroed->degraded.stats.total() << " faults / "
+           << zeroed->degraded.quarantined.size() << " quarantined apps";
+        fail(os);
+      }
+    }
+
+    fw::HarnessConfig fault_cfg = c.config;
+    fault_cfg.fault_plan = case_fault_plan(case_seed, fault_rate);
+    const auto faulted1 = run_with(fault_cfg, "fault-run1");
+    const auto faulted2 = run_with(fault_cfg, "fault-run2");
+    if (faulted1 && faulted2) {
+      // Determinism: the same plan + seed reproduces the faulted run.
+      if (trace::digest(*faulted1->trace) != trace::digest(*faulted2->trace) ||
+          faulted1->makespan != faulted2->makespan ||
+          faulted1->degraded.stats.total() !=
+              faulted2->degraded.stats.total()) {
+        std::ostringstream os;
+        os << "fault: faulted run is not deterministic (digests "
+           << trace::digest(*faulted1->trace) << "/"
+           << trace::digest(*faulted2->trace) << ", makespans "
+           << faulted1->makespan << "/" << faulted2->makespan << ", faults "
+           << faulted1->degraded.stats.total() << "/"
+           << faulted2->degraded.stats.total() << ")";
+        fail(os);
+      }
+      // Injected faults only ever add service time or submission delay, so
+      // the faulted run is never materially faster (same 2% guard band as
+      // the Fermi oracle for contention-model noise).
+      if (static_cast<double>(faulted1->makespan) <
+          static_cast<double>(hyperq1->makespan) * 0.98) {
+        std::ostringstream os;
+        os << "fault: faulted makespan " << faulted1->makespan
+           << " materially below fault-free makespan " << hyperq1->makespan;
+        fail(os);
+      }
+      // Transient faults never drop device work, and the plan stays below
+      // the retry budget, so nothing may be quarantined.
+      check_stats(faulted1->device_stats, "faulted");
+      if (!faulted1->degraded.quarantined.empty()) {
+        std::ostringstream os;
+        os << "fault: transient-only plan quarantined "
+           << faulted1->degraded.quarantined.size() << " app(s)";
+        fail(os);
+      }
+      // At full intensity every copy draws a stall at rate 0.25 and every
+      // launch at rate 0.5 — a run with zero observed faults means the
+      // injector is wired to nothing.
+      if (fault_rate >= 1.0 && faulted1->degraded.stats.total() == 0) {
+        std::ostringstream os;
+        os << "fault: rate-1 plan injected zero faults";
+        fail(os);
+      }
+      // Retried launches still reach the device: functional outputs are
+      // byte-identical to the fault-free run.
+      if (c.config.functional) {
+        if (!faulted1->all_verified) {
+          std::ostringstream os;
+          os << "fault: faulted run failed verification";
+          fail(os);
+        }
+        for (std::size_t i = 0; i < hyperq1->apps.size(); ++i) {
+          if (faulted1->apps[i].output_digest !=
+              hyperq1->apps[i].output_digest) {
+            std::ostringstream os;
+            os << "fault: app " << i << " (" << hyperq1->apps[i].type
+               << ") output digest diverges under transient faults ("
+               << faulted1->apps[i].output_digest << " vs "
+               << hyperq1->apps[i].output_digest << ")";
+            fail(os);
+          }
+        }
+      }
+    }
+  }
+
   return problems;
 }
 
@@ -298,7 +416,7 @@ FuzzReport Fuzzer::run(const Progress& progress) {
   };
   const auto run_one = [&](std::size_t i) {
     CaseResult r;
-    r.problems = run_case(case_seeds[i], &r.summary);
+    r.problems = run_case(case_seeds[i], options_.fault_rate, &r.summary);
     return r;
   };
 

@@ -20,6 +20,15 @@
 //   - Functional equivalence: outputs verify and their digests are
 //     byte-identical across every scheduling mode.
 //
+// With FuzzOptions::fault_rate > 0 every case additionally runs under a
+// seed-derived transient fault plan and checks the fault-mode oracles:
+// attaching a zero-rate plan is zero-perturbation (identical digest), the
+// faulted run is deterministic, never materially faster than the fault-free
+// run, performs identical device work, injects at least one observable
+// fault (at rate 1), never quarantines (transient faults stay below the
+// retry budget), and — in functional cases — produces output digests
+// identical to the fault-free run.
+//
 // Every run also carries the hq_check InvariantChecker (via the harness),
 // so scheduler/copy-engine/accounting invariant violations surface here as
 // case failures too.
@@ -64,6 +73,9 @@ struct FuzzOptions {
   /// are identical at any job count (cases are generated from the master
   /// seed up front and reported in iteration order).
   int jobs = 1;
+  /// Scales the per-case transient fault plan in [0, 1]; 0 disables the
+  /// fault-mode oracles entirely.
+  double fault_rate = 0.0;
 };
 
 struct FuzzFailure {
@@ -95,6 +107,16 @@ class Fuzzer {
   /// (empty = clean). Used for replaying a failure and by tests.
   static std::vector<std::string> run_case(std::uint64_t case_seed,
                                            std::string* summary_out = nullptr);
+  /// Same, with the fault-mode oracles at the given intensity.
+  static std::vector<std::string> run_case(std::uint64_t case_seed,
+                                           double fault_rate,
+                                           std::string* summary_out);
+
+  /// The seed-derived transient-only plan fault-mode cases run under
+  /// (stalls, slowdowns, throttle windows, retryable launch failures; no
+  /// poison/offline/alloc faults, so no quarantine is ever legitimate).
+  static fault::FaultPlan case_fault_plan(std::uint64_t case_seed,
+                                          double fault_rate);
 
  private:
   FuzzOptions options_;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cudart/runtime.hpp"
+#include "fault/fault.hpp"
 
 namespace hq::check {
 
@@ -308,6 +309,24 @@ void InvariantChecker::on_power_integrated(TimeNs now, Watts power,
   }
 }
 
+// --------------------------------------------------------------- faults
+
+void InvariantChecker::on_fault_injected(TimeNs now, gpu::ObservedFault kind,
+                                         std::uint64_t key,
+                                         DurationNs penalty) {
+  observe_time(now, "fault injection");
+  (void)key;
+  (void)penalty;
+  const auto index = static_cast<std::size_t>(kind);
+  if (index >= gpu::kNumObservedFaults) {
+    std::ostringstream os;
+    os << "unknown fault kind " << index << " at t=" << now;
+    fail(os.str());
+    return;
+  }
+  ++fault_events_[index];
+}
+
 // --------------------------------------------------------------- finalize
 
 void InvariantChecker::finalize(const gpu::Device& device) {
@@ -402,6 +421,20 @@ void InvariantChecker::finalize_runtime(const rt::Runtime& runtime) {
     os << "host memory leak: " << m.host_allocs << " allocs, " << m.host_frees
        << " frees";
     fail(os.str());
+  }
+}
+
+void InvariantChecker::finalize_faults(const fault::FaultStats& stats) {
+  for (std::size_t i = 0; i < gpu::kNumObservedFaults; ++i) {
+    const auto kind = static_cast<gpu::ObservedFault>(i);
+    const std::uint64_t expected = stats.count_for(kind);
+    if (fault_events_[i] != expected) {
+      std::ostringstream os;
+      os << "fault accounting mismatch for " << gpu::observed_fault_name(kind)
+         << ": injector counted " << expected << ", observer saw "
+         << fault_events_[i];
+      fail(os.str());
+    }
   }
 }
 

@@ -20,6 +20,9 @@
 //   7. Quiescence — at finalize time nothing is resident, no queue holds
 //      work, and (via finalize_runtime) no device/host memory is leaked or
 //      double-freed.
+//   8. Fault accounting — every fault the injector fired was observed as an
+//      on_fault_injected event and vice versa, per kind (via
+//      finalize_faults); the model can never silently absorb a fault.
 //
 // The checker never mutates device state and collects violations instead of
 // throwing, so a fuzzer can report every broken invariant of a run; callers
@@ -38,6 +41,10 @@
 
 namespace hq::rt {
 class Runtime;
+}
+
+namespace hq::fault {
+struct FaultStats;
 }
 
 namespace hq::check {
@@ -65,6 +72,8 @@ class InvariantChecker : public gpu::DeviceObserver {
                           const gpu::BlockDemand& demand) override;
   void on_kernel_completed(TimeNs now, const gpu::KernelExec& exec) override;
   void on_power_integrated(TimeNs now, Watts power, double occupancy) override;
+  void on_fault_injected(TimeNs now, gpu::ObservedFault kind,
+                         std::uint64_t key, DurationNs penalty) override;
 
   // --- end-of-run checks ---------------------------------------------------
   /// Run after the simulation drains: checks quiescence (nothing resident,
@@ -73,6 +82,10 @@ class InvariantChecker : public gpu::DeviceObserver {
   /// Checks the runtime's memory accounting: every allocation freed exactly
   /// once and no failed (double) frees.
   void finalize_runtime(const rt::Runtime& runtime);
+  /// Fault-mode oracle: the on_fault_injected events observed during the
+  /// run must match the injector's own counters, kind by kind — faults are
+  /// accounted for, never silently absorbed (and never invented).
+  void finalize_faults(const fault::FaultStats& stats);
 
   // --- results -------------------------------------------------------------
   bool ok() const { return violations_.empty(); }
@@ -113,6 +126,8 @@ class InvariantChecker : public gpu::DeviceObserver {
   TimeNs last_event_time_ = 0;
 
   EngineState engines_[2];  ///< indexed by CopyDirection
+  /// on_fault_injected events seen, indexed by ObservedFault.
+  std::uint64_t fault_events_[gpu::kNumObservedFaults] = {};
   std::map<gpu::StreamId, std::deque<gpu::OpId>> stream_order_;
   /// Mirror of the block scheduler's pending deque, maintained with the
   /// same (priority, dispatch-order) insertion rule; front is the only

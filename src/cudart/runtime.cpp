@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/fault.hpp"
+
 namespace hq::rt {
 
 const char* status_name(Status status) {
@@ -13,13 +15,48 @@ const char* status_name(Status status) {
     case Status::InvalidHandle: return "InvalidHandle";
     case Status::InvalidConfiguration: return "InvalidConfiguration";
     case Status::NotReady: return "NotReady";
+    case Status::LaunchFailure: return "LaunchFailure";
   }
   return "?";
 }
 
 Runtime::Runtime(sim::Simulator& sim, gpu::Device& device,
                  RuntimeOptions options)
-    : sim_(sim), device_(device), options_(options) {}
+    : sim_(sim), device_(device), options_(options) {
+  HQ_CHECK_MSG(options_.retry.max_attempts >= 1,
+               "RetryPolicy needs at least one attempt");
+  HQ_CHECK(options_.retry.multiplier >= 1.0);
+}
+
+// ------------------------------------------------------------- submissions
+
+void Runtime::AsyncSubmit::run_attempt(std::coroutine_handle<> h, int attempt,
+                                       DurationNs delay) {
+  sim_.schedule(delay, [this, h, attempt] {
+    const SubmitOutcome out = attempt_(attempt);
+    if (out.status == Status::Ok) {
+      result_ = Status::Ok;
+      h.resume();
+      return;
+    }
+    if (out.retryable && attempt < retry_.max_attempts) {
+      // Stay suspended across the backoff so the stream submission order —
+      // and with it the functional output — is unchanged by the retry.
+      run_attempt(h, attempt + 1, backoff_after(attempt));
+      return;
+    }
+    result_ = out.status;
+    if (give_up_ != nullptr) give_up_(out.status);
+    h.resume();
+  });
+}
+
+DurationNs Runtime::AsyncSubmit::backoff_after(int attempt) const {
+  double backoff = static_cast<double>(retry_.base_backoff);
+  for (int i = 1; i < attempt; ++i) backoff *= retry_.multiplier;
+  return static_cast<DurationNs>(
+      std::min(backoff, static_cast<double>(retry_.max_backoff)));
+}
 
 // ----------------------------------------------------------------- memory
 
@@ -52,6 +89,11 @@ Status Runtime::free_device(DevicePtr ptr) {
 
 Result<HostPtr> Runtime::malloc_host(Bytes bytes) {
   if (bytes == 0) return Status::InvalidValue;
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->host_alloc_fails(sim_.now(),
+                                                next_host_alloc_key_++)) {
+    return Status::OutOfMemory;
+  }
   const std::uint64_t id = next_host_id_++;
   Allocation alloc;
   alloc.data = std::make_unique<std::byte[]>(bytes);
@@ -170,12 +212,18 @@ Runtime::AsyncSubmit Runtime::memcpy_impl(Stream stream, gpu::CopyDirection dir,
     // CUDA semantics: a zero-byte memcpy is a valid no-op. It still costs
     // the driver submission overhead and completes in stream order (as a
     // marker), but never occupies a copy engine.
-    return AsyncSubmit{sim_, options_.memcpy_submit_overhead,
-                       [this, stream, tag = std::move(tag)]() mutable {
+    return AsyncSubmit{sim_, options_.memcpy_submit_overhead, options_.retry,
+                       [this, stream, tag = std::move(tag)](int) mutable
+                       -> SubmitOutcome {
+                         if (const Status f = stream_rec(stream).fault;
+                             f != Status::Ok) {
+                           return {f, false};
+                         }
                          op_submitted(stream);
                          device_.submit_marker(
                              stream.id, std::move(tag),
                              [this, stream] { op_completed(stream); });
+                         return {};
                        }};
   }
   host_view = host_view.subspan(offset, bytes);
@@ -194,14 +242,20 @@ Runtime::AsyncSubmit Runtime::memcpy_impl(Stream stream, gpu::CopyDirection dir,
   // The driver submission overhead modelled by AsyncSubmit is what
   // interleaves concurrent host threads' entries in the copy queue.
   return AsyncSubmit{
-      sim_, options_.memcpy_submit_overhead,
+      sim_, options_.memcpy_submit_overhead, options_.retry,
       [this, stream, dir, bytes, payload = std::move(payload),
-       tag = std::move(tag)]() mutable {
+       tag = std::move(tag)](int) mutable -> SubmitOutcome {
+        if (const Status f = stream_rec(stream).fault; f != Status::Ok) {
+          // Sticky stream fault: fail fast without touching the device so
+          // the quarantined app's stream still drains to idle.
+          return {f, false};
+        }
         op_submitted(stream);
         device_.submit_copy(stream.id,
                             gpu::CopyRequest{dir, bytes, std::move(payload)},
                             std::move(tag),
                             [this, stream] { op_completed(stream); });
+        return {};
       }};
 }
 
@@ -244,19 +298,53 @@ Runtime::AsyncSubmit Runtime::launch_kernel(Stream stream, LaunchConfig config,
   stream_rec(stream);  // validate the handle eagerly
 
   if (tag.label.empty()) tag.label = config.name;
+  const std::int32_t app_id = tag.app_id;
   gpu::KernelLaunch launch{
       std::move(config.name),       config.grid,
       config.block,                 config.regs_per_thread,
       config.smem_per_block,        config.block_duration,
       config.contention_sensitivity,
       options_.functional ? std::move(config.body) : nullptr};
+
+  // Transient failures are pre-drawn once per launch (a deterministic
+  // function of the fault seed and the launch's issue-order key), capped
+  // below the retry budget unless the app is poisoned — so retried launches
+  // always reach the device and functional digests match fault-free runs.
+  const std::uint64_t op_key = next_launch_key_++;
+  int planned_failures = 0;
+  if (options_.fault_injector != nullptr) {
+    planned_failures = options_.fault_injector->launch_failures_for(
+        app_id, op_key, options_.retry.max_attempts - 1);
+  }
   return AsyncSubmit{
-      sim_, options_.kernel_submit_overhead,
-      [this, stream, launch = std::move(launch),
-       tag = std::move(tag)]() mutable {
+      sim_, options_.kernel_submit_overhead, options_.retry,
+      [this, stream, launch = std::move(launch), tag = std::move(tag),
+       planned_failures, op_key](int attempt) mutable -> SubmitOutcome {
+        if (const Status f = stream_rec(stream).fault; f != Status::Ok) {
+          return {f, false};
+        }
+        if (attempt <= planned_failures) {
+          if (options_.fault_injector != nullptr) {
+            options_.fault_injector->note_launch_failure(sim_.now(), op_key);
+          }
+          return {Status::LaunchFailure, true};
+        }
         op_submitted(stream);
         device_.submit_kernel(stream.id, std::move(launch), std::move(tag),
                               [this, stream] { op_completed(stream); });
+        return {};
+      },
+      [this, stream, op_key](Status failed) {
+        // Retry budget exhausted: the failure becomes sticky on the stream
+        // (never submitted, so no pending op leaks and the stream still
+        // reaches idle for teardown).
+        StreamRec& rec = stream_rec(stream);
+        if (rec.fault == Status::Ok) {
+          rec.fault = failed;
+          if (options_.fault_injector != nullptr) {
+            options_.fault_injector->note_launch_abort(sim_.now(), op_key);
+          }
+        }
       }};
 }
 

@@ -24,6 +24,10 @@
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 
+namespace hq::fault {
+class FaultInjector;
+}
+
 namespace hq::rt {
 
 /// Opaque handle to a device-memory allocation.
@@ -66,6 +70,27 @@ struct LaunchConfig {
   std::function<void()> body;
 };
 
+/// Retry discipline for transient submission failures: capped exponential
+/// backoff while the submitting coroutine stays suspended (so the stream
+/// submission *order* — and therefore the functional output — is unchanged
+/// by retries). Attempt n waits min(base_backoff * multiplier^(n-1),
+/// max_backoff) before re-submitting; after max_attempts total attempts the
+/// failure becomes sticky on the stream.
+struct RetryPolicy {
+  int max_attempts = 4;
+  DurationNs base_backoff = 20 * kMicrosecond;
+  double multiplier = 2.0;
+  DurationNs max_backoff = kMillisecond;
+};
+
+/// Outcome of one submission attempt inside an AsyncSubmit.
+struct SubmitOutcome {
+  Status status = Status::Ok;
+  /// Only retryable failures re-enter the backoff loop; non-retryable ones
+  /// (e.g. ops on a stream already in fault state) surface immediately.
+  bool retryable = false;
+};
+
 struct RuntimeOptions {
   /// Host driver overhead charged for an async memcpy submission.
   DurationNs memcpy_submit_overhead = 5 * kMicrosecond;
@@ -73,6 +98,13 @@ struct RuntimeOptions {
   DurationNs kernel_submit_overhead = 5 * kMicrosecond;
   /// When false, transfers skip the actual byte movement (timing-only runs).
   bool functional = true;
+  /// Retry discipline for transient launch failures.
+  RetryPolicy retry;
+  /// Optional hq_fault injector; when set, kernel-launch submissions and
+  /// pinned host allocations consult it. Null = no faults (and, because the
+  /// zero-fault path performs the identical single scheduled submission
+  /// event, bit-identical schedules).
+  fault::FaultInjector* fault_injector = nullptr;
 };
 
 /// Lifetime counters over all allocations; the basis for the hq_check
@@ -153,9 +185,27 @@ class Runtime {
   /// non-trivial temporaries out of the co_await expression.
   class [[nodiscard]] AsyncSubmit {
    public:
+    /// One submission attempt (1-based attempt number). Ok means the work
+    /// was handed to the device; a retryable failure re-enters the backoff
+    /// loop until the policy's attempt budget runs out.
+    using Attempt = std::function<SubmitOutcome(int attempt)>;
+
+    AsyncSubmit(sim::Simulator& sim, DurationNs overhead, RetryPolicy retry,
+                Attempt attempt, std::function<void(Status)> give_up = nullptr)
+        : sim_(sim),
+          overhead_(overhead),
+          retry_(retry),
+          attempt_(std::move(attempt)),
+          give_up_(std::move(give_up)) {}
+
+    /// Wraps an infallible enqueue (the common, fault-free case).
     AsyncSubmit(sim::Simulator& sim, DurationNs overhead,
                 std::function<void()> enqueue)
-        : sim_(sim), overhead_(overhead), enqueue_(std::move(enqueue)) {}
+        : AsyncSubmit(sim, overhead, RetryPolicy{},
+                      [enqueue = std::move(enqueue)](int) {
+                        enqueue();
+                        return SubmitOutcome{};
+                      }) {}
 
     auto operator co_await() & noexcept {
       struct Awaiter {
@@ -163,23 +213,29 @@ class Runtime {
         bool await_ready() const noexcept { return false; }
         void await_suspend(std::coroutine_handle<> h) const {
           // `op` is a named local in the caller's frame; it stays valid
-          // across the suspension.
-          op.sim_.schedule(op.overhead_, [&op = op, h] {
-            op.enqueue_();
-            h.resume();
-          });
+          // across the suspension (including across backoff retries).
+          op.run_attempt(h, 1, op.overhead_);
         }
-        void await_resume() const noexcept {}
+        Status await_resume() const noexcept { return op.result_; }
       };
       return Awaiter{*this};
     }
     /// Deleted: bind the submission to a named local first (see above).
     auto operator co_await() && noexcept = delete;
 
+    /// Final status after the co_await completed (also its result value).
+    Status result() const { return result_; }
+
    private:
+    void run_attempt(std::coroutine_handle<> h, int attempt, DurationNs delay);
+    DurationNs backoff_after(int attempt) const;
+
     sim::Simulator& sim_;
     DurationNs overhead_;
-    std::function<void()> enqueue_;
+    RetryPolicy retry_;
+    Attempt attempt_;
+    std::function<void(Status)> give_up_;
+    Status result_ = Status::Ok;
   };
 
   /// Awaitable that suspends until a stream drains.
@@ -242,6 +298,12 @@ class Runtime {
   /// True when the stream has no pending operations.
   bool stream_query(Stream stream) const;
 
+  /// Sticky fault status of a stream: Ok until a submission on it exhausted
+  /// its retry budget, then the terminal status (every later submission on
+  /// the stream fails fast with it, like a sticky CUDA context error scoped
+  /// to the stream). The recovery layer uses this to quarantine the app.
+  Status stream_fault(Stream stream) const { return stream_rec(stream).fault; }
+
   // --- events ----------------------------------------------------------------
   EventHandle event_create();
   /// Records the event on a stream: it captures the virtual time at which
@@ -265,6 +327,8 @@ class Runtime {
     std::uint64_t pending = 0;
     std::vector<std::coroutine_handle<>> idle_waiters;
     bool alive = true;
+    /// Sticky terminal status (Ok = healthy); see Runtime::stream_fault.
+    Status fault = Status::Ok;
   };
   struct EventRec {
     bool recorded = false;
@@ -308,6 +372,12 @@ class Runtime {
 
   std::uint64_t total_pending_ = 0;
   std::vector<std::coroutine_handle<>> device_idle_waiters_;
+
+  /// Deterministic keys for fault draws: launch submissions and host
+  /// allocations are numbered in issue order (virtual-time order, so the
+  /// sequence is identical at any --jobs count).
+  std::uint64_t next_launch_key_ = 0;
+  std::uint64_t next_host_alloc_key_ = 0;
 };
 
 }  // namespace hq::rt

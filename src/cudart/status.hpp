@@ -18,6 +18,11 @@ enum class Status {
   InvalidHandle,
   InvalidConfiguration,
   NotReady,
+  /// A kernel-launch submission was rejected (cudaErrorLaunchFailure
+  /// analogue). Transient instances are retried with capped exponential
+  /// backoff; once the retry budget is exhausted the status becomes sticky
+  /// on the stream (see Runtime::stream_fault).
+  LaunchFailure,
 };
 
 const char* status_name(Status status);

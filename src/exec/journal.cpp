@@ -1,0 +1,176 @@
+#include "exec/journal.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "fault/fault.hpp"
+#include "obs/report.hpp"
+
+namespace hq::exec {
+namespace {
+
+constexpr const char* kMagic = "hq-sweep-journal";
+constexpr const char* kVersion = "v1";
+
+/// Splits a record into key=value pairs and validates the terminal `end`
+/// token (its absence marks a torn line). Returns nullopt on any damage.
+std::optional<std::map<std::string, std::string>> fields_of(
+    const std::string& line, const std::string& kind) {
+  std::istringstream in(line);
+  std::string token;
+  if (!(in >> token) || token != kind) return std::nullopt;
+  std::map<std::string, std::string> fields;
+  bool ended = false;
+  while (in >> token) {
+    if (token == "end") {
+      ended = true;
+      break;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    fields[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  if (!ended || (in >> token)) return std::nullopt;  // torn or trailing junk
+  return fields;
+}
+
+bool get_u64(const std::map<std::string, std::string>& fields,
+             const std::string& key, std::uint64_t* out, int base = 10) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, base);
+  if (end == nullptr || *end != '\0' || end == it->second.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+bool get_double(const std::map<std::string, std::string>& fields,
+                const std::string& key, double* out) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return false;
+  char* end = nullptr;
+  // Exact round-trip: the writer uses std::to_chars shortest form
+  // (obs::format_double), which strtod parses back to the identical bits.
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == it->second.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+std::string hex(std::uint64_t value) {
+  std::ostringstream os;
+  os << std::hex << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::uint64_t sweep_grid_key(const SweepGrid& grid,
+                             std::span<const SweepPoint> points) {
+  Fnv1a64 h;
+  h.mix_string(kMagic);
+  h.mix_u64(points.size());
+  for (const SweepPoint& p : points) h.mix_string(p.label());
+  h.mix_u64(grid.base.functional ? 1 : 0);
+  h.mix_u64(grid.base.collect_telemetry ? 1 : 0);
+  h.mix_string(fault::fault_plan_to_string(grid.base.fault_plan));
+  return h.value();
+}
+
+std::string journal_header_line(std::uint64_t grid_key,
+                                std::size_t total_points) {
+  std::ostringstream os;
+  os << kMagic << " version=" << kVersion << " grid=" << hex(grid_key)
+     << " points=" << total_points << " end";
+  return os.str();
+}
+
+std::string journal_outcome_line(const SweepOutcome& o) {
+  std::ostringstream os;
+  os << "point index=" << o.point.index << " makespan=" << o.makespan
+     << " energy=" << obs::format_double(o.energy_exact)
+     << " avgw=" << obs::format_double(o.average_power)
+     << " peakw=" << obs::format_double(o.peak_power)
+     << " occ=" << obs::format_double(o.average_occupancy)
+     << " meanle=" << obs::format_double(o.mean_htod_latency_ns)
+     << " ilc=" << o.htod_interleave_count
+     << " ilb=" << o.htod_interleave_bytes
+     << " qdepth=" << obs::format_double(o.peak_copy_queue_depth_htod)
+     << " faults=" << o.faults_injected << " quar=" << o.quarantined_apps
+     << " verified=" << (o.all_verified ? 1 : 0)
+     << " digest=" << hex(o.trace_digest) << " end";
+  return os.str();
+}
+
+std::optional<SweepOutcome> parse_journal_outcome(
+    const std::string& line, std::span<const SweepPoint> points) {
+  const auto fields = fields_of(line, "point");
+  if (!fields) return std::nullopt;
+  std::uint64_t index = 0;
+  if (!get_u64(*fields, "index", &index) || index >= points.size()) {
+    return std::nullopt;
+  }
+  SweepOutcome o;
+  o.point = points[index];
+  std::uint64_t verified = 0;
+  const bool ok = get_u64(*fields, "makespan", &o.makespan) &&
+                  get_double(*fields, "energy", &o.energy_exact) &&
+                  get_double(*fields, "avgw", &o.average_power) &&
+                  get_double(*fields, "peakw", &o.peak_power) &&
+                  get_double(*fields, "occ", &o.average_occupancy) &&
+                  get_double(*fields, "meanle", &o.mean_htod_latency_ns) &&
+                  get_u64(*fields, "ilc", &o.htod_interleave_count) &&
+                  get_u64(*fields, "ilb", &o.htod_interleave_bytes) &&
+                  get_double(*fields, "qdepth",
+                             &o.peak_copy_queue_depth_htod) &&
+                  get_u64(*fields, "faults", &o.faults_injected) &&
+                  get_u64(*fields, "quar", &o.quarantined_apps) &&
+                  get_u64(*fields, "verified", &verified) &&
+                  get_u64(*fields, "digest", &o.trace_digest, 16);
+  if (!ok) return std::nullopt;
+  o.all_verified = verified != 0;
+  return o;
+}
+
+std::size_t load_journal(std::istream& in, std::uint64_t grid_key,
+                         std::span<const SweepPoint> points,
+                         std::vector<std::optional<SweepOutcome>>* cached) {
+  HQ_CHECK(cached != nullptr);
+  cached->resize(points.size());
+  std::string line;
+  if (!std::getline(in, line)) return 0;  // empty file = fresh journal
+  const auto header = fields_of(line, kMagic);
+  HQ_CHECK_MSG(header.has_value(),
+               "sweep journal: unrecognized or torn header line");
+  const auto version = header->find("version");
+  HQ_CHECK_MSG(version != header->end() && version->second == kVersion,
+               "sweep journal: unsupported version '"
+                   << (version == header->end() ? "" : version->second)
+                   << "' (expected " << kVersion << ")");
+  std::uint64_t key = 0;
+  std::uint64_t total = 0;
+  HQ_CHECK_MSG(get_u64(*header, "grid", &key, 16) &&
+                   get_u64(*header, "points", &total),
+               "sweep journal: malformed header line");
+  HQ_CHECK_MSG(key == grid_key && total == points.size(),
+               "sweep journal: grid mismatch (journal grid="
+                   << hex(key) << " points=" << total << ", sweep grid="
+                   << hex(grid_key) << " points=" << points.size()
+                   << ") — refusing to resume a different sweep");
+  std::size_t loaded = 0;
+  while (std::getline(in, line)) {
+    auto outcome = parse_journal_outcome(line, points);
+    if (!outcome) continue;  // torn trailing line after a crash
+    auto& slot = (*cached)[outcome->point.index];
+    if (!slot) ++loaded;
+    slot = std::move(*outcome);
+  }
+  return loaded;
+}
+
+}  // namespace hq::exec

@@ -1,0 +1,61 @@
+// Crash-safe sweep journal (part of hq_sweep).
+//
+// SweepRunner checkpoints every finished grid point as one self-contained
+// text line, appended and flushed under a mutex as workers complete (so a
+// kill at any instant loses at most the in-flight points). On --resume the
+// journal is replayed: finished points are restored verbatim and only the
+// missing ones are re-run, and because every scalar round-trips exactly
+// (integers as decimal, doubles in std::to_chars shortest form parsed back
+// by strtod) the resumed report and metrics JSON are byte-identical to the
+// uninterrupted run.
+//
+// Format (one record per line, space-separated key=value pairs):
+//
+//   hq-sweep-journal version=v1 grid=<hex> points=<n> end
+//   point index=<i> makespan=<ns> energy=<d> ... digest=<hex> end
+//
+// The header's grid key fingerprints the expanded grid (per-point labels +
+// the base config's fault plan), so resuming against a different grid is a
+// structured error, never silent corruption. The trailing `end` token makes
+// torn lines (a crash mid-write) detectable: they are simply ignored.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.hpp"
+
+namespace hq::exec {
+
+/// Fingerprint of an expanded grid: mixes every point label plus the base
+/// config's functional/telemetry flags and fault plan. Two grids with the
+/// same key produce interchangeable journals.
+std::uint64_t sweep_grid_key(const SweepGrid& grid,
+                             std::span<const SweepPoint> points);
+
+/// First line of every journal.
+std::string journal_header_line(std::uint64_t grid_key,
+                                std::size_t total_points);
+
+/// One finished point as a self-contained record (no trailing newline).
+std::string journal_outcome_line(const SweepOutcome& outcome);
+
+/// Parses one outcome record; the point is restored from `points` by index.
+/// Returns nullopt for torn, foreign, or out-of-range lines.
+std::optional<SweepOutcome> parse_journal_outcome(
+    const std::string& line, std::span<const SweepPoint> points);
+
+/// Replays a journal stream into `cached` (indexed by point). The header
+/// must match `grid_key` and `points.size()` — a mismatch throws hq::Error
+/// (resuming the wrong sweep must never silently mix results). An empty
+/// stream is a fresh journal (returns 0). Later records for the same index
+/// win. Returns the number of distinct points restored.
+std::size_t load_journal(std::istream& in, std::uint64_t grid_key,
+                         std::span<const SweepPoint> points,
+                         std::vector<std::optional<SweepOutcome>>* cached);
+
+}  // namespace hq::exec

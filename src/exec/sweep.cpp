@@ -1,5 +1,8 @@
 #include "exec/sweep.hpp"
 
+#include <fstream>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -8,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "exec/journal.hpp"
 #include "exec/parallel.hpp"
 #include "obs/report.hpp"
 #include "trace/trace.hpp"
@@ -112,6 +116,8 @@ SweepOutcome SweepRunner::run_point(const SweepGrid& grid,
       o.peak_copy_queue_depth_htod = std::get<obs::Series>(e->metric).peak();
     }
   }
+  o.faults_injected = result.degraded.stats.total();
+  o.quarantined_apps = result.degraded.quarantined.size();
   return o;
 }
 
@@ -122,9 +128,44 @@ std::vector<SweepOutcome> SweepRunner::run(const SweepGrid& grid,
       options.jobs == 0 ? ThreadPool::hardware_jobs() : options.jobs;
 
   const std::vector<SweepPoint> points = expand(grid);
-  std::vector<SweepOutcome> outcomes = parallel_map_jobs(
-      jobs, points.size(),
-      [&](std::size_t i) { return run_point(grid, points[i]); });
+
+  // Crash-safe checkpointing: replay finished points from the journal (on
+  // --resume), then append each newly finished point under a mutex. The
+  // journal stays append-only, so a crash at any instant leaves a valid
+  // prefix plus at most one torn line.
+  std::vector<std::optional<SweepOutcome>> cached(points.size());
+  std::ofstream journal;
+  std::mutex journal_mutex;
+  if (!options.journal_path.empty()) {
+    const std::uint64_t grid_key = sweep_grid_key(grid, points);
+    bool has_header = false;
+    if (options.resume) {
+      std::ifstream in(options.journal_path);
+      if (in) {
+        load_journal(in, grid_key, points, &cached);
+        has_header = true;
+      }
+    }
+    journal.open(options.journal_path,
+                 has_header ? std::ios::app : std::ios::trunc);
+    HQ_CHECK_MSG(journal.is_open(), "cannot open sweep journal '"
+                                        << options.journal_path << "'");
+    if (!has_header) {
+      journal << journal_header_line(grid_key, points.size()) << '\n'
+              << std::flush;
+    }
+  }
+
+  std::vector<SweepOutcome> outcomes =
+      parallel_map_jobs(jobs, points.size(), [&](std::size_t i) {
+        if (cached[i]) return *cached[i];
+        SweepOutcome o = run_point(grid, points[i]);
+        if (journal.is_open()) {
+          const std::lock_guard<std::mutex> lock(journal_mutex);
+          journal << journal_outcome_line(o) << '\n' << std::flush;
+        }
+        return o;
+      });
   if (options.progress) {
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       options.progress(outcomes[i], i + 1, outcomes.size());
@@ -206,6 +247,8 @@ void write_sweep_metrics_json(std::ostream& os,
        << ", \"htod_interleave_bytes\": " << o.htod_interleave_bytes
        << ", \"peak_copy_queue_depth_htod\": "
        << obs::format_double(o.peak_copy_queue_depth_htod)
+       << ", \"faults_injected\": " << o.faults_injected
+       << ", \"quarantined_apps\": " << o.quarantined_apps
        << ", \"all_verified\": " << (o.all_verified ? "true" : "false")
        << ", \"trace_digest\": \"0x" << digest.str() << "\"}";
   }

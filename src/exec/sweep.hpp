@@ -86,6 +86,10 @@ struct SweepOutcome {
   std::uint64_t htod_interleave_count = 0;
   Bytes htod_interleave_bytes = 0;
   double peak_copy_queue_depth_htod = 0;
+  /// Fault accounting (zero without a fault plan): total injected fault
+  /// events and the number of apps the recovery layer quarantined.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t quarantined_apps = 0;
 };
 
 class SweepRunner {
@@ -97,6 +101,15 @@ class SweepRunner {
     /// total); `done` counts points reported so far, including this one.
     std::function<void(const SweepOutcome&, std::size_t, std::size_t)>
         progress;
+    /// Crash-safe checkpoint file (see exec/journal.hpp): every finished
+    /// point is appended and flushed, so an interrupted sweep can be
+    /// resumed. Empty = no journal.
+    std::string journal_path;
+    /// Replay finished points from journal_path and run only the missing
+    /// ones; the resumed outcome vector (and any report rendered from it)
+    /// is byte-identical to an uninterrupted run. Throws hq::Error when the
+    /// journal belongs to a different grid.
+    bool resume = false;
   };
 
   /// Enumerates the grid's cross product in row-major order (app_sets

@@ -1,0 +1,287 @@
+#include "fault/fault.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace hq::fault {
+namespace {
+
+// Domain tags separate the draw streams so, e.g., the stall and slowdown
+// decisions for the same op are independent.
+constexpr std::uint64_t kDomainCopyStall = 0x01;
+constexpr std::uint64_t kDomainCopySlowdown = 0x02;
+constexpr std::uint64_t kDomainLaunch = 0x03;
+constexpr std::uint64_t kDomainHostAlloc = 0x04;
+
+bool parse_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == text.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0' || end == text.c_str()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_i32(const std::string& text, std::int32_t* out) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == text.c_str()) return false;
+  *out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool apply_key(FaultPlan& plan, const std::string& key,
+               const std::string& value, std::string* error) {
+  double d = 0.0;
+  std::uint64_t u = 0;
+  std::int32_t i = 0;
+  const auto rate = [&](double* field) {
+    if (!parse_double(value, &d) || d < 0.0 || d > 1.0) {
+      return set_error(error, "fault plan: " + key +
+                                  " needs a rate in [0,1], got '" + value + "'");
+    }
+    *field = d;
+    return true;
+  };
+  const auto factor = [&](double* field) {
+    if (!parse_double(value, &d) || d < 1.0) {
+      return set_error(error, "fault plan: " + key +
+                                  " needs a factor >= 1, got '" + value + "'");
+    }
+    *field = d;
+    return true;
+  };
+  const auto micros = [&](DurationNs* field) {
+    if (!parse_u64(value, &u)) {
+      return set_error(error, "fault plan: " + key +
+                                  " needs an integer microsecond count, got '" +
+                                  value + "'");
+    }
+    *field = u * kMicrosecond;
+    return true;
+  };
+
+  if (key == "seed") {
+    if (!parse_u64(value, &u)) {
+      return set_error(error,
+                       "fault plan: seed needs an integer, got '" + value + "'");
+    }
+    plan.seed = u;
+    return true;
+  }
+  if (key == "copy-stall-rate") return rate(&plan.copy_stall_rate);
+  if (key == "copy-stall-us") return micros(&plan.copy_stall_ns);
+  if (key == "copy-slow-rate") return rate(&plan.copy_slowdown_rate);
+  if (key == "copy-slow-factor") return factor(&plan.copy_slowdown_factor);
+  if (key == "launch-fail-rate") return rate(&plan.launch_failure_rate);
+  if (key == "alloc-fail-rate") return rate(&plan.host_alloc_failure_rate);
+  if (key == "poison-app") {
+    if (!parse_i32(value, &i) || i < -1) {
+      return set_error(error, "fault plan: poison-app needs an app id >= -1, "
+                              "got '" + value + "'");
+    }
+    plan.poison_app = i;
+    return true;
+  }
+  if (key == "offline-smx") {
+    if (!parse_i32(value, &i) || i < 0) {
+      return set_error(error, "fault plan: offline-smx needs a count >= 0, "
+                              "got '" + value + "'");
+    }
+    plan.offline_smx = i;
+    return true;
+  }
+  if (key == "throttle-period-us") return micros(&plan.throttle_period);
+  if (key == "throttle-duty-us") return micros(&plan.throttle_duration);
+  if (key == "throttle-factor") return factor(&plan.throttle_factor);
+  return set_error(error, "fault plan: unknown key '" + key + "'");
+}
+
+}  // namespace
+
+bool FaultPlan::any_faults() const {
+  if (!enabled) return false;
+  return copy_stall_rate > 0.0 || copy_slowdown_rate > 0.0 ||
+         launch_failure_rate > 0.0 || poison_app >= 0 ||
+         host_alloc_failure_rate > 0.0 || offline_smx > 0 ||
+         (throttle_period > 0 && throttle_duration > 0 &&
+          throttle_factor > 1.0);
+}
+
+std::optional<FaultPlan> parse_fault_plan(const std::string& text,
+                                          std::string* error) {
+  FaultPlan plan;
+  plan.enabled = true;
+  if (text == "zero") return plan;
+  std::stringstream stream(text);
+  std::string token;
+  bool any = false;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    any = true;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      set_error(error,
+                "fault plan: expected key=value, got '" + token + "'");
+      return std::nullopt;
+    }
+    if (!apply_key(plan, token.substr(0, eq), token.substr(eq + 1), error)) {
+      return std::nullopt;
+    }
+  }
+  if (!any) {
+    set_error(error, "fault plan: empty spec (use \"zero\" for an enabled "
+                     "zero-rate plan)");
+    return std::nullopt;
+  }
+  return plan;
+}
+
+std::string fault_plan_to_string(const FaultPlan& plan) {
+  if (!plan.enabled) return "disabled";
+  std::ostringstream out;
+  out << "seed=" << plan.seed;
+  out << ",copy-stall-rate=" << plan.copy_stall_rate;
+  out << ",copy-stall-us=" << plan.copy_stall_ns / kMicrosecond;
+  out << ",copy-slow-rate=" << plan.copy_slowdown_rate;
+  out << ",copy-slow-factor=" << plan.copy_slowdown_factor;
+  out << ",launch-fail-rate=" << plan.launch_failure_rate;
+  out << ",alloc-fail-rate=" << plan.host_alloc_failure_rate;
+  out << ",poison-app=" << plan.poison_app;
+  out << ",offline-smx=" << plan.offline_smx;
+  out << ",throttle-period-us=" << plan.throttle_period / kMicrosecond;
+  out << ",throttle-duty-us=" << plan.throttle_duration / kMicrosecond;
+  out << ",throttle-factor=" << plan.throttle_factor;
+  return out.str();
+}
+
+std::uint64_t FaultStats::count_for(gpu::ObservedFault kind) const {
+  switch (kind) {
+    case gpu::ObservedFault::CopyStall: return copy_stalls;
+    case gpu::ObservedFault::CopySlowdown: return copy_slowdowns;
+    case gpu::ObservedFault::CopyThrottle: return throttled_copies;
+    case gpu::ObservedFault::LaunchFailure: return launch_failures;
+    case gpu::ObservedFault::LaunchAbort: return launch_aborts;
+    case gpu::ObservedFault::HostAllocFailure: return host_alloc_failures;
+  }
+  return 0;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
+  HQ_CHECK_MSG(plan_.enabled, "FaultInjector needs an enabled plan");
+  HQ_CHECK(plan_.copy_slowdown_factor >= 1.0);
+  HQ_CHECK(plan_.throttle_factor >= 1.0);
+}
+
+gpu::DeviceSpec FaultInjector::degraded(gpu::DeviceSpec spec) const {
+  if (plan_.offline_smx > 0) {
+    spec.num_smx = std::max(1, spec.num_smx - plan_.offline_smx);
+  }
+  return spec;
+}
+
+double FaultInjector::draw(std::uint64_t domain, std::uint64_t key,
+                           std::uint64_t sub) const {
+  Fnv1a64 hash;
+  hash.mix_u64(plan_.seed);
+  hash.mix_u64(domain);
+  hash.mix_u64(key);
+  hash.mix_u64(sub);
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(hash.value() >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::emit(TimeNs now, gpu::ObservedFault kind,
+                         std::uint64_t key, DurationNs penalty) {
+  if (observer_ != nullptr) {
+    observer_->on_fault_injected(now, kind, key, penalty);
+  }
+}
+
+DurationNs FaultInjector::copy_service_penalty(TimeNs now,
+                                               gpu::CopyDirection dir,
+                                               gpu::OpId op, Bytes bytes,
+                                               DurationNs base) {
+  (void)dir;
+  (void)bytes;
+  DurationNs penalty = 0;
+  if (plan_.copy_stall_rate > 0.0 &&
+      draw(kDomainCopyStall, op) < plan_.copy_stall_rate) {
+    penalty += plan_.copy_stall_ns;
+    ++stats_.copy_stalls;
+    stats_.copy_stall_total_ns += plan_.copy_stall_ns;
+    emit(now, gpu::ObservedFault::CopyStall, op, plan_.copy_stall_ns);
+  }
+  if (plan_.copy_slowdown_rate > 0.0 &&
+      draw(kDomainCopySlowdown, op) < plan_.copy_slowdown_rate) {
+    const DurationNs extra = static_cast<DurationNs>(
+        std::ceil(static_cast<double>(base) * (plan_.copy_slowdown_factor - 1.0)));
+    penalty += extra;
+    ++stats_.copy_slowdowns;
+    emit(now, gpu::ObservedFault::CopySlowdown, op, extra);
+  }
+  if (plan_.throttle_period > 0 && plan_.throttle_duration > 0 &&
+      plan_.throttle_factor > 1.0 &&
+      now % plan_.throttle_period < plan_.throttle_duration) {
+    const DurationNs extra = static_cast<DurationNs>(
+        std::ceil(static_cast<double>(base) * (plan_.throttle_factor - 1.0)));
+    penalty += extra;
+    ++stats_.throttled_copies;
+    emit(now, gpu::ObservedFault::CopyThrottle, op, extra);
+  }
+  return penalty;
+}
+
+int FaultInjector::launch_failures_for(std::int32_t app_id,
+                                       std::uint64_t op_key,
+                                       int max_retries) const {
+  if (plan_.poison_app >= 0 && app_id == plan_.poison_app) {
+    return max_retries + 1;  // every attempt fails -> launch abort
+  }
+  if (plan_.launch_failure_rate <= 0.0) return 0;
+  int failures = 0;
+  while (failures < max_retries &&
+         draw(kDomainLaunch, op_key, static_cast<std::uint64_t>(failures)) <
+             plan_.launch_failure_rate) {
+    ++failures;
+  }
+  return failures;
+}
+
+void FaultInjector::note_launch_failure(TimeNs now, std::uint64_t op_key) {
+  ++stats_.launch_failures;
+  emit(now, gpu::ObservedFault::LaunchFailure, op_key, 0);
+}
+
+void FaultInjector::note_launch_abort(TimeNs now, std::uint64_t op_key) {
+  ++stats_.launch_aborts;
+  emit(now, gpu::ObservedFault::LaunchAbort, op_key, 0);
+}
+
+bool FaultInjector::host_alloc_fails(TimeNs now, std::uint64_t alloc_key) {
+  if (plan_.host_alloc_failure_rate <= 0.0) return false;
+  if (draw(kDomainHostAlloc, alloc_key) >= plan_.host_alloc_failure_rate) {
+    return false;
+  }
+  ++stats_.host_alloc_failures;
+  emit(now, gpu::ObservedFault::HostAllocFailure, alloc_key, 0);
+  return true;
+}
+
+}  // namespace hq::fault

@@ -1,0 +1,187 @@
+// Deterministic fault injection for the device and runtime models
+// (library hq_fault).
+//
+// A FaultPlan is a declarative, seed-driven description of degraded-service
+// conditions: copy-engine stalls and per-transfer slowdowns (ECC-retry
+// style), transient kernel-launch failures surfaced as cudart error
+// statuses, SMX offlining, pinned host-allocation failures, and power-cap
+// throttle windows. The FaultInjector turns a plan into concrete decisions.
+//
+// Determinism contract: every decision is a pure function of
+// (plan.seed, fault domain, operation key) hashed through FNV-1a — never of
+// wall-clock time, thread identity, or allocation addresses — so the same
+// plan + seed reproduces byte-identical runs at any --jobs count. A plan
+// whose rates are all zero draws nothing and emits nothing: attaching the
+// injector is then provably zero-perturbation (pinned golden digests and
+// sweep metrics JSON stay bit-identical).
+//
+// Accounting contract: every injected fault fires
+// DeviceObserver::on_fault_injected on the attached observer chain and
+// increments FaultStats. The invariant checker cross-checks the two
+// (InvariantChecker::finalize_faults), so faults can never be silently
+// absorbed by the model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/observer.hpp"
+#include "gpusim/types.hpp"
+
+namespace hq::fault {
+
+/// Declarative description of the faults to inject into one run. All rates
+/// are probabilities in [0, 1] evaluated once per eligible operation.
+struct FaultPlan {
+  /// Plans are inert unless enabled; an enabled plan with zero rates is the
+  /// zero-perturbation baseline used to prove the injector adds nothing.
+  bool enabled = false;
+  std::uint64_t seed = 0;
+
+  // --- copy engines --------------------------------------------------------
+  /// Probability that one DMA transaction stalls for copy_stall_ns.
+  double copy_stall_rate = 0.0;
+  DurationNs copy_stall_ns = 200 * kMicrosecond;
+  /// Probability that one DMA transaction is served copy_slowdown_factor
+  /// times slower (ECC-retry style degradation); factor >= 1.
+  double copy_slowdown_rate = 0.0;
+  double copy_slowdown_factor = 2.0;
+
+  // --- kernel launches -----------------------------------------------------
+  /// Probability that one launch-submission attempt fails transiently with
+  /// Status::LaunchFailure. The failure count per launch is capped below
+  /// the retry budget, so retried launches always eventually succeed and
+  /// functional output digests match the fault-free run.
+  double launch_failure_rate = 0.0;
+  /// App id whose launches always fail: retries exhaust, the stream goes
+  /// into fault state, and the harness quarantines the app (-1 = none).
+  std::int32_t poison_app = -1;
+
+  // --- allocations ---------------------------------------------------------
+  /// Probability that one pinned host-allocation attempt fails with
+  /// Status::OutOfMemory (the caller retries a bounded number of times).
+  double host_alloc_failure_rate = 0.0;
+
+  // --- compute degradation -------------------------------------------------
+  /// Number of SMXs taken offline before the run (clamped to leave >= 1).
+  int offline_smx = 0;
+
+  // --- power-cap throttle windows ------------------------------------------
+  /// While (now % throttle_period) < throttle_duration, copy service is
+  /// stretched by throttle_factor (>= 1). 0 period/duration disables.
+  DurationNs throttle_period = 0;
+  DurationNs throttle_duration = 0;
+  double throttle_factor = 1.0;
+
+  /// Enabled plan with every rate zero (the zero-perturbation baseline).
+  static FaultPlan zero() {
+    FaultPlan plan;
+    plan.enabled = true;
+    return plan;
+  }
+
+  /// True when any fault can actually fire.
+  bool any_faults() const;
+};
+
+/// Parses the compact `key=value[,key=value...]` plan syntax used by
+/// `hqrun --fault-plan` (see fault_plan_keys() / EXPERIMENTS.md). The
+/// keyword "zero" yields FaultPlan::zero(). Returns nullopt and fills
+/// *error on malformed input.
+std::optional<FaultPlan> parse_fault_plan(const std::string& text,
+                                          std::string* error = nullptr);
+
+/// Canonical `key=value,...` rendering; parse(to_string(p)) == p. Used for
+/// reporting and for mixing the plan into the sweep-journal grid key.
+std::string fault_plan_to_string(const FaultPlan& plan);
+
+/// Counters for every fault the injector actually fired.
+struct FaultStats {
+  std::uint64_t copy_stalls = 0;
+  DurationNs copy_stall_total_ns = 0;
+  std::uint64_t copy_slowdowns = 0;
+  std::uint64_t throttled_copies = 0;
+  std::uint64_t launch_failures = 0;
+  std::uint64_t launch_aborts = 0;
+  std::uint64_t host_alloc_failures = 0;
+
+  /// Total number of injected fault events (matches the number of
+  /// on_fault_injected callbacks fired).
+  std::uint64_t total() const {
+    return copy_stalls + copy_slowdowns + throttled_copies + launch_failures +
+           launch_aborts + host_alloc_failures;
+  }
+  /// Expected on_fault_injected count for one observed fault kind.
+  std::uint64_t count_for(gpu::ObservedFault kind) const;
+};
+
+/// One application removed from the schedule by the recovery layer.
+struct QuarantinedApp {
+  std::int32_t app_id = -1;
+  std::string type;    ///< application name, e.g. "gaussian"
+  std::string reason;  ///< e.g. "launch-aborted", "allocation-failed: ..."
+};
+
+/// Graceful-degradation summary attached to every HarnessResult: which apps
+/// were quarantined (the rest of the schedule still completed) and what the
+/// injector actually fired.
+struct DegradedReport {
+  std::vector<QuarantinedApp> quarantined;
+  FaultStats stats;
+
+  bool degraded() const { return !quarantined.empty(); }
+};
+
+/// Turns a FaultPlan into deterministic per-operation decisions and fires
+/// the corresponding observer events. One injector serves one run.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Observer chain that receives on_fault_injected (normally the same
+  /// fanout the device reports to); nullptr disables event emission but
+  /// stats are still counted.
+  void set_observer(gpu::DeviceObserver* observer) { observer_ = observer; }
+
+  /// Device spec with plan.offline_smx SMXs removed (at least 1 remains).
+  gpu::DeviceSpec degraded(gpu::DeviceSpec spec) const;
+
+  /// Extra service time for one DMA transaction (Device copy-fault hook).
+  /// `base` is the unperturbed service time.
+  DurationNs copy_service_penalty(TimeNs now, gpu::CopyDirection dir,
+                                  gpu::OpId op, Bytes bytes, DurationNs base);
+
+  /// Number of launch-submission attempts that fail before one succeeds,
+  /// drawn once per launch. Capped at max_retries so the final attempt of a
+  /// transient failure always succeeds; a poisoned app returns
+  /// max_retries + 1 (every attempt fails, forcing a launch abort).
+  int launch_failures_for(std::int32_t app_id, std::uint64_t op_key,
+                          int max_retries) const;
+
+  /// Records one rejected launch attempt / one exhausted retry budget.
+  void note_launch_failure(TimeNs now, std::uint64_t op_key);
+  void note_launch_abort(TimeNs now, std::uint64_t op_key);
+
+  /// True when pinned host allocation attempt `alloc_key` should fail.
+  bool host_alloc_fails(TimeNs now, std::uint64_t alloc_key);
+
+ private:
+  /// Uniform draw in [0, 1) from (seed, domain, key, sub).
+  double draw(std::uint64_t domain, std::uint64_t key,
+              std::uint64_t sub = 0) const;
+  void emit(TimeNs now, gpu::ObservedFault kind, std::uint64_t key,
+            DurationNs penalty);
+
+  FaultPlan plan_;
+  FaultStats stats_;
+  gpu::DeviceObserver* observer_ = nullptr;
+};
+
+}  // namespace hq::fault

@@ -51,7 +51,10 @@ void CopyEngine::begin_service() {
   pre_state_change_();
   busy_ = true;
   const TimeNs begin = sim_.now();
-  const DurationNs dur = service_time(txn.bytes);
+  DurationNs dur = service_time(txn.bytes);
+  if (fault_hook_ != nullptr) {
+    dur += fault_hook_(begin, direction_, txn.op_id, txn.bytes, dur);
+  }
   sim_.schedule(dur, [this, txn = std::move(txn), begin] {
     pre_state_change_();
     busy_ = false;

@@ -21,6 +21,13 @@ namespace hq::gpu {
 
 class DeviceObserver;
 
+/// Extra service time injected into one DMA transaction by the hq_fault
+/// layer: hook(now, direction, op, bytes, base_service_time) -> penalty_ns.
+/// Installed through Device::set_copy_fault_hook; a null hook (the default)
+/// leaves service times untouched.
+using CopyFaultHook =
+    std::function<DurationNs(TimeNs, CopyDirection, OpId, Bytes, DurationNs)>;
+
 /// One directional DMA engine with a FIFO transaction queue.
 class CopyEngine {
  public:
@@ -45,6 +52,10 @@ class CopyEngine {
   /// Attaches (or detaches, with nullptr) an event observer. Normally set
   /// through Device::set_observer.
   void set_observer(DeviceObserver* observer) { observer_ = observer; }
+
+  /// Attaches (or detaches, with nullptr) the fault-injection hook. Normally
+  /// set through Device::set_copy_fault_hook.
+  void set_fault_hook(CopyFaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Appends a transaction to the engine queue and attempts to start it.
   void enqueue(Transaction txn);
@@ -71,6 +82,7 @@ class CopyEngine {
   DurationNs overhead_;
   std::function<void()> pre_state_change_;
   DeviceObserver* observer_ = nullptr;
+  CopyFaultHook fault_hook_;
 
   std::deque<Transaction> queue_;
   bool busy_ = false;

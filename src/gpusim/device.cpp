@@ -35,6 +35,11 @@ void Device::set_observer(DeviceObserver* observer) {
   if (dtoh_) dtoh_->set_observer(observer);
 }
 
+void Device::set_copy_fault_hook(CopyFaultHook hook) {
+  htod_->set_fault_hook(hook);
+  if (dtoh_) dtoh_->set_fault_hook(std::move(hook));
+}
+
 void Device::register_stream(StreamId stream, int priority) {
   HQ_CHECK_MSG(streams_.find(stream) == streams_.end(),
                "stream " << stream << " registered twice");

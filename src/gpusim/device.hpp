@@ -44,6 +44,10 @@ class Device {
   /// integrator. Used by the hq_check invariant layer.
   void set_observer(DeviceObserver* observer);
 
+  /// Attaches (or detaches, with nullptr) the hq_fault copy-fault hook on
+  /// every copy engine; the hook adds extra service time per transaction.
+  void set_copy_fault_hook(CopyFaultHook hook);
+
   /// Registers a host stream and assigns it to a hardware work queue
   /// (round-robin). Must be called before submitting work on the stream.
   /// `priority` follows the CUDA convention (lower value = higher priority,

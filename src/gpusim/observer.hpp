@@ -40,6 +40,34 @@ inline const char* observed_op_name(ObservedOp kind) {
   return "?";
 }
 
+/// Fault categories reported by the hq_fault injector. The injector fires
+/// on_fault_injected through the same observer chain as the device so the
+/// invariant checker can prove every injected fault was observed and
+/// accounted for (never silently absorbed) and the telemetry layer can
+/// export fault counters.
+enum class ObservedFault : std::uint8_t {
+  CopyStall,         ///< fixed service-time stall on one DMA transaction
+  CopySlowdown,      ///< multiplicative service-time stretch (ECC-retry style)
+  CopyThrottle,      ///< power-cap throttle window slowed a transfer
+  LaunchFailure,     ///< one transient kernel-launch attempt was rejected
+  LaunchAbort,       ///< retries exhausted; the stream went into fault state
+  HostAllocFailure,  ///< one pinned host allocation attempt failed
+};
+
+inline constexpr int kNumObservedFaults = 6;
+
+inline const char* observed_fault_name(ObservedFault kind) {
+  switch (kind) {
+    case ObservedFault::CopyStall: return "copy_stall";
+    case ObservedFault::CopySlowdown: return "copy_slowdown";
+    case ObservedFault::CopyThrottle: return "copy_throttle";
+    case ObservedFault::LaunchFailure: return "launch_failure";
+    case ObservedFault::LaunchAbort: return "launch_abort";
+    case ObservedFault::HostAllocFailure: return "host_alloc_failure";
+  }
+  return "?";
+}
+
 class DeviceObserver {
  public:
   virtual ~DeviceObserver() = default;
@@ -82,6 +110,15 @@ class DeviceObserver {
   /// (power is piecewise constant between state changes).
   virtual void on_power_integrated(TimeNs /*now*/, Watts /*power*/,
                                    double /*occupancy*/) {}
+
+  // --- fault injection ------------------------------------------------------
+  /// The hq_fault injector perturbed the model: `key` identifies the
+  /// affected operation (op id, launch submission key, or allocation key,
+  /// depending on the kind) and `penalty` is the injected extra service
+  /// time (0 for non-timing faults such as launch rejections).
+  virtual void on_fault_injected(TimeNs /*now*/, ObservedFault /*kind*/,
+                                 std::uint64_t /*key*/,
+                                 DurationNs /*penalty*/) {}
 };
 
 /// Forwards every callback to a list of observers, in attach order. Lets the
@@ -139,6 +176,12 @@ class ObserverFanout final : public DeviceObserver {
   void on_power_integrated(TimeNs now, Watts power, double occupancy) override {
     for (DeviceObserver* o : children_) {
       o->on_power_integrated(now, power, occupancy);
+    }
+  }
+  void on_fault_injected(TimeNs now, ObservedFault kind, std::uint64_t key,
+                         DurationNs penalty) override {
+    for (DeviceObserver* o : children_) {
+      o->on_fault_injected(now, kind, key, penalty);
     }
   }
 

@@ -19,6 +19,7 @@ struct Harness::RunState {
   StreamManager* manager = nullptr;
   sim::Mutex* htod_lock = nullptr;
   PowerMonitor* monitor = nullptr;
+  fault::FaultInjector* injector = nullptr;
   sim::CountdownLatch* latch = nullptr;
   std::vector<std::unique_ptr<Kernel>>* apps = nullptr;
   std::vector<Context>* contexts = nullptr;
@@ -66,7 +67,29 @@ sim::Task Harness::child_task(RunState* st, int index) {
   co_await app->transferMemory(ctx, Direction::DeviceToHost);
 
   metrics.end_time = st->sim->now();
+  // A launch that exhausted its retry budget leaves the stream in a sticky
+  // fault state (later submissions fail fast, so the child still drains).
+  // Quarantine the app; the rest of the schedule completes normally.
+  if (st->injector != nullptr && !metrics.quarantined &&
+      st->runtime->stream_fault(ctx.stream) != rt::Status::Ok) {
+    metrics.quarantined = true;
+    metrics.quarantine_reason = "launch-aborted";
+  }
   st->latch->count_down();
+}
+
+sim::Task Harness::watchdog_task(RunState* st) {
+  co_await st->sim->delay(st->config->watchdog_timeout);
+  // Detection only: flag every app that missed the deadline. The simulation
+  // still drains (all injected delays are finite), so the run completes and
+  // reports the stragglers instead of hanging silently.
+  for (std::size_t i = 0; i < st->metrics->size(); ++i) {
+    AppMetrics& m = (*st->metrics)[i];
+    if (m.end_time == 0 && !m.quarantined) {
+      m.quarantined = true;
+      m.quarantine_reason = "watchdog-deadline-exceeded";
+    }
+  }
 }
 
 sim::Task Harness::parent_task(RunState* st) {
@@ -74,25 +97,50 @@ sim::Task Harness::parent_task(RunState* st) {
   for (std::size_t i = 0; i < st->apps->size(); ++i) {
     Kernel& app = *(*st->apps)[i];
     Context& ctx = (*st->contexts)[i];
-    app.allocateHostMemory(ctx);
-    app.allocateDeviceMemory(ctx);
-    app.initializeHostMemory(ctx);
+    if (st->injector == nullptr) {
+      app.allocateHostMemory(ctx);
+      app.allocateDeviceMemory(ctx);
+      app.initializeHostMemory(ctx);
+      continue;
+    }
+    // Under fault injection a pinned allocation can exhaust its bounded
+    // retries; quarantine the app and let the rest of the schedule run.
+    try {
+      app.allocateHostMemory(ctx);
+      app.allocateDeviceMemory(ctx);
+      app.initializeHostMemory(ctx);
+    } catch (const Error& e) {
+      AppMetrics& m = (*st->metrics)[i];
+      m.quarantined = true;
+      m.quarantine_reason = std::string("allocation-failed: ") + e.what();
+    }
   }
 
   if (st->config->monitor_power) st->monitor->start();
   st->phase_begin = st->sim->now();
   st->energy_begin = st->device->energy();
   st->occupancy_begin = st->device->occupancy_integral_seconds();
+  if (st->config->watchdog_timeout > 0) {
+    st->sim->spawn(watchdog_task(st));
+  }
 
   // Phase 2 (timed): launch each application on its own child thread, in
   // schedule order, with a small stagger that prejudices execution order to
-  // follow launch order.
+  // follow launch order. Apps quarantined in phase 1 keep their latch slot
+  // but are never launched (and consume no stagger).
+  bool first_launch = true;
   for (std::size_t i = 0; i < st->apps->size(); ++i) {
-    (*st->metrics)[i].launch_time = st->sim->now();
-    st->sim->spawn(child_task(st, static_cast<int>(i)));
-    if (i + 1 < st->apps->size() && st->config->launch_stagger > 0) {
+    AppMetrics& m = (*st->metrics)[i];
+    if (m.quarantined) {
+      st->latch->count_down();
+      continue;
+    }
+    if (!first_launch && st->config->launch_stagger > 0) {
       co_await st->sim->delay(st->config->launch_stagger);
     }
+    first_launch = false;
+    m.launch_time = st->sim->now();
+    st->sim->spawn(child_task(st, static_cast<int>(i)));
   }
   co_await st->latch->wait();
 
@@ -102,8 +150,10 @@ sim::Task Harness::parent_task(RunState* st) {
   if (st->config->monitor_power) st->monitor->stop();
 
   // Verification must see the DtoH results, so it runs before the frees.
+  // Quarantined apps never produced output and are excluded.
   if (st->config->functional) {
     for (std::size_t i = 0; i < st->apps->size(); ++i) {
+      if ((*st->metrics)[i].quarantined) continue;
       st->all_verified = st->all_verified &&
                          (*st->apps)[i]->verify((*st->contexts)[i]);
       (*st->metrics)[i].output_digest =
@@ -121,13 +171,26 @@ sim::Task Harness::parent_task(RunState* st) {
 }
 
 HarnessResult Harness::run(const std::vector<WorkloadItem>& workload) {
-  HQ_CHECK_MSG(!workload.empty(), "empty workload");
+  HQ_CHECK_MSG(!workload.empty(),
+               "Harness::run: empty workload (need at least one application)");
+
+  // The injector (when a plan is enabled) is built first: SMX offlining
+  // degrades the spec every other component sees, and the runtime needs the
+  // injector for launch/allocation fault decisions.
+  std::unique_ptr<fault::FaultInjector> injector;
+  gpu::DeviceSpec device_spec = config_.device;
+  if (config_.fault_plan.enabled) {
+    injector = std::make_unique<fault::FaultInjector>(config_.fault_plan);
+    device_spec = injector->degraded(device_spec);
+  }
 
   sim::Simulator sim;
   auto recorder = std::make_shared<trace::Recorder>();
-  gpu::Device device(sim, config_.device, recorder.get());
+  gpu::Device device(sim, device_spec, recorder.get());
   rt::RuntimeOptions rt_options;
   rt_options.functional = config_.functional;
+  rt_options.retry = config_.retry;
+  rt_options.fault_injector = injector.get();
   rt::Runtime runtime(sim, device, rt_options);
   nvml::ManagementLibrary nvml(sim, device, config_.sensor);
   StreamManager manager(runtime, config_.num_streams);
@@ -137,18 +200,29 @@ HarnessResult Harness::run(const std::vector<WorkloadItem>& workload) {
 
   std::unique_ptr<check::InvariantChecker> checker;
   if (config_.check_invariants) {
-    checker = std::make_unique<check::InvariantChecker>(config_.device);
-    device.set_observer(checker.get());
+    checker = std::make_unique<check::InvariantChecker>(device_spec);
   }
   std::shared_ptr<obs::TelemetryObserver> telemetry;
   gpu::ObserverFanout fanout;
+  gpu::DeviceObserver* observer = checker.get();
   if (config_.collect_telemetry) {
-    telemetry = std::make_shared<obs::TelemetryObserver>(config_.device);
+    telemetry = std::make_shared<obs::TelemetryObserver>(device_spec);
     // Both observers are passive, so fanning out changes nothing about the
     // simulated schedule (the zero-perturbation golden tests pin this).
     fanout.add(checker.get());
     fanout.add(telemetry.get());
-    device.set_observer(&fanout);
+    observer = &fanout;
+  }
+  if (observer != nullptr) device.set_observer(observer);
+  if (injector != nullptr) {
+    // Faults report through the same chain as device events, so the checker
+    // can reconcile every on_fault_injected against the injector's stats.
+    injector->set_observer(observer);
+    device.set_copy_fault_hook(
+        [inj = injector.get()](TimeNs now, gpu::CopyDirection dir,
+                               gpu::OpId op, Bytes bytes, DurationNs base) {
+          return inj->copy_service_penalty(now, dir, op, bytes, base);
+        });
   }
 
   std::vector<std::unique_ptr<Kernel>> apps;
@@ -184,6 +258,7 @@ HarnessResult Harness::run(const std::vector<WorkloadItem>& workload) {
   state.manager = &manager;
   state.htod_lock = &htod_lock;
   state.monitor = &monitor;
+  state.injector = injector.get();
   state.latch = &latch;
   state.apps = &apps;
   state.contexts = &contexts;
@@ -196,6 +271,7 @@ HarnessResult Harness::run(const std::vector<WorkloadItem>& workload) {
   if (checker != nullptr) {
     checker->finalize(device);
     checker->finalize_runtime(runtime);
+    if (injector != nullptr) checker->finalize_faults(injector->stats());
     HQ_CHECK_MSG(checker->ok(),
                  "invariant violations:\n" << checker->report());
   }
@@ -255,6 +331,13 @@ HarnessResult Harness::run(const std::vector<WorkloadItem>& workload) {
     }
   }
   result.all_verified = state.all_verified;
+  for (const AppMetrics& m : metrics) {
+    if (m.quarantined) {
+      result.degraded.quarantined.push_back(
+          {m.app_id, m.type, m.quarantine_reason});
+    }
+  }
+  if (injector != nullptr) result.degraded.stats = injector->stats();
   result.apps = std::move(metrics);
   result.trace = std::move(recorder);
   result.telemetry = std::move(telemetry);

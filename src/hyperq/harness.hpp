@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "gpusim/device_spec.hpp"
 #include "hyperq/kernel.hpp"
 #include "hyperq/metrics.hpp"
@@ -75,6 +76,19 @@ struct HarnessConfig {
   /// (proven against the pinned golden digests). Off by default because the
   /// series buffers cost memory on large sweeps.
   bool collect_telemetry = false;
+  /// Deterministic fault plan (see src/fault/fault.hpp). Disabled by
+  /// default. An enabled all-zero-rate plan attaches the injector without
+  /// perturbing anything — the pinned golden digests stay bit-identical
+  /// (proven by the zero-perturbation golden test).
+  fault::FaultPlan fault_plan;
+  /// Retry policy for transient submission failures (capped exponential
+  /// backoff). Only consulted when faults can actually fail submissions.
+  rt::RetryPolicy retry;
+  /// Per-app watchdog: any app still unfinished this long after the timed
+  /// phase begins is flagged quarantined ("watchdog-deadline-exceeded") in
+  /// the degraded report. Detection only — the simulation still drains (all
+  /// injected delays are finite). 0 = off.
+  DurationNs watchdog_timeout = 0;
 };
 
 struct HarnessResult {
@@ -99,6 +113,8 @@ struct HarnessResult {
   bool all_verified = true;
   /// Finalized telemetry (nullptr unless config.collect_telemetry).
   std::shared_ptr<obs::TelemetryObserver> telemetry;
+  /// Fault accounting and quarantined apps (empty without a fault plan).
+  fault::DegradedReport degraded;
 };
 
 class Harness {
@@ -115,6 +131,7 @@ class Harness {
   struct RunState;
   static sim::Task parent_task(RunState* st);
   static sim::Task child_task(RunState* st, int index);
+  static sim::Task watchdog_task(RunState* st);
 
   HarnessConfig config_;
 };

@@ -65,6 +65,11 @@ struct AppMetrics {
   /// otherwise). Identical workloads must produce identical digests under
   /// every scheduling mode — an hqfuzz oracle.
   std::uint64_t output_digest = 0;
+  /// Set when the recovery layer gave up on this app (allocation failure,
+  /// exhausted launch retries, watchdog deadline). Quarantined apps are
+  /// excluded from verification; the rest of the workload still completes.
+  bool quarantined = false;
+  std::string quarantine_reason;
 };
 
 /// Average Le (HtoD) across applications, in nanoseconds — the quantity the

@@ -1,6 +1,7 @@
 #include "obs/report.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
@@ -87,6 +88,9 @@ void write_metric_entry(std::ostream& os, const MetricsRegistry::Entry& e) {
 }  // namespace
 
 std::string format_double(double v) {
+  // Non-finite values (zero-duration runs, empty sample windows) would
+  // serialize as bare nan/inf tokens, which are not JSON; clamp to 0.
+  if (!std::isfinite(v)) v = 0.0;
   char buf[64];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
   (void)ec;

@@ -45,6 +45,22 @@ TelemetryObserver::TelemetryObserver(const gpu::DeviceSpec& spec)
   registry_.series("power_watts",
                    "instantaneous board power, piecewise constant");
   registry_.gauge("energy_joules", "energy integral over the whole run");
+  // Fault-injection accounting (all zero without a fault plan; registered
+  // unconditionally so the export schema never depends on the plan).
+  registry_.counter("faults_copy_stall", "injected copy-engine stalls");
+  registry_.counter("faults_copy_slowdown", "injected per-transfer slowdowns");
+  registry_.counter("faults_copy_throttle",
+                    "copies stretched by a power-cap throttle window");
+  registry_.counter("faults_launch_failure",
+                    "transient kernel-launch submission failures");
+  registry_.counter("faults_launch_abort",
+                    "launches abandoned after exhausting retries");
+  registry_.counter("faults_host_alloc",
+                    "injected pinned host-allocation failures");
+  registry_.counter("fault_penalty_ns",
+                    "total extra service time injected (ns)");
+  registry_.series("fault_events",
+                   "cumulative injected fault events over virtual time");
 }
 
 void TelemetryObserver::on_op_submitted(TimeNs /*now*/, gpu::OpId /*op*/,
@@ -146,6 +162,36 @@ void TelemetryObserver::on_power_integrated(TimeNs now, Watts power,
       .sample(power_segment_begin_, static_cast<double>(power));
   energy_j_ += power * static_cast<double>(now - power_segment_begin_) * 1e-9;
   power_segment_begin_ = now;
+}
+
+void TelemetryObserver::on_fault_injected(TimeNs now, gpu::ObservedFault kind,
+                                          std::uint64_t /*key*/,
+                                          DurationNs penalty) {
+  ++events_observed_;
+  switch (kind) {
+    case gpu::ObservedFault::CopyStall:
+      registry_.counter("faults_copy_stall").add();
+      break;
+    case gpu::ObservedFault::CopySlowdown:
+      registry_.counter("faults_copy_slowdown").add();
+      break;
+    case gpu::ObservedFault::CopyThrottle:
+      registry_.counter("faults_copy_throttle").add();
+      break;
+    case gpu::ObservedFault::LaunchFailure:
+      registry_.counter("faults_launch_failure").add();
+      break;
+    case gpu::ObservedFault::LaunchAbort:
+      registry_.counter("faults_launch_abort").add();
+      break;
+    case gpu::ObservedFault::HostAllocFailure:
+      registry_.counter("faults_host_alloc").add();
+      break;
+  }
+  registry_.counter("fault_penalty_ns").add(penalty);
+  ++fault_events_seen_;
+  registry_.series("fault_events")
+      .sample(now, static_cast<double>(fault_events_seen_));
 }
 
 void TelemetryObserver::finalize() {

@@ -67,6 +67,8 @@ class TelemetryObserver final : public gpu::DeviceObserver {
                           const gpu::BlockDemand& demand) override;
   void on_kernel_completed(TimeNs now, const gpu::KernelExec& exec) override;
   void on_power_integrated(TimeNs now, Watts power, double occupancy) override;
+  void on_fault_injected(TimeNs now, gpu::ObservedFault kind,
+                         std::uint64_t key, DurationNs penalty) override;
 
   /// Computes the per-app attribution and closes the power series; call once
   /// after the simulation drains. Idempotent.
@@ -91,6 +93,7 @@ class TelemetryObserver final : public gpu::DeviceObserver {
   gpu::DeviceSpec spec_;
   MetricsRegistry registry_;
   std::uint64_t events_observed_ = 0;
+  std::uint64_t fault_events_seen_ = 0;
   bool finalized_ = false;
 
   // Copy-queue state, indexed by CopyDirection.

@@ -65,11 +65,20 @@ const RodiniaApp::Buffer& RodiniaApp::buffer(const std::string& label) const {
 }
 
 void RodiniaApp::allocateHostMemory(fw::Context& ctx) {
+  // Pinned allocation can fail transiently under fault injection; retry a
+  // bounded number of times before giving up (the harness quarantines the
+  // app when this throws).
+  constexpr int kMaxAllocAttempts = 8;
   for (Buffer& b : buffers_) {
     if (!b.host_side) continue;
     auto result = ctx.runtime->malloc_host(b.bytes);
+    for (int attempt = 1; !result.ok() && attempt < kMaxAllocAttempts;
+         ++attempt) {
+      result = ctx.runtime->malloc_host(b.bytes);
+    }
     HQ_CHECK_MSG(result.ok(), name() << ": host allocation of " << b.bytes
-                                     << " bytes failed");
+                                     << " bytes failed after "
+                                     << kMaxAllocAttempts << " attempts");
     b.host = result.value();
   }
 }

@@ -164,7 +164,9 @@ TEST_F(RuntimeTest, MemcpyMovesBytesBothDirections) {
 }
 
 TEST_F(RuntimeTest, NonFunctionalModeSkipsByteMovement) {
-  Runtime rt2(sim_, device_, RuntimeOptions{.functional = false});
+  RuntimeOptions opts;
+  opts.functional = false;
+  Runtime rt2(sim_, device_, opts);
   auto h = rt2.malloc_host(64);
   auto d = rt2.malloc_device(64);
   rt2.host_as<std::uint8_t>(h.value())[0] = 0xAB;

@@ -1,0 +1,110 @@
+// Failure-path contracts of the hq_exec job engine: deterministic exception
+// propagation from parallel_map, CancelledError delivery through Future,
+// and pool teardown with work still queued.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <semaphore>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace hq::exec {
+namespace {
+
+TEST(ParallelMapErrorTest, RethrowsLowestIndexAfterAllJobsSettle) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  const auto fn = [&](std::size_t i) -> int {
+    if (i == 2 || i == 5) throw std::runtime_error("boom " + std::to_string(i));
+    ++completed;
+    return static_cast<int>(i);
+  };
+  try {
+    parallel_map(&pool, 8, fn);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    // Two jobs threw; the rethrow is deterministically the lowest index.
+    EXPECT_STREQ(e.what(), "boom 2");
+  }
+  // Every non-throwing job settled before the rethrow unwound.
+  EXPECT_EQ(completed.load(), 6);
+}
+
+TEST(ParallelMapErrorTest, SerialInlinePathThrowsTheSameWay) {
+  const auto fn = [](std::size_t i) -> int {
+    if (i >= 1) throw std::runtime_error("boom " + std::to_string(i));
+    return static_cast<int>(i);
+  };
+  try {
+    parallel_map(nullptr, 4, fn);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 1");
+  }
+}
+
+TEST(FutureErrorTest, CancelPendingDeliversCancelledErrorAndPoolSurvives) {
+  ThreadPool pool(1);
+  std::binary_semaphore started{0};
+  std::binary_semaphore release{0};
+  auto running = pool.submit([&] {
+    started.release();
+    release.acquire();
+    return 1;
+  });
+  started.acquire();  // the lone worker is now busy
+  auto queued = pool.submit([] { return 2; });
+  pool.cancel_pending();
+  release.release();
+  EXPECT_EQ(running.get(), 1);  // in-flight jobs are unaffected
+  EXPECT_THROW(queued.get(), CancelledError);
+  // The pool stays serviceable after a cancellation round.
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+  pool.wait_idle();
+}
+
+TEST(FutureErrorTest, DestructorCancelsQueuedWorkAndJoinsInFlight) {
+  auto pool = std::make_unique<ThreadPool>(1);
+  std::binary_semaphore started{0};
+  std::binary_semaphore release{0};
+  auto running = pool->submit([&] {
+    started.release();
+    release.acquire();
+    return 10;
+  });
+  started.acquire();
+  auto queued1 = pool->submit([] { return 11; });
+  auto queued2 = pool->submit([] { return 12; });
+  // The destructor abandons the queue first (settling queued futures as
+  // cancelled), then joins. Unblocking the in-flight job only once that
+  // abandonment is observable proves the join really waited for it.
+  std::thread unblocker([&] {
+    queued1.wait();  // settles at destructor entry
+    release.release();
+  });
+  pool.reset();
+  unblocker.join();
+  EXPECT_EQ(running.get(), 10);
+  EXPECT_THROW(queued1.get(), CancelledError);
+  EXPECT_THROW(queued2.get(), CancelledError);
+}
+
+TEST(FutureErrorTest, JobExceptionIsStoredAndRethrownOnEveryGet) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::invalid_argument("bad job"); });
+  try {
+    f.get();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "bad job");
+  }
+  EXPECT_THROW(f.get(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hq::exec

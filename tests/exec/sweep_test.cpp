@@ -84,7 +84,7 @@ TEST(SweepRunnerTest, IdenticalResultsAtJobs128AndOversubscribed) {
   const SweepGrid grid = test_grid();
   SweepRunner runner;
 
-  const auto serial = runner.run(grid, {.jobs = 1, .progress = {}});
+  const auto serial = runner.run(grid, {.jobs = 1, .progress = {}, .journal_path = {}, .resume = false});
   ASSERT_EQ(serial.size(), 16u);
   for (const SweepOutcome& o : serial) {
     EXPECT_GT(o.makespan, 0u) << o.point.label();
@@ -95,7 +95,7 @@ TEST(SweepRunnerTest, IdenticalResultsAtJobs128AndOversubscribed) {
   // this machine has hardware threads. Outcomes must be bit-identical.
   const int oversub = 4 * ThreadPool::hardware_jobs() + 3;
   for (const int jobs : {2, 8, oversub}) {
-    const auto parallel = runner.run(grid, {.jobs = jobs, .progress = {}});
+    const auto parallel = runner.run(grid, {.jobs = jobs, .progress = {}, .journal_path = {}, .resume = false});
     ASSERT_EQ(parallel.size(), serial.size()) << "jobs=" << jobs;
     for (std::size_t i = 0; i < serial.size(); ++i) {
       EXPECT_EQ(parallel[i].point.index, serial[i].point.index);
@@ -121,7 +121,7 @@ TEST(SweepRunnerTest, MetricsJsonByteIdenticalAcrossJobCounts) {
   grid.app_sets = {{"gaussian", "nn"}};
   grid.base.collect_telemetry = true;
   SweepRunner runner;
-  const auto serial = runner.run(grid, {.jobs = 1, .progress = {}});
+  const auto serial = runner.run(grid, {.jobs = 1, .progress = {}, .journal_path = {}, .resume = false});
   ASSERT_EQ(serial.size(), 8u);
   for (const SweepOutcome& o : serial) {
     EXPECT_GT(o.mean_htod_latency_ns, 0.0) << o.point.label();
@@ -129,7 +129,7 @@ TEST(SweepRunnerTest, MetricsJsonByteIdenticalAcrossJobCounts) {
   }
   const std::string serial_json = sweep_metrics_json(serial);
   for (const int jobs : {2, 4}) {
-    const auto parallel = runner.run(grid, {.jobs = jobs, .progress = {}});
+    const auto parallel = runner.run(grid, {.jobs = jobs, .progress = {}, .journal_path = {}, .resume = false});
     EXPECT_EQ(sweep_metrics_json(parallel), serial_json) << "jobs=" << jobs;
   }
 }
@@ -161,11 +161,11 @@ TEST(SweepRunnerTest, JobsZeroMeansHardwareConcurrency) {
   grid.orders = {fw::Order::NaiveFifo};
   grid.memory_sync = {false};
   SweepRunner runner;
-  const auto hw = runner.run(grid, {.jobs = 0, .progress = {}});
-  const auto serial = runner.run(grid, {.jobs = 1, .progress = {}});
+  const auto hw = runner.run(grid, {.jobs = 0, .progress = {}, .journal_path = {}, .resume = false});
+  const auto serial = runner.run(grid, {.jobs = 1, .progress = {}, .journal_path = {}, .resume = false});
   ASSERT_EQ(hw.size(), 1u);
   EXPECT_EQ(combined_digest(hw), combined_digest(serial));
-  EXPECT_THROW(runner.run(grid, {.jobs = -1, .progress = {}}), Error);
+  EXPECT_THROW(runner.run(grid, {.jobs = -1, .progress = {}, .journal_path = {}, .resume = false}), Error);
 }
 
 TEST(SweepRunnerTest, CombinedDigestIsOrderAndValueSensitive) {

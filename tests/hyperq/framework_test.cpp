@@ -96,6 +96,29 @@ TEST_F(FrameworkTest, MonitorEnergyWindowIntegration) {
   EXPECT_NEAR(monitor.peak_power(0, 100 * kMillisecond), 25.0, 0.5);
 }
 
+TEST_F(FrameworkTest, MonitorEmptyAndZeroDurationWindowsAreFiniteZero) {
+  // Degenerate windows (no samples at all, or begin == end) must yield
+  // exact zeros, never NaN — these values feed the metrics JSON, where a
+  // NaN would be an invalid token.
+  nvml::SensorOptions sensor;
+  sensor.noise_stddev = 0.0;
+  sensor.quantization = 0.0;
+  nvml::ManagementLibrary nvml(sim_, device_, sensor);
+  PowerMonitor monitor(sim_, nvml, 10 * kMillisecond);
+  // Never started: zero samples everywhere.
+  EXPECT_EQ(monitor.energy_between(0, kMillisecond), 0.0);
+  EXPECT_EQ(monitor.average_power(0, kMillisecond), 0.0);
+  EXPECT_EQ(monitor.peak_power(0, kMillisecond), 0.0);
+  monitor.start();
+  sim_.schedule(50 * kMillisecond, [&monitor] { monitor.stop(); });
+  sim_.run();
+  // Window outside the sampled range, and a zero-duration window.
+  EXPECT_EQ(monitor.average_power(kSecond, 2 * kSecond), 0.0);
+  EXPECT_EQ(monitor.energy_between(kSecond, kSecond), 0.0);
+  const Watts at_instant = monitor.average_power(0, 0);
+  EXPECT_TRUE(at_instant == at_instant);  // never NaN
+}
+
 TEST_F(FrameworkTest, MonitorDoubleStartThrows) {
   nvml::ManagementLibrary nvml(sim_, device_, {});
   PowerMonitor monitor(sim_, nvml);

@@ -71,6 +71,30 @@ TEST(GoldenPairDigestsTest, TelemetryObserverIsZeroPerturbation) {
   }
 }
 
+TEST(GoldenPairDigestsTest, FaultInjectorZeroRateIsZeroPerturbation) {
+  // Attaching the fault injector with an enabled all-zero-rate plan must
+  // leave every pinned digest bit-identical: a zero-rate plan never draws
+  // and never emits, so the device sees exactly the fault-free event
+  // sequence. This is the zero-perturbation contract of src/fault/fault.hpp.
+  const fault::FaultPlan zero = fault::FaultPlan::zero();
+  for (const GoldenPair& g : kGolden) {
+    const auto default_run =
+        bench::run_pair({g.x, g.y}, 32, 32, fw::Order::NaiveFifo, false,
+                        /*chunk_bytes=*/0, /*shuffle_seed=*/42,
+                        /*device=*/nullptr, /*collect_telemetry=*/false, &zero);
+    EXPECT_EQ(trace::digest(*default_run.trace), g.default_digest)
+        << "{" << g.x << ", " << g.y << "} default + zero-rate injector";
+    EXPECT_EQ(default_run.degraded.stats.total(), 0u);
+    const auto memsync_run =
+        bench::run_pair({g.x, g.y}, 32, 32, fw::Order::NaiveFifo, true,
+                        /*chunk_bytes=*/0, /*shuffle_seed=*/42,
+                        /*device=*/nullptr, /*collect_telemetry=*/false, &zero);
+    EXPECT_EQ(trace::digest(*memsync_run.trace), g.memsync_digest)
+        << "{" << g.x << ", " << g.y << "} memsync + zero-rate injector";
+    EXPECT_EQ(memsync_run.degraded.stats.total(), 0u);
+  }
+}
+
 TEST(GoldenPairDigestsTest, ModesAndPairsAreDistinguishable) {
   // The 12 golden digests must be pairwise distinct: if two scenarios ever
   // hash alike, the digest has stopped discriminating and the table above

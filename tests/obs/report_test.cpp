@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "tests/common/json_check.hpp"
 #include "trace/chrome_trace.hpp"
 
@@ -36,6 +38,15 @@ TEST(ReportTest, FormatDoubleIsShortestRoundTrip) {
   EXPECT_EQ(format_double(0.1), "0.1");
   EXPECT_EQ(std::stod(format_double(1e9)), 1e9);
   EXPECT_EQ(std::stod(format_double(123.456789012345)), 123.456789012345);
+}
+
+TEST(ReportTest, FormatDoubleClampsNonFiniteToZero) {
+  // Metrics derived from degenerate runs (zero-duration windows, empty
+  // sample sets) must never leak NaN/Inf into JSON — both are invalid JSON
+  // tokens and would corrupt the byte-identity contract of the reports.
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "0");
 }
 
 TEST(ReportTest, MetricsJsonIsWellFormedAndVersioned) {

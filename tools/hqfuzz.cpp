@@ -10,6 +10,7 @@
 //   hqfuzz --seed 1 --iters 300 --jobs 0      (all hardware threads,
 //                                              identical output to --jobs 1)
 //   hqfuzz --case-seed 1234567890 --verbose   (replay one failing case)
+//   hqfuzz --seed 1 --iters 50 --fault-rate 0.5   (fault-mode oracles on)
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +46,11 @@ int main(int argc, char** argv) {
                   "1");
   args.add_option("case-seed",
                   "run exactly one case with this seed (replay mode)", "");
+  args.add_option("fault-rate",
+                  "fault-plan intensity in [0,1]; > 0 adds the fault-mode "
+                  "oracles (zero-perturbation, faulted determinism, "
+                  "functional digest equality) to every case",
+                  "0");
   args.add_flag("verbose", "print every case as it runs");
   args.add_flag("help", "show this help");
 
@@ -56,6 +62,19 @@ int main(int argc, char** argv) {
     return args.get_flag("help") ? 0 : 2;
   }
 
+  double fault_rate = 0.0;
+  {
+    errno = 0;
+    char* end = nullptr;
+    const std::string text = args.get("fault-rate");
+    fault_rate = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0' || fault_rate < 0.0 ||
+        fault_rate > 1.0) {
+      std::fprintf(stderr, "error: --fault-rate needs a number in [0,1]\n");
+      return 2;
+    }
+  }
+
   if (args.provided("case-seed")) {
     const auto case_seed = parse_u64(args.get("case-seed"));
     if (!case_seed) {
@@ -63,7 +82,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::string summary;
-    const auto problems = check::Fuzzer::run_case(*case_seed, &summary);
+    const auto problems =
+        check::Fuzzer::run_case(*case_seed, fault_rate, &summary);
     std::printf("case %s\n", summary.c_str());
     for (const auto& p : problems) std::printf("  - %s\n", p.c_str());
     std::printf("%s\n", problems.empty() ? "clean" : "FAILED");
@@ -82,6 +102,7 @@ int main(int argc, char** argv) {
   options.seed = *seed;
   options.iterations = static_cast<int>(*iters);
   options.jobs = static_cast<int>(*jobs);
+  options.fault_rate = fault_rate;
   const bool verbose = args.get_flag("verbose");
 
   check::Fuzzer fuzzer(options);

@@ -7,11 +7,15 @@
 //   hqrun --apps gaussian,needle --na 8 --ns 8 --metrics m.json --metrics-prom m.prom
 //   hqrun --apps needle,srad --na 8 --ns 4 --device fermi
 //   hqrun --apps gaussian,srad --na 32 --ns 32 --all-orders --jobs 0 --metrics sweep.json
+//   hqrun --apps gaussian,needle --na 8 --ns 8 --fault-plan copy-stall-rate=0.05 --fault-seed 7
+//   hqrun --apps gaussian,srad --na 16 --ns 16 --all-orders --journal sweep.journal --resume
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "common/check.hpp"
 #include "common/table.hpp"
+#include "fault/fault.hpp"
 #include "exec/sweep.hpp"
 #include "obs/report.hpp"
 #include "hyperq/harness.hpp"
@@ -51,9 +55,7 @@ std::optional<hq::gpu::DeviceSpec> parse_device(const std::string& name) {
   return std::nullopt;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int hqrun_main(int argc, char** argv) {
   using namespace hq;
   tools::ArgParser args;
   args.add_option("apps", "comma-separated application types (one or two)",
@@ -89,6 +91,23 @@ int main(int argc, char** argv) {
                   "worker threads for --all-orders (0 = all hardware "
                   "threads); output is identical at any job count",
                   "1");
+  args.add_option("fault-plan",
+                  "deterministic fault plan, key=value[,key=value...] or "
+                  "'zero' (see EXPERIMENTS.md); same plan + seed reproduces "
+                  "byte-identical runs",
+                  "");
+  args.add_option("fault-seed", "override the fault plan's seed", "0");
+  args.add_option("watchdog-ms",
+                  "quarantine apps still running this many ms into the "
+                  "timed phase (0 = off; requires --fault-plan)",
+                  "0");
+  args.add_option("journal",
+                  "crash-safe sweep checkpoint file (--all-orders only): "
+                  "each finished point is appended and flushed",
+                  "");
+  args.add_flag("resume",
+                "replay finished points from --journal and run only the "
+                "missing ones (byte-identical to an uninterrupted run)");
   args.add_flag("help", "show this help");
 
   if (!args.parse(argc, argv) || args.get_flag("help")) {
@@ -109,11 +128,24 @@ int main(int argc, char** argv) {
     }
   }
   const auto order = parse_order(args.get("order"));
+  if (!order) {
+    std::fprintf(stderr,
+                 "error: unknown order '%s' (valid: "
+                 "fifo|rr|shuffle|rev-fifo|rev-rr)\n",
+                 args.get("order").c_str());
+    return 2;
+  }
   const auto device = parse_device(args.get("device"));
+  if (!device) {
+    std::fprintf(stderr,
+                 "error: unknown device '%s' (valid: k20|fermi|single-copy)\n",
+                 args.get("device").c_str());
+    return 2;
+  }
   const auto na = args.get_int("na");
   const auto ns = args.get_int("ns");
-  if (!order || !device || !na || !ns || *na < 1 || *ns < 1) {
-    std::fprintf(stderr, "error: bad --order/--device/--na/--ns\n");
+  if (!na || !ns || *na < 1 || *ns < 1) {
+    std::fprintf(stderr, "error: --na/--ns must be positive integers\n");
     return 2;
   }
 
@@ -126,6 +158,28 @@ int main(int argc, char** argv) {
       static_cast<Bytes>(args.get_int("chunk").value_or(0));
   config.launch_stagger = static_cast<DurationNs>(
       args.get_int("stagger-us").value_or(100) * 1000);
+
+  if (const std::string plan_text = args.get("fault-plan");
+      !plan_text.empty()) {
+    std::string plan_error;
+    const auto plan = fault::parse_fault_plan(plan_text, &plan_error);
+    if (!plan) {
+      std::fprintf(stderr, "error: bad --fault-plan: %s\n",
+                   plan_error.c_str());
+      return 2;
+    }
+    config.fault_plan = *plan;
+    if (args.provided("fault-seed")) {
+      config.fault_plan.seed =
+          static_cast<std::uint64_t>(args.get_int("fault-seed").value_or(0));
+    }
+    config.watchdog_timeout = static_cast<DurationNs>(
+        args.get_int("watchdog-ms").value_or(0) * kMillisecond);
+  } else if (args.provided("fault-seed") || args.provided("watchdog-ms")) {
+    std::fprintf(stderr,
+                 "error: --fault-seed/--watchdog-ms need a --fault-plan\n");
+    return 2;
+  }
 
   rodinia::AppParams params;
   if (const auto size = args.get_int("size"); size && *size > 0) {
@@ -165,8 +219,25 @@ int main(int argc, char** argv) {
     grid.params = params;
     exec::SweepRunner::Options options;
     options.jobs = static_cast<int>(*jobs);
+    options.journal_path = args.get("journal");
+    options.resume = args.get_flag("resume");
+    if (options.resume && options.journal_path.empty()) {
+      std::fprintf(stderr, "error: --resume needs --journal\n");
+      return 2;
+    }
     const auto outcomes = exec::SweepRunner().run(grid, options);
     std::printf("%s", exec::render_report(outcomes).c_str());
+    if (config.fault_plan.enabled) {
+      std::uint64_t faults = 0;
+      std::uint64_t quarantined = 0;
+      for (const auto& o : outcomes) {
+        faults += o.faults_injected;
+        quarantined += o.quarantined_apps;
+      }
+      std::printf("faults injected: %llu  quarantined apps: %llu\n",
+                  static_cast<unsigned long long>(faults),
+                  static_cast<unsigned long long>(quarantined));
+    }
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path);
       exec::write_sweep_metrics_json(out, outcomes);
@@ -175,6 +246,12 @@ int main(int argc, char** argv) {
     bool verified = true;
     for (const auto& o : outcomes) verified = verified && o.all_verified;
     return (config.functional && !verified) ? 1 : 0;
+  }
+  if (args.provided("journal") || args.get_flag("resume")) {
+    std::fprintf(stderr,
+                 "error: --journal/--resume only apply to --all-orders "
+                 "sweeps\n");
+    return 2;
   }
 
   Rng rng(seed);
@@ -209,7 +286,17 @@ int main(int argc, char** argv) {
   if (config.functional) {
     summary.add_row({"verified", result.all_verified ? "yes" : "NO"});
   }
+  if (config.fault_plan.enabled) {
+    const fault::FaultStats& fs = result.degraded.stats;
+    summary.add_row({"faults injected", std::to_string(fs.total())});
+    summary.add_row(
+        {"quarantined", std::to_string(result.degraded.quarantined.size())});
+  }
   std::printf("%s", summary.render().c_str());
+  for (const auto& q : result.degraded.quarantined) {
+    std::printf("quarantined app %d (%s): %s\n", q.app_id, q.type.c_str(),
+                q.reason.c_str());
+  }
 
   if (args.get_flag("timeline")) {
     trace::AsciiTimelineOptions opt;
@@ -247,4 +334,18 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", path.c_str());
   }
   return (config.functional && !result.all_verified) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Contract violations (empty workloads, malformed grids, journal/grid
+  // mismatches) surface as hq::Error; report them as structured errors with
+  // a non-zero exit instead of an unhandled-exception abort.
+  try {
+    return hqrun_main(argc, argv);
+  } catch (const hq::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
 }
