@@ -1,5 +1,6 @@
 #include "exec/journal.hpp"
 
+#include <bit>
 #include <cstdlib>
 #include <istream>
 #include <map>
@@ -73,12 +74,67 @@ std::string hex(std::uint64_t value) {
 std::uint64_t sweep_grid_key(const SweepGrid& grid,
                              std::span<const SweepPoint> points) {
   Fnv1a64 h;
+  const auto mix_double = [&h](double v) {
+    h.mix_u64(std::bit_cast<std::uint64_t>(v));
+  };
+  const auto mix_bool = [&h](bool v) { h.mix_u64(v ? 1 : 0); };
+  const auto mix_opt_i64 = [&h](const auto& opt) {
+    h.mix_u64(opt.has_value() ? 1 : 0);
+    h.mix_i64(opt.has_value() ? static_cast<std::int64_t>(*opt) : 0);
+  };
+
   h.mix_string(kMagic);
   h.mix_u64(points.size());
   for (const SweepPoint& p : points) h.mix_string(p.label());
-  h.mix_u64(grid.base.functional ? 1 : 0);
-  h.mix_u64(grid.base.collect_telemetry ? 1 : 0);
+
+  // Every result-affecting piece of base config must be mixed in: a key
+  // collision between two configs would let --resume silently splice cached
+  // outcomes from one configuration into the other's report. num_streams
+  // and memory_sync are overwritten from each point's coordinates (already
+  // in the labels above), so only those two are exempt.
+  const gpu::DeviceSpec& dev = grid.base.device;
+  h.mix_string(dev.name);
+  h.mix_i64(dev.num_smx);
+  h.mix_i64(dev.max_blocks_per_smx);
+  h.mix_i64(dev.max_threads_per_smx);
+  h.mix_i64(dev.max_threads_per_block);
+  h.mix_u64(dev.registers_per_smx);
+  h.mix_u64(dev.shared_mem_per_smx);
+  h.mix_u64(dev.global_memory);
+  h.mix_i64(dev.num_work_queues);
+  h.mix_u64(dev.kernel_dispatch_latency);
+  mix_double(dev.htod_bytes_per_sec);
+  mix_double(dev.dtoh_bytes_per_sec);
+  h.mix_u64(dev.copy_overhead);
+  h.mix_i64(dev.num_copy_engines);
+  mix_double(dev.idle_power);
+  mix_double(dev.active_base_power);
+  mix_double(dev.max_dynamic_power);
+  mix_double(dev.power_exponent);
+  mix_double(dev.copy_engine_power);
+
+  h.mix_u64(grid.base.transfer_chunk_bytes);
+  mix_bool(grid.base.blocking_transfers);
+  h.mix_u64(grid.base.launch_stagger);
+  mix_bool(grid.base.functional);
+  mix_bool(grid.base.check_invariants);
+  mix_bool(grid.base.monitor_power);
+  h.mix_u64(grid.base.power_period);
+  mix_double(grid.base.sensor.filter_alpha);
+  mix_double(grid.base.sensor.noise_stddev);
+  mix_double(grid.base.sensor.quantization);
+  h.mix_u64(grid.base.sensor.seed);
+  mix_bool(grid.base.collect_telemetry);
   h.mix_string(fault::fault_plan_to_string(grid.base.fault_plan));
+  h.mix_i64(grid.base.retry.max_attempts);
+  h.mix_u64(grid.base.retry.base_backoff);
+  mix_double(grid.base.retry.multiplier);
+  h.mix_u64(grid.base.retry.max_backoff);
+  h.mix_u64(grid.base.watchdog_timeout);
+
+  mix_opt_i64(grid.params.size);
+  mix_opt_i64(grid.params.iterations);
+  mix_opt_i64(grid.params.seed);
   return h.value();
 }
 
@@ -139,8 +195,10 @@ std::optional<SweepOutcome> parse_journal_outcome(
 
 std::size_t load_journal(std::istream& in, std::uint64_t grid_key,
                          std::span<const SweepPoint> points,
-                         std::vector<std::optional<SweepOutcome>>* cached) {
+                         std::vector<std::optional<SweepOutcome>>* cached,
+                         bool* header_read) {
   HQ_CHECK(cached != nullptr);
+  if (header_read != nullptr) *header_read = false;
   cached->resize(points.size());
   std::string line;
   if (!std::getline(in, line)) return 0;  // empty file = fresh journal
@@ -162,6 +220,7 @@ std::size_t load_journal(std::istream& in, std::uint64_t grid_key,
                    << hex(key) << " points=" << total << ", sweep grid="
                    << hex(grid_key) << " points=" << points.size()
                    << ") — refusing to resume a different sweep");
+  if (header_read != nullptr) *header_read = true;
   std::size_t loaded = 0;
   while (std::getline(in, line)) {
     auto outcome = parse_journal_outcome(line, points);

@@ -15,8 +15,9 @@
 //   point index=<i> makespan=<ns> energy=<d> ... digest=<hex> end
 //
 // The header's grid key fingerprints the expanded grid (per-point labels +
-// the base config's fault plan), so resuming against a different grid is a
-// structured error, never silent corruption. The trailing `end` token makes
+// every result-affecting base-config field), so resuming against a different
+// grid or configuration is a structured error, never silent corruption. The
+// trailing `end` token makes
 // torn lines (a crash mid-write) detectable: they are simply ignored.
 #pragma once
 
@@ -31,9 +32,10 @@
 
 namespace hq::exec {
 
-/// Fingerprint of an expanded grid: mixes every point label plus the base
-/// config's functional/telemetry flags and fault plan. Two grids with the
-/// same key produce interchangeable journals.
+/// Fingerprint of an expanded grid: mixes every point label plus all of the
+/// base config's result-affecting state — device spec, application params,
+/// transfer/launch/power knobs, fault plan, retry policy, and watchdog.
+/// Two grids with the same key produce interchangeable journals.
 std::uint64_t sweep_grid_key(const SweepGrid& grid,
                              std::span<const SweepPoint> points);
 
@@ -52,10 +54,12 @@ std::optional<SweepOutcome> parse_journal_outcome(
 /// Replays a journal stream into `cached` (indexed by point). The header
 /// must match `grid_key` and `points.size()` — a mismatch throws hq::Error
 /// (resuming the wrong sweep must never silently mix results). An empty
-/// stream is a fresh journal (returns 0). Later records for the same index
-/// win. Returns the number of distinct points restored.
+/// stream is a fresh journal (returns 0, `*header_read` stays false — the
+/// caller must write a fresh header before appending). Later records for
+/// the same index win. Returns the number of distinct points restored.
 std::size_t load_journal(std::istream& in, std::uint64_t grid_key,
                          std::span<const SweepPoint> points,
-                         std::vector<std::optional<SweepOutcome>>* cached);
+                         std::vector<std::optional<SweepOutcome>>* cached,
+                         bool* header_read = nullptr);
 
 }  // namespace hq::exec

@@ -141,10 +141,7 @@ std::vector<SweepOutcome> SweepRunner::run(const SweepGrid& grid,
     bool has_header = false;
     if (options.resume) {
       std::ifstream in(options.journal_path);
-      if (in) {
-        load_journal(in, grid_key, points, &cached);
-        has_header = true;
-      }
+      if (in) load_journal(in, grid_key, points, &cached, &has_header);
     }
     journal.open(options.journal_path,
                  has_header ? std::ios::app : std::ios::trunc);

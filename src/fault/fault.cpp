@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/hash.hpp"
+#include "obs/report.hpp"
 
 namespace hq::fault {
 namespace {
@@ -155,19 +156,26 @@ std::optional<FaultPlan> parse_fault_plan(const std::string& text,
 
 std::string fault_plan_to_string(const FaultPlan& plan) {
   if (!plan.enabled) return "disabled";
+  // Doubles in std::to_chars shortest round-trip form (obs::format_double):
+  // default ostream precision would truncate to 6 significant digits, so
+  // parse(to_string(p)) == p would fail and two distinct plans could
+  // serialize identically (colliding in the sweep-journal grid key).
   std::ostringstream out;
   out << "seed=" << plan.seed;
-  out << ",copy-stall-rate=" << plan.copy_stall_rate;
+  out << ",copy-stall-rate=" << obs::format_double(plan.copy_stall_rate);
   out << ",copy-stall-us=" << plan.copy_stall_ns / kMicrosecond;
-  out << ",copy-slow-rate=" << plan.copy_slowdown_rate;
-  out << ",copy-slow-factor=" << plan.copy_slowdown_factor;
-  out << ",launch-fail-rate=" << plan.launch_failure_rate;
-  out << ",alloc-fail-rate=" << plan.host_alloc_failure_rate;
+  out << ",copy-slow-rate=" << obs::format_double(plan.copy_slowdown_rate);
+  out << ",copy-slow-factor="
+      << obs::format_double(plan.copy_slowdown_factor);
+  out << ",launch-fail-rate="
+      << obs::format_double(plan.launch_failure_rate);
+  out << ",alloc-fail-rate="
+      << obs::format_double(plan.host_alloc_failure_rate);
   out << ",poison-app=" << plan.poison_app;
   out << ",offline-smx=" << plan.offline_smx;
   out << ",throttle-period-us=" << plan.throttle_period / kMicrosecond;
   out << ",throttle-duty-us=" << plan.throttle_duration / kMicrosecond;
-  out << ",throttle-factor=" << plan.throttle_factor;
+  out << ",throttle-factor=" << obs::format_double(plan.throttle_factor);
   return out.str();
 }
 

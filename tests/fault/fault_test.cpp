@@ -56,6 +56,24 @@ TEST(FaultPlanTest, ToStringParseRoundTrips) {
   EXPECT_EQ(fault_plan_to_string(*reparsed), fault_plan_to_string(*plan));
 }
 
+TEST(FaultPlanTest, ToStringRoundTripsHighPrecisionDoubles) {
+  fault::FaultPlan plan = fault::FaultPlan::zero();
+  plan.copy_stall_rate = 0.1234567890123456;
+  plan.copy_slowdown_factor = 1.0000001;
+  plan.launch_failure_rate = 1.0 / 3.0;
+  const auto reparsed = fault::parse_fault_plan(fault_plan_to_string(plan));
+  ASSERT_TRUE(reparsed.has_value()) << fault_plan_to_string(plan);
+  EXPECT_EQ(reparsed->copy_stall_rate, plan.copy_stall_rate);
+  EXPECT_EQ(reparsed->copy_slowdown_factor, plan.copy_slowdown_factor);
+  EXPECT_EQ(reparsed->launch_failure_rate, plan.launch_failure_rate);
+
+  // Plans differing past the 6th significant digit must not serialize
+  // identically (they would collide in the sweep-journal grid key).
+  fault::FaultPlan close = plan;
+  close.copy_stall_rate = 0.1234567890123457;
+  EXPECT_NE(fault_plan_to_string(close), fault_plan_to_string(plan));
+}
+
 TEST(FaultPlanTest, MalformedSpecsReturnNulloptWithError) {
   std::string error;
   EXPECT_FALSE(fault::parse_fault_plan("", &error).has_value());
@@ -387,6 +405,57 @@ TEST(SweepJournalTest, GridKeyTracksFaultPlan) {
   EXPECT_NE(exec::sweep_grid_key(grid, points),
             exec::sweep_grid_key(journal_grid(),
                                  exec::SweepRunner::expand(journal_grid())));
+}
+
+TEST(SweepJournalTest, GridKeyTracksBaseConfigAndParams) {
+  const exec::SweepGrid base = journal_grid();
+  const auto points = exec::SweepRunner::expand(base);
+  const std::uint64_t plain = exec::sweep_grid_key(base, points);
+
+  // Every result-affecting base-config change must change the key, or
+  // --resume would silently splice cached outcomes from the old
+  // configuration into the new sweep.
+  exec::SweepGrid g = base;
+  g.base.device = gpu::DeviceSpec::fermi_single_queue();
+  EXPECT_NE(exec::sweep_grid_key(g, points), plain);
+
+  g = base;
+  g.params.size = *base.params.size * 2;
+  EXPECT_NE(exec::sweep_grid_key(g, points), plain);
+
+  g = base;
+  g.base.launch_stagger += kMicrosecond;
+  EXPECT_NE(exec::sweep_grid_key(g, points), plain);
+
+  g = base;
+  g.base.retry.max_attempts += 1;
+  EXPECT_NE(exec::sweep_grid_key(g, points), plain);
+
+  g = base;
+  g.base.watchdog_timeout = kMillisecond;
+  EXPECT_NE(exec::sweep_grid_key(g, points), plain);
+
+  g = base;
+  g.base.blocking_transfers = !g.base.blocking_transfers;
+  EXPECT_NE(exec::sweep_grid_key(g, points), plain);
+}
+
+TEST(SweepJournalTest, ResumeWithEmptyJournalStillWritesHeader) {
+  const exec::SweepGrid grid = journal_grid();
+  exec::SweepRunner runner;
+  const std::string path =
+      ::testing::TempDir() + "hq_fault_test_empty_journal.txt";
+  // A crash before the header flush (or a touched file) leaves an empty
+  // journal; resuming from it must still produce a headered journal that a
+  // later --resume accepts.
+  { std::ofstream touch(path, std::ios::trunc); }
+  const auto first = runner.run(grid, {.jobs = 1, .progress = {},
+                                       .journal_path = path, .resume = true});
+  const auto resumed = runner.run(grid, {.jobs = 1, .progress = {},
+                                         .journal_path = path,
+                                         .resume = true});
+  EXPECT_EQ(exec::combined_digest(resumed), exec::combined_digest(first));
+  std::remove(path.c_str());
 }
 
 TEST(SweepJournalTest, InterruptedSweepResumesByteIdentical) {
