@@ -8,6 +8,8 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "exec/parallel.hpp"
+#include "serve/report.hpp"
+#include "serve/streaming.hpp"
 #include "trace/trace.hpp"
 
 namespace hq::check {
@@ -109,6 +111,213 @@ std::string FuzzCase::summary() const {
      << " functional=" << config.functional
      << " power=" << config.monitor_power;
   return os.str();
+}
+
+ServeFuzzCase generate_serve_case(std::uint64_t case_seed) {
+  Rng rng(case_seed);
+  ServeFuzzCase c;
+  c.seed = case_seed;
+  serve::ServiceConfig& cfg = c.config;
+
+  const auto& names = rodinia::app_names();
+  const std::size_t num_classes = 1 + rng.next_below(2);
+  std::vector<std::size_t> picked;
+  while (picked.size() < num_classes) {
+    const std::size_t i = rng.next_below(names.size());
+    if (std::find(picked.begin(), picked.end(), i) == picked.end()) {
+      picked.push_back(i);
+    }
+  }
+  for (const std::size_t i : picked) {
+    const rodinia::AppParams params = pick_params(names[i], rng);
+    cfg.classes.push_back({rodinia::make_app(names[i], params),
+                           static_cast<int>(rng.next_below(3))});
+  }
+
+  cfg.window = static_cast<DurationNs>(pick(rng, {4, 6, 8})) * kMillisecond;
+  cfg.mean_interarrival =
+      static_cast<DurationNs>(pick(rng, {150, 300, 600})) * kMicrosecond;
+  cfg.num_streams = pick(rng, {2, 4, 8});
+  cfg.max_inflight = static_cast<std::size_t>(pick(rng, {2, 3, 4}));
+  cfg.queue_cap = cfg.max_inflight + static_cast<std::size_t>(pick(rng, {2, 4, 8}));
+  const serve::ShedPolicy policies[] = {serve::ShedPolicy::DropTail,
+                                        serve::ShedPolicy::DeadlineAware,
+                                        serve::ShedPolicy::Priority};
+  cfg.shed_policy = policies[rng.next_below(std::size(policies))];
+  const DurationNs deadlines[] = {0, kMillisecond, 3 * kMillisecond};
+  cfg.deadline = deadlines[rng.next_below(std::size(deadlines))];
+  cfg.seed = rng.next_u64();
+  cfg.collect_metrics = false;  // oracle runs only consume the report
+  return c;
+}
+
+std::string ServeFuzzCase::summary() const {
+  std::ostringstream os;
+  os << "serve seed=" << seed << " classes=";
+  for (std::size_t i = 0; i < config.classes.size(); ++i) {
+    if (i > 0) os << "+";
+    os << config.classes[i].item.type_name << "(p"
+       << config.classes[i].priority << ")";
+  }
+  os << " ns=" << config.num_streams << " window=" << config.window
+     << " gap=" << config.mean_interarrival << " cap=" << config.queue_cap
+     << " inflight=" << config.max_inflight
+     << " policy=" << serve::shed_policy_name(config.shed_policy)
+     << " deadline=" << config.deadline;
+  return os.str();
+}
+
+std::vector<std::string> Fuzzer::run_serve_case(std::uint64_t case_seed,
+                                                std::string* summary_out) {
+  const ServeFuzzCase c = generate_serve_case(case_seed);
+  if (summary_out != nullptr) *summary_out = c.summary();
+  std::vector<std::string> problems;
+  const auto fail = [&problems](const std::ostringstream& os) {
+    problems.push_back(os.str());
+  };
+
+  // A serve run aborts (hq::Error) on an invariant violation — including
+  // the serve-accounting identity checked inside Service::run — so every
+  // oracle failure is reported with its case seed.
+  const auto run_with = [&](const serve::ServiceConfig& cfg, const char* label)
+      -> std::optional<serve::ServeResult> {
+    try {
+      return serve::Service(cfg).run();
+    } catch (const hq::Error& e) {
+      std::ostringstream os;
+      os << label << ": " << e.what();
+      fail(os);
+      return std::nullopt;
+    }
+  };
+
+  const auto base1 = run_with(c.config, "serve-run1");
+  const auto base2 = run_with(c.config, "serve-run2");
+  if (!base1 || !base2) return problems;
+
+  // --- determinism: identical config => byte-identical report ---------------
+  if (serve::report_json(base1->report) != serve::report_json(base2->report)) {
+    std::ostringstream os;
+    os << "serve determinism: reports differ across identical runs (digests "
+       << serve::report_digest(base1->report) << " vs "
+       << serve::report_digest(base2->report) << ")";
+    fail(os);
+  }
+
+  // --- accounting: conservation + shed jobs consume no device time ----------
+  const serve::ServeReport& r = base1->report;
+  if (r.arrived != r.completed_ok + r.completed_late + r.shed_queue_full +
+                       r.shed_breaker + r.timed_out_queued + r.quarantined) {
+    std::ostringstream os;
+    os << "serve accounting: arrived " << r.arrived
+       << " != completed_ok " << r.completed_ok << " + completed_late "
+       << r.completed_late << " + shed " << r.shed_queue_full << "+"
+       << r.shed_breaker << " + timed-out " << r.timed_out_queued
+       << " + quarantined " << r.quarantined;
+    fail(os);
+  }
+  for (const serve::JobRecord& job : base1->jobs) {
+    const bool undispatched = job.state == serve::JobState::ShedQueueFull ||
+                              job.state == serve::JobState::ShedBreaker ||
+                              job.state == serve::JobState::TimedOutQueued;
+    if (undispatched && (job.dispatched_at != 0 || job.completed_at != 0)) {
+      std::ostringstream os;
+      os << "serve accounting: job " << job.job_id << " is "
+         << serve::job_state_name(job.state)
+         << " but carries device timestamps (dispatched "
+         << job.dispatched_at << ", completed " << job.completed_at << ")";
+      fail(os);
+    }
+  }
+
+  // --- queue-cap monotonicity ------------------------------------------------
+  serve::ServiceConfig uncapped = c.config;
+  uncapped.queue_cap = 0;
+  if (const auto unbounded = run_with(uncapped, "serve-uncapped")) {
+    if (unbounded->report.arrived != r.arrived) {
+      std::ostringstream os;
+      os << "serve metamorphic: arrivals depend on the queue cap ("
+         << unbounded->report.arrived << " uncapped vs " << r.arrived << ")";
+      fail(os);
+    }
+    if (unbounded->report.completed < r.completed) {
+      std::ostringstream os;
+      os << "serve metamorphic: removing the queue cap decreased completed "
+         << "jobs (" << unbounded->report.completed << " < " << r.completed
+         << ")";
+      fail(os);
+    }
+  }
+
+  // --- deadline monotonicity (drop-tail, no expiry: pure accounting) --------
+  serve::ServiceConfig loose = c.config;
+  loose.shed_policy = serve::ShedPolicy::DropTail;
+  loose.expire_queued = false;
+  loose.deadline = 4 * kMillisecond;
+  serve::ServiceConfig tight = loose;
+  tight.deadline = kMillisecond;
+  const auto loose_run = run_with(loose, "serve-deadline-loose");
+  const auto tight_run = run_with(tight, "serve-deadline-tight");
+  if (loose_run && tight_run) {
+    if (loose_run->report.trace_digest != tight_run->report.trace_digest) {
+      std::ostringstream os;
+      os << "serve metamorphic: accounting-only deadline perturbed the "
+         << "schedule (digests " << loose_run->report.trace_digest << " vs "
+         << tight_run->report.trace_digest << ")";
+      fail(os);
+    }
+    if (tight_run->report.goodput_per_sec >
+        loose_run->report.goodput_per_sec) {
+      std::ostringstream os;
+      os << "serve metamorphic: tightening the deadline increased goodput ("
+         << tight_run->report.goodput_per_sec << "/s > "
+         << loose_run->report.goodput_per_sec << "/s)";
+      fail(os);
+    }
+  }
+
+  // --- legacy equivalence: features off + zero-rate plan == StreamingHarness -
+  serve::ServiceConfig bare = c.config;
+  bare.queue_cap = 0;
+  bare.max_inflight = 0;
+  bare.shed_policy = serve::ShedPolicy::DropTail;
+  bare.deadline = 0;
+  bare.expire_queued = false;
+  bare.controller = {};
+  bare.breaker_enabled = false;
+  bare.fault_plan = fault::FaultPlan::zero();
+  const auto bare_run = run_with(bare, "serve-bare");
+  if (bare_run) {
+    fw::StreamingHarness::Config legacy;
+    legacy.device = c.config.device;
+    legacy.num_streams = c.config.num_streams;
+    legacy.window = c.config.window;
+    legacy.mean_interarrival = c.config.mean_interarrival;
+    legacy.seed = c.config.seed;
+    for (const serve::ClassSpec& klass : c.config.classes) {
+      legacy.mix.push_back(klass.item);
+    }
+    try {
+      const fw::StreamingHarness::Result plain =
+          fw::StreamingHarness(legacy).run();
+      if (plain.trace_digest != bare_run->report.trace_digest ||
+          plain.admitted != static_cast<int>(bare_run->report.arrived)) {
+        std::ostringstream os;
+        os << "serve equivalence: bare service with a zero-rate plan "
+           << "diverges from StreamingHarness (digests "
+           << bare_run->report.trace_digest << " vs " << plain.trace_digest
+           << ", admitted " << bare_run->report.arrived << " vs "
+           << plain.admitted << ")";
+        fail(os);
+      }
+    } catch (const hq::Error& e) {
+      std::ostringstream os;
+      os << "serve equivalence: StreamingHarness run failed: " << e.what();
+      fail(os);
+    }
+  }
+
+  return problems;
 }
 
 fault::FaultPlan Fuzzer::case_fault_plan(std::uint64_t case_seed,
@@ -402,11 +611,18 @@ std::vector<std::string> Fuzzer::run_case(std::uint64_t case_seed,
 
 FuzzReport Fuzzer::run(const Progress& progress) {
   // Case seeds derive from the master seed exactly as the serial loop drew
-  // them, so --jobs N fuzzes the same cases as --jobs 1.
+  // them, so --jobs N fuzzes the same cases as --jobs 1. Serving-mode seeds
+  // are drawn after the harness seeds, so enabling them never changes which
+  // harness cases an existing master seed covers.
   Rng master(options_.seed);
+  const std::size_t harness_cases = static_cast<std::size_t>(options_.iterations);
   std::vector<std::uint64_t> case_seeds;
-  case_seeds.reserve(static_cast<std::size_t>(options_.iterations));
+  case_seeds.reserve(harness_cases +
+                     static_cast<std::size_t>(options_.serve_iterations));
   for (int i = 0; i < options_.iterations; ++i) {
+    case_seeds.push_back(master.next_u64());
+  }
+  for (int i = 0; i < options_.serve_iterations; ++i) {
     case_seeds.push_back(master.next_u64());
   }
 
@@ -416,7 +632,9 @@ FuzzReport Fuzzer::run(const Progress& progress) {
   };
   const auto run_one = [&](std::size_t i) {
     CaseResult r;
-    r.problems = run_case(case_seeds[i], options_.fault_rate, &r.summary);
+    r.problems = i < harness_cases
+                     ? run_case(case_seeds[i], options_.fault_rate, &r.summary)
+                     : run_serve_case(case_seeds[i], &r.summary);
     return r;
   };
 

@@ -42,6 +42,7 @@
 #include "hyperq/harness.hpp"
 #include "hyperq/schedule.hpp"
 #include "rodinia/registry.hpp"
+#include "serve/service.hpp"
 
 namespace hq::check {
 
@@ -64,6 +65,31 @@ struct FuzzCase {
 /// Deterministically expands a case seed into a workload + configuration.
 FuzzCase generate_case(std::uint64_t case_seed);
 
+/// One generated serving workload (open arrivals under overload knobs),
+/// fully determined by its seed. Runs against the serving-mode oracles:
+///
+///   - Determinism: the same config twice yields a byte-identical report.
+///   - Accounting: admitted = completed + shed + timed-out + quarantined,
+///     and shed jobs never consume device time (no dispatch, no spans).
+///   - Queue-cap monotonicity: raising the admission cap never decreases
+///     the number of completed jobs, and never changes arrivals.
+///   - Deadline monotonicity: with expiry off and drop-tail shedding,
+///     deadlines are pure accounting — tightening one never increases
+///     goodput and never perturbs the trace digest.
+///   - Legacy equivalence: with every overload feature off and a zero-rate
+///     fault plan attached, the service reproduces the plain
+///     StreamingHarness trace digest exactly.
+struct ServeFuzzCase {
+  std::uint64_t seed = 0;
+  serve::ServiceConfig config;
+
+  /// One-line human-readable description, e.g. for failure reports.
+  std::string summary() const;
+};
+
+/// Deterministically expands a case seed into a serving configuration.
+ServeFuzzCase generate_serve_case(std::uint64_t case_seed);
+
 struct FuzzOptions {
   /// Master seed; per-iteration case seeds derive from it.
   std::uint64_t seed = 1;
@@ -76,6 +102,9 @@ struct FuzzOptions {
   /// Scales the per-case transient fault plan in [0, 1]; 0 disables the
   /// fault-mode oracles entirely.
   double fault_rate = 0.0;
+  /// Serving-mode iterations appended after the harness cases (their
+  /// failure reports use iteration indices `iterations..`). 0 disables.
+  int serve_iterations = 0;
 };
 
 struct FuzzFailure {
@@ -111,6 +140,11 @@ class Fuzzer {
   static std::vector<std::string> run_case(std::uint64_t case_seed,
                                            double fault_rate,
                                            std::string* summary_out);
+
+  /// Runs the serving-mode oracles for one case seed; returns the violated
+  /// oracles (empty = clean).
+  static std::vector<std::string> run_serve_case(
+      std::uint64_t case_seed, std::string* summary_out = nullptr);
 
   /// The seed-derived transient-only plan fault-mode cases run under
   /// (stalls, slowdowns, throttle windows, retryable launch failures; no

@@ -1,0 +1,47 @@
+// Serving-layer accounting invariants (library hq_check).
+//
+// The serving Service (src/serve) classifies every arrival into exactly one
+// terminal state. Two properties must hold for any configuration, fault
+// plan, and seed:
+//
+//   1. Conservation: arrived == completed_ok + completed_late +
+//      shed_queue_full + shed_breaker + timed_out_queued + quarantined.
+//      No job is lost or double-counted, even under faults and shedding.
+//
+//   2. Shed work is free: a job rejected before dispatch (shed or expired
+//      in the queue) never touched the device, so its app id must not
+//      appear on any trace span.
+//
+// The checks live in hq_check (not hq_serve) so the fuzz oracles can verify
+// serving runs through the same layer that validates device invariants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hq::check {
+
+/// Final job accounting of one serving run (filled by serve::Service).
+struct ServeAccounting {
+  std::uint64_t arrived = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_late = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_breaker = 0;
+  std::uint64_t timed_out_queued = 0;
+  std::uint64_t quarantined = 0;
+  /// App ids of jobs rejected before dispatch (shed or expired while
+  /// queued); these must have no trace spans.
+  std::vector<std::int32_t> undispatched_apps;
+};
+
+/// Verifies the serve accounting invariants. Returns human-readable
+/// violation descriptions; empty means every invariant holds. `trace` may
+/// be nullptr, which skips the span check.
+std::vector<std::string> verify_serve_accounting(const ServeAccounting& acc,
+                                                 const trace::Recorder* trace);
+
+}  // namespace hq::check

@@ -319,13 +319,14 @@ Runtime::AsyncSubmit Runtime::launch_kernel(Stream stream, LaunchConfig config,
   return AsyncSubmit{
       sim_, options_.kernel_submit_overhead, options_.retry,
       [this, stream, launch = std::move(launch), tag = std::move(tag),
-       planned_failures, op_key](int attempt) mutable -> SubmitOutcome {
+       planned_failures, op_key, app_id](int attempt) mutable -> SubmitOutcome {
         if (const Status f = stream_rec(stream).fault; f != Status::Ok) {
           return {f, false};
         }
         if (attempt <= planned_failures) {
           if (options_.fault_injector != nullptr) {
-            options_.fault_injector->note_launch_failure(sim_.now(), op_key);
+            options_.fault_injector->note_launch_failure(sim_.now(), op_key,
+                                                         app_id);
           }
           return {Status::LaunchFailure, true};
         }
@@ -334,7 +335,7 @@ Runtime::AsyncSubmit Runtime::launch_kernel(Stream stream, LaunchConfig config,
                               [this, stream] { op_completed(stream); });
         return {};
       },
-      [this, stream, op_key](Status failed) {
+      [this, stream, op_key, app_id](Status failed) {
         // Retry budget exhausted: the failure becomes sticky on the stream
         // (never submitted, so no pending op leaks and the stream still
         // reaches idle for teardown).
@@ -342,7 +343,8 @@ Runtime::AsyncSubmit Runtime::launch_kernel(Stream stream, LaunchConfig config,
         if (rec.fault == Status::Ok) {
           rec.fault = failed;
           if (options_.fault_injector != nullptr) {
-            options_.fault_injector->note_launch_abort(sim_.now(), op_key);
+            options_.fault_injector->note_launch_abort(sim_.now(), op_key,
+                                                       app_id);
           }
         }
       }};

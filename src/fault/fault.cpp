@@ -272,14 +272,18 @@ int FaultInjector::launch_failures_for(std::int32_t app_id,
   return failures;
 }
 
-void FaultInjector::note_launch_failure(TimeNs now, std::uint64_t op_key) {
+void FaultInjector::note_launch_failure(TimeNs now, std::uint64_t op_key,
+                                        std::int32_t app_id) {
   ++stats_.launch_failures;
   emit(now, gpu::ObservedFault::LaunchFailure, op_key, 0);
+  if (launch_fault_hook_) launch_fault_hook_(now, app_id, false);
 }
 
-void FaultInjector::note_launch_abort(TimeNs now, std::uint64_t op_key) {
+void FaultInjector::note_launch_abort(TimeNs now, std::uint64_t op_key,
+                                      std::int32_t app_id) {
   ++stats_.launch_aborts;
   emit(now, gpu::ObservedFault::LaunchAbort, op_key, 0);
+  if (launch_fault_hook_) launch_fault_hook_(now, app_id, true);
 }
 
 bool FaultInjector::host_alloc_fails(TimeNs now, std::uint64_t alloc_key) {

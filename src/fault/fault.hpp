@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -166,8 +167,21 @@ class FaultInjector {
                           int max_retries) const;
 
   /// Records one rejected launch attempt / one exhausted retry budget.
-  void note_launch_failure(TimeNs now, std::uint64_t op_key);
-  void note_launch_abort(TimeNs now, std::uint64_t op_key);
+  /// `app_id` attributes the event to an application instance (-1 when
+  /// unattributed); the launch-fault hook receives it so recovery layers
+  /// (e.g. the serving circuit breaker) can track failures per class.
+  void note_launch_failure(TimeNs now, std::uint64_t op_key,
+                           std::int32_t app_id = -1);
+  void note_launch_abort(TimeNs now, std::uint64_t op_key,
+                         std::int32_t app_id = -1);
+
+  /// Called on every launch fault with (now, app_id, aborted). Purely
+  /// observational: the hook must not mutate simulation state.
+  using LaunchFaultHook =
+      std::function<void(TimeNs, std::int32_t, bool aborted)>;
+  void set_launch_fault_hook(LaunchFaultHook hook) {
+    launch_fault_hook_ = std::move(hook);
+  }
 
   /// True when pinned host allocation attempt `alloc_key` should fail.
   bool host_alloc_fails(TimeNs now, std::uint64_t alloc_key);
@@ -182,6 +196,7 @@ class FaultInjector {
   FaultPlan plan_;
   FaultStats stats_;
   gpu::DeviceObserver* observer_ = nullptr;
+  LaunchFaultHook launch_fault_hook_;
 };
 
 }  // namespace hq::fault

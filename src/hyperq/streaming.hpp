@@ -1,64 +1,6 @@
-// Streaming (open) workload management — the paper's §VI future work:
-// "intelligent scheduler algorithms to support energy efficient execution or
-// manage streaming workloads, rather than a finite set."
-//
-// Applications arrive continuously (Poisson arrivals over a deterministic
-// seeded stream), each is admitted onto a stream from the pool and runs its
-// transfer/execute/transfer pattern; the harness reports steady-state
-// throughput, turnaround latency percentiles, power, and energy per task.
+// Forwarding header: StreamingHarness moved to the serving layer
+// (src/serve/streaming.hpp) when serve::Service subsumed it. Kept so
+// existing includes keep compiling; link hq_serve to use it.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "hyperq/harness.hpp"
-
-namespace hq::fw {
-
-class StreamingHarness {
- public:
-  struct Config {
-    gpu::DeviceSpec device = gpu::DeviceSpec::tesla_k20();
-    int num_streams = 32;
-    bool memory_sync = false;
-    bool functional = false;
-    /// Admission window: arrivals are generated for this long; the run ends
-    /// when the last admitted application completes.
-    DurationNs window = 100 * kMillisecond;
-    /// Mean inter-arrival time of the Poisson process.
-    DurationNs mean_interarrival = 2 * kMillisecond;
-    /// Application mix, sampled uniformly per arrival.
-    std::vector<WorkloadItem> mix;
-    std::uint64_t seed = 1;
-    DurationNs power_period = 15 * kMillisecond;
-  };
-
-  struct Result {
-    int admitted = 0;
-    int completed = 0;
-    /// Tasks completed per second of total run time.
-    double throughput_per_sec = 0;
-    DurationNs mean_turnaround = 0;
-    DurationNs p95_turnaround = 0;
-    DurationNs max_turnaround = 0;
-    /// Total run time: admission window + drain.
-    DurationNs total_time = 0;
-    Joules energy = 0;
-    Joules energy_per_task = 0;
-    double average_occupancy = 0;
-  };
-
-  explicit StreamingHarness(Config config) : config_(std::move(config)) {}
-
-  /// Runs one streaming experiment; deterministic per configuration.
-  Result run();
-
- private:
-  struct RunState;
-  static sim::Task generator_task(RunState* st);
-  static sim::Task task_lifecycle(RunState* st, int index);
-
-  Config config_;
-};
-
-}  // namespace hq::fw
+#include "serve/streaming.hpp"

@@ -30,6 +30,14 @@ void write_quoted(std::ostream& os, std::string_view s) {
   os << '"';
 }
 
+}  // namespace
+
+void write_json_quoted(std::ostream& os, std::string_view s) {
+  write_quoted(os, s);
+}
+
+namespace {
+
 std::string hex_digest(std::uint64_t v) {
   char buf[17] = {};
   for (int i = 15; i >= 0; --i) {

@@ -57,6 +57,11 @@ struct RunInfo {
 /// the deterministic formatter every exporter here uses.
 std::string format_double(double v);
 
+/// Writes `s` as a JSON string literal (quoted, with control characters and
+/// quotes escaped). Shared by every hand-rolled JSON exporter in the project
+/// so string handling cannot drift between reports.
+void write_json_quoted(std::ostream& os, std::string_view s);
+
 /// Versioned JSON metrics report: {"schema_version", "run", "apps",
 /// "metrics"}. Metric entries carry their kind; series points are [t, v]
 /// pairs in nanoseconds.

@@ -1,0 +1,212 @@
+#include "serve/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/hash.hpp"
+#include "obs/report.hpp"
+
+namespace hq::serve {
+namespace {
+
+std::string hex_digest(std::uint64_t v) {
+  char buf[17] = {};
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[v & 0xF];
+    v >>= 4;
+  }
+  return "0x" + std::string(buf, 16);
+}
+
+double to_ms(DurationNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace
+
+void render_report_text(std::ostream& os, const ServeReport& report) {
+  os << "serve report: " << report.workload << "\n";
+  os << "  config: streams=" << report.num_streams
+     << " memsync=" << (report.memory_sync ? "on" : "off")
+     << " seed=" << report.seed
+     << " window=" << obs::format_double(to_ms(report.window)) << "ms"
+     << " mean-gap=" << obs::format_double(to_ms(report.mean_interarrival))
+     << "ms\n";
+  os << "  admission: queue-cap=" << report.queue_cap
+     << " max-inflight=" << report.max_inflight
+     << " shed-policy=" << report.shed_policy
+     << " deadline=" << obs::format_double(to_ms(report.deadline)) << "ms"
+     << " expire-queued=" << (report.expire_queued ? "on" : "off") << "\n";
+  os << "  control: auto-memsync="
+     << (report.controller_enabled ? "on" : "off")
+     << " breaker=" << (report.breaker_enabled ? "on" : "off")
+     << " fault-plan=" << report.fault_plan << "\n";
+  os << "  jobs: arrived=" << report.arrived << " admitted=" << report.admitted
+     << " completed=" << report.completed << " (ok=" << report.completed_ok
+     << " late=" << report.completed_late << ")\n";
+  os << "  rejected: shed-queue-full=" << report.shed_queue_full
+     << " shed-breaker=" << report.shed_breaker
+     << " timed-out-queued=" << report.timed_out_queued
+     << " quarantined=" << report.quarantined << "\n";
+  os << "  slo: goodput=" << obs::format_double(report.goodput_per_sec)
+     << "/s throughput=" << obs::format_double(report.throughput_per_sec)
+     << "/s deadline-miss-ratio="
+     << obs::format_double(report.deadline_miss_ratio) << "\n";
+  os << "  turnaround: mean=" << obs::format_double(to_ms(report.mean_turnaround))
+     << "ms p95=" << obs::format_double(to_ms(report.p95_turnaround))
+     << "ms max=" << obs::format_double(to_ms(report.max_turnaround)) << "ms\n";
+  os << "  queue: wait-mean="
+     << obs::format_double(to_ms(report.mean_queue_wait))
+     << "ms wait-max=" << obs::format_double(to_ms(report.max_queue_wait))
+     << "ms peak-depth=" << report.peak_queue_depth
+     << " peak-inflight=" << report.peak_inflight << "\n";
+  os << "  run: total=" << obs::format_double(to_ms(report.total_time))
+     << "ms drain=" << obs::format_double(to_ms(report.drain_time))
+     << "ms energy=" << obs::format_double(report.energy)
+     << "J energy/completed="
+     << obs::format_double(report.energy_per_completed)
+     << "J occupancy=" << obs::format_double(report.average_occupancy) << "\n";
+  os << "  control-loops: engagements=" << report.controller_engagements
+     << " releases=" << report.controller_releases
+     << " pseudo-burst-jobs=" << report.pseudo_burst_jobs
+     << " breaker-trips=" << report.breaker_trips
+     << " breaker-probes=" << report.breaker_probes
+     << " breaker-rejected=" << report.breaker_rejected
+     << " faults=" << report.faults_injected << "\n";
+  for (const ClassStats& c : report.classes) {
+    os << "  class " << c.name << ": arrived=" << c.arrived
+       << " ok=" << c.completed_ok << " late=" << c.completed_late
+       << " shed-queue=" << c.shed_queue_full
+       << " shed-breaker=" << c.shed_breaker
+       << " timed-out=" << c.timed_out_queued
+       << " quarantined=" << c.quarantined;
+    if (!c.breaker_final_state.empty()) {
+      os << " breaker=" << c.breaker_final_state << " trips="
+         << c.breaker_trips << " probes=" << c.breaker_probes
+         << " rejected=" << c.breaker_rejected;
+    }
+    os << "\n";
+  }
+  os << "  trace-digest: " << hex_digest(report.trace_digest) << "\n";
+}
+
+void write_report_json(std::ostream& os, const ServeReport& report) {
+  os << "{\n";
+  os << "  \"schema_version\": 1,\n";
+
+  os << "  \"config\": {\n";
+  os << "    \"workload\": ";
+  obs::write_json_quoted(os, report.workload);
+  os << ",\n";
+  os << "    \"num_streams\": " << report.num_streams << ",\n";
+  os << "    \"memory_sync\": " << (report.memory_sync ? "true" : "false")
+     << ",\n";
+  os << "    \"seed\": " << report.seed << ",\n";
+  os << "    \"window_ns\": " << report.window << ",\n";
+  os << "    \"mean_interarrival_ns\": " << report.mean_interarrival << ",\n";
+  os << "    \"deadline_ns\": " << report.deadline << ",\n";
+  os << "    \"queue_cap\": " << report.queue_cap << ",\n";
+  os << "    \"max_inflight\": " << report.max_inflight << ",\n";
+  os << "    \"shed_policy\": ";
+  obs::write_json_quoted(os, report.shed_policy);
+  os << ",\n";
+  os << "    \"expire_queued\": " << (report.expire_queued ? "true" : "false")
+     << ",\n";
+  os << "    \"auto_memsync\": "
+     << (report.controller_enabled ? "true" : "false") << ",\n";
+  os << "    \"breaker\": " << (report.breaker_enabled ? "true" : "false")
+     << ",\n";
+  os << "    \"fault_plan\": ";
+  obs::write_json_quoted(os, report.fault_plan);
+  os << "\n  },\n";
+
+  os << "  \"accounting\": {\n";
+  os << "    \"arrived\": " << report.arrived << ",\n";
+  os << "    \"admitted\": " << report.admitted << ",\n";
+  os << "    \"completed\": " << report.completed << ",\n";
+  os << "    \"completed_ok\": " << report.completed_ok << ",\n";
+  os << "    \"completed_late\": " << report.completed_late << ",\n";
+  os << "    \"shed_queue_full\": " << report.shed_queue_full << ",\n";
+  os << "    \"shed_breaker\": " << report.shed_breaker << ",\n";
+  os << "    \"timed_out_queued\": " << report.timed_out_queued << ",\n";
+  os << "    \"quarantined\": " << report.quarantined << "\n";
+  os << "  },\n";
+
+  os << "  \"slo\": {\n";
+  os << "    \"goodput_per_sec\": "
+     << obs::format_double(report.goodput_per_sec) << ",\n";
+  os << "    \"throughput_per_sec\": "
+     << obs::format_double(report.throughput_per_sec) << ",\n";
+  os << "    \"deadline_miss_ratio\": "
+     << obs::format_double(report.deadline_miss_ratio) << "\n";
+  os << "  },\n";
+
+  os << "  \"latency\": {\n";
+  os << "    \"mean_turnaround_ns\": " << report.mean_turnaround << ",\n";
+  os << "    \"p95_turnaround_ns\": " << report.p95_turnaround << ",\n";
+  os << "    \"max_turnaround_ns\": " << report.max_turnaround << ",\n";
+  os << "    \"mean_queue_wait_ns\": " << report.mean_queue_wait << ",\n";
+  os << "    \"max_queue_wait_ns\": " << report.max_queue_wait << ",\n";
+  os << "    \"peak_queue_depth\": " << report.peak_queue_depth << ",\n";
+  os << "    \"peak_inflight\": " << report.peak_inflight << "\n";
+  os << "  },\n";
+
+  os << "  \"run\": {\n";
+  os << "    \"total_time_ns\": " << report.total_time << ",\n";
+  os << "    \"drain_time_ns\": " << report.drain_time << ",\n";
+  os << "    \"energy_j\": " << obs::format_double(report.energy) << ",\n";
+  os << "    \"energy_per_completed_j\": "
+     << obs::format_double(report.energy_per_completed) << ",\n";
+  os << "    \"average_occupancy\": "
+     << obs::format_double(report.average_occupancy) << "\n";
+  os << "  },\n";
+
+  os << "  \"control\": {\n";
+  os << "    \"controller_engagements\": " << report.controller_engagements
+     << ",\n";
+  os << "    \"controller_releases\": " << report.controller_releases << ",\n";
+  os << "    \"pseudo_burst_jobs\": " << report.pseudo_burst_jobs << ",\n";
+  os << "    \"breaker_trips\": " << report.breaker_trips << ",\n";
+  os << "    \"breaker_probes\": " << report.breaker_probes << ",\n";
+  os << "    \"breaker_rejected\": " << report.breaker_rejected << ",\n";
+  os << "    \"faults_injected\": " << report.faults_injected << "\n";
+  os << "  },\n";
+
+  os << "  \"classes\": [\n";
+  for (std::size_t i = 0; i < report.classes.size(); ++i) {
+    const ClassStats& c = report.classes[i];
+    os << "    {\"name\": ";
+    obs::write_json_quoted(os, c.name);
+    os << ", \"priority\": " << c.priority << ", \"arrived\": " << c.arrived
+       << ", \"completed_ok\": " << c.completed_ok
+       << ", \"completed_late\": " << c.completed_late
+       << ", \"shed_queue_full\": " << c.shed_queue_full
+       << ", \"shed_breaker\": " << c.shed_breaker
+       << ", \"timed_out_queued\": " << c.timed_out_queued
+       << ", \"quarantined\": " << c.quarantined
+       << ", \"breaker_trips\": " << c.breaker_trips
+       << ", \"breaker_probes\": " << c.breaker_probes
+       << ", \"breaker_rejected\": " << c.breaker_rejected
+       << ", \"breaker_final_state\": ";
+    obs::write_json_quoted(os, c.breaker_final_state);
+    os << "}" << (i + 1 < report.classes.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"trace_digest\": \"" << hex_digest(report.trace_digest) << "\"\n";
+  os << "}\n";
+}
+
+std::string report_json(const ServeReport& report) {
+  std::ostringstream os;
+  write_report_json(os, report);
+  return os.str();
+}
+
+std::uint64_t report_digest(const ServeReport& report) {
+  Fnv1a64 hash;
+  hash.mix_string(report_json(report));
+  return hash.value();
+}
+
+}  // namespace hq::serve

@@ -1,0 +1,121 @@
+// Final report of one serving run (library hq_serve).
+//
+// The report is the drain-time summary the serving layer hands back:
+// admission/SLO accounting (goodput vs raw throughput, deadline misses,
+// shed/timeout/quarantine breakdown), per-class breaker trajectories,
+// controller activity, and the run-level energy/occupancy numbers.
+//
+// Determinism contract: report_json renders byte-identically for a given
+// report (doubles through obs::format_double, fixed field order, classes in
+// class-index order), so `report_digest` — FNV-1a over that rendering — is
+// the fingerprint the determinism tests and CI diffs pin. Same config +
+// seed => byte-identical report at any --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hq::serve {
+
+/// Per-application-class slice of the accounting plus the class breaker's
+/// final trajectory.
+struct ClassStats {
+  std::string name;
+  int priority = 0;
+  std::uint64_t arrived = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_late = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_breaker = 0;
+  std::uint64_t timed_out_queued = 0;
+  std::uint64_t quarantined = 0;
+  // Breaker counters (all zero when the breaker is disabled).
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t breaker_rejected = 0;
+  std::string breaker_final_state;  ///< "closed" / "open" / "half-open"
+};
+
+struct ServeReport {
+  // --- configuration echo --------------------------------------------------
+  std::string workload;  ///< class names joined with '+'
+  int num_streams = 0;
+  bool memory_sync = false;
+  std::uint64_t seed = 0;
+  DurationNs window = 0;
+  DurationNs mean_interarrival = 0;
+  DurationNs deadline = 0;  ///< relative per-job deadline; 0 = none
+  std::size_t queue_cap = 0;
+  std::size_t max_inflight = 0;
+  std::string shed_policy;
+  bool expire_queued = false;
+  bool controller_enabled = false;
+  bool breaker_enabled = false;
+  std::string fault_plan;  ///< canonical plan string, or "disabled"
+
+  // --- job accounting ------------------------------------------------------
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;  ///< arrived - shed (queue-full + breaker)
+  std::uint64_t completed = 0;  ///< completed_ok + completed_late
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_late = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_breaker = 0;
+  std::uint64_t timed_out_queued = 0;
+  std::uint64_t quarantined = 0;
+
+  // --- SLO -----------------------------------------------------------------
+  /// Jobs that completed within their deadline, per second of total time.
+  double goodput_per_sec = 0;
+  /// All completed jobs per second of total time (late ones included).
+  double throughput_per_sec = 0;
+  /// (completed_late + timed_out_queued) / admitted; 0 when nothing admitted.
+  double deadline_miss_ratio = 0;
+
+  // --- latency -------------------------------------------------------------
+  DurationNs mean_turnaround = 0;  ///< arrival -> completion, completed jobs
+  DurationNs p95_turnaround = 0;
+  DurationNs max_turnaround = 0;
+  DurationNs mean_queue_wait = 0;  ///< arrival -> dispatch, dispatched jobs
+  DurationNs max_queue_wait = 0;
+  std::size_t peak_queue_depth = 0;
+  std::size_t peak_inflight = 0;
+
+  // --- run totals ----------------------------------------------------------
+  DurationNs total_time = 0;  ///< admission window + drain
+  DurationNs drain_time = 0;  ///< time past admission close to full drain
+  Joules energy = 0;
+  Joules energy_per_completed = 0;
+  double average_occupancy = 0;
+
+  // --- control loops -------------------------------------------------------
+  std::uint64_t controller_engagements = 0;
+  std::uint64_t controller_releases = 0;
+  /// Jobs forced into pseudo-burst transfers by the controller (not counting
+  /// runs configured with memory_sync on globally).
+  std::uint64_t pseudo_burst_jobs = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t breaker_rejected = 0;
+  std::uint64_t faults_injected = 0;
+
+  std::vector<ClassStats> classes;
+  std::uint64_t trace_digest = 0;
+};
+
+/// Human-readable multi-line summary (the hqserve default output).
+void render_report_text(std::ostream& os, const ServeReport& report);
+
+/// Canonical JSON rendering (byte-identical per report; see header note).
+void write_report_json(std::ostream& os, const ServeReport& report);
+std::string report_json(const ServeReport& report);
+
+/// FNV-1a digest of report_json — the run fingerprint pinned by the
+/// determinism tests.
+std::uint64_t report_digest(const ServeReport& report);
+
+}  // namespace hq::serve

@@ -1,0 +1,56 @@
+#include "serve/streaming.hpp"
+
+#include "common/check.hpp"
+#include "serve/service.hpp"
+
+namespace hq::fw {
+
+void StreamingHarness::Config::validate() const {
+  HQ_CHECK_MSG(!mix.empty(), "streaming mix must not be empty");
+  HQ_CHECK_MSG(window > 0, "streaming config: window must be positive");
+  HQ_CHECK_MSG(mean_interarrival > 0,
+               "streaming config: mean_interarrival must be positive");
+  HQ_CHECK_MSG(num_streams >= 1,
+               "streaming config: num_streams must be >= 1, got "
+                   << num_streams);
+}
+
+StreamingHarness::Result StreamingHarness::run() {
+  config_.validate();
+
+  serve::ServiceConfig service_config;
+  service_config.device = config_.device;
+  service_config.num_streams = config_.num_streams;
+  service_config.memory_sync = config_.memory_sync;
+  service_config.functional = config_.functional;
+  service_config.window = config_.window;
+  service_config.mean_interarrival = config_.mean_interarrival;
+  service_config.seed = config_.seed;
+  service_config.classes.reserve(config_.mix.size());
+  for (const WorkloadItem& item : config_.mix) {
+    service_config.classes.push_back({item, 0});
+  }
+  // Every overload feature off: the service is then schedule-identical to
+  // the original StreamingHarness (same RNG draws, same spawn order).
+  service_config.collect_metrics = false;
+
+  serve::Service service(std::move(service_config));
+  const serve::ServeResult serve_result = service.run();
+  const serve::ServeReport& report = serve_result.report;
+
+  Result result;
+  result.admitted = static_cast<int>(report.arrived);
+  result.completed = static_cast<int>(report.completed);
+  result.throughput_per_sec = report.throughput_per_sec;
+  result.mean_turnaround = report.mean_turnaround;
+  result.p95_turnaround = report.p95_turnaround;
+  result.max_turnaround = report.max_turnaround;
+  result.total_time = report.total_time;
+  result.energy = report.energy;
+  result.energy_per_task = report.energy_per_completed;
+  result.average_occupancy = report.average_occupancy;
+  result.trace_digest = report.trace_digest;
+  return result;
+}
+
+}  // namespace hq::fw

@@ -1,0 +1,116 @@
+#include "fault/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace hq::fault {
+namespace {
+
+TEST(CircuitBreakerTest, StartsClosedAndAdmits) {
+  CircuitBreaker breaker;
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(breaker.allow(0));
+  EXPECT_TRUE(breaker.allow(kMillisecond));
+  EXPECT_EQ(breaker.rejected(), 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAtConsecutiveFailureThreshold) {
+  CircuitBreaker breaker({/*failure_threshold=*/3, /*cooldown=*/kMillisecond});
+  breaker.record_failure(10);
+  breaker.record_failure(20);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  breaker.record_failure(30);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.last_trip_time(), 30);
+  EXPECT_FALSE(breaker.allow(31));
+  EXPECT_EQ(breaker.rejected(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveCount) {
+  CircuitBreaker breaker({/*failure_threshold=*/2, /*cooldown=*/kMillisecond});
+  breaker.record_failure(1);
+  breaker.record_success(2);
+  breaker.record_failure(3);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  breaker.record_failure(4);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown=*/kMillisecond});
+  breaker.record_failure(0);
+  EXPECT_FALSE(breaker.allow(kMillisecond - 1));  // still cooling down
+  EXPECT_TRUE(breaker.allow(kMillisecond));       // the probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+  EXPECT_EQ(breaker.probes(), 1u);
+  EXPECT_FALSE(breaker.allow(kMillisecond + 1));  // probe outstanding
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessCloses) {
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown=*/kMillisecond});
+  breaker.record_failure(0);
+  EXPECT_TRUE(breaker.allow(kMillisecond));
+  breaker.record_success(kMillisecond + 500);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(breaker.allow(kMillisecond + 501));
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForAnotherCooldown) {
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown=*/kMillisecond});
+  breaker.record_failure(0);
+  EXPECT_TRUE(breaker.allow(kMillisecond));
+  breaker.record_failure(kMillisecond + 100);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.allow(2 * kMillisecond + 99));
+  EXPECT_TRUE(breaker.allow(2 * kMillisecond + 100));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+}
+
+TEST(CircuitBreakerTest, OpenStragglersDoNotExtendCooldown) {
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown=*/kMillisecond});
+  breaker.record_failure(0);
+  // Failures from jobs already inflight when the breaker tripped arrive
+  // while it is Open; they must not push the probe time out.
+  breaker.record_failure(500);
+  breaker.record_failure(900);
+  EXPECT_TRUE(breaker.allow(kMillisecond));
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, CountersAreMonotonic) {
+  CircuitBreaker breaker({/*failure_threshold=*/1, /*cooldown=*/kMillisecond});
+  breaker.record_failure(0);
+  EXPECT_FALSE(breaker.allow(1));
+  EXPECT_FALSE(breaker.allow(2));
+  EXPECT_TRUE(breaker.allow(kMillisecond));
+  breaker.record_success(kMillisecond + 1);
+  EXPECT_EQ(breaker.failures(), 1u);
+  EXPECT_EQ(breaker.successes(), 1u);
+  EXPECT_EQ(breaker.rejected(), 2u);
+  EXPECT_EQ(breaker.probes(), 1u);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_EQ(std::string(breaker_state_name(CircuitBreaker::State::Closed)),
+            "closed");
+  EXPECT_EQ(std::string(breaker_state_name(CircuitBreaker::State::Open)),
+            "open");
+  EXPECT_EQ(std::string(breaker_state_name(CircuitBreaker::State::HalfOpen)),
+            "half-open");
+}
+
+TEST(CircuitBreakerTest, RejectsBadConfig) {
+  EXPECT_THROW(CircuitBreaker({/*failure_threshold=*/0, kMillisecond}),
+               hq::Error);
+  EXPECT_THROW(CircuitBreaker({/*failure_threshold=*/1, /*cooldown=*/0}),
+               hq::Error);
+}
+
+}  // namespace
+}  // namespace hq::fault

@@ -91,7 +91,9 @@ TEST(MetricsTest, RegistryReferencesStableAcrossGrowth) {
   MetricsRegistry reg;
   Counter& first = reg.counter("first");
   for (int i = 0; i < 100; ++i) {
-    reg.counter("c" + std::to_string(i));
+    std::string name = "c";
+    name += std::to_string(i);
+    reg.counter(name);
   }
   first.add(7);
   EXPECT_EQ(std::get<Counter>(reg.find("first")->metric).value(), 7u);

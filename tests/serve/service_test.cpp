@@ -1,0 +1,308 @@
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "exec/parallel.hpp"
+#include "obs/report.hpp"
+#include "serve/report.hpp"
+#include "tests/hyperq/synthetic_app.hpp"
+
+namespace hq::serve {
+namespace {
+
+using fw::testing::SyntheticApp;
+
+ServiceConfig base_config() {
+  ServiceConfig config;
+  config.window = 20 * kMillisecond;
+  config.mean_interarrival = kMillisecond;
+  config.num_streams = 8;
+  SyntheticApp::Spec spec;
+  spec.num_kernels = 3;
+  spec.block_duration = 30 * kMicrosecond;
+  config.classes.push_back(
+      {fw::WorkloadItem{"synthetic",
+                        [spec] { return std::make_unique<SyntheticApp>(spec); }},
+       0});
+  return config;
+}
+
+/// A config that actually overloads the device: arrivals far faster than
+/// service on a narrow stream pool.
+ServiceConfig overload_config() {
+  ServiceConfig config = base_config();
+  config.mean_interarrival = 100 * kMicrosecond;
+  config.window = 10 * kMillisecond;
+  config.num_streams = 2;
+  config.max_inflight = 2;
+  return config;
+}
+
+TEST(ServeServiceTest, PlainRunCompletesEverything) {
+  Service service(base_config());
+  const ServeResult result = service.run();
+  const ServeReport& report = result.report;
+  EXPECT_GT(report.arrived, 5u);
+  EXPECT_EQ(report.completed, report.arrived);
+  EXPECT_EQ(report.completed_ok, report.completed);
+  EXPECT_EQ(report.shed_queue_full, 0u);
+  EXPECT_EQ(report.shed_breaker, 0u);
+  EXPECT_EQ(report.timed_out_queued, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_DOUBLE_EQ(report.goodput_per_sec, report.throughput_per_sec);
+  EXPECT_DOUBLE_EQ(report.deadline_miss_ratio, 0.0);
+  EXPECT_GT(report.trace_digest, 0u);
+}
+
+TEST(ServeServiceTest, ReportIsByteIdenticalAcrossRuns) {
+  const ServeResult a = Service(overload_config()).run();
+  const ServeResult b = Service(overload_config()).run();
+  EXPECT_EQ(report_json(a.report), report_json(b.report));
+  EXPECT_EQ(report_digest(a.report), report_digest(b.report));
+}
+
+TEST(ServeServiceTest, ReportIsByteIdenticalAcrossJobCounts) {
+  // Shard four distinct configs over 1 worker and over 8; fold the JSON
+  // reports in index order — the bytes must match exactly.
+  auto run_config = [](std::size_t i) {
+    ServiceConfig config = overload_config();
+    config.seed = 10 + i;
+    config.queue_cap = 4 + i;
+    return report_json(Service(std::move(config)).run().report);
+  };
+  const auto serial = exec::parallel_map_jobs(1, 4, run_config);
+  const auto threaded = exec::parallel_map_jobs(8, 4, run_config);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]) << "config " << i;
+  }
+}
+
+TEST(ServeServiceTest, QueueCapShedsUnderOverload) {
+  ServiceConfig config = overload_config();
+  config.queue_cap = 6;
+  const ServeResult result = Service(std::move(config)).run();
+  const ServeReport& report = result.report;
+  EXPECT_GT(report.shed_queue_full, 0u);
+  EXPECT_GT(report.completed, 0u);
+  // Conservation identity (also enforced internally by hq_check).
+  EXPECT_EQ(report.arrived, report.completed_ok + report.completed_late +
+                                report.shed_queue_full + report.shed_breaker +
+                                report.timed_out_queued + report.quarantined);
+  EXPECT_LE(report.peak_queue_depth, 6u);
+  // Shed jobs never consume device time: they have no dispatch timestamp.
+  for (const JobRecord& job : result.jobs) {
+    if (job.state == JobState::ShedQueueFull) {
+      EXPECT_EQ(job.dispatched_at, 0);
+      EXPECT_EQ(job.completed_at, 0);
+    }
+  }
+}
+
+TEST(ServeServiceTest, RaisingQueueCapNeverDecreasesCompleted) {
+  std::uint64_t previous = 0;
+  for (std::size_t cap : {4u, 8u, 16u, 0u}) {  // 0 = unbounded
+    ServiceConfig config = overload_config();
+    config.queue_cap = cap;
+    const ServeReport report = Service(std::move(config)).run().report;
+    EXPECT_GE(report.completed, previous) << "cap " << cap;
+    previous = report.completed;
+  }
+}
+
+TEST(ServeServiceTest, DeadlinesAreAccountingOnlyWithoutExpiry) {
+  // With expire_queued off and drop-tail shedding, the deadline changes
+  // bookkeeping but provably not the schedule.
+  ServiceConfig no_deadline = overload_config();
+  ServiceConfig tight = overload_config();
+  tight.deadline = 500 * kMicrosecond;  // ~ the mean turnaround under load
+  const ServeReport a = Service(std::move(no_deadline)).run().report;
+  const ServeReport b = Service(std::move(tight)).run().report;
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.completed, b.completed_ok + b.completed_late);
+  EXPECT_GT(b.completed_late, 0u);  // the overloaded tail misses 500 us
+  EXPECT_LT(b.goodput_per_sec, b.throughput_per_sec);
+  EXPECT_GT(b.deadline_miss_ratio, 0.0);
+}
+
+TEST(ServeServiceTest, ExpireQueuedTimesOutStaleJobs) {
+  ServiceConfig config = overload_config();
+  config.deadline = 300 * kMicrosecond;  // queue waits routinely exceed this
+  config.expire_queued = true;
+  const ServeReport report = Service(std::move(config)).run().report;
+  EXPECT_GT(report.timed_out_queued, 0u);
+  EXPECT_EQ(report.arrived, report.completed_ok + report.completed_late +
+                                report.shed_queue_full + report.shed_breaker +
+                                report.timed_out_queued + report.quarantined);
+}
+
+TEST(ServeServiceTest, BreakerTripsUnderLaunchFaultsAndShedsWork) {
+  ServiceConfig config = overload_config();
+  config.breaker_enabled = true;
+  config.breaker.failure_threshold = 3;
+  config.breaker.cooldown = 2 * kMillisecond;
+  // Every launch fails (transiently, below the retry budget), so breakers
+  // trip fast; probes re-fail and re-open.
+  config.fault_plan =
+      fault::parse_fault_plan("launch-fail-rate=1.0,seed=5").value();
+  const ServeResult result = Service(std::move(config)).run();
+  const ServeReport& report = result.report;
+  EXPECT_GT(report.breaker_trips, 0u);
+  EXPECT_GT(report.shed_breaker, 0u);
+  EXPECT_GT(report.faults_injected, 0u);
+  EXPECT_EQ(report.arrived, report.completed_ok + report.completed_late +
+                                report.shed_queue_full + report.shed_breaker +
+                                report.timed_out_queued + report.quarantined);
+  // Breaker-shed jobs never touched the device.
+  for (const JobRecord& job : result.jobs) {
+    if (job.state == JobState::ShedBreaker) {
+      EXPECT_EQ(job.dispatched_at, 0);
+    }
+  }
+}
+
+TEST(ServeServiceTest, BreakerRecoversViaHalfOpenProbe) {
+  ServiceConfig config = overload_config();
+  config.window = 20 * kMillisecond;
+  config.breaker_enabled = true;
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown = kMillisecond;
+  // Moderate fault rate: bursts of launch failures trip the breaker, quiet
+  // stretches let a half-open probe succeed and close it again.
+  config.fault_plan =
+      fault::parse_fault_plan("launch-fail-rate=0.1,seed=3").value();
+  const ServeReport report = Service(std::move(config)).run().report;
+  EXPECT_GT(report.breaker_trips, 0u);
+  EXPECT_GT(report.breaker_probes, 0u);
+  ASSERT_EQ(report.classes.size(), 1u);
+  EXPECT_EQ(report.classes[0].breaker_final_state, "closed");
+  EXPECT_GT(report.completed, 0u);
+}
+
+TEST(ServeServiceTest, ControllerEngagesUnderDmaContention) {
+  ServiceConfig config = base_config();
+  config.classes.clear();
+  SyntheticApp::Spec heavy;
+  heavy.name = "copy-heavy";
+  heavy.htod_bytes = 8 * kMiB;
+  heavy.htod_pieces = 4;
+  heavy.num_kernels = 1;
+  heavy.block_duration = 10 * kMicrosecond;
+  config.classes.push_back(
+      {fw::WorkloadItem{
+           "copy-heavy",
+           [heavy] { return std::make_unique<SyntheticApp>(heavy); }},
+       0});
+  config.window = 20 * kMillisecond;
+  config.mean_interarrival = 150 * kMicrosecond;
+  config.num_streams = 16;
+  config.controller.enabled = true;
+  const ServeResult result = Service(std::move(config)).run();
+  const ServeReport& report = result.report;
+  EXPECT_GT(report.controller_engagements, 0u);
+  EXPECT_GT(report.pseudo_burst_jobs, 0u);
+  EXPECT_FALSE(result.controller_transitions.empty());
+  EXPECT_EQ(report.completed, report.arrived);
+}
+
+TEST(ServeServiceTest, ArrivalReplayIsExact) {
+  ServiceConfig config = base_config();
+  config.arrivals = {{0, 0}, {kMillisecond, 0}, {kMillisecond, 0},
+                     {3 * kMillisecond, 0}};
+  const ServeReport report = Service(std::move(config)).run().report;
+  EXPECT_EQ(report.arrived, 4u);
+  EXPECT_EQ(report.completed, 4u);
+}
+
+TEST(ServeServiceTest, PriorityShedPolicyProtectsImportantClass) {
+  ServiceConfig config = overload_config();
+  SyntheticApp::Spec spec;
+  spec.num_kernels = 3;
+  spec.block_duration = 30 * kMicrosecond;
+  spec.name = "vip";
+  config.classes.push_back(
+      {fw::WorkloadItem{"vip",
+                        [spec] { return std::make_unique<SyntheticApp>(spec); }},
+       5});
+  config.queue_cap = 4;
+  config.shed_policy = ShedPolicy::Priority;
+  const ServeResult result = Service(std::move(config)).run();
+  const ServeReport& report = result.report;
+  ASSERT_EQ(report.classes.size(), 2u);
+  EXPECT_GT(report.shed_queue_full, 0u);
+  const ClassStats& plain = report.classes[0];
+  const ClassStats& vip = report.classes[1];
+  ASSERT_GT(plain.arrived, 0u);
+  ASSERT_GT(vip.arrived, 0u);
+  const double plain_shed_ratio = static_cast<double>(plain.shed_queue_full) /
+                                  static_cast<double>(plain.arrived);
+  const double vip_shed_ratio = static_cast<double>(vip.shed_queue_full) /
+                                static_cast<double>(vip.arrived);
+  EXPECT_LT(vip_shed_ratio, plain_shed_ratio);
+}
+
+TEST(ServeServiceTest, MetricsExportServeCounters) {
+  ServiceConfig config = overload_config();
+  config.queue_cap = 6;
+  const ServeResult result = Service(std::move(config)).run();
+  ASSERT_NE(result.metrics, nullptr);
+  const std::string prom = obs::prometheus_text(*result.metrics);
+  EXPECT_NE(prom.find("serve_arrived"), std::string::npos);
+  EXPECT_NE(prom.find("serve_queue_wait_ns"), std::string::npos);
+  EXPECT_NE(prom.find("serve_queue_depth"), std::string::npos);
+  EXPECT_NE(prom.find("serve_shed_queue_full"), std::string::npos);
+}
+
+TEST(ServeServiceTest, ValidatesConfig) {
+  {
+    ServiceConfig config;  // no classes
+    EXPECT_THROW(Service(std::move(config)).run(), hq::Error);
+  }
+  {
+    ServiceConfig config = base_config();
+    config.window = 0;
+    EXPECT_THROW(Service(std::move(config)).run(), hq::Error);
+  }
+  {
+    ServiceConfig config = base_config();
+    config.mean_interarrival = 0;
+    EXPECT_THROW(Service(std::move(config)).run(), hq::Error);
+  }
+  {
+    ServiceConfig config = base_config();
+    config.num_streams = 0;
+    EXPECT_THROW(Service(std::move(config)).run(), hq::Error);
+  }
+  {
+    ServiceConfig config = base_config();
+    config.expire_queued = true;  // needs a deadline
+    EXPECT_THROW(Service(std::move(config)).run(), hq::Error);
+  }
+  {
+    ServiceConfig config = base_config();
+    config.arrivals = {{10, 0}, {5, 0}};  // times decrease
+    EXPECT_THROW(Service(std::move(config)).run(), hq::Error);
+  }
+  {
+    ServiceConfig config = base_config();
+    config.arrivals = {{0, 7}};  // class out of range
+    EXPECT_THROW(Service(std::move(config)).run(), hq::Error);
+  }
+}
+
+TEST(ServeServiceTest, JobStateNames) {
+  EXPECT_EQ(std::string(job_state_name(JobState::CompletedOk)),
+            "completed-ok");
+  EXPECT_EQ(std::string(job_state_name(JobState::ShedQueueFull)),
+            "shed-queue-full");
+  EXPECT_EQ(std::string(job_state_name(JobState::TimedOutQueued)),
+            "timed-out-queued");
+  EXPECT_EQ(std::string(job_state_name(JobState::Quarantined)), "quarantined");
+}
+
+}  // namespace
+}  // namespace hq::serve

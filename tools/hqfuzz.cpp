@@ -11,6 +11,8 @@
 //                                              identical output to --jobs 1)
 //   hqfuzz --case-seed 1234567890 --verbose   (replay one failing case)
 //   hqfuzz --seed 1 --iters 50 --fault-rate 0.5   (fault-mode oracles on)
+//   hqfuzz --seed 1 --iters 0 --serve-iters 50    (serving-mode oracles)
+//   hqfuzz --serve-case-seed 99 --verbose         (replay one serve case)
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +48,12 @@ int main(int argc, char** argv) {
                   "1");
   args.add_option("case-seed",
                   "run exactly one case with this seed (replay mode)", "");
+  args.add_option("serve-iters",
+                  "serving-mode iterations appended after the harness cases "
+                  "(admission/deadline/breaker oracles; 0 = off)",
+                  "0");
+  args.add_option("serve-case-seed",
+                  "run exactly one serving-mode case with this seed", "");
   args.add_option("fault-rate",
                   "fault-plan intensity in [0,1]; > 0 adds the fault-mode "
                   "oracles (zero-perturbation, faulted determinism, "
@@ -75,6 +83,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.provided("serve-case-seed")) {
+    const auto case_seed = parse_u64(args.get("serve-case-seed"));
+    if (!case_seed) {
+      std::fprintf(stderr,
+                   "error: --serve-case-seed needs an unsigned integer\n");
+      return 2;
+    }
+    std::string summary;
+    const auto problems = check::Fuzzer::run_serve_case(*case_seed, &summary);
+    std::printf("case %s\n", summary.c_str());
+    for (const auto& p : problems) std::printf("  - %s\n", p.c_str());
+    std::printf("%s\n", problems.empty() ? "clean" : "FAILED");
+    return problems.empty() ? 0 : 1;
+  }
+
   if (args.provided("case-seed")) {
     const auto case_seed = parse_u64(args.get("case-seed"));
     if (!case_seed) {
@@ -92,15 +115,22 @@ int main(int argc, char** argv) {
 
   const auto seed = parse_u64(args.get("seed"));
   const auto iters = args.get_int("iters");
+  const auto serve_iters = args.get_int("serve-iters");
   const auto jobs = args.get_int("jobs");
-  if (!seed || !iters || *iters < 1 || !jobs || *jobs < 0) {
-    std::fprintf(stderr, "error: bad --seed/--iters/--jobs\n");
+  if (!seed || !iters || *iters < 0 || !serve_iters || *serve_iters < 0 ||
+      !jobs || *jobs < 0) {
+    std::fprintf(stderr, "error: bad --seed/--iters/--serve-iters/--jobs\n");
+    return 2;
+  }
+  if (*iters == 0 && *serve_iters == 0) {
+    std::fprintf(stderr, "error: need --iters or --serve-iters > 0\n");
     return 2;
   }
 
   check::FuzzOptions options;
   options.seed = *seed;
   options.iterations = static_cast<int>(*iters);
+  options.serve_iterations = static_cast<int>(*serve_iters);
   options.jobs = static_cast<int>(*jobs);
   options.fault_rate = fault_rate;
   const bool verbose = args.get_flag("verbose");

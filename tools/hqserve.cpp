@@ -1,0 +1,344 @@
+// hqserve — overload-robust streaming serving driver.
+//
+// Runs the serve::Service engine: open Poisson (or replayed) arrivals onto
+// the simulated Hyper-Q device, with a bounded admission queue, per-job
+// deadlines and SLO accounting, an auto-memsync overload controller, and
+// per-class circuit breakers over the fault-injection layer. Reports are
+// byte-identical for a given config + seed at any --jobs count.
+//
+// Examples:
+//   hqserve --mix gaussian,needle --size 96 --window-ms 20 --mean-gap-us 400
+//   hqserve --mix gaussian:2,nn:0 --queue-cap 12 --shed-policy priority
+//   hqserve --mix gaussian --deadline-us 3000 --expire-queued --report json
+//   hqserve --mix gaussian --auto-memsync --breaker
+//           --fault-plan launch-fail-rate=0.2,seed=7
+//   hqserve --mix gaussian --size 64 --sweep-cap 4,8,16,0 --jobs 0
+//   hqserve --mix gaussian --arrivals arrivals.txt   (lines: <time_us> <class>)
+//
+// Exit codes: 0 success, 2 usage error, 3 run error (hq::Error).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "exec/parallel.hpp"
+#include "fault/fault.hpp"
+#include "obs/report.hpp"
+#include "rodinia/registry.hpp"
+#include "serve/report.hpp"
+#include "serve/service.hpp"
+#include "tools/cli.hpp"
+#include "trace/chrome_trace.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Parses one --mix entry of the form "app" or "app:priority".
+bool parse_class(const std::string& entry, int size,
+                 hq::serve::ServiceConfig& config, std::string* error) {
+  std::string name = entry;
+  int priority = 0;
+  if (const auto colon = entry.find(':'); colon != std::string::npos) {
+    name = entry.substr(0, colon);
+    const std::string prio = entry.substr(colon + 1);
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(prio.c_str(), &end, 10);
+    if (prio.empty() || errno != 0 || end == nullptr || *end != '\0') {
+      *error = "bad priority in mix entry '" + entry + "'";
+      return false;
+    }
+    priority = static_cast<int>(value);
+  }
+  if (!hq::rodinia::is_app_name(name)) {
+    *error = "unknown application '" + name + "'";
+    return false;
+  }
+  hq::rodinia::AppParams params;
+  if (size > 0) params.size = size;
+  config.classes.push_back({hq::rodinia::make_app(name, params), priority});
+  return true;
+}
+
+/// Reads an arrival trace: one "<time_us> <class-index>" pair per line;
+/// blank lines and lines starting with '#' are skipped.
+bool read_arrivals(const std::string& path,
+                   std::vector<hq::serve::Arrival>& out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open arrivals file '" + path + "'";
+    return false;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double time_us = 0;
+    std::size_t klass = 0;
+    if (!(ls >> time_us >> klass) || time_us < 0) {
+      *error = "bad arrival at " + path + ":" + std::to_string(line_no) +
+               " (want '<time_us> <class-index>')";
+      return false;
+    }
+    out.push_back({static_cast<hq::TimeNs>(time_us * 1000.0), klass});
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hq;
+  tools::ArgParser args;
+  args.add_option("mix",
+                  "comma-separated application classes, each 'app' or "
+                  "'app:priority' (larger = more important)",
+                  "gaussian,needle");
+  args.add_option("size", "application problem-size override (0 = default)",
+                  "96");
+  args.add_option("window-ms", "admission window in milliseconds", "20");
+  args.add_option("mean-gap-us", "mean Poisson inter-arrival time (us)", "500");
+  args.add_option("streams", "stream-pool size", "8");
+  args.add_option("seed", "arrival-process seed", "1");
+  args.add_flag("memsync", "force the HtoD memory-sync (pseudo-burst) mutex");
+  args.add_option("queue-cap",
+                  "bound on queued + inflight jobs (0 = unbounded)", "0");
+  args.add_option("max-inflight",
+                  "bound on concurrently dispatched jobs (0 = unbounded)",
+                  "0");
+  args.add_option("shed-policy",
+                  "admission shed policy: drop-tail|deadline|priority",
+                  "drop-tail");
+  args.add_option("deadline-us", "per-job relative deadline (0 = none)", "0");
+  args.add_flag("expire-queued",
+                "expire queued jobs whose deadline passed before dispatch");
+  args.add_flag("auto-memsync",
+                "enable the hysteresis overload controller (switches into "
+                "memory-sync mode under DMA contention)");
+  args.add_flag("breaker", "enable per-class circuit breakers");
+  args.add_option("breaker-threshold",
+                  "consecutive failures that trip a breaker", "3");
+  args.add_option("breaker-cooldown-us",
+                  "open-state cooldown before the half-open probe (us)",
+                  "20000");
+  args.add_option("fault-plan",
+                  "deterministic fault plan (key=value,... ; see hqrun)", "");
+  args.add_option("arrivals",
+                  "replay arrivals from this file instead of the Poisson "
+                  "process (lines: '<time_us> <class-index>')",
+                  "");
+  args.add_option("report", "report format on stdout: text|json", "text");
+  args.add_option("metrics", "write the metrics JSON report to this path", "");
+  args.add_option("prom", "write Prometheus text metrics to this path", "");
+  args.add_option("trace", "write a Chrome-trace JSON to this path", "");
+  args.add_option("sweep-cap",
+                  "run a queue-cap sweep over this comma-separated list "
+                  "(0 = unbounded) instead of a single run",
+                  "");
+  args.add_option("jobs",
+                  "worker threads for --sweep-cap (0 = all hardware "
+                  "threads); output is identical at any job count",
+                  "1");
+  args.add_flag("help", "show this help");
+
+  if (!args.parse(argc, argv) || args.get_flag("help")) {
+    if (!args.error().empty()) {
+      std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    }
+    std::fprintf(stderr, "%s", args.usage("hqserve").c_str());
+    return args.get_flag("help") ? 0 : 2;
+  }
+
+  const auto size = args.get_int("size");
+  const auto window_ms = args.get_int("window-ms");
+  const auto gap_us = args.get_int("mean-gap-us");
+  const auto streams = args.get_int("streams");
+  const auto seed = args.get_int("seed");
+  const auto queue_cap = args.get_int("queue-cap");
+  const auto max_inflight = args.get_int("max-inflight");
+  const auto deadline_us = args.get_int("deadline-us");
+  const auto breaker_threshold = args.get_int("breaker-threshold");
+  const auto breaker_cooldown_us = args.get_int("breaker-cooldown-us");
+  const auto jobs = args.get_int("jobs");
+  if (!size || *size < 0 || !window_ms || *window_ms < 1 || !gap_us ||
+      *gap_us < 1 || !streams || *streams < 1 || !seed || *seed < 0 ||
+      !queue_cap || *queue_cap < 0 || !max_inflight || *max_inflight < 0 ||
+      !deadline_us || *deadline_us < 0 || !breaker_threshold ||
+      *breaker_threshold < 1 || !breaker_cooldown_us ||
+      *breaker_cooldown_us < 1 || !jobs || *jobs < 0) {
+    std::fprintf(stderr, "error: bad numeric option\n");
+    return 2;
+  }
+
+  const std::string report_format = args.get("report");
+  if (report_format != "text" && report_format != "json") {
+    std::fprintf(stderr, "error: --report must be text or json\n");
+    return 2;
+  }
+
+  serve::ServiceConfig config;
+  config.window = static_cast<DurationNs>(*window_ms) * kMillisecond;
+  config.mean_interarrival = static_cast<DurationNs>(*gap_us) * kMicrosecond;
+  config.num_streams = static_cast<int>(*streams);
+  config.seed = static_cast<std::uint64_t>(*seed);
+  config.memory_sync = args.get_flag("memsync");
+  config.queue_cap = static_cast<std::size_t>(*queue_cap);
+  config.max_inflight = static_cast<std::size_t>(*max_inflight);
+  config.deadline = static_cast<DurationNs>(*deadline_us) * kMicrosecond;
+  config.expire_queued = args.get_flag("expire-queued");
+  config.controller.enabled = args.get_flag("auto-memsync");
+  config.breaker_enabled = args.get_flag("breaker");
+  config.breaker.failure_threshold = static_cast<int>(*breaker_threshold);
+  config.breaker.cooldown =
+      static_cast<DurationNs>(*breaker_cooldown_us) * kMicrosecond;
+
+  const auto policy = serve::parse_shed_policy(args.get("shed-policy"));
+  if (!policy) {
+    std::fprintf(stderr,
+                 "error: --shed-policy must be drop-tail, deadline, or "
+                 "priority\n");
+    return 2;
+  }
+  config.shed_policy = *policy;
+
+  std::string error;
+  for (const std::string& entry : split_csv(args.get("mix"))) {
+    if (!parse_class(entry, static_cast<int>(*size), config, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  if (config.classes.empty()) {
+    std::fprintf(stderr, "error: --mix selected no applications\n");
+    return 2;
+  }
+
+  if (!args.get("fault-plan").empty()) {
+    std::string plan_error;
+    const auto plan = fault::parse_fault_plan(args.get("fault-plan"),
+                                              &plan_error);
+    if (!plan) {
+      std::fprintf(stderr, "error: bad --fault-plan: %s\n",
+                   plan_error.c_str());
+      return 2;
+    }
+    config.fault_plan = *plan;
+  }
+
+  if (!args.get("arrivals").empty()) {
+    if (!read_arrivals(args.get("arrivals"), config.arrivals, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    // --- queue-cap sweep ----------------------------------------------------
+    if (!args.get("sweep-cap").empty()) {
+      std::vector<std::size_t> caps;
+      for (const std::string& cap : split_csv(args.get("sweep-cap"))) {
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long long value = std::strtoull(cap.c_str(), &end, 10);
+        if (errno != 0 || end == nullptr || *end != '\0') {
+          std::fprintf(stderr, "error: bad --sweep-cap entry '%s'\n",
+                       cap.c_str());
+          return 2;
+        }
+        caps.push_back(static_cast<std::size_t>(value));
+      }
+      const int workers =
+          *jobs == 0 ? exec::ThreadPool::hardware_jobs()
+                     : static_cast<int>(*jobs);
+      // Points are keyed by submission index, so the sweep output is
+      // byte-identical at any job count.
+      const auto reports = exec::parallel_map_jobs(
+          workers, caps.size(), [&config, &caps](std::size_t i) {
+            serve::ServiceConfig point = config;
+            point.queue_cap = caps[i];
+            point.collect_metrics = false;
+            return serve::Service(std::move(point)).run().report;
+          });
+      if (report_format == "json") {
+        std::cout << "[";
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+          if (i > 0) std::cout << ",";
+          std::cout << "\n";
+          serve::write_report_json(std::cout, reports[i]);
+        }
+        std::cout << "\n]\n";
+      } else {
+        TextTable table;
+        table.set_header({"cap", "arrived", "completed", "shed", "timed-out",
+                          "goodput/s", "miss-ratio", "p95-turnaround-ms"});
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+          const serve::ServeReport& r = reports[i];
+          table.add_row(
+              {caps[i] == 0 ? std::string("inf") : std::to_string(caps[i]),
+               std::to_string(r.arrived), std::to_string(r.completed),
+               std::to_string(r.shed_queue_full + r.shed_breaker),
+               std::to_string(r.timed_out_queued),
+               format_fixed(r.goodput_per_sec, 1),
+               format_fixed(r.deadline_miss_ratio, 3),
+               format_fixed(static_cast<double>(r.p95_turnaround) / 1e6, 3)});
+        }
+        std::cout << table.render();
+      }
+      return 0;
+    }
+
+    // --- single run ---------------------------------------------------------
+    const serve::ServeResult result = serve::Service(config).run();
+    if (report_format == "json") {
+      serve::write_report_json(std::cout, result.report);
+      std::cout << "\n";
+    } else {
+      serve::render_report_text(std::cout, result.report);
+    }
+
+    if (!args.get("metrics").empty() && result.metrics != nullptr) {
+      obs::RunInfo info;
+      info.workload = result.report.workload;
+      info.num_apps = static_cast<int>(result.report.arrived);
+      info.num_streams = config.num_streams;
+      info.memory_sync = config.memory_sync;
+      info.makespan = result.report.total_time;
+      info.energy_j = result.report.energy;
+      info.average_occupancy = result.report.average_occupancy;
+      info.trace_digest = result.report.trace_digest;
+      std::ofstream out(args.get("metrics"));
+      HQ_CHECK_MSG(out.good(), "cannot open --metrics path for writing");
+      obs::write_metrics_json(out, info, *result.metrics, {});
+    }
+    if (!args.get("prom").empty() && result.metrics != nullptr) {
+      std::ofstream out(args.get("prom"));
+      HQ_CHECK_MSG(out.good(), "cannot open --prom path for writing");
+      obs::write_prometheus(out, *result.metrics);
+    }
+    if (!args.get("trace").empty() && result.trace != nullptr) {
+      std::ofstream out(args.get("trace"));
+      HQ_CHECK_MSG(out.good(), "cannot open --trace path for writing");
+      trace::write_chrome_trace(*result.trace, out);
+    }
+    return 0;
+  } catch (const hq::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+}
