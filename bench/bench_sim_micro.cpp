@@ -89,8 +89,7 @@ trace::Recorder synthetic_transfer_trace(int apps, int spans_per_app) {
   TimeNs t = 0;
   for (int s = 0; s < spans_per_app; ++s) {
     for (int a = 0; a < apps; ++a) {
-      rec.add(trace::Span{a, a, trace::SpanKind::MemcpyHtoD, "h2d", t,
-                          t + 1000});
+      rec.add(a, a, trace::SpanKind::MemcpyHtoD, "h2d", t, t + 1000);
       t += 1500;
     }
   }

@@ -1,0 +1,147 @@
+// bench_sim_single — single-run simulator throughput and allocation record.
+//
+// Runs the twelve canonical single-simulator scenarios (six heterogeneous
+// pairings x default/memory-sync transfers at NA = NS = 16, NaiveFifo) back
+// to back on one thread and reports, per run and in aggregate: simulation
+// events processed, wall time, events/sec, the trace digest, and the event
+// callback storage counters (inline / pooled / oversize). Emits
+// BENCH_sim_single.json with the aggregate throughput next to the recorded
+// pre-overhaul baseline so the speedup is tracked in-repo.
+//
+// The baseline constant below was measured on the seed code (commit
+// d47a068 lineage) via bench_sweep --jobs 1 on the same 60-point
+// NA = NS = 16 grid: 18.756 s / 60 runs = 3.199 runs/s. Event counts per
+// run are byte-identical across the overhaul (that is the digest
+// contract), so runs/sec speedup equals events/sec speedup.
+//
+// Examples:
+//   bench_sim_single                       # prints table, writes JSON
+//   bench_sim_single --out BENCH_sim_single.json
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "common/hash.hpp"
+#include "common/table.hpp"
+#include "tools/cli.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+/// Seed-code single-thread sweep throughput on this scenario family
+/// (see file header for provenance).
+constexpr double kBaselineRunsPerSec = 3.19897;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hq;
+  tools::ArgParser args;
+  args.add_option("out", "JSON output path", "BENCH_sim_single.json");
+  args.add_flag("help", "show this help");
+  if (!args.parse(argc, argv) || args.get_flag("help")) {
+    if (!args.error().empty()) {
+      std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    }
+    std::fprintf(stderr, "%s", args.usage("bench_sim_single").c_str());
+    return args.get_flag("help") ? 0 : 2;
+  }
+
+  constexpr int kNa = 16;
+  constexpr int kNs = 16;
+  const auto pairs = bench::hetero_pairs();
+
+  TextTable table;
+  table.set_header({"workload", "memsync", "events", "wall ms", "events/s",
+                    "inline", "pooled", "oversize", "digest"});
+
+  std::uint64_t total_events = 0;
+  std::uint64_t total_oversize = 0;
+  double total_wall = 0;
+  Fnv1a64 combined;
+  std::size_t runs = 0;
+
+  const auto t_all = std::chrono::steady_clock::now();
+  for (const bool memsync : {false, true}) {
+    for (const auto& pair : pairs) {
+      const auto t_run = std::chrono::steady_clock::now();
+      const auto result = bench::run_pair(pair, kNa, kNs,
+                                          fw::Order::NaiveFifo, memsync);
+      const double wall = seconds_since(t_run);
+      const std::uint64_t digest = trace::digest(*result.trace);
+      const auto& cb = result.callback_stats;
+
+      total_events += result.events_processed;
+      total_oversize += cb.oversize;
+      total_wall += wall;
+      combined.mix_u64(digest);
+      combined.mix_u64(result.events_processed);
+      ++runs;
+
+      std::ostringstream hex;
+      hex << std::hex << digest;
+      table.add_row(
+          {pair.label(), memsync ? "on" : "off",
+           std::to_string(result.events_processed),
+           format_fixed(wall * 1e3, 1),
+           format_fixed(static_cast<double>(result.events_processed) / wall,
+                        0),
+           std::to_string(cb.inline_stored), std::to_string(cb.pooled),
+           std::to_string(cb.oversize), hex.str()});
+    }
+  }
+  const double wall_all = seconds_since(t_all);
+
+  bench::print_header("bench_sim_single",
+                      "single-thread simulator throughput, NA=NS=16");
+  std::printf("%s", table.render().c_str());
+
+  const double runs_per_s = static_cast<double>(runs) / wall_all;
+  const double events_per_s = static_cast<double>(total_events) / total_wall;
+  const double speedup = runs_per_s / kBaselineRunsPerSec;
+  std::ostringstream combined_hex;
+  combined_hex << std::hex << combined.value();
+  std::printf(
+      "\nruns: %zu  events: %llu  wall: %.3f s  events/s: %.0f  "
+      "runs/s: %.2f\nbaseline (seed code, same grid family): %.2f runs/s  "
+      "speedup: %.2fx\ncombined digest: 0x%s\n",
+      runs, static_cast<unsigned long long>(total_events), wall_all,
+      events_per_s, runs_per_s, kBaselineRunsPerSec, speedup,
+      combined_hex.str().c_str());
+
+  const std::string out_path = args.get("out");
+  {
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"bench\": \"sim_single\",\n"
+        << "  \"grid\": {\"pairs\": " << pairs.size()
+        << ", \"memsync_modes\": 2, \"na\": " << kNa << ", \"ns\": " << kNs
+        << ", \"order\": \"naive-fifo\"},\n"
+        << "  \"runs\": " << runs << ",\n"
+        << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+        << "  \"total_events\": " << total_events << ",\n"
+        << "  \"wall_s\": " << wall_all << ",\n"
+        << "  \"events_per_s\": " << events_per_s << ",\n"
+        << "  \"runs_per_s\": " << runs_per_s << ",\n"
+        << "  \"baseline_runs_per_s\": " << kBaselineRunsPerSec << ",\n"
+        << "  \"baseline_source\": \"seed-code bench_sweep --jobs 1, same "
+           "NA=NS=16 grid family\",\n"
+        << "  \"speedup_vs_baseline\": " << speedup << ",\n"
+        << "  \"oversize_callbacks\": " << total_oversize << ",\n"
+        << "  \"combined_digest\": \"0x" << combined_hex.str() << "\"\n"
+        << "}\n";
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
@@ -46,6 +47,13 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
                                        start)
       .count();
 }
+
+// Serial throughput of the seed-code bench_sweep on this same 60-run grid,
+// recorded before the hot-path overhaul (event pool, name interning,
+// scan-free placement). speedup_vs_baseline_* track absolute progress
+// against it; speedup_vs_jobs1 only measures parallel scaling and is
+// bounded by host_cpus.
+constexpr double kSeedSerialRunsPerSec = 3.19897;
 
 }  // namespace
 
@@ -112,6 +120,8 @@ int main(int argc, char** argv) {
     std::ofstream out(out_path);
     out << "{\n"
         << "  \"bench\": \"sweep\",\n"
+        << "  \"host_cpus\": " << std::thread::hardware_concurrency()
+        << ",\n"
         << "  \"grid\": {\"pairs\": " << grid.app_sets.size()
         << ", \"orders\": " << grid.orders.size()
         << ", \"memsync_modes\": " << grid.memory_sync.size()
@@ -125,6 +135,15 @@ int main(int argc, char** argv) {
         << "  \"runs_per_s_jobsN\": "
         << static_cast<double>(runs) / wall_parallel << ",\n"
         << "  \"speedup_vs_jobs1\": " << speedup << ",\n"
+        << "  \"baseline_runs_per_s\": " << kSeedSerialRunsPerSec << ",\n"
+        << "  \"baseline_source\": \"seed-code bench_sweep --jobs 1, same "
+           "grid\",\n"
+        << "  \"speedup_vs_baseline_jobs1\": "
+        << (static_cast<double>(runs) / wall_serial) / kSeedSerialRunsPerSec
+        << ",\n"
+        << "  \"speedup_vs_baseline_jobsN\": "
+        << (static_cast<double>(runs) / wall_parallel) / kSeedSerialRunsPerSec
+        << ",\n"
         << "  \"deterministic\": " << (identical ? "true" : "false") << ",\n"
         << "  \"combined_digest\": \"0x" << digest.str() << "\"\n"
         << "}\n";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "cudart/runtime.hpp"
 #include "fault/fault.hpp"
@@ -46,8 +47,18 @@ InvariantChecker::EngineState& InvariantChecker::engine(gpu::CopyDirection dir) 
 }
 
 InvariantChecker::PendingKernel* InvariantChecker::find_kernel(gpu::OpId op) {
+  if (kernel_memo_[0] != nullptr && kernel_memo_[0]->op == op) {
+    return kernel_memo_[0];
+  }
+  if (kernel_memo_[1] != nullptr && kernel_memo_[1]->op == op) {
+    std::swap(kernel_memo_[0], kernel_memo_[1]);  // most-recent first
+    return kernel_memo_[0];
+  }
   auto it = kernels_.find(op);
-  return it == kernels_.end() ? nullptr : &it->second;
+  if (it == kernels_.end()) return nullptr;
+  kernel_memo_[1] = kernel_memo_[0];
+  kernel_memo_[0] = &it->second;
+  return kernel_memo_[0];
 }
 
 // ----------------------------------------------------------- stream order
@@ -284,6 +295,8 @@ void InvariantChecker::on_kernel_completed(TimeNs now,
   auto it = std::find(leftover_order_.begin(), leftover_order_.end(),
                       exec.op_id);
   if (it != leftover_order_.end()) leftover_order_.erase(it);
+  if (kernel_memo_[0] == k) kernel_memo_[0] = nullptr;
+  if (kernel_memo_[1] == k) kernel_memo_[1] = nullptr;
   kernels_.erase(exec.op_id);
 }
 

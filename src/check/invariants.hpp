@@ -134,6 +134,13 @@ class InvariantChecker : public gpu::DeviceObserver {
   /// kernel whose blocks may legally be placed.
   std::deque<gpu::OpId> leftover_order_;
   std::map<gpu::OpId, PendingKernel> kernels_;
+  /// Two-entry memo in front of kernels_ lookups. Placement events hammer
+  /// the head kernel while releases trail their placement instant, so
+  /// consecutive observer callbacks alternate between at most two ops almost
+  /// all the time; the memo turns those tree walks into pointer compares.
+  /// std::map node pointers stay valid across insert/erase of other keys;
+  /// entries are cleared when their kernel is erased.
+  PendingKernel* kernel_memo_[2] = {nullptr, nullptr};
   std::vector<SmxUsage> smx_usage_;
   int resident_blocks_ = 0;
   int resident_threads_ = 0;

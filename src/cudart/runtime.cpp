@@ -67,8 +67,7 @@ Result<DevicePtr> Runtime::malloc_device(Bytes bytes) {
   }
   const std::uint64_t id = next_device_id_++;
   Allocation alloc;
-  alloc.data = std::make_unique<std::byte[]>(bytes);  // zero-initialized
-  alloc.size = bytes;
+  alloc.size = bytes;  // backing materializes on first access (see Allocation)
   device_allocs_.emplace(id, std::move(alloc));
   device_bytes_in_use_ += bytes;
   ++mem_stats_.device_allocs;
@@ -96,8 +95,7 @@ Result<HostPtr> Runtime::malloc_host(Bytes bytes) {
   }
   const std::uint64_t id = next_host_id_++;
   Allocation alloc;
-  alloc.data = std::make_unique<std::byte[]>(bytes);
-  alloc.size = bytes;
+  alloc.size = bytes;  // backing materializes on first access (see Allocation)
   host_allocs_.emplace(id, std::move(alloc));
   ++mem_stats_.host_allocs;
   return HostPtr{id};
@@ -129,11 +127,13 @@ Runtime::Allocation& Runtime::host_alloc(HostPtr ptr) {
 
 std::span<std::byte> Runtime::host_bytes(HostPtr ptr) {
   Allocation& a = host_alloc(ptr);
+  if (!a.data) a.data = std::make_unique<std::byte[]>(a.size);  // zero-filled
   return {a.data.get(), a.size};
 }
 
 std::span<std::byte> Runtime::device_bytes(DevicePtr ptr) {
   Allocation& a = device_alloc(ptr);
+  if (!a.data) a.data = std::make_unique<std::byte[]>(a.size);  // zero-filled
   return {a.data.get(), a.size};
 }
 
@@ -198,12 +198,15 @@ void Runtime::op_completed(Stream stream) {
 // ----------------------------------------------------------------- ops
 
 Runtime::AsyncSubmit Runtime::memcpy_impl(Stream stream, gpu::CopyDirection dir,
-                                          std::span<std::byte> host_view,
-                                          std::span<std::byte> device_view,
+                                          HostPtr host, DevicePtr dev,
                                           Bytes bytes, Bytes offset,
                                           gpu::OpTag tag) {
-  HQ_CHECK_MSG(offset + bytes <= host_view.size() &&
-                   offset + bytes <= device_view.size(),
+  // Bounds are validated against the tracked sizes (which also validates
+  // both handles); the backing stores themselves are only materialized if a
+  // functional payload actually copies bytes, so timing-only runs never
+  // allocate or touch buffer memory.
+  HQ_CHECK_MSG(offset + bytes <= host_alloc(host).size &&
+                   offset + bytes <= device_alloc(dev).size,
                "memcpy of " << bytes << " bytes at offset " << offset
                             << " overflows an allocation");
   stream_rec(stream);  // validate the handle eagerly
@@ -226,12 +229,14 @@ Runtime::AsyncSubmit Runtime::memcpy_impl(Stream stream, gpu::CopyDirection dir,
                          return {};
                        }};
   }
-  host_view = host_view.subspan(offset, bytes);
-  device_view = device_view.subspan(offset, bytes);
-
   std::function<void()> payload;
   if (options_.functional) {
-    payload = [dir, host_view, device_view, bytes] {
+    // Views are resolved at copy-service time, not submission time: the
+    // allocations are stream-ordered alive until the copy completes, and
+    // lazy resolution keeps untouched buffers unmaterialized.
+    payload = [this, dir, host, dev, bytes, offset] {
+      const auto host_view = host_bytes(host).subspan(offset, bytes);
+      const auto device_view = device_bytes(dev).subspan(offset, bytes);
       if (dir == gpu::CopyDirection::HtoD) {
         std::memcpy(device_view.data(), host_view.data(), bytes);
       } else {
@@ -262,15 +267,15 @@ Runtime::AsyncSubmit Runtime::memcpy_impl(Stream stream, gpu::CopyDirection dir,
 Runtime::AsyncSubmit Runtime::memcpy_htod_async(Stream stream, DevicePtr dst,
                                                 HostPtr src, Bytes bytes,
                                                 gpu::OpTag tag, Bytes offset) {
-  return memcpy_impl(stream, gpu::CopyDirection::HtoD, host_bytes(src),
-                     device_bytes(dst), bytes, offset, std::move(tag));
+  return memcpy_impl(stream, gpu::CopyDirection::HtoD, src, dst, bytes, offset,
+                     std::move(tag));
 }
 
 Runtime::AsyncSubmit Runtime::memcpy_dtoh_async(Stream stream, HostPtr dst,
                                                 DevicePtr src, Bytes bytes,
                                                 gpu::OpTag tag, Bytes offset) {
-  return memcpy_impl(stream, gpu::CopyDirection::DtoH, host_bytes(dst),
-                     device_bytes(src), bytes, offset, std::move(tag));
+  return memcpy_impl(stream, gpu::CopyDirection::DtoH, dst, src, bytes, offset,
+                     std::move(tag));
 }
 
 Status Runtime::validate_launch(const LaunchConfig& config) const {

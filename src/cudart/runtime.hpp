@@ -319,8 +319,14 @@ class Runtime {
   const RuntimeOptions& options() const { return options_; }
 
  private:
+  /// Accounting-first allocation: `size` is tracked (and enforced against
+  /// device capacity) at malloc time, but the zeroed backing store is only
+  /// materialized on the first host_bytes/device_bytes access. Timing-only
+  /// runs never touch their buffers, so they never pay the memset — and the
+  /// first functional touch sees exactly the zero-filled state the eager
+  /// allocation used to provide.
   struct Allocation {
-    std::unique_ptr<std::byte[]> data;
+    std::unique_ptr<std::byte[]> data;  ///< null until first byte access
     Bytes size = 0;
   };
   struct StreamRec {
@@ -350,10 +356,9 @@ class Runtime {
   Allocation& host_alloc(HostPtr ptr);
   void op_submitted(Stream stream);
   void op_completed(Stream stream);
-  AsyncSubmit memcpy_impl(Stream stream, gpu::CopyDirection dir,
-                          std::span<std::byte> host_view,
-                          std::span<std::byte> device_view, Bytes bytes,
-                          Bytes offset, gpu::OpTag tag);
+  AsyncSubmit memcpy_impl(Stream stream, gpu::CopyDirection dir, HostPtr host,
+                          DevicePtr dev, Bytes bytes, Bytes offset,
+                          gpu::OpTag tag);
 
   sim::Simulator& sim_;
   gpu::Device& device_;

@@ -48,4 +48,55 @@ auto parallel_map_jobs(int jobs, std::size_t count, Fn&& fn)
   return parallel_map(&pool, count, std::forward<Fn>(fn));
 }
 
+/// parallel_map that submits ceil(count / batch_size) pool jobs, each
+/// evaluating a contiguous index range [b*batch_size, min(count, ...)).
+/// Cheaper per-item than one future per index when fn is short, and each
+/// worker touches a contiguous slice (better locality, no interleaved
+/// queue contention). Results are still returned **in index order** — the
+/// batch size can never change the output — and if any invocation throws,
+/// the exception for the lowest index is rethrown after every job settled
+/// (batches are contiguous and ascending, so batch order = index order).
+template <typename Fn>
+auto parallel_map_batched(ThreadPool* pool, std::size_t count,
+                          std::size_t batch_size, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  if (pool == nullptr || count == 0) {
+    return parallel_map(nullptr, count, std::forward<Fn>(fn));
+  }
+  if (batch_size == 0) batch_size = 1;
+  if (batch_size > count) batch_size = count;
+  const std::size_t batches = (count + batch_size - 1) / batch_size;
+  std::vector<Future<std::vector<R>>> futures;
+  futures.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t begin = b * batch_size;
+    const std::size_t end = begin + batch_size < count ? begin + batch_size
+                                                       : count;
+    futures.push_back(pool->submit([&fn, begin, end] {
+      std::vector<R> chunk;
+      chunk.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) chunk.push_back(fn(i));
+      return chunk;
+    }));
+  }
+  for (const auto& f : futures) f.wait();
+  std::vector<R> out;
+  out.reserve(count);
+  for (auto& f : futures) {
+    std::vector<R> chunk = f.get();
+    for (R& r : chunk) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Batch size that spreads `count` items over `jobs` workers with ~4
+/// batches per worker — enough slack to absorb uneven run times without
+/// per-item submission overhead.
+inline std::size_t default_batch_size(int jobs, std::size_t count) {
+  if (jobs <= 1) return count;
+  const std::size_t lanes = static_cast<std::size_t>(jobs) * 4;
+  return count < lanes ? 1 : count / lanes;
+}
+
 }  // namespace hq::exec

@@ -23,9 +23,12 @@ BlockScheduler::BlockScheduler(
   }
 }
 
-double BlockScheduler::thread_occupancy() const {
-  return static_cast<double>(resident_threads_) /
-         static_cast<double>(spec_.max_resident_threads());
+void BlockScheduler::update_occupancy_cache() {
+  // The exact division the accessor used to perform on every call; caching
+  // it on mutation keeps the returned double bit-identical while turning
+  // the hundreds of millions of occupancy reads per sweep into loads.
+  occupancy_cache_ = static_cast<double>(resident_threads_) /
+                     static_cast<double>(spec_.max_resident_threads());
 }
 
 void BlockScheduler::dispatch(std::unique_ptr<KernelExec> exec) {
@@ -67,10 +70,29 @@ void BlockScheduler::dispatch(std::unique_ptr<KernelExec> exec) {
   pump();
 }
 
-void BlockScheduler::pump() {
+void BlockScheduler::pump(int released_smx) {
   if (pumping_) {
     repump_ = true;
     return;
+  }
+  // Blocked-head fast path. place_blocks only ever leaves a head waiting
+  // when every SMX fit has reached zero, occupies are head-gated by the
+  // LEFTOVER rule while a head waits, and every release re-enters here with
+  // its SMX as the hint — so for a known-blocked head, the hinted SMX is
+  // the only one whose fit can have moved. One fit_count therefore decides
+  // the whole rescan: zero means the scan would have been a side-effect-free
+  // no-op (skip it), and a positive fit means the head fits *only* there,
+  // which the scan-free placement below reproduces exactly. This turns the
+  // saturated-device steady state (one completion per resident block) from
+  // a full placement scan per completion into a single division chain.
+  int known_smx = -1;
+  int known_fit = 0;
+  if (released_smx >= 0 && !fault_skip_head_ && !pending_.empty() &&
+      pending_.front() == blocked_head_) {
+    known_fit = smxs_[static_cast<std::size_t>(released_smx)].fit_count(
+        blocked_head_->demand);
+    if (known_fit == 0) return;  // still nowhere to place: rescan is a no-op
+    known_smx = released_smx;
   }
   pumping_ = true;
   do {
@@ -80,70 +102,97 @@ void BlockScheduler::pump() {
         std::swap(pending_[0], pending_[1]);  // deliberate LEFTOVER violation
       }
       KernelExec* head = pending_.front();
-      place_blocks(*head);
+      blocked_head_ = nullptr;
+      place_blocks(*head, known_smx, known_fit);
+      known_smx = -1;  // the hint describes pre-placement state only
+      known_fit = 0;
       if (head->fully_placed()) {
         // LEFTOVER: only once the oldest kernel has all blocks assigned may
         // the next kernel's blocks fill the remaining capacity.
         pending_.pop_front();
         continue;
       }
+      // place_blocks exited with blocks left exactly because every SMX fit
+      // is zero now — remember that so the next release can pump cheaply.
+      blocked_head_ = head;
       break;  // strict dispatch order: never skip past a waiting kernel
     }
   } while (repump_);
   pumping_ = false;
 }
 
-std::uint64_t BlockScheduler::place_blocks(KernelExec& exec) {
+std::uint64_t BlockScheduler::place_blocks(KernelExec& exec, int known_smx,
+                                           int known_fit) {
+  if (known_smx >= 0) {
+    // The caller proved every other SMX fit is zero and known_fit > 0, so
+    // the scan's pick is predetermined and a single placement exhausts
+    // either the kernel's unplaced blocks or the device — exactly where the
+    // scanning loop below would stop.
+    return place_on(exec, known_smx, known_fit);
+  }
   std::uint64_t placed_total = 0;
+  // One fit scan serves the whole call: a chosen SMX is always occupied with
+  // its full fit (or the loop ends because the kernel ran out of blocks), so
+  // its residual fit is exactly zero and every other SMX is untouched — the
+  // cached entries stay valid without rescanning. Pick order is identical to
+  // the old rescan loop: strict greater-than, lowest index wins ties.
+  fit_scratch_.resize(smxs_.size());
+  for (std::size_t i = 0; i < smxs_.size(); ++i) {
+    fit_scratch_[i] = smxs_[i].fit_count(exec.demand);
+  }
   while (exec.blocks_to_place > 0) {
     // Pick the SMX with the most free capacity for this demand (spreads
     // blocks across SMXs the way the hardware distributor does).
     int best = -1;
     int best_fit = 0;
-    for (const Smx& smx : smxs_) {
-      const int fit = smx.fit_count(exec.demand);
-      if (fit > best_fit) {
-        best_fit = fit;
-        best = smx.index();
+    for (std::size_t i = 0; i < fit_scratch_.size(); ++i) {
+      if (fit_scratch_[i] > best_fit) {
+        best_fit = fit_scratch_[i];
+        best = static_cast<int>(i);
       }
     }
     if (best < 0) break;
-
-    const int n = static_cast<int>(std::min<std::uint64_t>(
-        exec.blocks_to_place, static_cast<std::uint64_t>(best_fit)));
-    // Memory-contention model: blocks placed into a busier device run
-    // slower; evaluated before this batch occupies its resources.
-    const double occupancy_before = thread_occupancy();
-    const auto duration = static_cast<DurationNs>(
-        static_cast<double>(exec.launch.block_duration) *
-        (1.0 + exec.launch.contention_sensitivity * occupancy_before));
-
-    pre_state_change_();
-    smxs_[static_cast<std::size_t>(best)].occupy(exec.demand, n);
-    resident_blocks_ += n;
-    resident_threads_ += exec.demand.threads * n;
-    if (observer_ != nullptr) {
-      observer_->on_blocks_placed(sim_.now(), exec.op_id, best, n, exec.demand);
-    }
-
-    // A "wave" is a distinct placement instant; batches placed onto several
-    // SMXs at the same virtual time belong to one wave.
-    if (exec.waves == 0) {
-      exec.first_block_time = sim_.now();
-      exec.waves = 1;
-    } else if (sim_.now() != exec.last_place_time) {
-      ++exec.waves;
-    }
-    exec.last_place_time = sim_.now();
-    exec.blocks_to_place -= static_cast<std::uint64_t>(n);
-    exec.blocks_outstanding += static_cast<std::uint64_t>(n);
-    placed_total += static_cast<std::uint64_t>(n);
-
-    KernelExec* raw = &exec;
-    sim_.schedule(duration,
-                  [this, raw, best, n] { on_blocks_complete(raw, best, n); });
+    fit_scratch_[static_cast<std::size_t>(best)] = 0;
+    placed_total += place_on(exec, best, best_fit);
   }
   return placed_total;
+}
+
+std::uint64_t BlockScheduler::place_on(KernelExec& exec, int smx, int fit) {
+  const int n = static_cast<int>(std::min<std::uint64_t>(
+      exec.blocks_to_place, static_cast<std::uint64_t>(fit)));
+  // Memory-contention model: blocks placed into a busier device run
+  // slower; evaluated before this batch occupies its resources.
+  const double occupancy_before = thread_occupancy();
+  const auto duration = static_cast<DurationNs>(
+      static_cast<double>(exec.launch.block_duration) *
+      (1.0 + exec.launch.contention_sensitivity * occupancy_before));
+
+  pre_state_change_();
+  smxs_[static_cast<std::size_t>(smx)].occupy(exec.demand, n);
+  resident_blocks_ += n;
+  resident_threads_ += exec.demand.threads * n;
+  update_occupancy_cache();
+  if (observer_ != nullptr) {
+    observer_->on_blocks_placed(sim_.now(), exec.op_id, smx, n, exec.demand);
+  }
+
+  // A "wave" is a distinct placement instant; batches placed onto several
+  // SMXs at the same virtual time belong to one wave.
+  if (exec.waves == 0) {
+    exec.first_block_time = sim_.now();
+    exec.waves = 1;
+  } else if (sim_.now() != exec.last_place_time) {
+    ++exec.waves;
+  }
+  exec.last_place_time = sim_.now();
+  exec.blocks_to_place -= static_cast<std::uint64_t>(n);
+  exec.blocks_outstanding += static_cast<std::uint64_t>(n);
+
+  KernelExec* raw = &exec;
+  sim_.schedule(duration,
+                [this, raw, smx, n] { on_blocks_complete(raw, smx, n); });
+  return static_cast<std::uint64_t>(n);
 }
 
 void BlockScheduler::on_blocks_complete(KernelExec* exec, int smx_index,
@@ -152,6 +201,7 @@ void BlockScheduler::on_blocks_complete(KernelExec* exec, int smx_index,
   smxs_[static_cast<std::size_t>(smx_index)].release(exec->demand, count);
   resident_blocks_ -= count;
   resident_threads_ -= exec->demand.threads * count;
+  update_occupancy_cache();
   HQ_CHECK(exec->blocks_outstanding >= static_cast<std::uint64_t>(count));
   exec->blocks_outstanding -= static_cast<std::uint64_t>(count);
   if (observer_ != nullptr) {
@@ -170,7 +220,7 @@ void BlockScheduler::on_blocks_complete(KernelExec* exec, int smx_index,
     HQ_CHECK(it != owned_.end());
     owned_.erase(it);
   }
-  pump();
+  pump(smx_index);
 }
 
 }  // namespace hq::gpu

@@ -82,16 +82,29 @@ class BlockScheduler {
   int resident_blocks() const { return resident_blocks_; }
   int resident_threads() const { return resident_threads_; }
   /// Fraction of the device's thread capacity currently occupied, in [0,1].
-  double thread_occupancy() const;
+  /// Cached on mutation (bit-identical to recomputing the division) because
+  /// the power integrator reads it on every state change.
+  double thread_occupancy() const { return occupancy_cache_; }
   /// Kernels dispatched but not yet complete.
   std::size_t kernels_in_flight() const { return in_flight_; }
   const std::vector<Smx>& smxs() const { return smxs_; }
 
  private:
-  void pump();
+  /// `released_smx >= 0` is a capacity hint from on_blocks_complete: the
+  /// only SMX whose fit could have improved since the last full scan. When
+  /// the head kernel is known-blocked, one fit_count there decides the whole
+  /// rescan — zero skips it, positive feeds place_blocks scan-free.
+  void pump(int released_smx = -1);
   /// Places as many blocks of `exec` as currently fit; returns blocks placed.
-  std::uint64_t place_blocks(KernelExec& exec);
+  /// `known_smx >= 0` asserts the caller proved every other SMX fit is zero
+  /// and that `known_fit` is the current fit there, skipping the full scan.
+  std::uint64_t place_blocks(KernelExec& exec, int known_smx = -1,
+                             int known_fit = 0);
+  /// Places min(blocks_to_place, fit) blocks of `exec` onto `smx` and
+  /// schedules their completion; returns the count placed.
+  std::uint64_t place_on(KernelExec& exec, int smx, int fit);
   void on_blocks_complete(KernelExec* exec, int smx_index, int count);
+  void update_occupancy_cache();
 
   sim::Simulator& sim_;
   const DeviceSpec& spec_;
@@ -109,6 +122,17 @@ class BlockScheduler {
 
   int resident_blocks_ = 0;
   int resident_threads_ = 0;
+  double occupancy_cache_ = 0.0;
+  /// Per-call scratch for place_blocks' one-scan placement (kept here so a
+  /// saturated device does not allocate on every pump).
+  std::vector<int> fit_scratch_;
+  /// Set when place_blocks left the current head with blocks unplaced —
+  /// which can only happen once every SMX fit has reached zero for its
+  /// demand. Capacity only grows via releases, and each release pumps with
+  /// its SMX as a hint, so the flag plus one fit_count on the hinted SMX
+  /// fully determines the next placement without a scan. Cleared whenever
+  /// the head is re-placed.
+  KernelExec* blocked_head_ = nullptr;
   bool pumping_ = false;
   bool repump_ = false;
 };

@@ -1,6 +1,8 @@
 #include "gpusim/device.hpp"
 
 #include <cmath>
+#include <limits>
+#include <string_view>
 
 #include "common/check.hpp"
 
@@ -135,15 +137,15 @@ OpId Device::submit_copy(StreamId stream, CopyRequest request, OpTag tag,
       [this, raw](TimeNs begin, TimeNs end) {
         if (raw->copy.payload) raw->copy.payload();
         if (recorder_ != nullptr) {
-          recorder_->add(trace::Span{
-              raw->stream, raw->tag.app_id,
-              raw->copy.direction == CopyDirection::HtoD
-                  ? trace::SpanKind::MemcpyHtoD
-                  : trace::SpanKind::MemcpyDtoH,
-              raw->tag.label.empty()
-                  ? std::string(copy_direction_name(raw->copy.direction))
-                  : raw->tag.label,
-              begin, end});
+          recorder_->add(raw->stream, raw->tag.app_id,
+                         raw->copy.direction == CopyDirection::HtoD
+                             ? trace::SpanKind::MemcpyHtoD
+                             : trace::SpanKind::MemcpyDtoH,
+                         raw->tag.label.empty()
+                             ? std::string_view(
+                                   copy_direction_name(raw->copy.direction))
+                             : std::string_view(raw->tag.label),
+                         begin, end);
         }
         if (raw->copy.direction == CopyDirection::HtoD) {
           ++stats_.copies_htod;
@@ -212,9 +214,9 @@ void Device::on_kernel_complete(const KernelExec& exec) {
   dispatched_kernels_.erase(it);
 
   if (recorder_ != nullptr) {
-    recorder_->add(trace::Span{exec.stream, exec.tag.app_id,
-                               trace::SpanKind::Kernel, exec.launch.name,
-                               exec.first_block_time, exec.complete_time});
+    recorder_->add(exec.stream, exec.tag.app_id, trace::SpanKind::Kernel,
+                   exec.launch.name, exec.first_block_time,
+                   exec.complete_time);
   }
   ++stats_.kernels_completed;
   if (observer_ != nullptr) observer_->on_kernel_completed(sim_.now(), exec);
@@ -261,15 +263,19 @@ void Device::pre_state_change() {
   const TimeNs now = sim_.now();
   if (now > last_integration_) {
     const double dt_ns = static_cast<double>(now - last_integration_);
+    // One evaluation serves the observer and the integrator: the device
+    // state is unchanged between the two reads, so this is the same value
+    // (bit-identical) the old double evaluation produced, at half the cost.
+    const Watts power = instantaneous_power();
+    const double occupancy = scheduler_->thread_occupancy();
     // The power reported to the observer is the piecewise-constant value in
     // effect over [last_integration_, now]; the checker integrates the same
     // quantity independently.
     if (observer_ != nullptr) {
-      observer_->on_power_integrated(now, instantaneous_power(),
-                                     scheduler_->thread_occupancy());
+      observer_->on_power_integrated(now, power, occupancy);
     }
-    energy_j_ += instantaneous_power() * dt_ns / 1e9;
-    occupancy_weighted_ns_ += scheduler_->thread_occupancy() * dt_ns;
+    energy_j_ += power * dt_ns / 1e9;
+    occupancy_weighted_ns_ += occupancy * dt_ns;
     if (is_active()) busy_ns_ += dt_ns;
     last_integration_ = now;
   }
@@ -288,12 +294,31 @@ double Device::busy_seconds() const {
   return (busy_ns_ + tail_ns) / 1e9;
 }
 
+double Device::dynamic_power_term() const {
+  const int rt = scheduler_->resident_threads();
+  const double u = scheduler_->thread_occupancy();
+  if (rt < 0) return std::pow(u, spec_.power_exponent);  // defensive; unseen
+  if (dyn_pow_memo_.empty()) {
+    dyn_pow_memo_.assign(
+        static_cast<std::size_t>(spec_.max_resident_threads()) + 1,
+        std::numeric_limits<double>::quiet_NaN());
+  }
+  if (static_cast<std::size_t>(rt) >= dyn_pow_memo_.size()) {
+    return std::pow(u, spec_.power_exponent);  // defensive; unseen
+  }
+  double& slot = dyn_pow_memo_[static_cast<std::size_t>(rt)];
+  // u is a pure function of rt (one division by a constant), so caching by
+  // rt returns the exact double std::pow produced for this occupancy.
+  if (std::isnan(slot)) slot = std::pow(u, spec_.power_exponent);
+  return slot;
+}
+
 Watts Device::instantaneous_power() const {
   const double u = scheduler_->thread_occupancy();
   const bool active = is_active();
   Watts p = spec_.idle_power;
   if (active) p += spec_.active_base_power;
-  if (u > 0.0) p += spec_.max_dynamic_power * std::pow(u, spec_.power_exponent);
+  if (u > 0.0) p += spec_.max_dynamic_power * dynamic_power_term();
   if (htod_->busy()) p += spec_.copy_engine_power;
   if (dtoh_ && dtoh_->busy()) p += spec_.copy_engine_power;
   return p;

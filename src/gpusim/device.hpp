@@ -150,6 +150,11 @@ class Device {
   /// Integrates power/occupancy up to the current instant; must run before
   /// every state mutation.
   void pre_state_change();
+  /// The u^exponent term of the dynamic-power model, memoized per distinct
+  /// resident-thread count (u is a pure function of it). std::pow dominated
+  /// the power integrator before memoization; the cached value is the exact
+  /// double std::pow returns, so energies are bit-identical.
+  double dynamic_power_term() const;
 
   sim::Simulator& sim_;
   DeviceSpec spec_;
@@ -174,6 +179,9 @@ class Device {
   double occupancy_weighted_ns_ = 0.0;
   double busy_ns_ = 0.0;
   TimeNs last_integration_ = 0;
+  /// Lazily filled pow(u, exponent) memo indexed by resident_threads
+  /// (NaN = not yet computed). Sized on first use.
+  mutable std::vector<double> dyn_pow_memo_;
 };
 
 }  // namespace hq::gpu

@@ -30,6 +30,7 @@
 #include "hyperq/stream_manager.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/event_fn.hpp"
 
 namespace hq::fw {
 
@@ -115,6 +116,14 @@ struct HarnessResult {
   std::shared_ptr<obs::TelemetryObserver> telemetry;
   /// Fault accounting and quarantined apps (empty without a fault plan).
   fault::DegradedReport degraded;
+  /// Simulator events dispatched by the run. Deterministic for a fixed
+  /// scenario, so it doubles as a scheduling-cost metric (bench_sim_single)
+  /// and a regression budget (tests/perf).
+  std::uint64_t events_processed = 0;
+  /// Event-callback storage stats for the run (see sim::Simulator): inline,
+  /// pool-slot, and oversize-heap callback counts. The perf budget test
+  /// pins `oversize` at zero for the standard workloads.
+  sim::CallbackStats callback_stats;
 };
 
 class Harness {

@@ -272,15 +272,18 @@ sim::Task Service::job_lifecycle(RunState* st, int index) {
   // streaming harness. Under fault injection a pinned allocation can
   // exhaust its bounded retries; quarantine the job and keep serving.
   bool alloc_failed = false;
+  // Timing-only jobs never read their host buffers, so skip the (often
+  // RNG-heavy) host initialization exactly as the batch harness does.
+  const bool init_host = st->config->functional;
   if (st->injector == nullptr) {
     app.allocateHostMemory(ctx);
     app.allocateDeviceMemory(ctx);
-    app.initializeHostMemory(ctx);
+    if (init_host) app.initializeHostMemory(ctx);
   } else {
     try {
       app.allocateHostMemory(ctx);
       app.allocateDeviceMemory(ctx);
-      app.initializeHostMemory(ctx);
+      if (init_host) app.initializeHostMemory(ctx);
     } catch (const Error& e) {
       job.state = JobState::Quarantined;
       job.quarantine_reason = std::string("allocation-failed: ") + e.what();
@@ -302,9 +305,8 @@ sim::Task Service::job_lifecycle(RunState* st, int index) {
       auto guard = co_await st->htod_lock->scoped_lock();
       const TimeNs acquired = st->sim->now();
       if (st->recorder != nullptr && acquired > requested) {
-        st->recorder->add(trace::Span{ctx.stream.id, ctx.app_id,
-                                      trace::SpanKind::LockWait, "htod-lock",
-                                      requested, acquired});
+        st->recorder->add(ctx.stream.id, ctx.app_id, trace::SpanKind::LockWait,
+                          "htod-lock", requested, acquired);
       }
       co_await app.transferMemory(ctx, fw::Direction::HostToDevice);
       guard.reset();

@@ -26,15 +26,49 @@ Simulator::~Simulator() {
   }
 }
 
-void Simulator::schedule(DurationNs delay, std::function<void()> fn) {
-  schedule_at(now_ + delay, std::move(fn));
-}
-
-void Simulator::schedule_at(TimeNs t, std::function<void()> fn) {
+void Simulator::check_not_past(TimeNs t) const {
   HQ_CHECK_MSG(t >= now_, "cannot schedule into the past: t=" << t
                                                               << " now=" << now_);
-  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void Simulator::sift_up() {
+  // Hole-based insertion into the 4-ary min-heap: bubble the hole up moving
+  // parents down, then drop the new event in — one move per level instead of
+  // the swap chain std::push_heap performs on 48-byte events. Heap shape
+  // never affects dispatch order: (time, seq) is a strict total order, so
+  // every correct priority queue pops the same sequence.
+  std::size_t i = heap_.size() - 1;
+  if (i == 0) return;
+  std::size_t parent = (i - 1) / kHeapArity;
+  if (!(heap_[parent] > heap_[i])) return;  // already in place: zero moves
+  Event ev = std::move(heap_[i]);
+  do {
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+    parent = (i - 1) / kHeapArity;
+  } while (i > 0 && heap_[parent] > ev);
+  heap_[i] = std::move(ev);
+}
+
+void Simulator::sift_down(Event tail) {
+  // Re-seat the former last element after a root pop, again moving a hole
+  // down instead of swapping. Four children per node halves the tree depth
+  // and keeps the child scan inside one cache line of Event keys.
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = i * kHeapArity + 1;
+    if (first >= n) break;
+    const std::size_t end = std::min(first + kHeapArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap_[best] > heap_[c]) best = c;
+    }
+    if (!(tail > heap_[best])) break;
+    heap_[i] = std::move(heap_[best]);
+    i = best;
+  }
+  heap_[i] = std::move(tail);
 }
 
 void Simulator::spawn(Task task) {
@@ -58,9 +92,17 @@ void Simulator::on_root_task_finished(Task::Handle h) {
 }
 
 void Simulator::dispatch_one() {
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
+  // Moving the event out of the heap before invoking keeps the storage alive
+  // across whatever the callback schedules, and its destructor reclaims the
+  // pooled slot even when the callback throws.
+  Event ev = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    Event tail = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(std::move(tail));
+  } else {
+    heap_.pop_back();
+  }
   HQ_CHECK(ev.time >= now_);
   now_ = ev.time;
   ++events_processed_;

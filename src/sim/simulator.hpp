@@ -1,16 +1,23 @@
 // Deterministic discrete-event simulator.
 //
-// Single-threaded virtual-time engine: a binary heap of (time, sequence,
+// Single-threaded virtual-time engine: a 4-ary min-heap of (time, sequence,
 // callback) events with FIFO tie-breaking, so identical inputs always
 // produce identical schedules — the property every experiment in this
 // repository relies on.
+//
+// Event callbacks are stored in sim::EventFn (see sim/event_fn.hpp): small
+// trivially-copyable closures live inline in the heap entry, larger ones in
+// a per-simulator recycled pool, so steady-state scheduling performs no
+// heap allocation. Callback storage never affects dispatch order — the
+// (time, seq) key alone decides it.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/event_fn.hpp"
 #include "sim/task.hpp"
 
 namespace hq::sim {
@@ -32,10 +39,19 @@ class Simulator {
 
   /// Schedules a callback `delay` nanoseconds from now. Events scheduled for
   /// the same instant run in scheduling order.
-  void schedule(DurationNs delay, std::function<void()> fn);
+  template <typename F>
+  void schedule(DurationNs delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules a callback at absolute virtual time `t` (must be >= now()).
-  void schedule_at(TimeNs t, std::function<void()> fn);
+  template <typename F>
+  void schedule_at(TimeNs t, F&& fn) {
+    check_not_past(t);
+    heap_.push_back(Event{t, next_seq_++,
+                          EventFn(pool_, callback_stats_, std::forward<F>(fn))});
+    sift_up();
+  }
 
   /// Awaitable that suspends the current task for `d` nanoseconds. A zero
   /// delay still suspends and requeues, providing a deterministic yield
@@ -58,6 +74,12 @@ class Simulator {
   /// events at the same instant).
   void spawn(Task task);
 
+  /// Pre-sizes the event heap for a run expected to keep up to `pending`
+  /// events in flight at once (a capacity hint, not a limit). Harnesses call
+  /// this with a workload-derived estimate so the heap never reallocates
+  /// mid-run.
+  void reserve_events(std::size_t pending) { heap_.reserve(pending); }
+
   /// Runs until the event queue is empty. Returns events processed by this
   /// call. Rethrows the first exception escaping a root task.
   std::size_t run();
@@ -72,6 +94,14 @@ class Simulator {
   std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// How scheduled callbacks were stored so far (inline / pooled / oversize).
+  /// Deterministic for a fixed scenario; the perf budget test pins these.
+  CallbackStats callback_stats() const {
+    CallbackStats s = callback_stats_;
+    s.pool_slabs = pool_.slabs();
+    return s;
+  }
+
   /// Number of spawned root tasks that have not yet completed.
   std::size_t live_tasks() const { return live_tasks_.size(); }
 
@@ -81,7 +111,7 @@ class Simulator {
   struct Event {
     TimeNs time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    EventFn fn;
     bool operator>(const Event& other) const {
       if (time != other.time) return time > other.time;
       return seq > other.seq;
@@ -91,13 +121,23 @@ class Simulator {
   /// Called from a root task's final suspend point.
   void on_root_task_finished(Task::Handle h);
 
+  void check_not_past(TimeNs t) const;
+  void sift_up();
+  void sift_down(Event tail);
   void dispatch_one();
   void reap_finished_tasks();
+
+  /// Heap fan-out. Four children halve the sift depth versus a binary heap
+  /// and the arity is invisible to results: (time, seq) is a strict total
+  /// order, so the pop sequence is the same for any correct priority queue.
+  static constexpr std::size_t kHeapArity = 4;
 
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::vector<Event> heap_;  // min-heap via std::push_heap/pop_heap
+  std::vector<Event> heap_;  // 4-ary min-heap on (time, seq)
+  EventPool pool_;
+  CallbackStats callback_stats_;
   std::vector<Task::Handle> live_tasks_;
   std::vector<Task::Handle> finished_tasks_;
   std::exception_ptr pending_exception_;

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 namespace hq::trace {
 namespace {
@@ -17,7 +18,7 @@ void write_double(std::ostream& os, double v) {
   (void)ec;
 }
 
-void write_escaped(std::ostream& os, const std::string& s) {
+void write_escaped(std::ostream& os, std::string_view s) {
   for (char c : s) {
     switch (c) {
       case '"': os << "\\\""; break;
@@ -49,7 +50,7 @@ void write_chrome_trace(const Recorder& recorder,
     if (!first) os << ",";
     first = false;
     os << "\n  {\"name\": \"";
-    write_escaped(os, s.name);
+    write_escaped(os, recorder.name_of(s.name));
     os << "\", \"cat\": \"" << span_kind_name(s.kind) << "\""
        << ", \"ph\": \"X\""
        << ", \"ts\": " << static_cast<double>(s.begin) / 1e3

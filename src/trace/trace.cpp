@@ -25,17 +25,48 @@ std::uint64_t digest(const Recorder& recorder) {
     h.mix_i64(s.lane);
     h.mix_i64(s.app_id);
     h.mix_u64(static_cast<std::uint64_t>(s.kind));
-    h.mix_string(s.name);
+    // The digest covers the resolved name bytes (not the id), so it is
+    // unchanged from the pre-interning representation and independent of
+    // the order names happened to be interned in.
+    h.mix_string(recorder.name_of(s.name));
     h.mix_u64(s.begin);
     h.mix_u64(s.end);
   }
   return h.value();
 }
 
+NameId Recorder::intern(std::string_view name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  HQ_CHECK_MSG(names_.size() < 0xFFFFFFFFu, "name table overflow");
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  // Key the map with a view into the deque-owned string (stable address),
+  // not the caller's buffer.
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::string_view Recorder::name_of(NameId id) const {
+  HQ_CHECK_MSG(id < names_.size(),
+               "NameId " << id << " not interned in this recorder ("
+                         << names_.size() << " names)");
+  return names_[id];
+}
+
 void Recorder::add(Span span) {
+  HQ_CHECK_MSG(span.name < names_.size(),
+               "span name id " << span.name
+                               << " not interned in this recorder");
   HQ_CHECK_MSG(span.end >= span.begin,
-               "span '" << span.name << "' ends before it begins");
-  spans_.push_back(std::move(span));
+               "span '" << name_of(span.name) << "' ends before it begins");
+  spans_.push_back(span);
+}
+
+void Recorder::clear() {
+  spans_.clear();
+  ids_.clear();
+  names_.clear();
 }
 
 std::vector<Span> Recorder::by_app(std::int32_t app_id) const {
@@ -71,6 +102,71 @@ std::optional<TimeNs> Recorder::max_time() const {
   TimeNs t = spans_.front().end;
   for (const Span& s : spans_) t = std::max(t, s.end);
   return t;
+}
+
+AppIndex::AppIndex(const Recorder& recorder) {
+  const std::vector<Span>& spans = recorder.spans();
+  if (spans.empty()) {
+    offsets_.push_back(0);
+    return;
+  }
+
+  // Harness app ids are dense small integers (workload index, plus -1 for
+  // unattributed spans), so a counting scatter over [min, max] is both the
+  // fast path and the common one. A hostile id range (sparse 32-bit ids)
+  // would explode the bucket array, so fall back to a stable sort there.
+  std::int64_t min_id = spans.front().app_id;
+  std::int64_t max_id = spans.front().app_id;
+  for (const Span& s : spans) {
+    min_id = std::min<std::int64_t>(min_id, s.app_id);
+    max_id = std::max<std::int64_t>(max_id, s.app_id);
+  }
+  const std::int64_t range = max_id - min_id + 1;
+
+  ptrs_.resize(spans.size());
+  const std::int64_t kDenseRangeCap = 1 << 20;
+  if (range <= kDenseRangeCap) {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(range), 0);
+    for (const Span& s : spans) {
+      ++counts[static_cast<std::size_t>(s.app_id - min_id)];
+    }
+    offsets_.reserve(16);
+    std::vector<std::size_t> starts(counts.size(), 0);
+    std::size_t running = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (counts[b] == 0) continue;
+      ids_.push_back(static_cast<std::int32_t>(min_id + static_cast<std::int64_t>(b)));
+      offsets_.push_back(running);
+      starts[b] = running;
+      running += counts[b];
+    }
+    offsets_.push_back(running);
+    for (const Span& s : spans) {
+      ptrs_[starts[static_cast<std::size_t>(s.app_id - min_id)]++] = &s;
+    }
+  } else {
+    for (std::size_t i = 0; i < spans.size(); ++i) ptrs_[i] = &spans[i];
+    std::stable_sort(ptrs_.begin(), ptrs_.end(),
+                     [](const Span* a, const Span* b) {
+                       return a->app_id < b->app_id;
+                     });
+    // offsets_[k] = first index of group k; final entry = total span count.
+    for (std::size_t i = 0; i < ptrs_.size(); ++i) {
+      if (i == 0 || ptrs_[i]->app_id != ptrs_[i - 1]->app_id) {
+        ids_.push_back(ptrs_[i]->app_id);
+        offsets_.push_back(i);
+      }
+    }
+    offsets_.push_back(ptrs_.size());
+  }
+}
+
+std::span<const Span* const> AppIndex::spans_for(std::int32_t app_id) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), app_id);
+  if (it == ids_.end() || *it != app_id) return {};
+  const std::size_t k = static_cast<std::size_t>(it - ids_.begin());
+  return {ptrs_.data() + offsets_[k],
+          offsets_[k + 1] - offsets_[k]};
 }
 
 }  // namespace hq::trace

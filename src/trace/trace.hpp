@@ -7,12 +7,24 @@
 //     screenshots, Figs. 1/2/5, as text),
 //   * Chrome-trace JSON export (chrome://tracing / Perfetto),
 //   * the effective-memory-transfer-latency metric (paper Eq. 1-2).
+//
+// Span names are interned: each distinct name string is stored once in a
+// per-recorder symbol table and spans carry a 32-bit NameId. A run emits a
+// handful of distinct names ("Fan1", "htod", ...) across hundreds of
+// thousands of spans, so interning removes a std::string construction (and
+// usually a heap allocation) per span. Every reader that needs the text —
+// digest, Chrome trace, tests — resolves it through Recorder::name_of, so
+// rendered output and digests are byte-identical to the pre-interning
+// representation.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -30,12 +42,17 @@ enum class SpanKind : std::uint8_t {
 /// Short label for a span kind ("HtoD", "DtoH", "kernel", ...).
 const char* span_kind_name(SpanKind kind);
 
+/// Index into the owning Recorder's name table (Recorder::name_of).
+using NameId = std::uint32_t;
+
 /// One closed interval of activity attributed to a lane and an application.
+/// Trivially copyable; the name is an id into the recorder that owns the
+/// span (a Span is meaningless without its recorder's name table).
 struct Span {
   std::int32_t lane = 0;    ///< row identifier; stream index by convention
   std::int32_t app_id = -1; ///< owning application instance, -1 if none
   SpanKind kind = SpanKind::Kernel;
-  std::string name;
+  NameId name = 0;          ///< interned name (see Recorder::intern/name_of)
   TimeNs begin = 0;
   TimeNs end = 0;
 
@@ -45,22 +62,50 @@ struct Span {
 class Recorder;
 
 /// Stable 64-bit digest of a recorder's spans (FNV-1a over every field of
-/// every span, in recording order). Bit-identical across platforms and
-/// toolchains, so it serves as the determinism fingerprint of a whole run:
-/// two runs of the same scenario must produce equal digests, and any change
-/// to the simulated schedule shows up as a digest change. Used by the golden
-/// tests, the seed-sweep determinism tests, and the hqfuzz oracles.
+/// every span, in recording order; names are digested as their full string
+/// bytes, not their ids, so the digest is independent of interning order).
+/// Bit-identical across platforms and toolchains, so it serves as the
+/// determinism fingerprint of a whole run: two runs of the same scenario
+/// must produce equal digests, and any change to the simulated schedule
+/// shows up as a digest change. Used by the golden tests, the seed-sweep
+/// determinism tests, and the hqfuzz oracles.
 std::uint64_t digest(const Recorder& recorder);
 
-/// Append-only collection of spans with simple query helpers.
+/// Append-only collection of spans with simple query helpers and the name
+/// symbol table the spans' NameIds index into.
 class Recorder {
  public:
+  /// Returns the id for `name`, adding it to the table on first sight.
+  /// Ids are dense, assigned in first-interning order, and stay valid for
+  /// the recorder's lifetime.
+  NameId intern(std::string_view name);
+
+  /// The string a span's NameId stands for. The view is stable for the
+  /// recorder's lifetime.
+  std::string_view name_of(NameId id) const;
+
+  /// Distinct names interned so far (deterministic for a fixed scenario —
+  /// the perf budget regression test pins it).
+  std::size_t name_count() const { return names_.size(); }
+
+  /// Appends a span whose name is already interned in *this* recorder.
   void add(Span span);
+
+  /// Interns `name` and appends — the one-stop producer API.
+  void add(std::int32_t lane, std::int32_t app_id, SpanKind kind,
+           std::string_view name, TimeNs begin, TimeNs end) {
+    add(Span{lane, app_id, kind, intern(name), begin, end});
+  }
+
+  /// Pre-sizes span storage for an expected span count (capacity hint).
+  void reserve(std::size_t spans) { spans_.reserve(spans); }
 
   const std::vector<Span>& spans() const { return spans_; }
   bool empty() const { return spans_.empty(); }
   std::size_t size() const { return spans_.size(); }
-  void clear() { spans_.clear(); }
+  /// Drops spans and the name table (all previously issued NameIds become
+  /// invalid — there are no spans left to hold them).
+  void clear();
 
   std::vector<Span> by_app(std::int32_t app_id) const;
   std::vector<Span> by_kind(SpanKind kind) const;
@@ -92,41 +137,38 @@ class Recorder {
 
  private:
   std::vector<Span> spans_;
+  /// Name storage with stable element addresses (a deque never relocates),
+  /// so the string_view keys in ids_ and the views name_of hands out stay
+  /// valid as the table grows.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, NameId> ids_;
 };
 
-/// One-pass per-app span index. Extracting per-app metrics with
-/// Recorder::by_app costs O(apps * spans) plus a copy of every matching
-/// span per query; building this index once costs O(spans log apps) and
-/// each subsequent per-app lookup is O(log apps). The pointers alias the
-/// source recorder, which must outlive the index and not grow while the
-/// index is in use.
+/// One-pass per-app span index over a flat, sorted layout. Extracting
+/// per-app metrics with Recorder::by_app costs O(apps * spans) plus a copy
+/// of every matching span per query; building this index once costs
+/// O(spans + app-id range) (a counting scatter over the dense app-id range,
+/// falling back to a stable sort for pathological sparse ids) and each
+/// subsequent per-app lookup is a binary search over the distinct ids,
+/// O(log apps). The pointers alias the source recorder, which must outlive
+/// the index and not grow while the index is in use.
 class AppIndex {
  public:
-  explicit AppIndex(const Recorder& recorder) {
-    for (const Span& s : recorder.spans()) {
-      by_app_[s.app_id].push_back(&s);
-    }
-  }
+  explicit AppIndex(const Recorder& recorder);
 
-  /// Spans of one app, in recording order; empty for an unknown app.
-  const std::vector<const Span*>& spans_for(std::int32_t app_id) const {
-    static const std::vector<const Span*> kEmpty;
-    const auto it = by_app_.find(app_id);
-    return it == by_app_.end() ? kEmpty : it->second;
-  }
+  /// Spans of one app, in recording order; empty for an unknown app (ids
+  /// never seen in the trace, including -1 when every span is attributed).
+  std::span<const Span* const> spans_for(std::int32_t app_id) const;
 
   /// Distinct app ids seen, ascending (includes -1 for unattributed spans).
-  std::vector<std::int32_t> app_ids() const {
-    std::vector<std::int32_t> out;
-    out.reserve(by_app_.size());
-    for (const auto& [id, spans] : by_app_) out.push_back(id);
-    return out;
-  }
+  const std::vector<std::int32_t>& app_ids() const { return ids_; }
 
-  std::size_t app_count() const { return by_app_.size(); }
+  std::size_t app_count() const { return ids_.size(); }
 
  private:
-  std::map<std::int32_t, std::vector<const Span*>> by_app_;
+  std::vector<std::int32_t> ids_;        ///< distinct app ids, ascending
+  std::vector<std::size_t> offsets_;     ///< ids_.size()+1 bounds into ptrs_
+  std::vector<const Span*> ptrs_;        ///< grouped by app, recording order
 };
 
 }  // namespace hq::trace

@@ -168,7 +168,7 @@ TEST_F(DeviceTest, TraceSpansCarryAppAttribution) {
   sim_.run();
   const auto spans = recorder_.by_app(7);
   ASSERT_EQ(spans.size(), 1u);
-  EXPECT_EQ(spans[0].name, "k");
+  EXPECT_EQ(recorder_.name_of(spans[0].name), "k");
   EXPECT_EQ(spans[0].lane, 0);
 }
 
@@ -204,7 +204,7 @@ TEST_F(FermiDeviceTest, DepthFirstIssueFalselySerializes) {
   const auto spans = recorder_.by_kind(trace::SpanKind::Kernel);
   ASSERT_EQ(spans.size(), 3u);
   // B1 is last and starts only after A2 dispatches (post A1 completion).
-  EXPECT_EQ(spans[2].name, "B1");
+  EXPECT_EQ(recorder_.name_of(spans[2].name), "B1");
   EXPECT_GE(spans[2].begin, spans[0].end);
 }
 

@@ -49,8 +49,8 @@ TEST_F(PriorityTest, HighPriorityJumpsPendingQueue) {
   ASSERT_EQ(spans.size(), 3u);
   TimeNs high_start = 0, low_start = 0;
   for (const auto& s : spans) {
-    if (s.name == "high") high_start = s.begin;
-    if (s.name == "low") low_start = s.begin;
+    if (recorder_.name_of(s.name) == "high") high_start = s.begin;
+    if (recorder_.name_of(s.name) == "low") low_start = s.begin;
   }
   // Both waited behind "big", but the high-priority stream placed first.
   EXPECT_LT(high_start, low_start);
@@ -67,8 +67,8 @@ TEST_F(PriorityTest, NoPreemptionOfResidentBlocks) {
 
   const auto spans = recorder_.by_kind(trace::SpanKind::Kernel);
   ASSERT_EQ(spans.size(), 2u);
-  const auto& resident = spans[0].name == "resident" ? spans[0] : spans[1];
-  const auto& urgent = spans[0].name == "urgent" ? spans[0] : spans[1];
+  const auto& resident = recorder_.name_of(spans[0].name) == "resident" ? spans[0] : spans[1];
+  const auto& urgent = recorder_.name_of(spans[0].name) == "urgent" ? spans[0] : spans[1];
   // Urgent cannot start until resident's blocks complete: no preemption.
   EXPECT_GE(urgent.begin, resident.end);
 }
@@ -83,8 +83,8 @@ TEST_F(PriorityTest, EqualPrioritiesKeepDispatchOrder) {
   sim_.run();
   const auto spans = recorder_.by_kind(trace::SpanKind::Kernel);
   ASSERT_EQ(spans.size(), 2u);
-  EXPECT_EQ(spans[0].name, "first");
-  EXPECT_EQ(spans[1].name, "second");
+  EXPECT_EQ(recorder_.name_of(spans[0].name), "first");
+  EXPECT_EQ(recorder_.name_of(spans[1].name), "second");
 }
 
 TEST_F(PriorityTest, RuntimeExposesPrioritizedStreams) {
@@ -114,8 +114,8 @@ TEST_F(PriorityTest, LeftoverStillFillsAroundPriorities) {
   ASSERT_EQ(spans.size(), 2u);
   TimeNs low_end = 0, high_end = 0;
   for (const auto& s : spans) {
-    if (s.name == "low_big") low_end = s.end;
-    if (s.name == "high_big") high_end = s.end;
+    if (recorder_.name_of(s.name) == "low_big") low_end = s.end;
+    if (recorder_.name_of(s.name) == "high_big") high_end = s.end;
   }
   // The high-priority kernel finishes before the low one's second wave
   // completes is impossible (no preemption), but it must finish no later

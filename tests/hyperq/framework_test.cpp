@@ -130,16 +130,16 @@ TEST_F(FrameworkTest, MonitorDoubleStartThrows) {
 
 // ------------------------------------------------------------------ metrics
 
-trace::Span copy_span(int app, TimeNs begin, TimeNs end,
-                      trace::SpanKind kind = trace::SpanKind::MemcpyHtoD) {
-  return trace::Span{0, app, kind, "copy", begin, end};
+void copy_span(trace::Recorder& r, int app, TimeNs begin, TimeNs end,
+               trace::SpanKind kind = trace::SpanKind::MemcpyHtoD) {
+  r.add(0, app, kind, "copy", begin, end);
 }
 
 TEST(MetricsTest, EffectiveLatencySpansFirstToLast) {
   trace::Recorder r;
-  r.add(copy_span(1, 100, 200));
-  r.add(copy_span(1, 500, 600));   // interleaved gap in between
-  r.add(copy_span(2, 200, 500));   // other app's transfer
+  copy_span(r, 1, 100, 200);
+  copy_span(r, 1, 500, 600);   // interleaved gap in between
+  copy_span(r, 2, 200, 500);   // other app's transfer
   const auto le =
       effective_transfer_latency(r, 1, trace::SpanKind::MemcpyHtoD);
   ASSERT_TRUE(le.has_value());
@@ -148,15 +148,15 @@ TEST(MetricsTest, EffectiveLatencySpansFirstToLast) {
 
 TEST(MetricsTest, EffectiveLatencyNulloptWithoutTransfers) {
   trace::Recorder r;
-  r.add(copy_span(2, 0, 10));
+  copy_span(r, 2, 0, 10);
   EXPECT_FALSE(
       effective_transfer_latency(r, 1, trace::SpanKind::MemcpyHtoD).has_value());
 }
 
 TEST(MetricsTest, EffectiveLatencyFiltersDirection) {
   trace::Recorder r;
-  r.add(copy_span(1, 0, 10, trace::SpanKind::MemcpyHtoD));
-  r.add(copy_span(1, 50, 80, trace::SpanKind::MemcpyDtoH));
+  copy_span(r, 1, 0, 10, trace::SpanKind::MemcpyHtoD);
+  copy_span(r, 1, 50, 80, trace::SpanKind::MemcpyDtoH);
   EXPECT_EQ(*effective_transfer_latency(r, 1, trace::SpanKind::MemcpyHtoD),
             10u);
   EXPECT_EQ(*effective_transfer_latency(r, 1, trace::SpanKind::MemcpyDtoH),
@@ -165,8 +165,8 @@ TEST(MetricsTest, EffectiveLatencyFiltersDirection) {
 
 TEST(MetricsTest, OwnTransferTimeSumsServiceOnly) {
   trace::Recorder r;
-  r.add(copy_span(1, 100, 200));
-  r.add(copy_span(1, 500, 600));
+  copy_span(r, 1, 100, 200);
+  copy_span(r, 1, 500, 600);
   EXPECT_EQ(own_transfer_time(r, 1, trace::SpanKind::MemcpyHtoD), 200u);
 }
 

@@ -7,17 +7,17 @@
 namespace hq::fw {
 namespace {
 
-trace::Span htod(int app, TimeNs begin, TimeNs end) {
-  return trace::Span{app, app, trace::SpanKind::MemcpyHtoD, "h2d", begin, end};
+void htod(trace::Recorder& r, int app, TimeNs begin, TimeNs end) {
+  r.add(app, app, trace::SpanKind::MemcpyHtoD, "h2d", begin, end);
 }
 
-trace::Span dtoh(int app, TimeNs begin, TimeNs end) {
-  return trace::Span{app, app, trace::SpanKind::MemcpyDtoH, "d2h", begin, end};
+void dtoh(trace::Recorder& r, int app, TimeNs begin, TimeNs end) {
+  r.add(app, app, trace::SpanKind::MemcpyDtoH, "d2h", begin, end);
 }
 
 TEST(EffectiveLatencyTest, SingleTransferIsItsOwnServiceTime) {
   trace::Recorder r;
-  r.add(htod(0, 100, 160));
+  htod(r, 0, 100, 160);
   const auto le =
       effective_transfer_latency(r, 0, trace::SpanKind::MemcpyHtoD);
   ASSERT_TRUE(le.has_value());
@@ -27,8 +27,8 @@ TEST(EffectiveLatencyTest, SingleTransferIsItsOwnServiceTime) {
 
 TEST(EffectiveLatencyTest, OneDirectionOnlyLeavesOtherEmpty) {
   trace::Recorder r;
-  r.add(htod(0, 0, 50));
-  r.add(htod(0, 80, 120));
+  htod(r, 0, 0, 50);
+  htod(r, 0, 80, 120);
   EXPECT_FALSE(
       effective_transfer_latency(r, 0, trace::SpanKind::MemcpyDtoH)
           .has_value());
@@ -40,7 +40,7 @@ TEST(EffectiveLatencyTest, OneDirectionOnlyLeavesOtherEmpty) {
 
 TEST(EffectiveLatencyTest, UnknownAppIsEmptyNotZero) {
   trace::Recorder r;
-  r.add(htod(0, 0, 50));
+  htod(r, 0, 0, 50);
   EXPECT_FALSE(
       effective_transfer_latency(r, 7, trace::SpanKind::MemcpyHtoD)
           .has_value());
@@ -51,13 +51,13 @@ TEST(EffectiveLatencyTest, OutOfOrderSpansGiveSameWindow) {
   // Chunked/interleaved transfers can be recorded out of begin order; the
   // window must still be [min begin, max end].
   trace::Recorder in_order;
-  in_order.add(htod(1, 100, 150));
-  in_order.add(htod(1, 200, 260));
-  in_order.add(htod(1, 400, 410));
+  htod(in_order, 1, 100, 150);
+  htod(in_order, 1, 200, 260);
+  htod(in_order, 1, 400, 410);
   trace::Recorder shuffled;
-  shuffled.add(htod(1, 400, 410));
-  shuffled.add(htod(1, 100, 150));
-  shuffled.add(htod(1, 200, 260));
+  htod(shuffled, 1, 400, 410);
+  htod(shuffled, 1, 100, 150);
+  htod(shuffled, 1, 200, 260);
 
   for (const trace::Recorder* r : {&in_order, &shuffled}) {
     EXPECT_EQ(*effective_transfer_latency(*r, 1, trace::SpanKind::MemcpyHtoD),
@@ -72,8 +72,8 @@ TEST(EffectiveLatencyTest, IndexAndScanPathsAgree) {
   for (int app = 0; app < 5; ++app) {
     for (int i = 0; i < 4; ++i) {
       const TimeNs t = app * 1000 + i * 37;
-      r.add(htod(app, t, t + 20));
-      if (app % 2 == 0) r.add(dtoh(app, t + 500, t + 540));
+      htod(r, app, t, t + 20);
+      if (app % 2 == 0) dtoh(r, app, t + 500, t + 540);
     }
   }
   const trace::AppIndex index(r);
@@ -92,10 +92,10 @@ TEST(EffectiveLatencyTest, IndexAndScanPathsAgree) {
 
 TEST(AppIndexTest, GroupsSpansByAppInRecordingOrder) {
   trace::Recorder r;
-  r.add(htod(2, 0, 10));
-  r.add(htod(0, 5, 15));
-  r.add(htod(2, 20, 30));
-  r.add(trace::Span{9, -1, trace::SpanKind::Kernel, "k", 0, 1});
+  htod(r, 2, 0, 10);
+  htod(r, 0, 5, 15);
+  htod(r, 2, 20, 30);
+  r.add(9, -1, trace::SpanKind::Kernel, "k", 0, 1);
   const trace::AppIndex index(r);
   EXPECT_EQ(index.app_count(), 3u);
   EXPECT_EQ(index.app_ids(), (std::vector<std::int32_t>{-1, 0, 2}));

@@ -49,8 +49,8 @@ TEST(GoldenOutputTest, TwoStreamTimelineRendersExactly) {
 
 TEST(GoldenOutputTest, ChromeTraceJsonExact) {
   trace::Recorder recorder;
-  recorder.add(trace::Span{2, 5, trace::SpanKind::MemcpyHtoD, "in", 1000,
-                           3500});
+  recorder.add(2, 5, trace::SpanKind::MemcpyHtoD, "in", 1000,
+                           3500);
   const std::string expected =
       "[\n"
       "  {\"name\": \"in\", \"cat\": \"HtoD\", \"ph\": \"X\", \"ts\": 1, "

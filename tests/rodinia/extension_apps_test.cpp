@@ -63,9 +63,9 @@ TEST(LudTest, LaunchShapeShrinksAlongDiagonal) {
 
   std::size_t diagonal = 0, perimeter = 0, internal = 0;
   for (const auto& span : result.trace->by_kind(trace::SpanKind::Kernel)) {
-    if (span.name == "lud_diagonal") ++diagonal;
-    if (span.name == "lud_perimeter") ++perimeter;
-    if (span.name == "lud_internal") ++internal;
+    if (result.trace->name_of(span.name) == "lud_diagonal") ++diagonal;
+    if (result.trace->name_of(span.name) == "lud_perimeter") ++perimeter;
+    if (result.trace->name_of(span.name) == "lud_internal") ++internal;
   }
   EXPECT_EQ(diagonal, 8u);
   EXPECT_EQ(perimeter, 7u);

@@ -72,8 +72,8 @@ TEST(GaussianTest, TableIIILaunchShapesAt512) {
   ASSERT_EQ(kernels.size(), 2u * 511u);
   std::size_t fan1 = 0, fan2 = 0;
   for (const auto& span : kernels) {
-    if (span.name == "Fan1") ++fan1;
-    if (span.name == "Fan2") ++fan2;
+    if (result.trace->name_of(span.name) == "Fan1") ++fan1;
+    if (result.trace->name_of(span.name) == "Fan2") ++fan2;
   }
   EXPECT_EQ(fan1, 511u);
   EXPECT_EQ(fan2, 511u);
@@ -161,8 +161,8 @@ TEST(NeedleTest, TableIIICallStructureAt512) {
   const auto kernels = result.trace->by_kind(trace::SpanKind::Kernel);
   std::size_t shared1 = 0, shared2 = 0;
   for (const auto& span : kernels) {
-    if (span.name == "needle_cuda_shared_1") ++shared1;
-    if (span.name == "needle_cuda_shared_2") ++shared2;
+    if (result.trace->name_of(span.name) == "needle_cuda_shared_1") ++shared1;
+    if (result.trace->name_of(span.name) == "needle_cuda_shared_2") ++shared2;
   }
   EXPECT_EQ(shared1, 16u);  // grids (1,1,1) .. (16,1,1)
   EXPECT_EQ(shared2, 15u);  // grids (15,1,1) .. (1,1,1)

@@ -1,0 +1,259 @@
+// Properties of the EventFn/EventPool callback storage introduced by the
+// allocation overhaul: storage choice (inline / pooled / oversize) must be
+// an implementation detail — dispatch order, exception behaviour, and
+// determinism are identical across all three paths.
+#include "sim/event_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/simulator.hpp"
+
+namespace hq::sim {
+namespace {
+
+// Oversized payload: bigger than EventPool::kSlotBytes, forcing the plain
+// heap fallback.
+struct BigPayload {
+  std::array<std::byte, EventPool::kSlotBytes + 64> bytes{};
+};
+
+// ------------------------------------------------------------ storage paths
+
+TEST(EventFnTest, SmallTrivialClosureIsInline) {
+  EventPool pool;
+  CallbackStats stats;
+  int hits = 0;
+  int* p = &hits;
+  EventFn fn(pool, stats, [p] { ++*p; });
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_EQ(stats.inline_stored, 1u);
+  EXPECT_EQ(stats.pooled, 0u);
+  EXPECT_EQ(stats.oversize, 0u);
+  fn();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFnTest, ThreePointerClosureStillInline) {
+  // The widest hot-path capture in the tree is 24 bytes (three words);
+  // kInlineBytes must keep covering it.
+  EventPool pool;
+  CallbackStats stats;
+  std::uint64_t a = 1, b = 2, c = 3, sum = 0;
+  std::uint64_t* out = &sum;
+  EventFn fn(pool, stats, [&a, &b, out] { *out = a + b; });
+  static_assert(EventFn::kInlineBytes >= 3 * sizeof(void*));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  EXPECT_EQ(sum, 3u);
+  (void)c;
+}
+
+TEST(EventFnTest, NonTriviallyCopyableClosureIsPooled) {
+  EventPool pool;
+  CallbackStats stats;
+  auto big = std::make_shared<int>(7);  // shared_ptr capture: not trivial
+  int got = 0;
+  EventFn fn(pool, stats, [big, &got] { got = *big; });
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(stats.pooled, 1u);
+  EXPECT_EQ(stats.oversize, 0u);
+  fn();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(EventFnTest, HugeClosureFallsBackToHeap) {
+  EventPool pool;
+  CallbackStats stats;
+  BigPayload payload;
+  payload.bytes[0] = std::byte{42};
+  int got = 0;
+  EventFn fn(pool, stats, [payload, &got] {
+    got = static_cast<int>(payload.bytes[0]);
+  });
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(stats.oversize, 1u);
+  EXPECT_EQ(stats.pooled, 0u);
+  fn();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EventFnTest, MovePreservesEveryStoragePath) {
+  EventPool pool;
+  CallbackStats stats;
+  int inline_hits = 0, pooled_hits = 0, oversize_hits = 0;
+  int* ip = &inline_hits;
+  auto sp = std::make_shared<int>(1);
+  int* pp = &pooled_hits;
+  BigPayload payload;
+  int* op = &oversize_hits;
+
+  EventFn a(pool, stats, [ip] { ++*ip; });
+  EventFn b(pool, stats, [sp, pp] { *pp += *sp; });
+  EventFn c(pool, stats, [payload, op] { ++*op; });
+
+  EventFn a2 = std::move(a);
+  EventFn b2 = std::move(b);
+  EventFn c2 = std::move(c);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  a2();
+  b2();
+  c2();
+  EXPECT_EQ(inline_hits, 1);
+  EXPECT_EQ(pooled_hits, 1);
+  EXPECT_EQ(oversize_hits, 1);
+}
+
+TEST(EventFnTest, InvokingEmptyThrows) {
+  EventFn empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  EXPECT_THROW(empty(), hq::Error);
+}
+
+TEST(EventPoolTest, SlotsAreRecycledWithoutNewSlabs) {
+  EventPool pool;
+  CallbackStats stats;
+  auto keep = std::make_shared<int>(0);
+  // Far more sequential pooled callbacks than one slab holds: the freelist
+  // must recycle slots instead of growing.
+  for (int i = 0; i < 1000; ++i) {
+    EventFn fn(pool, stats, [keep] { ++*keep; });
+    fn();
+  }
+  EXPECT_EQ(*keep, 1000);
+  EXPECT_EQ(stats.pooled, 1000u);
+  EXPECT_EQ(pool.slabs(), 1u);
+}
+
+// --------------------------------------------------- simulator-level parity
+
+TEST(EventFnSimTest, SameInstantFifoAcrossStorageKinds) {
+  // Events scheduled for the same instant run in scheduling order even when
+  // their callbacks alternate between inline, pooled, and oversize storage.
+  Simulator sim;
+  std::vector<int> order;
+  auto shared = std::make_shared<int>(0);
+  for (int i = 0; i < 30; ++i) {
+    switch (i % 3) {
+      case 0:
+        sim.schedule(10, [&order, i] { order.push_back(i); });  // inline
+        break;
+      case 1:
+        sim.schedule(10, [&order, shared, i] { order.push_back(i); });
+        break;
+      default: {
+        BigPayload payload;
+        sim.schedule(10, [&order, payload, i] { order.push_back(i); });
+        break;
+      }
+    }
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 30u);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(order[i], i);
+  const CallbackStats stats = sim.callback_stats();
+  EXPECT_EQ(stats.inline_stored, 10u);
+  EXPECT_EQ(stats.pooled, 10u);
+  EXPECT_EQ(stats.oversize, 10u);
+}
+
+TEST(EventFnSimTest, ZeroDelayYieldIsDeterministic) {
+  // Two tasks ping-ponging on zero-delay yields interleave the same way on
+  // every run: the (time, seq) heap key decides, not callback storage.
+  const auto run_once = [] {
+    Simulator sim;
+    std::vector<std::string> log;
+    auto worker = [&sim, &log](std::string tag) -> Task {
+      for (int i = 0; i < 3; ++i) {
+        log.push_back(tag + std::to_string(i));
+        co_await sim.delay(0);
+      }
+    };
+    sim.spawn(worker("a"));
+    sim.spawn(worker("b"));
+    sim.run();
+    return log;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);
+  ASSERT_EQ(first.size(), 6u);
+  // Spawn order seeds the interleave: a0 b0 a1 b1 a2 b2.
+  EXPECT_EQ(first[0], "a0");
+  EXPECT_EQ(first[1], "b0");
+  EXPECT_EQ(first[5], "b2");
+}
+
+TEST(EventFnSimTest, ExceptionPropagationParityAcrossStorage) {
+  // A throwing callback must propagate out of run() identically for every
+  // storage path, and the simulator must stay usable afterwards (the popped
+  // event's destructor reclaims pooled storage even on throw).
+  const auto throws_from = [](int kind) {
+    Simulator sim;
+    switch (kind) {
+      case 0:
+        sim.schedule(1, [] { throw std::runtime_error("inline boom"); });
+        break;
+      case 1: {
+        auto p = std::make_shared<int>(0);
+        sim.schedule(1, [p] { throw std::runtime_error("pooled boom"); });
+        break;
+      }
+      default: {
+        BigPayload payload;
+        sim.schedule(1,
+                     [payload] { throw std::runtime_error("oversize boom"); });
+        break;
+      }
+    }
+    std::string what;
+    try {
+      sim.run();
+    } catch (const std::runtime_error& e) {
+      what = e.what();
+    }
+    // The simulator survives: schedule and run again.
+    int after = 0;
+    sim.schedule(1, [&after] { after = 1; });
+    sim.run();
+    return std::pair{what, after};
+  };
+  EXPECT_EQ(throws_from(0), (std::pair{std::string("inline boom"), 1}));
+  EXPECT_EQ(throws_from(1), (std::pair{std::string("pooled boom"), 1}));
+  EXPECT_EQ(throws_from(2), (std::pair{std::string("oversize boom"), 1}));
+}
+
+TEST(EventFnSimTest, EventsProcessedCountsEveryDispatch) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(i, [] {});
+  EXPECT_EQ(sim.events_processed(), 0u);
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+  sim.schedule(1, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 6u);
+}
+
+TEST(EventFnSimTest, ReserveEventsDoesNotPerturbOrder) {
+  const auto run_once = [](std::size_t reserve) {
+    Simulator sim;
+    if (reserve > 0) sim.reserve_events(reserve);
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i) {
+      sim.schedule((i * 7) % 5, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(0), run_once(1024));
+}
+
+}  // namespace
+}  // namespace hq::sim

@@ -12,16 +12,16 @@
 namespace hq::trace {
 namespace {
 
-Span make_span(std::int32_t lane, std::int32_t app, SpanKind kind,
-               TimeNs begin, TimeNs end, const std::string& name = "s") {
-  return Span{lane, app, kind, name, begin, end};
+void add_span(Recorder& r, std::int32_t lane, std::int32_t app, SpanKind kind,
+              TimeNs begin, TimeNs end, std::string_view name = "s") {
+  r.add(lane, app, kind, name, begin, end);
 }
 
 TEST(RecorderTest, AddAndQuery) {
   Recorder r;
-  r.add(make_span(0, 1, SpanKind::Kernel, 10, 20));
-  r.add(make_span(1, 1, SpanKind::MemcpyHtoD, 0, 5));
-  r.add(make_span(0, 2, SpanKind::MemcpyDtoH, 30, 40));
+  add_span(r, 0, 1, SpanKind::Kernel, 10, 20);
+  add_span(r, 1, 1, SpanKind::MemcpyHtoD, 0, 5);
+  add_span(r, 0, 2, SpanKind::MemcpyDtoH, 30, 40);
   EXPECT_EQ(r.size(), 3u);
   EXPECT_EQ(r.by_app(1).size(), 2u);
   EXPECT_EQ(r.by_kind(SpanKind::Kernel).size(), 1u);
@@ -38,12 +38,12 @@ TEST(RecorderTest, EmptyExtentsAreNullopt) {
 
 TEST(RecorderTest, InvertedSpanThrows) {
   Recorder r;
-  EXPECT_THROW(r.add(make_span(0, 0, SpanKind::Kernel, 20, 10)), hq::Error);
+  EXPECT_THROW(add_span(r, 0, 0, SpanKind::Kernel, 20, 10), hq::Error);
 }
 
 TEST(RecorderTest, ZeroLengthSpanAllowed) {
   Recorder r;
-  r.add(make_span(0, 0, SpanKind::Kernel, 10, 10));
+  add_span(r, 0, 0, SpanKind::Kernel, 10, 10);
   EXPECT_EQ(r.spans()[0].duration(), 0u);
 }
 
@@ -60,9 +60,9 @@ TEST(AsciiTimelineTest, EmptyRecorderRendersEmpty) {
 
 TEST(AsciiTimelineTest, LanesRenderWithGlyphs) {
   Recorder r;
-  r.add(make_span(0, 0, SpanKind::MemcpyHtoD, 0, 50));
-  r.add(make_span(0, 0, SpanKind::Kernel, 50, 100));
-  r.add(make_span(1, 1, SpanKind::MemcpyDtoH, 25, 75));
+  add_span(r, 0, 0, SpanKind::MemcpyHtoD, 0, 50);
+  add_span(r, 0, 0, SpanKind::Kernel, 50, 100);
+  add_span(r, 1, 1, SpanKind::MemcpyDtoH, 25, 75);
   AsciiTimelineOptions opt;
   opt.width = 20;
   const std::string out = render_ascii_timeline(r, opt);
@@ -75,8 +75,8 @@ TEST(AsciiTimelineTest, LanesRenderWithGlyphs) {
 
 TEST(AsciiTimelineTest, TinySpanStillVisible) {
   Recorder r;
-  r.add(make_span(0, 0, SpanKind::Kernel, 0, 1));
-  r.add(make_span(0, 0, SpanKind::MemcpyHtoD, 1000000, 2000000));
+  add_span(r, 0, 0, SpanKind::Kernel, 0, 1);
+  add_span(r, 0, 0, SpanKind::MemcpyHtoD, 1000000, 2000000);
   AsciiTimelineOptions opt;
   opt.width = 50;
   const std::string out = render_ascii_timeline(r, opt);
@@ -85,8 +85,8 @@ TEST(AsciiTimelineTest, TinySpanStillVisible) {
 
 TEST(AsciiTimelineTest, KernelGlyphWinsOverlappedCell) {
   Recorder r;
-  r.add(make_span(0, 0, SpanKind::LockWait, 0, 100));
-  r.add(make_span(0, 0, SpanKind::Kernel, 0, 100));
+  add_span(r, 0, 0, SpanKind::LockWait, 0, 100);
+  add_span(r, 0, 0, SpanKind::Kernel, 0, 100);
   AsciiTimelineOptions opt;
   opt.width = 10;
   const std::string out = render_ascii_timeline(r, opt);
@@ -100,7 +100,7 @@ TEST(AsciiTimelineTest, KernelGlyphWinsOverlappedCell) {
 
 TEST(AsciiTimelineTest, LaneLabelBaseOffsetsLabels) {
   Recorder r;
-  r.add(make_span(0, 0, SpanKind::Kernel, 0, 10));
+  add_span(r, 0, 0, SpanKind::Kernel, 0, 10);
   AsciiTimelineOptions opt;
   opt.lane_label_base = 34;  // match the paper's figures
   const std::string out = render_ascii_timeline(r, opt);
@@ -109,8 +109,8 @@ TEST(AsciiTimelineTest, LaneLabelBaseOffsetsLabels) {
 
 TEST(AsciiTimelineTest, WindowRestrictsRendering) {
   Recorder r;
-  r.add(make_span(0, 0, SpanKind::Kernel, 0, 100));
-  r.add(make_span(1, 0, SpanKind::Kernel, 500, 600));
+  add_span(r, 0, 0, SpanKind::Kernel, 0, 100);
+  add_span(r, 1, 0, SpanKind::Kernel, 500, 600);
   AsciiTimelineOptions opt;
   opt.begin = 400;
   opt.end = 700;
@@ -121,7 +121,7 @@ TEST(AsciiTimelineTest, WindowRestrictsRendering) {
 
 TEST(ChromeTraceTest, ProducesWellFormedJson) {
   Recorder r;
-  r.add(make_span(3, 9, SpanKind::Kernel, 1000, 3000, "Fan1"));
+  add_span(r, 3, 9, SpanKind::Kernel, 1000, 3000, "Fan1");
   const std::string json = chrome_trace_json(r);
   EXPECT_NE(json.find("\"name\": \"Fan1\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\": \"kernel\""), std::string::npos);
@@ -135,7 +135,7 @@ TEST(ChromeTraceTest, ProducesWellFormedJson) {
 
 TEST(ChromeTraceTest, EscapesSpecialCharacters) {
   Recorder r;
-  r.add(make_span(0, 0, SpanKind::Kernel, 0, 1, "a\"b\\c"));
+  add_span(r, 0, 0, SpanKind::Kernel, 0, 1, "a\"b\\c");
   const std::string json = chrome_trace_json(r);
   EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
 }
@@ -149,7 +149,7 @@ TEST(ChromeTraceTest, EmptyRecorderIsEmptyArray) {
 
 TEST(ChromeTraceCounterTest, EmitsCounterEventsAfterSpans) {
   Recorder r;
-  r.add(make_span(0, 0, SpanKind::Kernel, 1000, 3000, "k"));
+  add_span(r, 0, 0, SpanKind::Kernel, 1000, 3000, "k");
   std::vector<CounterTrack> counters(1);
   counters[0].name = "copy_queue_depth_htod";
   counters[0].points = {{0, 0.0}, {2000, 3.0}, {5000, 1.0}};
@@ -211,8 +211,8 @@ TEST(ChromeTraceCounterTest, EscapesQuotesAndBackslashesInTrackNames) {
 TEST(DigestTest, IdenticalRecordersAgree) {
   Recorder a, b;
   for (Recorder* r : {&a, &b}) {
-    r->add(make_span(0, 1, SpanKind::MemcpyHtoD, 0, 100, "in"));
-    r->add(make_span(1, 1, SpanKind::Kernel, 100, 300, "k"));
+    add_span(*r, 0, 1, SpanKind::MemcpyHtoD, 0, 100, "in");
+    add_span(*r, 1, 1, SpanKind::Kernel, 100, 300, "k");
   }
   EXPECT_EQ(digest(a), digest(b));
   EXPECT_NE(digest(a), digest(Recorder{}));
@@ -220,45 +220,177 @@ TEST(DigestTest, IdenticalRecordersAgree) {
 
 TEST(DigestTest, RecordingOrderMatters) {
   Recorder a, b;
-  const Span s1 = make_span(0, 0, SpanKind::Kernel, 0, 10, "x");
-  const Span s2 = make_span(1, 0, SpanKind::Kernel, 0, 10, "y");
-  a.add(s1);
-  a.add(s2);
-  b.add(s2);
-  b.add(s1);
+  add_span(a, 0, 0, SpanKind::Kernel, 0, 10, "x");
+  add_span(a, 1, 0, SpanKind::Kernel, 0, 10, "y");
+  add_span(b, 1, 0, SpanKind::Kernel, 0, 10, "y");
+  add_span(b, 0, 0, SpanKind::Kernel, 0, 10, "x");
   EXPECT_NE(digest(a), digest(b));
 }
 
 TEST(DigestTest, EveryFieldIsSignificant) {
-  const Span base = make_span(2, 3, SpanKind::MemcpyDtoH, 50, 90, "out");
-  Recorder ref;
-  ref.add(base);
-  const std::uint64_t ref_digest = digest(ref);
-
-  const auto digest_with = [&base](auto mutate) {
-    Span s = base;
-    mutate(s);
+  // Span fields fed to one recorder per case; each mutation of the base
+  // scenario must move the digest.
+  struct Fields {
+    std::int32_t lane = 2;
+    std::int32_t app = 3;
+    SpanKind kind = SpanKind::MemcpyDtoH;
+    std::string_view name = "out";
+    TimeNs begin = 50;
+    TimeNs end = 90;
+  };
+  const auto digest_with = [](auto mutate) {
+    Fields f;
+    mutate(f);
     Recorder r;
-    r.add(s);
+    r.add(f.lane, f.app, f.kind, f.name, f.begin, f.end);
     return digest(r);
   };
-  EXPECT_NE(digest_with([](Span& s) { s.lane = 9; }), ref_digest);
-  EXPECT_NE(digest_with([](Span& s) { s.app_id = 9; }), ref_digest);
-  EXPECT_NE(digest_with([](Span& s) { s.kind = SpanKind::Kernel; }),
+  const std::uint64_t ref_digest = digest_with([](Fields&) {});
+  EXPECT_NE(digest_with([](Fields& f) { f.lane = 9; }), ref_digest);
+  EXPECT_NE(digest_with([](Fields& f) { f.app = 9; }), ref_digest);
+  EXPECT_NE(digest_with([](Fields& f) { f.kind = SpanKind::Kernel; }),
             ref_digest);
-  EXPECT_NE(digest_with([](Span& s) { s.name = "oops"; }), ref_digest);
-  EXPECT_NE(digest_with([](Span& s) { s.begin = 51; }), ref_digest);
-  EXPECT_NE(digest_with([](Span& s) { s.end = 91; }), ref_digest);
+  EXPECT_NE(digest_with([](Fields& f) { f.name = "oops"; }), ref_digest);
+  EXPECT_NE(digest_with([](Fields& f) { f.begin = 51; }), ref_digest);
+  EXPECT_NE(digest_with([](Fields& f) { f.end = 91; }), ref_digest);
+}
+
+TEST(DigestTest, DigestIsIndependentOfInterningOrder) {
+  // Two recorders with identical span sequences but different name-table
+  // layouts (b interns extra names first, so "x"/"y" get different ids)
+  // must digest identically: the digest covers resolved name bytes.
+  Recorder a, b;
+  b.intern("unused-1");
+  b.intern("unused-2");
+  for (Recorder* r : {&a, &b}) {
+    add_span(*r, 0, 1, SpanKind::Kernel, 0, 10, "x");
+    add_span(*r, 1, 1, SpanKind::Kernel, 10, 20, "y");
+  }
+  EXPECT_NE(a.spans()[0].name, b.spans()[0].name);  // ids differ...
+  EXPECT_EQ(digest(a), digest(b));                  // ...digests agree
+}
+
+// ------------------------------------------------------------- interning
+
+TEST(InterningTest, RoundTripAndDeduplication) {
+  Recorder r;
+  const NameId a = r.intern("Fan1");
+  const NameId b = r.intern("Fan2");
+  const NameId a2 = r.intern("Fan1");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(r.name_of(a), "Fan1");
+  EXPECT_EQ(r.name_of(b), "Fan2");
+  EXPECT_EQ(r.name_count(), 2u);
+}
+
+TEST(InterningTest, IdsAreDenseInFirstInterningOrder) {
+  Recorder r;
+  EXPECT_EQ(r.intern("a"), 0u);
+  EXPECT_EQ(r.intern("b"), 1u);
+  EXPECT_EQ(r.intern("a"), 0u);
+  EXPECT_EQ(r.intern("c"), 2u);
+  EXPECT_EQ(r.name_count(), 3u);
+}
+
+TEST(InterningTest, ViewsStayValidAsTableGrows) {
+  // name_of views must remain stable while the table grows (the digest and
+  // exporters hold them across interleaved interning).
+  Recorder r;
+  const NameId first = r.intern("first-name");
+  const std::string_view view = r.name_of(first);
+  for (int i = 0; i < 1000; ++i) {
+    r.intern("grow-" + std::to_string(i));
+  }
+  EXPECT_EQ(view, "first-name");
+  EXPECT_EQ(r.name_of(first), "first-name");
+}
+
+TEST(InterningTest, AddRejectsForeignNameIds) {
+  // A span naming an id the recorder never issued is a hard error — spans
+  // are meaningless without their own recorder's table.
+  Recorder r;
+  EXPECT_THROW(r.add(Span{0, 0, SpanKind::Kernel, 7, 0, 1}), hq::Error);
+  EXPECT_THROW((void)r.name_of(0), hq::Error);
+}
+
+TEST(InterningTest, SpansShareOneTableEntry) {
+  Recorder r;
+  for (int i = 0; i < 100; ++i) {
+    add_span(r, i, 0, SpanKind::Kernel, i, i + 1, "same-kernel");
+  }
+  EXPECT_EQ(r.size(), 100u);
+  EXPECT_EQ(r.name_count(), 1u);
+  for (const Span& s : r.spans()) EXPECT_EQ(r.name_of(s.name), "same-kernel");
+}
+
+TEST(InterningTest, ClearResetsSpansAndNames) {
+  Recorder r;
+  add_span(r, 0, 0, SpanKind::Kernel, 0, 1, "k");
+  r.clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.name_count(), 0u);
+  EXPECT_EQ(r.intern("fresh"), 0u);
 }
 
 TEST(DigestTest, StableAcrossProcessRuns) {
   // Pinned constant: the digest is part of the determinism contract, so a
   // change to the hash or the span encoding must be deliberate and visible.
   Recorder r;
-  r.add(make_span(0, 0, SpanKind::MemcpyHtoD, 0, 64, "in"));
-  r.add(make_span(0, 0, SpanKind::Kernel, 64, 128, "k"));
-  r.add(make_span(0, 0, SpanKind::MemcpyDtoH, 128, 160, "out"));
+  add_span(r, 0, 0, SpanKind::MemcpyHtoD, 0, 64, "in");
+  add_span(r, 0, 0, SpanKind::Kernel, 64, 128, "k");
+  add_span(r, 0, 0, SpanKind::MemcpyDtoH, 128, 160, "out");
   EXPECT_EQ(digest(r), 0x7dae9fc389d8afbdULL);
+}
+
+// -------------------------------------------------------------- AppIndex
+
+TEST(AppIndexTest, UnknownAppAndNegativeAttribution) {
+  // Spans with app_id -1 (unattributed device work) are a first-class
+  // group, and looking up an app the trace never saw returns an empty span
+  // — not a crash, not a nearby group.
+  Recorder r;
+  add_span(r, 0, -1, SpanKind::Kernel, 0, 5, "orphan");
+  add_span(r, 0, 3, SpanKind::Kernel, 5, 10, "k");
+  add_span(r, 1, -1, SpanKind::MemcpyHtoD, 2, 4, "h2d");
+  const AppIndex index(r);
+  EXPECT_EQ(index.app_count(), 2u);
+  EXPECT_EQ(index.app_ids(), (std::vector<std::int32_t>{-1, 3}));
+  ASSERT_EQ(index.spans_for(-1).size(), 2u);
+  EXPECT_EQ(r.name_of(index.spans_for(-1)[0]->name), "orphan");
+  EXPECT_EQ(r.name_of(index.spans_for(-1)[1]->name), "h2d");
+  // Unknown ids, including ones between/outside the known range.
+  EXPECT_TRUE(index.spans_for(0).empty());
+  EXPECT_TRUE(index.spans_for(2).empty());
+  EXPECT_TRUE(index.spans_for(4).empty());
+  EXPECT_TRUE(index.spans_for(-2).empty());
+}
+
+TEST(AppIndexTest, EmptyRecorderYieldsEmptyIndex) {
+  const Recorder r;
+  const AppIndex index(r);
+  EXPECT_EQ(index.app_count(), 0u);
+  EXPECT_TRUE(index.app_ids().empty());
+  EXPECT_TRUE(index.spans_for(0).empty());
+}
+
+TEST(AppIndexTest, SparseIdsTakeTheSortFallback) {
+  // App ids spread wider than the dense counting-scatter cap (2^20) force
+  // the stable-sort fallback; grouping and recording order must match the
+  // dense path exactly.
+  Recorder r;
+  add_span(r, 0, 5'000'000, SpanKind::Kernel, 0, 1, "far");
+  add_span(r, 0, -3, SpanKind::Kernel, 1, 2, "neg");
+  add_span(r, 0, 5'000'000, SpanKind::Kernel, 2, 3, "far2");
+  add_span(r, 0, 0, SpanKind::Kernel, 3, 4, "zero");
+  const AppIndex index(r);
+  EXPECT_EQ(index.app_ids(), (std::vector<std::int32_t>{-3, 0, 5'000'000}));
+  ASSERT_EQ(index.spans_for(5'000'000).size(), 2u);
+  EXPECT_EQ(index.spans_for(5'000'000)[0]->begin, 0);
+  EXPECT_EQ(index.spans_for(5'000'000)[1]->begin, 2);
+  EXPECT_EQ(index.spans_for(-3).size(), 1u);
+  EXPECT_EQ(index.spans_for(0).size(), 1u);
+  EXPECT_TRUE(index.spans_for(1'000'000).empty());
 }
 
 }  // namespace
