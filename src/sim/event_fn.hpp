@@ -108,7 +108,15 @@ class EventFn {
       if constexpr (sizeof(Node<T>) <= EventPool::kSlotBytes &&
                     alignof(Node<T>) <= EventPool::kSlotAlign) {
         void* slot = pool.allocate();
-        out_.node = ::new (slot) Node<T>{std::forward<F>(fn), &pool};
+        try {
+          out_.node = ::new (slot) Node<T>{std::forward<F>(fn), &pool};
+        } catch (...) {
+          // T's move/copy constructor threw; return the slot to the freelist
+          // instead of leaking it (the oversize path below gets this for
+          // free from the new-expression).
+          pool.deallocate(slot);
+          throw;
+        }
         ops_ = &kPooledOps<T>;
         ++stats.pooled;
       } else {

@@ -135,9 +135,12 @@ class Simulator {
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::vector<Event> heap_;  // 4-ary min-heap on (time, seq)
+  // pool_ must be declared before heap_: pending pooled events destroyed
+  // with the simulator return their slots to the pool, so the pool has to
+  // outlive the heap (members are destroyed in reverse declaration order).
   EventPool pool_;
   CallbackStats callback_stats_;
+  std::vector<Event> heap_;  // 4-ary min-heap on (time, seq)
   std::vector<Task::Handle> live_tasks_;
   std::vector<Task::Handle> finished_tasks_;
   std::exception_ptr pending_exception_;

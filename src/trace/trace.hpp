@@ -75,6 +75,16 @@ std::uint64_t digest(const Recorder& recorder);
 /// symbol table the spans' NameIds index into.
 class Recorder {
  public:
+  Recorder() = default;
+  /// Not copyable: ids_ keys are string_views into names_, so a memberwise
+  /// copy would leave the copy's map keys pointing at the source's strings.
+  /// Moving is fine — a deque move transfers its blocks without relocating
+  /// elements, so the views (and any NameIds already handed out) stay valid.
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+  Recorder(Recorder&&) = default;
+  Recorder& operator=(Recorder&&) = default;
+
   /// Returns the id for `name`, adding it to the table on first sight.
   /// Ids are dense, assigned in first-interning order, and stay valid for
   /// the recorder's lifetime.

@@ -117,6 +117,35 @@ TEST(EventFnTest, InvokingEmptyThrows) {
   EXPECT_THROW(empty(), hq::Error);
 }
 
+TEST(EventFnTest, ThrowingConstructorReturnsSlotToPool) {
+  // If the closure's copy/move constructor throws while it is being placed
+  // into a pool slot, the slot must go back on the freelist: otherwise every
+  // throw leaks a slot. 1000 throws from a 64-slot slab would force ~16
+  // slabs if slots leaked; a single slab proves they are recycled.
+  struct ThrowOnCopy {
+    std::shared_ptr<int> keep;  // non-trivial capture: forces the pooled path
+    ThrowOnCopy() : keep(std::make_shared<int>(0)) {}
+    ThrowOnCopy(const ThrowOnCopy& other) : keep(other.keep) {
+      throw std::runtime_error("copy boom");
+    }
+    void operator()() const {}
+  };
+  EventPool pool;
+  CallbackStats stats;
+  const ThrowOnCopy fn;  // lvalue, so EventFn copies (and the copy throws)
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_THROW(EventFn(pool, stats, fn), std::runtime_error);
+  }
+  EXPECT_EQ(stats.pooled, 0u);
+  EXPECT_EQ(pool.slabs(), 1u);
+  // The pool is still healthy: a normal pooled callback works.
+  auto keep = std::make_shared<int>(0);
+  EventFn ok(pool, stats, [keep] { ++*keep; });
+  ok();
+  EXPECT_EQ(*keep, 1);
+  EXPECT_EQ(stats.pooled, 1u);
+}
+
 TEST(EventPoolTest, SlotsAreRecycledWithoutNewSlabs) {
   EventPool pool;
   CallbackStats stats;
@@ -228,6 +257,46 @@ TEST(EventFnSimTest, ExceptionPropagationParityAcrossStorage) {
   EXPECT_EQ(throws_from(0), (std::pair{std::string("inline boom"), 1}));
   EXPECT_EQ(throws_from(1), (std::pair{std::string("pooled boom"), 1}));
   EXPECT_EQ(throws_from(2), (std::pair{std::string("oversize boom"), 1}));
+}
+
+TEST(EventFnSimTest, DestroyWithPendingPooledEventsIsSafe) {
+  // A simulator destroyed mid-run (run_until stopped early, or run() threw)
+  // still holds pending events whose pooled closures must be destroyed and
+  // their slots returned while the pool is alive — the pool member has to
+  // outlive the heap. Closure destruction is observable through the
+  // shared_ptr count dropping back to 1, and ASan/valgrind would flag the
+  // old pool-after-heap ordering as a use-after-free here.
+  auto keep = std::make_shared<int>(0);
+  {
+    Simulator sim;
+    for (int i = 0; i < 200; ++i) {
+      sim.schedule(100 + i, [keep] { ++*keep; });  // pooled
+    }
+    BigPayload payload;
+    sim.schedule(100, [payload, keep] { ++*keep; });  // oversize
+    sim.run_until(50);  // stop with everything still pending
+    EXPECT_EQ(sim.pending_events(), 201u);
+  }
+  EXPECT_EQ(keep.use_count(), 1);
+  EXPECT_EQ(*keep, 0);
+}
+
+TEST(EventFnSimTest, DestroyAfterRunThrowsReleasesPendingEvents) {
+  // run() rethrowing (e.g. under fault injection) leaves later events
+  // pending; destroying the simulator in that state must reclaim their
+  // pooled storage cleanly.
+  auto keep = std::make_shared<int>(0);
+  {
+    Simulator sim;
+    sim.schedule(1, [] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule(2, [keep] { ++*keep; });  // pooled, never dispatched
+    }
+    EXPECT_THROW(sim.run(), std::runtime_error);
+    EXPECT_EQ(sim.pending_events(), 64u);
+  }
+  EXPECT_EQ(keep.use_count(), 1);
+  EXPECT_EQ(*keep, 0);
 }
 
 TEST(EventFnSimTest, EventsProcessedCountsEveryDispatch) {

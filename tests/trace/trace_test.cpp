@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <type_traits>
+#include <utility>
 
 #include "common/check.hpp"
 #include "tests/common/json_check.hpp"
@@ -304,6 +306,28 @@ TEST(InterningTest, ViewsStayValidAsTableGrows) {
   }
   EXPECT_EQ(view, "first-name");
   EXPECT_EQ(r.name_of(first), "first-name");
+}
+
+TEST(InterningTest, RecorderIsMoveOnly) {
+  // ids_ keys are string_views into names_, so a memberwise copy would leave
+  // the copy aliasing the source's strings; copying must not compile. Moves
+  // transfer the deque's blocks without relocating elements, so they are
+  // allowed and must keep previously issued ids and views valid.
+  static_assert(!std::is_copy_constructible_v<Recorder>);
+  static_assert(!std::is_copy_assignable_v<Recorder>);
+  static_assert(std::is_move_constructible_v<Recorder>);
+  static_assert(std::is_move_assignable_v<Recorder>);
+
+  Recorder r;
+  const NameId k = r.intern("moved-kernel");
+  add_span(r, 0, 0, SpanKind::Kernel, 0, 1, "moved-kernel");
+  const std::uint64_t before = digest(r);
+
+  Recorder moved = std::move(r);
+  EXPECT_EQ(moved.name_of(k), "moved-kernel");
+  EXPECT_EQ(moved.intern("moved-kernel"), k);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(digest(moved), before);
 }
 
 TEST(InterningTest, AddRejectsForeignNameIds) {
