@@ -167,6 +167,179 @@ std::string ServeFuzzCase::summary() const {
   return os.str();
 }
 
+FleetFuzzCase generate_fleet_case(std::uint64_t case_seed) {
+  FleetFuzzCase c;
+  c.seed = case_seed;
+  c.config.base = generate_serve_case(case_seed).config;
+  // Fleet knobs draw from their own stream so they stay reproducible and
+  // never perturb which serve config a case seed maps to.
+  Rng rng(case_seed ^ 0xc2b2ae3d27d4eb4fULL);
+  fleet::FleetConfig& cfg = c.config;
+
+  const std::size_t n = 1 + rng.next_below(3);
+  const bool heterogeneous = n > 1 && rng.next_below(3) == 0;
+  cfg.devices.assign(n, cfg.base.device);
+  if (heterogeneous) {
+    for (std::size_t d = 1; d < n; d += 2) {
+      cfg.devices[d] = gpu::DeviceSpec::single_copy_engine();
+    }
+  }
+  const auto& policies = fleet::all_placement_policies();
+  cfg.placement = policies[rng.next_below(policies.size())];
+  cfg.copy_penalty = rng.next_below(2) == 0 ? 2.0 : 0.5;
+  cfg.work_stealing = rng.next_below(2) == 0;
+  cfg.device_breaker_enabled = rng.next_below(3) == 0;
+  cfg.device_breaker.failure_threshold = 2;
+  cfg.device_breaker.cooldown = 2 * kMillisecond;
+  return c;
+}
+
+std::string FleetFuzzCase::summary() const {
+  std::ostringstream os;
+  os << "fleet seed=" << seed << " n=" << config.num_devices()
+     << " placement=" << fleet::placement_policy_name(config.placement)
+     << " steal=" << config.work_stealing
+     << " device-breaker=" << config.device_breaker_enabled << " classes=";
+  for (std::size_t i = 0; i < config.base.classes.size(); ++i) {
+    if (i > 0) os << "+";
+    os << config.base.classes[i].item.type_name;
+  }
+  os << " window=" << config.base.window
+     << " gap=" << config.base.mean_interarrival
+     << " cap=" << config.base.queue_cap
+     << " inflight=" << config.base.max_inflight;
+  return os.str();
+}
+
+std::vector<std::string> Fuzzer::run_fleet_case(std::uint64_t case_seed,
+                                                std::string* summary_out) {
+  const FleetFuzzCase c = generate_fleet_case(case_seed);
+  if (summary_out != nullptr) *summary_out = c.summary();
+  std::vector<std::string> problems;
+  const auto fail = [&problems](const std::ostringstream& os) {
+    problems.push_back(os.str());
+  };
+
+  // A fleet run aborts (hq::Error) on an invariant violation — including
+  // per-device serve accounting and the fleet conservation identity checked
+  // inside FleetService::run — so every oracle failure carries its seed.
+  const auto run_with = [&](const fleet::FleetConfig& cfg, const char* label)
+      -> std::optional<fleet::FleetResult> {
+    try {
+      return fleet::FleetService(cfg).run();
+    } catch (const hq::Error& e) {
+      std::ostringstream os;
+      os << label << ": " << e.what();
+      fail(os);
+      return std::nullopt;
+    }
+  };
+
+  // Reported conservation: every arrival lands in exactly one terminal
+  // state, and the per-device reports plus the fleet-only shed_no_device
+  // reproduce the fleet totals.
+  const auto check_conservation = [&](const fleet::FleetReport& r,
+                                      const char* label) {
+    const std::uint64_t terminal = r.completed_ok + r.completed_late +
+                                   r.shed_queue_full + r.shed_breaker +
+                                   r.shed_no_device + r.timed_out_queued +
+                                   r.quarantined;
+    if (r.arrived != terminal) {
+      std::ostringstream os;
+      os << label << ": fleet accounting leak (arrived " << r.arrived
+         << " != terminal states " << terminal << ")";
+      fail(os);
+    }
+    std::uint64_t device_arrived = 0;
+    for (const fleet::FleetDeviceStats& dev : r.devices) {
+      device_arrived += dev.report.arrived;
+    }
+    if (device_arrived + r.shed_no_device != r.arrived) {
+      std::ostringstream os;
+      os << label << ": per-device arrivals " << device_arrived
+         << " + shed_no_device " << r.shed_no_device
+         << " != fleet arrived " << r.arrived;
+      fail(os);
+    }
+  };
+
+  const auto fleet1 = run_with(c.config, "fleet-run1");
+  const auto fleet2 = run_with(c.config, "fleet-run2");
+  if (!fleet1 || !fleet2) return problems;
+
+  // --- determinism: identical config => byte-identical fleet report ---------
+  if (fleet::fleet_report_json(fleet1->report) !=
+      fleet::fleet_report_json(fleet2->report)) {
+    std::ostringstream os;
+    os << "fleet determinism: reports differ across identical runs (digests "
+       << fleet::fleet_report_digest(fleet1->report) << " vs "
+       << fleet::fleet_report_digest(fleet2->report) << ")";
+    fail(os);
+  }
+  check_conservation(fleet1->report, "fleet-base");
+
+  // --- single-device equivalence ---------------------------------------------
+  // A 1-device fleet with every fleet-only feature off must emit a device-0
+  // report byte-identical to the single-device Service.
+  fleet::FleetConfig single;
+  single.base = c.config.base;
+  const auto single_run = run_with(single, "fleet-single");
+  if (single_run) {
+    try {
+      const serve::ServeResult plain = serve::Service(c.config.base).run();
+      const std::string fleet_json =
+          serve::report_json(single_run->report.devices[0].report);
+      const std::string serve_json = serve::report_json(plain.report);
+      if (fleet_json != serve_json) {
+        std::ostringstream os;
+        os << "fleet equivalence: 1-device fleet report diverges from the "
+           << "single-device Service (digests "
+           << serve::report_digest(single_run->report.devices[0].report)
+           << " vs " << serve::report_digest(plain.report) << ")";
+        fail(os);
+      }
+    } catch (const hq::Error& e) {
+      std::ostringstream os;
+      os << "fleet equivalence: single-device Service run failed: "
+         << e.what();
+      fail(os);
+    }
+  }
+
+  // --- placement permutation safety under injected faults --------------------
+  // Every policy must preserve conservation even with a transient fault
+  // plan and the device health breaker quarantining/rebalancing devices.
+  fleet::FleetConfig faulted = c.config;
+  faulted.base.fault_plan = case_fault_plan(case_seed, 0.5);
+  faulted.device_breaker_enabled = true;
+  faulted.device_breaker.failure_threshold = 2;
+  faulted.device_breaker.cooldown = 2 * kMillisecond;
+  for (const fleet::PlacementPolicy policy : fleet::all_placement_policies()) {
+    faulted.placement = policy;
+    std::ostringstream label;
+    label << "fleet-faulted-" << fleet::placement_policy_name(policy);
+    if (const auto run = run_with(faulted, label.str().c_str())) {
+      check_conservation(run->report, label.str().c_str());
+    }
+  }
+
+  // --- fleet-size monotonicity (flagged, not gating) --------------------------
+  // Queueing noise can make a bigger fleet complete marginally less at a
+  // fixed load, so a violation flags the case for inspection instead of
+  // failing it.
+  if (c.config.num_devices() > 1 && single_run && summary_out != nullptr) {
+    if (fleet1->report.completed < single_run->report.completed) {
+      std::ostringstream os;
+      os << *summary_out << " [flag: n=" << c.config.num_devices()
+         << " fleet completed " << fleet1->report.completed
+         << " < single-device " << single_run->report.completed << "]";
+      *summary_out = os.str();
+    }
+  }
+
+  return problems;
+}
+
 std::vector<std::string> Fuzzer::run_serve_case(std::uint64_t case_seed,
                                                 std::string* summary_out) {
   const ServeFuzzCase c = generate_serve_case(case_seed);
@@ -616,13 +789,18 @@ FuzzReport Fuzzer::run(const Progress& progress) {
   // harness cases an existing master seed covers.
   Rng master(options_.seed);
   const std::size_t harness_cases = static_cast<std::size_t>(options_.iterations);
+  const std::size_t serve_cases =
+      static_cast<std::size_t>(options_.serve_iterations);
   std::vector<std::uint64_t> case_seeds;
-  case_seeds.reserve(harness_cases +
-                     static_cast<std::size_t>(options_.serve_iterations));
+  case_seeds.reserve(harness_cases + serve_cases +
+                     static_cast<std::size_t>(options_.fleet_iterations));
   for (int i = 0; i < options_.iterations; ++i) {
     case_seeds.push_back(master.next_u64());
   }
   for (int i = 0; i < options_.serve_iterations; ++i) {
+    case_seeds.push_back(master.next_u64());
+  }
+  for (int i = 0; i < options_.fleet_iterations; ++i) {
     case_seeds.push_back(master.next_u64());
   }
 
@@ -632,9 +810,13 @@ FuzzReport Fuzzer::run(const Progress& progress) {
   };
   const auto run_one = [&](std::size_t i) {
     CaseResult r;
-    r.problems = i < harness_cases
-                     ? run_case(case_seeds[i], options_.fault_rate, &r.summary)
-                     : run_serve_case(case_seeds[i], &r.summary);
+    if (i < harness_cases) {
+      r.problems = run_case(case_seeds[i], options_.fault_rate, &r.summary);
+    } else if (i < harness_cases + serve_cases) {
+      r.problems = run_serve_case(case_seeds[i], &r.summary);
+    } else {
+      r.problems = run_fleet_case(case_seeds[i], &r.summary);
+    }
     return r;
   };
 

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.hpp"
 #include "hyperq/harness.hpp"
 #include "hyperq/schedule.hpp"
 #include "rodinia/registry.hpp"
@@ -90,6 +91,35 @@ struct ServeFuzzCase {
 /// Deterministically expands a case seed into a serving configuration.
 ServeFuzzCase generate_serve_case(std::uint64_t case_seed);
 
+/// One generated fleet workload (the serve case's config sharded over a
+/// 1–3 device fleet with random placement / stealing / device-breaker
+/// knobs, sometimes heterogeneous). Runs against the fleet oracles:
+///
+///   - Determinism: the same config twice yields a byte-identical
+///     FleetReport (JSON and digest).
+///   - Single-device equivalence: a 1-device fleet with every fleet-only
+///     feature off emits a device-0 ServeReport byte-identical to the
+///     single-device Service for the same base config.
+///   - Conservation: fleet arrivals equal the sum of every terminal state
+///     (including the fleet-only shed_no_device), and per-device arrivals
+///     plus shed_no_device reproduce the fleet total.
+///   - Placement permutation safety: every placement policy yields valid
+///     conservation, even with a transient fault plan and the device
+///     health breaker active.
+///   - Fleet-size monotonicity (flagged, not gating): a larger fleet under
+///     the same load should not complete fewer jobs; violations are
+///     appended to the case summary rather than failing the case.
+struct FleetFuzzCase {
+  std::uint64_t seed = 0;
+  fleet::FleetConfig config;
+
+  /// One-line human-readable description, e.g. for failure reports.
+  std::string summary() const;
+};
+
+/// Deterministically expands a case seed into a fleet configuration.
+FleetFuzzCase generate_fleet_case(std::uint64_t case_seed);
+
 struct FuzzOptions {
   /// Master seed; per-iteration case seeds derive from it.
   std::uint64_t seed = 1;
@@ -105,6 +135,10 @@ struct FuzzOptions {
   /// Serving-mode iterations appended after the harness cases (their
   /// failure reports use iteration indices `iterations..`). 0 disables.
   int serve_iterations = 0;
+  /// Fleet-mode iterations appended after the serving cases (their failure
+  /// reports use iteration indices `iterations + serve_iterations..`).
+  /// 0 disables.
+  int fleet_iterations = 0;
 };
 
 struct FuzzFailure {
@@ -144,6 +178,12 @@ class Fuzzer {
   /// Runs the serving-mode oracles for one case seed; returns the violated
   /// oracles (empty = clean).
   static std::vector<std::string> run_serve_case(
+      std::uint64_t case_seed, std::string* summary_out = nullptr);
+
+  /// Runs the fleet-mode oracles for one case seed; returns the violated
+  /// oracles (empty = clean). Non-gating flags (fleet-size monotonicity)
+  /// are appended to the summary instead.
+  static std::vector<std::string> run_fleet_case(
       std::uint64_t case_seed, std::string* summary_out = nullptr);
 
   /// The seed-derived transient-only plan fault-mode cases run under

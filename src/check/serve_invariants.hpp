@@ -33,6 +33,10 @@ struct ServeAccounting {
   std::uint64_t shed_breaker = 0;
   std::uint64_t timed_out_queued = 0;
   std::uint64_t quarantined = 0;
+  /// Fleet-only: arrivals rejected because no healthy device existed. Not
+  /// part of this device's `arrived` (no device ever saw them), but their
+  /// ids still ride in undispatched_apps for the span-free check.
+  std::uint64_t shed_no_device = 0;
   /// App ids of jobs rejected before dispatch (shed or expired while
   /// queued); these must have no trace spans.
   std::vector<std::int32_t> undispatched_apps;

@@ -12,13 +12,9 @@
 #include "obs/report.hpp"
 
 namespace hq::exec {
-namespace {
 
-constexpr const char* kMagic = "hq-sweep-journal";
-constexpr const char* kVersion = "v1";
+namespace journal_io {
 
-/// Splits a record into key=value pairs and validates the terminal `end`
-/// token (its absence marks a torn line). Returns nullopt on any damage.
 std::optional<std::map<std::string, std::string>> fields_of(
     const std::string& line, const std::string& kind) {
   std::istringstream in(line);
@@ -40,7 +36,7 @@ std::optional<std::map<std::string, std::string>> fields_of(
 }
 
 bool get_u64(const std::map<std::string, std::string>& fields,
-             const std::string& key, std::uint64_t* out, int base = 10) {
+             const std::string& key, std::uint64_t* out, int base) {
   const auto it = fields.find(key);
   if (it == fields.end()) return false;
   char* end = nullptr;
@@ -69,6 +65,43 @@ std::string hex(std::uint64_t value) {
   return os.str();
 }
 
+void mix_device_spec(Fnv1a64& h, const gpu::DeviceSpec& dev) {
+  const auto mix_double = [&h](double v) {
+    h.mix_u64(std::bit_cast<std::uint64_t>(v));
+  };
+  h.mix_string(dev.name);
+  h.mix_i64(dev.num_smx);
+  h.mix_i64(dev.max_blocks_per_smx);
+  h.mix_i64(dev.max_threads_per_smx);
+  h.mix_i64(dev.max_threads_per_block);
+  h.mix_u64(dev.registers_per_smx);
+  h.mix_u64(dev.shared_mem_per_smx);
+  h.mix_u64(dev.global_memory);
+  h.mix_i64(dev.num_work_queues);
+  h.mix_u64(dev.kernel_dispatch_latency);
+  mix_double(dev.htod_bytes_per_sec);
+  mix_double(dev.dtoh_bytes_per_sec);
+  h.mix_u64(dev.copy_overhead);
+  h.mix_i64(dev.num_copy_engines);
+  mix_double(dev.idle_power);
+  mix_double(dev.active_base_power);
+  mix_double(dev.max_dynamic_power);
+  mix_double(dev.power_exponent);
+  mix_double(dev.copy_engine_power);
+}
+
+}  // namespace journal_io
+
+namespace {
+
+constexpr const char* kMagic = "hq-sweep-journal";
+constexpr const char* kVersion = "v1";
+
+using journal_io::fields_of;
+using journal_io::get_double;
+using journal_io::get_u64;
+using journal_io::hex;
+
 }  // namespace
 
 std::uint64_t sweep_grid_key(const SweepGrid& grid,
@@ -92,26 +125,7 @@ std::uint64_t sweep_grid_key(const SweepGrid& grid,
   // outcomes from one configuration into the other's report. num_streams
   // and memory_sync are overwritten from each point's coordinates (already
   // in the labels above), so only those two are exempt.
-  const gpu::DeviceSpec& dev = grid.base.device;
-  h.mix_string(dev.name);
-  h.mix_i64(dev.num_smx);
-  h.mix_i64(dev.max_blocks_per_smx);
-  h.mix_i64(dev.max_threads_per_smx);
-  h.mix_i64(dev.max_threads_per_block);
-  h.mix_u64(dev.registers_per_smx);
-  h.mix_u64(dev.shared_mem_per_smx);
-  h.mix_u64(dev.global_memory);
-  h.mix_i64(dev.num_work_queues);
-  h.mix_u64(dev.kernel_dispatch_latency);
-  mix_double(dev.htod_bytes_per_sec);
-  mix_double(dev.dtoh_bytes_per_sec);
-  h.mix_u64(dev.copy_overhead);
-  h.mix_i64(dev.num_copy_engines);
-  mix_double(dev.idle_power);
-  mix_double(dev.active_base_power);
-  mix_double(dev.max_dynamic_power);
-  mix_double(dev.power_exponent);
-  mix_double(dev.copy_engine_power);
+  journal_io::mix_device_spec(h, grid.base.device);
 
   h.mix_u64(grid.base.transfer_chunk_bytes);
   mix_bool(grid.base.blocking_transfers);

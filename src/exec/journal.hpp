@@ -23,14 +23,44 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "exec/sweep.hpp"
 
 namespace hq::exec {
+
+// --- generic journal record machinery ---------------------------------------
+// The torn-line-safe `<kind> key=value ... end` record format is shared by
+// every journal in the repository (the harness sweep below and the fleet
+// sweep in src/fleet). These helpers are the single implementation.
+namespace journal_io {
+
+/// Splits a record into key=value pairs and validates the terminal `end`
+/// token (its absence marks a torn line). Returns nullopt on any damage.
+std::optional<std::map<std::string, std::string>> fields_of(
+    const std::string& line, const std::string& kind);
+
+/// Field accessors with full-string validation; return false on a missing
+/// or malformed value.
+bool get_u64(const std::map<std::string, std::string>& fields,
+             const std::string& key, std::uint64_t* out, int base = 10);
+bool get_double(const std::map<std::string, std::string>& fields,
+                const std::string& key, double* out);
+
+/// Lowercase hex rendering used for digests and grid keys.
+std::string hex(std::uint64_t value);
+
+/// Mixes every result-affecting DeviceSpec field into a grid key. Shared by
+/// sweep_grid_key and the fleet sweep's key so neither can silently forget a
+/// hardware knob.
+void mix_device_spec(Fnv1a64& h, const gpu::DeviceSpec& spec);
+
+}  // namespace journal_io
 
 /// Fingerprint of an expanded grid: mixes every point label plus all of the
 /// base config's result-affecting state — device spec, application params,

@@ -41,6 +41,18 @@ bool CircuitBreaker::allow(TimeNs now) {
   return true;
 }
 
+bool CircuitBreaker::would_allow(TimeNs now) const {
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      return now >= open_until_;
+    case State::HalfOpen:
+      return !probe_outstanding_;
+  }
+  return true;
+}
+
 void CircuitBreaker::record_success(TimeNs now) {
   (void)now;
   ++successes_;

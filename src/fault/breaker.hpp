@@ -46,6 +46,12 @@ class CircuitBreaker {
   /// outstanding.
   bool allow(TimeNs now);
 
+  /// Non-mutating preview of allow(): would a job offered at `now` be
+  /// admitted? Counts nothing and performs no state transition, so callers
+  /// (the fleet placement policies) can probe many breakers per decision
+  /// and call allow() only on the one they pick.
+  bool would_allow(TimeNs now) const;
+
   /// One unit of work for this class finished successfully. Resets the
   /// consecutive-failure count; resolves a HalfOpen probe by closing.
   void record_success(TimeNs now);
@@ -67,6 +73,9 @@ class CircuitBreaker {
   std::uint64_t successes() const { return successes_; }
   /// Time of the most recent Closed/HalfOpen -> Open transition.
   TimeNs last_trip_time() const { return last_trip_time_; }
+  /// End of the current Open cooldown (meaningful while open()); lets the
+  /// fleet drain loop schedule its retry pump at the exact probe instant.
+  TimeNs open_until() const { return open_until_; }
 
   const Config& config() const { return config_; }
 

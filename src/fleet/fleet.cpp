@@ -1,0 +1,889 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+#include "check/invariants.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "serve/signals.hpp"
+#include "trace/trace.hpp"
+
+namespace hq::fleet {
+
+std::vector<gpu::DeviceSpec> FleetConfig::device_specs() const {
+  if (devices.empty()) return {base.device};
+  return devices;
+}
+
+void FleetConfig::resize_homogeneous(std::size_t n) {
+  HQ_CHECK_MSG(n >= 1, "fleet config: need at least one device");
+  devices.assign(n, base.device);
+}
+
+void FleetConfig::validate() const {
+  base.validate();
+  HQ_CHECK_MSG(copy_penalty >= 0,
+               "fleet config: copy_penalty must be >= 0, got " << copy_penalty);
+}
+
+namespace {
+
+/// Passive per-device copy-engine depth counter feeding the
+/// copy-contention-aware placement policy. Counts transactions between
+/// enqueue and service completion, both directions combined. Like every
+/// DeviceObserver it never mutates device state (zero-perturbation).
+class CopyDepthTracker final : public gpu::DeviceObserver {
+ public:
+  void on_copy_enqueued(TimeNs /*now*/, gpu::CopyDirection /*dir*/,
+                        gpu::OpId /*op*/, gpu::StreamId /*stream*/,
+                        std::int32_t /*app*/, Bytes /*bytes*/) override {
+    ++depth_;
+  }
+  void on_copy_served(TimeNs /*now*/, gpu::CopyDirection /*dir*/,
+                      gpu::OpId /*op*/, std::int32_t /*app*/, TimeNs /*begin*/,
+                      TimeNs /*end*/, Bytes /*bytes*/) override {
+    if (depth_ > 0) --depth_;
+  }
+  std::size_t depth() const { return depth_; }
+
+ private:
+  std::size_t depth_ = 0;
+};
+
+/// Device d > 0 runs the base plan with its seed offset by d (fault
+/// decorrelation); device 0 uses the plan verbatim so a 1-device fleet is
+/// byte-identical to the single-device Service.
+std::unique_ptr<fault::FaultInjector> make_injector(
+    const serve::ServiceConfig& base, std::size_t index) {
+  if (!base.fault_plan.enabled) return nullptr;
+  fault::FaultPlan plan = base.fault_plan;
+  plan.seed += static_cast<std::uint64_t>(index);
+  return std::make_unique<fault::FaultInjector>(plan);
+}
+
+rt::RuntimeOptions make_rt_options(const serve::ServiceConfig& base,
+                                   fault::FaultInjector* injector) {
+  rt::RuntimeOptions options;
+  options.functional = base.functional;
+  options.retry = base.retry;
+  options.fault_injector = injector;
+  return options;
+}
+
+std::vector<std::unique_ptr<fault::CircuitBreaker>> make_breakers(
+    const serve::ServiceConfig& base) {
+  std::vector<std::unique_ptr<fault::CircuitBreaker>> breakers;
+  if (base.breaker_enabled) {
+    breakers.reserve(base.classes.size());
+    for (std::size_t i = 0; i < base.classes.size(); ++i) {
+      breakers.push_back(std::make_unique<fault::CircuitBreaker>(base.breaker));
+    }
+  }
+  return breakers;
+}
+
+}  // namespace
+
+/// One device's serving engine: a faithful replica of serve::Service's
+/// per-run components. Shards live in a deque so addresses stay stable.
+struct FleetService::Shard {
+  std::size_t index;
+  std::unique_ptr<fault::FaultInjector> injector;
+  gpu::DeviceSpec spec;  ///< after fault degradation (offline SMXs)
+  std::shared_ptr<trace::Recorder> recorder;
+  gpu::Device device;
+  rt::Runtime runtime;
+  fw::StreamManager manager;
+  sim::Mutex htod_lock;
+  serve::OverloadController controller;
+  /// Empty when the class breaker is disabled; else one per class.
+  std::vector<std::unique_ptr<fault::CircuitBreaker>> breakers;
+  serve::AdmissionQueue queue;
+  std::unique_ptr<check::InvariantChecker> checker;
+  serve::ServeSignals signals;
+  CopyDepthTracker copy_depth;
+  /// Device health breaker; nullptr when disabled.
+  std::unique_ptr<fault::CircuitBreaker> device_breaker;
+  gpu::ObserverFanout fanout;
+
+  std::size_t inflight = 0;
+  std::size_t peak_inflight = 0;
+  std::uint64_t pseudo_burst_jobs = 0;
+  std::uint64_t placed = 0;
+  std::uint64_t requeued_in = 0;
+  std::uint64_t requeued_out = 0;
+  std::uint64_t stolen_in = 0;
+  std::uint64_t stolen_out = 0;
+  /// Health-breaker trips already rebalanced (detects fresh trips).
+  std::uint64_t seen_trips = 0;
+  /// A drain-retry pump is already scheduled for this shard.
+  bool retry_scheduled = false;
+
+  Shard(std::size_t idx, sim::Simulator& sim, const FleetConfig& cfg,
+        const gpu::DeviceSpec& raw_spec, std::deque<serve::JobRecord>* jobs)
+      : index(idx),
+        injector(make_injector(cfg.base, idx)),
+        spec(injector != nullptr ? injector->degraded(raw_spec) : raw_spec),
+        recorder(std::make_shared<trace::Recorder>()),
+        device(sim, spec, recorder.get()),
+        runtime(sim, device, make_rt_options(cfg.base, injector.get())),
+        manager(runtime, cfg.base.num_streams),
+        htod_lock(sim),
+        controller(cfg.base.controller),
+        breakers(make_breakers(cfg.base)),
+        queue({cfg.base.queue_cap, cfg.base.shed_policy}),
+        checker(cfg.base.check_invariants
+                    ? std::make_unique<check::InvariantChecker>(spec)
+                    : nullptr),
+        signals(&controller, jobs, &breakers),
+        device_breaker(cfg.device_breaker_enabled
+                           ? std::make_unique<fault::CircuitBreaker>(
+                                 cfg.device_breaker)
+                           : nullptr) {}
+
+  fault::CircuitBreaker* breaker_for(std::size_t klass) {
+    if (breakers.empty()) return nullptr;
+    return breakers[klass].get();
+  }
+};
+
+/// Everything the fleet's coroutines need behind one trivially-destructible
+/// pointer (the coroutine parameter rule in sim/task.hpp).
+struct FleetService::RunState {
+  const FleetConfig* config = nullptr;
+  sim::Simulator* sim = nullptr;
+  Rng* rng = nullptr;
+  sim::Event* drained = nullptr;
+  Placer* placer = nullptr;
+  std::deque<Shard>* shards = nullptr;
+
+  struct Slot {
+    std::unique_ptr<fw::Kernel> app;
+    fw::Context context;
+  };
+  std::deque<serve::JobRecord>* jobs = nullptr;
+  std::deque<Slot>* slots = nullptr;
+  /// Current owner device per job; -1 before placement / for ShedNoDevice.
+  std::vector<int>* owners = nullptr;
+
+  bool admission_closed = false;
+  TimeNs window_closed_at = 0;
+  std::uint64_t shed_no_device = 0;
+
+  /// Reused placement-snapshot buffer (no steady-state allocation).
+  std::vector<DeviceLoad> load_buf;
+
+  bool can_dispatch(const Shard& s) const {
+    return config->base.max_inflight == 0 ||
+           s.inflight < config->base.max_inflight;
+  }
+
+  /// Consumes one device health-breaker admission (half-open probes are
+  /// real dispatches). Only called immediately before a dispatch so an
+  /// admitted probe always resolves.
+  bool gate(Shard& s) {
+    return s.device_breaker == nullptr ||
+           s.device_breaker->allow(sim->now());
+  }
+
+  std::span<const DeviceLoad> snapshot_loads() {
+    load_buf.clear();
+    const TimeNs now = sim->now();
+    for (Shard& s : *shards) {
+      DeviceLoad load;
+      load.healthy = s.device_breaker == nullptr ||
+                     s.device_breaker->would_allow(now);
+      load.outstanding = s.queue.size() + s.inflight;
+      load.copy_depth = s.copy_depth.depth();
+      load_buf.push_back(load);
+    }
+    return load_buf;
+  }
+
+  void dispatch(Shard& s, int job_id) {
+    serve::JobRecord& job = (*jobs)[static_cast<std::size_t>(job_id)];
+    Slot& slot = (*slots)[static_cast<std::size_t>(job_id)];
+    const serve::ClassSpec& spec = config->base.classes[job.klass];
+    slot.app = spec.item.factory();
+    HQ_CHECK_MSG(slot.app != nullptr, "factory for '" << spec.item.type_name
+                                                      << "' returned null");
+    fw::Context ctx;
+    ctx.sim = sim;
+    ctx.runtime = &s.runtime;
+    ctx.htod_lock = &s.htod_lock;
+    ctx.recorder = s.recorder.get();
+    ctx.app_id = job_id;
+    ctx.functional = config->base.functional;
+    slot.context = ctx;
+
+    job.state = serve::JobState::Inflight;
+    job.dispatched_at = sim->now();
+    ++s.inflight;
+    s.peak_inflight = std::max(s.peak_inflight, s.inflight);
+    sim->spawn(FleetService::job_lifecycle(this, s.index, job_id));
+  }
+
+  void pump(Shard& s) {
+    while (!s.queue.empty() && can_dispatch(s)) {
+      const serve::QueuedJob next = s.queue.pop_front();
+      serve::JobRecord& job =
+          (*jobs)[static_cast<std::size_t>(next.job_id)];
+      if (config->base.expire_queued && job.deadline_at != 0 &&
+          sim->now() > job.deadline_at) {
+        job.state = serve::JobState::TimedOutQueued;
+        continue;
+      }
+      if (!gate(s)) {
+        // Quarantined device: keep FIFO order and stop pumping; the job
+        // waits for a rebalance, a steal, or the breaker's probe window.
+        s.queue.restore_front(next);
+        break;
+      }
+      dispatch(s, next.job_id);
+    }
+  }
+
+  void try_steal(Shard& thief) {
+    if (!config->work_stealing) return;
+    while (thief.queue.empty() && can_dispatch(thief)) {
+      Shard* victim = nullptr;
+      for (Shard& other : *shards) {
+        if (other.index == thief.index || other.queue.empty()) continue;
+        if (victim == nullptr || other.queue.size() > victim->queue.size()) {
+          victim = &other;
+        }
+      }
+      if (victim == nullptr) return;
+      const serve::QueuedJob job = victim->queue.pop_back();
+      serve::JobRecord& rec =
+          (*jobs)[static_cast<std::size_t>(job.job_id)];
+      if (config->base.expire_queued && rec.deadline_at != 0 &&
+          sim->now() > rec.deadline_at) {
+        // Expired where it sat; the victim still owns (and accounts) it.
+        rec.state = serve::JobState::TimedOutQueued;
+        continue;
+      }
+      if (!gate(thief)) {
+        victim->queue.restore_back(job);
+        return;
+      }
+      ++victim->stolen_out;
+      ++thief.stolen_in;
+      (*owners)[static_cast<std::size_t>(job.job_id)] =
+          static_cast<int>(thief.index);
+      dispatch(thief, job.job_id);
+    }
+  }
+
+  /// Moves the queued jobs of a freshly-tripped device to healthy peers.
+  /// Jobs with no healthy target stay queued on the tripped device (FIFO
+  /// order preserved) and wait for its half-open probe window.
+  void rebalance_from(Shard& s) {
+    const TimeNs now = sim->now();
+    std::vector<serve::QueuedJob> pending;
+    while (!s.queue.empty()) pending.push_back(s.queue.pop_front());
+    std::vector<serve::QueuedJob> kept;
+    for (const serve::QueuedJob& q : pending) {
+      const std::size_t klass =
+          (*jobs)[static_cast<std::size_t>(q.job_id)].klass;
+      const auto target = placer->place(snapshot_loads(), klass);
+      if (!target.has_value() || *target == s.index) {
+        kept.push_back(q);
+        continue;
+      }
+      Shard& t = (*shards)[*target];
+      ++s.requeued_out;
+      ++t.requeued_in;
+      (*owners)[static_cast<std::size_t>(q.job_id)] =
+          static_cast<int>(t.index);
+      const auto victim = t.queue.offer(q, now, t.inflight);
+      if (victim.has_value()) {
+        (*jobs)[static_cast<std::size_t>(victim->job_id)].state =
+            serve::JobState::ShedQueueFull;
+      }
+    }
+    for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
+      s.queue.restore_front(*it);
+    }
+    for (Shard& t : *shards) {
+      if (t.index != s.index) pump(t);
+    }
+  }
+
+  /// Feeds one terminal job outcome to the owning device's health breaker;
+  /// a fresh trip quarantines the device and rebalances its queue.
+  void feed_device_breaker(Shard& s, bool failure) {
+    if (s.device_breaker == nullptr) return;
+    if (failure) {
+      s.device_breaker->record_failure(sim->now());
+    } else {
+      s.device_breaker->record_success(sim->now());
+    }
+    if (s.device_breaker->trips() > s.seen_trips) {
+      s.seen_trips = s.device_breaker->trips();
+      rebalance_from(s);
+    }
+  }
+
+  void on_arrival(std::size_t klass) {
+    const TimeNs now = sim->now();
+    const int job_id = static_cast<int>(jobs->size());
+    serve::JobRecord rec;
+    rec.job_id = job_id;
+    rec.klass = klass;
+    rec.arrived_at = now;
+    rec.deadline_at =
+        config->base.deadline > 0 ? now + config->base.deadline : 0;
+    jobs->push_back(rec);
+    slots->emplace_back();
+    owners->push_back(-1);
+    serve::JobRecord& job = jobs->back();
+
+    const auto target = placer->place(snapshot_loads(), klass);
+    if (!target.has_value()) {
+      job.state = serve::JobState::ShedNoDevice;
+      ++shed_no_device;
+      return;
+    }
+    Shard& s = (*shards)[*target];
+    ++s.placed;
+    (*owners)[static_cast<std::size_t>(job_id)] = static_cast<int>(s.index);
+
+    // From here the flow mirrors serve::Service::on_arrival exactly (the
+    // 1-device equivalence contract), with the device health gate added
+    // before a fast-path dispatch.
+    fault::CircuitBreaker* breaker = s.breaker_for(klass);
+    if (breaker != nullptr && !breaker->allow(now)) {
+      job.state = serve::JobState::ShedBreaker;
+      return;
+    }
+
+    if (s.queue.empty() && can_dispatch(s) &&
+        (config->base.queue_cap == 0 ||
+         s.inflight < config->base.queue_cap) &&
+        gate(s)) {
+      dispatch(s, job_id);
+      return;
+    }
+
+    const auto victim = s.queue.offer(
+        {job_id, config->base.classes[klass].priority, now, job.deadline_at},
+        now, s.inflight);
+    if (victim.has_value()) {
+      (*jobs)[static_cast<std::size_t>(victim->job_id)].state =
+          serve::JobState::ShedQueueFull;
+    }
+    pump(s);
+    // A job queued behind a busy device is immediately available to idle
+    // peers; without this, a never-loaded device would only ever look for
+    // work at its own completion boundaries (of which it has none).
+    if (config->work_stealing && !s.queue.empty()) {
+      for (Shard& other : *shards) try_steal(other);
+    }
+  }
+
+  void maybe_finish() {
+    if (!admission_closed) return;
+    std::size_t inflight_total = 0;
+    bool queues_empty = true;
+    for (const Shard& s : *shards) {
+      inflight_total += s.inflight;
+      if (!s.queue.empty()) queues_empty = false;
+    }
+    if (inflight_total != 0) return;
+    if (queues_empty) {
+      if (!drained->fired()) drained->fire();
+      return;
+    }
+    // Jobs are stuck on quarantined devices and nothing inflight will pump
+    // them. Schedule one retry pump per blocked shard at its next possible
+    // admission instant (the breaker's cooldown end). Each retry dispatches
+    // a half-open probe or expires queued jobs, so the drain terminates.
+    const TimeNs now = sim->now();
+    for (Shard& s : *shards) {
+      if (s.queue.empty() || s.retry_scheduled) continue;
+      TimeNs wake = now + 1;
+      if (s.device_breaker != nullptr && s.device_breaker->open()) {
+        wake = std::max(wake, s.device_breaker->open_until());
+      }
+      s.retry_scheduled = true;
+      sim->schedule_at(wake, [this, idx = s.index] {
+        Shard& sh = (*shards)[idx];
+        sh.retry_scheduled = false;
+        pump(sh);
+        for (Shard& other : *shards) try_steal(other);
+        maybe_finish();
+      });
+    }
+  }
+};
+
+sim::Task FleetService::job_lifecycle(RunState* st, std::size_t shard_index,
+                                      int index) {
+  Shard& s = (*st->shards)[shard_index];
+  serve::JobRecord& job = (*st->jobs)[static_cast<std::size_t>(index)];
+  RunState::Slot& slot = (*st->slots)[static_cast<std::size_t>(index)];
+  fw::Kernel& app = *slot.app;
+  fw::Context& ctx = slot.context;
+
+  // The body below mirrors serve::Service::job_lifecycle verbatim, against
+  // this shard's runtime/lock/recorder (the 1-device equivalence contract).
+  bool alloc_failed = false;
+  const bool init_host = st->config->base.functional;
+  if (s.injector == nullptr) {
+    app.allocateHostMemory(ctx);
+    app.allocateDeviceMemory(ctx);
+    if (init_host) app.initializeHostMemory(ctx);
+  } else {
+    try {
+      app.allocateHostMemory(ctx);
+      app.allocateDeviceMemory(ctx);
+      if (init_host) app.initializeHostMemory(ctx);
+    } catch (const Error& e) {
+      job.state = serve::JobState::Quarantined;
+      job.quarantine_reason = std::string("allocation-failed: ") + e.what();
+      alloc_failed = true;
+    }
+  }
+
+  if (!alloc_failed) {
+    ctx.stream = s.manager.acquire();
+    const bool engaged = s.controller.engaged();
+    const bool memsync = st->config->base.memory_sync || engaged;
+    if (engaged && !st->config->base.memory_sync) {
+      job.pseudo_burst = true;
+      ++s.pseudo_burst_jobs;
+    }
+    if (memsync) {
+      const TimeNs requested = st->sim->now();
+      auto guard = co_await s.htod_lock.scoped_lock();
+      const TimeNs acquired = st->sim->now();
+      if (acquired > requested) {
+        s.recorder->add(ctx.stream.id, ctx.app_id, trace::SpanKind::LockWait,
+                        "htod-lock", requested, acquired);
+      }
+      co_await app.transferMemory(ctx, fw::Direction::HostToDevice);
+      guard.reset();
+    } else {
+      co_await app.transferMemory(ctx, fw::Direction::HostToDevice);
+    }
+    co_await app.executeKernel(ctx);
+    co_await app.transferMemory(ctx, fw::Direction::DeviceToHost);
+  }
+
+  app.freeHostMemory(ctx);
+  app.freeDeviceMemory(ctx);
+  job.completed_at = st->sim->now();
+
+  if (job.state != serve::JobState::Quarantined) {
+    if (s.injector != nullptr &&
+        s.runtime.stream_fault(ctx.stream) != rt::Status::Ok) {
+      job.state = serve::JobState::Quarantined;
+      job.quarantine_reason = "launch-aborted";
+    } else {
+      const bool late =
+          job.deadline_at != 0 && job.completed_at > job.deadline_at;
+      job.state = late ? serve::JobState::CompletedLate
+                       : serve::JobState::CompletedOk;
+    }
+  }
+
+  fault::CircuitBreaker* breaker = s.breaker_for(job.klass);
+  if (breaker != nullptr) {
+    if (job.state == serve::JobState::Quarantined) {
+      breaker->record_failure(st->sim->now());
+    } else {
+      breaker->record_success(st->sim->now());
+    }
+  }
+  st->feed_device_breaker(s, job.state == serve::JobState::Quarantined);
+
+  --s.inflight;
+  st->pump(s);
+  st->try_steal(s);
+  st->maybe_finish();
+}
+
+sim::Task FleetService::generator_task(RunState* st) {
+  if (!st->config->base.arrivals.empty()) {
+    const std::size_t n = st->config->base.arrivals.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TimeNs at = st->config->base.arrivals[i].at;
+      if (at > st->sim->now()) {
+        co_await st->sim->delay(at - st->sim->now());
+      }
+      st->on_arrival(st->config->base.arrivals[i].klass);
+    }
+  } else {
+    // Poisson arrivals, drawing the exact serve::Service RNG sequence (one
+    // next_double + one next_below per arrival).
+    const TimeNs window_end = st->sim->now() + st->config->base.window;
+    while (st->sim->now() < window_end) {
+      const double u = std::max(st->rng->next_double(), 1e-12);
+      const auto gap = static_cast<DurationNs>(
+          -std::log(u) *
+          static_cast<double>(st->config->base.mean_interarrival));
+      co_await st->sim->delay(std::max<DurationNs>(gap, 1));
+      if (st->sim->now() >= window_end) break;
+
+      const auto pick = st->rng->next_below(st->config->base.classes.size());
+      st->on_arrival(static_cast<std::size_t>(pick));
+    }
+  }
+  st->admission_closed = true;
+  st->window_closed_at = st->sim->now();
+  st->maybe_finish();
+}
+
+FleetResult FleetService::run() {
+  config_.validate();
+  const std::vector<gpu::DeviceSpec> raw_specs = config_.device_specs();
+  const std::size_t num_devices = raw_specs.size();
+  const serve::ServiceConfig& base = config_.base;
+
+  sim::Simulator sim;
+  sim::Event drained(sim);
+  Rng rng(base.seed);
+  Placer placer(config_.placement, config_.copy_penalty);
+
+  std::deque<serve::JobRecord> jobs;
+  std::deque<RunState::Slot> slots;
+  std::vector<int> owners;
+  std::deque<Shard> shards;
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    shards.emplace_back(d, sim, config_, raw_specs[d], &jobs);
+  }
+
+  for (Shard& s : shards) {
+    s.fanout.add(s.checker.get());
+    s.fanout.add(&s.signals);
+    s.fanout.add(&s.copy_depth);
+    s.device.set_observer(&s.fanout);
+    if (s.injector != nullptr) {
+      s.injector->set_observer(&s.fanout);
+      s.device.set_copy_fault_hook(
+          [inj = s.injector.get()](TimeNs now, gpu::CopyDirection dir,
+                                   gpu::OpId op, Bytes bytes,
+                                   DurationNs service_base) {
+            return inj->copy_service_penalty(now, dir, op, bytes,
+                                             service_base);
+          });
+      if (!s.breakers.empty()) {
+        s.injector->set_launch_fault_hook(
+            [sp = &s, jb = &jobs](TimeNs now, std::int32_t app_id,
+                                  bool /*aborted*/) {
+              if (app_id < 0 ||
+                  static_cast<std::size_t>(app_id) >= jb->size()) {
+                return;
+              }
+              fault::CircuitBreaker* b = sp->breaker_for(
+                  (*jb)[static_cast<std::size_t>(app_id)].klass);
+              if (b != nullptr) b->record_failure(now);
+            });
+      }
+    }
+  }
+
+  RunState state;
+  state.config = &config_;
+  state.sim = &sim;
+  state.rng = &rng;
+  state.drained = &drained;
+  state.placer = &placer;
+  state.shards = &shards;
+  state.jobs = &jobs;
+  state.slots = &slots;
+  state.owners = &owners;
+
+  sim.spawn(generator_task(&state));
+  sim.run();
+  HQ_CHECK_MSG(sim.live_tasks() == 0, "fleet run finished with live tasks");
+  HQ_CHECK_MSG(drained.fired(), "fleet run ended without draining");
+
+  for (Shard& s : shards) {
+    if (s.checker != nullptr) {
+      s.checker->finalize(s.device);
+      s.checker->finalize_runtime(s.runtime);
+      if (s.injector != nullptr) s.checker->finalize_faults(s.injector->stats());
+      HQ_CHECK_MSG(s.checker->ok(), "fleet device " << s.index
+                                        << " invariant violations:\n"
+                                        << s.checker->report());
+    }
+  }
+
+  // --- per-device accounting & reports --------------------------------------
+  FleetResult result;
+  result.jobs.assign(jobs.begin(), jobs.end());
+  result.owners = owners;
+  FleetReport& fleet = result.report;
+
+  // Jobs no device ever saw; they must be span-free on every recorder.
+  std::vector<std::int32_t> no_device_ids;
+  for (const serve::JobRecord& job : jobs) {
+    if (job.state == serve::JobState::ShedNoDevice) {
+      no_device_ids.push_back(job.job_id);
+    }
+  }
+
+  std::uint64_t owned_total = 0;
+  for (Shard& s : shards) {
+    FleetDeviceResult dev;
+    dev.trace = s.recorder;
+    if (s.injector != nullptr) dev.fault_stats = s.injector->stats();
+    check::ServeAccounting& acc = dev.accounting;
+    serve::ServeReport& report = dev.report;
+
+    report.classes.resize(base.classes.size());
+    for (std::size_t i = 0; i < base.classes.size(); ++i) {
+      serve::ClassStats& c = report.classes[i];
+      c.name = base.classes[i].item.type_name;
+      c.priority = base.classes[i].priority;
+      if (!report.workload.empty()) report.workload += '+';
+      report.workload += c.name;
+    }
+
+    // The accounting below computes every field exactly as
+    // serve::Service::run does, over the jobs this device terminally owns.
+    RunningStats turnaround;
+    std::vector<double> turnaround_samples;
+    RunningStats queue_wait;
+    for (const serve::JobRecord& job : jobs) {
+      if (owners[static_cast<std::size_t>(job.job_id)] !=
+          static_cast<int>(s.index)) {
+        continue;
+      }
+      ++owned_total;
+      serve::ClassStats& c = report.classes[job.klass];
+      ++acc.arrived;
+      ++c.arrived;
+      switch (job.state) {
+        case serve::JobState::CompletedOk:
+          ++acc.completed_ok;
+          ++c.completed_ok;
+          break;
+        case serve::JobState::CompletedLate:
+          ++acc.completed_late;
+          ++c.completed_late;
+          break;
+        case serve::JobState::ShedQueueFull:
+          ++acc.shed_queue_full;
+          ++c.shed_queue_full;
+          acc.undispatched_apps.push_back(job.job_id);
+          break;
+        case serve::JobState::ShedBreaker:
+          ++acc.shed_breaker;
+          ++c.shed_breaker;
+          acc.undispatched_apps.push_back(job.job_id);
+          break;
+        case serve::JobState::TimedOutQueued:
+          ++acc.timed_out_queued;
+          ++c.timed_out_queued;
+          acc.undispatched_apps.push_back(job.job_id);
+          break;
+        case serve::JobState::Quarantined:
+          ++acc.quarantined;
+          ++c.quarantined;
+          break;
+        case serve::JobState::ShedNoDevice:
+        case serve::JobState::Queued:
+        case serve::JobState::Inflight:
+          HQ_CHECK_MSG(false, "fleet job "
+                                  << job.job_id << " owned by device "
+                                  << s.index
+                                  << " ended the run in unexpected state "
+                                  << serve::job_state_name(job.state));
+      }
+      const bool dispatched = job.state == serve::JobState::CompletedOk ||
+                              job.state == serve::JobState::CompletedLate ||
+                              job.state == serve::JobState::Quarantined;
+      if (dispatched) {
+        queue_wait.add(
+            static_cast<double>(job.dispatched_at - job.arrived_at));
+      }
+      if (job.state == serve::JobState::CompletedOk ||
+          job.state == serve::JobState::CompletedLate) {
+        const auto t = static_cast<double>(job.completed_at - job.arrived_at);
+        turnaround.add(t);
+        turnaround_samples.push_back(t);
+      }
+    }
+
+    {
+      check::ServeAccounting verify_acc = acc;
+      verify_acc.shed_no_device = no_device_ids.size();
+      verify_acc.undispatched_apps.insert(verify_acc.undispatched_apps.end(),
+                                          no_device_ids.begin(),
+                                          no_device_ids.end());
+      const std::vector<std::string> violations =
+          check::verify_serve_accounting(verify_acc, s.recorder.get());
+      if (base.check_invariants && !violations.empty()) {
+        std::ostringstream os;
+        for (const std::string& v : violations) os << v << "\n";
+        HQ_CHECK_MSG(false, "fleet device " << s.index
+                                            << " serve invariant violations:\n"
+                                            << os.str());
+      }
+    }
+
+    report.num_streams = base.num_streams;
+    report.memory_sync = base.memory_sync;
+    report.seed = base.seed;
+    report.window = base.window;
+    report.mean_interarrival = base.mean_interarrival;
+    report.deadline = base.deadline;
+    report.queue_cap = base.queue_cap;
+    report.max_inflight = base.max_inflight;
+    report.shed_policy = serve::shed_policy_name(base.shed_policy);
+    report.expire_queued = base.expire_queued;
+    report.controller_enabled = base.controller.enabled;
+    report.breaker_enabled = base.breaker_enabled;
+    report.fault_plan = fault::fault_plan_to_string(
+        s.injector != nullptr ? s.injector->plan() : base.fault_plan);
+
+    report.arrived = acc.arrived;
+    report.admitted = acc.arrived - acc.shed_queue_full - acc.shed_breaker;
+    report.completed = acc.completed_ok + acc.completed_late;
+    report.completed_ok = acc.completed_ok;
+    report.completed_late = acc.completed_late;
+    report.shed_queue_full = acc.shed_queue_full;
+    report.shed_breaker = acc.shed_breaker;
+    report.timed_out_queued = acc.timed_out_queued;
+    report.quarantined = acc.quarantined;
+
+    report.total_time = sim.now();
+    report.drain_time = report.total_time >= state.window_closed_at
+                            ? report.total_time - state.window_closed_at
+                            : 0;
+    report.energy = s.device.energy();
+    report.average_occupancy = s.device.average_occupancy();
+    if (report.total_time > 0) {
+      const double seconds = to_seconds(report.total_time);
+      report.goodput_per_sec =
+          static_cast<double>(report.completed_ok) / seconds;
+      report.throughput_per_sec =
+          static_cast<double>(report.completed) / seconds;
+    }
+    if (report.admitted > 0) {
+      report.deadline_miss_ratio =
+          static_cast<double>(report.completed_late +
+                              report.timed_out_queued) /
+          static_cast<double>(report.admitted);
+    }
+    if (report.completed > 0) {
+      report.mean_turnaround = static_cast<DurationNs>(turnaround.mean());
+      report.max_turnaround = static_cast<DurationNs>(turnaround.max());
+      report.p95_turnaround = static_cast<DurationNs>(
+          percentile(std::move(turnaround_samples), 95));
+      report.energy_per_completed =
+          report.energy / static_cast<double>(report.completed);
+    }
+    if (queue_wait.count() > 0) {
+      report.mean_queue_wait = static_cast<DurationNs>(queue_wait.mean());
+      report.max_queue_wait = static_cast<DurationNs>(queue_wait.max());
+    }
+    report.peak_queue_depth = s.queue.peak_depth();
+    report.peak_inflight = s.peak_inflight;
+
+    report.controller_engagements = s.controller.engagements();
+    report.controller_releases = s.controller.releases();
+    report.pseudo_burst_jobs = s.pseudo_burst_jobs;
+    if (!s.breakers.empty()) {
+      for (std::size_t i = 0; i < s.breakers.size(); ++i) {
+        const fault::CircuitBreaker& b = *s.breakers[i];
+        serve::ClassStats& c = report.classes[i];
+        c.breaker_trips = b.trips();
+        c.breaker_probes = b.probes();
+        c.breaker_rejected = b.rejected();
+        c.breaker_final_state = fault::breaker_state_name(b.state());
+        report.breaker_trips += b.trips();
+        report.breaker_probes += b.probes();
+        report.breaker_rejected += b.rejected();
+      }
+    }
+    if (s.injector != nullptr) {
+      report.faults_injected = s.injector->stats().total();
+    }
+    report.trace_digest = trace::digest(*s.recorder);
+
+    FleetDeviceStats stats;
+    stats.name = s.spec.name;
+    stats.placed = s.placed;
+    stats.requeued_in = s.requeued_in;
+    stats.requeued_out = s.requeued_out;
+    stats.stolen_in = s.stolen_in;
+    stats.stolen_out = s.stolen_out;
+    if (s.device_breaker != nullptr) {
+      stats.breaker_trips = s.device_breaker->trips();
+      stats.breaker_probes = s.device_breaker->probes();
+      stats.breaker_rejected = s.device_breaker->rejected();
+      stats.breaker_final_state =
+          fault::breaker_state_name(s.device_breaker->state());
+    }
+    stats.report = report;
+    fleet.placement_histogram.push_back(s.placed);
+    fleet.devices.push_back(std::move(stats));
+    result.devices.push_back(std::move(dev));
+  }
+
+  HQ_CHECK_MSG(owned_total + state.shed_no_device == jobs.size(),
+               "fleet accounting lost jobs: " << owned_total << " owned + "
+                                              << state.shed_no_device
+                                              << " shed-no-device != "
+                                              << jobs.size() << " arrived");
+
+  // --- fleet aggregates ------------------------------------------------------
+  fleet.num_devices = num_devices;
+  fleet.placement = placement_policy_name(config_.placement);
+  fleet.copy_penalty = config_.copy_penalty;
+  fleet.work_stealing = config_.work_stealing;
+  fleet.device_breaker_enabled = config_.device_breaker_enabled;
+  fleet.seed = base.seed;
+  fleet.shed_no_device = state.shed_no_device;
+  for (const FleetDeviceStats& dev : fleet.devices) {
+    const serve::ServeReport& r = dev.report;
+    if (fleet.workload.empty()) fleet.workload = r.workload;
+    fleet.arrived += r.arrived;
+    fleet.admitted += r.admitted;
+    fleet.completed += r.completed;
+    fleet.completed_ok += r.completed_ok;
+    fleet.completed_late += r.completed_late;
+    fleet.shed_queue_full += r.shed_queue_full;
+    fleet.shed_breaker += r.shed_breaker;
+    fleet.timed_out_queued += r.timed_out_queued;
+    fleet.quarantined += r.quarantined;
+    fleet.energy += r.energy;
+    fleet.requeued += dev.requeued_in;
+    fleet.stolen += dev.stolen_in;
+    fleet.device_breaker_trips += dev.breaker_trips;
+    fleet.device_breaker_probes += dev.breaker_probes;
+    fleet.device_breaker_rejected += dev.breaker_rejected;
+  }
+  fleet.arrived += fleet.shed_no_device;
+  fleet.total_time = sim.now();
+  fleet.drain_time = fleet.total_time >= state.window_closed_at
+                         ? fleet.total_time - state.window_closed_at
+                         : 0;
+  if (fleet.total_time > 0) {
+    const double seconds = to_seconds(fleet.total_time);
+    fleet.goodput_per_sec =
+        static_cast<double>(fleet.completed_ok) / seconds;
+    fleet.throughput_per_sec =
+        static_cast<double>(fleet.completed) / seconds;
+  }
+  if (fleet.admitted > 0) {
+    fleet.deadline_miss_ratio =
+        static_cast<double>(fleet.completed_late + fleet.timed_out_queued) /
+        static_cast<double>(fleet.admitted);
+  }
+  if (fleet.completed > 0) {
+    fleet.energy_per_completed =
+        fleet.energy / static_cast<double>(fleet.completed);
+  }
+  return result;
+}
+
+}  // namespace hq::fleet

@@ -1,0 +1,119 @@
+// Cluster-scale serving: shard the serving layer across a simulated device
+// fleet (library hq_fleet).
+//
+// FleetService runs N per-device serving engines — each a faithful replica
+// of serve::Service's run state (own gpu::Device, cudart runtime, stream
+// pool, HtoD mutex, admission queue, overload controller, per-class
+// breakers, fault injector, trace recorder) — under ONE virtual clock and
+// ONE arrival process. A deterministic placement policy
+// (src/fleet/placement.hpp) routes every admitted arrival to a device;
+// fleet-only mechanisms move work afterwards:
+//
+//   * per-device health breakers (fault::CircuitBreaker over job outcomes):
+//     a device whose jobs keep quarantining trips open and is quarantined —
+//     no policy places on it and its queued jobs are rebalanced to healthy
+//     peers (counted as requeued). A half-open probe job re-admits it.
+//   * optional work stealing: a device that drains its own queue steals the
+//     newest queued job from the deepest peer queue (pop_back — preserving
+//     the victim's FIFO latency order) and runs it itself.
+//   * when no healthy device exists, arrivals are shed as
+//     JobState::ShedNoDevice (a fleet-only terminal state).
+//
+// Single-device equivalence: a 1-device fleet with the fleet-only features
+// off schedules, draws RNG, and spawns coroutines exactly as the
+// single-device Service, so the nested per-device ServeReport is
+// byte-identical to Service::run()'s report for the same base config — the
+// fleet fuzz oracle and golden tests pin this.
+//
+// Fault decorrelation: device d > 0 runs the base fault plan with its seed
+// offset by d, so a heterogeneous-fault fleet stays deterministic without
+// every device failing in lockstep. Device 0 uses the plan verbatim
+// (required for the 1-device equivalence above).
+//
+// Determinism contract: same config + seed => byte-identical FleetReport
+// JSON and digest at any --jobs count (jobs only shard independent runs).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fleet/placement.hpp"
+#include "fleet/report.hpp"
+#include "serve/service.hpp"
+
+namespace hq::fleet {
+
+struct FleetConfig {
+  /// The per-device serving configuration (classes, arrival process, queue
+  /// bounds, controller, class breakers, fault plan, ...). base.device is
+  /// the spec template when `devices` is empty; base.collect_metrics is
+  /// ignored (the fleet keeps no per-device metrics registries).
+  serve::ServiceConfig base;
+
+  /// Per-device specs. Empty = a 1-device fleet of base.device. Mixed specs
+  /// give a heterogeneous fleet.
+  std::vector<gpu::DeviceSpec> devices;
+
+  PlacementPolicy placement = PlacementPolicy::RoundRobin;
+  /// Copy-queue weight of the copy-contention-aware policy.
+  double copy_penalty = 2.0;
+  /// Idle devices steal the newest queued job from the deepest peer queue.
+  bool work_stealing = false;
+  /// One health breaker per device over its job outcomes; tripped devices
+  /// are quarantined and their queues rebalanced.
+  bool device_breaker_enabled = false;
+  fault::CircuitBreaker::Config device_breaker;
+
+  std::size_t num_devices() const {
+    return devices.empty() ? 1 : devices.size();
+  }
+  /// Resolved per-device specs (devices, or {base.device} when empty).
+  std::vector<gpu::DeviceSpec> device_specs() const;
+  /// Replaces `devices` with `n` copies of base.device.
+  void resize_homogeneous(std::size_t n);
+
+  /// Throws hq::Error on an unusable configuration.
+  void validate() const;
+};
+
+/// One device's raw outputs (the report is also nested in FleetReport).
+struct FleetDeviceResult {
+  serve::ServeReport report;
+  check::ServeAccounting accounting;
+  std::shared_ptr<trace::Recorder> trace;
+  fault::FaultStats fault_stats;
+};
+
+struct FleetResult {
+  FleetReport report;
+  std::vector<FleetDeviceResult> devices;
+  /// Every job in arrival order (job_id == arrival index == trace app id).
+  std::vector<serve::JobRecord> jobs;
+  /// Terminal owner device per job (the device that accounted it);
+  /// -1 for ShedNoDevice jobs, which no device ever saw.
+  std::vector<int> owners;
+};
+
+/// The cluster scheduler: one admission stream fanned out over a device
+/// fleet under a single deterministic virtual clock.
+class FleetService {
+ public:
+  explicit FleetService(FleetConfig config) : config_(std::move(config)) {}
+
+  /// Runs one fleet serving experiment; deterministic per configuration.
+  FleetResult run();
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  struct Shard;
+  struct RunState;
+  static sim::Task generator_task(RunState* st);
+  static sim::Task job_lifecycle(RunState* st, std::size_t shard_index,
+                                 int job_id);
+
+  FleetConfig config_;
+};
+
+}  // namespace hq::fleet

@@ -1,0 +1,107 @@
+// Final report of one fleet serving run (library hq_fleet).
+//
+// A FleetReport nests one full serve::ServeReport per device (exactly the
+// report the single-device Service would emit for that shard's jobs) under
+// fleet-level aggregates: cluster goodput/SLO numbers, the placement
+// histogram, shed/requeue/steal counters, and the per-device health-breaker
+// trajectories.
+//
+// Determinism contract: fleet_report_json renders byte-identically for a
+// given report (doubles through obs::format_double, fixed field order,
+// devices in index order), so fleet_report_digest — FNV-1a over that
+// rendering — is the fingerprint the golden tests and CI diffs pin. Same
+// config + seed => byte-identical report at any --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/report.hpp"
+
+namespace hq::fleet {
+
+/// One device's slice of the fleet run: its full serving report plus the
+/// fleet-level routing counters that the single-device report cannot know.
+struct FleetDeviceStats {
+  std::string name;  ///< device spec name (after fault degradation)
+  /// Arrivals the placer routed here (initial placement, before any
+  /// requeue/steal movement).
+  std::uint64_t placed = 0;
+  std::uint64_t requeued_in = 0;   ///< jobs moved here from quarantined peers
+  std::uint64_t requeued_out = 0;  ///< jobs moved away when this device tripped
+  std::uint64_t stolen_in = 0;     ///< jobs this device stole while idle
+  std::uint64_t stolen_out = 0;    ///< queued jobs stolen by idle peers
+  // Device health breaker (all zero / empty when disabled).
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t breaker_rejected = 0;
+  std::string breaker_final_state;  ///< "closed" / "open" / "half-open"; empty = disabled
+  /// The per-device serving report, computed exactly as serve::Service
+  /// computes it (for a 1-device fleet this is byte-identical to the
+  /// single-device report — the fleet oracle pins that).
+  serve::ServeReport report;
+};
+
+struct FleetReport {
+  // --- configuration echo --------------------------------------------------
+  std::string workload;  ///< class names joined with '+'
+  std::size_t num_devices = 0;
+  std::string placement;
+  double copy_penalty = 0;
+  bool work_stealing = false;
+  bool device_breaker_enabled = false;
+  std::uint64_t seed = 0;
+
+  // --- fleet job accounting ------------------------------------------------
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_late = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_breaker = 0;
+  /// Arrivals rejected because no healthy device existed (fleet-only
+  /// terminal state; never attributed to a device).
+  std::uint64_t shed_no_device = 0;
+  std::uint64_t timed_out_queued = 0;
+  std::uint64_t quarantined = 0;
+  /// Queued jobs moved off a device whose health breaker tripped.
+  std::uint64_t requeued = 0;
+  /// Queued jobs taken by an idle device (work stealing).
+  std::uint64_t stolen = 0;
+
+  // --- SLO -----------------------------------------------------------------
+  double goodput_per_sec = 0;
+  double throughput_per_sec = 0;
+  double deadline_miss_ratio = 0;
+
+  // --- run totals ----------------------------------------------------------
+  DurationNs total_time = 0;
+  DurationNs drain_time = 0;
+  Joules energy = 0;  ///< summed over devices
+  Joules energy_per_completed = 0;
+
+  // --- fleet health --------------------------------------------------------
+  std::uint64_t device_breaker_trips = 0;
+  std::uint64_t device_breaker_probes = 0;
+  std::uint64_t device_breaker_rejected = 0;
+
+  /// placement_histogram[d] == devices[d].placed (kept flat for reports).
+  std::vector<std::uint64_t> placement_histogram;
+  std::vector<FleetDeviceStats> devices;
+};
+
+/// Human-readable multi-line summary (the hqserve fleet default output).
+void render_fleet_report_text(std::ostream& os, const FleetReport& report);
+
+/// Canonical JSON rendering (byte-identical per report; see header note).
+void write_fleet_report_json(std::ostream& os, const FleetReport& report);
+std::string fleet_report_json(const FleetReport& report);
+
+/// FNV-1a digest of fleet_report_json — the run fingerprint pinned by the
+/// golden fleet tests.
+std::uint64_t fleet_report_digest(const FleetReport& report);
+
+}  // namespace hq::fleet

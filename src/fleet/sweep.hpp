@@ -1,0 +1,122 @@
+// Placement-policy x fleet-size sweeps with a crash-safe journal
+// (library hq_fleet).
+//
+// A FleetSweepGrid crosses fleet sizes with placement policies over one
+// base FleetConfig; every point is an independent FleetService::run. The
+// journal reuses the exec layer's torn-line-safe `<kind> key=value ... end`
+// record format (exec/journal.hpp journal_io helpers) under its own magic
+// and grid key, so `hqserve --sweep-fleet --journal/--resume` gets the same
+// crash-safety guarantees as the harness sweeps: resuming against a
+// different fleet shape or base config is a structured error, never a
+// silent splice of foreign outcomes.
+//
+// Determinism contract: points expand in fixed row-major order (sizes
+// outermost, policies innermost), each point's run depends only on its own
+// config, and outcomes come back in submission-index order — byte-identical
+// report and combined digest at any --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+namespace hq::fleet {
+
+struct FleetSweepGrid {
+  /// Template config. Each point overrides the fleet size (see
+  /// apply_point) and the placement policy; everything else is shared.
+  FleetConfig base;
+  std::vector<std::size_t> fleet_sizes = {1, 2, 4};
+  std::vector<PlacementPolicy> placements = {PlacementPolicy::RoundRobin};
+};
+
+struct FleetSweepPoint {
+  std::size_t index = 0;
+  std::size_t fleet_size = 0;
+  PlacementPolicy placement = PlacementPolicy::RoundRobin;
+
+  /// Compact coordinates, e.g. "n=4 placement=least-loaded".
+  std::string label() const;
+};
+
+/// Scalar results of one point, with the full report reduced to its digest
+/// inside the worker.
+struct FleetSweepOutcome {
+  FleetSweepPoint point;
+  std::uint64_t arrived = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;  ///< queue-full + breaker + no-device
+  std::uint64_t requeued = 0;
+  std::uint64_t stolen = 0;
+  double goodput_per_sec = 0;
+  double throughput_per_sec = 0;
+  double deadline_miss_ratio = 0;
+  double energy = 0;
+  std::uint64_t total_time = 0;
+  std::uint64_t report_digest = 0;  ///< fleet_report_digest of the point
+};
+
+/// Enumerates the cross product in row-major order (sizes outermost).
+std::vector<FleetSweepPoint> expand_fleet_sweep(const FleetSweepGrid& grid);
+
+/// The point's concrete config: the base with the placement replaced and
+/// the device list resized to fleet_size — reusing the base's resolved
+/// specs cyclically (so a 2-spec heterogeneous base sweeps as A,B,A,B,...).
+FleetConfig apply_fleet_point(const FleetSweepGrid& grid,
+                              const FleetSweepPoint& point);
+
+/// Runs one point. Thread-safe.
+FleetSweepOutcome run_fleet_point(const FleetSweepGrid& grid,
+                                  const FleetSweepPoint& point);
+
+/// Fingerprint of the expanded grid: point labels plus every
+/// result-affecting field of the base fleet config (device specs, fleet
+/// knobs, and the full serving base config). Two grids with the same key
+/// produce interchangeable journals.
+std::uint64_t fleet_sweep_grid_key(const FleetSweepGrid& grid,
+                                   std::span<const FleetSweepPoint> points);
+
+/// Journal records (same torn-line-safe format as exec/journal.hpp).
+std::string fleet_journal_header_line(std::uint64_t grid_key,
+                                      std::size_t total_points);
+std::string fleet_journal_outcome_line(const FleetSweepOutcome& outcome);
+std::optional<FleetSweepOutcome> parse_fleet_journal_outcome(
+    const std::string& line, std::span<const FleetSweepPoint> points);
+
+/// Replays a journal stream into `cached` (indexed by point); header
+/// mismatch throws hq::Error. Same semantics as exec::load_journal.
+std::size_t load_fleet_journal(
+    std::istream& in, std::uint64_t grid_key,
+    std::span<const FleetSweepPoint> points,
+    std::vector<std::optional<FleetSweepOutcome>>* cached,
+    bool* header_read = nullptr);
+
+struct FleetSweepOptions {
+  /// Worker threads; 1 = serial, 0 = ThreadPool::hardware_jobs().
+  int jobs = 1;
+  /// Crash-safe checkpoint file; empty = no journal.
+  std::string journal_path;
+  /// Replay finished points from journal_path and run only missing ones.
+  bool resume = false;
+};
+
+/// Runs the whole grid with bounded concurrency; outcomes are indexed by
+/// submission order and byte-identical at any jobs count.
+std::vector<FleetSweepOutcome> run_fleet_sweep(const FleetSweepGrid& grid,
+                                               const FleetSweepOptions& options);
+
+/// Order-fixed 64-bit digest over the outcome vector — the cheap
+/// byte-identity witness the CI fleet determinism check diffs.
+std::uint64_t fleet_combined_digest(std::span<const FleetSweepOutcome> outcomes);
+
+/// Deterministic aggregate table (placement-policy x fleet-size goodput).
+std::string render_fleet_sweep_report(
+    std::span<const FleetSweepOutcome> outcomes);
+
+}  // namespace hq::fleet

@@ -91,4 +91,21 @@ QueuedJob AdmissionQueue::pop_front() {
   return job;
 }
 
+QueuedJob AdmissionQueue::pop_back() {
+  HQ_CHECK_MSG(!queue_.empty(), "AdmissionQueue::pop_back on an empty queue");
+  const QueuedJob job = queue_.back();
+  queue_.pop_back();
+  return job;
+}
+
+void AdmissionQueue::restore_front(const QueuedJob& job) {
+  queue_.push_front(job);
+  peak_depth_ = std::max(peak_depth_, queue_.size());
+}
+
+void AdmissionQueue::restore_back(const QueuedJob& job) {
+  queue_.push_back(job);
+  peak_depth_ = std::max(peak_depth_, queue_.size());
+}
+
 }  // namespace hq::serve

@@ -79,6 +79,20 @@ class AdmissionQueue {
   /// Pops the oldest queued job. The queue must not be empty.
   QueuedJob pop_front();
 
+  /// Pops the newest queued job — the work-stealing end (src/fleet): a
+  /// thief takes the job that least disrupts the victim's FIFO latency
+  /// ordering. The queue must not be empty.
+  QueuedJob pop_back();
+
+  /// Returns a previously popped job to the head/tail of the queue without
+  /// re-counting admission or re-running the shed policy (the job was
+  /// already accepted once). Used by the fleet layer when a dispatch is
+  /// blocked by the device health breaker (restore_front preserves FIFO
+  /// order) or a steal attempt is abandoned (restore_back reverts the
+  /// pop_back). Never called by the single-device Service.
+  void restore_front(const QueuedJob& job);
+  void restore_back(const QueuedJob& job);
+
   bool empty() const { return queue_.empty(); }
   std::size_t size() const { return queue_.size(); }
 

@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
-#include <map>
-#include <set>
 #include <sstream>
 
 #include "check/invariants.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "serve/signals.hpp"
 
 namespace hq::serve {
 
@@ -24,6 +23,7 @@ const char* job_state_name(JobState state) {
     case JobState::ShedBreaker: return "shed-breaker";
     case JobState::TimedOutQueued: return "timed-out-queued";
     case JobState::Quarantined: return "quarantined";
+    case JobState::ShedNoDevice: return "shed-no-device";
   }
   return "?";
 }
@@ -203,64 +203,6 @@ struct Service::RunState {
     }
   }
 };
-
-namespace {
-
-/// Passive device observer wiring serve control loops to device signals:
-/// HtoD queue wait/service feeds the overload controller, and injected copy
-/// stalls are attributed (via the op's owning app) to the class breaker.
-class ServeSignals final : public gpu::DeviceObserver {
- public:
-  ServeSignals(OverloadController* controller,
-               std::deque<JobRecord>* jobs,
-               std::vector<std::unique_ptr<fault::CircuitBreaker>>* breakers)
-      : controller_(controller), jobs_(jobs), breakers_(breakers) {}
-
-  void on_copy_enqueued(TimeNs now, gpu::CopyDirection dir, gpu::OpId op,
-                        gpu::StreamId /*stream*/, std::int32_t /*app*/,
-                        Bytes /*bytes*/) override {
-    if (dir == gpu::CopyDirection::HtoD) enqueued_[op] = now;
-  }
-
-  void on_copy_served(TimeNs now, gpu::CopyDirection dir, gpu::OpId op,
-                      std::int32_t app, TimeNs begin, TimeNs end,
-                      Bytes /*bytes*/) override {
-    if (dir == gpu::CopyDirection::HtoD) {
-      const auto it = enqueued_.find(op);
-      if (it != enqueued_.end()) {
-        const DurationNs wait = begin - it->second;
-        const DurationNs service = end - begin;
-        enqueued_.erase(it);
-        if (controller_ != nullptr) {
-          controller_->observe_htod(now, wait, service);
-        }
-      }
-    }
-    const auto stalled = stalled_.find(op);
-    if (stalled != stalled_.end()) {
-      stalled_.erase(stalled);
-      if (app >= 0 && breakers_ != nullptr && !breakers_->empty() &&
-          static_cast<std::size_t>(app) < jobs_->size()) {
-        const std::size_t klass = (*jobs_)[static_cast<std::size_t>(app)].klass;
-        (*breakers_)[klass]->record_failure(now);
-      }
-    }
-  }
-
-  void on_fault_injected(TimeNs /*now*/, gpu::ObservedFault kind,
-                         std::uint64_t key, DurationNs /*penalty*/) override {
-    if (kind == gpu::ObservedFault::CopyStall) stalled_.insert(key);
-  }
-
- private:
-  OverloadController* controller_;
-  std::deque<JobRecord>* jobs_;
-  std::vector<std::unique_ptr<fault::CircuitBreaker>>* breakers_;
-  std::map<gpu::OpId, TimeNs> enqueued_;
-  std::set<std::uint64_t> stalled_;
-};
-
-}  // namespace
 
 sim::Task Service::job_lifecycle(RunState* st, int index) {
   JobRecord& job = (*st->jobs)[static_cast<std::size_t>(index)];
@@ -553,10 +495,13 @@ ServeResult Service::run() {
         ++acc.quarantined;
         ++c.quarantined;
         break;
+      case JobState::ShedNoDevice:
       case JobState::Queued:
       case JobState::Inflight:
+        // ShedNoDevice is a fleet-level terminal state (src/fleet); the
+        // single-device service never produces it.
         HQ_CHECK_MSG(false, "job " << job.job_id
-                                   << " ended the run in transient state "
+                                   << " ended the run in unexpected state "
                                    << job_state_name(job.state));
     }
     const bool dispatched = job.state == JobState::CompletedOk ||

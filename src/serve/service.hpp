@@ -122,6 +122,10 @@ enum class JobState : std::uint8_t {
   ShedBreaker,     ///< rejected because the class breaker was open
   TimedOutQueued,  ///< expired in the queue before dispatch
   Quarantined,     ///< dispatched but failed (launch abort / allocation)
+  /// Fleet only (src/fleet): every device's health breaker rejected the
+  /// arrival, so no placement was possible. Never produced by the
+  /// single-device Service.
+  ShedNoDevice,
 };
 
 const char* job_state_name(JobState state);

@@ -1,0 +1,245 @@
+// Tests for the fleet sweep layer: grid expansion order, grid-key
+// sensitivity to every result-affecting config field, journal round-trip
+// and torn-line tolerance, resume correctness (refuses foreign grids,
+// replays finished points, equals a fresh run), and byte-identical
+// combined digests across --jobs counts.
+#include "fleet/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tests/hyperq/synthetic_app.hpp"
+
+namespace hq::fleet {
+namespace {
+
+using fw::testing::SyntheticApp;
+
+serve::ServiceConfig small_base() {
+  serve::ServiceConfig config;
+  config.window = 4 * kMillisecond;
+  config.mean_interarrival = 100 * kMicrosecond;
+  config.num_streams = 2;
+  config.max_inflight = 2;
+  SyntheticApp::Spec spec;
+  spec.num_kernels = 2;
+  spec.block_duration = 30 * kMicrosecond;
+  config.classes.push_back(
+      {fw::WorkloadItem{"synthetic",
+                        [spec] { return std::make_unique<SyntheticApp>(spec); }},
+       0});
+  config.collect_metrics = false;
+  return config;
+}
+
+FleetSweepGrid small_grid() {
+  FleetSweepGrid grid;
+  grid.base.base = small_base();
+  grid.fleet_sizes = {1, 2};
+  grid.placements = {PlacementPolicy::RoundRobin,
+                     PlacementPolicy::LeastLoaded};
+  return grid;
+}
+
+std::uint64_t key_of(const FleetSweepGrid& grid) {
+  const auto points = expand_fleet_sweep(grid);
+  return fleet_sweep_grid_key(grid, points);
+}
+
+/// RAII scratch file path for journal tests.
+struct ScratchFile {
+  std::string path;
+  explicit ScratchFile(const std::string& name)
+      : path(::testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~ScratchFile() { std::remove(path.c_str()); }
+};
+
+TEST(FleetSweepTest, ExpandsRowMajorSizesOutermost) {
+  const auto points = expand_fleet_sweep(small_grid());
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].label(), "n=1 placement=round-robin");
+  EXPECT_EQ(points[1].label(), "n=1 placement=least-loaded");
+  EXPECT_EQ(points[2].label(), "n=2 placement=round-robin");
+  EXPECT_EQ(points[3].label(), "n=2 placement=least-loaded");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+  }
+}
+
+TEST(FleetSweepTest, ApplyPointResizesCyclicallyFromResolvedSpecs) {
+  FleetSweepGrid grid = small_grid();
+  grid.base.devices = {gpu::DeviceSpec::tesla_k20(),
+                       gpu::DeviceSpec::single_copy_engine()};
+  grid.fleet_sizes = {3};
+  grid.placements = {PlacementPolicy::CopyAware};
+  const auto points = expand_fleet_sweep(grid);
+  const FleetConfig config = apply_fleet_point(grid, points[0]);
+  ASSERT_EQ(config.devices.size(), 3u);
+  EXPECT_EQ(config.devices[0].name, gpu::DeviceSpec::tesla_k20().name);
+  EXPECT_EQ(config.devices[1].name,
+            gpu::DeviceSpec::single_copy_engine().name);
+  EXPECT_EQ(config.devices[2].name, gpu::DeviceSpec::tesla_k20().name);
+  EXPECT_EQ(config.placement, PlacementPolicy::CopyAware);
+}
+
+TEST(FleetSweepTest, GridKeyFingerprintsEveryResultAffectingField) {
+  const FleetSweepGrid base = small_grid();
+  const std::uint64_t base_key = key_of(base);
+
+  std::vector<FleetSweepGrid> variants;
+  const auto variant = [&]() -> FleetSweepGrid& {
+    variants.push_back(base);
+    return variants.back();
+  };
+  variant().fleet_sizes = {1, 4};
+  variant().placements = {PlacementPolicy::RoundRobin};
+  variant().base.devices = {gpu::DeviceSpec::single_copy_engine()};
+  variant().base.copy_penalty = 0.5;
+  variant().base.work_stealing = true;
+  variant().base.device_breaker_enabled = true;
+  variant().base.device_breaker.failure_threshold = 9;
+  variant().base.device_breaker.cooldown = kMillisecond;
+  variant().base.base.seed = 999;
+  variant().base.base.window = 5 * kMillisecond;
+  variant().base.base.mean_interarrival = 10 * kMicrosecond;
+  variant().base.base.num_streams = 7;
+  variant().base.base.max_inflight = 9;
+  variant().base.base.memory_sync = !base.base.base.memory_sync;
+  variant().base.base.queue_cap = 3;
+  variant().base.base.deadline = kMillisecond;
+  variant().base.base.expire_queued = !base.base.base.expire_queued;
+  variant().base.base.classes.push_back(base.base.base.classes[0]);
+  variant().base.base.classes[0].priority = 5;
+  variant().base.base.controller.enabled = true;
+  variant().base.base.breaker_enabled = !base.base.base.breaker_enabled;
+  variant().base.base.fault_plan.enabled = true;
+  variant().base.base.retry.max_attempts = 7;
+  variant().base.base.arrivals.push_back({kMillisecond, 0});
+
+  std::set<std::uint64_t> keys = {base_key};
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const std::uint64_t key = key_of(variants[i]);
+    EXPECT_NE(key, base_key) << "variant " << i << " did not move the key";
+    EXPECT_TRUE(keys.insert(key).second)
+        << "variant " << i << " collided with an earlier key";
+  }
+}
+
+TEST(FleetSweepTest, JournalOutcomeLineRoundTrips) {
+  const FleetSweepGrid grid = small_grid();
+  const auto points = expand_fleet_sweep(grid);
+  const FleetSweepOutcome out = run_fleet_point(grid, points[2]);
+  const std::string line = fleet_journal_outcome_line(out);
+  const auto parsed = parse_fleet_journal_outcome(line, points);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->point.index, out.point.index);
+  EXPECT_EQ(parsed->point.fleet_size, out.point.fleet_size);
+  EXPECT_EQ(parsed->point.placement, out.point.placement);
+  EXPECT_EQ(parsed->arrived, out.arrived);
+  EXPECT_EQ(parsed->completed_ok, out.completed_ok);
+  EXPECT_EQ(parsed->completed, out.completed);
+  EXPECT_EQ(parsed->shed, out.shed);
+  EXPECT_EQ(parsed->requeued, out.requeued);
+  EXPECT_EQ(parsed->stolen, out.stolen);
+  EXPECT_EQ(parsed->goodput_per_sec, out.goodput_per_sec);
+  EXPECT_EQ(parsed->total_time, out.total_time);
+  EXPECT_EQ(parsed->report_digest, out.report_digest);
+}
+
+TEST(FleetSweepTest, LoadJournalSkipsTornAndForeignLines) {
+  const FleetSweepGrid grid = small_grid();
+  const auto points = expand_fleet_sweep(grid);
+  const std::uint64_t key = fleet_sweep_grid_key(grid, points);
+  const FleetSweepOutcome out = run_fleet_point(grid, points[1]);
+
+  std::stringstream journal;
+  journal << fleet_journal_header_line(key, points.size()) << "\n";
+  journal << "garbage line\n";
+  const std::string good = fleet_journal_outcome_line(out);
+  journal << good.substr(0, good.size() / 2) << "\n";  // torn mid-write
+  journal << "point index=99 arrived=1 end\n";         // out-of-range point
+  journal << good << "\n";
+
+  std::vector<std::optional<FleetSweepOutcome>> cached(points.size());
+  bool header_read = false;
+  const std::size_t loaded =
+      load_fleet_journal(journal, key, points, &cached, &header_read);
+  EXPECT_TRUE(header_read);
+  EXPECT_EQ(loaded, 1u);
+  ASSERT_TRUE(cached[1].has_value());
+  EXPECT_EQ(cached[1]->report_digest, out.report_digest);
+  EXPECT_FALSE(cached[0].has_value());
+}
+
+TEST(FleetSweepTest, LoadJournalRejectsForeignGridKey) {
+  const FleetSweepGrid grid = small_grid();
+  const auto points = expand_fleet_sweep(grid);
+  const std::uint64_t key = fleet_sweep_grid_key(grid, points);
+  std::stringstream journal;
+  journal << fleet_journal_header_line(key ^ 1, points.size()) << "\n";
+  std::vector<std::optional<FleetSweepOutcome>> cached(points.size());
+  EXPECT_THROW(load_fleet_journal(journal, key, points, &cached), hq::Error);
+}
+
+TEST(FleetSweepTest, ResumeEqualsFreshRunAndRefusesForeignGrid) {
+  const FleetSweepGrid grid = small_grid();
+  const auto fresh = run_fleet_sweep(grid, {});
+
+  // Journal a full run, then resume from it: every point replays from the
+  // journal and the outcomes match the fresh run exactly.
+  ScratchFile scratch("fleet_sweep_journal_test.log");
+  FleetSweepOptions journaled;
+  journaled.journal_path = scratch.path;
+  const auto first = run_fleet_sweep(grid, journaled);
+  FleetSweepOptions resumed = journaled;
+  resumed.resume = true;
+  const auto second = run_fleet_sweep(grid, resumed);
+  ASSERT_EQ(first.size(), fresh.size());
+  ASSERT_EQ(second.size(), fresh.size());
+  EXPECT_EQ(fleet_combined_digest(first), fleet_combined_digest(fresh));
+  EXPECT_EQ(fleet_combined_digest(second), fleet_combined_digest(fresh));
+
+  // A different grid must refuse to resume from this journal.
+  FleetSweepGrid other = grid;
+  other.base.base.seed = 4242;
+  EXPECT_THROW(run_fleet_sweep(other, resumed), hq::Error);
+}
+
+TEST(FleetSweepTest, CombinedDigestIsByteIdenticalAcrossJobCounts) {
+  const FleetSweepGrid grid = small_grid();
+  const auto serial = run_fleet_sweep(grid, {});
+  for (const int jobs : {2, 8}) {
+    FleetSweepOptions options;
+    options.jobs = jobs;
+    const auto threaded = run_fleet_sweep(grid, options);
+    ASSERT_EQ(threaded.size(), serial.size());
+    EXPECT_EQ(fleet_combined_digest(threaded),
+              fleet_combined_digest(serial))
+        << "jobs=" << jobs;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(threaded[i].report_digest, serial[i].report_digest) << i;
+    }
+  }
+}
+
+TEST(FleetSweepTest, RenderedReportListsEveryPointAndCombinedDigest) {
+  const FleetSweepGrid grid = small_grid();
+  const auto outcomes = run_fleet_sweep(grid, {});
+  const std::string report = render_fleet_sweep_report(outcomes);
+  EXPECT_NE(report.find("round-robin"), std::string::npos);
+  EXPECT_NE(report.find("least-loaded"), std::string::npos);
+  EXPECT_NE(report.find("combined digest: 0x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hq::fleet

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/check.hpp"
 #include "hyperq/harness.hpp"
 #include "hyperq/kernel.hpp"
 
@@ -27,8 +28,11 @@ class SyntheticApp final : public Kernel {
   explicit SyntheticApp(Spec spec) : spec_(std::move(spec)) {}
 
   void allocateHostMemory(Context& ctx) override {
-    host_in_ = ctx.runtime->malloc_host(spec_.htod_bytes).value();
-    host_out_ = ctx.runtime->malloc_host(spec_.dtoh_bytes).value();
+    // Same bounded-retry idiom as RodiniaApp: pinned allocation can fail
+    // transiently under an alloc-fault plan; only a sticking failure
+    // throws (and quarantines the job in the serving layers).
+    host_in_ = malloc_host_retry(ctx, spec_.htod_bytes);
+    host_out_ = malloc_host_retry(ctx, spec_.dtoh_bytes);
   }
   void allocateDeviceMemory(Context& ctx) override {
     dev_in_ = ctx.runtime->malloc_device(spec_.htod_bytes).value();
@@ -76,13 +80,16 @@ class SyntheticApp final : public Kernel {
     co_await ctx.runtime->stream_synchronize(ctx.stream);
   }
 
+  // Free tracked buffers only: under an alloc-fault plan a .value() above
+  // can throw mid-allocation, and the serving layers still call the free
+  // hooks on the quarantined job.
   void freeHostMemory(Context& ctx) override {
-    ctx.runtime->free_host(host_in_);
-    ctx.runtime->free_host(host_out_);
+    if (!host_in_.null()) ctx.runtime->free_host(host_in_);
+    if (!host_out_.null()) ctx.runtime->free_host(host_out_);
   }
   void freeDeviceMemory(Context& ctx) override {
-    ctx.runtime->free_device(dev_in_);
-    ctx.runtime->free_device(dev_out_);
+    if (!dev_in_.null()) ctx.runtime->free_device(dev_in_);
+    if (!dev_out_.null()) ctx.runtime->free_device(dev_out_);
   }
 
   const std::string& name() const override { return spec_.name; }
@@ -93,6 +100,19 @@ class SyntheticApp final : public Kernel {
   int kernels_run() const { return kernels_run_; }
 
  private:
+  rt::HostPtr malloc_host_retry(Context& ctx, Bytes bytes) {
+    constexpr int kMaxAllocAttempts = 8;
+    auto result = ctx.runtime->malloc_host(bytes);
+    for (int attempt = 1; !result.ok() && attempt < kMaxAllocAttempts;
+         ++attempt) {
+      result = ctx.runtime->malloc_host(bytes);
+    }
+    HQ_CHECK_MSG(result.ok(), spec_.name << ": host allocation of " << bytes
+                                         << " bytes failed after "
+                                         << kMaxAllocAttempts << " attempts");
+    return result.value();
+  }
+
   Spec spec_;
   rt::HostPtr host_in_;
   rt::HostPtr host_out_;

@@ -13,6 +13,8 @@
 //   hqfuzz --seed 1 --iters 50 --fault-rate 0.5   (fault-mode oracles on)
 //   hqfuzz --seed 1 --iters 0 --serve-iters 50    (serving-mode oracles)
 //   hqfuzz --serve-case-seed 99 --verbose         (replay one serve case)
+//   hqfuzz --seed 1 --iters 0 --fleet-iters 50    (fleet-mode oracles)
+//   hqfuzz --fleet-case-seed 99 --verbose         (replay one fleet case)
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +56,13 @@ int main(int argc, char** argv) {
                   "0");
   args.add_option("serve-case-seed",
                   "run exactly one serving-mode case with this seed", "");
+  args.add_option("fleet-iters",
+                  "fleet-mode iterations appended after the serving cases "
+                  "(single-device equivalence, conservation, placement "
+                  "permutation oracles; 0 = off)",
+                  "0");
+  args.add_option("fleet-case-seed",
+                  "run exactly one fleet-mode case with this seed", "");
   args.add_option("fault-rate",
                   "fault-plan intensity in [0,1]; > 0 adds the fault-mode "
                   "oracles (zero-perturbation, faulted determinism, "
@@ -81,6 +90,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: --fault-rate needs a number in [0,1]\n");
       return 2;
     }
+  }
+
+  if (args.provided("fleet-case-seed")) {
+    const auto case_seed = parse_u64(args.get("fleet-case-seed"));
+    if (!case_seed) {
+      std::fprintf(stderr,
+                   "error: --fleet-case-seed needs an unsigned integer\n");
+      return 2;
+    }
+    std::string summary;
+    const auto problems = check::Fuzzer::run_fleet_case(*case_seed, &summary);
+    std::printf("case %s\n", summary.c_str());
+    for (const auto& p : problems) std::printf("  - %s\n", p.c_str());
+    std::printf("%s\n", problems.empty() ? "clean" : "FAILED");
+    return problems.empty() ? 0 : 1;
   }
 
   if (args.provided("serve-case-seed")) {
@@ -116,14 +140,18 @@ int main(int argc, char** argv) {
   const auto seed = parse_u64(args.get("seed"));
   const auto iters = args.get_int("iters");
   const auto serve_iters = args.get_int("serve-iters");
+  const auto fleet_iters = args.get_int("fleet-iters");
   const auto jobs = args.get_int("jobs");
   if (!seed || !iters || *iters < 0 || !serve_iters || *serve_iters < 0 ||
-      !jobs || *jobs < 0) {
-    std::fprintf(stderr, "error: bad --seed/--iters/--serve-iters/--jobs\n");
+      !fleet_iters || *fleet_iters < 0 || !jobs || *jobs < 0) {
+    std::fprintf(stderr,
+                 "error: bad --seed/--iters/--serve-iters/--fleet-iters/"
+                 "--jobs\n");
     return 2;
   }
-  if (*iters == 0 && *serve_iters == 0) {
-    std::fprintf(stderr, "error: need --iters or --serve-iters > 0\n");
+  if (*iters == 0 && *serve_iters == 0 && *fleet_iters == 0) {
+    std::fprintf(stderr,
+                 "error: need --iters, --serve-iters, or --fleet-iters > 0\n");
     return 2;
   }
 
@@ -131,6 +159,7 @@ int main(int argc, char** argv) {
   options.seed = *seed;
   options.iterations = static_cast<int>(*iters);
   options.serve_iterations = static_cast<int>(*serve_iters);
+  options.fleet_iterations = static_cast<int>(*fleet_iters);
   options.jobs = static_cast<int>(*jobs);
   options.fault_rate = fault_rate;
   const bool verbose = args.get_flag("verbose");

@@ -15,11 +15,23 @@
 //   hqserve --mix gaussian --size 64 --sweep-cap 4,8,16,0 --jobs 0
 //   hqserve --mix gaussian --arrivals arrivals.txt   (lines: <time_us> <class>)
 //
+// Fleet mode (--devices / --device-spec-file / --sweep-fleet) shards the
+// service across N simulated devices under one virtual clock, with a
+// pluggable placement policy, optional work stealing, and per-device
+// health breakers (src/fleet):
+//   hqserve --mix gaussian --devices 4 --placement least-loaded
+//   hqserve --mix gaussian --device-spec-file fleet.txt --steal
+//           (lines: 'k20|fermi|single-copy [name=.. smx=N queues=N
+//            copy-engines=N]')
+//   hqserve --mix gaussian --sweep-fleet 1,2,4 --sweep-placement all
+//           --jobs 0 --journal fleet.journal --resume
+//
 // Exit codes: 0 success, 2 usage error, 3 run error (hq::Error).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,6 +40,8 @@
 #include "common/table.hpp"
 #include "exec/parallel.hpp"
 #include "fault/fault.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/sweep.hpp"
 #include "obs/report.hpp"
 #include "rodinia/registry.hpp"
 #include "serve/report.hpp"
@@ -101,6 +115,88 @@ bool read_arrivals(const std::string& path,
   return true;
 }
 
+/// Reads a device-spec file: one device per line as a preset name (k20,
+/// fermi, single-copy) followed by optional 'key=value' overrides (name=,
+/// smx=, queues=, copy-engines=). Blank lines and '#' comments are skipped.
+bool read_device_specs(const std::string& path,
+                       std::vector<hq::gpu::DeviceSpec>& out,
+                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open device-spec file '" + path + "'";
+    return false;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string preset;
+    ls >> preset;
+    hq::gpu::DeviceSpec spec;
+    if (preset == "k20") {
+      spec = hq::gpu::DeviceSpec::tesla_k20();
+    } else if (preset == "fermi") {
+      spec = hq::gpu::DeviceSpec::fermi_single_queue();
+    } else if (preset == "single-copy") {
+      spec = hq::gpu::DeviceSpec::single_copy_engine();
+    } else {
+      *error = "unknown device preset '" + preset + "' at " + path + ":" +
+               std::to_string(line_no) + " (want k20, fermi, or single-copy)";
+      return false;
+    }
+    std::string token;
+    while (ls >> token) {
+      const std::size_t eq = token.find('=');
+      const std::string key =
+          eq == std::string::npos ? token : token.substr(0, eq);
+      const std::string value =
+          eq == std::string::npos ? "" : token.substr(eq + 1);
+      const auto as_int = [&]() -> std::optional<int> {
+        errno = 0;
+        char* end = nullptr;
+        const long v = std::strtol(value.c_str(), &end, 10);
+        if (value.empty() || errno != 0 || end == nullptr || *end != '\0' ||
+            v < 1) {
+          return std::nullopt;
+        }
+        return static_cast<int>(v);
+      };
+      bool ok = true;
+      if (key == "name") {
+        ok = !value.empty();
+        if (ok) spec.name = value;
+      } else if (key == "smx") {
+        const auto v = as_int();
+        ok = v.has_value();
+        if (ok) spec.num_smx = *v;
+      } else if (key == "queues") {
+        const auto v = as_int();
+        ok = v.has_value();
+        if (ok) spec.num_work_queues = *v;
+      } else if (key == "copy-engines") {
+        const auto v = as_int();
+        ok = v.has_value();
+        if (ok) spec.num_copy_engines = *v;
+      } else {
+        ok = false;
+      }
+      if (!ok) {
+        *error = "bad device override '" + token + "' at " + path + ":" +
+                 std::to_string(line_no);
+        return false;
+      }
+    }
+    out.push_back(std::move(spec));
+  }
+  if (out.empty()) {
+    *error = "device-spec file '" + path + "' declares no devices";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,9 +248,49 @@ int main(int argc, char** argv) {
                   "(0 = unbounded) instead of a single run",
                   "");
   args.add_option("jobs",
-                  "worker threads for --sweep-cap (0 = all hardware "
-                  "threads); output is identical at any job count",
+                  "worker threads for --sweep-cap / --sweep-fleet (0 = all "
+                  "hardware threads); output is identical at any job count",
                   "1");
+  args.add_option("devices",
+                  "fleet mode: shard the service across this many devices "
+                  "(0 = single-device mode)",
+                  "0");
+  args.add_option("device-spec-file",
+                  "fleet mode with per-device specs from this file (lines: "
+                  "'k20|fermi|single-copy [name=.. smx=N queues=N "
+                  "copy-engines=N]')",
+                  "");
+  args.add_option("placement",
+                  "fleet placement policy: round-robin|least-loaded|"
+                  "copy-aware|class-affinity",
+                  "round-robin");
+  args.add_option("copy-penalty",
+                  "copy-queue-depth weight of the copy-aware policy", "2");
+  args.add_flag("steal",
+                "fleet mode: idle devices steal the newest queued job from "
+                "the deepest peer queue");
+  args.add_flag("device-breaker",
+                "fleet mode: per-device health breakers (tripped devices "
+                "are quarantined and their queues rebalanced)");
+  args.add_option("device-breaker-threshold",
+                  "consecutive job failures that trip a device breaker", "3");
+  args.add_option("device-breaker-cooldown-us",
+                  "device-breaker open-state cooldown before the half-open "
+                  "probe (us)",
+                  "20000");
+  args.add_option("sweep-fleet",
+                  "run a fleet-size x placement sweep over this "
+                  "comma-separated list of fleet sizes",
+                  "");
+  args.add_option("sweep-placement",
+                  "placement policies for --sweep-fleet: 'all' or a "
+                  "comma-separated subset",
+                  "all");
+  args.add_option("journal",
+                  "crash-safe journal for --sweep-fleet (pair with --resume)",
+                  "");
+  args.add_flag("resume",
+                "replay finished --sweep-fleet points from --journal");
   args.add_flag("help", "show this help");
 
   if (!args.parse(argc, argv) || args.get_flag("help")) {
@@ -176,14 +312,34 @@ int main(int argc, char** argv) {
   const auto breaker_threshold = args.get_int("breaker-threshold");
   const auto breaker_cooldown_us = args.get_int("breaker-cooldown-us");
   const auto jobs = args.get_int("jobs");
+  const auto devices = args.get_int("devices");
+  const auto device_breaker_threshold =
+      args.get_int("device-breaker-threshold");
+  const auto device_breaker_cooldown_us =
+      args.get_int("device-breaker-cooldown-us");
   if (!size || *size < 0 || !window_ms || *window_ms < 1 || !gap_us ||
       *gap_us < 1 || !streams || *streams < 1 || !seed || *seed < 0 ||
       !queue_cap || *queue_cap < 0 || !max_inflight || *max_inflight < 0 ||
       !deadline_us || *deadline_us < 0 || !breaker_threshold ||
       *breaker_threshold < 1 || !breaker_cooldown_us ||
-      *breaker_cooldown_us < 1 || !jobs || *jobs < 0) {
+      *breaker_cooldown_us < 1 || !jobs || *jobs < 0 || !devices ||
+      *devices < 0 || !device_breaker_threshold ||
+      *device_breaker_threshold < 1 || !device_breaker_cooldown_us ||
+      *device_breaker_cooldown_us < 1) {
     std::fprintf(stderr, "error: bad numeric option\n");
     return 2;
+  }
+
+  double copy_penalty = 2.0;
+  {
+    errno = 0;
+    char* end = nullptr;
+    const std::string text = args.get("copy-penalty");
+    copy_penalty = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0' || copy_penalty < 0.0) {
+      std::fprintf(stderr, "error: --copy-penalty needs a number >= 0\n");
+      return 2;
+    }
   }
 
   const std::string report_format = args.get("report");
@@ -248,7 +404,129 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool fleet_mode = *devices > 0 ||
+                          !args.get("device-spec-file").empty() ||
+                          !args.get("sweep-fleet").empty();
+
   try {
+    if (fleet_mode) {
+      fleet::FleetConfig fleet_config;
+      config.collect_metrics = false;  // the fleet keeps no metrics registries
+      fleet_config.base = config;
+      if (!args.get("device-spec-file").empty()) {
+        if (!read_device_specs(args.get("device-spec-file"),
+                               fleet_config.devices, &error)) {
+          std::fprintf(stderr, "error: %s\n", error.c_str());
+          return 2;
+        }
+        if (*devices > 0 &&
+            static_cast<std::size_t>(*devices) != fleet_config.devices.size()) {
+          std::fprintf(stderr,
+                       "error: --devices %d disagrees with the %zu devices in "
+                       "--device-spec-file\n",
+                       static_cast<int>(*devices), fleet_config.devices.size());
+          return 2;
+        }
+      } else if (*devices > 0) {
+        fleet_config.resize_homogeneous(static_cast<std::size_t>(*devices));
+      }
+      const auto placement =
+          fleet::parse_placement_policy(args.get("placement"));
+      if (!placement) {
+        std::fprintf(stderr,
+                     "error: --placement must be round-robin, least-loaded, "
+                     "copy-aware, or class-affinity\n");
+        return 2;
+      }
+      fleet_config.placement = *placement;
+      fleet_config.copy_penalty = copy_penalty;
+      fleet_config.work_stealing = args.get_flag("steal");
+      fleet_config.device_breaker_enabled = args.get_flag("device-breaker");
+      fleet_config.device_breaker.failure_threshold =
+          static_cast<int>(*device_breaker_threshold);
+      fleet_config.device_breaker.cooldown =
+          static_cast<DurationNs>(*device_breaker_cooldown_us) * kMicrosecond;
+
+      // --- fleet-size x placement sweep ------------------------------------
+      if (!args.get("sweep-fleet").empty()) {
+        fleet::FleetSweepGrid grid;
+        grid.base = fleet_config;
+        grid.fleet_sizes.clear();
+        for (const std::string& n : split_csv(args.get("sweep-fleet"))) {
+          errno = 0;
+          char* end = nullptr;
+          const unsigned long long value = std::strtoull(n.c_str(), &end, 10);
+          if (errno != 0 || end == nullptr || *end != '\0' || value < 1) {
+            std::fprintf(stderr, "error: bad --sweep-fleet entry '%s'\n",
+                         n.c_str());
+            return 2;
+          }
+          grid.fleet_sizes.push_back(static_cast<std::size_t>(value));
+        }
+        grid.placements.clear();
+        if (args.get("sweep-placement") == "all") {
+          const auto& all = fleet::all_placement_policies();
+          grid.placements.assign(all.begin(), all.end());
+        } else {
+          for (const std::string& p : split_csv(args.get("sweep-placement"))) {
+            const auto parsed = fleet::parse_placement_policy(p);
+            if (!parsed) {
+              std::fprintf(stderr, "error: bad --sweep-placement entry '%s'\n",
+                           p.c_str());
+              return 2;
+            }
+            grid.placements.push_back(*parsed);
+          }
+        }
+        fleet::FleetSweepOptions options;
+        options.jobs = static_cast<int>(*jobs);
+        options.journal_path = args.get("journal");
+        options.resume = args.get_flag("resume");
+        const auto outcomes = fleet::run_fleet_sweep(grid, options);
+        if (report_format == "json") {
+          std::cout << "{\n  \"points\": [";
+          for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const fleet::FleetSweepOutcome& o = outcomes[i];
+            std::cout << (i == 0 ? "\n" : ",\n");
+            std::cout << "    {\"index\": " << o.point.index
+                      << ", \"fleet_size\": " << o.point.fleet_size
+                      << ", \"placement\": \""
+                      << fleet::placement_policy_name(o.point.placement)
+                      << "\", \"arrived\": " << o.arrived
+                      << ", \"completed_ok\": " << o.completed_ok
+                      << ", \"completed\": " << o.completed
+                      << ", \"shed\": " << o.shed
+                      << ", \"requeued\": " << o.requeued
+                      << ", \"stolen\": " << o.stolen
+                      << ", \"goodput_per_sec\": "
+                      << obs::format_double(o.goodput_per_sec)
+                      << ", \"deadline_miss_ratio\": "
+                      << obs::format_double(o.deadline_miss_ratio)
+                      << ", \"energy_j\": " << obs::format_double(o.energy)
+                      << ", \"report_digest\": \"0x" << std::hex
+                      << o.report_digest << std::dec << "\"}";
+          }
+          std::cout << (outcomes.empty() ? "],\n" : "\n  ],\n");
+          std::cout << "  \"combined_digest\": \"0x" << std::hex
+                    << fleet::fleet_combined_digest(outcomes) << std::dec
+                    << "\"\n}\n";
+        } else {
+          std::cout << fleet::render_fleet_sweep_report(outcomes);
+        }
+        return 0;
+      }
+
+      // --- single fleet run --------------------------------------------------
+      const fleet::FleetResult result =
+          fleet::FleetService(fleet_config).run();
+      if (report_format == "json") {
+        fleet::write_fleet_report_json(std::cout, result.report);
+      } else {
+        fleet::render_fleet_report_text(std::cout, result.report);
+      }
+      return 0;
+    }
+
     // --- queue-cap sweep ----------------------------------------------------
     if (!args.get("sweep-cap").empty()) {
       std::vector<std::size_t> caps;
