@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "exec/parallel.hpp"
+#include "fleet/telemetry.hpp"
 #include "serve/report.hpp"
 #include "serve/streaming.hpp"
 #include "trace/trace.hpp"
@@ -277,6 +278,45 @@ std::vector<std::string> Fuzzer::run_fleet_case(std::uint64_t case_seed,
     fail(os);
   }
   check_conservation(fleet1->report, "fleet-base");
+
+  // --- observability zero-perturbation ---------------------------------------
+  // Attaching the fleet observability plane (per-device telemetry, the job
+  // lifecycle tracer, fleet-scope metrics) must leave the report bytes
+  // identical, and every export must itself be deterministic across runs.
+  fleet::FleetConfig observed_cfg = c.config;
+  observed_cfg.base.collect_metrics = true;
+  const auto observed1 = run_with(observed_cfg, "fleet-observed1");
+  const auto observed2 = run_with(observed_cfg, "fleet-observed2");
+  if (observed1 && observed2) {
+    if (fleet::fleet_report_json(observed1->report) !=
+        fleet::fleet_report_json(fleet1->report)) {
+      std::ostringstream os;
+      os << "fleet observability perturbation: report changed with "
+         << "observers attached (digests "
+         << fleet::fleet_report_digest(observed1->report) << " vs "
+         << fleet::fleet_report_digest(fleet1->report) << ")";
+      fail(os);
+    }
+    try {
+      if (fleet::fleet_metrics_json(*observed1) !=
+              fleet::fleet_metrics_json(*observed2) ||
+          fleet::fleet_prometheus_text(*observed1) !=
+              fleet::fleet_prometheus_text(*observed2) ||
+          fleet::fleet_chrome_trace_json(*observed1) !=
+              fleet::fleet_chrome_trace_json(*observed2) ||
+          fleet::fleet_snapshots_jsonl(*observed1, 500 * kMicrosecond) !=
+              fleet::fleet_snapshots_jsonl(*observed2, 500 * kMicrosecond)) {
+        std::ostringstream os;
+        os << "fleet observability determinism: exports differ across "
+           << "identical observed runs";
+        fail(os);
+      }
+    } catch (const hq::Error& e) {
+      std::ostringstream os;
+      os << "fleet observability export failed: " << e.what();
+      fail(os);
+    }
+  }
 
   // --- single-device equivalence ---------------------------------------------
   // A 1-device fleet with every fleet-only feature off must emit a device-0

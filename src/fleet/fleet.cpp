@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <sstream>
+#include <utility>
 
 #include "check/invariants.hpp"
 #include "common/check.hpp"
@@ -110,6 +111,17 @@ struct FleetService::Shard {
   std::unique_ptr<fault::CircuitBreaker> device_breaker;
   gpu::ObserverFanout fanout;
 
+  // --- observability plane (all null unless base.collect_metrics) ----------
+  /// Per-device telemetry observer; owns this device's MetricsRegistry.
+  std::shared_ptr<obs::TelemetryObserver> telemetry;
+  obs::Histogram* queue_wait_hist = nullptr;
+  obs::Series* queue_depth_series = nullptr;
+  obs::Series* inflight_series = nullptr;
+  obs::Series* completed_series = nullptr;
+  /// 0 = closed, 1 = open, 2 = half-open; only when the breaker exists.
+  obs::Series* breaker_state_series = nullptr;
+  std::uint64_t completed_jobs = 0;
+
   std::size_t inflight = 0;
   std::size_t peak_inflight = 0;
   std::uint64_t pseudo_burst_jobs = 0;
@@ -174,6 +186,11 @@ struct FleetService::RunState {
   TimeNs window_closed_at = 0;
   std::uint64_t shed_no_device = 0;
 
+  /// Per-job lifecycle tracer; null unless base.collect_metrics. Recording
+  /// is passive (never touches the simulator), so the schedule is
+  /// bit-identical with or without it.
+  serve::JobLifecycleTracer* lifecycle = nullptr;
+
   /// Reused placement-snapshot buffer (no steady-state allocation).
   std::vector<DeviceLoad> load_buf;
 
@@ -182,12 +199,47 @@ struct FleetService::RunState {
            s.inflight < config->base.max_inflight;
   }
 
+  void trace_job(int job_id, serve::JobEventKind kind, int device = -1,
+                 int from_device = -1) {
+    if (lifecycle != nullptr) {
+      lifecycle->record(job_id, sim->now(), kind, device, from_device);
+    }
+  }
+
+  /// Samples this shard's queue-depth/inflight series (mirrors
+  /// serve::Service::sample_depths; no-ops when metrics are off).
+  void sample_depths(Shard& s) {
+    if (s.queue_depth_series != nullptr) {
+      s.queue_depth_series->sample(sim->now(),
+                                   static_cast<double>(s.queue.size()));
+    }
+    if (s.inflight_series != nullptr) {
+      s.inflight_series->sample(sim->now(),
+                                static_cast<double>(s.inflight));
+    }
+  }
+
+  void sample_breaker(Shard& s) {
+    if (s.breaker_state_series == nullptr || s.device_breaker == nullptr) {
+      return;
+    }
+    double value = 0;
+    switch (s.device_breaker->state()) {
+      case fault::CircuitBreaker::State::Closed: value = 0; break;
+      case fault::CircuitBreaker::State::Open: value = 1; break;
+      case fault::CircuitBreaker::State::HalfOpen: value = 2; break;
+    }
+    s.breaker_state_series->sample(sim->now(), value);
+  }
+
   /// Consumes one device health-breaker admission (half-open probes are
   /// real dispatches). Only called immediately before a dispatch so an
   /// admitted probe always resolves.
   bool gate(Shard& s) {
-    return s.device_breaker == nullptr ||
-           s.device_breaker->allow(sim->now());
+    if (s.device_breaker == nullptr) return true;
+    const bool admitted = s.device_breaker->allow(sim->now());
+    sample_breaker(s);  // allow() can move Open -> HalfOpen
+    return admitted;
   }
 
   std::span<const DeviceLoad> snapshot_loads() {
@@ -222,9 +274,16 @@ struct FleetService::RunState {
 
     job.state = serve::JobState::Inflight;
     job.dispatched_at = sim->now();
+    if (s.queue_wait_hist != nullptr) {
+      s.queue_wait_hist->record(
+          static_cast<double>(job.dispatched_at - job.arrived_at));
+    }
+    trace_job(job_id, serve::JobEventKind::Dispatched,
+              static_cast<int>(s.index));
     ++s.inflight;
     s.peak_inflight = std::max(s.peak_inflight, s.inflight);
     sim->spawn(FleetService::job_lifecycle(this, s.index, job_id));
+    sample_depths(s);
   }
 
   void pump(Shard& s) {
@@ -235,6 +294,8 @@ struct FleetService::RunState {
       if (config->base.expire_queued && job.deadline_at != 0 &&
           sim->now() > job.deadline_at) {
         job.state = serve::JobState::TimedOutQueued;
+        trace_job(next.job_id, serve::JobEventKind::TimedOutQueued,
+                  static_cast<int>(s.index));
         continue;
       }
       if (!gate(s)) {
@@ -245,6 +306,7 @@ struct FleetService::RunState {
       }
       dispatch(s, next.job_id);
     }
+    sample_depths(s);
   }
 
   void try_steal(Shard& thief) {
@@ -265,6 +327,9 @@ struct FleetService::RunState {
           sim->now() > rec.deadline_at) {
         // Expired where it sat; the victim still owns (and accounts) it.
         rec.state = serve::JobState::TimedOutQueued;
+        trace_job(job.job_id, serve::JobEventKind::TimedOutQueued,
+                  static_cast<int>(victim->index));
+        sample_depths(*victim);
         continue;
       }
       if (!gate(thief)) {
@@ -275,7 +340,11 @@ struct FleetService::RunState {
       ++thief.stolen_in;
       (*owners)[static_cast<std::size_t>(job.job_id)] =
           static_cast<int>(thief.index);
+      trace_job(job.job_id, serve::JobEventKind::Stolen,
+                static_cast<int>(thief.index),
+                static_cast<int>(victim->index));
       dispatch(thief, job.job_id);
+      sample_depths(*victim);
     }
   }
 
@@ -300,15 +369,21 @@ struct FleetService::RunState {
       ++t.requeued_in;
       (*owners)[static_cast<std::size_t>(q.job_id)] =
           static_cast<int>(t.index);
+      trace_job(q.job_id, serve::JobEventKind::Requeued,
+                static_cast<int>(t.index), static_cast<int>(s.index));
       const auto victim = t.queue.offer(q, now, t.inflight);
       if (victim.has_value()) {
         (*jobs)[static_cast<std::size_t>(victim->job_id)].state =
             serve::JobState::ShedQueueFull;
+        trace_job(victim->job_id, serve::JobEventKind::ShedQueueFull,
+                  static_cast<int>(t.index));
       }
+      sample_depths(t);
     }
     for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
       s.queue.restore_front(*it);
     }
+    sample_depths(s);
     for (Shard& t : *shards) {
       if (t.index != s.index) pump(t);
     }
@@ -323,6 +398,7 @@ struct FleetService::RunState {
     } else {
       s.device_breaker->record_success(sim->now());
     }
+    sample_breaker(s);
     if (s.device_breaker->trips() > s.seen_trips) {
       s.seen_trips = s.device_breaker->trips();
       rebalance_from(s);
@@ -342,16 +418,19 @@ struct FleetService::RunState {
     slots->emplace_back();
     owners->push_back(-1);
     serve::JobRecord& job = jobs->back();
+    trace_job(job_id, serve::JobEventKind::Arrived);
 
     const auto target = placer->place(snapshot_loads(), klass);
     if (!target.has_value()) {
       job.state = serve::JobState::ShedNoDevice;
       ++shed_no_device;
+      trace_job(job_id, serve::JobEventKind::ShedNoDevice);
       return;
     }
     Shard& s = (*shards)[*target];
     ++s.placed;
     (*owners)[static_cast<std::size_t>(job_id)] = static_cast<int>(s.index);
+    trace_job(job_id, serve::JobEventKind::Placed, static_cast<int>(s.index));
 
     // From here the flow mirrors serve::Service::on_arrival exactly (the
     // 1-device equivalence contract), with the device health gate added
@@ -359,6 +438,8 @@ struct FleetService::RunState {
     fault::CircuitBreaker* breaker = s.breaker_for(klass);
     if (breaker != nullptr && !breaker->allow(now)) {
       job.state = serve::JobState::ShedBreaker;
+      trace_job(job_id, serve::JobEventKind::ShedBreaker,
+                static_cast<int>(s.index));
       return;
     }
 
@@ -376,7 +457,15 @@ struct FleetService::RunState {
     if (victim.has_value()) {
       (*jobs)[static_cast<std::size_t>(victim->job_id)].state =
           serve::JobState::ShedQueueFull;
+      trace_job(victim->job_id, serve::JobEventKind::ShedQueueFull,
+                static_cast<int>(s.index));
     }
+    if ((*jobs)[static_cast<std::size_t>(job_id)].state ==
+        serve::JobState::Queued) {
+      trace_job(job_id, serve::JobEventKind::Queued,
+                static_cast<int>(s.index));
+    }
+    sample_depths(s);
     pump(s);
     // A job queued behind a busy device is immediately available to idle
     // peers; without this, a never-loaded device would only ever look for
@@ -502,7 +591,33 @@ sim::Task FleetService::job_lifecycle(RunState* st, std::size_t shard_index,
   }
   st->feed_device_breaker(s, job.state == serve::JobState::Quarantined);
 
+  switch (job.state) {
+    case serve::JobState::CompletedOk:
+      st->trace_job(index, serve::JobEventKind::CompletedOk,
+                    static_cast<int>(s.index));
+      break;
+    case serve::JobState::CompletedLate:
+      st->trace_job(index, serve::JobEventKind::CompletedLate,
+                    static_cast<int>(s.index));
+      break;
+    case serve::JobState::Quarantined:
+      st->trace_job(index, serve::JobEventKind::Quarantined,
+                    static_cast<int>(s.index));
+      break;
+    default:
+      break;
+  }
+  if (job.state == serve::JobState::CompletedOk ||
+      job.state == serve::JobState::CompletedLate) {
+    ++s.completed_jobs;
+    if (s.completed_series != nullptr) {
+      s.completed_series->sample(st->sim->now(),
+                                 static_cast<double>(s.completed_jobs));
+    }
+  }
+
   --s.inflight;
+  st->sample_depths(s);
   st->pump(s);
   st->try_steal(s);
   st->maybe_finish();
@@ -558,10 +673,40 @@ FleetResult FleetService::run() {
     shards.emplace_back(d, sim, config_, raw_specs[d], &jobs);
   }
 
+  // The observability plane: one TelemetryObserver (and registry) per
+  // device, plus the serving-layer instruments serve::Service registers.
+  // Every shard registers the same instrument set up front so fleet rollups
+  // merge identical shapes. Observers are passive and recording never
+  // touches the simulator, so FleetReport bytes are identical either way.
+  std::shared_ptr<serve::JobLifecycleTracer> lifecycle;
+  if (base.collect_metrics) {
+    lifecycle = std::make_shared<serve::JobLifecycleTracer>();
+    for (Shard& s : shards) {
+      s.telemetry = std::make_shared<obs::TelemetryObserver>(s.spec);
+      obs::MetricsRegistry& reg = s.telemetry->registry();
+      s.queue_wait_hist = &reg.histogram(
+          "serve_queue_wait_ns",
+          {1e4, 1e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8},
+          "Admission-queue wait per dispatched job (arrival to dispatch)");
+      s.queue_depth_series = &reg.series(
+          "serve_queue_depth", "Admission-queue depth over virtual time");
+      s.inflight_series = &reg.series(
+          "serve_inflight", "Dispatched jobs in flight over virtual time");
+      s.completed_series = &reg.series(
+          "device_completed", "Jobs completed on this device, cumulative");
+      if (config_.device_breaker_enabled) {
+        s.breaker_state_series = &reg.series(
+            "device_breaker_state",
+            "Device health breaker (0 closed, 1 open, 2 half-open)");
+      }
+    }
+  }
+
   for (Shard& s : shards) {
     s.fanout.add(s.checker.get());
     s.fanout.add(&s.signals);
     s.fanout.add(&s.copy_depth);
+    s.fanout.add(s.telemetry.get());
     s.device.set_observer(&s.fanout);
     if (s.injector != nullptr) {
       s.injector->set_observer(&s.fanout);
@@ -598,6 +743,7 @@ FleetResult FleetService::run() {
   state.jobs = &jobs;
   state.slots = &slots;
   state.owners = &owners;
+  state.lifecycle = lifecycle.get();
 
   sim.spawn(generator_task(&state));
   sim.run();
@@ -809,6 +955,62 @@ FleetResult FleetService::run() {
     }
     report.trace_digest = trace::digest(*s.recorder);
 
+    if (s.telemetry != nullptr) {
+      s.telemetry->finalize();
+      obs::MetricsRegistry& reg = s.telemetry->registry();
+      // The serve::Service post-run counter block, per device.
+      reg.counter("serve_arrived", "Jobs that arrived").add(acc.arrived);
+      reg.counter("serve_completed_ok", "Jobs completed within deadline")
+          .add(acc.completed_ok);
+      reg.counter("serve_completed_late", "Jobs completed past deadline")
+          .add(acc.completed_late);
+      reg.counter("serve_shed_queue_full", "Jobs shed by the queue")
+          .add(acc.shed_queue_full);
+      reg.counter("serve_shed_breaker", "Jobs shed by open breakers")
+          .add(acc.shed_breaker);
+      reg.counter("serve_timed_out_queued", "Jobs expired in the queue")
+          .add(acc.timed_out_queued);
+      reg.counter("serve_quarantined", "Dispatched jobs that failed")
+          .add(acc.quarantined);
+      reg.counter("serve_breaker_trips", "Breaker trips across classes")
+          .add(report.breaker_trips);
+      reg.counter("serve_pseudo_burst_jobs",
+                  "Jobs forced into pseudo-burst transfers")
+          .add(report.pseudo_burst_jobs);
+      reg.counter("serve_faults_injected", "Faults the injector fired")
+          .add(report.faults_injected);
+      // Fleet movement and device health-breaker counters. Always
+      // registered (0 when the mechanism is off) so every device exports
+      // the same series set.
+      reg.counter("device_placed", "Arrivals the placer routed here")
+          .add(s.placed);
+      reg.counter("device_requeued_in", "Jobs rebalanced onto this device")
+          .add(s.requeued_in);
+      reg.counter("device_requeued_out", "Jobs rebalanced off this device")
+          .add(s.requeued_out);
+      reg.counter("device_stolen_in", "Jobs this device stole from peers")
+          .add(s.stolen_in);
+      reg.counter("device_stolen_out", "Jobs peers stole from this device")
+          .add(s.stolen_out);
+      std::uint64_t trips = 0, probes = 0, rejected = 0;
+      if (s.device_breaker != nullptr) {
+        trips = s.device_breaker->trips();
+        probes = s.device_breaker->probes();
+        rejected = s.device_breaker->rejected();
+      }
+      reg.counter("device_breaker_trips", "Device health-breaker trips")
+          .add(trips);
+      reg.counter("device_breaker_probes",
+                  "Device health-breaker half-open probes")
+          .add(probes);
+      reg.counter("device_breaker_rejected",
+                  "Admissions the device health breaker rejected")
+          .add(rejected);
+      dev.telemetry = s.telemetry;
+      dev.metrics = std::shared_ptr<obs::MetricsRegistry>(
+          s.telemetry, &s.telemetry->registry());
+    }
+
     FleetDeviceStats stats;
     stats.name = s.spec.name;
     stats.placed = s.placed;
@@ -882,6 +1084,100 @@ FleetResult FleetService::run() {
   if (fleet.completed > 0) {
     fleet.energy_per_completed =
         fleet.energy / static_cast<double>(fleet.completed);
+  }
+
+  // --- fleet-scope observability ---------------------------------------------
+  // Deterministic latency breakdown per job: queue wait (arrival ->
+  // dispatch), placement (arrival -> the last placement/requeue/steal hop),
+  // device service (dispatch -> completion), turnaround. Histograms plus
+  // exact percentiles — sorted whole-sample selection, not bucket
+  // interpolation.
+  if (base.collect_metrics) {
+    result.lifecycle = lifecycle;
+    result.fleet_metrics = std::make_shared<obs::MetricsRegistry>();
+    obs::MetricsRegistry& reg = *result.fleet_metrics;
+
+    std::vector<double> wait, placement_lat, service, turnaround;
+    for (const serve::JobRecord& job : jobs) {
+      const bool dispatched = job.state == serve::JobState::CompletedOk ||
+                              job.state == serve::JobState::CompletedLate ||
+                              job.state == serve::JobState::Quarantined;
+      if (!dispatched) continue;
+      wait.push_back(static_cast<double>(job.dispatched_at - job.arrived_at));
+      // Placement latency: 0 for jobs dispatched where first placed; the
+      // time to the final hop for rebalanced/stolen jobs.
+      TimeNs placed_at = job.arrived_at;
+      for (const serve::JobEvent& e : lifecycle->events(job.job_id)) {
+        if (e.at > job.dispatched_at) break;
+        if (e.kind == serve::JobEventKind::Placed ||
+            e.kind == serve::JobEventKind::Requeued ||
+            e.kind == serve::JobEventKind::Stolen) {
+          placed_at = e.at;
+        }
+      }
+      placement_lat.push_back(static_cast<double>(placed_at - job.arrived_at));
+      if (job.state != serve::JobState::Quarantined) {
+        service.push_back(
+            static_cast<double>(job.completed_at - job.dispatched_at));
+        turnaround.push_back(
+            static_cast<double>(job.completed_at - job.arrived_at));
+      }
+    }
+
+    const std::vector<double> wait_bounds = {1e4, 1e5, 1e6, 5e6,
+                                             1e7, 5e7, 1e8, 5e8};
+    const std::vector<double> service_bounds = {1e5, 1e6, 5e6, 1e7,
+                                                5e7, 1e8, 5e8, 1e9};
+    const auto breakdown = [&reg](const std::string& name,
+                                  const std::vector<double>& bounds,
+                                  const std::string& help,
+                                  const std::vector<double>& samples) {
+      obs::Histogram& h = reg.histogram(name, bounds, help);
+      for (double v : samples) h.record(v);
+      const std::pair<const char*, double> pcts[] = {
+          {"_p50_ns", 50}, {"_p90_ns", 90}, {"_p95_ns", 95}, {"_p99_ns", 99}};
+      for (const auto& [suffix, p] : pcts) {
+        reg.gauge(name + suffix, "Exact percentile of " + name)
+            .set(percentile(samples, p));
+      }
+      double max_v = 0, sum = 0;
+      for (double v : samples) {
+        max_v = std::max(max_v, v);
+        sum += v;
+      }
+      reg.gauge(name + "_max_ns", "Maximum of " + name).set(max_v);
+      reg.gauge(name + "_mean_ns", "Mean of " + name)
+          .set(samples.empty() ? 0 : sum / static_cast<double>(samples.size()));
+    };
+    breakdown("fleet_job_queue_wait_ns", wait_bounds,
+              "Queue wait per dispatched job (arrival to dispatch)", wait);
+    breakdown("fleet_job_placement_ns", wait_bounds,
+              "Arrival to final placement hop per dispatched job",
+              placement_lat);
+    breakdown("fleet_job_service_ns", service_bounds,
+              "Device service time per completed job (dispatch to done)",
+              service);
+    breakdown("fleet_job_turnaround_ns", service_bounds,
+              "Turnaround per completed job (arrival to done)", turnaround);
+
+    reg.counter("fleet_requeue_hops", "Requeue hops across the fleet")
+        .add(lifecycle->requeue_hops());
+    reg.counter("fleet_steal_hops", "Steal hops across the fleet")
+        .add(lifecycle->steal_hops());
+    reg.counter("fleet_shed_no_device", "Arrivals with no healthy device")
+        .add(fleet.shed_no_device);
+    reg.counter("fleet_requeued", "Jobs rebalanced between devices")
+        .add(fleet.requeued);
+    reg.counter("fleet_stolen", "Jobs stolen between devices")
+        .add(fleet.stolen);
+    reg.counter("fleet_device_breaker_trips", "Device health-breaker trips")
+        .add(fleet.device_breaker_trips);
+    reg.counter("fleet_device_breaker_probes",
+                "Device health-breaker half-open probes")
+        .add(fleet.device_breaker_probes);
+    reg.counter("fleet_device_breaker_rejected",
+                "Admissions device health breakers rejected")
+        .add(fleet.device_breaker_rejected);
   }
   return result;
 }

@@ -40,6 +40,8 @@
 
 #include "fleet/placement.hpp"
 #include "fleet/report.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/lifecycle.hpp"
 #include "serve/service.hpp"
 
 namespace hq::fleet {
@@ -47,8 +49,12 @@ namespace hq::fleet {
 struct FleetConfig {
   /// The per-device serving configuration (classes, arrival process, queue
   /// bounds, controller, class breakers, fault plan, ...). base.device is
-  /// the spec template when `devices` is empty; base.collect_metrics is
-  /// ignored (the fleet keeps no per-device metrics registries).
+  /// the spec template when `devices` is empty. base.collect_metrics turns
+  /// the fleet observability plane on: every device gets its own
+  /// obs::TelemetryObserver + serving instruments, and the run records a
+  /// per-job lifecycle trace plus fleet-scope latency breakdowns — all
+  /// zero-perturbation (the FleetReport bytes are identical either way;
+  /// golden tests pin this).
   serve::ServiceConfig base;
 
   /// Per-device specs. Empty = a 1-device fleet of base.device. Mixed specs
@@ -83,6 +89,11 @@ struct FleetDeviceResult {
   check::ServeAccounting accounting;
   std::shared_ptr<trace::Recorder> trace;
   fault::FaultStats fault_stats;
+  /// This device's telemetry observer (finalized) and its registry —
+  /// `metrics` aliases telemetry->registry(). Null unless
+  /// base.collect_metrics.
+  std::shared_ptr<obs::TelemetryObserver> telemetry;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 struct FleetResult {
@@ -93,6 +104,13 @@ struct FleetResult {
   /// Terminal owner device per job (the device that accounted it);
   /// -1 for ShedNoDevice jobs, which no device ever saw.
   std::vector<int> owners;
+  /// Per-job lifecycle chains (arrival -> placement -> hops -> dispatch ->
+  /// terminal state). Null unless base.collect_metrics.
+  std::shared_ptr<serve::JobLifecycleTracer> lifecycle;
+  /// Fleet-scope metrics: job latency breakdowns (queue wait, placement,
+  /// device service, turnaround) as histograms plus exact-percentile
+  /// gauges, and fleet movement counters. Null unless base.collect_metrics.
+  std::shared_ptr<obs::MetricsRegistry> fleet_metrics;
 };
 
 /// The cluster scheduler: one admission stream fanned out over a device

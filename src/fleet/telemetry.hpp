@@ -1,0 +1,81 @@
+// Fleet observability exports (library hq_fleet): the glue between a
+// finished FleetResult and the obs/trace export writers.
+//
+//   * build_fleet_rollup: per-device TelemetryObserver registries +
+//     fleet-scope metrics -> obs::FleetRollup (device-labeled Prometheus
+//     series, versioned fleet metrics JSON, merged fleet registry);
+//   * write_fleet_chrome_trace: multi-device Chrome trace — one process
+//     lane (pid) per device with its span recorder and counter tracks,
+//     plus flow arrows connecting requeue/steal hops between lanes;
+//   * fleet snapshots ("hqtop"): periodic fleet state reconstructed
+//     POST-HOC from the event-driven series at a fixed virtual-clock
+//     interval, one JSON object per line. Because nothing is scheduled
+//     during the run, snapshotting is zero-perturbation by construction —
+//     the FleetReport bytes and digests are identical with or without it.
+//
+// Every export is byte-identical across runs and --jobs counts for a given
+// configuration (the repository determinism contract).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fleet/fleet.hpp"
+#include "obs/rollup.hpp"
+
+namespace hq::fleet {
+
+/// Bump when the snapshot JSONL line layout changes shape.
+inline constexpr int kFleetSnapshotSchemaVersion = 1;
+
+/// One device's state at a snapshot instant, read back from its series.
+struct DeviceSnapshot {
+  int device = -1;
+  double queue_depth = 0;
+  double inflight = 0;
+  double completed = 0;
+  /// 0 closed, 1 open, 2 half-open; 0 when the breaker is disabled.
+  double breaker_state = 0;
+};
+
+/// Fleet state at one virtual-clock instant.
+struct FleetSnapshot {
+  TimeNs t = 0;
+  std::vector<DeviceSnapshot> devices;
+};
+
+/// The run header for the fleet metrics JSON.
+obs::FleetInfo fleet_info_of(const FleetResult& result);
+
+/// Assembles the rollup: every device's registry under its id and spec
+/// name, plus a copy of the run's fleet-scope metrics. Requires
+/// base.collect_metrics (throws hq::Error otherwise).
+obs::FleetRollup build_fleet_rollup(const FleetResult& result);
+
+/// Versioned fleet metrics JSON for the run (see obs/rollup.hpp).
+void write_fleet_metrics_json(std::ostream& os, const FleetResult& result);
+std::string fleet_metrics_json(const FleetResult& result);
+
+/// Prometheus text exposition with device="<id>" labels.
+void write_fleet_prometheus(std::ostream& os, const FleetResult& result);
+std::string fleet_prometheus_text(const FleetResult& result);
+
+/// Multi-device Chrome trace: one pid per device (spans + queue-depth /
+/// inflight / power counter tracks), flow arrows for requeue/steal hops.
+void write_fleet_chrome_trace(std::ostream& os, const FleetResult& result);
+std::string fleet_chrome_trace_json(const FleetResult& result);
+
+/// Snapshots at t = 0, interval, 2*interval, ... plus a final snapshot
+/// clamped to the run's total_time. `interval` must be > 0; requires
+/// base.collect_metrics.
+std::vector<FleetSnapshot> sample_fleet_snapshots(const FleetResult& result,
+                                                  DurationNs interval);
+
+/// One JSON object per line:
+/// {"schema_version":1,"t_ns":T,"devices":[{"device":0,...},...]}.
+void write_fleet_snapshots_jsonl(std::ostream& os, const FleetResult& result,
+                                 DurationNs interval);
+std::string fleet_snapshots_jsonl(const FleetResult& result,
+                                  DurationNs interval);
+
+}  // namespace hq::fleet

@@ -23,6 +23,16 @@ void Histogram::record(double v) {
   sum_ += v;
 }
 
+void Histogram::merge(const Histogram& other) {
+  HQ_CHECK_MSG(bounds_ == other.bounds_,
+               "histogram merge needs identical bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 void Series::sample(TimeNs t, double value) {
   if (!points_.empty()) {
     HQ_CHECK_MSG(t >= points_.back().time,

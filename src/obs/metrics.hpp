@@ -67,6 +67,12 @@ class Histogram {
 
   void record(double v);
 
+  /// Adds another histogram's samples into this one, bucket by bucket.
+  /// Both histograms must have identical bounds (the same instrument shape
+  /// on every fleet device); merging is commutative and associative, so the
+  /// fleet rollup is independent of device merge order.
+  void merge(const Histogram& other);
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// Size bounds().size() + 1; last entry is the overflow bucket.
   const std::vector<std::uint64_t>& counts() const { return counts_; }

@@ -95,6 +95,11 @@ void write_metric_entry(std::ostream& os, const MetricsRegistry::Entry& e) {
 
 }  // namespace
 
+void write_metric_entry_json(std::ostream& os,
+                             const MetricsRegistry::Entry& entry) {
+  write_metric_entry(os, entry);
+}
+
 std::string format_double(double v) {
   // Non-finite values (zero-duration runs, empty sample windows) would
   // serialize as bare nan/inf tokens, which are not JSON; clamp to 0.

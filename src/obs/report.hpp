@@ -62,6 +62,12 @@ std::string format_double(double v);
 /// so string handling cannot drift between reports.
 void write_json_quoted(std::ostream& os, std::string_view s);
 
+/// One registry entry as a JSON object ({"name", "kind", "help", ...value
+/// fields per kind}). Shared by the run-level and fleet-level metric
+/// reports so the entry layout cannot drift between them.
+void write_metric_entry_json(std::ostream& os,
+                             const MetricsRegistry::Entry& entry);
+
 /// Versioned JSON metrics report: {"schema_version", "run", "apps",
 /// "metrics"}. Metric entries carry their kind; series points are [t, v]
 /// pairs in nanoseconds.

@@ -40,4 +40,37 @@ std::string chrome_trace_json(const Recorder& recorder);
 std::string chrome_trace_json(const Recorder& recorder,
                               const std::vector<CounterTrack>& counters);
 
+// --- multi-process traces (one pid per fleet device) ------------------------
+
+/// One process lane of a multi-device trace: a pid, the display name
+/// (emitted as a "process_name" metadata event), the device's span
+/// recorder, and its counter tracks. The recorder may be null (counters
+/// only).
+struct ProcessTrack {
+  int pid = 0;
+  std::string name;
+  const Recorder* recorder = nullptr;
+  std::vector<CounterTrack> counters;
+};
+
+/// A flow arrow between two process lanes (a requeue or steal hop): a
+/// "ph":"s" start event at (from_pid, from_time) connected to a
+/// "ph":"f" finish event at (to_pid, to_time) by `id`.
+struct FlowEvent {
+  std::string name;  ///< e.g. "steal", "requeue"
+  int id = 0;        ///< flow binding id (the job id)
+  int from_pid = 0;
+  TimeNs from_time = 0;
+  int to_pid = 0;
+  TimeNs to_time = 0;
+};
+
+/// Multi-process trace: per-process metadata, spans and counters (in
+/// `processes` order), then flow events. Deterministic per input, like the
+/// single-recorder writer.
+void write_chrome_trace(const std::vector<ProcessTrack>& processes,
+                        const std::vector<FlowEvent>& flows, std::ostream& os);
+std::string chrome_trace_json(const std::vector<ProcessTrack>& processes,
+                              const std::vector<FlowEvent>& flows);
+
 }  // namespace hq::trace

@@ -1,0 +1,270 @@
+// The fleet observability plane: attaching per-device telemetry, the job
+// lifecycle tracer, and fleet-scope metrics must leave the pinned golden
+// fleet digests untouched (zero-perturbation); every export (fleet metrics
+// JSON, device-labeled Prometheus, multi-device Chrome trace, snapshot
+// JSONL) must be byte-identical across runs; and the recorded lifecycle
+// chains must tell a coherent story (monotone times, arrival -> placement
+// -> dispatch -> terminal, steal hops where the scheduler stole).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/report.hpp"
+#include "fleet/telemetry.hpp"
+#include "tests/common/json_check.hpp"
+#include "tests/hyperq/synthetic_app.hpp"
+
+namespace hq::fleet {
+namespace {
+
+using fw::testing::SyntheticApp;
+
+// The golden_fleet_test scenarios, re-run with the observability plane on.
+constexpr std::uint64_t kPinnedHomogeneousDigest = 0x71a2819fb95e7eadULL;
+constexpr std::uint64_t kPinnedHeterogeneousDigest = 0xc992d15f5854845bULL;
+
+serve::ServiceConfig golden_base() {
+  serve::ServiceConfig config;
+  config.window = 10 * kMillisecond;
+  config.mean_interarrival = 100 * kMicrosecond;
+  config.num_streams = 2;
+  config.max_inflight = 2;
+  SyntheticApp::Spec spec;
+  spec.num_kernels = 3;
+  spec.block_duration = 30 * kMicrosecond;
+  config.classes.push_back(
+      {fw::WorkloadItem{"synthetic",
+                        [spec] { return std::make_unique<SyntheticApp>(spec); }},
+       0});
+  config.collect_metrics = true;
+  return config;
+}
+
+FleetConfig homogeneous_config() {
+  FleetConfig config;
+  config.base = golden_base();
+  config.resize_homogeneous(4);
+  config.placement = PlacementPolicy::LeastLoaded;
+  return config;
+}
+
+FleetConfig heterogeneous_config() {
+  FleetConfig config;
+  config.base = golden_base();
+  config.devices = {
+      gpu::DeviceSpec::tesla_k20(), gpu::DeviceSpec::tesla_k20(),
+      gpu::DeviceSpec::single_copy_engine(),
+      gpu::DeviceSpec::single_copy_engine()};
+  config.placement = PlacementPolicy::CopyAware;
+  config.work_stealing = true;
+  return config;
+}
+
+/// Class-affinity with a single class funnels everything to device 0, so
+/// peers must steal — guarantees Stolen lifecycle events and flow arrows.
+FleetConfig stealing_config() {
+  FleetConfig config;
+  config.base = golden_base();
+  config.base.mean_interarrival = 50 * kMicrosecond;
+  config.base.queue_cap = 16;
+  config.resize_homogeneous(4);
+  config.placement = PlacementPolicy::ClassAffinity;
+  config.work_stealing = true;
+  return config;
+}
+
+TEST(FleetObsTest, ObserversLeaveGoldenDigestsPinned) {
+  const FleetResult homog = FleetService(homogeneous_config()).run();
+  EXPECT_EQ(fleet_report_digest(homog.report), kPinnedHomogeneousDigest)
+      << std::hex << "digest moved with observers attached: 0x"
+      << fleet_report_digest(homog.report);
+  const FleetResult hetero = FleetService(heterogeneous_config()).run();
+  EXPECT_EQ(fleet_report_digest(hetero.report), kPinnedHeterogeneousDigest)
+      << std::hex << "digest moved with observers attached: 0x"
+      << fleet_report_digest(hetero.report);
+}
+
+TEST(FleetObsTest, ResultCarriesObservabilityOnlyWhenAsked) {
+  const FleetResult on = FleetService(homogeneous_config()).run();
+  ASSERT_EQ(on.devices.size(), 4u);
+  for (const FleetDeviceResult& dev : on.devices) {
+    EXPECT_NE(dev.telemetry, nullptr);
+    EXPECT_NE(dev.metrics, nullptr);
+  }
+  EXPECT_NE(on.lifecycle, nullptr);
+  EXPECT_NE(on.fleet_metrics, nullptr);
+
+  FleetConfig off_config = homogeneous_config();
+  off_config.base.collect_metrics = false;
+  const FleetResult off = FleetService(off_config).run();
+  for (const FleetDeviceResult& dev : off.devices) {
+    EXPECT_EQ(dev.telemetry, nullptr);
+    EXPECT_EQ(dev.metrics, nullptr);
+  }
+  EXPECT_EQ(off.lifecycle, nullptr);
+  EXPECT_EQ(off.fleet_metrics, nullptr);
+}
+
+TEST(FleetObsTest, EveryExportIsByteIdenticalAcrossRuns) {
+  const FleetResult a = FleetService(heterogeneous_config()).run();
+  const FleetResult b = FleetService(heterogeneous_config()).run();
+  EXPECT_EQ(fleet_metrics_json(a), fleet_metrics_json(b));
+  EXPECT_EQ(fleet_prometheus_text(a), fleet_prometheus_text(b));
+  EXPECT_EQ(fleet_chrome_trace_json(a), fleet_chrome_trace_json(b));
+  EXPECT_EQ(fleet_snapshots_jsonl(a, 500 * kMicrosecond),
+            fleet_snapshots_jsonl(b, 500 * kMicrosecond));
+}
+
+TEST(FleetObsTest, FleetMetricsJsonIsWellFormedAndVersioned) {
+  const FleetResult result = FleetService(homogeneous_config()).run();
+  const std::string json = fleet_metrics_json(result);
+  EXPECT_TRUE(hq::testing::json_well_formed(json));
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"devices\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"fleet_metrics\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"merged_metrics\": ["), std::string::npos);
+  // Fleet-scope latency breakdowns with exact percentiles.
+  EXPECT_NE(json.find("fleet_job_queue_wait_ns"), std::string::npos);
+  EXPECT_NE(json.find("fleet_job_placement_ns"), std::string::npos);
+  EXPECT_NE(json.find("fleet_job_service_ns"), std::string::npos);
+  EXPECT_NE(json.find("fleet_job_turnaround_ns_p99_ns"), std::string::npos);
+}
+
+TEST(FleetObsTest, PrometheusCarriesDeviceLabelsAndMovementCounters) {
+  const FleetResult result = FleetService(stealing_config()).run();
+  const std::string prom = fleet_prometheus_text(result);
+  for (int d = 0; d < 4; ++d) {
+    const std::string label = "{device=\"" + std::to_string(d) + "\"}";
+    EXPECT_NE(prom.find("hq_serve_arrived" + label), std::string::npos)
+        << "device " << d;
+    EXPECT_NE(prom.find("hq_device_stolen_in" + label), std::string::npos);
+    EXPECT_NE(prom.find("hq_device_requeued_in" + label), std::string::npos);
+    EXPECT_NE(prom.find("hq_device_breaker_trips" + label),
+              std::string::npos);
+  }
+  // Fleet-scope counters render unlabeled; merged series as hq_fleet_*.
+  EXPECT_NE(prom.find("\nhq_fleet_steal_hops "), std::string::npos);
+  EXPECT_NE(prom.find("\nhq_fleet_serve_arrived "), std::string::npos);
+}
+
+TEST(FleetObsTest, LifecycleChainsAreCoherent) {
+  const FleetResult result = FleetService(homogeneous_config()).run();
+  const serve::JobLifecycleTracer& tracer = *result.lifecycle;
+  ASSERT_EQ(tracer.num_jobs(), result.jobs.size());
+  for (const serve::JobRecord& job : result.jobs) {
+    const std::vector<serve::JobEvent>& chain = tracer.events(job.job_id);
+    ASSERT_FALSE(chain.empty()) << "job " << job.job_id;
+    EXPECT_EQ(chain.front().kind, serve::JobEventKind::Arrived);
+    EXPECT_EQ(chain.front().at, job.arrived_at);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_LE(chain[i - 1].at, chain[i].at) << "job " << job.job_id;
+    }
+    if (job.state == serve::JobState::CompletedOk) {
+      EXPECT_EQ(chain.back().kind, serve::JobEventKind::CompletedOk);
+      EXPECT_EQ(chain.back().at, job.completed_at);
+      bool dispatched = false;
+      for (const serve::JobEvent& e : chain) {
+        if (e.kind == serve::JobEventKind::Dispatched) {
+          dispatched = true;
+          EXPECT_EQ(e.at, job.dispatched_at);
+          EXPECT_EQ(e.device, result.owners[std::size_t(job.job_id)]);
+        }
+      }
+      EXPECT_TRUE(dispatched) << "job " << job.job_id;
+    }
+  }
+}
+
+TEST(FleetObsTest, StealHopsAreRecordedAndDrawnAsFlows) {
+  const FleetResult result = FleetService(stealing_config()).run();
+  EXPECT_GT(result.report.stolen, 0u);
+  EXPECT_EQ(result.lifecycle->steal_hops(), result.report.stolen);
+
+  std::uint64_t stolen_events = 0;
+  for (std::size_t job = 0; job < result.lifecycle->num_jobs(); ++job) {
+    for (const serve::JobEvent& e :
+         result.lifecycle->events(static_cast<int>(job))) {
+      if (e.kind != serve::JobEventKind::Stolen) continue;
+      ++stolen_events;
+      EXPECT_EQ(e.from_device, 0);  // class-affinity funnels to device 0
+      EXPECT_GT(e.device, 0);
+    }
+  }
+  EXPECT_EQ(stolen_events, result.report.stolen);
+
+  const std::string trace = fleet_chrome_trace_json(result);
+  EXPECT_TRUE(hq::testing::json_well_formed(trace));
+  EXPECT_NE(trace.find("\"name\": \"steal\", \"cat\": \"flow\", "
+                       "\"ph\": \"s\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"f\""), std::string::npos);
+}
+
+TEST(FleetObsTest, ChromeTraceHasOneProcessLanePerDevice) {
+  const FleetResult result = FleetService(heterogeneous_config()).run();
+  const std::string trace = fleet_chrome_trace_json(result);
+  EXPECT_TRUE(hq::testing::json_well_formed(trace));
+  for (int d = 0; d < 4; ++d) {
+    std::ostringstream meta;
+    meta << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << d;
+    EXPECT_NE(trace.find(meta.str()), std::string::npos) << "device " << d;
+  }
+  // Per-device counter tracks ride along on each pid.
+  EXPECT_NE(trace.find("\"name\": \"serve_queue_depth\", \"ph\": \"C\""),
+            std::string::npos);
+}
+
+TEST(FleetObsTest, SnapshotsAreClampedDeterministicJsonLines) {
+  const FleetResult result = FleetService(homogeneous_config()).run();
+  const DurationNs interval = 2 * kMillisecond;
+  const std::vector<FleetSnapshot> snaps =
+      sample_fleet_snapshots(result, interval);
+  ASSERT_GE(snaps.size(), 2u);
+  EXPECT_EQ(snaps.front().t, 0);
+  EXPECT_EQ(snaps.back().t, result.report.total_time);
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_GT(snaps[i].t, snaps[i - 1].t);
+    ASSERT_EQ(snaps[i].devices.size(), 4u);
+  }
+  // The final snapshot agrees with the report: all queues drained and the
+  // per-device completed counters sum to the fleet total.
+  double completed = 0;
+  for (const DeviceSnapshot& dev : snaps.back().devices) {
+    EXPECT_EQ(dev.queue_depth, 0.0);
+    EXPECT_EQ(dev.inflight, 0.0);
+    completed += dev.completed;
+  }
+  EXPECT_EQ(completed, static_cast<double>(result.report.completed));
+
+  const std::string jsonl = fleet_snapshots_jsonl(result, interval);
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t line_count = 0;
+  while (std::getline(lines, line)) {
+    ++line_count;
+    EXPECT_TRUE(hq::testing::json_well_formed(line)) << line;
+    EXPECT_NE(line.find("\"schema_version\": 1"), std::string::npos);
+  }
+  EXPECT_EQ(line_count, snaps.size());
+
+  EXPECT_ANY_THROW(sample_fleet_snapshots(result, 0));
+}
+
+TEST(FleetObsTest, ExportsRequireMetricsCollection) {
+  FleetConfig config = homogeneous_config();
+  config.base.collect_metrics = false;
+  const FleetResult result = FleetService(config).run();
+  EXPECT_ANY_THROW(fleet_metrics_json(result));
+  EXPECT_ANY_THROW(fleet_prometheus_text(result));
+  EXPECT_ANY_THROW(fleet_chrome_trace_json(result));
+  EXPECT_ANY_THROW(fleet_snapshots_jsonl(result, kMillisecond));
+}
+
+}  // namespace
+}  // namespace hq::fleet

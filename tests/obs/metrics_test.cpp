@@ -37,6 +37,35 @@ TEST(MetricsTest, HistogramBucketsWithOverflow) {
   EXPECT_DOUBLE_EQ(h.sum(), 1065.0);
 }
 
+TEST(MetricsTest, HistogramStartsEmpty) {
+  Histogram h({10.0, 100.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{0, 0, 0}));
+}
+
+TEST(MetricsTest, HistogramMergeAddsBucketwise) {
+  Histogram a({10.0, 100.0});
+  a.record(5.0);
+  a.record(100.0);  // exactly on the upper bound: <= 100 bucket
+  Histogram b({10.0, 100.0});
+  b.record(10.0);
+  b.record(1e18);  // overflow (+inf) bucket
+  a.merge(b);
+  EXPECT_EQ(a.counts(), (std::vector<std::uint64_t>{2, 1, 1}));
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 115.0 + 1e18);
+  // Merging an empty histogram is the identity.
+  a.merge(Histogram({10.0, 100.0}));
+  EXPECT_EQ(a.count(), 4u);
+}
+
+TEST(MetricsTest, HistogramMergeRejectsMismatchedBounds) {
+  Histogram a({10.0, 100.0});
+  EXPECT_ANY_THROW(a.merge(Histogram({10.0})));
+  EXPECT_ANY_THROW(a.merge(Histogram({10.0, 200.0})));
+}
+
 TEST(MetricsTest, HistogramRejectsBadBounds) {
   EXPECT_ANY_THROW(Histogram({}));
   EXPECT_ANY_THROW(Histogram({1.0, 1.0}));

@@ -1,0 +1,137 @@
+// FleetRollup semantics: per-metric merge rules (counter/gauge/histogram/
+// series), merge-order independence of every export byte, series_value_at,
+// and the export shape for edge cases (no devices, never-recorded
+// histograms).
+#include "obs/rollup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/check.hpp"
+#include "obs/report.hpp"
+#include "tests/common/json_check.hpp"
+
+namespace hq::obs {
+namespace {
+
+std::shared_ptr<MetricsRegistry> device_registry(double scale) {
+  auto reg = std::make_shared<MetricsRegistry>();
+  reg->counter("jobs", "jobs done").add(static_cast<std::uint64_t>(10 * scale));
+  reg->gauge("power_w", "power draw").set(50.0 * scale);
+  Histogram& h = reg->histogram("wait_ns", {10.0, 100.0}, "queue wait");
+  h.record(5.0 * scale);
+  h.record(500.0);
+  Series& s = reg->series("depth", "queue depth");
+  s.sample(0, 0.0);
+  s.sample(static_cast<TimeNs>(100 * scale), 2.0);
+  s.sample(static_cast<TimeNs>(200 * scale), 1.0);
+  return reg;
+}
+
+TEST(SeriesValueAtTest, StepsAndClamps) {
+  Series s;
+  EXPECT_EQ(series_value_at(s, 0), 0.0);  // empty series reads 0
+  s.sample(100, 2.0);
+  s.sample(200, 5.0);
+  EXPECT_EQ(series_value_at(s, 0), 0.0);    // before the first point
+  EXPECT_EQ(series_value_at(s, 100), 2.0);  // exactly on a point
+  EXPECT_EQ(series_value_at(s, 150), 2.0);  // between points: previous value
+  EXPECT_EQ(series_value_at(s, 999), 5.0);  // after the last point
+}
+
+TEST(FleetRollupTest, MergeSumsEveryKind) {
+  FleetRollup rollup;
+  rollup.add_device(0, "a", device_registry(1.0));
+  rollup.add_device(1, "b", device_registry(2.0));
+
+  const MetricsRegistry merged = rollup.merged();
+  EXPECT_EQ(std::get<Counter>(merged.find("jobs")->metric).value(), 30u);
+  EXPECT_DOUBLE_EQ(std::get<Gauge>(merged.find("power_w")->metric).value(),
+                   150.0);
+
+  const Histogram& h = std::get<Histogram>(merged.find("wait_ns")->metric);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{2, 0, 2}));
+
+  // depth: device a steps 0 -> 2@100 -> 1@200; device b 0 -> 2@200 -> 1@400.
+  const Series& s = std::get<Series>(merged.find("depth")->metric);
+  EXPECT_EQ(series_value_at(s, 50), 0.0);
+  EXPECT_EQ(series_value_at(s, 100), 2.0);
+  EXPECT_EQ(series_value_at(s, 200), 3.0);  // 1 (a) + 2 (b)
+  EXPECT_EQ(series_value_at(s, 400), 2.0);  // 1 (a) + 1 (b)
+}
+
+TEST(FleetRollupTest, ExportsIndependentOfAddOrder) {
+  FleetInfo info;
+  info.workload = "synthetic";
+  info.num_devices = 3;
+  info.placement = "least-loaded";
+
+  FleetRollup ascending;
+  FleetRollup shuffled;
+  for (int d : {0, 1, 2}) {
+    ascending.add_device(d, "dev" + std::to_string(d),
+                         device_registry(1.0 + d));
+  }
+  for (int d : {2, 0, 1}) {
+    shuffled.add_device(d, "dev" + std::to_string(d),
+                        device_registry(1.0 + d));
+  }
+  EXPECT_EQ(fleet_metrics_json(info, ascending),
+            fleet_metrics_json(info, shuffled));
+  EXPECT_EQ(fleet_prometheus_text(ascending),
+            fleet_prometheus_text(shuffled));
+}
+
+TEST(FleetRollupTest, RejectsDuplicateAndInvalidDevices) {
+  FleetRollup rollup;
+  rollup.add_device(0, "a", device_registry(1.0));
+  EXPECT_THROW(rollup.add_device(0, "dup", device_registry(1.0)), hq::Error);
+  EXPECT_THROW(rollup.add_device(-1, "neg", device_registry(1.0)), hq::Error);
+  EXPECT_THROW(rollup.add_device(1, "null", nullptr), hq::Error);
+}
+
+TEST(FleetRollupTest, RejectsKindMismatchAcrossDevices) {
+  auto a = std::make_shared<MetricsRegistry>();
+  a->counter("x");
+  auto b = std::make_shared<MetricsRegistry>();
+  b->gauge("x");
+  FleetRollup rollup;
+  rollup.add_device(0, "a", a);
+  rollup.add_device(1, "b", b);
+  EXPECT_THROW(rollup.merged(), hq::Error);
+}
+
+TEST(FleetRollupTest, EmptyHistogramExportsZeroBuckets) {
+  auto reg = std::make_shared<MetricsRegistry>();
+  reg->histogram("wait_ns", {10.0, 100.0}, "never recorded");
+  FleetRollup rollup;
+  rollup.add_device(0, "a", reg);
+
+  const std::string prom = fleet_prometheus_text(rollup);
+  EXPECT_NE(prom.find("hq_wait_ns_bucket{device=\"0\",le=\"10\"} 0\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("hq_wait_ns_bucket{device=\"0\",le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hq_wait_ns_count{device=\"0\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hq_fleet_wait_ns_count 0\n"), std::string::npos);
+
+  const std::string json = fleet_metrics_json(FleetInfo{}, rollup);
+  EXPECT_TRUE(hq::testing::json_well_formed(json)) << json;
+}
+
+TEST(FleetRollupTest, NoDevicesStillRendersWellFormedJson) {
+  FleetRollup rollup;
+  rollup.fleet().counter("fleet_only", "a fleet-scope counter").add(7);
+  const std::string json = fleet_metrics_json(FleetInfo{}, rollup);
+  EXPECT_TRUE(hq::testing::json_well_formed(json)) << json;
+  const std::string prom = fleet_prometheus_text(rollup);
+  EXPECT_NE(prom.find("hq_fleet_only 7\n"), std::string::npos) << prom;
+}
+
+}  // namespace
+}  // namespace hq::obs

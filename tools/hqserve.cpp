@@ -42,6 +42,7 @@
 #include "fault/fault.hpp"
 #include "fleet/fleet.hpp"
 #include "fleet/sweep.hpp"
+#include "fleet/telemetry.hpp"
 #include "obs/report.hpp"
 #include "rodinia/registry.hpp"
 #include "serve/report.hpp"
@@ -197,6 +198,35 @@ bool read_device_specs(const std::string& path,
   return true;
 }
 
+/// Parses a duration literal "<number><ns|us|ms|s>" (e.g. "50ms", "250us")
+/// into nanoseconds. Returns nullopt on malformed input or a non-positive
+/// value.
+std::optional<hq::DurationNs> parse_duration_ns(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || errno != 0 || end == nullptr || end == text.c_str() ||
+      value <= 0.0) {
+    return std::nullopt;
+  }
+  const std::string unit(end);
+  double scale = 0.0;
+  if (unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "s") {
+    scale = 1e9;
+  } else {
+    return std::nullopt;
+  }
+  const double ns = value * scale;
+  if (ns < 1.0 || ns > 9e18) return std::nullopt;
+  return static_cast<hq::DurationNs>(ns);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -243,6 +273,15 @@ int main(int argc, char** argv) {
   args.add_option("metrics", "write the metrics JSON report to this path", "");
   args.add_option("prom", "write Prometheus text metrics to this path", "");
   args.add_option("trace", "write a Chrome-trace JSON to this path", "");
+  args.add_option("snapshot-interval",
+                  "fleet mode: virtual-clock snapshot period as "
+                  "'<number><ns|us|ms|s>' (e.g. 50ms); pair with "
+                  "--snapshot-file",
+                  "");
+  args.add_option("snapshot-file",
+                  "fleet mode: append one JSON fleet snapshot per "
+                  "--snapshot-interval tick to this JSONL path",
+                  "");
   args.add_option("sweep-cap",
                   "run a queue-cap sweep over this comma-separated list "
                   "(0 = unbounded) instead of a single run",
@@ -408,10 +447,59 @@ int main(int argc, char** argv) {
                           !args.get("device-spec-file").empty() ||
                           !args.get("sweep-fleet").empty();
 
+  // Export-flag validation up front: every unsupported combination is a
+  // hard usage error, never a silent no-op.
+  const bool want_metrics = !args.get("metrics").empty();
+  const bool want_prom = !args.get("prom").empty();
+  const bool want_trace = !args.get("trace").empty();
+  const bool want_snapshots = !args.get("snapshot-file").empty() ||
+                              !args.get("snapshot-interval").empty();
+  const bool want_exports =
+      want_metrics || want_prom || want_trace || want_snapshots;
+  std::optional<DurationNs> snapshot_interval;
+  if (want_snapshots) {
+    if (args.get("snapshot-file").empty() ||
+        args.get("snapshot-interval").empty()) {
+      std::fprintf(stderr,
+                   "error: --snapshot-file and --snapshot-interval must be "
+                   "used together\n");
+      return 2;
+    }
+    if (!fleet_mode) {
+      std::fprintf(stderr,
+                   "error: fleet snapshots need fleet mode (--devices or "
+                   "--device-spec-file)\n");
+      return 2;
+    }
+    snapshot_interval = parse_duration_ns(args.get("snapshot-interval"));
+    if (!snapshot_interval) {
+      std::fprintf(stderr,
+                   "error: --snapshot-interval wants '<number><ns|us|ms|s>' "
+                   "(e.g. 50ms), got '%s'\n",
+                   args.get("snapshot-interval").c_str());
+      return 2;
+    }
+  }
+  if (want_exports && !args.get("sweep-fleet").empty()) {
+    std::fprintf(stderr,
+                 "error: --metrics/--prom/--trace/--snapshot-* are "
+                 "per-run exports; they do not apply to --sweep-fleet\n");
+    return 2;
+  }
+  if (want_exports && !args.get("sweep-cap").empty()) {
+    std::fprintf(stderr,
+                 "error: --metrics/--prom/--trace/--snapshot-* are "
+                 "per-run exports; they do not apply to --sweep-cap\n");
+    return 2;
+  }
+
   try {
     if (fleet_mode) {
       fleet::FleetConfig fleet_config;
-      config.collect_metrics = false;  // the fleet keeps no metrics registries
+      // Per-device registries, the lifecycle tracer, and fleet-scope
+      // metrics exist only when an export asked for them; either way the
+      // report bytes are identical (zero-perturbation).
+      config.collect_metrics = want_exports;
       fleet_config.base = config;
       if (!args.get("device-spec-file").empty()) {
         if (!read_device_specs(args.get("device-spec-file"),
@@ -523,6 +611,27 @@ int main(int argc, char** argv) {
         fleet::write_fleet_report_json(std::cout, result.report);
       } else {
         fleet::render_fleet_report_text(std::cout, result.report);
+      }
+      if (want_metrics) {
+        std::ofstream out(args.get("metrics"));
+        HQ_CHECK_MSG(out.good(), "cannot open --metrics path for writing");
+        fleet::write_fleet_metrics_json(out, result);
+      }
+      if (want_prom) {
+        std::ofstream out(args.get("prom"));
+        HQ_CHECK_MSG(out.good(), "cannot open --prom path for writing");
+        fleet::write_fleet_prometheus(out, result);
+      }
+      if (want_trace) {
+        std::ofstream out(args.get("trace"));
+        HQ_CHECK_MSG(out.good(), "cannot open --trace path for writing");
+        fleet::write_fleet_chrome_trace(out, result);
+      }
+      if (want_snapshots) {
+        std::ofstream out(args.get("snapshot-file"));
+        HQ_CHECK_MSG(out.good(),
+                     "cannot open --snapshot-file path for writing");
+        fleet::write_fleet_snapshots_jsonl(out, result, *snapshot_interval);
       }
       return 0;
     }
