@@ -1,0 +1,64 @@
+// Scenario: a 3-device fleet loses a device mid-run. A per-device fault
+// plan crashes device 0 at time T; the fleet fails its queued and running
+// jobs over to the two survivors. Sweeping T across the serving window
+// shows goodput degrading in proportion to how long the fleet runs
+// one device short — crash early and a third of the capacity is gone for
+// nearly the whole run; crash late and almost nothing is lost. Every run
+// conserves jobs exactly: arrived == completed + shed + failover-exhausted.
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "fault/fault.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/report.hpp"
+#include "rodinia/registry.hpp"
+
+int main() {
+  using namespace hq;
+
+  fleet::FleetConfig base;
+  base.base.window = 20 * kMillisecond;
+  base.base.mean_interarrival = 60 * kMicrosecond;  // ~saturates 3 devices
+  base.base.num_streams = 4;
+  base.base.max_inflight = 2;
+  base.base.deadline = 4 * kMillisecond;
+  rodinia::AppParams small = {256, 4, 1};
+  base.base.classes = {{rodinia::make_app("needle", small), 0}};
+  base.base.collect_metrics = false;
+  base.resize_homogeneous(3);
+  base.placement = fleet::PlacementPolicy::LeastLoaded;
+  base.failover_budget = 2;
+
+  TextTable table;
+  table.set_header({"crash at", "arrived", "completed", "failed over",
+                    "exhausted", "goodput/s", "energy (J)"});
+  for (const TimeNs crash_at :
+       {TimeNs{0}, 4 * kMillisecond, 8 * kMillisecond, 12 * kMillisecond,
+        16 * kMillisecond}) {
+    auto config = base;
+    if (crash_at > 0) {
+      fault::FaultPlan crash = fault::FaultPlan::zero();
+      crash.crash_at = crash_at;
+      config.device_fault_plans = {crash, fault::FaultPlan{},
+                                   fault::FaultPlan{}};
+    }
+    const auto report = fleet::FleetService(config).run().report;
+    table.add_row(
+        {crash_at == 0 ? "never"
+                       : format_duration(static_cast<DurationNs>(crash_at)),
+         std::to_string(report.arrived), std::to_string(report.completed),
+         std::to_string(report.failed_over),
+         std::to_string(report.shed_failover_exhausted),
+         format_fixed(report.goodput_per_sec, 0),
+         format_fixed(report.energy, 2)});
+  }
+  std::printf("fleet failover: 3 devices, least-loaded placement, device 0\n"
+              "crashes at T; queued and running jobs fail over to the two\n"
+              "survivors (budget 2 hops)\n\n%s\n",
+              table.render().c_str());
+  std::printf("the earlier the crash, the longer the fleet runs at 2/3\n"
+              "capacity and the lower its goodput; in-flight failover keeps\n"
+              "every displaced job accounted — nothing is silently lost.\n");
+  return 0;
+}

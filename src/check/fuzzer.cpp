@@ -1,6 +1,7 @@
 #include "check/fuzzer.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <optional>
 #include <sstream>
 
@@ -374,6 +375,167 @@ std::vector<std::string> Fuzzer::run_fleet_case(std::uint64_t case_seed,
          << " fleet completed " << fleet1->report.completed
          << " < single-device " << single_run->report.completed << "]";
       *summary_out = os.str();
+    }
+  }
+
+  return problems;
+}
+
+std::vector<std::string> Fuzzer::run_fleet_chaos_case(
+    std::uint64_t case_seed, double chaos_rate, std::string* summary_out) {
+  FleetFuzzCase c = generate_fleet_case(case_seed);
+  // Chaos draws from its own stream, so a case seed maps to exactly the
+  // fleet config run_fleet_case saw, plus a deterministic lifecycle-fault
+  // schedule and failover/hedging knobs layered on top.
+  Rng rng(case_seed ^ 0x94d049bb133111ebULL);
+  fleet::FleetConfig& cfg = c.config;
+  const std::size_t n = cfg.num_devices();
+  const DurationNs window = cfg.base.window;
+
+  cfg.device_fault_plans.assign(n, fault::FaultPlan{});
+  std::size_t chaotic = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    // Fixed draw sequence per device, consumed whether or not the device
+    // ends up chaotic, so every decision is a pure function of the seed.
+    const double verdict = rng.next_double();
+    const std::size_t kind = rng.next_below(3);
+    const TimeNs at = static_cast<TimeNs>(
+        window / 5 + rng.next_below(static_cast<std::uint64_t>(window) * 3 / 5));
+    const std::uint64_t plan_seed = rng.next_u64();
+    if (verdict >= chaos_rate) continue;
+    fault::FaultPlan plan = fault::FaultPlan::zero();
+    plan.seed = plan_seed;
+    if (kind == 0) {
+      plan.crash_at = at;
+    } else if (kind == 1) {
+      plan.flap_period = window / 4;
+      plan.flap_down = window / 16;
+      plan.flap_jitter = 0.5;
+    } else {
+      plan.degrade_at = at;
+      plan.degrade_copy_factor = 3.0;
+    }
+    cfg.device_fault_plans[d] = plan;
+    ++chaotic;
+  }
+  cfg.failover_budget = static_cast<int>(rng.next_below(4));
+  cfg.hedging = rng.next_below(2) == 0;
+  cfg.hedge_threshold = rng.next_below(2) == 0 ? 1.5 : 2.5;
+  cfg.hedge_min_samples = 2 + rng.next_below(3);
+
+  if (summary_out != nullptr) {
+    std::ostringstream os;
+    os << c.summary() << " chaos=" << chaotic << "/" << n
+       << " budget=" << cfg.failover_budget
+       << " hedge=" << cfg.hedging;
+    *summary_out = os.str();
+  }
+  std::vector<std::string> problems;
+  const auto fail = [&problems](const std::ostringstream& os) {
+    problems.push_back(os.str());
+  };
+
+  const auto run_with = [&](const fleet::FleetConfig& run_cfg,
+                            const char* label)
+      -> std::optional<fleet::FleetResult> {
+    try {
+      return fleet::FleetService(run_cfg).run();
+    } catch (const hq::Error& e) {
+      std::ostringstream os;
+      os << label << ": " << e.what();
+      fail(os);
+      return std::nullopt;
+    }
+  };
+
+  // No-job-lost conservation under arbitrary crash schedules: every
+  // arrival lands in exactly one terminal state — including the fleet-only
+  // shed_failover_exhausted — and per-device arrivals plus the fleet-only
+  // sheds reproduce the fleet total.
+  const auto check_chaos_conservation = [&](const fleet::FleetReport& r,
+                                            const char* label) {
+    const std::uint64_t terminal = r.completed_ok + r.completed_late +
+                                   r.shed_queue_full + r.shed_breaker +
+                                   r.shed_no_device + r.timed_out_queued +
+                                   r.quarantined + r.shed_failover_exhausted;
+    if (r.arrived != terminal) {
+      std::ostringstream os;
+      os << label << ": chaos accounting leak (arrived " << r.arrived
+         << " != terminal states " << terminal << ")";
+      fail(os);
+    }
+    std::uint64_t device_arrived = 0;
+    for (const fleet::FleetDeviceStats& dev : r.devices) {
+      device_arrived += dev.report.arrived;
+    }
+    if (device_arrived + r.shed_no_device + r.shed_failover_exhausted !=
+        r.arrived) {
+      std::ostringstream os;
+      os << label << ": per-device arrivals " << device_arrived
+         << " + shed_no_device " << r.shed_no_device
+         << " + shed_failover_exhausted " << r.shed_failover_exhausted
+         << " != fleet arrived " << r.arrived;
+      fail(os);
+    }
+  };
+
+  const auto chaos1 = run_with(cfg, "chaos-run1");
+  const auto chaos2 = run_with(cfg, "chaos-run2");
+  if (!chaos1 || !chaos2) return problems;
+  check_chaos_conservation(chaos1->report, "chaos-base");
+
+  // --- failover determinism --------------------------------------------------
+  if (fleet::fleet_report_json(chaos1->report) !=
+      fleet::fleet_report_json(chaos2->report)) {
+    std::ostringstream os;
+    os << "chaos determinism: reports differ across identical runs (digests "
+       << fleet::fleet_report_digest(chaos1->report) << " vs "
+       << fleet::fleet_report_digest(chaos2->report) << ")";
+    fail(os);
+  }
+
+  // --- inert-knob identity ---------------------------------------------------
+  // Hedging off, all per-device plans disabled, and a moved (but inert)
+  // failover budget must reproduce the chaos-free fleet case byte-for-byte.
+  fleet::FleetConfig inert = cfg;
+  inert.device_fault_plans.assign(n, fault::FaultPlan{});
+  inert.hedging = false;
+  const fleet::FleetConfig baseline = generate_fleet_case(case_seed).config;
+  const auto inert_run = run_with(inert, "chaos-inert");
+  const auto baseline_run = run_with(baseline, "chaos-baseline");
+  if (inert_run && baseline_run) {
+    if (fleet::fleet_report_json(inert_run->report) !=
+        fleet::fleet_report_json(baseline_run->report)) {
+      std::ostringstream os;
+      os << "chaos inert-knob perturbation: hedging off + disabled plans "
+         << "changed the report (digests "
+         << fleet::fleet_report_digest(inert_run->report) << " vs "
+         << fleet::fleet_report_digest(baseline_run->report) << ")";
+      fail(os);
+    }
+  }
+
+  // --- all devices dead => clean drain ---------------------------------------
+  // Every device crashes at the same instant: the run must terminate with
+  // no invariant violation, conserve every arrival, and complete nothing
+  // after the crash.
+  fleet::FleetConfig doomed = cfg;
+  fault::FaultPlan crash_all = fault::FaultPlan::zero();
+  crash_all.crash_at = window / 3;
+  doomed.device_fault_plans.assign(n, crash_all);
+  if (const auto dead = run_with(doomed, "chaos-all-dead")) {
+    check_chaos_conservation(dead->report, "chaos-all-dead");
+    for (const serve::JobRecord& job : dead->jobs) {
+      if ((job.state == serve::JobState::CompletedOk ||
+           job.state == serve::JobState::CompletedLate) &&
+          job.completed_at > crash_all.crash_at) {
+        std::ostringstream os;
+        os << "chaos-all-dead: job " << job.job_id << " completed at "
+           << job.completed_at << " after every device crashed at "
+           << crash_all.crash_at;
+        fail(os);
+        break;
+      }
     }
   }
 
@@ -856,6 +1018,15 @@ FuzzReport Fuzzer::run(const Progress& progress) {
       r.problems = run_serve_case(case_seeds[i], &r.summary);
     } else {
       r.problems = run_fleet_case(case_seeds[i], &r.summary);
+      if (options_.chaos_rate > 0) {
+        std::string chaos_summary;
+        std::vector<std::string> chaos = run_fleet_chaos_case(
+            case_seeds[i], options_.chaos_rate, &chaos_summary);
+        r.summary = std::move(chaos_summary);
+        r.problems.insert(r.problems.end(),
+                          std::make_move_iterator(chaos.begin()),
+                          std::make_move_iterator(chaos.end()));
+      }
     }
     return r;
   };

@@ -139,6 +139,14 @@ struct FuzzOptions {
   /// reports use iteration indices `iterations + serve_iterations..`).
   /// 0 disables.
   int fleet_iterations = 0;
+  /// Probability in [0, 1] that each fleet device receives a seed-derived
+  /// lifecycle fault (crash / flap / degrade schedule). When > 0 every
+  /// fleet iteration additionally runs the chaos oracles
+  /// (run_fleet_chaos_case): no-job-lost conservation under arbitrary
+  /// crash schedules, failover determinism, hedge-off/inert-knob runs
+  /// byte-identical to the baseline, and all-devices-dead draining
+  /// cleanly. 0 disables.
+  double chaos_rate = 0.0;
 };
 
 struct FuzzFailure {
@@ -185,6 +193,18 @@ class Fuzzer {
   /// are appended to the summary instead.
   static std::vector<std::string> run_fleet_case(
       std::uint64_t case_seed, std::string* summary_out = nullptr);
+
+  /// Runs the fleet chaos oracles for one case seed: the fleet case's
+  /// config plus a seed-derived device-lifecycle fault schedule (each
+  /// device crashes, flaps, or degrades with probability `chaos_rate`) and
+  /// random failover/hedging knobs. Checks no-job-lost conservation
+  /// (including shed_failover_exhausted), two-run byte determinism, the
+  /// inert-knob identity (hedging off + all-disabled plans ==
+  /// byte-identical baseline report), and the all-devices-dead clean
+  /// drain. Returns the violated oracles (empty = clean).
+  static std::vector<std::string> run_fleet_chaos_case(
+      std::uint64_t case_seed, double chaos_rate,
+      std::string* summary_out = nullptr);
 
   /// The seed-derived transient-only plan fault-mode cases run under
   /// (stalls, slowdowns, throttle windows, retryable launch failures; no

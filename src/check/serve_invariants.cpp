@@ -25,7 +25,8 @@ std::vector<std::string> verify_serve_accounting(const ServeAccounting& acc,
   }
 
   const std::uint64_t sheds = acc.shed_queue_full + acc.shed_breaker +
-                              acc.timed_out_queued + acc.shed_no_device;
+                              acc.timed_out_queued + acc.shed_no_device +
+                              acc.shed_failover_exhausted;
   if (acc.undispatched_apps.size() != sheds) {
     std::ostringstream os;
     os << "serve accounting: " << acc.undispatched_apps.size()

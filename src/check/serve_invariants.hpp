@@ -37,6 +37,13 @@ struct ServeAccounting {
   /// part of this device's `arrived` (no device ever saw them), but their
   /// ids still ride in undispatched_apps for the span-free check.
   std::uint64_t shed_no_device = 0;
+  /// Fleet-only: jobs dropped after exhausting their failover budget (or
+  /// the supply of healthy survivors) WITHOUT ever dispatching. Like
+  /// shed_no_device they are not part of this device's `arrived`, and
+  /// their ids ride in undispatched_apps for the span-free check. Jobs
+  /// that dispatched before their device went down are accounted only at
+  /// the fleet level (their partial runs legitimately own trace spans).
+  std::uint64_t shed_failover_exhausted = 0;
   /// App ids of jobs rejected before dispatch (shed or expired while
   /// queued); these must have no trace spans.
   std::vector<std::int32_t> undispatched_apps;

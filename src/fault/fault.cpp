@@ -111,6 +111,14 @@ bool apply_key(FaultPlan& plan, const std::string& key,
   if (key == "throttle-period-us") return micros(&plan.throttle_period);
   if (key == "throttle-duty-us") return micros(&plan.throttle_duration);
   if (key == "throttle-factor") return factor(&plan.throttle_factor);
+  if (key == "crash-at-us") return micros(&plan.crash_at);
+  if (key == "flap-period-us") return micros(&plan.flap_period);
+  if (key == "flap-down-us") return micros(&plan.flap_down);
+  if (key == "flap-jitter") return rate(&plan.flap_jitter);
+  if (key == "degrade-at-us") return micros(&plan.degrade_at);
+  if (key == "degrade-copy-factor") {
+    return factor(&plan.degrade_copy_factor);
+  }
   return set_error(error, "fault plan: unknown key '" + key + "'");
 }
 
@@ -122,7 +130,14 @@ bool FaultPlan::any_faults() const {
          launch_failure_rate > 0.0 || poison_app >= 0 ||
          host_alloc_failure_rate > 0.0 || offline_smx > 0 ||
          (throttle_period > 0 && throttle_duration > 0 &&
-          throttle_factor > 1.0);
+          throttle_factor > 1.0) ||
+         any_lifecycle();
+}
+
+bool FaultPlan::any_lifecycle() const {
+  if (!enabled) return false;
+  return crash_at > 0 || (flap_period > 0 && flap_down > 0) ||
+         (degrade_at > 0 && degrade_copy_factor > 1.0);
 }
 
 std::optional<FaultPlan> parse_fault_plan(const std::string& text,
@@ -130,6 +145,12 @@ std::optional<FaultPlan> parse_fault_plan(const std::string& text,
   FaultPlan plan;
   plan.enabled = true;
   if (text == "zero") return plan;
+  if (text == "disabled" || text == "none") {
+    // Inert plan (no injector at all) — the per-device fault-plan file uses
+    // this for devices that should run fault-free.
+    plan.enabled = false;
+    return plan;
+  }
   std::stringstream stream(text);
   std::string token;
   bool any = false;
@@ -176,6 +197,28 @@ std::string fault_plan_to_string(const FaultPlan& plan) {
   out << ",throttle-period-us=" << plan.throttle_period / kMicrosecond;
   out << ",throttle-duty-us=" << plan.throttle_duration / kMicrosecond;
   out << ",throttle-factor=" << obs::format_double(plan.throttle_factor);
+  // Lifecycle keys are emitted only when set: plans without lifecycle
+  // faults keep their historical rendering byte-for-byte (reports embed
+  // this string, and the pinned golden digests hash the report bytes).
+  if (plan.crash_at > 0) {
+    out << ",crash-at-us=" << plan.crash_at / kMicrosecond;
+  }
+  if (plan.flap_period > 0) {
+    out << ",flap-period-us=" << plan.flap_period / kMicrosecond;
+  }
+  if (plan.flap_down > 0) {
+    out << ",flap-down-us=" << plan.flap_down / kMicrosecond;
+  }
+  if (plan.flap_jitter > 0.0) {
+    out << ",flap-jitter=" << obs::format_double(plan.flap_jitter);
+  }
+  if (plan.degrade_at > 0) {
+    out << ",degrade-at-us=" << plan.degrade_at / kMicrosecond;
+  }
+  if (plan.degrade_copy_factor > 1.0) {
+    out << ",degrade-copy-factor="
+        << obs::format_double(plan.degrade_copy_factor);
+  }
   return out.str();
 }
 
@@ -195,6 +238,8 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
   HQ_CHECK_MSG(plan_.enabled, "FaultInjector needs an enabled plan");
   HQ_CHECK(plan_.copy_slowdown_factor >= 1.0);
   HQ_CHECK(plan_.throttle_factor >= 1.0);
+  HQ_CHECK(plan_.degrade_copy_factor >= 1.0);
+  HQ_CHECK(plan_.flap_jitter >= 0.0 && plan_.flap_jitter <= 1.0);
 }
 
 gpu::DeviceSpec FaultInjector::degraded(gpu::DeviceSpec spec) const {
@@ -249,6 +294,17 @@ DurationNs FaultInjector::copy_service_penalty(TimeNs now,
       now % plan_.throttle_period < plan_.throttle_duration) {
     const DurationNs extra = static_cast<DurationNs>(
         std::ceil(static_cast<double>(base) * (plan_.throttle_factor - 1.0)));
+    penalty += extra;
+    ++stats_.throttled_copies;
+    emit(now, gpu::ObservedFault::CopyThrottle, op, extra);
+  }
+  // Sustained degradation (lifecycle fault): a permanent copy-bandwidth
+  // derate from degrade_at on. Observed through the throttle channel so the
+  // checker's fault cross-count needs no new event kind.
+  if (plan_.degrade_at > 0 && plan_.degrade_copy_factor > 1.0 &&
+      now >= plan_.degrade_at) {
+    const DurationNs extra = static_cast<DurationNs>(std::ceil(
+        static_cast<double>(base) * (plan_.degrade_copy_factor - 1.0)));
     penalty += extra;
     ++stats_.throttled_copies;
     emit(now, gpu::ObservedFault::CopyThrottle, op, extra);

@@ -78,6 +78,25 @@ struct FaultPlan {
   DurationNs throttle_duration = 0;
   double throttle_factor = 1.0;
 
+  // --- device lifecycle (fleet fault domains) ------------------------------
+  /// Permanent crash: the device goes down at crash_at and never returns
+  /// (0 = never). The fleet layer fails queued/running jobs over to
+  /// surviving devices.
+  TimeNs crash_at = 0;
+  /// Flapping: the device is down for roughly flap_down at the start of
+  /// every flap_period cycle (both > 0 to enable). Each cycle's actual down
+  /// duration is drawn deterministically from (seed, cycle) and jittered by
+  /// +-flap_jitter (a fraction in [0, 1]), so fleets of flapping devices
+  /// stay decorrelated yet byte-reproducible.
+  DurationNs flap_period = 0;
+  DurationNs flap_down = 0;
+  double flap_jitter = 0.0;
+  /// Sustained degradation: from degrade_at on, every DMA transaction is
+  /// served degrade_copy_factor (>= 1) times slower — a permanently derated
+  /// copy clock. Counted and observed through the throttle fault channel.
+  TimeNs degrade_at = 0;
+  double degrade_copy_factor = 1.0;
+
   /// Enabled plan with every rate zero (the zero-perturbation baseline).
   static FaultPlan zero() {
     FaultPlan plan;
@@ -87,12 +106,18 @@ struct FaultPlan {
 
   /// True when any fault can actually fire.
   bool any_faults() const;
+  /// True when a device-lifecycle fault (crash, flap, or sustained
+  /// degradation) is configured; the fleet layer schedules down/up
+  /// transitions for such plans.
+  bool any_lifecycle() const;
 };
 
 /// Parses the compact `key=value[,key=value...]` plan syntax used by
 /// `hqrun --fault-plan` (see fault_plan_keys() / EXPERIMENTS.md). The
-/// keyword "zero" yields FaultPlan::zero(). Returns nullopt and fills
-/// *error on malformed input.
+/// keyword "zero" yields FaultPlan::zero(); "disabled" (or "none") yields
+/// an inert disabled plan — used by per-device fault-plan files for
+/// fault-free devices. Returns nullopt and fills *error on malformed
+/// input.
 std::optional<FaultPlan> parse_fault_plan(const std::string& text,
                                           std::string* error = nullptr);
 

@@ -1,0 +1,83 @@
+#include "fault/lifecycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace hq::fault {
+namespace {
+
+// Draw-stream domain for per-cycle flap jitter; disjoint from the injector
+// domains in fault.cpp (0x01..0x04).
+constexpr std::uint64_t kDomainFlap = 0x05;
+
+}  // namespace
+
+DeviceLifecycle::DeviceLifecycle(const FaultPlan& plan) : plan_(plan) {
+  HQ_CHECK_MSG(plan_.enabled, "DeviceLifecycle needs an enabled plan");
+  HQ_CHECK(plan_.flap_jitter >= 0.0 && plan_.flap_jitter <= 1.0);
+  if (flaps()) {
+    HQ_CHECK_MSG(plan_.flap_period > 1,
+                 "flap period must leave room for an up window");
+  }
+}
+
+DurationNs DeviceLifecycle::flap_down_for(std::uint64_t cycle) const {
+  if (!flaps()) return 0;
+  double down = static_cast<double>(plan_.flap_down);
+  if (plan_.flap_jitter > 0.0) {
+    Fnv1a64 hash;
+    hash.mix_u64(plan_.seed);
+    hash.mix_u64(kDomainFlap);
+    hash.mix_u64(cycle);
+    const double u = static_cast<double>(hash.value() >> 11) * 0x1.0p-53;
+    down *= 1.0 + plan_.flap_jitter * (2.0 * u - 1.0);
+  }
+  const auto drawn = static_cast<DurationNs>(std::llround(down));
+  // Keep both the down window and the up remainder non-empty so every flap
+  // edge is a real state change.
+  return std::clamp<DurationNs>(drawn, 1, plan_.flap_period - 1);
+}
+
+bool DeviceLifecycle::up(TimeNs now) const {
+  if (crashes() && now >= plan_.crash_at) return false;
+  if (flaps()) {
+    const auto cycle =
+        static_cast<std::uint64_t>(now / plan_.flap_period);
+    if (now % plan_.flap_period < flap_down_for(cycle)) return false;
+  }
+  return true;
+}
+
+std::optional<LifecycleTransition> DeviceLifecycle::next_transition(
+    TimeNs now) const {
+  if (!crashes() && !flaps()) return std::nullopt;
+  if (crashes() && now >= plan_.crash_at) return std::nullopt;  // down forever
+  const bool cur = up(now);
+  TimeNs t = now;
+  while (true) {
+    // Next candidate edge after t: the current flap window boundary and the
+    // crash instant are the only places up() can change.
+    TimeNs next = 0;
+    if (flaps()) {
+      const auto cycle = static_cast<std::uint64_t>(t / plan_.flap_period);
+      const TimeNs start =
+          static_cast<TimeNs>(cycle) * plan_.flap_period;
+      const TimeNs down_end = start + flap_down_for(cycle);
+      next = t < down_end ? down_end : start + plan_.flap_period;
+    }
+    if (crashes() && plan_.crash_at > t) {
+      next = flaps() ? std::min(next, plan_.crash_at) : plan_.crash_at;
+    }
+    const bool state = up(next);
+    if (state != cur) return LifecycleTransition{next, !state};
+    // A crash landing inside a flap-down window changes nothing now and
+    // pins the device down forever: no further transitions.
+    if (crashes() && next >= plan_.crash_at) return std::nullopt;
+    t = next;
+  }
+}
+
+}  // namespace hq::fault

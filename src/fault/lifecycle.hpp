@@ -1,0 +1,54 @@
+// Deterministic device-lifecycle fault schedules (library hq_fault).
+//
+// A DeviceLifecycle turns the lifecycle fields of a FaultPlan — permanent
+// crash at time T, flapping down/up cycles with seeded per-cycle jitter —
+// into a concrete, fully precomputable sequence of down/up transitions on
+// the virtual clock. The fleet layer (src/fleet) walks this sequence to
+// schedule failover at every down edge and queue pumps at every up edge.
+//
+// Determinism contract: the schedule is a pure function of the plan (every
+// flap cycle's down duration hashes (plan.seed, cycle) through FNV-1a), so
+// the same plan reproduces byte-identical transition times at any --jobs
+// count. A plan with no lifecycle faults yields an empty schedule and the
+// device is permanently up — attaching the class is zero-perturbation.
+#pragma once
+
+#include <optional>
+
+#include "common/units.hpp"
+#include "fault/fault.hpp"
+
+namespace hq::fault {
+
+/// One lifecycle state change of a device.
+struct LifecycleTransition {
+  TimeNs at = 0;
+  /// True when the device goes down at `at`; false when it comes back up.
+  bool down = false;
+};
+
+/// Walks the down/up transition sequence of one device's lifecycle plan.
+class DeviceLifecycle {
+ public:
+  explicit DeviceLifecycle(const FaultPlan& plan);
+
+  /// True when the device is serving at `now` (crash and flap windows
+  /// combined; degradation never takes a device down).
+  bool up(TimeNs now) const;
+
+  /// The first transition strictly after `now`, or nullopt when the state
+  /// never changes again (no lifecycle faults, or crashed for good).
+  std::optional<LifecycleTransition> next_transition(TimeNs now) const;
+
+  /// Down duration of flap cycle `cycle` (jitter applied, clamped to keep
+  /// at least one up nanosecond per period). Exposed for tests.
+  DurationNs flap_down_for(std::uint64_t cycle) const;
+
+  bool crashes() const { return plan_.crash_at > 0; }
+  bool flaps() const { return plan_.flap_period > 0 && plan_.flap_down > 0; }
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace hq::fault

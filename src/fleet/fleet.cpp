@@ -10,6 +10,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "fault/lifecycle.hpp"
 #include "serve/signals.hpp"
 #include "trace/trace.hpp"
 
@@ -25,10 +26,33 @@ void FleetConfig::resize_homogeneous(std::size_t n) {
   devices.assign(n, base.device);
 }
 
+bool FleetConfig::fault_domains_active() const {
+  if (hedging) return true;
+  if (base.fault_plan.any_lifecycle()) return true;
+  for (const fault::FaultPlan& plan : device_fault_plans) {
+    if (plan.any_faults()) return true;
+  }
+  return false;
+}
+
 void FleetConfig::validate() const {
   base.validate();
   HQ_CHECK_MSG(copy_penalty >= 0,
                "fleet config: copy_penalty must be >= 0, got " << copy_penalty);
+  HQ_CHECK_MSG(device_fault_plans.empty() ||
+                   device_fault_plans.size() == num_devices(),
+               "fleet config: device_fault_plans has "
+                   << device_fault_plans.size() << " entries for "
+                   << num_devices() << " devices");
+  HQ_CHECK_MSG(failover_budget >= 0,
+               "fleet config: failover_budget must be >= 0, got "
+                   << failover_budget);
+  HQ_CHECK_MSG(hedge_threshold > 0,
+               "fleet config: hedge_threshold must be > 0, got "
+                   << hedge_threshold);
+  HQ_CHECK_MSG(hedge_min_samples >= 1,
+               "fleet config: hedge_min_samples must be >= 1, got "
+                   << hedge_min_samples);
 }
 
 namespace {
@@ -55,15 +79,37 @@ class CopyDepthTracker final : public gpu::DeviceObserver {
   std::size_t depth_ = 0;
 };
 
-/// Device d > 0 runs the base plan with its seed offset by d (fault
-/// decorrelation); device 0 uses the plan verbatim so a 1-device fleet is
-/// byte-identical to the single-device Service.
-std::unique_ptr<fault::FaultInjector> make_injector(
-    const serve::ServiceConfig& base, std::size_t index) {
-  if (!base.fault_plan.enabled) return nullptr;
-  fault::FaultPlan plan = base.fault_plan;
+/// The fault plan device `index` actually runs: device_fault_plans[index]
+/// verbatim when per-device plans are configured; otherwise the legacy
+/// scheme — the base plan with its seed offset by the device index (fault
+/// decorrelation). Device 0 uses the base plan verbatim so a 1-device
+/// fleet is byte-identical to the single-device Service.
+fault::FaultPlan effective_fault_plan(const FleetConfig& cfg,
+                                      std::size_t index) {
+  if (!cfg.device_fault_plans.empty()) return cfg.device_fault_plans[index];
+  fault::FaultPlan plan = cfg.base.fault_plan;
   plan.seed += static_cast<std::uint64_t>(index);
+  return plan;
+}
+
+std::unique_ptr<fault::FaultInjector> make_injector(const FleetConfig& cfg,
+                                                    std::size_t index) {
+  const fault::FaultPlan plan = effective_fault_plan(cfg, index);
+  if (!plan.enabled) return nullptr;
   return std::make_unique<fault::FaultInjector>(plan);
+}
+
+/// Lifecycle schedule for the device's effective plan; null when the plan
+/// carries no crash/flap (degrade is handled inside the injector's copy
+/// path and needs no transition events).
+std::unique_ptr<fault::DeviceLifecycle> make_lifecycle(
+    const fault::FaultInjector* injector) {
+  if (injector == nullptr) return nullptr;
+  const fault::FaultPlan& plan = injector->plan();
+  if (plan.crash_at <= 0 && !(plan.flap_period > 0 && plan.flap_down > 0)) {
+    return nullptr;
+  }
+  return std::make_unique<fault::DeviceLifecycle>(plan);
 }
 
 rt::RuntimeOptions make_rt_options(const serve::ServiceConfig& base,
@@ -122,6 +168,25 @@ struct FleetService::Shard {
   obs::Series* breaker_state_series = nullptr;
   std::uint64_t completed_jobs = 0;
 
+  // --- fleet fault domains --------------------------------------------------
+  /// Down/up schedule from the effective fault plan; null when the plan has
+  /// no crash/flap faults (the device is permanently up).
+  std::unique_ptr<fault::DeviceLifecycle> lifecycle_faults;
+  /// True while the device is down (between a down and an up transition).
+  /// Always false without lifecycle faults — zero perturbation.
+  bool down = false;
+  std::uint64_t failed_over_in = 0;
+  std::uint64_t failed_over_out = 0;
+  std::uint64_t hedges_run = 0;
+  std::uint64_t attempts_cancelled = 0;
+  std::uint64_t lifecycle_downs = 0;
+  /// Energy/occupancy frozen at the drain instant (lifecycle transition
+  /// events can outlive the drain and would otherwise stretch the lazy
+  /// idle-power integral; without lifecycle faults these equal the post-run
+  /// reads exactly).
+  Joules final_energy = 0;
+  double final_occupancy = 0;
+
   std::size_t inflight = 0;
   std::size_t peak_inflight = 0;
   std::uint64_t pseudo_burst_jobs = 0;
@@ -138,7 +203,7 @@ struct FleetService::Shard {
   Shard(std::size_t idx, sim::Simulator& sim, const FleetConfig& cfg,
         const gpu::DeviceSpec& raw_spec, std::deque<serve::JobRecord>* jobs)
       : index(idx),
-        injector(make_injector(cfg.base, idx)),
+        injector(make_injector(cfg, idx)),
         spec(injector != nullptr ? injector->degraded(raw_spec) : raw_spec),
         recorder(std::make_shared<trace::Recorder>()),
         device(sim, spec, recorder.get()),
@@ -155,7 +220,8 @@ struct FleetService::Shard {
         device_breaker(cfg.device_breaker_enabled
                            ? std::make_unique<fault::CircuitBreaker>(
                                  cfg.device_breaker)
-                           : nullptr) {}
+                           : nullptr),
+        lifecycle_faults(make_lifecycle(injector.get())) {}
 
   fault::CircuitBreaker* breaker_for(std::size_t klass) {
     if (breakers.empty()) return nullptr;
@@ -173,18 +239,58 @@ struct FleetService::RunState {
   Placer* placer = nullptr;
   std::deque<Shard>* shards = nullptr;
 
-  struct Slot {
+  /// One dispatch attempt of a job. Coroutines cannot be aborted mid-await,
+  /// so cancelling an attempt (failover off a downed device, losing a hedge
+  /// race) clears `viable` and lets the coroutine drain as a zombie: its
+  /// device work stands in the trace, but its outcome is discarded. The
+  /// deque keeps addresses stable across growth (coroutines hold indices,
+  /// not pointers, but the app/context must not move mid-await).
+  struct Attempt {
+    int job_id = -1;
+    std::size_t shard = 0;
+    bool viable = true;
+    bool hedge = false;
     std::unique_ptr<fw::Kernel> app;
     fw::Context context;
   };
+  /// Per-job fault-domain execution state.
+  struct JobExec {
+    int primary_attempt = -1;  ///< current non-hedge attempt; -1 when none
+    int hedge_attempt = -1;    ///< racing hedge attempt; -1 when none
+    int failovers = 0;         ///< failover hops consumed
+    std::uint64_t dispatches = 0;  ///< total attempts ever dispatched
+  };
   std::deque<serve::JobRecord>* jobs = nullptr;
-  std::deque<Slot>* slots = nullptr;
-  /// Current owner device per job; -1 before placement / for ShedNoDevice.
+  std::deque<Attempt>* attempts = nullptr;
+  std::deque<JobExec>* exec = nullptr;
+  /// Current owner device per job; -1 before placement / for ShedNoDevice
+  /// and ShedFailoverExhausted.
   std::vector<int>* owners = nullptr;
 
   bool admission_closed = false;
   TimeNs window_closed_at = 0;
   std::uint64_t shed_no_device = 0;
+
+  // --- fleet fault domains --------------------------------------------------
+  std::uint64_t shed_failover_exhausted = 0;
+  /// Exhausted jobs that never dispatched: span-free like shed_no_device.
+  std::vector<std::int32_t> exhausted_undispatched;
+  std::uint64_t failed_over_hops = 0;
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t hedges_cancelled = 0;
+  std::uint64_t attempts_cancelled = 0;
+  /// Running per-class mean of winning service times (dispatch ->
+  /// completion) feeding the hedge straggler threshold.
+  struct ClassService {
+    std::uint64_t count = 0;
+    double sum_ns = 0;
+  };
+  std::vector<ClassService> class_service;
+  /// Virtual time when the drain event fired; lifecycle transition events
+  /// can outlive the drain, so run totals use this instead of the final
+  /// clock (identical without lifecycle faults).
+  TimeNs finished_at = 0;
 
   /// Per-job lifecycle tracer; null unless base.collect_metrics. Recording
   /// is passive (never touches the simulator), so the schedule is
@@ -234,8 +340,9 @@ struct FleetService::RunState {
 
   /// Consumes one device health-breaker admission (half-open probes are
   /// real dispatches). Only called immediately before a dispatch so an
-  /// admitted probe always resolves.
+  /// admitted probe always resolves. A down device admits nothing.
   bool gate(Shard& s) {
+    if (s.down) return false;
     if (s.device_breaker == nullptr) return true;
     const bool admitted = s.device_breaker->allow(sim->now());
     sample_breaker(s);  // allow() can move Open -> HalfOpen
@@ -247,8 +354,8 @@ struct FleetService::RunState {
     const TimeNs now = sim->now();
     for (Shard& s : *shards) {
       DeviceLoad load;
-      load.healthy = s.device_breaker == nullptr ||
-                     s.device_breaker->would_allow(now);
+      load.healthy = !s.down && (s.device_breaker == nullptr ||
+                                 s.device_breaker->would_allow(now));
       load.outstanding = s.queue.size() + s.inflight;
       load.copy_depth = s.copy_depth.depth();
       load_buf.push_back(load);
@@ -256,13 +363,20 @@ struct FleetService::RunState {
     return load_buf;
   }
 
-  void dispatch(Shard& s, int job_id) {
-    serve::JobRecord& job = (*jobs)[static_cast<std::size_t>(job_id)];
-    Slot& slot = (*slots)[static_cast<std::size_t>(job_id)];
-    const serve::ClassSpec& spec = config->base.classes[job.klass];
-    slot.app = spec.item.factory();
-    HQ_CHECK_MSG(slot.app != nullptr, "factory for '" << spec.item.type_name
-                                                      << "' returned null");
+  /// Creates a fresh attempt slot of `job_id` on shard `s` (the app
+  /// instance and device-bound context one coroutine will run).
+  std::size_t new_attempt(Shard& s, int job_id, bool hedge) {
+    const std::size_t attempt_index = attempts->size();
+    attempts->emplace_back();
+    Attempt& a = attempts->back();
+    a.job_id = job_id;
+    a.shard = s.index;
+    a.hedge = hedge;
+    const serve::ClassSpec& spec =
+        config->base.classes[(*jobs)[static_cast<std::size_t>(job_id)].klass];
+    a.app = spec.item.factory();
+    HQ_CHECK_MSG(a.app != nullptr, "factory for '" << spec.item.type_name
+                                                   << "' returned null");
     fw::Context ctx;
     ctx.sim = sim;
     ctx.runtime = &s.runtime;
@@ -270,7 +384,16 @@ struct FleetService::RunState {
     ctx.recorder = s.recorder.get();
     ctx.app_id = job_id;
     ctx.functional = config->base.functional;
-    slot.context = ctx;
+    a.context = ctx;
+    ++(*exec)[static_cast<std::size_t>(job_id)].dispatches;
+    return attempt_index;
+  }
+
+  void dispatch(Shard& s, int job_id) {
+    serve::JobRecord& job = (*jobs)[static_cast<std::size_t>(job_id)];
+    const std::size_t attempt_index = new_attempt(s, job_id, false);
+    (*exec)[static_cast<std::size_t>(job_id)].primary_attempt =
+        static_cast<int>(attempt_index);
 
     job.state = serve::JobState::Inflight;
     job.dispatched_at = sim->now();
@@ -282,7 +405,60 @@ struct FleetService::RunState {
               static_cast<int>(s.index));
     ++s.inflight;
     s.peak_inflight = std::max(s.peak_inflight, s.inflight);
-    sim->spawn(FleetService::job_lifecycle(this, s.index, job_id));
+    sim->spawn(FleetService::job_lifecycle(this, attempt_index));
+    sample_depths(s);
+    maybe_schedule_hedge(job_id, attempt_index);
+  }
+
+  /// Schedules the straggler check of a fresh primary dispatch: if the job
+  /// is still inflight on the same attempt after hedge_threshold x the
+  /// class's running mean winner service time, hedge it. No-op (and no
+  /// event) until the class has hedge_min_samples completions — and always
+  /// when hedging is off, keeping the schedule untouched.
+  void maybe_schedule_hedge(int job_id, std::size_t attempt_index) {
+    if (!config->hedging) return;
+    const ClassService& cs =
+        class_service[(*jobs)[static_cast<std::size_t>(job_id)].klass];
+    if (cs.count < config->hedge_min_samples) return;
+    const double mean = cs.sum_ns / static_cast<double>(cs.count);
+    const auto wait = std::max<DurationNs>(
+        1, static_cast<DurationNs>(std::llround(config->hedge_threshold *
+                                                mean)));
+    sim->schedule(wait, [this, job_id, attempt_index] {
+      hedge_check(job_id, attempt_index);
+    });
+  }
+
+  /// Fires when a dispatched job has outlived the straggler threshold:
+  /// re-dispatches it on the lowest-index idle healthy peer. First
+  /// completion wins, the loser is cancelled — all deterministic.
+  void hedge_check(int job_id, std::size_t attempt_index) {
+    const serve::JobRecord& job = (*jobs)[static_cast<std::size_t>(job_id)];
+    JobExec& ex = (*exec)[static_cast<std::size_t>(job_id)];
+    if (ex.primary_attempt != static_cast<int>(attempt_index)) return;
+    if (ex.hedge_attempt != -1) return;
+    const Attempt& a = (*attempts)[attempt_index];
+    if (!a.viable || job.state != serve::JobState::Inflight) return;
+    for (Shard& peer : *shards) {
+      if (peer.index == a.shard || peer.down) continue;
+      if (!peer.queue.empty() || peer.inflight != 0) continue;  // not idle
+      if (!can_dispatch(peer) || !gate(peer)) continue;
+      dispatch_hedge(peer, job_id, a.shard);
+      return;
+    }
+  }
+
+  void dispatch_hedge(Shard& s, int job_id, std::size_t primary_shard) {
+    const std::size_t attempt_index = new_attempt(s, job_id, true);
+    (*exec)[static_cast<std::size_t>(job_id)].hedge_attempt =
+        static_cast<int>(attempt_index);
+    ++s.hedges_run;
+    ++hedges_launched;
+    trace_job(job_id, serve::JobEventKind::Hedged, static_cast<int>(s.index),
+              static_cast<int>(primary_shard));
+    ++s.inflight;
+    s.peak_inflight = std::max(s.peak_inflight, s.inflight);
+    sim->spawn(FleetService::job_lifecycle(this, attempt_index));
     sample_depths(s);
   }
 
@@ -311,6 +487,7 @@ struct FleetService::RunState {
 
   void try_steal(Shard& thief) {
     if (!config->work_stealing) return;
+    if (thief.down) return;
     while (thief.queue.empty() && can_dispatch(thief)) {
       Shard* victim = nullptr;
       for (Shard& other : *shards) {
@@ -405,6 +582,117 @@ struct FleetService::RunState {
     }
   }
 
+  /// Requeues one displaced job to a healthy survivor through the placer,
+  /// consuming one unit of its failover budget; with no budget left or no
+  /// survivor the job terminates as ShedFailoverExhausted (fleet-owned,
+  /// owner -1 — like ShedNoDevice).
+  void requeue_or_exhaust(Shard& from, const serve::QueuedJob& q) {
+    serve::JobRecord& job = (*jobs)[static_cast<std::size_t>(q.job_id)];
+    JobExec& ex = (*exec)[static_cast<std::size_t>(q.job_id)];
+    std::optional<std::size_t> target;
+    if (ex.failovers < config->failover_budget) {
+      target = placer->place(snapshot_loads(), job.klass);
+    }
+    if (!target.has_value()) {
+      job.state = serve::JobState::ShedFailoverExhausted;
+      ++shed_failover_exhausted;
+      (*owners)[static_cast<std::size_t>(q.job_id)] = -1;
+      if (ex.dispatches == 0) exhausted_undispatched.push_back(q.job_id);
+      trace_job(q.job_id, serve::JobEventKind::ShedFailoverExhausted, -1,
+                static_cast<int>(from.index));
+      return;
+    }
+    ++ex.failovers;
+    Shard& t = (*shards)[*target];
+    ++from.failed_over_out;
+    ++t.failed_over_in;
+    ++failed_over_hops;
+    (*owners)[static_cast<std::size_t>(q.job_id)] =
+        static_cast<int>(t.index);
+    job.state = serve::JobState::Queued;
+    trace_job(q.job_id, serve::JobEventKind::FailedOver,
+              static_cast<int>(t.index), static_cast<int>(from.index));
+    const auto victim = t.queue.offer(q, sim->now(), t.inflight);
+    if (victim.has_value()) {
+      (*jobs)[static_cast<std::size_t>(victim->job_id)].state =
+          serve::JobState::ShedQueueFull;
+      trace_job(victim->job_id, serve::JobEventKind::ShedQueueFull,
+                static_cast<int>(t.index));
+    }
+    sample_depths(t);
+  }
+
+  /// The device goes down: every queued job and every viable attempt
+  /// running here fails over to the survivors (or exhausts). Zombie
+  /// coroutines keep draining; their outcomes are discarded.
+  void on_down_transition(Shard& s) {
+    s.down = true;
+    ++s.lifecycle_downs;
+    while (!s.queue.empty()) {
+      requeue_or_exhaust(s, s.queue.pop_front());
+    }
+    sample_depths(s);
+    const std::size_t num_attempts = attempts->size();
+    for (std::size_t i = 0; i < num_attempts; ++i) {
+      Attempt& a = (*attempts)[i];
+      if (a.shard != s.index || !a.viable) continue;
+      serve::JobRecord& job = (*jobs)[static_cast<std::size_t>(a.job_id)];
+      if (job.state != serve::JobState::Inflight) continue;
+      a.viable = false;
+      ++s.attempts_cancelled;
+      ++attempts_cancelled;
+      JobExec& ex = (*exec)[static_cast<std::size_t>(a.job_id)];
+      const int sibling = ex.primary_attempt == static_cast<int>(i)
+                              ? ex.hedge_attempt
+                              : ex.primary_attempt;
+      if (sibling != -1 &&
+          (*attempts)[static_cast<std::size_t>(sibling)].viable) {
+        // The racing attempt survives on its own (up) device; the job
+        // rides on without a failover hop.
+        ex.primary_attempt = sibling;
+        ex.hedge_attempt = -1;
+        continue;
+      }
+      ex.primary_attempt = -1;
+      ex.hedge_attempt = -1;
+      requeue_or_exhaust(
+          s, serve::QueuedJob{a.job_id,
+                              config->base.classes[job.klass].priority,
+                              job.arrived_at, job.deadline_at});
+    }
+    // Survivors pick the displaced work up immediately.
+    for (Shard& t : *shards) {
+      if (t.index != s.index) pump(t);
+    }
+    for (Shard& t : *shards) try_steal(t);
+    maybe_finish();
+  }
+
+  void on_up_transition(Shard& s) {
+    s.down = false;
+    pump(s);       // queue is empty after the down drain; harmless
+    try_steal(s);  // a newly-healthy idle device takes over queued work
+  }
+
+  /// Schedules the device's next lifecycle edge (self-rechaining). The
+  /// drained guard stops the chain once the run is over — one trailing
+  /// event may still fire, which is why the run totals freeze at drain.
+  void schedule_transitions(Shard& s) {
+    if (s.lifecycle_faults == nullptr) return;
+    const auto next = s.lifecycle_faults->next_transition(sim->now());
+    if (!next.has_value()) return;
+    sim->schedule_at(next->at, [this, index = s.index] {
+      Shard& sh = (*shards)[index];
+      if (drained->fired()) return;
+      if (sh.lifecycle_faults->up(sim->now())) {
+        if (sh.down) on_up_transition(sh);
+      } else {
+        if (!sh.down) on_down_transition(sh);
+      }
+      schedule_transitions(sh);
+    });
+  }
+
   void on_arrival(std::size_t klass) {
     const TimeNs now = sim->now();
     const int job_id = static_cast<int>(jobs->size());
@@ -415,7 +703,7 @@ struct FleetService::RunState {
     rec.deadline_at =
         config->base.deadline > 0 ? now + config->base.deadline : 0;
     jobs->push_back(rec);
-    slots->emplace_back();
+    exec->emplace_back();
     owners->push_back(-1);
     serve::JobRecord& job = jobs->back();
     trace_job(job_id, serve::JobEventKind::Arrived);
@@ -485,7 +773,18 @@ struct FleetService::RunState {
     }
     if (inflight_total != 0) return;
     if (queues_empty) {
-      if (!drained->fired()) drained->fire();
+      if (!drained->fired()) {
+        // Freeze the run totals here: lifecycle transition events may
+        // outlive the drain and would otherwise stretch the clock (and the
+        // devices' lazy idle-power integrals). Without lifecycle faults no
+        // event outlives the drain and these equal the post-run reads.
+        finished_at = sim->now();
+        for (Shard& s : *shards) {
+          s.final_energy = s.device.energy();
+          s.final_occupancy = s.device.average_occupancy();
+        }
+        drained->fire();
+      }
       return;
     }
     // Jobs are stuck on quarantined devices and nothing inflight will pump
@@ -511,17 +810,23 @@ struct FleetService::RunState {
   }
 };
 
-sim::Task FleetService::job_lifecycle(RunState* st, std::size_t shard_index,
-                                      int index) {
-  Shard& s = (*st->shards)[shard_index];
+sim::Task FleetService::job_lifecycle(RunState* st,
+                                      std::size_t attempt_index) {
+  RunState::Attempt& attempt = (*st->attempts)[attempt_index];
+  Shard& s = (*st->shards)[attempt.shard];
+  const int index = attempt.job_id;
   serve::JobRecord& job = (*st->jobs)[static_cast<std::size_t>(index)];
-  RunState::Slot& slot = (*st->slots)[static_cast<std::size_t>(index)];
-  fw::Kernel& app = *slot.app;
-  fw::Context& ctx = slot.context;
+  fw::Kernel& app = *attempt.app;
+  fw::Context& ctx = attempt.context;
 
   // The body below mirrors serve::Service::job_lifecycle verbatim, against
   // this shard's runtime/lock/recorder (the 1-device equivalence contract).
+  // Outcomes are attempt-local until the end: only the winning attempt of a
+  // job (still viable, job still inflight) applies them; cancelled attempts
+  // drain as zombies and discard theirs.
   bool alloc_failed = false;
+  bool quarantined = false;
+  std::string quarantine_reason;
   const bool init_host = st->config->base.functional;
   if (s.injector == nullptr) {
     app.allocateHostMemory(ctx);
@@ -533,8 +838,8 @@ sim::Task FleetService::job_lifecycle(RunState* st, std::size_t shard_index,
       app.allocateDeviceMemory(ctx);
       if (init_host) app.initializeHostMemory(ctx);
     } catch (const Error& e) {
-      job.state = serve::JobState::Quarantined;
-      job.quarantine_reason = std::string("allocation-failed: ") + e.what();
+      quarantined = true;
+      quarantine_reason = std::string("allocation-failed: ") + e.what();
       alloc_failed = true;
     }
   }
@@ -566,55 +871,92 @@ sim::Task FleetService::job_lifecycle(RunState* st, std::size_t shard_index,
 
   app.freeHostMemory(ctx);
   app.freeDeviceMemory(ctx);
-  job.completed_at = st->sim->now();
 
-  if (job.state != serve::JobState::Quarantined) {
-    if (s.injector != nullptr &&
-        s.runtime.stream_fault(ctx.stream) != rt::Status::Ok) {
+  if (!quarantined && s.injector != nullptr &&
+      s.runtime.stream_fault(ctx.stream) != rt::Status::Ok) {
+    quarantined = true;
+    quarantine_reason = "launch-aborted";
+  }
+
+  const bool winner =
+      attempt.viable && job.state == serve::JobState::Inflight;
+  if (winner) {
+    job.completed_at = st->sim->now();
+    if (quarantined) {
       job.state = serve::JobState::Quarantined;
-      job.quarantine_reason = "launch-aborted";
+      job.quarantine_reason = std::move(quarantine_reason);
     } else {
       const bool late =
           job.deadline_at != 0 && job.completed_at > job.deadline_at;
       job.state = late ? serve::JobState::CompletedLate
                        : serve::JobState::CompletedOk;
     }
-  }
+    // The winner owns the job: account it here, cancel a racing hedge
+    // sibling, and feed the health machinery exactly as the single-attempt
+    // path always has.
+    (*st->owners)[static_cast<std::size_t>(index)] =
+        static_cast<int>(s.index);
+    RunState::JobExec& ex = (*st->exec)[static_cast<std::size_t>(index)];
+    const int sibling = ex.primary_attempt == static_cast<int>(attempt_index)
+                            ? ex.hedge_attempt
+                            : ex.primary_attempt;
+    if (sibling != -1 && sibling != static_cast<int>(attempt_index)) {
+      RunState::Attempt& other =
+          (*st->attempts)[static_cast<std::size_t>(sibling)];
+      if (other.viable) {
+        other.viable = false;
+        ++st->hedges_cancelled;
+        ++st->attempts_cancelled;
+        ++(*st->shards)[other.shard].attempts_cancelled;
+        st->trace_job(index, serve::JobEventKind::HedgeCancelled,
+                      static_cast<int>(other.shard));
+      }
+    }
+    if (attempt.hedge) ++st->hedge_wins;
+    if (!quarantined && job.state != serve::JobState::Quarantined) {
+      RunState::ClassService& cs = st->class_service[job.klass];
+      ++cs.count;
+      cs.sum_ns +=
+          static_cast<double>(job.completed_at - job.dispatched_at);
+    }
 
-  fault::CircuitBreaker* breaker = s.breaker_for(job.klass);
-  if (breaker != nullptr) {
-    if (job.state == serve::JobState::Quarantined) {
-      breaker->record_failure(st->sim->now());
-    } else {
-      breaker->record_success(st->sim->now());
+    fault::CircuitBreaker* breaker = s.breaker_for(job.klass);
+    if (breaker != nullptr) {
+      if (job.state == serve::JobState::Quarantined) {
+        breaker->record_failure(st->sim->now());
+      } else {
+        breaker->record_success(st->sim->now());
+      }
+    }
+    st->feed_device_breaker(s, job.state == serve::JobState::Quarantined);
+
+    switch (job.state) {
+      case serve::JobState::CompletedOk:
+        st->trace_job(index, serve::JobEventKind::CompletedOk,
+                      static_cast<int>(s.index));
+        break;
+      case serve::JobState::CompletedLate:
+        st->trace_job(index, serve::JobEventKind::CompletedLate,
+                      static_cast<int>(s.index));
+        break;
+      case serve::JobState::Quarantined:
+        st->trace_job(index, serve::JobEventKind::Quarantined,
+                      static_cast<int>(s.index));
+        break;
+      default:
+        break;
+    }
+    if (job.state == serve::JobState::CompletedOk ||
+        job.state == serve::JobState::CompletedLate) {
+      ++s.completed_jobs;
+      if (s.completed_series != nullptr) {
+        s.completed_series->sample(st->sim->now(),
+                                   static_cast<double>(s.completed_jobs));
+      }
     }
   }
-  st->feed_device_breaker(s, job.state == serve::JobState::Quarantined);
-
-  switch (job.state) {
-    case serve::JobState::CompletedOk:
-      st->trace_job(index, serve::JobEventKind::CompletedOk,
-                    static_cast<int>(s.index));
-      break;
-    case serve::JobState::CompletedLate:
-      st->trace_job(index, serve::JobEventKind::CompletedLate,
-                    static_cast<int>(s.index));
-      break;
-    case serve::JobState::Quarantined:
-      st->trace_job(index, serve::JobEventKind::Quarantined,
-                    static_cast<int>(s.index));
-      break;
-    default:
-      break;
-  }
-  if (job.state == serve::JobState::CompletedOk ||
-      job.state == serve::JobState::CompletedLate) {
-    ++s.completed_jobs;
-    if (s.completed_series != nullptr) {
-      s.completed_series->sample(st->sim->now(),
-                                 static_cast<double>(s.completed_jobs));
-    }
-  }
+  // Zombie attempts (cancelled by failover or a lost hedge race) change no
+  // job state and feed no breaker: their outcome is void.
 
   --s.inflight;
   st->sample_depths(s);
@@ -666,7 +1008,8 @@ FleetResult FleetService::run() {
   Placer placer(config_.placement, config_.copy_penalty);
 
   std::deque<serve::JobRecord> jobs;
-  std::deque<RunState::Slot> slots;
+  std::deque<RunState::Attempt> attempts;
+  std::deque<RunState::JobExec> exec;
   std::vector<int> owners;
   std::deque<Shard> shards;
   for (std::size_t d = 0; d < num_devices; ++d) {
@@ -741,9 +1084,23 @@ FleetResult FleetService::run() {
   state.placer = &placer;
   state.shards = &shards;
   state.jobs = &jobs;
-  state.slots = &slots;
+  state.attempts = &attempts;
+  state.exec = &exec;
   state.owners = &owners;
   state.lifecycle = lifecycle.get();
+  state.class_service.resize(base.classes.size());
+
+  // Device-lifecycle schedules: apply the t=0 state and chain the first
+  // transition event per device. No lifecycle faults => no events and no
+  // state change (zero perturbation).
+  for (Shard& s : shards) {
+    if (s.lifecycle_faults == nullptr) continue;
+    if (!s.lifecycle_faults->up(0)) {
+      s.down = true;
+      ++s.lifecycle_downs;
+    }
+    state.schedule_transitions(s);
+  }
 
   sim.spawn(generator_task(&state));
   sim.run();
@@ -768,6 +1125,9 @@ FleetResult FleetService::run() {
   FleetReport& fleet = result.report;
 
   // Jobs no device ever saw; they must be span-free on every recorder.
+  // Failover-exhausted jobs that never dispatched join them (exhausted jobs
+  // that DID dispatch legitimately own spans from their cancelled attempts
+  // and are accounted only at the fleet level).
   std::vector<std::int32_t> no_device_ids;
   for (const serve::JobRecord& job : jobs) {
     if (job.state == serve::JobState::ShedNoDevice) {
@@ -835,6 +1195,7 @@ FleetResult FleetService::run() {
           ++c.quarantined;
           break;
         case serve::JobState::ShedNoDevice:
+        case serve::JobState::ShedFailoverExhausted:  // fleet-owned (owner -1)
         case serve::JobState::Queued:
         case serve::JobState::Inflight:
           HQ_CHECK_MSG(false, "fleet job "
@@ -864,6 +1225,12 @@ FleetResult FleetService::run() {
       verify_acc.undispatched_apps.insert(verify_acc.undispatched_apps.end(),
                                           no_device_ids.begin(),
                                           no_device_ids.end());
+      verify_acc.shed_failover_exhausted =
+          state.exhausted_undispatched.size();
+      verify_acc.undispatched_apps.insert(
+          verify_acc.undispatched_apps.end(),
+          state.exhausted_undispatched.begin(),
+          state.exhausted_undispatched.end());
       const std::vector<std::string> violations =
           check::verify_serve_accounting(verify_acc, s.recorder.get());
       if (base.check_invariants && !violations.empty()) {
@@ -887,8 +1254,8 @@ FleetResult FleetService::run() {
     report.expire_queued = base.expire_queued;
     report.controller_enabled = base.controller.enabled;
     report.breaker_enabled = base.breaker_enabled;
-    report.fault_plan = fault::fault_plan_to_string(
-        s.injector != nullptr ? s.injector->plan() : base.fault_plan);
+    report.fault_plan =
+        fault::fault_plan_to_string(effective_fault_plan(config_, s.index));
 
     report.arrived = acc.arrived;
     report.admitted = acc.arrived - acc.shed_queue_full - acc.shed_breaker;
@@ -900,12 +1267,12 @@ FleetResult FleetService::run() {
     report.timed_out_queued = acc.timed_out_queued;
     report.quarantined = acc.quarantined;
 
-    report.total_time = sim.now();
+    report.total_time = state.finished_at;
     report.drain_time = report.total_time >= state.window_closed_at
                             ? report.total_time - state.window_closed_at
                             : 0;
-    report.energy = s.device.energy();
-    report.average_occupancy = s.device.average_occupancy();
+    report.energy = s.final_energy;
+    report.average_occupancy = s.final_occupancy;
     if (report.total_time > 0) {
       const double seconds = to_seconds(report.total_time);
       report.goodput_per_sec =
@@ -1006,6 +1373,45 @@ FleetResult FleetService::run() {
       reg.counter("device_breaker_rejected",
                   "Admissions the device health breaker rejected")
           .add(rejected);
+      // Fleet fault-domain counters: always registered (0 when the
+      // mechanisms are off) so rollup shapes stay identical per device.
+      reg.counter("device_failed_over_in",
+                  "Jobs failed over onto this device")
+          .add(s.failed_over_in);
+      reg.counter("device_failed_over_out",
+                  "Jobs moved away when this device went down")
+          .add(s.failed_over_out);
+      reg.counter("device_hedges_run",
+                  "Straggler hedge attempts dispatched here")
+          .add(s.hedges_run);
+      reg.counter("device_attempts_cancelled",
+                  "Attempts cancelled here (failover and lost hedge races)")
+          .add(s.attempts_cancelled);
+      reg.counter("device_lifecycle_downs",
+                  "Lifecycle down transitions (a crash counts once)")
+          .add(s.lifecycle_downs);
+      // Injector fault breakdown (FaultStats), surfaced per device so the
+      // fleet rollup exports hq_fleet_fault_* series.
+      fault::FaultStats fstats;
+      if (s.injector != nullptr) fstats = s.injector->stats();
+      reg.counter("fault_injected_total", "Fault events the injector fired")
+          .add(fstats.total());
+      reg.counter("fault_copy_stalls", "Injected copy-engine stalls")
+          .add(fstats.copy_stalls);
+      reg.counter("fault_copy_slowdowns", "Injected copy slowdowns")
+          .add(fstats.copy_slowdowns);
+      reg.counter("fault_throttled_copies",
+                  "Copies derated by thermal throttle or degradation")
+          .add(fstats.throttled_copies);
+      reg.counter("fault_launch_failures",
+                  "Kernel launch faults injected (before retries)")
+          .add(fstats.launch_failures);
+      reg.counter("fault_launch_retries_exhausted",
+                  "Launches aborted after the retry budget")
+          .add(fstats.launch_aborts);
+      reg.counter("fault_host_alloc_failures",
+                  "Injected host allocation failures")
+          .add(fstats.host_alloc_failures);
       dev.telemetry = s.telemetry;
       dev.metrics = std::shared_ptr<obs::MetricsRegistry>(
           s.telemetry, &s.telemetry->registry());
@@ -1018,6 +1424,11 @@ FleetResult FleetService::run() {
     stats.requeued_out = s.requeued_out;
     stats.stolen_in = s.stolen_in;
     stats.stolen_out = s.stolen_out;
+    stats.failed_over_in = s.failed_over_in;
+    stats.failed_over_out = s.failed_over_out;
+    stats.hedges_run = s.hedges_run;
+    stats.attempts_cancelled = s.attempts_cancelled;
+    stats.lifecycle_downs = s.lifecycle_downs;
     if (s.device_breaker != nullptr) {
       stats.breaker_trips = s.device_breaker->trips();
       stats.breaker_probes = s.device_breaker->probes();
@@ -1031,11 +1442,13 @@ FleetResult FleetService::run() {
     result.devices.push_back(std::move(dev));
   }
 
-  HQ_CHECK_MSG(owned_total + state.shed_no_device == jobs.size(),
-               "fleet accounting lost jobs: " << owned_total << " owned + "
-                                              << state.shed_no_device
-                                              << " shed-no-device != "
-                                              << jobs.size() << " arrived");
+  HQ_CHECK_MSG(
+      owned_total + state.shed_no_device + state.shed_failover_exhausted ==
+          jobs.size(),
+      "fleet accounting lost jobs: "
+          << owned_total << " owned + " << state.shed_no_device
+          << " shed-no-device + " << state.shed_failover_exhausted
+          << " shed-failover-exhausted != " << jobs.size() << " arrived");
 
   // --- fleet aggregates ------------------------------------------------------
   fleet.num_devices = num_devices;
@@ -1045,6 +1458,15 @@ FleetResult FleetService::run() {
   fleet.device_breaker_enabled = config_.device_breaker_enabled;
   fleet.seed = base.seed;
   fleet.shed_no_device = state.shed_no_device;
+  fleet.fault_domains = config_.fault_domains_active();
+  fleet.hedging = config_.hedging;
+  fleet.failover_budget = config_.failover_budget;
+  fleet.shed_failover_exhausted = state.shed_failover_exhausted;
+  fleet.failed_over = state.failed_over_hops;
+  fleet.hedges_launched = state.hedges_launched;
+  fleet.hedge_wins = state.hedge_wins;
+  fleet.hedges_cancelled = state.hedges_cancelled;
+  fleet.attempts_cancelled = state.attempts_cancelled;
   for (const FleetDeviceStats& dev : fleet.devices) {
     const serve::ServeReport& r = dev.report;
     if (fleet.workload.empty()) fleet.workload = r.workload;
@@ -1064,8 +1486,8 @@ FleetResult FleetService::run() {
     fleet.device_breaker_probes += dev.breaker_probes;
     fleet.device_breaker_rejected += dev.breaker_rejected;
   }
-  fleet.arrived += fleet.shed_no_device;
-  fleet.total_time = sim.now();
+  fleet.arrived += fleet.shed_no_device + fleet.shed_failover_exhausted;
+  fleet.total_time = state.finished_at;
   fleet.drain_time = fleet.total_time >= state.window_closed_at
                          ? fleet.total_time - state.window_closed_at
                          : 0;
@@ -1111,7 +1533,8 @@ FleetResult FleetService::run() {
         if (e.at > job.dispatched_at) break;
         if (e.kind == serve::JobEventKind::Placed ||
             e.kind == serve::JobEventKind::Requeued ||
-            e.kind == serve::JobEventKind::Stolen) {
+            e.kind == serve::JobEventKind::Stolen ||
+            e.kind == serve::JobEventKind::FailedOver) {
           placed_at = e.at;
         }
       }
@@ -1178,6 +1601,21 @@ FleetResult FleetService::run() {
     reg.counter("fleet_device_breaker_rejected",
                 "Admissions device health breakers rejected")
         .add(fleet.device_breaker_rejected);
+    reg.counter("fleet_failed_over", "Failover hops across the fleet")
+        .add(fleet.failed_over);
+    reg.counter("fleet_shed_failover_exhausted",
+                "Jobs dropped after exhausting their failover budget")
+        .add(fleet.shed_failover_exhausted);
+    reg.counter("fleet_hedges_launched", "Straggler hedge attempts launched")
+        .add(fleet.hedges_launched);
+    reg.counter("fleet_hedge_wins", "Completions won by the hedge attempt")
+        .add(fleet.hedge_wins);
+    reg.counter("fleet_hedges_cancelled",
+                "Losing attempts of hedged jobs cancelled")
+        .add(fleet.hedges_cancelled);
+    reg.counter("fleet_attempts_cancelled",
+                "All cancelled attempts (failover and hedge)")
+        .add(fleet.attempts_cancelled);
   }
   return result;
 }

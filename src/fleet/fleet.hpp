@@ -19,6 +19,25 @@
 //   * when no healthy device exists, arrivals are shed as
 //     JobState::ShedNoDevice (a fleet-only terminal state).
 //
+// Fleet fault domains (device lifecycle chaos) layer three more mechanisms
+// on top, all on the virtual clock and fully deterministic:
+//
+//   * device-lifecycle faults: a FaultPlan can crash a device permanently
+//     at a virtual time, flap it down/up on a seeded schedule, or derate
+//     its copy bandwidth from a point in time (src/fault/lifecycle.hpp).
+//     Per-device plans come from `device_fault_plans`.
+//   * in-flight failover: when a device goes down, its queued jobs AND its
+//     running jobs are requeued to healthy survivors through the placement
+//     policy, consuming a per-job `failover_budget`. A job whose budget (or
+//     the supply of survivors) runs out ends in the fleet-only terminal
+//     state JobState::ShedFailoverExhausted. Cancelled attempts drain as
+//     zombies — their device work stands in the trace, but their outcome is
+//     discarded.
+//   * hedged dispatch: when a dispatched job runs past `hedge_threshold`
+//     times its class's running mean service time, a second attempt is
+//     dispatched on an idle healthy peer. First completion wins; the loser
+//     is cancelled deterministically.
+//
 // Single-device equivalence: a 1-device fleet with the fleet-only features
 // off schedules, draws RNG, and spawns coroutines exactly as the
 // single-device Service, so the nested per-device ServeReport is
@@ -28,7 +47,9 @@
 // Fault decorrelation: device d > 0 runs the base fault plan with its seed
 // offset by d, so a heterogeneous-fault fleet stays deterministic without
 // every device failing in lockstep. Device 0 uses the plan verbatim
-// (required for the 1-device equivalence above).
+// (required for the 1-device equivalence above). Non-empty
+// `device_fault_plans` replaces this scheme: device d runs
+// device_fault_plans[d] exactly as given (disabled plans run fault-free).
 //
 // Determinism contract: same config + seed => byte-identical FleetReport
 // JSON and digest at any --jobs count (jobs only shard independent runs).
@@ -38,6 +59,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "fleet/placement.hpp"
 #include "fleet/report.hpp"
 #include "obs/telemetry.hpp"
@@ -71,6 +93,34 @@ struct FleetConfig {
   bool device_breaker_enabled = false;
   fault::CircuitBreaker::Config device_breaker;
 
+  /// Per-device fault plans. Empty = the legacy scheme (base.fault_plan
+  /// with the seed offset by the device index). Non-empty: must have
+  /// exactly num_devices() entries; device d runs device_fault_plans[d]
+  /// verbatim, and a disabled entry runs that device fault-free. This is
+  /// the only way to give devices distinct lifecycle faults (crash/flap/
+  /// degrade schedules).
+  std::vector<fault::FaultPlan> device_fault_plans;
+
+  /// Maximum failover hops per job. Each time a job's device goes down the
+  /// job is requeued to a healthy survivor, consuming one unit; at 0
+  /// remaining (or when no survivor exists) the job terminates as
+  /// ShedFailoverExhausted.
+  int failover_budget = 3;
+
+  /// Hedged dispatch: once a class has `hedge_min_samples` completed
+  /// winners, a job still inflight after `hedge_threshold` x the class's
+  /// running mean service time gets a second attempt on an idle healthy
+  /// peer. First completion wins; the loser is cancelled.
+  bool hedging = false;
+  double hedge_threshold = 2.0;
+  std::size_t hedge_min_samples = 4;
+
+  /// True when any fleet fault-domain mechanism is configured: per-device
+  /// plans, lifecycle faults on the base plan, or hedging. Gates the extra
+  /// FleetReport fields so zero-chaos runs render byte-identically to
+  /// pre-fault-domain reports (the pinned goldens).
+  bool fault_domains_active() const;
+
   std::size_t num_devices() const {
     return devices.empty() ? 1 : devices.size();
   }
@@ -101,8 +151,9 @@ struct FleetResult {
   std::vector<FleetDeviceResult> devices;
   /// Every job in arrival order (job_id == arrival index == trace app id).
   std::vector<serve::JobRecord> jobs;
-  /// Terminal owner device per job (the device that accounted it);
-  /// -1 for ShedNoDevice jobs, which no device ever saw.
+  /// Terminal owner device per job (the device that accounted it); -1 for
+  /// ShedNoDevice and ShedFailoverExhausted jobs, which are accounted at
+  /// the fleet level only.
   std::vector<int> owners;
   /// Per-job lifecycle chains (arrival -> placement -> hops -> dispatch ->
   /// terminal state). Null unless base.collect_metrics.
@@ -128,8 +179,9 @@ class FleetService {
   struct Shard;
   struct RunState;
   static sim::Task generator_task(RunState* st);
-  static sim::Task job_lifecycle(RunState* st, std::size_t shard_index,
-                                 int job_id);
+  /// Runs one dispatch attempt (primary, failover re-dispatches reuse the
+  /// same path, hedges are extra attempts of the same job).
+  static sim::Task job_lifecycle(RunState* st, std::size_t attempt_index);
 
   FleetConfig config_;
 };

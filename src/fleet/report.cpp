@@ -36,6 +36,16 @@ void render_fleet_report_text(std::ostream& os, const FleetReport& report) {
      << " device-breaker-trips=" << report.device_breaker_trips
      << " probes=" << report.device_breaker_probes
      << " rejected=" << report.device_breaker_rejected << "\n";
+  if (report.fault_domains) {
+    os << "  fault-domains: hedging=" << (report.hedging ? "on" : "off")
+       << " failover-budget=" << report.failover_budget
+       << " failed-over=" << report.failed_over
+       << " shed-failover-exhausted=" << report.shed_failover_exhausted
+       << " hedges=" << report.hedges_launched
+       << " hedge-wins=" << report.hedge_wins
+       << " hedges-cancelled=" << report.hedges_cancelled
+       << " attempts-cancelled=" << report.attempts_cancelled << "\n";
+  }
   os << "  slo: goodput=" << obs::format_double(report.goodput_per_sec)
      << "/s throughput=" << obs::format_double(report.throughput_per_sec)
      << "/s deadline-miss-ratio="
@@ -63,6 +73,12 @@ void render_fleet_report_text(std::ostream& os, const FleetReport& report) {
     if (!dev.breaker_final_state.empty()) {
       os << " breaker=" << dev.breaker_final_state
          << " trips=" << dev.breaker_trips;
+    }
+    if (report.fault_domains) {
+      os << " failed-over=" << dev.failed_over_in << "/" << dev.failed_over_out
+         << " hedges=" << dev.hedges_run
+         << " cancelled=" << dev.attempts_cancelled
+         << " downs=" << dev.lifecycle_downs;
     }
     os << "\n";
   }
@@ -103,6 +119,22 @@ void write_fleet_report_json(std::ostream& os, const FleetReport& report) {
   os << "    \"requeued\": " << report.requeued << ",\n";
   os << "    \"stolen\": " << report.stolen << "\n";
   os << "  },\n";
+
+  // Rendered only for fault-domain runs so zero-chaos reports keep their
+  // pre-fault-domain bytes (the pinned golden digests).
+  if (report.fault_domains) {
+    os << "  \"fault_domains\": {\n";
+    os << "    \"hedging\": " << (report.hedging ? "true" : "false") << ",\n";
+    os << "    \"failover_budget\": " << report.failover_budget << ",\n";
+    os << "    \"shed_failover_exhausted\": "
+       << report.shed_failover_exhausted << ",\n";
+    os << "    \"failed_over\": " << report.failed_over << ",\n";
+    os << "    \"hedges_launched\": " << report.hedges_launched << ",\n";
+    os << "    \"hedge_wins\": " << report.hedge_wins << ",\n";
+    os << "    \"hedges_cancelled\": " << report.hedges_cancelled << ",\n";
+    os << "    \"attempts_cancelled\": " << report.attempts_cancelled << "\n";
+    os << "  },\n";
+  }
 
   os << "  \"slo\": {\n";
   os << "    \"goodput_per_sec\": "
@@ -153,6 +185,14 @@ void write_fleet_report_json(std::ostream& os, const FleetReport& report) {
     os << "      \"breaker_final_state\": ";
     obs::write_json_quoted(os, dev.breaker_final_state);
     os << ",\n";
+    if (report.fault_domains) {
+      os << "      \"failed_over_in\": " << dev.failed_over_in << ",\n";
+      os << "      \"failed_over_out\": " << dev.failed_over_out << ",\n";
+      os << "      \"hedges_run\": " << dev.hedges_run << ",\n";
+      os << "      \"attempts_cancelled\": " << dev.attempts_cancelled
+         << ",\n";
+      os << "      \"lifecycle_downs\": " << dev.lifecycle_downs << ",\n";
+    }
     // The nested report keeps serve's own (top-level) indentation; JSON
     // whitespace carries no meaning and the bytes stay deterministic.
     os << "      \"report\": ";

@@ -38,6 +38,13 @@ struct FleetDeviceStats {
   std::uint64_t breaker_probes = 0;
   std::uint64_t breaker_rejected = 0;
   std::string breaker_final_state;  ///< "closed" / "open" / "half-open"; empty = disabled
+  // Fleet fault domains (all zero unless FleetReport::fault_domains;
+  // rendered only then, keeping zero-chaos reports byte-identical).
+  std::uint64_t failed_over_in = 0;   ///< jobs failed over onto this device
+  std::uint64_t failed_over_out = 0;  ///< jobs moved away when this device went down
+  std::uint64_t hedges_run = 0;       ///< hedge attempts dispatched here
+  std::uint64_t attempts_cancelled = 0;  ///< attempts cancelled here (failover + lost hedges)
+  std::uint64_t lifecycle_downs = 0;  ///< down transitions (a crash counts once)
   /// The per-device serving report, computed exactly as serve::Service
   /// computes it (for a 1-device fleet this is byte-identical to the
   /// single-device report — the fleet oracle pins that).
@@ -87,6 +94,23 @@ struct FleetReport {
   std::uint64_t device_breaker_trips = 0;
   std::uint64_t device_breaker_probes = 0;
   std::uint64_t device_breaker_rejected = 0;
+
+  // --- fleet fault domains -------------------------------------------------
+  /// True when lifecycle faults, per-device fault plans, or hedging were
+  /// configured (FleetConfig::fault_domains_active). Gates every
+  /// fault-domain field in both renderings so zero-chaos reports stay
+  /// byte-identical to pre-fault-domain output (the pinned goldens).
+  bool fault_domains = false;
+  bool hedging = false;
+  int failover_budget = 0;
+  /// Jobs dropped after exhausting the failover budget or the supply of
+  /// healthy survivors (fleet-only terminal state, like shed_no_device).
+  std::uint64_t shed_failover_exhausted = 0;
+  std::uint64_t failed_over = 0;  ///< failover hops across the fleet
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedge_wins = 0;  ///< completions won by the hedge attempt
+  std::uint64_t hedges_cancelled = 0;  ///< losing attempts of hedged jobs
+  std::uint64_t attempts_cancelled = 0;  ///< all cancelled attempts (failover + hedge)
 
   /// placement_histogram[d] == devices[d].placed (kept flat for reports).
   std::vector<std::uint64_t> placement_histogram;

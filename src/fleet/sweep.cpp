@@ -147,6 +147,16 @@ std::uint64_t fleet_sweep_grid_key(const FleetSweepGrid& grid,
   h.mix_i64(base.breaker.failure_threshold);
   h.mix_u64(base.breaker.cooldown);
   h.mix_string(fault::fault_plan_to_string(base.fault_plan));
+  // Fleet fault domains: per-device plans and failover/hedging knobs change
+  // outcomes, so resuming across a chaos-config edit must miss the cache.
+  h.mix_u64(grid.base.device_fault_plans.size());
+  for (const fault::FaultPlan& plan : grid.base.device_fault_plans) {
+    h.mix_string(fault::fault_plan_to_string(plan));
+  }
+  h.mix_i64(grid.base.failover_budget);
+  mix_bool(grid.base.hedging);
+  mix_double(grid.base.hedge_threshold);
+  h.mix_u64(grid.base.hedge_min_samples);
   h.mix_i64(base.retry.max_attempts);
   h.mix_u64(base.retry.base_backoff);
   mix_double(base.retry.multiplier);

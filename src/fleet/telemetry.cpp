@@ -103,9 +103,11 @@ void write_fleet_chrome_trace(std::ostream& os, const FleetResult& result) {
     processes.push_back(std::move(proc));
   }
 
-  // One flow arrow per requeue/steal hop, bound by job id: from the hop
-  // instant on the source device lane to the job's dispatch on the target
-  // lane (or the hop instant itself when the job never dispatched there).
+  // One flow arrow per requeue/steal/failover/hedge hop, bound by job id:
+  // from the hop instant on the source device lane to the job's dispatch on
+  // the target lane (or the hop instant itself when the job never
+  // dispatched there). A hedge dispatches immediately, so its arrow is
+  // always instant.
   std::vector<trace::FlowEvent> flows;
   const serve::JobLifecycleTracer& tracer = *result.lifecycle;
   for (std::size_t job = 0; job < tracer.num_jobs(); ++job) {
@@ -113,26 +115,34 @@ void write_fleet_chrome_trace(std::ostream& os, const FleetResult& result) {
         tracer.events(static_cast<int>(job));
     for (std::size_t i = 0; i < chain.size(); ++i) {
       const serve::JobEvent& e = chain[i];
-      if (e.kind != serve::JobEventKind::Requeued &&
-          e.kind != serve::JobEventKind::Stolen) {
-        continue;
+      const char* name = nullptr;
+      switch (e.kind) {
+        case serve::JobEventKind::Requeued:   name = "requeue"; break;
+        case serve::JobEventKind::Stolen:     name = "steal"; break;
+        case serve::JobEventKind::FailedOver: name = "failover"; break;
+        case serve::JobEventKind::Hedged:     name = "hedge"; break;
+        default: continue;
       }
       trace::FlowEvent flow;
-      flow.name =
-          e.kind == serve::JobEventKind::Stolen ? "steal" : "requeue";
+      flow.name = name;
       flow.id = static_cast<int>(job);
       flow.from_pid = e.from_device;
       flow.from_time = e.at;
       flow.to_pid = e.device;
       flow.to_time = e.at;
-      for (std::size_t j = i + 1; j < chain.size(); ++j) {
-        if (chain[j].kind == serve::JobEventKind::Dispatched) {
-          flow.to_time = chain[j].at;
-          break;
-        }
-        if (chain[j].kind == serve::JobEventKind::Requeued ||
-            chain[j].kind == serve::JobEventKind::Stolen) {
-          break;  // the job moved again before dispatching; arrow ends here
+      // Hedges run the moment they are recorded; queue-entering hops point
+      // at the job's next dispatch on the target device.
+      if (e.kind != serve::JobEventKind::Hedged) {
+        for (std::size_t j = i + 1; j < chain.size(); ++j) {
+          if (chain[j].kind == serve::JobEventKind::Dispatched) {
+            flow.to_time = chain[j].at;
+            break;
+          }
+          if (chain[j].kind == serve::JobEventKind::Requeued ||
+              chain[j].kind == serve::JobEventKind::Stolen ||
+              chain[j].kind == serve::JobEventKind::FailedOver) {
+            break;  // the job moved again before dispatching; arrow ends here
+          }
         }
       }
       flows.push_back(std::move(flow));

@@ -11,7 +11,10 @@ const char* job_event_kind_name(JobEventKind kind) {
     case JobEventKind::Queued: return "queued";
     case JobEventKind::Requeued: return "requeued";
     case JobEventKind::Stolen: return "stolen";
+    case JobEventKind::FailedOver: return "failed-over";
     case JobEventKind::Dispatched: return "dispatched";
+    case JobEventKind::Hedged: return "hedged";
+    case JobEventKind::HedgeCancelled: return "hedge-cancelled";
     case JobEventKind::CompletedOk: return "completed-ok";
     case JobEventKind::CompletedLate: return "completed-late";
     case JobEventKind::ShedQueueFull: return "shed-queue-full";
@@ -19,6 +22,8 @@ const char* job_event_kind_name(JobEventKind kind) {
     case JobEventKind::ShedNoDevice: return "shed-no-device";
     case JobEventKind::TimedOutQueued: return "timed-out-queued";
     case JobEventKind::Quarantined: return "quarantined";
+    case JobEventKind::ShedFailoverExhausted:
+      return "shed-failover-exhausted";
   }
   return "?";
 }
@@ -36,6 +41,8 @@ void JobLifecycleTracer::record(int job_id, TimeNs at, JobEventKind kind,
   chain.push_back(JobEvent{at, kind, device, from_device});
   if (kind == JobEventKind::Requeued) ++requeue_hops_;
   if (kind == JobEventKind::Stolen) ++steal_hops_;
+  if (kind == JobEventKind::FailedOver) ++failover_hops_;
+  if (kind == JobEventKind::Hedged) ++hedge_launches_;
 }
 
 const std::vector<JobEvent>& JobLifecycleTracer::events(int job_id) const {

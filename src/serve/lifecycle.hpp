@@ -28,7 +28,10 @@ enum class JobEventKind : std::uint8_t {
   Queued,          ///< entered `device`'s admission queue
   Requeued,        ///< moved `from_device` -> `device` by a health rebalance
   Stolen,          ///< moved `from_device` -> `device` by work stealing
+  FailedOver,      ///< moved `from_device` -> `device` after a device went down
   Dispatched,      ///< began running on `device`
+  Hedged,          ///< straggler hedge copy dispatched on `device`
+  HedgeCancelled,  ///< losing hedge attempt on `device` cancelled
   CompletedOk,     ///< terminal: finished within its deadline (or had none)
   CompletedLate,   ///< terminal: finished past its deadline
   ShedQueueFull,   ///< terminal: rejected by an admission queue
@@ -36,6 +39,9 @@ enum class JobEventKind : std::uint8_t {
   ShedNoDevice,    ///< terminal: no healthy device existed at arrival
   TimedOutQueued,  ///< terminal: expired in a queue before dispatch
   Quarantined,     ///< terminal: dispatched but failed
+  /// Terminal: the job's device went down and its failover budget (or the
+  /// supply of healthy survivors) ran out.
+  ShedFailoverExhausted,
 };
 
 const char* job_event_kind_name(JobEventKind kind);
@@ -60,15 +66,20 @@ class JobLifecycleTracer {
   /// Empty for ids never recorded (including ids >= num_jobs()).
   const std::vector<JobEvent>& events(int job_id) const;
 
-  /// Movement totals over every chain (requeue + steal hop counts).
+  /// Movement totals over every chain (requeue/steal/failover hop counts
+  /// and hedge launches).
   std::uint64_t requeue_hops() const { return requeue_hops_; }
   std::uint64_t steal_hops() const { return steal_hops_; }
+  std::uint64_t failover_hops() const { return failover_hops_; }
+  std::uint64_t hedge_launches() const { return hedge_launches_; }
 
  private:
   /// Deque of chains: stable references while new jobs arrive.
   std::deque<std::vector<JobEvent>> jobs_;
   std::uint64_t requeue_hops_ = 0;
   std::uint64_t steal_hops_ = 0;
+  std::uint64_t failover_hops_ = 0;
+  std::uint64_t hedge_launches_ = 0;
 };
 
 }  // namespace hq::serve

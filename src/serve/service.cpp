@@ -24,6 +24,7 @@ const char* job_state_name(JobState state) {
     case JobState::TimedOutQueued: return "timed-out-queued";
     case JobState::Quarantined: return "quarantined";
     case JobState::ShedNoDevice: return "shed-no-device";
+    case JobState::ShedFailoverExhausted: return "shed-failover-exhausted";
   }
   return "?";
 }
@@ -496,10 +497,12 @@ ServeResult Service::run() {
         ++c.quarantined;
         break;
       case JobState::ShedNoDevice:
+      case JobState::ShedFailoverExhausted:
       case JobState::Queued:
       case JobState::Inflight:
-        // ShedNoDevice is a fleet-level terminal state (src/fleet); the
-        // single-device service never produces it.
+        // ShedNoDevice/ShedFailoverExhausted are fleet-level terminal
+        // states (src/fleet); the single-device service never produces
+        // them.
         HQ_CHECK_MSG(false, "job " << job.job_id
                                    << " ended the run in unexpected state "
                                    << job_state_name(job.state));

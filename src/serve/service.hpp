@@ -126,6 +126,11 @@ enum class JobState : std::uint8_t {
   /// arrival, so no placement was possible. Never produced by the
   /// single-device Service.
   ShedNoDevice,
+  /// Fleet only (src/fleet): the job's device went down (crash or flap)
+  /// and the per-job failover budget was exhausted — or no healthy
+  /// survivor existed — before it could complete elsewhere. Never produced
+  /// by the single-device Service.
+  ShedFailoverExhausted,
 };
 
 const char* job_state_name(JobState state);

@@ -1,0 +1,184 @@
+// Device-lifecycle fault schedules: plan parsing round-trips, the
+// byte-stability of legacy plan renderings, and the DeviceLifecycle
+// transition walk (crash, flap, jittered cycles, crash-inside-flap).
+#include "fault/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "fault/fault.hpp"
+
+namespace hq::fault {
+namespace {
+
+TEST(LifecyclePlanTest, LifecycleKeysParseAndRoundTrip) {
+  const std::string text =
+      "crash-at-us=3000,flap-period-us=2000,flap-down-us=400,"
+      "flap-jitter=0.5,degrade-at-us=1000,degrade-copy-factor=3,seed=7";
+  const auto plan = parse_fault_plan(text);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->enabled);
+  EXPECT_EQ(plan->crash_at, 3 * kMillisecond);
+  EXPECT_EQ(plan->flap_period, 2 * kMillisecond);
+  EXPECT_EQ(plan->flap_down, 400 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(plan->flap_jitter, 0.5);
+  EXPECT_EQ(plan->degrade_at, kMillisecond);
+  EXPECT_DOUBLE_EQ(plan->degrade_copy_factor, 3.0);
+  EXPECT_TRUE(plan->any_lifecycle());
+  EXPECT_TRUE(plan->any_faults());
+
+  const auto again = parse_fault_plan(fault_plan_to_string(*plan));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(fault_plan_to_string(*again), fault_plan_to_string(*plan));
+}
+
+TEST(LifecyclePlanTest, DisabledKeywordYieldsInertPlan) {
+  for (const char* keyword : {"disabled", "none"}) {
+    const auto plan = parse_fault_plan(keyword);
+    ASSERT_TRUE(plan.has_value()) << keyword;
+    EXPECT_FALSE(plan->enabled);
+    EXPECT_FALSE(plan->any_faults());
+    EXPECT_FALSE(plan->any_lifecycle());
+    EXPECT_EQ(fault_plan_to_string(*plan), "disabled");
+  }
+}
+
+TEST(LifecyclePlanTest, LegacyRenderingIsByteStable) {
+  // Plans without lifecycle faults must render exactly as they did before
+  // the lifecycle fields existed — the sweep grid key and report fault-plan
+  // echoes depend on these bytes.
+  EXPECT_EQ(fault_plan_to_string(FaultPlan{}), "disabled");
+  EXPECT_EQ(fault_plan_to_string(FaultPlan::zero()),
+            "seed=0,copy-stall-rate=0,copy-stall-us=200,copy-slow-rate=0,"
+            "copy-slow-factor=2,launch-fail-rate=0,alloc-fail-rate=0,"
+            "poison-app=-1,offline-smx=0,throttle-period-us=0,"
+            "throttle-duty-us=0,throttle-factor=1");
+  // A disabled plan renders "disabled" whatever its seed: the fleet's
+  // seed-offset decorrelation of disabled plans is invisible.
+  FaultPlan seeded;
+  seeded.seed = 99;
+  EXPECT_EQ(fault_plan_to_string(seeded), "disabled");
+
+  FaultPlan transient = FaultPlan::zero();
+  transient.seed = 7;
+  transient.copy_stall_rate = 0.25;
+  const std::string rendered = fault_plan_to_string(transient);
+  EXPECT_EQ(rendered.find("crash-at-us"), std::string::npos);
+  EXPECT_EQ(rendered.find("flap-"), std::string::npos);
+  EXPECT_EQ(rendered.find("degrade-"), std::string::npos);
+}
+
+TEST(LifecyclePlanTest, ZeroLifecyclePlanHasEmptySchedule) {
+  const DeviceLifecycle lifecycle(FaultPlan::zero());
+  EXPECT_FALSE(lifecycle.crashes());
+  EXPECT_FALSE(lifecycle.flaps());
+  EXPECT_TRUE(lifecycle.up(0));
+  EXPECT_TRUE(lifecycle.up(100 * kMillisecond));
+  EXPECT_FALSE(lifecycle.next_transition(0).has_value());
+}
+
+TEST(LifecycleScheduleTest, CrashIsPermanentAndFinal) {
+  FaultPlan plan = FaultPlan::zero();
+  plan.crash_at = 5 * kMillisecond;
+  const DeviceLifecycle lifecycle(plan);
+  EXPECT_TRUE(lifecycle.crashes());
+  EXPECT_TRUE(lifecycle.up(0));
+  EXPECT_TRUE(lifecycle.up(5 * kMillisecond - 1));
+  EXPECT_FALSE(lifecycle.up(5 * kMillisecond));
+  EXPECT_FALSE(lifecycle.up(50 * kMillisecond));
+
+  const auto t = lifecycle.next_transition(0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->at, 5 * kMillisecond);
+  EXPECT_TRUE(t->down);
+  // After the crash nothing ever changes again.
+  EXPECT_FALSE(lifecycle.next_transition(5 * kMillisecond).has_value());
+}
+
+TEST(LifecycleScheduleTest, FlappingAlternatesDownThenUpEachPeriod) {
+  FaultPlan plan = FaultPlan::zero();
+  plan.flap_period = 2 * kMillisecond;
+  plan.flap_down = 500 * kMicrosecond;
+  const DeviceLifecycle lifecycle(plan);
+  EXPECT_TRUE(lifecycle.flaps());
+
+  // No jitter: every cycle is down for exactly flap_down at its start.
+  EXPECT_EQ(lifecycle.flap_down_for(0), 500 * kMicrosecond);
+  EXPECT_EQ(lifecycle.flap_down_for(7), 500 * kMicrosecond);
+  EXPECT_FALSE(lifecycle.up(0));
+  EXPECT_FALSE(lifecycle.up(499 * kMicrosecond));
+  EXPECT_TRUE(lifecycle.up(500 * kMicrosecond));
+  EXPECT_FALSE(lifecycle.up(2 * kMillisecond));
+
+  // Walking from 0: up at 500us, down at 2ms, up at 2.5ms, ...
+  auto t = lifecycle.next_transition(0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->at, 500 * kMicrosecond);
+  EXPECT_FALSE(t->down);
+  t = lifecycle.next_transition(t->at);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->at, 2 * kMillisecond);
+  EXPECT_TRUE(t->down);
+  t = lifecycle.next_transition(t->at);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->at, 2 * kMillisecond + 500 * kMicrosecond);
+  EXPECT_FALSE(t->down);
+}
+
+TEST(LifecycleScheduleTest, JitteredFlapDurationsAreSeededAndBounded) {
+  FaultPlan plan = FaultPlan::zero();
+  plan.seed = 42;
+  plan.flap_period = 2 * kMillisecond;
+  plan.flap_down = 500 * kMicrosecond;
+  plan.flap_jitter = 0.8;
+  const DeviceLifecycle a(plan);
+  const DeviceLifecycle b(plan);
+
+  bool varied = false;
+  for (std::uint64_t cycle = 0; cycle < 32; ++cycle) {
+    const DurationNs down = a.flap_down_for(cycle);
+    // Same plan => same draw; durations stay inside (0, period).
+    EXPECT_EQ(down, b.flap_down_for(cycle)) << "cycle " << cycle;
+    EXPECT_GE(down, 1);
+    EXPECT_LT(down, plan.flap_period);
+    if (down != 500 * kMicrosecond) varied = true;
+  }
+  EXPECT_TRUE(varied) << "jitter drew 32 identical durations";
+
+  // A different seed draws a different jitter sequence.
+  FaultPlan other = plan;
+  other.seed = 43;
+  const DeviceLifecycle c(other);
+  bool differs = false;
+  for (std::uint64_t cycle = 0; cycle < 32 && !differs; ++cycle) {
+    differs = c.flap_down_for(cycle) != a.flap_down_for(cycle);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LifecycleScheduleTest, CrashInsideFlapDownWindowEndsTheSchedule) {
+  FaultPlan plan = FaultPlan::zero();
+  plan.flap_period = 2 * kMillisecond;
+  plan.flap_down = 500 * kMicrosecond;
+  plan.crash_at = 4 * kMillisecond + 100 * kMicrosecond;  // inside cycle 2's
+                                                          // down window
+  const DeviceLifecycle lifecycle(plan);
+
+  // The device is already down when the crash lands; it must never come
+  // back up and the transition walk must terminate.
+  EXPECT_FALSE(lifecycle.up(4 * kMillisecond + 50 * kMicrosecond));
+  EXPECT_FALSE(lifecycle.up(10 * kMillisecond));
+  std::optional<LifecycleTransition> t = lifecycle.next_transition(0);
+  int transitions = 0;
+  while (t.has_value() && transitions < 64) {
+    ++transitions;
+    EXPECT_LE(t->at, plan.crash_at);
+    t = lifecycle.next_transition(t->at);
+  }
+  EXPECT_LT(transitions, 64) << "transition walk did not terminate";
+}
+
+}  // namespace
+}  // namespace hq::fault

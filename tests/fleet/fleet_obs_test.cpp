@@ -206,6 +206,73 @@ TEST(FleetObsTest, StealHopsAreRecordedAndDrawnAsFlows) {
   EXPECT_NE(trace.find("\"ph\": \"f\""), std::string::npos);
 }
 
+/// Chaos scenario with the observability plane on: device 0 crashes
+/// mid-window while injecting copy stalls, hedging races its stragglers.
+FleetConfig chaos_obs_config() {
+  FleetConfig config;
+  config.base = golden_base();
+  config.resize_homogeneous(3);
+  config.placement = PlacementPolicy::LeastLoaded;
+  config.hedging = true;
+  config.hedge_threshold = 1.5;
+  config.hedge_min_samples = 2;
+  fault::FaultPlan chaotic = fault::FaultPlan::zero();
+  chaotic.copy_stall_rate = 0.5;
+  chaotic.copy_stall_ns = kMillisecond;
+  chaotic.crash_at = 6 * kMillisecond;
+  config.device_fault_plans = {chaotic, fault::FaultPlan{},
+                               fault::FaultPlan{}};
+  return config;
+}
+
+TEST(FleetObsTest, FaultAndFaultDomainCountersSurfaceInExports) {
+  const FleetResult result = FleetService(chaos_obs_config()).run();
+  const std::string prom = fleet_prometheus_text(result);
+
+  // Per-device fault-injector counters carry device labels and roll up
+  // into the merged hq_fleet_* series.
+  EXPECT_NE(prom.find("hq_fault_injected_total{device=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hq_fault_copy_stalls{device=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("\nhq_fleet_fault_injected_total "), std::string::npos);
+  EXPECT_NE(prom.find("\nhq_fleet_fault_copy_stalls "), std::string::npos);
+  // Fault-domain counters: device-labeled and fleet-scope.
+  EXPECT_NE(prom.find("hq_device_lifecycle_downs{device=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("\nhq_fleet_failed_over "), std::string::npos);
+  EXPECT_NE(prom.find("\nhq_fleet_hedges_launched "), std::string::npos);
+  EXPECT_NE(prom.find("\nhq_fleet_shed_failover_exhausted "),
+            std::string::npos);
+
+  const std::string json = fleet_metrics_json(result);
+  EXPECT_TRUE(hq::testing::json_well_formed(json));
+  EXPECT_NE(json.find("fault_injected_total"), std::string::npos);
+  EXPECT_NE(json.find("device_lifecycle_downs"), std::string::npos);
+  EXPECT_NE(json.find("fleet_failed_over"), std::string::npos);
+}
+
+TEST(FleetObsTest, FailoverAndHedgeHopsAreRecordedAndDrawnAsFlows) {
+  const FleetResult result = FleetService(chaos_obs_config()).run();
+  EXPECT_EQ(result.lifecycle->failover_hops(), result.report.failed_over);
+  EXPECT_EQ(result.lifecycle->hedge_launches(),
+            result.report.hedges_launched);
+  ASSERT_GT(result.report.failed_over + result.report.hedges_launched, 0u);
+
+  const std::string trace = fleet_chrome_trace_json(result);
+  EXPECT_TRUE(hq::testing::json_well_formed(trace));
+  if (result.report.failed_over > 0) {
+    EXPECT_NE(trace.find("\"name\": \"failover\", \"cat\": \"flow\", "
+                         "\"ph\": \"s\""),
+              std::string::npos);
+  }
+  if (result.report.hedges_launched > 0) {
+    EXPECT_NE(trace.find("\"name\": \"hedge\", \"cat\": \"flow\", "
+                         "\"ph\": \"s\""),
+              std::string::npos);
+  }
+}
+
 TEST(FleetObsTest, ChromeTraceHasOneProcessLanePerDevice) {
   const FleetResult result = FleetService(heterogeneous_config()).run();
   const std::string trace = fleet_chrome_trace_json(result);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "fault/fault.hpp"
 #include "tests/hyperq/synthetic_app.hpp"
 
 namespace hq::fleet {
@@ -125,6 +126,20 @@ TEST(FleetSweepTest, GridKeyFingerprintsEveryResultAffectingField) {
   variant().base.base.fault_plan.enabled = true;
   variant().base.base.retry.max_attempts = 7;
   variant().base.base.arrivals.push_back({kMillisecond, 0});
+  // Fault-domain knobs: a chaos-config edit must never splice a resumed
+  // journal's cached outcomes into the new config's report.
+  variant().base.device_fault_plans = {fault::FaultPlan::zero(),
+                                       fault::FaultPlan::zero()};
+  {
+    FleetSweepGrid& g = variant();
+    fault::FaultPlan crash = fault::FaultPlan::zero();
+    crash.crash_at = 3 * kMillisecond;
+    g.base.device_fault_plans = {crash, fault::FaultPlan::zero()};
+  }
+  variant().base.failover_budget = 0;
+  variant().base.hedging = true;
+  variant().base.hedge_threshold = 3.5;
+  variant().base.hedge_min_samples = 9;
 
   std::set<std::uint64_t> keys = {base_key};
   for (std::size_t i = 0; i < variants.size(); ++i) {

@@ -105,6 +105,28 @@ TEST(GoldenFleetTest, GoldenScenariosAreByteIdenticalAcrossJobCounts) {
   }
 }
 
+TEST(GoldenFleetTest, InertFaultDomainKnobsKeepPinnedDigests) {
+  // The fault-domain layer's zero-perturbation contract: with no lifecycle
+  // faults and hedging off, the fault-domain knobs are invisible — the
+  // pinned digests hold even with all-disabled per-device plans supplied
+  // and every inert knob moved off its default.
+  FleetConfig homogeneous = homogeneous_config();
+  homogeneous.device_fault_plans.assign(4, fault::FaultPlan{});
+  homogeneous.failover_budget = 0;
+  homogeneous.hedge_threshold = 7.5;
+  homogeneous.hedge_min_samples = 1;
+  ASSERT_FALSE(homogeneous.fault_domains_active());
+  const FleetResult a = FleetService(homogeneous).run();
+  EXPECT_EQ(fleet_report_digest(a.report), kPinnedHomogeneousDigest)
+      << std::hex << "digest moved: 0x" << fleet_report_digest(a.report);
+
+  FleetConfig heterogeneous = heterogeneous_config();
+  heterogeneous.failover_budget = 9;
+  const FleetResult b = FleetService(heterogeneous).run();
+  EXPECT_EQ(fleet_report_digest(b.report), kPinnedHeterogeneousDigest)
+      << std::hex << "digest moved: 0x" << fleet_report_digest(b.report);
+}
+
 TEST(GoldenFleetTest, LinkingFleetLeavesWholeSurfaceDigestUnchanged) {
   // Replicates zero_perturbation_test's combined digest from a binary that
   // links (and above, has exercised) hq_fleet: the fleet layer must be a

@@ -15,9 +15,13 @@
 //   hqfuzz --serve-case-seed 99 --verbose         (replay one serve case)
 //   hqfuzz --seed 1 --iters 0 --fleet-iters 50    (fleet-mode oracles)
 //   hqfuzz --fleet-case-seed 99 --verbose         (replay one fleet case)
+//   hqfuzz --seed 1 --iters 0 --fleet-iters 50 --chaos-rate 0.5
+//                                                 (device-lifecycle chaos)
+//   hqfuzz --fleet-case-seed 99 --chaos-rate 0.5  (replay one chaos case)
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <optional>
 #include <string>
 
@@ -63,6 +67,12 @@ int main(int argc, char** argv) {
                   "0");
   args.add_option("fleet-case-seed",
                   "run exactly one fleet-mode case with this seed", "");
+  args.add_option("chaos-rate",
+                  "per-device lifecycle-fault probability in [0,1]; > 0 adds "
+                  "the fleet chaos oracles (crash-schedule conservation, "
+                  "failover determinism, inert-knob byte identity, "
+                  "all-devices-dead drain) to every fleet iteration",
+                  "0");
   args.add_option("fault-rate",
                   "fault-plan intensity in [0,1]; > 0 adds the fault-mode "
                   "oracles (zero-perturbation, faulted determinism, "
@@ -92,6 +102,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  double chaos_rate = 0.0;
+  {
+    errno = 0;
+    char* end = nullptr;
+    const std::string text = args.get("chaos-rate");
+    chaos_rate = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0' || chaos_rate < 0.0 ||
+        chaos_rate > 1.0) {
+      std::fprintf(stderr, "error: --chaos-rate needs a number in [0,1]\n");
+      return 2;
+    }
+  }
+
   if (args.provided("fleet-case-seed")) {
     const auto case_seed = parse_u64(args.get("fleet-case-seed"));
     if (!case_seed) {
@@ -100,7 +123,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::string summary;
-    const auto problems = check::Fuzzer::run_fleet_case(*case_seed, &summary);
+    auto problems = check::Fuzzer::run_fleet_case(*case_seed, &summary);
+    if (chaos_rate > 0) {
+      std::string chaos_summary;
+      auto chaos = check::Fuzzer::run_fleet_chaos_case(*case_seed, chaos_rate,
+                                                       &chaos_summary);
+      summary = std::move(chaos_summary);
+      problems.insert(problems.end(),
+                      std::make_move_iterator(chaos.begin()),
+                      std::make_move_iterator(chaos.end()));
+    }
     std::printf("case %s\n", summary.c_str());
     for (const auto& p : problems) std::printf("  - %s\n", p.c_str());
     std::printf("%s\n", problems.empty() ? "clean" : "FAILED");
@@ -162,6 +194,7 @@ int main(int argc, char** argv) {
   options.fleet_iterations = static_cast<int>(*fleet_iters);
   options.jobs = static_cast<int>(*jobs);
   options.fault_rate = fault_rate;
+  options.chaos_rate = chaos_rate;
   const bool verbose = args.get_flag("verbose");
 
   check::Fuzzer fuzzer(options);

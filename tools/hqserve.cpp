@@ -26,6 +26,14 @@
 //   hqserve --mix gaussian --sweep-fleet 1,2,4 --sweep-placement all
 //           --jobs 0 --journal fleet.journal --resume
 //
+// Fleet fault domains layer device-lifecycle chaos on fleet mode: a
+// per-device fault-plan file (--device-fault-plan-file, one --fault-plan
+// line per device, 'disabled' = fault-free) can crash, flap, or degrade
+// individual devices; displaced jobs fail over to survivors within
+// --failover-budget hops, and --hedge races straggling jobs on idle peers:
+//   hqserve --mix gaussian --devices 4 --device-fault-plan-file chaos.txt
+//           --failover-budget 2 --hedge --hedge-threshold 2.5
+//
 // Exit codes: 0 success, 2 usage error, 3 run error (hq::Error).
 #include <cstdio>
 #include <cstdlib>
@@ -198,6 +206,40 @@ bool read_device_specs(const std::string& path,
   return true;
 }
 
+/// Reads a per-device fault-plan file: one fault plan per line in the
+/// `key=value,...` syntax of --fault-plan; "disabled" (or "none") gives
+/// that device no faults. Blank lines and '#' comments are skipped. Line i
+/// configures device i, so the file must declare exactly one line per
+/// fleet device.
+bool read_fault_plans(const std::string& path,
+                      std::vector<hq::fault::FaultPlan>& out,
+                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open device-fault-plan file '" + path + "'";
+    return false;
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::string plan_error;
+    const auto plan = hq::fault::parse_fault_plan(line, &plan_error);
+    if (!plan) {
+      *error = "bad fault plan at " + path + ":" + std::to_string(line_no) +
+               ": " + plan_error;
+      return false;
+    }
+    out.push_back(*plan);
+  }
+  if (out.empty()) {
+    *error = "device-fault-plan file '" + path + "' declares no plans";
+    return false;
+  }
+  return true;
+}
+
 /// Parses a duration literal "<number><ns|us|ms|s>" (e.g. "50ms", "250us")
 /// into nanoseconds. Returns nullopt on malformed input or a non-positive
 /// value.
@@ -317,6 +359,25 @@ int main(int argc, char** argv) {
                   "device-breaker open-state cooldown before the half-open "
                   "probe (us)",
                   "20000");
+  args.add_option("device-fault-plan-file",
+                  "fleet mode: per-device fault plans, one --fault-plan "
+                  "line per device ('disabled' = fault-free); supports "
+                  "lifecycle faults (crash-at-us=, flap-period-us=, "
+                  "degrade-at-us=, ...)",
+                  "");
+  args.add_option("failover-budget",
+                  "fleet mode: failover hops per job before it is shed as "
+                  "failover-exhausted",
+                  "3");
+  args.add_flag("hedge",
+                "fleet mode: hedge straggling jobs on an idle healthy peer "
+                "(first completion wins)");
+  args.add_option("hedge-threshold",
+                  "hedge once a job runs past this multiple of its class's "
+                  "mean service time",
+                  "2");
+  args.add_option("hedge-min-samples",
+                  "completed jobs per class before hedging engages", "4");
   args.add_option("sweep-fleet",
                   "run a fleet-size x placement sweep over this "
                   "comma-separated list of fleet sizes",
@@ -356,6 +417,8 @@ int main(int argc, char** argv) {
       args.get_int("device-breaker-threshold");
   const auto device_breaker_cooldown_us =
       args.get_int("device-breaker-cooldown-us");
+  const auto failover_budget = args.get_int("failover-budget");
+  const auto hedge_min_samples = args.get_int("hedge-min-samples");
   if (!size || *size < 0 || !window_ms || *window_ms < 1 || !gap_us ||
       *gap_us < 1 || !streams || *streams < 1 || !seed || *seed < 0 ||
       !queue_cap || *queue_cap < 0 || !max_inflight || *max_inflight < 0 ||
@@ -364,9 +427,23 @@ int main(int argc, char** argv) {
       *breaker_cooldown_us < 1 || !jobs || *jobs < 0 || !devices ||
       *devices < 0 || !device_breaker_threshold ||
       *device_breaker_threshold < 1 || !device_breaker_cooldown_us ||
-      *device_breaker_cooldown_us < 1) {
+      *device_breaker_cooldown_us < 1 || !failover_budget ||
+      *failover_budget < 0 || !hedge_min_samples || *hedge_min_samples < 1) {
     std::fprintf(stderr, "error: bad numeric option\n");
     return 2;
+  }
+
+  double hedge_threshold = 2.0;
+  {
+    errno = 0;
+    char* end = nullptr;
+    const std::string text = args.get("hedge-threshold");
+    hedge_threshold = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0' ||
+        hedge_threshold <= 0.0) {
+      std::fprintf(stderr, "error: --hedge-threshold needs a number > 0\n");
+      return 2;
+    }
   }
 
   double copy_penalty = 2.0;
@@ -446,6 +523,27 @@ int main(int argc, char** argv) {
   const bool fleet_mode = *devices > 0 ||
                           !args.get("device-spec-file").empty() ||
                           !args.get("sweep-fleet").empty();
+
+  if (!args.get("device-fault-plan-file").empty()) {
+    if (!fleet_mode) {
+      std::fprintf(stderr,
+                   "error: --device-fault-plan-file needs fleet mode "
+                   "(--devices or --device-spec-file)\n");
+      return 2;
+    }
+    if (!args.get("sweep-fleet").empty()) {
+      std::fprintf(stderr,
+                   "error: --device-fault-plan-file fixes one plan per "
+                   "device; it does not apply to --sweep-fleet's varying "
+                   "fleet sizes\n");
+      return 2;
+    }
+  }
+  if (args.get_flag("hedge") && !fleet_mode) {
+    std::fprintf(stderr, "error: --hedge needs fleet mode (--devices or "
+                         "--device-spec-file)\n");
+    return 2;
+  }
 
   // Export-flag validation up front: every unsupported combination is a
   // hard usage error, never a silent no-op.
@@ -534,6 +632,27 @@ int main(int argc, char** argv) {
           static_cast<int>(*device_breaker_threshold);
       fleet_config.device_breaker.cooldown =
           static_cast<DurationNs>(*device_breaker_cooldown_us) * kMicrosecond;
+      fleet_config.failover_budget = static_cast<int>(*failover_budget);
+      fleet_config.hedging = args.get_flag("hedge");
+      fleet_config.hedge_threshold = hedge_threshold;
+      fleet_config.hedge_min_samples =
+          static_cast<std::size_t>(*hedge_min_samples);
+      if (!args.get("device-fault-plan-file").empty()) {
+        if (!read_fault_plans(args.get("device-fault-plan-file"),
+                              fleet_config.device_fault_plans, &error)) {
+          std::fprintf(stderr, "error: %s\n", error.c_str());
+          return 2;
+        }
+        if (fleet_config.device_fault_plans.size() !=
+            fleet_config.num_devices()) {
+          std::fprintf(stderr,
+                       "error: --device-fault-plan-file declares %zu plans "
+                       "for %zu devices\n",
+                       fleet_config.device_fault_plans.size(),
+                       fleet_config.num_devices());
+          return 2;
+        }
+      }
 
       // --- fleet-size x placement sweep ------------------------------------
       if (!args.get("sweep-fleet").empty()) {
