@@ -1,0 +1,83 @@
+// Scenario: a 3-device fleet develops a liar. Device 0 goes stuck-at at
+// t = 4ms — from then on every result it produces is silently corrupted.
+// The run is repeated under each integrity policy:
+//
+//   trust      accepts every result; the corruption is never noticed and
+//              the liar keeps serving garbage for 80% of the window.
+//   spotcheck  re-executes a seeded fraction of completed jobs on a
+//              different device; mismatches vote blame onto the liar until
+//              its SDC score crosses the blocklist threshold.
+//   dmr        re-executes every completed job; the liar is blamed within
+//              a handful of votes and blocklisted almost immediately.
+//
+// Blocklisting removes the device permanently (distinct from availability
+// quarantine: the device is up, but untrusted) and the two survivors
+// absorb the load — goodput recovers to the 2-device level while the
+// corrupted-results-served count stops growing. Every run conserves jobs
+// exactly and satisfies injected == detected + missed.
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "fault/fault.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/report.hpp"
+#include "rodinia/registry.hpp"
+
+int main() {
+  using namespace hq;
+
+  fleet::FleetConfig base;
+  base.base.window = 20 * kMillisecond;
+  base.base.mean_interarrival = 150 * kMicrosecond;  // headroom for verification
+  base.base.num_streams = 4;
+  base.base.max_inflight = 2;
+  rodinia::AppParams small = {256, 4, 1};
+  base.base.classes = {{rodinia::make_app("needle", small), 0}};
+  base.base.collect_metrics = false;
+  base.resize_homogeneous(3);
+  base.placement = fleet::PlacementPolicy::LeastLoaded;
+
+  fault::FaultPlan liar = fault::FaultPlan::zero();
+  liar.seed = 7;
+  liar.sdc_stuck_at = 4 * kMillisecond;
+  base.device_fault_plans = {liar, fault::FaultPlan{}, fault::FaultPlan{}};
+
+  TextTable table;
+  table.set_header({"policy", "injected", "detected", "missed", "reexec",
+                    "blocklisted at", "completed", "goodput/s"});
+  for (const fleet::IntegrityPolicy policy :
+       {fleet::IntegrityPolicy::Trust, fleet::IntegrityPolicy::SpotCheck,
+        fleet::IntegrityPolicy::Dmr}) {
+    auto config = base;
+    config.integrity = policy;
+    config.spotcheck_rate = 0.25;
+    const auto report = fleet::FleetService(config).run().report;
+    const auto& liar_stats = report.devices[0];
+    table.add_row(
+        {fleet::integrity_policy_name(policy),
+         std::to_string(report.sdc_injected),
+         std::to_string(report.sdc_detected),
+         std::to_string(report.sdc_missed),
+         std::to_string(report.reexecutions),
+         liar_stats.blocklisted
+             ? format_duration(
+                   static_cast<DurationNs>(liar_stats.blocklisted_at))
+             : "never",
+         std::to_string(report.completed),
+         format_fixed(report.goodput_per_sec, 0)});
+  }
+  std::printf("fleet integrity: 3 devices, least-loaded placement, device 0\n"
+              "goes stuck-at (every result corrupted) at 4ms of a 20ms\n"
+              "window; spot-check rate 0.25, blocklist threshold 0.8\n\n%s\n",
+              table.render().c_str());
+  std::printf("trust never notices — every corrupted result is served.\n"
+              "spot-checking catches a sample and blocklists the liar\n"
+              "mid-run; dmr blames it within a handful of votes and\n"
+              "removes it ~3ms sooner, so far fewer corrupted results are\n"
+              "ever produced. goodput barely moves: the survivors absorb\n"
+              "the load as soon as the liar is gone. re-executions are the\n"
+              "integrity tax — dmr keeps paying one extra attempt per\n"
+              "verified job for the rest of the run.\n");
+  return 0;
+}

@@ -542,6 +542,212 @@ std::vector<std::string> Fuzzer::run_fleet_chaos_case(
   return problems;
 }
 
+std::vector<std::string> Fuzzer::run_fleet_sdc_case(std::uint64_t case_seed,
+                                                    double sdc_rate,
+                                                    std::string* summary_out) {
+  FleetFuzzCase c = generate_fleet_case(case_seed);
+  // SDC draws from their own stream, so a case seed maps to exactly the
+  // fleet config run_fleet_case saw, plus a deterministic corruption
+  // schedule and integrity knobs layered on top.
+  Rng rng(case_seed ^ 0xd6e8feb86659fd93ULL);
+  fleet::FleetConfig& cfg = c.config;
+  const std::size_t n = cfg.num_devices();
+  const DurationNs window = cfg.base.window;
+
+  cfg.device_fault_plans.assign(n, fault::FaultPlan{});
+  std::size_t corrupting = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    // Fixed draw sequence per device, consumed whether or not the device
+    // ends up corrupting, so every decision is a pure function of the seed.
+    const double verdict = rng.next_double();
+    const std::size_t kind = rng.next_below(3);
+    const TimeNs at = static_cast<TimeNs>(
+        window / 5 + rng.next_below(static_cast<std::uint64_t>(window) * 3 / 5));
+    const std::uint64_t plan_seed = rng.next_u64();
+    if (verdict >= sdc_rate) continue;
+    fault::FaultPlan plan = fault::FaultPlan::zero();
+    plan.seed = plan_seed;
+    if (kind == 0) {
+      plan.sdc_copy_rate = 0.4;
+    } else if (kind == 1) {
+      plan.sdc_kernel_rate = 0.6;
+      plan.sdc_at = at;
+    } else {
+      plan.sdc_stuck_at = at;
+    }
+    cfg.device_fault_plans[d] = plan;
+    ++corrupting;
+  }
+  cfg.integrity = rng.next_below(2) == 0 ? fleet::IntegrityPolicy::SpotCheck
+                                         : fleet::IntegrityPolicy::Dmr;
+  cfg.spotcheck_rate = rng.next_below(2) == 0 ? 0.5 : 1.0;
+  cfg.sdc_blocklist_threshold = rng.next_below(2) == 0 ? 0.6 : 0.8;
+  cfg.failover_budget = 1 + static_cast<int>(rng.next_below(3));
+  // The lifecycle tracer backs the blocklist-placement oracle; attaching it
+  // is zero-perturbation (the observability oracle pins that).
+  cfg.base.collect_metrics = true;
+
+  if (summary_out != nullptr) {
+    std::ostringstream os;
+    os << c.summary() << " sdc=" << corrupting << "/" << n << " policy="
+       << fleet::integrity_policy_name(cfg.integrity)
+       << " spotcheck=" << cfg.spotcheck_rate
+       << " blocklist=" << cfg.sdc_blocklist_threshold;
+    *summary_out = os.str();
+  }
+  std::vector<std::string> problems;
+  const auto fail = [&problems](const std::ostringstream& os) {
+    problems.push_back(os.str());
+  };
+
+  const auto run_with = [&](const fleet::FleetConfig& run_cfg,
+                            const char* label)
+      -> std::optional<fleet::FleetResult> {
+    try {
+      return fleet::FleetService(run_cfg).run();
+    } catch (const hq::Error& e) {
+      std::ostringstream os;
+      os << label << ": " << e.what();
+      fail(os);
+      return std::nullopt;
+    }
+  };
+
+  // Conservation with verification re-executions counted as attempts:
+  // every arrival still lands in exactly one terminal state, per-device
+  // arrivals reproduce the fleet total, and every dispatched re-execution
+  // is attributed to exactly one device.
+  const auto check_sdc_conservation = [&](const fleet::FleetReport& r,
+                                          const char* label) {
+    const std::uint64_t terminal = r.completed_ok + r.completed_late +
+                                   r.shed_queue_full + r.shed_breaker +
+                                   r.shed_no_device + r.timed_out_queued +
+                                   r.quarantined + r.shed_failover_exhausted;
+    if (r.arrived != terminal) {
+      std::ostringstream os;
+      os << label << ": sdc accounting leak (arrived " << r.arrived
+         << " != terminal states " << terminal << ")";
+      fail(os);
+    }
+    std::uint64_t device_arrived = 0;
+    std::uint64_t device_verifications = 0;
+    std::uint64_t device_injected = 0;
+    std::uint64_t device_blocklisted = 0;
+    for (const fleet::FleetDeviceStats& dev : r.devices) {
+      device_arrived += dev.report.arrived;
+      device_verifications += dev.verifications_run;
+      device_injected += dev.sdc_injected;
+      if (dev.blocklisted) ++device_blocklisted;
+    }
+    if (device_arrived + r.shed_no_device + r.shed_failover_exhausted !=
+        r.arrived) {
+      std::ostringstream os;
+      os << label << ": per-device arrivals " << device_arrived
+         << " + fleet-only sheds don't reproduce fleet arrived "
+         << r.arrived;
+      fail(os);
+    }
+    if (device_verifications != r.reexecutions) {
+      std::ostringstream os;
+      os << label << ": per-device verifications " << device_verifications
+         << " != fleet reexecutions " << r.reexecutions;
+      fail(os);
+    }
+    if (device_injected != r.sdc_injected) {
+      std::ostringstream os;
+      os << label << ": per-device sdc_injected " << device_injected
+         << " != fleet sdc_injected " << r.sdc_injected;
+      fail(os);
+    }
+    if (device_blocklisted != r.devices_blocklisted) {
+      std::ostringstream os;
+      os << label << ": per-device blocklisted flags " << device_blocklisted
+         << " != fleet devices_blocklisted " << r.devices_blocklisted;
+      fail(os);
+    }
+    // The exact partition: every corrupted result was either caught by a
+    // mismatching comparison or served silently.
+    if (r.sdc_injected != r.sdc_detected + r.sdc_missed) {
+      std::ostringstream os;
+      os << label << ": sdc partition broken (" << r.sdc_injected
+         << " injected != " << r.sdc_detected << " detected + "
+         << r.sdc_missed << " missed)";
+      fail(os);
+    }
+  };
+
+  const auto sdc1 = run_with(cfg, "sdc-run1");
+  const auto sdc2 = run_with(cfg, "sdc-run2");
+  if (!sdc1 || !sdc2) return problems;
+  check_sdc_conservation(sdc1->report, "sdc-base");
+
+  // --- determinism -----------------------------------------------------------
+  if (fleet::fleet_report_json(sdc1->report) !=
+      fleet::fleet_report_json(sdc2->report)) {
+    std::ostringstream os;
+    os << "sdc determinism: reports differ across identical runs (digests "
+       << fleet::fleet_report_digest(sdc1->report) << " vs "
+       << fleet::fleet_report_digest(sdc2->report) << ")";
+    fail(os);
+  }
+
+  // --- inert-plan identity ---------------------------------------------------
+  // All-clean plans + Trust must reproduce the integrity-free fleet case
+  // byte-for-byte: the whole pipeline is gated, not merely quiet.
+  fleet::FleetConfig inert = cfg;
+  inert.device_fault_plans.assign(n, fault::FaultPlan{});
+  inert.integrity = fleet::IntegrityPolicy::Trust;
+  const fleet::FleetConfig baseline = generate_fleet_case(case_seed).config;
+  const auto inert_run = run_with(inert, "sdc-inert");
+  const auto baseline_run = run_with(baseline, "sdc-baseline");
+  if (inert_run && baseline_run) {
+    if (fleet::fleet_report_json(inert_run->report) !=
+        fleet::fleet_report_json(baseline_run->report)) {
+      std::ostringstream os;
+      os << "sdc inert-plan perturbation: clean plans + trust policy "
+         << "changed the report (digests "
+         << fleet::fleet_report_digest(inert_run->report) << " vs "
+         << fleet::fleet_report_digest(baseline_run->report) << ")";
+      fail(os);
+    }
+  }
+
+  // --- blocklisted devices receive nothing after their blocklist time --------
+  if (sdc1->lifecycle != nullptr) {
+    for (std::size_t d = 0; d < sdc1->report.devices.size(); ++d) {
+      const fleet::FleetDeviceStats& dev = sdc1->report.devices[d];
+      if (!dev.blocklisted) continue;
+      for (std::size_t job = 0; job < sdc1->lifecycle->num_jobs() &&
+                                problems.size() < 8;
+           ++job) {
+        for (const serve::JobEvent& e :
+             sdc1->lifecycle->events(static_cast<int>(job))) {
+          const bool lands_work =
+              e.kind == serve::JobEventKind::Placed ||
+              e.kind == serve::JobEventKind::Queued ||
+              e.kind == serve::JobEventKind::Requeued ||
+              e.kind == serve::JobEventKind::Stolen ||
+              e.kind == serve::JobEventKind::FailedOver ||
+              e.kind == serve::JobEventKind::Dispatched ||
+              e.kind == serve::JobEventKind::Hedged ||
+              e.kind == serve::JobEventKind::VerifyDispatched;
+          if (lands_work && e.device == static_cast<int>(d) &&
+              e.at > dev.blocklisted_at) {
+            std::ostringstream os;
+            os << "sdc blocklist leak: job " << job << " event "
+               << serve::job_event_kind_name(e.kind) << " landed on device "
+               << d << " at " << e.at << " after its blocklist at "
+               << dev.blocklisted_at;
+            fail(os);
+          }
+        }
+      }
+    }
+  }
+
+  return problems;
+}
+
 std::vector<std::string> Fuzzer::run_serve_case(std::uint64_t case_seed,
                                                 std::string* summary_out) {
   const ServeFuzzCase c = generate_serve_case(case_seed);
@@ -1026,6 +1232,15 @@ FuzzReport Fuzzer::run(const Progress& progress) {
         r.problems.insert(r.problems.end(),
                           std::make_move_iterator(chaos.begin()),
                           std::make_move_iterator(chaos.end()));
+      }
+      if (options_.sdc_rate > 0) {
+        std::string sdc_summary;
+        std::vector<std::string> sdc = run_fleet_sdc_case(
+            case_seeds[i], options_.sdc_rate, &sdc_summary);
+        r.summary = std::move(sdc_summary);
+        r.problems.insert(r.problems.end(),
+                          std::make_move_iterator(sdc.begin()),
+                          std::make_move_iterator(sdc.end()));
       }
     }
     return r;

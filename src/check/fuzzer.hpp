@@ -147,6 +147,15 @@ struct FuzzOptions {
   /// byte-identical to the baseline, and all-devices-dead draining
   /// cleanly. 0 disables.
   double chaos_rate = 0.0;
+  /// Probability in [0, 1] that each fleet device receives a seed-derived
+  /// silent-data-corruption plan. When > 0 every fleet iteration
+  /// additionally runs the SDC integrity oracles (run_fleet_sdc_case):
+  /// conservation with verification re-executions counted as attempts, the
+  /// exact sdc_injected == sdc_detected + sdc_missed partition, two-run
+  /// byte determinism, inert-plan/Trust runs byte-identical to the
+  /// baseline, and no placements on a blocklisted device after its
+  /// blocklist time. 0 disables.
+  double sdc_rate = 0.0;
 };
 
 struct FuzzFailure {
@@ -204,6 +213,20 @@ class Fuzzer {
   /// drain. Returns the violated oracles (empty = clean).
   static std::vector<std::string> run_fleet_chaos_case(
       std::uint64_t case_seed, double chaos_rate,
+      std::string* summary_out = nullptr);
+
+  /// Runs the SDC integrity oracles for one case seed: the fleet case's
+  /// config plus a seed-derived per-device corruption schedule (each
+  /// device corrupts copies, ramps kernel corruption, or goes stuck-at
+  /// with probability `sdc_rate`) under a random non-Trust integrity
+  /// policy. Checks conservation with re-executions counted as attempts,
+  /// the exact detected + missed == injected partition, two-run byte
+  /// determinism, the inert-plan identity (all-clean plans + Trust ==
+  /// byte-identical baseline report), and that a blocklisted device
+  /// receives no placements, hops, or dispatches after its blocklist
+  /// time. Returns the violated oracles (empty = clean).
+  static std::vector<std::string> run_fleet_sdc_case(
+      std::uint64_t case_seed, double sdc_rate,
       std::string* summary_out = nullptr);
 
   /// The seed-derived transient-only plan fault-mode cases run under

@@ -37,6 +37,9 @@ bool CircuitBreaker::allow(TimeNs now) {
       probe_outstanding_ = true;
       ++probes_;
       return true;
+    case State::Blocklisted:
+      ++rejected_;
+      return false;
   }
   return true;
 }
@@ -49,12 +52,15 @@ bool CircuitBreaker::would_allow(TimeNs now) const {
       return now >= open_until_;
     case State::HalfOpen:
       return !probe_outstanding_;
+    case State::Blocklisted:
+      return false;
   }
   return true;
 }
 
 void CircuitBreaker::record_success(TimeNs now) {
   (void)now;
+  if (state_ == State::Blocklisted) return;  // terminal: stragglers ignored
   ++successes_;
   consecutive_failures_ = 0;
   if (state_ == State::HalfOpen) {
@@ -64,6 +70,7 @@ void CircuitBreaker::record_success(TimeNs now) {
 }
 
 void CircuitBreaker::record_failure(TimeNs now) {
+  if (state_ == State::Blocklisted) return;  // terminal: stragglers ignored
   ++failures_;
   ++consecutive_failures_;
   switch (state_) {
@@ -80,7 +87,16 @@ void CircuitBreaker::record_failure(TimeNs now) {
       // they extend nothing — the cooldown clock keeps its deadline so
       // recovery probing stays deterministic and prompt.
       break;
+    case State::Blocklisted:
+      break;  // unreachable (early return above); keeps the switch exhaustive
   }
+}
+
+void CircuitBreaker::blocklist(TimeNs now) {
+  if (state_ == State::Blocklisted) return;
+  state_ = State::Blocklisted;
+  probe_outstanding_ = false;
+  blocklisted_at_ = now;
 }
 
 void CircuitBreaker::trip(TimeNs now) {
@@ -95,6 +111,7 @@ const char* breaker_state_name(CircuitBreaker::State state) {
     case CircuitBreaker::State::Closed: return "closed";
     case CircuitBreaker::State::Open: return "open";
     case CircuitBreaker::State::HalfOpen: return "half-open";
+    case CircuitBreaker::State::Blocklisted: return "blocklisted";
   }
   return "?";
 }

@@ -15,6 +15,14 @@
 //   HalfOpen — exactly one probe job is admitted; its success closes the
 //              breaker, any failure re-opens it for another cooldown.
 //
+// PR 10 adds a fourth, terminal state for the integrity pipeline:
+//
+//   Blocklisted — the subject is permanently removed from service (a device
+//                 whose SDC score crossed the blocklist threshold). Unlike
+//                 Open, there is no cooldown and no probe: a blocklisted
+//                 breaker never admits again, and success/failure signals
+//                 from in-flight stragglers are ignored.
+//
 // Everything is driven by the simulator's virtual clock and the caller's
 // event order, so breaker trajectories are bit-identical across runs and
 // job counts (the repository-wide determinism contract).
@@ -28,7 +36,7 @@ namespace hq::fault {
 
 class CircuitBreaker {
  public:
-  enum class State : std::uint8_t { Closed, Open, HalfOpen };
+  enum class State : std::uint8_t { Closed, Open, HalfOpen, Blocklisted };
 
   struct Config {
     /// Consecutive failures that trip a Closed breaker.
@@ -61,8 +69,14 @@ class CircuitBreaker {
   /// Closed breaker at the threshold; re-opens a HalfOpen breaker.
   void record_failure(TimeNs now);
 
+  /// Permanently removes the subject from service (integrity blocklist).
+  /// Terminal: no cooldown, no probe, and later success/failure signals are
+  /// ignored. Idempotent; records the first blocklist time.
+  void blocklist(TimeNs now);
+
   State state() const { return state_; }
   bool open() const { return state_ == State::Open; }
+  bool blocklisted() const { return state_ == State::Blocklisted; }
   int consecutive_failures() const { return consecutive_failures_; }
 
   // --- counters (monotonic, for reports) -----------------------------------
@@ -76,6 +90,8 @@ class CircuitBreaker {
   /// End of the current Open cooldown (meaningful while open()); lets the
   /// fleet drain loop schedule its retry pump at the exact probe instant.
   TimeNs open_until() const { return open_until_; }
+  /// Time of the blocklist() transition (meaningful while blocklisted()).
+  TimeNs blocklisted_at() const { return blocklisted_at_; }
 
   const Config& config() const { return config_; }
 
@@ -88,6 +104,7 @@ class CircuitBreaker {
   bool probe_outstanding_ = false;
   TimeNs open_until_ = 0;
   TimeNs last_trip_time_ = 0;
+  TimeNs blocklisted_at_ = 0;
   std::uint64_t trips_ = 0;
   std::uint64_t probes_ = 0;
   std::uint64_t rejected_ = 0;

@@ -17,6 +17,29 @@ constexpr std::uint64_t kDomainCopyStall = 0x01;
 constexpr std::uint64_t kDomainCopySlowdown = 0x02;
 constexpr std::uint64_t kDomainLaunch = 0x03;
 constexpr std::uint64_t kDomainHostAlloc = 0x04;
+constexpr std::uint64_t kDomainSdcCopy = 0x05;
+constexpr std::uint64_t kDomainSdcKernel = 0x06;
+// Sub-stream of the SDC domains used to pick the corruption mask itself
+// (independent of the fire/no-fire draw).
+constexpr std::uint64_t kSdcMaskStream = 0x8000000000000000ULL;
+
+std::uint64_t sdc_hash(std::uint64_t seed, std::uint64_t domain,
+                       std::uint64_t key, std::uint64_t sub) {
+  Fnv1a64 hash;
+  hash.mix_u64(seed);
+  hash.mix_u64(domain);
+  hash.mix_u64(key);
+  hash.mix_u64(sub);
+  return hash.value();
+}
+
+double sdc_draw(std::uint64_t seed, std::uint64_t domain, std::uint64_t key,
+                std::uint64_t sub) {
+  // Top 53 bits -> uniform double in [0, 1) (same mapping as
+  // FaultInjector::draw so all fault domains share one distribution).
+  return static_cast<double>(sdc_hash(seed, domain, key, sub) >> 11) *
+         0x1.0p-53;
+}
 
 bool parse_double(const std::string& text, double* out) {
   char* end = nullptr;
@@ -119,6 +142,10 @@ bool apply_key(FaultPlan& plan, const std::string& key,
   if (key == "degrade-copy-factor") {
     return factor(&plan.degrade_copy_factor);
   }
+  if (key == "sdc-copy-rate") return rate(&plan.sdc_copy_rate);
+  if (key == "sdc-kernel-rate") return rate(&plan.sdc_kernel_rate);
+  if (key == "sdc-at-us") return micros(&plan.sdc_at);
+  if (key == "sdc-stuck-at-us") return micros(&plan.sdc_stuck_at);
   return set_error(error, "fault plan: unknown key '" + key + "'");
 }
 
@@ -131,13 +158,18 @@ bool FaultPlan::any_faults() const {
          host_alloc_failure_rate > 0.0 || offline_smx > 0 ||
          (throttle_period > 0 && throttle_duration > 0 &&
           throttle_factor > 1.0) ||
-         any_lifecycle();
+         any_lifecycle() || any_sdc();
 }
 
 bool FaultPlan::any_lifecycle() const {
   if (!enabled) return false;
   return crash_at > 0 || (flap_period > 0 && flap_down > 0) ||
          (degrade_at > 0 && degrade_copy_factor > 1.0);
+}
+
+bool FaultPlan::any_sdc() const {
+  if (!enabled) return false;
+  return sdc_copy_rate > 0.0 || sdc_kernel_rate > 0.0 || sdc_stuck_at > 0;
 }
 
 std::optional<FaultPlan> parse_fault_plan(const std::string& text,
@@ -219,7 +251,63 @@ std::string fault_plan_to_string(const FaultPlan& plan) {
     out << ",degrade-copy-factor="
         << obs::format_double(plan.degrade_copy_factor);
   }
+  // SDC keys follow the same only-when-set rule as the lifecycle keys: the
+  // rendering of every pre-SDC plan is unchanged byte-for-byte.
+  if (plan.sdc_copy_rate > 0.0) {
+    out << ",sdc-copy-rate=" << obs::format_double(plan.sdc_copy_rate);
+  }
+  if (plan.sdc_kernel_rate > 0.0) {
+    out << ",sdc-kernel-rate=" << obs::format_double(plan.sdc_kernel_rate);
+  }
+  if (plan.sdc_at > 0) {
+    out << ",sdc-at-us=" << plan.sdc_at / kMicrosecond;
+  }
+  if (plan.sdc_stuck_at > 0) {
+    out << ",sdc-stuck-at-us=" << plan.sdc_stuck_at / kMicrosecond;
+  }
   return out.str();
+}
+
+std::uint64_t sdc_corruption_mask(const FaultPlan& plan, TimeNs now,
+                                  std::uint64_t job_key, std::uint64_t sub,
+                                  gpu::ObservedFault* kind_out) {
+  if (!plan.any_sdc()) return 0;
+  const auto scrambled = [&]() {
+    std::uint64_t mask = sdc_hash(plan.seed, kDomainSdcKernel, job_key,
+                                  sub ^ kSdcMaskStream);
+    if (mask == 0) mask = 1;  // a corruption must actually change the digest
+    return mask;
+  };
+  // Stuck-at dominates: from sdc_stuck_at on the device lies on every job.
+  if (plan.sdc_stuck_at > 0 && now >= plan.sdc_stuck_at) {
+    if (kind_out != nullptr) *kind_out = gpu::ObservedFault::SdcKernelCorruption;
+    return scrambled();
+  }
+  if (plan.sdc_copy_rate > 0.0 &&
+      sdc_draw(plan.seed, kDomainSdcCopy, job_key, sub) < plan.sdc_copy_rate) {
+    if (kind_out != nullptr) *kind_out = gpu::ObservedFault::SdcCopyCorruption;
+    const std::uint64_t bit =
+        sdc_hash(plan.seed, kDomainSdcCopy, job_key, sub ^ kSdcMaskStream) % 64;
+    return 1ULL << bit;
+  }
+  if (plan.sdc_kernel_rate > 0.0) {
+    // Aging ramp: effective rate is 0 before sdc_at, reaches the full rate
+    // at 2 * sdc_at, and is the full rate immediately when sdc_at == 0.
+    double effective = plan.sdc_kernel_rate;
+    if (plan.sdc_at > 0) {
+      if (now < plan.sdc_at) return 0;
+      const double ramp = static_cast<double>(now - plan.sdc_at) /
+                          static_cast<double>(plan.sdc_at);
+      effective *= ramp < 1.0 ? ramp : 1.0;
+    }
+    if (sdc_draw(plan.seed, kDomainSdcKernel, job_key, sub) < effective) {
+      if (kind_out != nullptr) {
+        *kind_out = gpu::ObservedFault::SdcKernelCorruption;
+      }
+      return scrambled();
+    }
+  }
+  return 0;
 }
 
 std::uint64_t FaultStats::count_for(gpu::ObservedFault kind) const {
@@ -230,6 +318,9 @@ std::uint64_t FaultStats::count_for(gpu::ObservedFault kind) const {
     case gpu::ObservedFault::LaunchFailure: return launch_failures;
     case gpu::ObservedFault::LaunchAbort: return launch_aborts;
     case gpu::ObservedFault::HostAllocFailure: return host_alloc_failures;
+    case gpu::ObservedFault::SdcCopyCorruption: return sdc_copy_corruptions;
+    case gpu::ObservedFault::SdcKernelCorruption:
+      return sdc_kernel_corruptions;
   }
   return 0;
 }

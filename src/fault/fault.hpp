@@ -97,6 +97,21 @@ struct FaultPlan {
   TimeNs degrade_at = 0;
   double degrade_copy_factor = 1.0;
 
+  // --- silent data corruption (fleet integrity fault domain) ----------------
+  /// Probability that one consumed result digest had its DtoH payload
+  /// digest bit-flipped (a single flipped bit of the 64-bit digest).
+  double sdc_copy_rate = 0.0;
+  /// Probability that one kernel's functional output digest was corrupted
+  /// (a full scrambled digest, not a single bit). When sdc_at > 0 the
+  /// effective rate ramps linearly from 0 at sdc_at to the full rate at
+  /// 2 * sdc_at (aging silicon: corruption sets in and worsens).
+  double sdc_kernel_rate = 0.0;
+  TimeNs sdc_at = 0;
+  /// Stuck-at mode: from sdc_stuck_at on, EVERY consumed result digest is
+  /// corrupted until the device is blocklisted (0 = never). Models a device
+  /// that lies on every job.
+  TimeNs sdc_stuck_at = 0;
+
   /// Enabled plan with every rate zero (the zero-perturbation baseline).
   static FaultPlan zero() {
     FaultPlan plan;
@@ -110,6 +125,9 @@ struct FaultPlan {
   /// degradation) is configured; the fleet layer schedules down/up
   /// transitions for such plans.
   bool any_lifecycle() const;
+  /// True when silent-data-corruption faults are configured; the fleet
+  /// integrity pipeline draws per-result corruption for such plans.
+  bool any_sdc() const;
 };
 
 /// Parses the compact `key=value[,key=value...]` plan syntax used by
@@ -125,6 +143,21 @@ std::optional<FaultPlan> parse_fault_plan(const std::string& text,
 /// reporting and for mixing the plan into the sweep-journal grid key.
 std::string fault_plan_to_string(const FaultPlan& plan);
 
+/// Deterministic silent-data-corruption decision for one consumed result
+/// digest: returns 0 when the result is clean, or a nonzero XOR mask to
+/// apply to the job's functional output digest. Pure function of
+/// (plan.seed, now, job_key, sub) — the fleet integrity pipeline owns
+/// counting and attribution (shard-level, not device-level), so the
+/// invariant checker's per-device fault cross-count is unaffected.
+/// Precedence: stuck-at (now >= sdc_stuck_at > 0) corrupts every result
+/// with a scrambled mask; otherwise a copy-digest bit-flip is drawn at
+/// sdc_copy_rate; otherwise a kernel-output scramble is drawn at
+/// sdc_kernel_rate (ramped after sdc_at). `kind_out` (optional) receives
+/// which SDC kind fired when the mask is nonzero.
+std::uint64_t sdc_corruption_mask(const FaultPlan& plan, TimeNs now,
+                                  std::uint64_t job_key, std::uint64_t sub,
+                                  gpu::ObservedFault* kind_out = nullptr);
+
 /// Counters for every fault the injector actually fired.
 struct FaultStats {
   std::uint64_t copy_stalls = 0;
@@ -134,12 +167,15 @@ struct FaultStats {
   std::uint64_t launch_failures = 0;
   std::uint64_t launch_aborts = 0;
   std::uint64_t host_alloc_failures = 0;
+  std::uint64_t sdc_copy_corruptions = 0;
+  std::uint64_t sdc_kernel_corruptions = 0;
 
   /// Total number of injected fault events (matches the number of
   /// on_fault_injected callbacks fired).
   std::uint64_t total() const {
     return copy_stalls + copy_slowdowns + throttled_copies + launch_failures +
-           launch_aborts + host_alloc_failures;
+           launch_aborts + host_alloc_failures + sdc_copy_corruptions +
+           sdc_kernel_corruptions;
   }
   /// Expected on_fault_injected count for one observed fault kind.
   std::uint64_t count_for(gpu::ObservedFault kind) const;

@@ -8,6 +8,7 @@
 
 #include "check/invariants.hpp"
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "fault/lifecycle.hpp"
@@ -15,6 +16,15 @@
 #include "trace/trace.hpp"
 
 namespace hq::fleet {
+
+const char* integrity_policy_name(IntegrityPolicy policy) {
+  switch (policy) {
+    case IntegrityPolicy::Trust: return "trust";
+    case IntegrityPolicy::SpotCheck: return "spotcheck";
+    case IntegrityPolicy::Dmr: return "dmr";
+  }
+  return "?";
+}
 
 std::vector<gpu::DeviceSpec> FleetConfig::device_specs() const {
   if (devices.empty()) return {base.device};
@@ -31,6 +41,15 @@ bool FleetConfig::fault_domains_active() const {
   if (base.fault_plan.any_lifecycle()) return true;
   for (const fault::FaultPlan& plan : device_fault_plans) {
     if (plan.any_faults()) return true;
+  }
+  return false;
+}
+
+bool FleetConfig::integrity_active() const {
+  if (integrity != IntegrityPolicy::Trust) return true;
+  if (base.fault_plan.any_sdc()) return true;
+  for (const fault::FaultPlan& plan : device_fault_plans) {
+    if (plan.any_sdc()) return true;
   }
   return false;
 }
@@ -53,6 +72,15 @@ void FleetConfig::validate() const {
   HQ_CHECK_MSG(hedge_min_samples >= 1,
                "fleet config: hedge_min_samples must be >= 1, got "
                    << hedge_min_samples);
+  HQ_CHECK_MSG(spotcheck_rate >= 0.0 && spotcheck_rate <= 1.0,
+               "fleet config: spotcheck_rate must be in [0,1], got "
+                   << spotcheck_rate);
+  HQ_CHECK_MSG(sdc_blocklist_threshold > 0.0 && sdc_blocklist_threshold <= 1.0,
+               "fleet config: sdc_blocklist_threshold must be in (0,1], got "
+                   << sdc_blocklist_threshold);
+  HQ_CHECK_MSG(sdc_score_alpha > 0.0 && sdc_score_alpha <= 1.0,
+               "fleet config: sdc_score_alpha must be in (0,1], got "
+                   << sdc_score_alpha);
 }
 
 namespace {
@@ -180,6 +208,22 @@ struct FleetService::Shard {
   std::uint64_t hedges_run = 0;
   std::uint64_t attempts_cancelled = 0;
   std::uint64_t lifecycle_downs = 0;
+
+  // --- integrity pipeline (all zero/false unless integrity_active) ----------
+  /// Permanently removed from service by the integrity pipeline: no
+  /// placements, steals, hedges, or verifications land here, and its queued
+  /// and running work is displaced to survivors. Distinct from `down`
+  /// (availability quarantine): the device is up but untrusted.
+  bool blocklisted = false;
+  TimeNs blocklisted_at = 0;
+  /// EWMA of vote blame attributions; crossing sdc_blocklist_threshold
+  /// blocklists the device.
+  double sdc_score = 0;
+  std::uint64_t sdc_injected = 0;  ///< corrupted results produced here
+  std::uint64_t sdc_detected = 0;  ///< of those, caught by a comparison
+  std::uint64_t sdc_blamed = 0;    ///< vote outcomes blaming this device
+  std::uint64_t verifications_run = 0;  ///< verify/tiebreak attempts run here
+  obs::Series* sdc_score_series = nullptr;
   /// Energy/occupancy frozen at the drain instant (lifecycle transition
   /// events can outlive the drain and would otherwise stretch the lazy
   /// idle-power integral; without lifecycle faults these equal the post-run
@@ -250,8 +294,19 @@ struct FleetService::RunState {
     std::size_t shard = 0;
     bool viable = true;
     bool hedge = false;
+    /// Integrity verification re-execution: dispatched after the job
+    /// completed, its outcome feeds the digest vote instead of the job
+    /// state.
+    bool verify = false;
     std::unique_ptr<fw::Kernel> app;
     fw::Context context;
+  };
+  /// One functional result digest consumed by the integrity pipeline (the
+  /// winning completion plus any verification re-executions).
+  struct ConsumedResult {
+    std::uint64_t digest = 0;
+    std::size_t shard = 0;
+    bool corrupted = false;  ///< the producing device corrupted this result
   };
   /// Per-job fault-domain execution state.
   struct JobExec {
@@ -259,6 +314,12 @@ struct FleetService::RunState {
     int hedge_attempt = -1;    ///< racing hedge attempt; -1 when none
     int failovers = 0;         ///< failover hops consumed
     std::uint64_t dispatches = 0;  ///< total attempts ever dispatched
+    // Integrity pipeline: primary + up to two verification results (first
+    // verify, then the majority tiebreak) and the in-flight verify attempt.
+    ConsumedResult results[3];
+    int num_results = 0;
+    int verify_attempt = -1;  ///< in-flight verify attempt; -1 when none
+    bool integrity_resolved = false;
   };
   std::deque<serve::JobRecord>* jobs = nullptr;
   std::deque<Attempt>* attempts = nullptr;
@@ -270,6 +331,16 @@ struct FleetService::RunState {
   bool admission_closed = false;
   TimeNs window_closed_at = 0;
   std::uint64_t shed_no_device = 0;
+
+  // --- integrity pipeline ---------------------------------------------------
+  /// Cached config->integrity_active(); false keeps every pipeline hook a
+  /// no-op (zero perturbation).
+  bool integrity_on = false;
+  std::uint64_t sdc_injected = 0;
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t sdc_missed = 0;
+  std::uint64_t reexecutions = 0;
+  std::uint64_t devices_blocklisted = 0;
 
   // --- fleet fault domains --------------------------------------------------
   std::uint64_t shed_failover_exhausted = 0;
@@ -334,6 +405,7 @@ struct FleetService::RunState {
       case fault::CircuitBreaker::State::Closed: value = 0; break;
       case fault::CircuitBreaker::State::Open: value = 1; break;
       case fault::CircuitBreaker::State::HalfOpen: value = 2; break;
+      case fault::CircuitBreaker::State::Blocklisted: value = 3; break;
     }
     s.breaker_state_series->sample(sim->now(), value);
   }
@@ -342,7 +414,7 @@ struct FleetService::RunState {
   /// real dispatches). Only called immediately before a dispatch so an
   /// admitted probe always resolves. A down device admits nothing.
   bool gate(Shard& s) {
-    if (s.down) return false;
+    if (s.down || s.blocklisted) return false;
     if (s.device_breaker == nullptr) return true;
     const bool admitted = s.device_breaker->allow(sim->now());
     sample_breaker(s);  // allow() can move Open -> HalfOpen
@@ -354,8 +426,9 @@ struct FleetService::RunState {
     const TimeNs now = sim->now();
     for (Shard& s : *shards) {
       DeviceLoad load;
-      load.healthy = !s.down && (s.device_breaker == nullptr ||
-                                 s.device_breaker->would_allow(now));
+      load.healthy = !s.down && !s.blocklisted &&
+                     (s.device_breaker == nullptr ||
+                      s.device_breaker->would_allow(now));
       load.outstanding = s.queue.size() + s.inflight;
       load.copy_depth = s.copy_depth.depth();
       load_buf.push_back(load);
@@ -440,7 +513,7 @@ struct FleetService::RunState {
     const Attempt& a = (*attempts)[attempt_index];
     if (!a.viable || job.state != serve::JobState::Inflight) return;
     for (Shard& peer : *shards) {
-      if (peer.index == a.shard || peer.down) continue;
+      if (peer.index == a.shard || peer.down || peer.blocklisted) continue;
       if (!peer.queue.empty() || peer.inflight != 0) continue;  // not idle
       if (!can_dispatch(peer) || !gate(peer)) continue;
       dispatch_hedge(peer, job_id, a.shard);
@@ -487,7 +560,7 @@ struct FleetService::RunState {
 
   void try_steal(Shard& thief) {
     if (!config->work_stealing) return;
-    if (thief.down) return;
+    if (thief.down || thief.blocklisted) return;
     while (thief.queue.empty() && can_dispatch(thief)) {
       Shard* victim = nullptr;
       for (Shard& other : *shards) {
@@ -622,12 +695,12 @@ struct FleetService::RunState {
     sample_depths(t);
   }
 
-  /// The device goes down: every queued job and every viable attempt
-  /// running here fails over to the survivors (or exhausts). Zombie
-  /// coroutines keep draining; their outcomes are discarded.
-  void on_down_transition(Shard& s) {
-    s.down = true;
-    ++s.lifecycle_downs;
+  /// Displaces every queued job and every viable attempt running on `s` to
+  /// the survivors (or exhausts them). Shared by the down transition and
+  /// the integrity blocklist; the caller has already marked the shard
+  /// unhealthy (down or blocklisted). Zombie coroutines keep draining;
+  /// their outcomes are discarded.
+  void displace_work(Shard& s) {
     while (!s.queue.empty()) {
       requeue_or_exhaust(s, s.queue.pop_front());
     }
@@ -636,12 +709,24 @@ struct FleetService::RunState {
     for (std::size_t i = 0; i < num_attempts; ++i) {
       Attempt& a = (*attempts)[i];
       if (a.shard != s.index || !a.viable) continue;
+      JobExec& ex = (*exec)[static_cast<std::size_t>(a.job_id)];
+      if (a.verify) {
+        // An in-flight verification dies with its device: the job itself
+        // already completed, so resolve the vote on the digests we have.
+        if (ex.verify_attempt == static_cast<int>(i)) {
+          a.viable = false;
+          ++s.attempts_cancelled;
+          ++attempts_cancelled;
+          ex.verify_attempt = -1;
+          resolve_integrity(a.job_id);
+        }
+        continue;
+      }
       serve::JobRecord& job = (*jobs)[static_cast<std::size_t>(a.job_id)];
       if (job.state != serve::JobState::Inflight) continue;
       a.viable = false;
       ++s.attempts_cancelled;
       ++attempts_cancelled;
-      JobExec& ex = (*exec)[static_cast<std::size_t>(a.job_id)];
       const int sibling = ex.primary_attempt == static_cast<int>(i)
                               ? ex.hedge_attempt
                               : ex.primary_attempt;
@@ -668,10 +753,230 @@ struct FleetService::RunState {
     maybe_finish();
   }
 
+  /// The device goes down: its work fails over to the survivors.
+  void on_down_transition(Shard& s) {
+    s.down = true;
+    ++s.lifecycle_downs;
+    displace_work(s);
+  }
+
   void on_up_transition(Shard& s) {
     s.down = false;
     pump(s);       // queue is empty after the down drain; harmless
     try_steal(s);  // a newly-healthy idle device takes over queued work
+  }
+
+  // --- integrity pipeline ---------------------------------------------------
+  // Everything below is post-completion bookkeeping plus (for non-Trust
+  // policies) verification re-dispatches; with integrity_on false none of
+  // it runs and the schedule is untouched (zero perturbation).
+
+  /// The job's true functional-output digest: a pure function of (class,
+  /// job id), device-independent, so results from different devices are
+  /// directly comparable (the PR-1 cross-mode digest model).
+  std::uint64_t job_expected_digest(int job_id) const {
+    Fnv1a64 hash;
+    hash.mix_string(
+        config->base.classes[(*jobs)[static_cast<std::size_t>(job_id)].klass]
+            .item.type_name);
+    hash.mix_u64(static_cast<std::uint64_t>(job_id));
+    return hash.value();
+  }
+
+  /// Seeded per-job spot-check selection (SpotCheck policy).
+  bool spotcheck_selected(int job_id) const {
+    Fnv1a64 hash;
+    hash.mix_u64(config->base.seed);
+    hash.mix_u64(0xa0761d6478bd642fULL);  // spot-check draw stream
+    hash.mix_u64(static_cast<std::uint64_t>(job_id));
+    const double u = static_cast<double>(hash.value() >> 11) * 0x1.0p-53;
+    return u < config->spotcheck_rate;
+  }
+
+  /// Consumes one result digest produced on shard `s` for `job_id`: draws
+  /// the device's corruption decision against its fault plan and appends
+  /// the (possibly corrupted) digest to the job's vote set.
+  void consume_result(Shard& s, int job_id) {
+    JobExec& ex = (*exec)[static_cast<std::size_t>(job_id)];
+    HQ_CHECK_MSG(ex.num_results < 3,
+                 "integrity: job " << job_id << " consumed a fourth result");
+    ConsumedResult r;
+    r.shard = s.index;
+    r.digest = job_expected_digest(job_id);
+    if (s.injector != nullptr) {
+      const std::uint64_t mask = fault::sdc_corruption_mask(
+          s.injector->plan(), sim->now(),
+          static_cast<std::uint64_t>(job_id),
+          static_cast<std::uint64_t>(ex.num_results));
+      if (mask != 0) {
+        r.digest ^= mask;
+        r.corrupted = true;
+        ++s.sdc_injected;
+        ++sdc_injected;
+      }
+    }
+    ex.results[ex.num_results++] = r;
+  }
+
+  /// The winning completion of `job_id` (on shard `s`) just resolved
+  /// successfully: consume its digest and, per policy, dispatch a
+  /// verification re-execution or settle the job immediately.
+  void on_primary_complete(Shard& s, int job_id) {
+    consume_result(s, job_id);
+    bool verify = false;
+    switch (config->integrity) {
+      case IntegrityPolicy::Trust: break;
+      case IntegrityPolicy::SpotCheck:
+        verify = spotcheck_selected(job_id);
+        break;
+      case IntegrityPolicy::Dmr: verify = true; break;
+    }
+    if (!verify || !dispatch_verification(job_id)) resolve_integrity(job_id);
+  }
+
+  /// Re-executes `job_id` on the lowest-index healthy device that produced
+  /// none of its results yet. Re-executions ride on the per-job failover
+  /// budget; returns false (caller resolves on what it has) when the
+  /// budget, capacity, or the supply of fresh peers runs out.
+  bool dispatch_verification(int job_id) {
+    JobExec& ex = (*exec)[static_cast<std::size_t>(job_id)];
+    if (ex.failovers >= config->failover_budget) return false;
+    for (Shard& peer : *shards) {
+      bool participant = false;
+      for (int i = 0; i < ex.num_results; ++i) {
+        if (ex.results[i].shard == peer.index) participant = true;
+      }
+      if (participant || peer.down || peer.blocklisted) continue;
+      if (!can_dispatch(peer) || !gate(peer)) continue;
+      ++ex.failovers;
+      const std::size_t attempt_index = new_attempt(peer, job_id, false);
+      (*attempts)[attempt_index].verify = true;
+      ex.verify_attempt = static_cast<int>(attempt_index);
+      ++peer.verifications_run;
+      ++reexecutions;
+      trace_job(job_id, serve::JobEventKind::VerifyDispatched,
+                static_cast<int>(peer.index),
+                ex.num_results > 0 ? static_cast<int>(ex.results[0].shard)
+                                   : -1);
+      ++peer.inflight;
+      peer.peak_inflight = std::max(peer.peak_inflight, peer.inflight);
+      sim->spawn(FleetService::job_lifecycle(this, attempt_index));
+      sample_depths(peer);
+      return true;
+    }
+    return false;
+  }
+
+  /// A verification attempt drained. A cancelled (zombie) attempt was
+  /// already resolved at its cancellation site; a quarantined re-execution
+  /// yields no usable digest and settles on what exists; otherwise its
+  /// digest joins the vote, a first mismatch escalates to the tiebreak,
+  /// and the vote settles.
+  void on_verify_complete(std::size_t attempt_index, bool quarantined) {
+    Attempt& a = (*attempts)[attempt_index];
+    if (!a.viable) return;
+    JobExec& ex = (*exec)[static_cast<std::size_t>(a.job_id)];
+    HQ_CHECK_MSG(ex.verify_attempt == static_cast<int>(attempt_index),
+                 "integrity: verify attempt mismatch for job " << a.job_id);
+    ex.verify_attempt = -1;
+    if (quarantined) {
+      resolve_integrity(a.job_id);
+      return;
+    }
+    consume_result((*shards)[a.shard], a.job_id);
+    if (ex.num_results == 2 &&
+        ex.results[0].digest != ex.results[1].digest &&
+        dispatch_verification(a.job_id)) {
+      return;  // 2-way tie: the third execution will settle the vote
+    }
+    resolve_integrity(a.job_id);
+  }
+
+  /// Final classification and vote for one job's consumed digests; runs
+  /// exactly once per job (first caller wins). Partitions the job's
+  /// corrupted results into detected (participated in a mismatching
+  /// comparison) and missed (never compared, or compared and matched) —
+  /// the exact sdc_injected == sdc_detected + sdc_missed invariant — then
+  /// attributes blame and feeds the per-device SDC scores.
+  void resolve_integrity(int job_id) {
+    JobExec& ex = (*exec)[static_cast<std::size_t>(job_id)];
+    if (ex.integrity_resolved) return;
+    ex.integrity_resolved = true;
+    if (ex.num_results == 0) return;
+    bool all_equal = true;
+    for (int i = 1; i < ex.num_results; ++i) {
+      if (ex.results[i].digest != ex.results[0].digest) all_equal = false;
+    }
+    for (int i = 0; i < ex.num_results; ++i) {
+      const ConsumedResult& r = ex.results[i];
+      if (!r.corrupted) continue;
+      if (ex.num_results >= 2 && !all_equal) {
+        ++sdc_detected;
+        ++(*shards)[r.shard].sdc_detected;
+      } else {
+        ++sdc_missed;
+      }
+    }
+    if (ex.num_results < 2) return;  // no comparison, no vote
+    // Vote: matching results vindicate every participant. A 2-way mismatch
+    // with no tiebreak blames both sides; the 3-way vote blames the odd
+    // one out, or everyone when all three disagree.
+    bool blamed[3] = {false, false, false};
+    if (!all_equal) {
+      if (ex.num_results == 2) {
+        blamed[0] = blamed[1] = true;
+      } else {
+        const std::uint64_t d0 = ex.results[0].digest;
+        const std::uint64_t d1 = ex.results[1].digest;
+        const std::uint64_t d2 = ex.results[2].digest;
+        if (d2 == d0) {
+          blamed[1] = true;
+        } else if (d2 == d1) {
+          blamed[0] = true;
+        } else {
+          blamed[0] = blamed[1] = blamed[2] = true;
+        }
+      }
+    }
+    for (int i = 0; i < ex.num_results; ++i) {
+      Shard& s = (*shards)[ex.results[i].shard];
+      if (blamed[i]) {
+        trace_job(job_id, serve::JobEventKind::CorruptionDetected,
+                  static_cast<int>(s.index));
+      }
+      update_sdc_score(s, blamed[i]);
+    }
+  }
+
+  void update_sdc_score(Shard& s, bool blamed) {
+    const double alpha = config->sdc_score_alpha;
+    s.sdc_score = (1.0 - alpha) * s.sdc_score + (blamed ? alpha : 0.0);
+    if (blamed) ++s.sdc_blamed;
+    if (s.sdc_score_series != nullptr) {
+      s.sdc_score_series->sample(sim->now(), s.sdc_score);
+    }
+    if (blamed && !s.blocklisted &&
+        s.sdc_score >= config->sdc_blocklist_threshold) {
+      blocklist_shard(s);
+    }
+  }
+
+  /// Permanently removes `s` from service: no further placements, steals,
+  /// hedges, or verifications land here; its queued and running work is
+  /// displaced to survivors under the failover budget; and the device
+  /// breaker (when enabled) enters its terminal Blocklisted state.
+  /// Distinct from the availability quarantine: the device is up, just
+  /// untrusted.
+  void blocklist_shard(Shard& s) {
+    HQ_CHECK(!s.blocklisted);
+    s.blocklisted = true;
+    s.blocklisted_at = sim->now();
+    ++devices_blocklisted;
+    if (s.device_breaker != nullptr) {
+      s.device_breaker->blocklist(sim->now());
+      sample_breaker(s);
+    }
+    displace_work(s);
   }
 
   /// Schedules the device's next lifecycle edge (self-rechaining). The
@@ -953,10 +1258,22 @@ sim::Task FleetService::job_lifecycle(RunState* st,
         s.completed_series->sample(st->sim->now(),
                                    static_cast<double>(s.completed_jobs));
       }
+      // Integrity: the winning result's digest enters the vote set and,
+      // per policy, a verification re-execution is dispatched. Pure
+      // post-completion bookkeeping — the job's state, timing, and
+      // accounting above are already final.
+      if (st->integrity_on) st->on_primary_complete(s, index);
     }
   }
   // Zombie attempts (cancelled by failover or a lost hedge race) change no
   // job state and feed no breaker: their outcome is void.
+
+  // Verification attempts never win (their job already completed): their
+  // digest joins the vote here instead. Runs before the inflight decrement
+  // so a tiebreak dispatch keeps the drain barrier up.
+  if (attempt.verify && st->integrity_on) {
+    st->on_verify_complete(attempt_index, quarantined);
+  }
 
   --s.inflight;
   st->sample_depths(s);
@@ -1040,7 +1357,13 @@ FleetResult FleetService::run() {
       if (config_.device_breaker_enabled) {
         s.breaker_state_series = &reg.series(
             "device_breaker_state",
-            "Device health breaker (0 closed, 1 open, 2 half-open)");
+            "Device health breaker (0 closed, 1 open, 2 half-open, "
+            "3 blocklisted)");
+      }
+      if (config_.integrity_active()) {
+        s.sdc_score_series = &reg.series(
+            "device_sdc_score",
+            "EWMA of SDC vote blame attributions over virtual time");
       }
     }
   }
@@ -1089,6 +1412,7 @@ FleetResult FleetService::run() {
   state.owners = &owners;
   state.lifecycle = lifecycle.get();
   state.class_service.resize(base.classes.size());
+  state.integrity_on = config_.integrity_active();
 
   // Device-lifecycle schedules: apply the t=0 state and chain the first
   // transition event per device. No lifecycle faults => no events and no
@@ -1412,6 +1736,27 @@ FleetResult FleetService::run() {
       reg.counter("fault_host_alloc_failures",
                   "Injected host allocation failures")
           .add(fstats.host_alloc_failures);
+      // Integrity-pipeline counters: registered only when the pipeline is
+      // active (mirrors the breaker_state_series gating), uniformly across
+      // devices so rollup shapes stay identical.
+      if (config_.integrity_active()) {
+        reg.counter("device_sdc_injected",
+                    "Corrupted results this device produced")
+            .add(s.sdc_injected);
+        reg.counter("device_sdc_detected",
+                    "Corrupted results from this device caught by a "
+                    "verification comparison")
+            .add(s.sdc_detected);
+        reg.counter("device_sdc_blamed",
+                    "Vote outcomes that blamed this device")
+            .add(s.sdc_blamed);
+        reg.counter("device_verifications_run",
+                    "Verification re-executions run on this device")
+            .add(s.verifications_run);
+        reg.gauge("device_blocklisted",
+                  "1 when the integrity pipeline blocklisted this device")
+            .set(s.blocklisted ? 1 : 0);
+      }
       dev.telemetry = s.telemetry;
       dev.metrics = std::shared_ptr<obs::MetricsRegistry>(
           s.telemetry, &s.telemetry->registry());
@@ -1436,6 +1781,13 @@ FleetResult FleetService::run() {
       stats.breaker_final_state =
           fault::breaker_state_name(s.device_breaker->state());
     }
+    stats.sdc_injected = s.sdc_injected;
+    stats.sdc_detected = s.sdc_detected;
+    stats.sdc_blamed = s.sdc_blamed;
+    stats.verifications_run = s.verifications_run;
+    stats.sdc_score = s.sdc_score;
+    stats.blocklisted = s.blocklisted;
+    stats.blocklisted_at = s.blocklisted_at;
     stats.report = report;
     fleet.placement_histogram.push_back(s.placed);
     fleet.devices.push_back(std::move(stats));
@@ -1449,6 +1801,16 @@ FleetResult FleetService::run() {
           << owned_total << " owned + " << state.shed_no_device
           << " shed-no-device + " << state.shed_failover_exhausted
           << " shed-failover-exhausted != " << jobs.size() << " arrived");
+  if (state.integrity_on) {
+    // Exact partition: every corrupted result was either caught by a
+    // mismatching comparison or served silently — nothing in between.
+    HQ_CHECK_MSG(
+        state.sdc_injected == state.sdc_detected + state.sdc_missed,
+        "integrity accounting broken: " << state.sdc_injected
+                                        << " injected != "
+                                        << state.sdc_detected << " detected + "
+                                        << state.sdc_missed << " missed");
+  }
 
   // --- fleet aggregates ------------------------------------------------------
   fleet.num_devices = num_devices;
@@ -1467,6 +1829,15 @@ FleetResult FleetService::run() {
   fleet.hedge_wins = state.hedge_wins;
   fleet.hedges_cancelled = state.hedges_cancelled;
   fleet.attempts_cancelled = state.attempts_cancelled;
+  fleet.integrity = config_.integrity_active();
+  fleet.integrity_policy = integrity_policy_name(config_.integrity);
+  fleet.spotcheck_rate = config_.spotcheck_rate;
+  fleet.sdc_blocklist_threshold = config_.sdc_blocklist_threshold;
+  fleet.sdc_injected = state.sdc_injected;
+  fleet.sdc_detected = state.sdc_detected;
+  fleet.sdc_missed = state.sdc_missed;
+  fleet.reexecutions = state.reexecutions;
+  fleet.devices_blocklisted = state.devices_blocklisted;
   for (const FleetDeviceStats& dev : fleet.devices) {
     const serve::ServeReport& r = dev.report;
     if (fleet.workload.empty()) fleet.workload = r.workload;
@@ -1616,6 +1987,25 @@ FleetResult FleetService::run() {
     reg.counter("fleet_attempts_cancelled",
                 "All cancelled attempts (failover and hedge)")
         .add(fleet.attempts_cancelled);
+    // Integrity-pipeline rollup: registered only when the pipeline is
+    // active, matching the per-device instrument gating.
+    if (config_.integrity_active()) {
+      reg.counter("fleet_sdc_injected",
+                  "Corrupted results produced fleet-wide")
+          .add(fleet.sdc_injected);
+      reg.counter("fleet_sdc_detected",
+                  "Corrupted results caught by a verification comparison")
+          .add(fleet.sdc_detected);
+      reg.counter("fleet_sdc_missed",
+                  "Corrupted results served without a mismatching compare")
+          .add(fleet.sdc_missed);
+      reg.counter("fleet_reexecutions",
+                  "Verification re-executions dispatched")
+          .add(fleet.reexecutions);
+      reg.counter("fleet_devices_blocklisted",
+                  "Devices blocklisted by the integrity pipeline")
+          .add(fleet.devices_blocklisted);
+    }
   }
   return result;
 }

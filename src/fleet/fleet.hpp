@@ -68,6 +68,22 @@
 
 namespace hq::fleet {
 
+/// How the fleet checks completed jobs for silent data corruption.
+enum class IntegrityPolicy : std::uint8_t {
+  /// Every completed result is accepted as correct (the historical
+  /// behavior; zero-perturbation baseline).
+  Trust,
+  /// A seeded fraction of completed jobs (`spotcheck_rate`) is re-executed
+  /// on a different device and the two functional digests compared.
+  SpotCheck,
+  /// Dual modular redundancy: every completed job is re-executed on a
+  /// different device; a mismatch is broken by a third execution
+  /// (majority-of-2-then-tiebreak vote).
+  Dmr,
+};
+
+const char* integrity_policy_name(IntegrityPolicy policy);
+
 struct FleetConfig {
   /// The per-device serving configuration (classes, arrival process, queue
   /// bounds, controller, class breakers, fault plan, ...). base.device is
@@ -115,11 +131,33 @@ struct FleetConfig {
   double hedge_threshold = 2.0;
   std::size_t hedge_min_samples = 4;
 
+  /// Integrity pipeline (silent-data-corruption detection). Verification
+  /// re-executions are extra attempts of the same job on a different
+  /// device, consume the per-job failover_budget, and never change the
+  /// winning completion's timing — the pipeline is pure post-completion
+  /// bookkeeping on the virtual clock.
+  IntegrityPolicy integrity = IntegrityPolicy::Trust;
+  /// Fraction of completed jobs spot-checked under SpotCheck (seeded,
+  /// per-job deterministic draw).
+  double spotcheck_rate = 0.1;
+  /// A device whose SDC score (EWMA of vote blame attributions) reaches
+  /// this threshold is permanently blocklisted.
+  double sdc_blocklist_threshold = 0.8;
+  /// EWMA smoothing factor for the per-device SDC score.
+  double sdc_score_alpha = 0.5;
+
   /// True when any fleet fault-domain mechanism is configured: per-device
   /// plans, lifecycle faults on the base plan, or hedging. Gates the extra
   /// FleetReport fields so zero-chaos runs render byte-identically to
   /// pre-fault-domain reports (the pinned goldens).
   bool fault_domains_active() const;
+
+  /// True when the integrity pipeline can do anything: a non-Trust policy,
+  /// or an SDC fault configured on any device plan. Gates digest
+  /// computation, verification dispatch, and the FleetReport integrity
+  /// fields so Trust-plus-clean-plans runs render byte-identically to
+  /// pre-integrity reports (the pinned goldens).
+  bool integrity_active() const;
 
   std::size_t num_devices() const {
     return devices.empty() ? 1 : devices.size();

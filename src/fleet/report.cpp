@@ -46,6 +46,17 @@ void render_fleet_report_text(std::ostream& os, const FleetReport& report) {
        << " hedges-cancelled=" << report.hedges_cancelled
        << " attempts-cancelled=" << report.attempts_cancelled << "\n";
   }
+  if (report.integrity) {
+    os << "  integrity: policy=" << report.integrity_policy
+       << " spotcheck-rate=" << obs::format_double(report.spotcheck_rate)
+       << " blocklist-threshold="
+       << obs::format_double(report.sdc_blocklist_threshold)
+       << " sdc-injected=" << report.sdc_injected
+       << " sdc-detected=" << report.sdc_detected
+       << " sdc-missed=" << report.sdc_missed
+       << " reexecutions=" << report.reexecutions
+       << " devices-blocklisted=" << report.devices_blocklisted << "\n";
+  }
   os << "  slo: goodput=" << obs::format_double(report.goodput_per_sec)
      << "/s throughput=" << obs::format_double(report.throughput_per_sec)
      << "/s deadline-miss-ratio="
@@ -79,6 +90,15 @@ void render_fleet_report_text(std::ostream& os, const FleetReport& report) {
          << " hedges=" << dev.hedges_run
          << " cancelled=" << dev.attempts_cancelled
          << " downs=" << dev.lifecycle_downs;
+    }
+    if (report.integrity) {
+      os << " sdc=" << dev.sdc_injected << "/" << dev.sdc_detected
+         << " blamed=" << dev.sdc_blamed
+         << " verifications=" << dev.verifications_run
+         << " sdc-score=" << obs::format_double(dev.sdc_score);
+      if (dev.blocklisted) {
+        os << " blocklisted-at-us=" << dev.blocklisted_at / kMicrosecond;
+      }
     }
     os << "\n";
   }
@@ -133,6 +153,26 @@ void write_fleet_report_json(std::ostream& os, const FleetReport& report) {
     os << "    \"hedge_wins\": " << report.hedge_wins << ",\n";
     os << "    \"hedges_cancelled\": " << report.hedges_cancelled << ",\n";
     os << "    \"attempts_cancelled\": " << report.attempts_cancelled << "\n";
+    os << "  },\n";
+  }
+
+  // Likewise integrity-gated: Trust-plus-clean-plans reports keep their
+  // pre-integrity bytes.
+  if (report.integrity) {
+    os << "  \"integrity\": {\n";
+    os << "    \"policy\": ";
+    obs::write_json_quoted(os, report.integrity_policy);
+    os << ",\n";
+    os << "    \"spotcheck_rate\": "
+       << obs::format_double(report.spotcheck_rate) << ",\n";
+    os << "    \"sdc_blocklist_threshold\": "
+       << obs::format_double(report.sdc_blocklist_threshold) << ",\n";
+    os << "    \"sdc_injected\": " << report.sdc_injected << ",\n";
+    os << "    \"sdc_detected\": " << report.sdc_detected << ",\n";
+    os << "    \"sdc_missed\": " << report.sdc_missed << ",\n";
+    os << "    \"reexecutions\": " << report.reexecutions << ",\n";
+    os << "    \"devices_blocklisted\": " << report.devices_blocklisted
+       << "\n";
     os << "  },\n";
   }
 
@@ -192,6 +232,18 @@ void write_fleet_report_json(std::ostream& os, const FleetReport& report) {
       os << "      \"attempts_cancelled\": " << dev.attempts_cancelled
          << ",\n";
       os << "      \"lifecycle_downs\": " << dev.lifecycle_downs << ",\n";
+    }
+    if (report.integrity) {
+      os << "      \"sdc_injected\": " << dev.sdc_injected << ",\n";
+      os << "      \"sdc_detected\": " << dev.sdc_detected << ",\n";
+      os << "      \"sdc_blamed\": " << dev.sdc_blamed << ",\n";
+      os << "      \"verifications_run\": " << dev.verifications_run
+         << ",\n";
+      os << "      \"sdc_score\": " << obs::format_double(dev.sdc_score)
+         << ",\n";
+      os << "      \"blocklisted\": " << (dev.blocklisted ? "true" : "false")
+         << ",\n";
+      os << "      \"blocklisted_at_ns\": " << dev.blocklisted_at << ",\n";
     }
     // The nested report keeps serve's own (top-level) indentation; JSON
     // whitespace carries no meaning and the bytes stay deterministic.

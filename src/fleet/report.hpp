@@ -45,6 +45,15 @@ struct FleetDeviceStats {
   std::uint64_t hedges_run = 0;       ///< hedge attempts dispatched here
   std::uint64_t attempts_cancelled = 0;  ///< attempts cancelled here (failover + lost hedges)
   std::uint64_t lifecycle_downs = 0;  ///< down transitions (a crash counts once)
+  // Integrity pipeline (all zero unless FleetReport::integrity; rendered
+  // only then, keeping pre-integrity reports byte-identical).
+  std::uint64_t sdc_injected = 0;  ///< corrupted results this device produced
+  std::uint64_t sdc_detected = 0;  ///< of those, caught by a comparison
+  std::uint64_t sdc_blamed = 0;    ///< vote outcomes that blamed this device
+  std::uint64_t verifications_run = 0;  ///< verify/tiebreak attempts run here
+  double sdc_score = 0;      ///< final EWMA of blame attributions
+  bool blocklisted = false;  ///< permanently removed by the integrity pipeline
+  TimeNs blocklisted_at = 0;  ///< virtual time of the blocklist (0 = never)
   /// The per-device serving report, computed exactly as serve::Service
   /// computes it (for a 1-device fleet this is byte-identical to the
   /// single-device report — the fleet oracle pins that).
@@ -111,6 +120,23 @@ struct FleetReport {
   std::uint64_t hedge_wins = 0;  ///< completions won by the hedge attempt
   std::uint64_t hedges_cancelled = 0;  ///< losing attempts of hedged jobs
   std::uint64_t attempts_cancelled = 0;  ///< all cancelled attempts (failover + hedge)
+
+  // --- integrity pipeline ---------------------------------------------------
+  /// True when the integrity pipeline was active
+  /// (FleetConfig::integrity_active). Gates every integrity field in both
+  /// renderings so Trust-plus-clean-plans reports stay byte-identical to
+  /// pre-integrity output (the pinned goldens).
+  bool integrity = false;
+  std::string integrity_policy;  ///< "trust" / "spotcheck" / "dmr"
+  double spotcheck_rate = 0;
+  double sdc_blocklist_threshold = 0;
+  /// Corrupted results produced fleet-wide. Exact partition invariant
+  /// (fuzz-pinned): sdc_injected == sdc_detected + sdc_missed.
+  std::uint64_t sdc_injected = 0;
+  std::uint64_t sdc_detected = 0;  ///< caught by a verification comparison
+  std::uint64_t sdc_missed = 0;    ///< served without any mismatching compare
+  std::uint64_t reexecutions = 0;  ///< verify + tiebreak attempts dispatched
+  std::uint64_t devices_blocklisted = 0;
 
   /// placement_histogram[d] == devices[d].placed (kept flat for reports).
   std::vector<std::uint64_t> placement_histogram;

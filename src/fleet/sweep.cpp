@@ -157,6 +157,12 @@ std::uint64_t fleet_sweep_grid_key(const FleetSweepGrid& grid,
   mix_bool(grid.base.hedging);
   mix_double(grid.base.hedge_threshold);
   h.mix_u64(grid.base.hedge_min_samples);
+  // Integrity pipeline: the policy and its knobs change outcomes (SDC plan
+  // fields are already covered by the fault-plan strings above).
+  h.mix_u64(static_cast<std::uint64_t>(grid.base.integrity));
+  mix_double(grid.base.spotcheck_rate);
+  mix_double(grid.base.sdc_blocklist_threshold);
+  mix_double(grid.base.sdc_score_alpha);
   h.mix_i64(base.retry.max_attempts);
   h.mix_u64(base.retry.base_backoff);
   mix_double(base.retry.multiplier);

@@ -103,11 +103,12 @@ void write_fleet_chrome_trace(std::ostream& os, const FleetResult& result) {
     processes.push_back(std::move(proc));
   }
 
-  // One flow arrow per requeue/steal/failover/hedge hop, bound by job id:
-  // from the hop instant on the source device lane to the job's dispatch on
-  // the target lane (or the hop instant itself when the job never
-  // dispatched there). A hedge dispatches immediately, so its arrow is
-  // always instant.
+  // One flow arrow per requeue/steal/failover/hedge/verify hop, bound by
+  // job id: from the hop instant on the source device lane to the job's
+  // dispatch on the target lane (or the hop instant itself when the job
+  // never dispatched there). Hedges and verifications dispatch
+  // immediately, so their arrows are always instant; a corruption
+  // detection is a self-arrow on the blamed device's lane.
   std::vector<trace::FlowEvent> flows;
   const serve::JobLifecycleTracer& tracer = *result.lifecycle;
   for (std::size_t job = 0; job < tracer.num_jobs(); ++job) {
@@ -121,18 +122,27 @@ void write_fleet_chrome_trace(std::ostream& os, const FleetResult& result) {
         case serve::JobEventKind::Stolen:     name = "steal"; break;
         case serve::JobEventKind::FailedOver: name = "failover"; break;
         case serve::JobEventKind::Hedged:     name = "hedge"; break;
+        case serve::JobEventKind::VerifyDispatched:
+          name = "verify";
+          break;
+        case serve::JobEventKind::CorruptionDetected:
+          name = "corruption";
+          break;
         default: continue;
       }
       trace::FlowEvent flow;
       flow.name = name;
       flow.id = static_cast<int>(job);
-      flow.from_pid = e.from_device;
+      flow.from_pid = e.from_device >= 0 ? e.from_device : e.device;
       flow.from_time = e.at;
       flow.to_pid = e.device;
       flow.to_time = e.at;
-      // Hedges run the moment they are recorded; queue-entering hops point
-      // at the job's next dispatch on the target device.
-      if (e.kind != serve::JobEventKind::Hedged) {
+      // Hedges and verifications run the moment they are recorded;
+      // queue-entering hops point at the job's next dispatch on the
+      // target device.
+      if (e.kind != serve::JobEventKind::Hedged &&
+          e.kind != serve::JobEventKind::VerifyDispatched &&
+          e.kind != serve::JobEventKind::CorruptionDetected) {
         for (std::size_t j = i + 1; j < chain.size(); ++j) {
           if (chain[j].kind == serve::JobEventKind::Dispatched) {
             flow.to_time = chain[j].at;

@@ -52,9 +52,11 @@ enum class ObservedFault : std::uint8_t {
   LaunchFailure,     ///< one transient kernel-launch attempt was rejected
   LaunchAbort,       ///< retries exhausted; the stream went into fault state
   HostAllocFailure,  ///< one pinned host allocation attempt failed
+  SdcCopyCorruption,   ///< a DtoH copy's payload digest was bit-flipped
+  SdcKernelCorruption, ///< a kernel's functional output digest was corrupted
 };
 
-inline constexpr int kNumObservedFaults = 6;
+inline constexpr int kNumObservedFaults = 8;
 
 inline const char* observed_fault_name(ObservedFault kind) {
   switch (kind) {
@@ -64,6 +66,8 @@ inline const char* observed_fault_name(ObservedFault kind) {
     case ObservedFault::LaunchFailure: return "launch_failure";
     case ObservedFault::LaunchAbort: return "launch_abort";
     case ObservedFault::HostAllocFailure: return "host_alloc_failure";
+    case ObservedFault::SdcCopyCorruption: return "sdc_copy_corruption";
+    case ObservedFault::SdcKernelCorruption: return "sdc_kernel_corruption";
   }
   return "?";
 }

@@ -187,6 +187,12 @@ void TelemetryObserver::on_fault_injected(TimeNs now, gpu::ObservedFault kind,
     case gpu::ObservedFault::HostAllocFailure:
       registry_.counter("faults_host_alloc").add();
       break;
+    case gpu::ObservedFault::SdcCopyCorruption:
+      registry_.counter("faults_sdc_copy").add();
+      break;
+    case gpu::ObservedFault::SdcKernelCorruption:
+      registry_.counter("faults_sdc_kernel").add();
+      break;
   }
   registry_.counter("fault_penalty_ns").add(penalty);
   ++fault_events_seen_;

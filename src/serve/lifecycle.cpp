@@ -15,6 +15,8 @@ const char* job_event_kind_name(JobEventKind kind) {
     case JobEventKind::Dispatched: return "dispatched";
     case JobEventKind::Hedged: return "hedged";
     case JobEventKind::HedgeCancelled: return "hedge-cancelled";
+    case JobEventKind::VerifyDispatched: return "verify-dispatched";
+    case JobEventKind::CorruptionDetected: return "corruption-detected";
     case JobEventKind::CompletedOk: return "completed-ok";
     case JobEventKind::CompletedLate: return "completed-late";
     case JobEventKind::ShedQueueFull: return "shed-queue-full";
@@ -43,6 +45,8 @@ void JobLifecycleTracer::record(int job_id, TimeNs at, JobEventKind kind,
   if (kind == JobEventKind::Stolen) ++steal_hops_;
   if (kind == JobEventKind::FailedOver) ++failover_hops_;
   if (kind == JobEventKind::Hedged) ++hedge_launches_;
+  if (kind == JobEventKind::VerifyDispatched) ++verify_launches_;
+  if (kind == JobEventKind::CorruptionDetected) ++corruption_detections_;
 }
 
 const std::vector<JobEvent>& JobLifecycleTracer::events(int job_id) const {

@@ -32,6 +32,12 @@ enum class JobEventKind : std::uint8_t {
   Dispatched,      ///< began running on `device`
   Hedged,          ///< straggler hedge copy dispatched on `device`
   HedgeCancelled,  ///< losing hedge attempt on `device` cancelled
+  /// Integrity verification re-execution dispatched on `device`
+  /// (from_device = the device whose result is being checked).
+  VerifyDispatched,
+  /// An integrity comparison on this job mismatched: `device` is the
+  /// device the vote blamed (-1 when no attribution was possible).
+  CorruptionDetected,
   CompletedOk,     ///< terminal: finished within its deadline (or had none)
   CompletedLate,   ///< terminal: finished past its deadline
   ShedQueueFull,   ///< terminal: rejected by an admission queue
@@ -72,6 +78,10 @@ class JobLifecycleTracer {
   std::uint64_t steal_hops() const { return steal_hops_; }
   std::uint64_t failover_hops() const { return failover_hops_; }
   std::uint64_t hedge_launches() const { return hedge_launches_; }
+  std::uint64_t verify_launches() const { return verify_launches_; }
+  std::uint64_t corruption_detections() const {
+    return corruption_detections_;
+  }
 
  private:
   /// Deque of chains: stable references while new jobs arrive.
@@ -80,6 +90,8 @@ class JobLifecycleTracer {
   std::uint64_t steal_hops_ = 0;
   std::uint64_t failover_hops_ = 0;
   std::uint64_t hedge_launches_ = 0;
+  std::uint64_t verify_launches_ = 0;
+  std::uint64_t corruption_detections_ = 0;
 };
 
 }  // namespace hq::serve

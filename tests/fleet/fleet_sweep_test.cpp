@@ -140,6 +140,24 @@ TEST(FleetSweepTest, GridKeyFingerprintsEveryResultAffectingField) {
   variant().base.hedging = true;
   variant().base.hedge_threshold = 3.5;
   variant().base.hedge_min_samples = 9;
+  // Integrity knobs: a policy or SDC-plan edit must also invalidate cached
+  // journal outcomes.
+  variant().base.integrity = IntegrityPolicy::Dmr;
+  variant().base.spotcheck_rate = 0.77;
+  variant().base.sdc_blocklist_threshold = 0.33;
+  variant().base.sdc_score_alpha = 0.9;
+  {
+    FleetSweepGrid& g = variant();
+    fault::FaultPlan sdc = fault::FaultPlan::zero();
+    sdc.sdc_stuck_at = 3 * kMillisecond;
+    g.base.device_fault_plans = {sdc, fault::FaultPlan::zero()};
+  }
+  {
+    FleetSweepGrid& g = variant();
+    fault::FaultPlan sdc = fault::FaultPlan::zero();
+    sdc.sdc_copy_rate = 0.4;
+    g.base.device_fault_plans = {sdc, fault::FaultPlan::zero()};
+  }
 
   std::set<std::uint64_t> keys = {base_key};
   for (std::size_t i = 0; i < variants.size(); ++i) {

@@ -127,6 +127,30 @@ TEST(GoldenFleetTest, InertFaultDomainKnobsKeepPinnedDigests) {
       << std::hex << "digest moved: 0x" << fleet_report_digest(b.report);
 }
 
+TEST(GoldenFleetTest, InertIntegrityKnobsKeepPinnedDigests) {
+  // The integrity pipeline's zero-perturbation contract: with the Trust
+  // policy and no SDC faults configured, every integrity knob is invisible
+  // — the pinned digests hold even with the knobs moved off their
+  // defaults and corruption-free per-device plans supplied.
+  FleetConfig homogeneous = homogeneous_config();
+  homogeneous.integrity = IntegrityPolicy::Trust;
+  homogeneous.spotcheck_rate = 0.9;
+  homogeneous.sdc_blocklist_threshold = 0.25;
+  homogeneous.sdc_score_alpha = 0.9;
+  homogeneous.device_fault_plans.assign(4, fault::FaultPlan{});
+  ASSERT_FALSE(homogeneous.integrity_active());
+  const FleetResult a = FleetService(homogeneous).run();
+  EXPECT_EQ(fleet_report_digest(a.report), kPinnedHomogeneousDigest)
+      << std::hex << "digest moved: 0x" << fleet_report_digest(a.report);
+
+  FleetConfig heterogeneous = heterogeneous_config();
+  heterogeneous.spotcheck_rate = 0.0;
+  heterogeneous.sdc_blocklist_threshold = 1.0;
+  const FleetResult b = FleetService(heterogeneous).run();
+  EXPECT_EQ(fleet_report_digest(b.report), kPinnedHeterogeneousDigest)
+      << std::hex << "digest moved: 0x" << fleet_report_digest(b.report);
+}
+
 TEST(GoldenFleetTest, LinkingFleetLeavesWholeSurfaceDigestUnchanged) {
   // Replicates zero_perturbation_test's combined digest from a binary that
   // links (and above, has exercised) hq_fleet: the fleet layer must be a

@@ -18,6 +18,9 @@
 //   hqfuzz --seed 1 --iters 0 --fleet-iters 50 --chaos-rate 0.5
 //                                                 (device-lifecycle chaos)
 //   hqfuzz --fleet-case-seed 99 --chaos-rate 0.5  (replay one chaos case)
+//   hqfuzz --seed 1 --iters 0 --fleet-iters 50 --sdc-rate 0.5
+//                                                 (SDC integrity oracles)
+//   hqfuzz --fleet-case-seed 99 --sdc-rate 0.5    (replay one SDC case)
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -73,6 +76,13 @@ int main(int argc, char** argv) {
                   "failover determinism, inert-knob byte identity, "
                   "all-devices-dead drain) to every fleet iteration",
                   "0");
+  args.add_option("sdc-rate",
+                  "per-device silent-data-corruption probability in [0,1]; "
+                  "> 0 adds the SDC integrity oracles (re-execution "
+                  "conservation, detected+missed == injected partition, "
+                  "inert-plan byte identity, blocklist placement freeze) to "
+                  "every fleet iteration",
+                  "0");
   args.add_option("fault-rate",
                   "fault-plan intensity in [0,1]; > 0 adds the fault-mode "
                   "oracles (zero-perturbation, faulted determinism, "
@@ -115,6 +125,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  double sdc_rate = 0.0;
+  {
+    errno = 0;
+    char* end = nullptr;
+    const std::string text = args.get("sdc-rate");
+    sdc_rate = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0' || sdc_rate < 0.0 ||
+        sdc_rate > 1.0) {
+      std::fprintf(stderr, "error: --sdc-rate needs a number in [0,1]\n");
+      return 2;
+    }
+  }
+
   if (args.provided("fleet-case-seed")) {
     const auto case_seed = parse_u64(args.get("fleet-case-seed"));
     if (!case_seed) {
@@ -132,6 +155,15 @@ int main(int argc, char** argv) {
       problems.insert(problems.end(),
                       std::make_move_iterator(chaos.begin()),
                       std::make_move_iterator(chaos.end()));
+    }
+    if (sdc_rate > 0) {
+      std::string sdc_summary;
+      auto sdc = check::Fuzzer::run_fleet_sdc_case(*case_seed, sdc_rate,
+                                                   &sdc_summary);
+      summary = std::move(sdc_summary);
+      problems.insert(problems.end(),
+                      std::make_move_iterator(sdc.begin()),
+                      std::make_move_iterator(sdc.end()));
     }
     std::printf("case %s\n", summary.c_str());
     for (const auto& p : problems) std::printf("  - %s\n", p.c_str());
@@ -195,6 +227,7 @@ int main(int argc, char** argv) {
   options.jobs = static_cast<int>(*jobs);
   options.fault_rate = fault_rate;
   options.chaos_rate = chaos_rate;
+  options.sdc_rate = sdc_rate;
   const bool verbose = args.get_flag("verbose");
 
   check::Fuzzer fuzzer(options);

@@ -34,6 +34,16 @@
 //   hqserve --mix gaussian --devices 4 --device-fault-plan-file chaos.txt
 //           --failover-budget 2 --hedge --hedge-threshold 2.5
 //
+// The integrity pipeline detects silent data corruption: --sdc-plan-file
+// gives devices seeded corruption plans (sdc-copy-rate=, sdc-kernel-rate=,
+// sdc-at-us=, sdc-stuck-at-us=) and --integrity picks the verification
+// policy (trust = accept everything, spotcheck = re-execute a seeded
+// fraction on a different device, dmr = re-execute every job and break
+// mismatches with a third vote). Devices whose SDC score crosses
+// --sdc-blocklist-threshold are permanently blocklisted:
+//   hqserve --mix gaussian --devices 4 --sdc-plan-file sdc.txt
+//           --integrity spotcheck --spotcheck-rate 0.25
+//
 // Exit codes: 0 success, 2 usage error, 3 run error (hq::Error).
 #include <cstdio>
 #include <cstdlib>
@@ -378,6 +388,25 @@ int main(int argc, char** argv) {
                   "2");
   args.add_option("hedge-min-samples",
                   "completed jobs per class before hedging engages", "4");
+  args.add_option("sdc-plan-file",
+                  "fleet mode: per-device silent-data-corruption fault "
+                  "plans, one --fault-plan line per device ('disabled' = "
+                  "clean; sdc-copy-rate=, sdc-kernel-rate=, sdc-at-us=, "
+                  "sdc-stuck-at-us=); mutually exclusive with "
+                  "--device-fault-plan-file",
+                  "");
+  args.add_option("integrity",
+                  "fleet mode: completed-job integrity policy: "
+                  "trust|spotcheck|dmr",
+                  "trust");
+  args.add_option("spotcheck-rate",
+                  "fraction of completed jobs re-executed on a different "
+                  "device under --integrity spotcheck",
+                  "0.1");
+  args.add_option("sdc-blocklist-threshold",
+                  "SDC score (EWMA of corruption-vote blame) at which a "
+                  "device is permanently blocklisted",
+                  "0.8");
   args.add_option("sweep-fleet",
                   "run a fleet-size x placement sweep over this "
                   "comma-separated list of fleet sizes",
@@ -454,6 +483,51 @@ int main(int argc, char** argv) {
     copy_penalty = std::strtod(text.c_str(), &end);
     if (errno != 0 || end == nullptr || *end != '\0' || copy_penalty < 0.0) {
       std::fprintf(stderr, "error: --copy-penalty needs a number >= 0\n");
+      return 2;
+    }
+  }
+
+  double spotcheck_rate = 0.1;
+  {
+    errno = 0;
+    char* end = nullptr;
+    const std::string text = args.get("spotcheck-rate");
+    spotcheck_rate = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0' || spotcheck_rate < 0.0 ||
+        spotcheck_rate > 1.0) {
+      std::fprintf(stderr,
+                   "error: --spotcheck-rate needs a number in [0, 1]\n");
+      return 2;
+    }
+  }
+
+  double sdc_blocklist_threshold = 0.8;
+  {
+    errno = 0;
+    char* end = nullptr;
+    const std::string text = args.get("sdc-blocklist-threshold");
+    sdc_blocklist_threshold = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == nullptr || *end != '\0' ||
+        sdc_blocklist_threshold <= 0.0 || sdc_blocklist_threshold > 1.0) {
+      std::fprintf(stderr,
+                   "error: --sdc-blocklist-threshold needs a number in "
+                   "(0, 1]\n");
+      return 2;
+    }
+  }
+
+  fleet::IntegrityPolicy integrity = fleet::IntegrityPolicy::Trust;
+  {
+    const std::string text = args.get("integrity");
+    if (text == "trust") {
+      integrity = fleet::IntegrityPolicy::Trust;
+    } else if (text == "spotcheck") {
+      integrity = fleet::IntegrityPolicy::SpotCheck;
+    } else if (text == "dmr") {
+      integrity = fleet::IntegrityPolicy::Dmr;
+    } else {
+      std::fprintf(stderr,
+                   "error: --integrity must be trust, spotcheck, or dmr\n");
       return 2;
     }
   }
@@ -543,6 +617,53 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --hedge needs fleet mode (--devices or "
                          "--device-spec-file)\n");
     return 2;
+  }
+
+  // Integrity-pipeline combinations: verification re-executes jobs on a
+  // *different* device, so every knob is fleet-only, and spot-check tuning
+  // without the spot-check policy is a configuration mistake, not a no-op.
+  if (integrity != fleet::IntegrityPolicy::Trust && !fleet_mode) {
+    std::fprintf(stderr,
+                 "error: --integrity %s needs fleet mode (--devices or "
+                 "--device-spec-file)\n",
+                 args.get("integrity").c_str());
+    return 2;
+  }
+  if (args.provided("spotcheck-rate") &&
+      integrity != fleet::IntegrityPolicy::SpotCheck) {
+    std::fprintf(stderr,
+                 "error: --spotcheck-rate only applies with --integrity "
+                 "spotcheck\n");
+    return 2;
+  }
+  if (args.provided("sdc-blocklist-threshold") &&
+      integrity == fleet::IntegrityPolicy::Trust) {
+    std::fprintf(stderr,
+                 "error: --sdc-blocklist-threshold only applies with "
+                 "--integrity spotcheck or dmr (trust never blames a "
+                 "device)\n");
+    return 2;
+  }
+  if (!args.get("sdc-plan-file").empty()) {
+    if (!fleet_mode) {
+      std::fprintf(stderr,
+                   "error: --sdc-plan-file needs fleet mode (--devices or "
+                   "--device-spec-file)\n");
+      return 2;
+    }
+    if (!args.get("sweep-fleet").empty()) {
+      std::fprintf(stderr,
+                   "error: --sdc-plan-file fixes one plan per device; it "
+                   "does not apply to --sweep-fleet's varying fleet sizes\n");
+      return 2;
+    }
+    if (!args.get("device-fault-plan-file").empty()) {
+      std::fprintf(stderr,
+                   "error: --sdc-plan-file and --device-fault-plan-file are "
+                   "mutually exclusive (put SDC keys in the device fault "
+                   "plans instead)\n");
+      return 2;
+    }
   }
 
   // Export-flag validation up front: every unsupported combination is a
@@ -637,6 +758,9 @@ int main(int argc, char** argv) {
       fleet_config.hedge_threshold = hedge_threshold;
       fleet_config.hedge_min_samples =
           static_cast<std::size_t>(*hedge_min_samples);
+      fleet_config.integrity = integrity;
+      fleet_config.spotcheck_rate = spotcheck_rate;
+      fleet_config.sdc_blocklist_threshold = sdc_blocklist_threshold;
       if (!args.get("device-fault-plan-file").empty()) {
         if (!read_fault_plans(args.get("device-fault-plan-file"),
                               fleet_config.device_fault_plans, &error)) {
@@ -648,6 +772,22 @@ int main(int argc, char** argv) {
           std::fprintf(stderr,
                        "error: --device-fault-plan-file declares %zu plans "
                        "for %zu devices\n",
+                       fleet_config.device_fault_plans.size(),
+                       fleet_config.num_devices());
+          return 2;
+        }
+      }
+      if (!args.get("sdc-plan-file").empty()) {
+        if (!read_fault_plans(args.get("sdc-plan-file"),
+                              fleet_config.device_fault_plans, &error)) {
+          std::fprintf(stderr, "error: %s\n", error.c_str());
+          return 2;
+        }
+        if (fleet_config.device_fault_plans.size() !=
+            fleet_config.num_devices()) {
+          std::fprintf(stderr,
+                       "error: --sdc-plan-file declares %zu plans for %zu "
+                       "devices\n",
                        fleet_config.device_fault_plans.size(),
                        fleet_config.num_devices());
           return 2;
